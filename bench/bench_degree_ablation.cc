@@ -1,0 +1,90 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Ablation for the paper's Sec. VIII-B "Mesh Degree" limitation: crawling
+// must follow M edges per result vertex, so the crawl cost scales with
+// the mesh degree. We compare the same box domain meshed with Kuhn
+// tetrahedra (interior degree 14) and with hexahedra (interior degree 6)
+// at matched vertex counts — the hexahedral crawl should traverse ~M_hex
+// / M_tet as many edges per result.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "mesh/generators/grid_generator.h"
+#include "mesh/generators/hexa_generator.h"
+#include "octopus/hex_octopus.h"
+#include "octopus/query_executor.h"
+
+namespace {
+using octopus::AABB;
+using octopus::Table;
+using octopus::Vec3;
+namespace bench = octopus::bench;
+}  // namespace
+
+int main() {
+  const double scale = bench::ScaleFromEnv();
+  const int n = std::max(4, static_cast<int>(40 * std::cbrt(scale)));
+  std::printf("OCTOPUS ablation — mesh degree (Sec. VIII-B): tetrahedra vs "
+              "hexahedra on a %d^3 box\n\n",
+              n);
+
+  const AABB domain(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  const octopus::TetraMesh tet_mesh =
+      octopus::GenerateBoxMesh(n, n, n, domain).MoveValue();
+  const octopus::HexaMesh hex_mesh =
+      octopus::GenerateHexBoxMesh(n, n, n, domain).MoveValue();
+
+  octopus::Octopus tet_octo;
+  tet_octo.Build(tet_mesh);
+  octopus::HexOctopus hex_octo;
+  hex_octo.Build(hex_mesh);
+
+  Table t("Crawl cost vs mesh degree (same lattice, same queries)");
+  t.SetHeader({"Selectivity [%]", "Primitive", "Mesh degree",
+               "Crawl edges / result", "Crawl time [s]", "Results [#]"});
+
+  for (const double sel_pct : {0.1, 0.5, 2.0}) {
+    const float h = 0.5f * std::cbrt(static_cast<float>(sel_pct / 100.0));
+    octopus::Rng rng(0xDE6);
+    std::vector<AABB> queries;
+    for (int i = 0; i < 200; ++i) {
+      const Vec3 c = rng.NextPointIn(AABB(Vec3(0.2f, 0.2f, 0.2f),
+                                          Vec3(0.8f, 0.8f, 0.8f)));
+      queries.push_back(AABB::FromCenterHalfExtent(c, Vec3(h, h, h)));
+    }
+    tet_octo.ResetStats();
+    hex_octo.ResetStats();
+    std::vector<octopus::VertexId> sink;
+    for (const AABB& q : queries) {
+      sink.clear();
+      tet_octo.RangeQuery(tet_mesh, q, &sink);
+      sink.clear();
+      hex_octo.RangeQuery(hex_mesh, q, &sink);
+    }
+    const octopus::PhaseStats& ts = tet_octo.stats();
+    const octopus::PhaseStats& hs = hex_octo.stats();
+    t.AddRow({Table::Num(sel_pct, 2), "tetrahedra",
+              Table::Num(tet_mesh.AverageDegree(), 1),
+              Table::Num(static_cast<double>(ts.crawl_edges) /
+                             std::max<size_t>(ts.result_vertices, 1),
+                         1),
+              Table::Num(ts.crawl_nanos * 1e-9, 4),
+              Table::Count(ts.result_vertices)});
+    t.AddRow({Table::Num(sel_pct, 2), "hexahedra",
+              Table::Num(hex_mesh.AverageDegree(), 1),
+              Table::Num(static_cast<double>(hs.crawl_edges) /
+                             std::max<size_t>(hs.result_vertices, 1),
+                         1),
+              Table::Num(hs.crawl_nanos * 1e-9, 4),
+              Table::Count(hs.result_vertices)});
+  }
+  t.Print();
+  std::printf(
+      "\nExpected shape: crawl edges per result ~= the mesh degree (14 vs "
+      "6), so hexahedral crawls traverse\n~2.3x fewer edges for the same "
+      "results — the paper's point that a lower-degree primitive crawls "
+      "cheaper,\nat the cost of simulation accuracy (fewer degrees of "
+      "freedom).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Reproduces paper Fig. 10 and the Sec. VI-A overhead analysis:
+//  (a) per-phase time breakdown (probe / walk / crawl) vs dataset size
+//  (b) memory footprint vs number of query results
+//  plus the one-time surface index construction cost per dataset.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "mesh/generators/datasets.h"
+#include "octopus/query_executor.h"
+#include "sim/workload.h"
+
+namespace {
+using octopus::Table;
+using octopus::TetraMesh;
+namespace bench = octopus::bench;
+}  // namespace
+
+int main() {
+  const double scale = bench::ScaleFromEnv();
+  const int steps = bench::StepsFromEnv(60);
+  std::printf("OCTOPUS reproduction — Fig. 10 / Sec. VI-A overhead analysis "
+              "(scale %.3g, %d steps)\n\n",
+              scale, steps);
+
+  // ---- Fig. 10(a): phase breakdown over dataset sizes ----
+  {
+    Table t("Fig. 10(a) — OCTOPUS phase breakdown vs dataset size [sec]");
+    t.SetHeader({"Dataset [#verts]", "Surface Probe", "Directed Walk",
+                 "Crawling", "Surface index build [s]"});
+    for (int level = 0; level < octopus::kNumNeuroLevels; ++level) {
+      auto r = octopus::MakeNeuroMesh(level, scale);
+      if (!r.ok()) {
+        std::fprintf(stderr, "generation failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      const TetraMesh mesh = r.MoveValue();
+      const bench::StepWorkload workload = bench::MakeStepWorkload(
+          mesh, steps, 15, 15, 0.001, 0.001, 0xA00 + level);
+      octopus::Octopus octo;
+      const bench::RunResult run = bench::RunApproach(
+          &octo, mesh, bench::NeuroDeformerFactory(mesh), workload);
+      const octopus::PhaseStats& s = octo.stats();
+      t.AddRow({Table::Count(mesh.num_vertices()),
+                Table::Num(s.probe_nanos * 1e-9, 3),
+                Table::Num(s.walk_nanos * 1e-9, 3),
+                Table::Num(s.crawl_nanos * 1e-9, 3),
+                Table::Num(run.build_seconds, 3)});
+    }
+    t.Print();
+    std::printf(
+        "Expected shape: probe + crawl dominate; the directed walk barely "
+        "contributes (rare). Probe time grows\nsub-linearly (surface share "
+        "shrinks); crawl grows with result size (paper Fig. 10(a)). The "
+        "one-time surface\nindex build is seconds even for the largest mesh "
+        "(paper: 62 s for 33 GB).\n\n");
+  }
+
+  // ---- Fig. 10(b): footprint vs number of query results ----
+  {
+    Table t("Fig. 10(b) — OCTOPUS memory footprint vs query results");
+    t.SetHeader({"Total results [#]", "Footprint [MB] (epoch array)",
+                 "Footprint [MB] (hash-set crawl)",
+                 "(surface index [MB])"});
+    auto r = octopus::MakeNeuroMesh(octopus::kNumNeuroLevels - 1, scale);
+    if (!r.ok()) return 1;
+    const TetraMesh mesh = r.MoveValue();
+    for (const double sel : {0.0005, 0.001, 0.002, 0.004, 0.008}) {
+      const bench::StepWorkload workload =
+          bench::MakeStepWorkload(mesh, 1, 15, 15, sel, sel, 0xA90);
+      octopus::Octopus fast;  // default: O(V) epoch array, fastest
+      const bench::RunResult fast_run = bench::RunApproach(
+          &fast, mesh, bench::NeuroDeformerFactory(mesh), workload);
+      // The paper-style configuration: crawl scratch ~ result size, so
+      // the footprint correlates with the result count (Fig. 10(b)).
+      octopus::Octopus compact(octopus::OctopusOptions{
+          .visited_mode = octopus::VisitedMode::kHashSet});
+      const bench::RunResult compact_run = bench::RunApproach(
+          &compact, mesh, bench::NeuroDeformerFactory(mesh), workload);
+      t.AddRow({Table::Count(fast_run.total_results),
+                Table::Num(fast_run.footprint_bytes / 1e6, 2),
+                Table::Num(compact_run.footprint_bytes / 1e6, 2),
+                Table::Num(fast.surface_index().FootprintBytes() / 1e6,
+                           2)});
+    }
+    t.Print();
+    std::printf(
+        "Expected shape: with the hash-set crawl the footprint is the "
+        "fixed surface-index share plus a part\ndirectly correlated with "
+        "the result count — paper Fig. 10(b). The default epoch-array "
+        "crawl trades a\nflat O(V) scratch for speed (see DESIGN.md).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Reproduces paper Fig. 12 — the surface-approximation optimization
+// (Sec. IV-H2): probing only a random fraction of the surface vertices.
+//  (a) result accuracy vs approximation fraction
+//  (b) speedup over exact OCTOPUS vs approximation fraction
+// for selectivities 0.01% and 0.1%.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "mesh/generators/datasets.h"
+#include "octopus/query_executor.h"
+
+namespace {
+using octopus::Table;
+using octopus::TetraMesh;
+namespace bench = octopus::bench;
+}  // namespace
+
+int main() {
+  const double scale = bench::ScaleFromEnv();
+  const int steps = bench::StepsFromEnv(60);
+  std::printf("OCTOPUS reproduction — Fig. 12: surface approximation "
+              "(scale %.3g, %d steps, 15 q/step)\n\n",
+              scale, steps);
+
+  auto r = octopus::MakeNeuroMesh(octopus::kNumNeuroLevels - 1, scale);
+  if (!r.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 r.status().ToString().c_str());
+    return 1;
+  }
+  const TetraMesh mesh = r.MoveValue();
+  const bench::DeformerFactory deformer = bench::NeuroDeformerFactory(mesh);
+
+  Table t("Fig. 12 — Surface approximation: accuracy (a) and speedup (b)");
+  t.SetHeader({"Selectivity [%]", "Approximation [%]",
+               "Result accuracy [%]", "Speedup vs exact OCTOPUS [x]"});
+
+  for (const double sel_pct : {0.01, 0.1}) {
+    const double sel = sel_pct / 100.0;
+    const bench::StepWorkload workload = bench::MakeStepWorkload(
+        mesh, steps, 15, 15, sel, sel, 0xC00);
+
+    // Exact baseline (approximation fraction 1.0 = probe everything).
+    octopus::Octopus exact;
+    const bench::RunResult exact_run =
+        bench::RunApproach(&exact, mesh, deformer, workload);
+
+    for (const double approx_pct : {0.01, 0.1, 1.0, 10.0, 100.0}) {
+      octopus::Octopus approx(octopus::OctopusOptions{
+          .surface_sample_fraction = approx_pct / 100.0});
+      const bench::RunResult run =
+          bench::RunApproach(&approx, mesh, deformer, workload);
+      const double accuracy =
+          exact_run.total_results == 0
+              ? 100.0
+              : 100.0 * static_cast<double>(run.total_results) /
+                    static_cast<double>(exact_run.total_results);
+      const double speedup =
+          exact_run.TotalSeconds() / std::max(run.TotalSeconds(), 1e-12);
+      t.AddRow({Table::Num(sel_pct, 2), Table::Num(approx_pct, 2),
+                Table::Num(accuracy, 1), Table::Num(speedup, 1)});
+    }
+  }
+  t.Print();
+  std::printf(
+      "\nExpected shape (paper Fig. 12): accuracy stays >90%% down to an "
+      "approximation of ~0.1%% of the surface\n(neighboring elements move "
+      "together, so a few starts recover the whole result), then collapses; "
+      "the\nspeedup grows as the probe shrinks, and is larger for the "
+      "lower selectivity (probe-dominated) workload.\n");
+  return 0;
+}

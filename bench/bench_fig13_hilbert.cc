@@ -1,0 +1,76 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Reproduces paper Fig. 13 — the graph data organization optimization
+// (Sec. IV-H1): sorting vertices in Hilbert order to improve the cache
+// behaviour of the crawling phase.
+//  (a) phase time (probe / crawl) with and without the Hilbert layout
+//  (b) relative speedup [%] vs query selectivity
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "mesh/generators/datasets.h"
+#include "octopus/hilbert_layout.h"
+#include "octopus/query_executor.h"
+
+namespace {
+using octopus::Table;
+using octopus::TetraMesh;
+namespace bench = octopus::bench;
+}  // namespace
+
+int main() {
+  const double scale = bench::ScaleFromEnv();
+  const int steps = bench::StepsFromEnv(60);
+  std::printf("OCTOPUS reproduction — Fig. 13: Hilbert data layout "
+              "(scale %.3g, %d steps, 15 q/step)\n\n",
+              scale, steps);
+
+  auto r = octopus::MakeNeuroMesh(octopus::kNumNeuroLevels - 1, scale);
+  if (!r.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 r.status().ToString().c_str());
+    return 1;
+  }
+  const TetraMesh original = r.MoveValue();
+  const TetraMesh sorted = octopus::ApplyPermutation(
+      original, octopus::ComputeHilbertOrder(original));
+
+  Table t("Fig. 13 — Hilbert layout effect on OCTOPUS phases");
+  t.SetHeader({"Selectivity [%]", "Probe w/o [s]", "Probe with [s]",
+               "Crawl w/o [s]", "Crawl with [s]", "Total speedup [%]"});
+
+  for (const double sel_pct : {0.01, 0.05, 0.1, 0.15, 0.2}) {
+    const double sel = sel_pct / 100.0;
+
+    auto run_on = [&](const TetraMesh& mesh, octopus::PhaseStats* stats) {
+      const bench::StepWorkload workload = bench::MakeStepWorkload(
+          mesh, steps, 15, 15, sel, sel, 0xD00);
+      octopus::Octopus octo;
+      const bench::RunResult run = bench::RunApproach(
+          &octo, mesh, bench::NeuroDeformerFactory(mesh), workload);
+      *stats = octo.stats();
+      return run.TotalSeconds();
+    };
+
+    octopus::PhaseStats plain_stats;
+    octopus::PhaseStats sorted_stats;
+    const double plain_s = run_on(original, &plain_stats);
+    const double sorted_s = run_on(sorted, &sorted_stats);
+    const double speedup_pct = 100.0 * (plain_s - sorted_s) / plain_s;
+    t.AddRow({Table::Num(sel_pct, 2),
+              Table::Num(plain_stats.probe_nanos * 1e-9, 3),
+              Table::Num(sorted_stats.probe_nanos * 1e-9, 3),
+              Table::Num(plain_stats.crawl_nanos * 1e-9, 3),
+              Table::Num(sorted_stats.crawl_nanos * 1e-9, 3),
+              Table::Num(speedup_pct, 1)});
+  }
+  t.Print();
+  std::printf(
+      "\nExpected shape (paper Fig. 13): the surface probe is unaffected; "
+      "crawling gets faster with the layout,\nand the benefit grows with "
+      "selectivity (bigger results -> more traversal -> more cache misses "
+      "saved).\nNote: the masked-grid generator already emits spatially "
+      "coherent ids, so the gain here is smaller than\nthe paper's (their "
+      "meshes arrive in arbitrary order).\n");
+  return 0;
+}

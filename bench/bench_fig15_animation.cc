@@ -1,0 +1,92 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Reproduces paper Figs. 14 and 15 — applicability beyond scientific
+// simulations: three deforming mesh animation sequences (horse gallop,
+// facial expression, camel compress).
+//  Fig. 14    dataset characterization
+//  Fig. 15(a) average query response time per time step, LinearScan vs
+//             OCTOPUS
+//  Fig. 15(b) speedup
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "index/linear_scan.h"
+#include "mesh/generators/datasets.h"
+#include "mesh/mesh_stats.h"
+#include "octopus/query_executor.h"
+#include "sim/animation_deformer.h"
+#include "sim/deformer.h"
+
+namespace {
+using octopus::AnimationDataset;
+using octopus::Table;
+using octopus::TetraMesh;
+namespace bench = octopus::bench;
+}  // namespace
+
+int main() {
+  const double scale = bench::ScaleFromEnv();
+  std::printf("OCTOPUS reproduction — Figs. 14 & 15: deforming mesh "
+              "animations (scale %.3g, 15 q/step, sel 0.1%%)\n\n",
+              scale);
+
+  const AnimationDataset datasets[] = {AnimationDataset::kHorseGallop,
+                                       AnimationDataset::kFacialExpression,
+                                       AnimationDataset::kCamelCompress};
+  const double paper_sv[] = {0.023, 0.010, 0.019};
+
+  Table characterization("Fig. 14 — Deforming mesh datasets");
+  characterization.SetHeader({"Mesh deformation", "Time steps [#]",
+                              "Size [MB]", "# Vertices", "Surface:Volume",
+                              "(paper S:V)"});
+  Table results("Fig. 15 — Response time per time step and speedup");
+  results.SetHeader({"Mesh deformation", "LinearScan [s/step]",
+                     "OCTOPUS [s/step]", "Speedup [x]"});
+
+  for (size_t i = 0; i < 3; ++i) {
+    auto r = octopus::MakeAnimationMesh(datasets[i], scale);
+    if (!r.ok()) {
+      std::fprintf(stderr, "generation failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    const TetraMesh mesh = r.MoveValue();
+    const int steps = octopus::AnimationTimeSteps(datasets[i]);
+    const octopus::MeshStats stats = octopus::ComputeMeshStats(mesh);
+    characterization.AddRow(
+        {octopus::AnimationMeshName(datasets[i]), std::to_string(steps),
+         Table::Num(static_cast<double>(stats.memory_bytes) / 1e6, 1),
+         Table::Count(stats.num_vertices),
+         Table::Num(stats.surface_to_volume, 3),
+         Table::Num(paper_sv[i], 3)});
+
+    const bench::StepWorkload workload =
+        bench::MakeStepWorkload(mesh, steps, 15, 15, 0.001, 0.001, 0xE00 + i);
+    const float amplitude = 2.0f * octopus::EstimateMeanEdgeLength(mesh);
+    const AnimationDataset which = datasets[i];
+    const bench::DeformerFactory deformer = [which, amplitude]() {
+      return std::make_unique<octopus::AnimationDeformer>(which, amplitude);
+    };
+    octopus::Octopus octo;
+    octopus::LinearScan scan;
+    const double octo_s =
+        bench::RunApproach(&octo, mesh, deformer, workload).TotalSeconds();
+    const double scan_s =
+        bench::RunApproach(&scan, mesh, deformer, workload).TotalSeconds();
+    results.AddRow({octopus::AnimationMeshName(datasets[i]),
+                    Table::Num(scan_s / steps, 4),
+                    Table::Num(octo_s / steps, 4),
+                    Table::Num(scan_s / octo_s, 1)});
+  }
+  characterization.Print();
+  std::printf("\n");
+  results.Print();
+  std::printf(
+      "\nExpected shape (paper Fig. 15): OCTOPUS wins on every sequence; "
+      "scan time per step tracks dataset size;\nOCTOPUS's speedup tracks "
+      "the surface:volume ratio, so Facial Expression (smallest S:V) gets "
+      "the largest\nspeedup (paper: 15-19x; smaller here at laptop-scale "
+      "S:V).\n");
+  return 0;
+}

@@ -1,0 +1,235 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// google-benchmark micro-benchmarks of the primitive operations behind the
+// figures, plus the tuning-parameter ablations the paper mentions in
+// Sec. V-A (R-tree fanout sweep, octree bucket-size sweep, QU-Trade grace
+// window): per-op costs of the surface probe, crawl, directed walk, index
+// builds and update paths.
+#include <benchmark/benchmark.h>
+
+#include "index/linear_scan.h"
+#include "index/lur_tree.h"
+#include "index/octree.h"
+#include "index/qu_trade.h"
+#include "index/rtree.h"
+#include "mesh/generators/datasets.h"
+#include "octopus/crawler.h"
+#include "octopus/directed_walk.h"
+#include "octopus/query_executor.h"
+#include "sim/random_deformer.h"
+#include "sim/workload.h"
+
+namespace octopus {
+namespace {
+
+// Shared fixture data: one mid-size neuro mesh, built once.
+const TetraMesh& BenchMesh() {
+  static const TetraMesh mesh = MakeNeuroMesh(1, 0.5).MoveValue();
+  return mesh;
+}
+
+AABB BenchQuery(double selectivity, uint64_t seed = 1) {
+  static QueryGenerator gen(BenchMesh());
+  Rng rng(seed);
+  return gen.MakeQuery(&rng, selectivity);
+}
+
+void BM_LinearScanQuery(benchmark::State& state) {
+  const TetraMesh& mesh = BenchMesh();
+  LinearScan scan;
+  scan.Build(mesh);
+  const AABB q = BenchQuery(0.001);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    out.clear();
+    scan.RangeQuery(mesh, q, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * mesh.num_vertices());
+}
+BENCHMARK(BM_LinearScanQuery);
+
+void BM_SurfaceProbe(benchmark::State& state) {
+  // Probe cost alone: a query that intersects nothing keeps the crawl
+  // empty, so the measured time is the pure probe.
+  const TetraMesh& mesh = BenchMesh();
+  Octopus octo;
+  octo.Build(mesh);
+  const AABB q(Vec3(50, 50, 50), Vec3(51, 51, 51));
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    out.clear();
+    octo.RangeQuery(mesh, q, &out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          octo.surface_index().num_surface_vertices());
+}
+BENCHMARK(BM_SurfaceProbe);
+
+void BM_OctopusQuery(benchmark::State& state) {
+  const TetraMesh& mesh = BenchMesh();
+  Octopus octo;
+  octo.Build(mesh);
+  const AABB q = BenchQuery(state.range(0) / 10000.0);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    out.clear();
+    octo.RangeQuery(mesh, q, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+// Selectivity 0.01% .. 0.2% in basis points of a percent (range/10000 %).
+BENCHMARK(BM_OctopusQuery)->Arg(1)->Arg(10)->Arg(20);
+
+void BM_Crawl(benchmark::State& state) {
+  const TetraMesh& mesh = BenchMesh();
+  Crawler crawler;
+  crawler.EnsureSize(mesh.num_vertices());
+  const AABB q = BenchQuery(0.002);
+  // One inside start.
+  std::vector<VertexId> starts;
+  for (VertexId v = 0; v < mesh.num_vertices(); ++v) {
+    if (q.Contains(mesh.position(v))) {
+      starts.push_back(v);
+      break;
+    }
+  }
+  std::vector<VertexId> out;
+  size_t edges = 0;
+  for (auto _ : state) {
+    out.clear();
+    edges += crawler.Crawl(mesh, q, starts, &out).edges_traversed;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(edges));
+}
+BENCHMARK(BM_Crawl);
+
+void BM_DirectedWalk(benchmark::State& state) {
+  const TetraMesh& mesh = BenchMesh();
+  const AABB q = BenchQuery(0.001);
+  for (auto _ : state) {
+    const WalkResult r = DirectedWalk(mesh, q, 0);
+    benchmark::DoNotOptimize(r.found);
+  }
+}
+BENCHMARK(BM_DirectedWalk);
+
+void BM_SurfaceIndexBuild(benchmark::State& state) {
+  const TetraMesh& mesh = BenchMesh();
+  for (auto _ : state) {
+    SurfaceIndex index;
+    index.Build(mesh);
+    benchmark::DoNotOptimize(index.num_surface_vertices());
+  }
+}
+BENCHMARK(BM_SurfaceIndexBuild);
+
+// --- Octree bucket-size ablation (paper tuned 10,000 via sweep) ---
+void BM_OctreeBuild(benchmark::State& state) {
+  const TetraMesh& mesh = BenchMesh();
+  Octree::Options options;
+  options.bucket_size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Octree tree(options);
+    tree.Build(mesh.positions());
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * mesh.num_vertices());
+}
+BENCHMARK(BM_OctreeBuild)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Arg(10000);
+
+void BM_OctreeQuery(benchmark::State& state) {
+  const TetraMesh& mesh = BenchMesh();
+  Octree::Options options;
+  options.bucket_size = static_cast<int>(state.range(0));
+  Octree tree(options);
+  tree.Build(mesh.positions());
+  const AABB q = BenchQuery(0.001);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    out.clear();
+    tree.Query(q, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_OctreeQuery)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Arg(10000);
+
+// --- R-tree fanout ablation (paper tuned 110 via sweep) ---
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const TetraMesh& mesh = BenchMesh();
+  RTree::Options options;
+  options.fanout = static_cast<int>(state.range(0));
+  std::vector<RTree::Entry> entries;
+  for (size_t v = 0; v < mesh.num_vertices(); ++v) {
+    const Vec3& p = mesh.position(static_cast<VertexId>(v));
+    entries.push_back({static_cast<VertexId>(v), AABB(p, p)});
+  }
+  for (auto _ : state) {
+    RTree tree(options);
+    tree.BulkLoad(entries);
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(16)->Arg(55)->Arg(110)->Arg(220);
+
+void BM_RTreeQuery(benchmark::State& state) {
+  const TetraMesh& mesh = BenchMesh();
+  RTree::Options options;
+  options.fanout = static_cast<int>(state.range(0));
+  RTree tree(options);
+  std::vector<RTree::Entry> entries;
+  for (size_t v = 0; v < mesh.num_vertices(); ++v) {
+    const Vec3& p = mesh.position(static_cast<VertexId>(v));
+    entries.push_back({static_cast<VertexId>(v), AABB(p, p)});
+  }
+  tree.BulkLoad(std::move(entries));
+  const AABB q = BenchQuery(0.001);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    out.clear();
+    tree.QueryIds(q, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RTreeQuery)->Arg(16)->Arg(55)->Arg(110)->Arg(220);
+
+// --- Per-step maintenance cost of the moving-object baselines ---
+void BM_LURTreeMaintenanceStep(benchmark::State& state) {
+  TetraMesh mesh = BenchMesh();
+  LURTree index;
+  index.Build(mesh);
+  RandomDeformer deformer(0.2f * EstimateMeanEdgeLength(mesh));
+  deformer.Bind(mesh);
+  int step = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    deformer.ApplyStep(++step, &mesh);
+    state.ResumeTiming();
+    index.BeforeQueries(mesh);
+  }
+  state.SetItemsProcessed(state.iterations() * mesh.num_vertices());
+}
+BENCHMARK(BM_LURTreeMaintenanceStep)->Unit(benchmark::kMillisecond);
+
+void BM_QUTradeMaintenanceStep(benchmark::State& state) {
+  TetraMesh mesh = BenchMesh();
+  QUTrade index;
+  index.Build(mesh);
+  RandomDeformer deformer(0.2f * EstimateMeanEdgeLength(mesh));
+  deformer.Bind(mesh);
+  int step = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    deformer.ApplyStep(++step, &mesh);
+    state.ResumeTiming();
+    index.BeforeQueries(mesh);
+  }
+  state.SetItemsProcessed(state.iterations() * mesh.num_vertices());
+}
+BENCHMARK(BM_QUTradeMaintenanceStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace octopus
+
+BENCHMARK_MAIN();

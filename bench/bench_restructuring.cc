@@ -1,0 +1,73 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Ablation for Sec. IV-E2 / VI-A: surface-index maintenance under mesh
+// restructuring. The paper's claim is two-fold: deformation needs NO
+// maintenance at all, and the rare connectivity changes are absorbed by
+// incremental insert/delete on the hash table instead of a full rebuild.
+// This bench measures incremental maintenance vs from-scratch rebuild
+// across restructuring batch sizes.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "mesh/generators/datasets.h"
+#include "octopus/surface_index.h"
+#include "sim/restructurer.h"
+
+namespace {
+using octopus::Table;
+namespace bench = octopus::bench;
+}  // namespace
+
+int main() {
+  const double scale = bench::ScaleFromEnv();
+  std::printf("OCTOPUS ablation — restructuring maintenance "
+              "(Sec. IV-E2 / VI-A), scale %.3g\n\n",
+              scale);
+
+  auto r = octopus::MakeNeuroMesh(2, scale);
+  if (!r.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 r.status().ToString().c_str());
+    return 1;
+  }
+
+  Table t("Surface-index maintenance: incremental vs rebuild");
+  t.SetHeader({"Batch [tet splits]", "Incremental [ms]", "Rebuild [ms]",
+               "Rebuild / incremental", "Surface verts after"});
+
+  for (const int batch : {1, 10, 100, 1000}) {
+    octopus::TetraMesh mesh = r.Value();  // fresh copy per batch size
+    octopus::SurfaceIndex incremental(
+        octopus::SurfaceIndex::Options{.support_restructuring = true});
+    incremental.Build(mesh);
+
+    octopus::Rng rng(0xBA7C4 + batch);
+    auto delta = octopus::RandomRefinement(&mesh, batch, &rng);
+    if (!delta.ok()) return 1;
+
+    octopus::Timer timer;
+    incremental.ApplyDelta(delta.Value());
+    const double incremental_ms = timer.ElapsedMillis();
+
+    timer.Restart();
+    octopus::SurfaceIndex rebuilt;
+    rebuilt.Build(mesh);
+    const double rebuild_ms = timer.ElapsedMillis();
+
+    t.AddRow({Table::Count(batch), Table::Num(incremental_ms, 3),
+              Table::Num(rebuild_ms, 3),
+              Table::Num(rebuild_ms / std::max(incremental_ms, 1e-6), 0) +
+                  "x",
+              Table::Count(incremental.num_surface_vertices())});
+  }
+  t.Print();
+  std::printf(
+      "\nExpected shape: incremental maintenance costs microseconds per "
+      "event and stays orders of magnitude\nbelow a rebuild for realistic "
+      "(small) restructuring batches; the advantage shrinks as the batch "
+      "\napproaches the whole mesh. Deformation-only steps cost exactly "
+      "zero maintenance by construction.\n");
+  return 0;
+}

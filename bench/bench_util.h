@@ -1,0 +1,9 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Back-compat shim: the measurement harness moved into the library
+// (harness/bench_harness.h) so it is tested and reusable.
+#ifndef OCTOPUS_BENCH_BENCH_UTIL_H_
+#define OCTOPUS_BENCH_BENCH_UTIL_H_
+
+#include "harness/bench_harness.h"
+
+#endif  // OCTOPUS_BENCH_BENCH_UTIL_H_

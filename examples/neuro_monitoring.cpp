@@ -1,0 +1,82 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+//
+// Neuroscience monitoring (paper Sec. III-B): a two-cell neuron mesh is
+// deformed by a plasticity-style simulation; three monitoring tools run
+// after every step, each issuing range queries on the live mesh:
+//   * structural validation — vertex density statistics inside probes
+//   * mesh quality          — inter-cell proximity in dense regions
+//   * visualization         — a moving view-frustum-like box
+//
+//   $ ./examples/neuro_monitoring [steps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "mesh/generators/datasets.h"
+#include "octopus/query_executor.h"
+#include "sim/plasticity_deformer.h"
+#include "sim/simulation.h"
+#include "sim/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace octopus;
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  auto mesh_result = MakeNeuroMesh(/*level=*/1, /*scale=*/0.3);
+  if (!mesh_result.ok()) {
+    std::fprintf(stderr, "mesh generation failed: %s\n",
+                 mesh_result.status().ToString().c_str());
+    return 1;
+  }
+  TetraMesh mesh = mesh_result.MoveValue();
+  std::printf("two-cell neuron mesh: %zu vertices, %zu tetrahedra\n\n",
+              mesh.num_vertices(), mesh.num_tetrahedra());
+
+  Octopus octopus;
+  octopus.Build(mesh);
+
+  PlasticityDeformer deformer(0.2f * EstimateMeanEdgeLength(mesh));
+  Simulation sim(&mesh, &deformer);
+  QueryGenerator queries(mesh);
+  Rng rng(2026);
+
+  std::vector<VertexId> result;
+  sim.Run(steps, [&](int step) {
+    // --- Structural validation: density in random sample volumes ---
+    double density_sum = 0.0;
+    for (int probe = 0; probe < 5; ++probe) {
+      const AABB box = queries.MakeQuery(&rng, /*selectivity=*/0.002);
+      result.clear();
+      octopus.RangeQuery(mesh, box, &result);
+      density_sum += static_cast<double>(result.size()) /
+                     std::max(box.Volume(), 1e-12);
+    }
+
+    // --- Mesh quality: check the corridor between the two cells for
+    //     intersection artifacts (vertices from both cells in one box) ---
+    const AABB corridor(Vec3(0.42f, 0.42f, 0.42f),
+                        Vec3(0.58f, 0.58f, 0.58f));
+    result.clear();
+    octopus.RangeQuery(mesh, corridor, &result);
+    const size_t corridor_vertices = result.size();
+
+    // --- Visualization: a slowly panning view box ---
+    const float pan = 0.2f + 0.4f * static_cast<float>(step) / steps;
+    const AABB frustum(Vec3(pan, 0.2f, 0.2f),
+                       Vec3(pan + 0.25f, 0.75f, 0.75f));
+    result.clear();
+    octopus.RangeQuery(mesh, frustum, &result);
+
+    std::printf("step %2d: density %.0f verts/unit^3 | corridor %zu verts "
+                "| frustum %zu verts\n",
+                step, density_sum / 5.0, corridor_vertices, result.size());
+  });
+
+  const PhaseStats& stats = octopus.stats();
+  std::printf("\n%zu queries executed; %.2f ms total query time, zero "
+              "index maintenance.\n",
+              stats.queries,
+              (stats.probe_nanos + stats.walk_nanos + stats.crawl_nanos) *
+                  1e-6);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Deterministic pseudo-random generator for mesh generation, deformation and
+// query workloads. Every experiment in the harness is reproducible from a
+// seed; std::mt19937_64 would also do but a hand-rolled xoshiro keeps the
+// header dependency-free and its output stable across standard libraries.
+#ifndef OCTOPUS_COMMON_RNG_H_
+#define OCTOPUS_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/aabb.h"
+#include "common/vec3.h"
+
+namespace octopus {
+
+/// \brief xoshiro256** generator; deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x0C70B05ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 4-word state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n) { return NextU64() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+  /// Uniform point inside `box`.
+  Vec3 NextPointIn(const AABB& box) {
+    return Vec3(NextFloat(box.min.x, box.max.x),
+                NextFloat(box.min.y, box.max.y),
+                NextFloat(box.min.z, box.max.z));
+  }
+
+  /// Uniform direction on the unit sphere (rejection-free, marsaglia).
+  Vec3 NextUnitVector() {
+    float a, b, s;
+    do {
+      a = NextFloat(-1.0f, 1.0f);
+      b = NextFloat(-1.0f, 1.0f);
+      s = a * a + b * b;
+    } while (s >= 1.0f || s == 0.0f);
+    const float r = 2.0f * std::sqrt(1.0f - s);
+    return Vec3(a * r, b * r, 1.0f - 2.0f * s);
+  }
+
+  /// Approximately normal(0, 1) via sum of uniforms (fast, tail-free; all
+  /// uses are small jitter where exact tails do not matter).
+  float NextGaussian() {
+    float acc = 0.0f;
+    for (int i = 0; i < 12; ++i) acc += static_cast<float>(NextDouble());
+    return acc - 6.0f;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_COMMON_RNG_H_

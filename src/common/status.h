@@ -1,0 +1,127 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Minimal Status/Result error-propagation types in the Arrow/RocksDB idiom:
+// recoverable errors travel as values, never as exceptions.
+#ifndef OCTOPUS_COMMON_STATUS_H_
+#define OCTOPUS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace octopus {
+
+/// \brief Outcome of a fallible operation (IO, validation, configuration).
+///
+/// Hot-path query code never returns `Status`; invariant violations there are
+/// programming errors and are guarded with assertions instead.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kIOError,
+    kNotFound,
+    kCorruption,
+    kUnimplemented,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "Unknown";
+    switch (code_) {
+      case Code::kOk:
+        name = "OK";
+        break;
+      case Code::kInvalidArgument:
+        name = "InvalidArgument";
+        break;
+      case Code::kIOError:
+        name = "IOError";
+        break;
+      case Code::kNotFound:
+        name = "NotFound";
+        break;
+      case Code::kCorruption:
+        name = "Corruption";
+        break;
+      case Code::kUnimplemented:
+        name = "Unimplemented";
+        break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type `T` or an error `Status`.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, mirrors
+  // arrow::Result so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& Value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& Value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+/// Propagate a non-OK status to the caller (Arrow's ARROW_RETURN_NOT_OK).
+#define OCTOPUS_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::octopus::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_COMMON_STATUS_H_

@@ -1,0 +1,81 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace octopus {
+
+void Table::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  if (row.size() > header_.size()) row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << "| " << cell << std::string(widths[c] - cell.size(), ' ') << " ";
+    }
+    os << "|\n";
+  };
+  auto emit_rule = [&]() {
+    for (size_t c = 0; c < header_.size(); ++c) {
+      os << "+" << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return os.str();
+}
+
+void Table::Print() const {
+  const std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Count(uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int pos = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it, ++pos) {
+    if (pos > 0 && pos % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string Table::Megabytes(size_t bytes) {
+  return Num(static_cast<double>(bytes) / (1024.0 * 1024.0), 2) + " MB";
+}
+
+}  // namespace octopus

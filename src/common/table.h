@@ -1,0 +1,47 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Fixed-width ASCII table printer. The benchmark harness prints one table
+// per paper figure; this keeps the output layout consistent and diffable.
+#ifndef OCTOPUS_COMMON_TABLE_H_
+#define OCTOPUS_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace octopus {
+
+/// \brief Column-aligned table with a title, printed to stdout.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before adding rows.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one row; cells beyond the header width are dropped, missing
+  /// cells are rendered empty.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table to a string (also used by tests).
+  std::string ToString() const;
+
+  /// Prints `ToString()` to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with `precision` decimal digits.
+  static std::string Num(double v, int precision = 2);
+  /// Formats an integer with thousands separators (1234567 -> "1,234,567").
+  static std::string Count(uint64_t v);
+  /// Formats a byte count using MB with two decimals.
+  static std::string Megabytes(size_t bytes);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_COMMON_TABLE_H_

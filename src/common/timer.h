@@ -1,0 +1,72 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Wall-clock timing helpers used by the benchmark harness and by the
+// per-phase breakdown statistics of the OCTOPUS query executor.
+#ifndef OCTOPUS_COMMON_TIMER_H_
+#define OCTOPUS_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace octopus {
+
+/// \brief Monotonic stopwatch with nanosecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last `Restart`.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates elapsed time across many start/stop intervals.
+///
+/// The query executor keeps one per phase (surface probe, directed walk,
+/// crawling) to reproduce the paper's Fig. 9(b)/10(a) breakdowns.
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Restart(); }
+  void Stop() { total_nanos_ += timer_.ElapsedNanos(); }
+  void Reset() { total_nanos_ = 0; }
+
+  int64_t TotalNanos() const { return total_nanos_; }
+  double TotalSeconds() const {
+    return static_cast<double>(total_nanos_) * 1e-9;
+  }
+
+ private:
+  Timer timer_;
+  int64_t total_nanos_ = 0;
+};
+
+/// RAII guard that stops an AccumulatingTimer on scope exit.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(AccumulatingTimer* t) : t_(t) { t_->Start(); }
+  ~ScopedTimer() { t_->Stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  AccumulatingTimer* t_;
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_COMMON_TIMER_H_

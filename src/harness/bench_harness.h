@@ -1,0 +1,85 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Measurement harness shared by the per-figure benchmark binaries and
+// available to downstream users who want to compare approaches on their
+// own meshes/workloads.
+//
+// The measurement protocol follows paper Sec. V-A:
+//  * Range queries execute after the simulation finished updating the mesh
+//    at each time step; the mesh is inconsistent mid-step, so no index
+//    work happens during SIMULATE.
+//  * "Total query response time" = per-step maintenance (rebuild/update)
+//    + query execution, summed over all steps. Preprocessing (initial
+//    build) is reported separately.
+//  * All approaches replay the identical deformation sequence and query
+//    workload (deterministic seeds).
+#ifndef OCTOPUS_HARNESS_BENCH_HARNESS_H_
+#define OCTOPUS_HARNESS_BENCH_HARNESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/aabb.h"
+#include "index/spatial_index.h"
+#include "mesh/tetra_mesh.h"
+#include "sim/deformer.h"
+
+namespace octopus::bench {
+
+/// Dataset scale factor from $OCTOPUS_BENCH_SCALE (default 1.0 = the
+/// calibrated ~1/1000-of-paper scale). 0.1 gives a quick smoke run.
+double ScaleFromEnv();
+
+/// Simulation steps from $OCTOPUS_BENCH_STEPS (default `fallback`).
+int StepsFromEnv(int fallback);
+
+/// Per-step query batches, pre-generated so every approach sees the same
+/// workload.
+struct StepWorkload {
+  std::vector<std::vector<AABB>> per_step;
+
+  size_t TotalQueries() const {
+    size_t n = 0;
+    for (const auto& s : per_step) n += s.size();
+    return n;
+  }
+};
+
+/// Queries/step uniform in [qmin, qmax], selectivity uniform in
+/// [sel_min, sel_max], centers at random mesh vertices.
+StepWorkload MakeStepWorkload(const TetraMesh& mesh, int steps, int qmin,
+                              int qmax, double sel_min, double sel_max,
+                              uint64_t seed);
+
+/// Fresh deformer per approach run (each run replays the same sequence).
+using DeformerFactory = std::function<std::unique_ptr<Deformer>()>;
+
+/// Outcome of one approach over one simulated monitoring run.
+struct RunResult {
+  double build_seconds = 0.0;        ///< one-time preprocessing
+  double maintenance_seconds = 0.0;  ///< per-step BeforeQueries total
+  double query_seconds = 0.0;        ///< RangeQuery total
+  size_t footprint_bytes = 0;        ///< after the final step
+  size_t total_results = 0;
+
+  double TotalSeconds() const { return maintenance_seconds + query_seconds; }
+};
+
+/// Replays the full simulate->monitor loop for one approach on a private
+/// copy of `base_mesh`.
+RunResult RunApproach(SpatialIndex* index, const TetraMesh& base_mesh,
+                      const DeformerFactory& make_deformer,
+                      const StepWorkload& workload);
+
+/// The paper's five compared approaches (Fig. 6): OCTOPUS, LinearScan,
+/// OCTREE, LUR-Tree, QU-Trade — freshly constructed.
+std::vector<std::unique_ptr<SpatialIndex>> MakeAllApproaches();
+
+/// Standard deformer for neuroscience runs: plasticity field with
+/// amplitude 0.3x the mean edge length of `mesh`.
+DeformerFactory NeuroDeformerFactory(const TetraMesh& mesh);
+
+}  // namespace octopus::bench
+
+#endif  // OCTOPUS_HARNESS_BENCH_HARNESS_H_

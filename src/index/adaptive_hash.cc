@@ -1,0 +1,161 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "index/adaptive_hash.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace octopus {
+
+AdaptiveHashIndex::AdaptiveHashIndex() : options_(Options{}) {}
+
+uint32_t AdaptiveHashIndex::Level::CellOf(const Vec3& p,
+                                          const AABB& bounds) const {
+  const Vec3 ext = bounds.Extent();
+  auto coord = [this](float v, float lo, float extent) {
+    if (extent <= 0.0f) return 0;
+    int c = static_cast<int>((v - lo) / extent * resolution);
+    return std::clamp(c, 0, resolution - 1);
+  };
+  const int cx = coord(p.x, bounds.min.x, ext.x);
+  const int cy = coord(p.y, bounds.min.y, ext.y);
+  const int cz = coord(p.z, bounds.min.z, ext.z);
+  return static_cast<uint32_t>((cz * resolution + cy) * resolution + cx);
+}
+
+void AdaptiveHashIndex::Level::CellRange(const AABB& box, const AABB& bounds,
+                                         int* lo, int* hi) const {
+  const Vec3 ext = bounds.Extent();
+  auto coord = [this](float v, float b, float extent) {
+    if (extent <= 0.0f) return 0;
+    int c = static_cast<int>((v - b) / extent * resolution);
+    return std::clamp(c, 0, resolution - 1);
+  };
+  lo[0] = coord(box.min.x, bounds.min.x, ext.x);
+  hi[0] = coord(box.max.x, bounds.min.x, ext.x);
+  lo[1] = coord(box.min.y, bounds.min.y, ext.y);
+  hi[1] = coord(box.max.y, bounds.min.y, ext.y);
+  lo[2] = coord(box.min.z, bounds.min.z, ext.z);
+  hi[2] = coord(box.max.z, bounds.min.z, ext.z);
+}
+
+void AdaptiveHashIndex::InsertInto(uint8_t level, VertexId id,
+                                   const Vec3& p) {
+  Level& grid = levels_[level];
+  const uint32_t cell = grid.CellOf(p, bounds_);
+  std::vector<VertexId>& bucket = grid.buckets[cell];
+  records_[id] = Record{level, cell,
+                        static_cast<uint32_t>(bucket.size())};
+  bucket.push_back(id);
+}
+
+void AdaptiveHashIndex::RemoveFrom(VertexId id) {
+  const Record rec = records_[id];
+  std::vector<VertexId>& bucket = levels_[rec.level].buckets[rec.cell];
+  assert(rec.slot < bucket.size() && bucket[rec.slot] == id);
+  const VertexId moved = bucket.back();
+  bucket[rec.slot] = moved;
+  bucket.pop_back();
+  if (moved != id) records_[moved].slot = rec.slot;
+}
+
+void AdaptiveHashIndex::Build(const TetraMesh& mesh) {
+  // Fixed grid extent, inflated so moderate drift stays in range (points
+  // outside clamp to boundary cells, which stays correct, just slower).
+  bounds_ = mesh.ComputeBounds();
+  const Vec3 pad = bounds_.Extent() * 0.25f;
+  bounds_ = AABB(bounds_.min - pad, bounds_.max + pad);
+
+  levels_[0].resolution = options_.fine_resolution;
+  levels_[1].resolution = options_.coarse_resolution;
+  for (Level& level : levels_) {
+    level.buckets.assign(static_cast<size_t>(level.resolution) *
+                             level.resolution * level.resolution,
+                         {});
+  }
+  records_.assign(mesh.num_vertices(), Record{});
+  num_fast_ = 0;
+  // Everything starts slow (fine grid); reclassification happens as
+  // movement is observed.
+  for (VertexId v = 0; v < mesh.num_vertices(); ++v) {
+    InsertInto(0, v, mesh.position(v));
+  }
+  last_positions_ = mesh.positions();
+}
+
+void AdaptiveHashIndex::BeforeQueries(const TetraMesh& mesh) {
+  const std::vector<Vec3>& current = mesh.positions();
+  if (current.size() > records_.size()) {
+    // Restructuring added vertices: register them as slow.
+    records_.resize(current.size());
+    for (VertexId v = static_cast<VertexId>(last_positions_.size());
+         v < current.size(); ++v) {
+      InsertInto(0, v, current[v]);
+    }
+  }
+  const float fine_cell =
+      bounds_.Extent().x / static_cast<float>(options_.fine_resolution);
+  const float fast_threshold2 =
+      (options_.fast_fraction_of_fine_cell * fine_cell) *
+      (options_.fast_fraction_of_fine_cell * fine_cell);
+
+  last_rebuckets_ = 0;
+  const size_t known = std::min(last_positions_.size(), current.size());
+  for (VertexId v = 0; v < known; ++v) {
+    const Vec3& p = current[v];
+    if (p == last_positions_[v]) continue;
+    // Speed classification from the observed per-step displacement.
+    const float d2 = SquaredDistance(p, last_positions_[v]);
+    const uint8_t wanted_level = d2 > fast_threshold2 ? 1 : 0;
+    const Record rec = records_[v];
+    const uint32_t new_cell = levels_[wanted_level].CellOf(p, bounds_);
+    if (wanted_level == rec.level && new_cell == rec.cell) {
+      continue;  // still in its cell: no index work (the whole point)
+    }
+    if (wanted_level != rec.level) {
+      num_fast_ += wanted_level == 1 ? 1 : -1;
+    }
+    RemoveFrom(v);
+    InsertInto(wanted_level, v, p);
+    ++last_rebuckets_;
+  }
+  last_positions_ = current;
+}
+
+void AdaptiveHashIndex::RangeQuery(const TetraMesh& mesh, const AABB& box,
+                                   std::vector<VertexId>* out) {
+  // Fetch all cells intersecting the query from both levels, filter each
+  // candidate by its actual current position (paper Sec. II-B: "filter
+  // the objects that intersect with the grid cell but not the query").
+  for (const Level& level : levels_) {
+    int lo[3];
+    int hi[3];
+    level.CellRange(box, bounds_, lo, hi);
+    for (int z = lo[2]; z <= hi[2]; ++z) {
+      for (int y = lo[1]; y <= hi[1]; ++y) {
+        for (int x = lo[0]; x <= hi[0]; ++x) {
+          const size_t cell =
+              (static_cast<size_t>(z) * level.resolution + y) *
+                  level.resolution +
+              x;
+          for (VertexId id : level.buckets[cell]) {
+            if (box.Contains(mesh.position(id))) out->push_back(id);
+          }
+        }
+      }
+    }
+  }
+}
+
+size_t AdaptiveHashIndex::FootprintBytes() const {
+  size_t bytes = records_.capacity() * sizeof(Record) +
+                 last_positions_.capacity() * sizeof(Vec3);
+  for (const Level& level : levels_) {
+    bytes += level.buckets.capacity() * sizeof(std::vector<VertexId>);
+    for (const auto& bucket : level.buckets) {
+      bytes += bucket.capacity() * sizeof(VertexId);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace octopus

@@ -1,0 +1,79 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Adaptive two-level hashing index for moving objects (Kwon, Lee, Choi &
+// Lee, DKE 2006 — paper Sec. II-B related work): slow-moving objects are
+// hashed into a fine grid, fast-moving ones into a coarse grid, so fast
+// objects change cells (and thus pay updates) less often. Queries fetch
+// all cells intersecting the box from both levels and filter candidates
+// by their actual position.
+//
+// Not part of the paper's Fig. 6 comparison (the paper discusses it as
+// related work); included as an additional moving-object baseline.
+#ifndef OCTOPUS_INDEX_ADAPTIVE_HASH_H_
+#define OCTOPUS_INDEX_ADAPTIVE_HASH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace octopus {
+
+/// \brief Two-level grid hash over vertex positions with speed-based
+/// level assignment.
+class AdaptiveHashIndex : public SpatialIndex {
+ public:
+  struct Options {
+    int fine_resolution = 32;    ///< cells per axis, slow objects
+    int coarse_resolution = 8;   ///< cells per axis, fast objects
+    /// An object whose last per-step displacement exceeds this fraction
+    /// of a fine cell is classified fast.
+    float fast_fraction_of_fine_cell = 0.5f;
+  };
+
+  AdaptiveHashIndex();  // default options
+  explicit AdaptiveHashIndex(Options options) : options_(options) {}
+
+  std::string Name() const override { return "AdaptiveHash"; }
+  void Build(const TetraMesh& mesh) override;
+  void BeforeQueries(const TetraMesh& mesh) override;
+  void RangeQuery(const TetraMesh& mesh, const AABB& box,
+                  std::vector<VertexId>* out) override;
+  size_t FootprintBytes() const override;
+
+  /// Objects currently assigned to the fast (coarse) level.
+  size_t num_fast() const { return num_fast_; }
+  /// Cell re-bucketings performed in the last `BeforeQueries`.
+  size_t last_rebuckets() const { return last_rebuckets_; }
+
+ private:
+  struct Record {
+    uint8_t level = 0;       // 0 = fine, 1 = coarse
+    uint32_t cell = 0;       // linear cell index within its level
+    uint32_t slot = 0;       // position inside the cell bucket
+  };
+
+  struct Level {
+    int resolution = 0;
+    std::vector<std::vector<VertexId>> buckets;  // resolution^3 cells
+
+    uint32_t CellOf(const Vec3& p, const AABB& bounds) const;
+    void CellRange(const AABB& box, const AABB& bounds, int* lo,
+                   int* hi) const;  // per-axis cell ranges, lo/hi[3]
+  };
+
+  void InsertInto(uint8_t level, VertexId id, const Vec3& p);
+  void RemoveFrom(VertexId id);
+
+  Options options_;
+  AABB bounds_;  // fixed at Build; slightly inflated
+  Level levels_[2];
+  std::vector<Record> records_;
+  std::vector<Vec3> last_positions_;
+  size_t num_fast_ = 0;
+  size_t last_rebuckets_ = 0;
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_INDEX_ADAPTIVE_HASH_H_

@@ -1,0 +1,16 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "index/linear_scan.h"
+
+namespace octopus {
+
+void LinearScan::RangeQuery(const TetraMesh& mesh, const AABB& box,
+                            std::vector<VertexId>* out) {
+  const std::vector<Vec3>& positions = mesh.positions();
+  for (size_t v = 0; v < positions.size(); ++v) {
+    if (box.Contains(positions[v])) {
+      out->push_back(static_cast<VertexId>(v));
+    }
+  }
+}
+
+}  // namespace octopus

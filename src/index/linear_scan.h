@@ -1,0 +1,24 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// The baseline of the paper: test every vertex against the query box.
+// Zero maintenance, zero memory overhead, O(V) per query.
+#ifndef OCTOPUS_INDEX_LINEAR_SCAN_H_
+#define OCTOPUS_INDEX_LINEAR_SCAN_H_
+
+#include "index/spatial_index.h"
+
+namespace octopus {
+
+/// \brief Full scan over the position array for every query.
+class LinearScan : public SpatialIndex {
+ public:
+  std::string Name() const override { return "LinearScan"; }
+  void Build(const TetraMesh& mesh) override { (void)mesh; }
+  void BeforeQueries(const TetraMesh& mesh) override { (void)mesh; }
+  void RangeQuery(const TetraMesh& mesh, const AABB& box,
+                  std::vector<VertexId>* out) override;
+  size_t FootprintBytes() const override { return 0; }
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_INDEX_LINEAR_SCAN_H_

@@ -1,0 +1,52 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "index/lur_tree.h"
+
+namespace octopus {
+
+void LURTree::Build(const TetraMesh& mesh) {
+  std::vector<RTree::Entry> entries;
+  entries.reserve(mesh.num_vertices());
+  for (size_t v = 0; v < mesh.num_vertices(); ++v) {
+    const Vec3& p = mesh.position(static_cast<VertexId>(v));
+    entries.push_back({static_cast<VertexId>(v), AABB(p, p)});
+  }
+  tree_.BulkLoad(std::move(entries));
+  last_positions_ = mesh.positions();
+}
+
+void LURTree::BeforeQueries(const TetraMesh& mesh) {
+  const std::vector<Vec3>& current = mesh.positions();
+  size_t updates = 0;
+  size_t reinserts = 0;
+  for (size_t v = 0; v < current.size(); ++v) {
+    const Vec3& p = current[v];
+    if (v < last_positions_.size() && p == last_positions_[v]) continue;
+    ++updates;
+    const AABB box(p, p);
+    const VertexId id = static_cast<VertexId>(v);
+    if (!tree_.TryUpdateInPlace(id, box)) {
+      ++reinserts;
+      tree_.Delete(id);
+      tree_.Insert(id, box);
+    }
+  }
+  // Vertices added by restructuring enter through the same path: the
+  // in-place update misses (id unknown), Delete is a no-op, Insert adds.
+  last_positions_ = current;
+  last_reinsert_fraction_ =
+      updates == 0 ? 0.0
+                   : static_cast<double>(reinserts) /
+                         static_cast<double>(updates);
+}
+
+void LURTree::RangeQuery(const TetraMesh& mesh, const AABB& box,
+                         std::vector<VertexId>* out) {
+  (void)mesh;  // entry boxes are the exact current positions
+  tree_.QueryIds(box, out);
+}
+
+size_t LURTree::FootprintBytes() const {
+  return tree_.FootprintBytes() + last_positions_.capacity() * sizeof(Vec3);
+}
+
+}  // namespace octopus

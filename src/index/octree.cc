@@ -1,0 +1,131 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "index/octree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace octopus {
+
+Octree::Octree() : options_(Options{}) {}
+
+void Octree::Build(const std::vector<Vec3>& points, const AABB& bounds) {
+  nodes_.clear();
+  ids_.resize(points.size());
+  coords_.assign(points.begin(), points.end());
+  for (size_t i = 0; i < points.size(); ++i) {
+    ids_[i] = static_cast<VertexId>(i);
+  }
+
+  AABB root_box = bounds;
+  if (root_box.Empty()) {
+    for (const Vec3& p : points) root_box.Extend(p);
+  }
+  Node root;
+  root.box = root_box;
+  root.begin = 0;
+  root.end = static_cast<uint32_t>(points.size());
+  nodes_.push_back(root);
+  if (!points.empty()) BuildNode(0, 0);
+}
+
+void Octree::BuildNode(uint32_t node_index, int depth) {
+  // NOTE: nodes_ may reallocate inside recursion; re-read by index.
+  const uint32_t begin = nodes_[node_index].begin;
+  const uint32_t end = nodes_[node_index].end;
+  if (end - begin <= static_cast<uint32_t>(options_.bucket_size) ||
+      depth >= options_.max_depth) {
+    return;
+  }
+  const AABB box = nodes_[node_index].box;
+  const Vec3 center = box.Center();
+
+  // In-place partition into 8 octants: split by x, then y within each
+  // half, then z within each quarter. Keeps ids_/coords_ in sync.
+  auto partition = [this](uint32_t lo, uint32_t hi, auto pred) -> uint32_t {
+    uint32_t i = lo;
+    for (uint32_t j = lo; j < hi; ++j) {
+      if (pred(coords_[j])) {
+        std::swap(coords_[i], coords_[j]);
+        std::swap(ids_[i], ids_[j]);
+        ++i;
+      }
+    }
+    return i;
+  };
+
+  uint32_t cut[9];
+  cut[0] = begin;
+  cut[8] = end;
+  cut[4] = partition(begin, end,
+                     [&](const Vec3& p) { return p.x < center.x; });
+  cut[2] = partition(cut[0], cut[4],
+                     [&](const Vec3& p) { return p.y < center.y; });
+  cut[6] = partition(cut[4], cut[8],
+                     [&](const Vec3& p) { return p.y < center.y; });
+  cut[1] = partition(cut[0], cut[2],
+                     [&](const Vec3& p) { return p.z < center.z; });
+  cut[3] = partition(cut[2], cut[4],
+                     [&](const Vec3& p) { return p.z < center.z; });
+  cut[5] = partition(cut[4], cut[6],
+                     [&](const Vec3& p) { return p.z < center.z; });
+  cut[7] = partition(cut[6], cut[8],
+                     [&](const Vec3& p) { return p.z < center.z; });
+
+  const int32_t first_child = static_cast<int32_t>(nodes_.size());
+  nodes_[node_index].first_child = first_child;
+  for (int c = 0; c < 8; ++c) {
+    // Octant index c = (xhi<<2) | (yhi<<1) | zhi matching the cuts above.
+    const bool xhi = (c & 4) != 0;
+    const bool yhi = (c & 2) != 0;
+    const bool zhi = (c & 1) != 0;
+    Node child;
+    child.box.min = Vec3(xhi ? center.x : box.min.x,
+                         yhi ? center.y : box.min.y,
+                         zhi ? center.z : box.min.z);
+    child.box.max = Vec3(xhi ? box.max.x : center.x,
+                         yhi ? box.max.y : center.y,
+                         zhi ? box.max.z : center.z);
+    child.begin = cut[c];
+    child.end = cut[c + 1];
+    nodes_.push_back(child);
+  }
+  for (int c = 0; c < 8; ++c) {
+    if (nodes_[first_child + c].end > nodes_[first_child + c].begin) {
+      BuildNode(first_child + c, depth + 1);
+    }
+  }
+}
+
+void Octree::QueryNode(uint32_t node_index, const AABB& box,
+                       std::vector<VertexId>* out) const {
+  const Node& node = nodes_[node_index];
+  if (node.begin == node.end || !box.Intersects(node.box)) return;
+  if (box.Contains(node.box)) {
+    // Whole subtree inside the query: bulk-append its contiguous range.
+    out->insert(out->end(), ids_.begin() + node.begin,
+                ids_.begin() + node.end);
+    return;
+  }
+  if (node.first_child < 0) {
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      if (box.Contains(coords_[i])) out->push_back(ids_[i]);
+    }
+    return;
+  }
+  for (int c = 0; c < 8; ++c) {
+    QueryNode(node.first_child + c, box, out);
+  }
+}
+
+void Octree::Query(const AABB& box, std::vector<VertexId>* out) const {
+  if (nodes_.empty()) return;
+  QueryNode(0, box, out);
+}
+
+size_t Octree::FootprintBytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         ids_.capacity() * sizeof(VertexId) +
+         coords_.capacity() * sizeof(Vec3);
+}
+
+}  // namespace octopus

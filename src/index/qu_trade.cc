@@ -1,0 +1,87 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "index/qu_trade.h"
+
+#include <algorithm>
+
+namespace octopus {
+
+QUTrade::QUTrade() : options_(Options{}) {}
+
+void QUTrade::Build(const TetraMesh& mesh) {
+  if (options_.initial_window > 0.0f) {
+    window_ = options_.initial_window;
+  } else {
+    // Heuristic start: 1% of the largest domain extent. The adaptive loop
+    // converges from here within a few steps.
+    const Vec3 ext = mesh.ComputeBounds().Extent();
+    window_ = 0.01f * std::max({ext.x, ext.y, ext.z, 1e-6f});
+  }
+  RebuildAll(mesh);
+}
+
+void QUTrade::RebuildAll(const TetraMesh& mesh) {
+  grace_.assign(mesh.num_vertices(), AABB());
+  std::vector<RTree::Entry> entries;
+  entries.reserve(mesh.num_vertices());
+  for (size_t v = 0; v < mesh.num_vertices(); ++v) {
+    const Vec3& p = mesh.position(static_cast<VertexId>(v));
+    const AABB box = AABB(p, p).Inflated(window_);
+    grace_[v] = box;
+    entries.push_back({static_cast<VertexId>(v), box});
+  }
+  tree_.BulkLoad(std::move(entries));
+}
+
+void QUTrade::BeforeQueries(const TetraMesh& mesh) {
+  const std::vector<Vec3>& current = mesh.positions();
+  if (current.size() > grace_.size()) {
+    grace_.resize(current.size(), AABB());  // restructure-added vertices
+  }
+  size_t triggers = 0;
+  for (size_t v = 0; v < current.size(); ++v) {
+    const Vec3& p = current[v];
+    if (grace_[v].Contains(p)) continue;  // inside grace window: free
+    ++triggers;
+    const VertexId id = static_cast<VertexId>(v);
+    const AABB box = AABB(p, p).Inflated(window_);
+    grace_[v] = box;
+    tree_.Delete(id);  // no-op for brand-new vertices
+    tree_.Insert(id, box);
+  }
+  last_trigger_rate_ = current.empty()
+                           ? 0.0
+                           : static_cast<double>(triggers) /
+                                 static_cast<double>(current.size());
+  if (options_.adaptive) {
+    // Grow the window when too many updates trigger maintenance; shrink it
+    // when triggers are far below target (tighter boxes = cheaper queries).
+    if (last_trigger_rate_ > options_.target_trigger_rate) {
+      window_ *= static_cast<float>(options_.adapt_factor);
+    } else if (last_trigger_rate_ <
+               options_.target_trigger_rate / 8.0) {
+      window_ /= static_cast<float>(options_.adapt_factor);
+    }
+  }
+}
+
+void QUTrade::RangeQuery(const TetraMesh& mesh, const AABB& box,
+                         std::vector<VertexId>* out) {
+  // Grace boxes over-approximate positions: fetch candidates, then filter
+  // by the actual current position (the paper's "filter the objects that
+  // intersect with the grid cell but not the query" analog).
+  const size_t first = out->size();
+  tree_.QueryIds(box, out);
+  size_t kept = first;
+  for (size_t i = first; i < out->size(); ++i) {
+    if (box.Contains(mesh.position((*out)[i]))) {
+      (*out)[kept++] = (*out)[i];
+    }
+  }
+  out->resize(kept);
+}
+
+size_t QUTrade::FootprintBytes() const {
+  return tree_.FootprintBytes() + grace_.capacity() * sizeof(AABB);
+}
+
+}  // namespace octopus

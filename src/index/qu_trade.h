@@ -1,0 +1,61 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// QU-Trade baseline (Tzoumas, Yiu & Jensen, "Workload-aware indexing of
+// continuously moving objects", VLDB 2009): instead of the object position,
+// the R-tree indexes a *grace window* around it. Updates that stay inside
+// the window cost nothing; queries must fetch candidates and filter by the
+// actual current position. Growing/shrinking the window trades update cost
+// against query cost.
+#ifndef OCTOPUS_INDEX_QU_TRADE_H_
+#define OCTOPUS_INDEX_QU_TRADE_H_
+
+#include <vector>
+
+#include "index/rtree.h"
+#include "index/spatial_index.h"
+
+namespace octopus {
+
+/// \brief Grace-window R-tree over the vertex positions.
+class QUTrade : public SpatialIndex {
+ public:
+  struct Options {
+    RTree::Options rtree;
+    /// Initial grace-window half-extent as a multiple of the first step's
+    /// maximum displacement (tuned up at Build/first steps).
+    float initial_window = 0.0f;  // 0 = derive from data at first step
+    /// Target fraction of updates allowed to trigger R-tree maintenance
+    /// (the paper tunes "fewer than 1% of the location updates").
+    double target_trigger_rate = 0.01;
+    /// Multiplicative adaptation step for the window size.
+    double adapt_factor = 1.3;
+    bool adaptive = true;
+  };
+
+  QUTrade();  // default options
+  explicit QUTrade(Options options) : options_(options) {}
+
+  std::string Name() const override { return "QU-Trade"; }
+  void Build(const TetraMesh& mesh) override;
+  void BeforeQueries(const TetraMesh& mesh) override;
+  void RangeQuery(const TetraMesh& mesh, const AABB& box,
+                  std::vector<VertexId>* out) override;
+  size_t FootprintBytes() const override;
+
+  float window() const { return window_; }
+  double last_trigger_rate() const { return last_trigger_rate_; }
+  const RTree& tree() const { return tree_; }
+
+ private:
+  void RebuildAll(const TetraMesh& mesh);
+
+  Options options_;
+  RTree tree_{options_.rtree};
+  float window_ = 0.0f;
+  // Grace boxes mirrored outside the tree for O(1) containment checks.
+  std::vector<AABB> grace_;
+  double last_trigger_rate_ = 0.0;
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_INDEX_QU_TRADE_H_

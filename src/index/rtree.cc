@@ -1,0 +1,347 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace octopus {
+
+RTree::RTree() : options_(Options{}) {}
+
+void RTree::Clear() {
+  nodes_.clear();
+  leaf_of_.clear();
+  root_ = -1;
+}
+
+int32_t RTree::NewNode(bool is_leaf) {
+  Node n;
+  n.is_leaf = is_leaf;
+  nodes_.push_back(std::move(n));
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+int RTree::WidestAxis(const AABB& box) {
+  const Vec3 e = box.Extent();
+  if (e.x >= e.y && e.x >= e.z) return 0;
+  return e.y >= e.z ? 1 : 2;
+}
+
+void RTree::BulkLoad(std::vector<Entry> entries) {
+  Clear();
+  if (entries.empty()) {
+    root_ = NewNode(true);
+    return;
+  }
+  const size_t fanout = static_cast<size_t>(options_.fanout);
+
+  // --- Sort-Tile-Recursive leaf packing ---
+  const size_t num_leaves = (entries.size() + fanout - 1) / fanout;
+  const size_t slabs_x = static_cast<size_t>(
+      std::ceil(std::cbrt(static_cast<double>(num_leaves))));
+  auto center = [](const Entry& e, int axis) {
+    const Vec3 c = e.box.Center();
+    return axis == 0 ? c.x : (axis == 1 ? c.y : c.z);
+  };
+  std::sort(entries.begin(), entries.end(),
+            [&](const Entry& a, const Entry& b) {
+              return center(a, 0) < center(b, 0);
+            });
+  const size_t slab_x_size =
+      (entries.size() + slabs_x - 1) / slabs_x;
+
+  std::vector<int32_t> leaves;
+  for (size_t x0 = 0; x0 < entries.size(); x0 += slab_x_size) {
+    const size_t x1 = std::min(x0 + slab_x_size, entries.size());
+    std::sort(entries.begin() + x0, entries.begin() + x1,
+              [&](const Entry& a, const Entry& b) {
+                return center(a, 1) < center(b, 1);
+              });
+    const size_t leaves_in_slab =
+        ((x1 - x0) + fanout - 1) / fanout;
+    const size_t slabs_y = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(leaves_in_slab))));
+    const size_t slab_y_size = ((x1 - x0) + slabs_y - 1) / slabs_y;
+    for (size_t y0 = x0; y0 < x1; y0 += slab_y_size) {
+      const size_t y1 = std::min(y0 + slab_y_size, x1);
+      std::sort(entries.begin() + y0, entries.begin() + y1,
+                [&](const Entry& a, const Entry& b) {
+                  return center(a, 2) < center(b, 2);
+                });
+      for (size_t z0 = y0; z0 < y1; z0 += fanout) {
+        const size_t z1 = std::min(z0 + fanout, y1);
+        const int32_t leaf = NewNode(true);
+        nodes_[leaf].entries.assign(entries.begin() + z0,
+                                    entries.begin() + z1);
+        AABB mbr;
+        for (const Entry& e : nodes_[leaf].entries) mbr.Extend(e.box);
+        nodes_[leaf].mbr = mbr;
+        RegisterEntries(leaf);
+        leaves.push_back(leaf);
+      }
+    }
+  }
+
+  // --- Pack upper levels from consecutive (STR-ordered) nodes ---
+  std::vector<int32_t> level = std::move(leaves);
+  while (level.size() > 1) {
+    std::vector<int32_t> next;
+    for (size_t i = 0; i < level.size(); i += fanout) {
+      const size_t j = std::min(i + fanout, level.size());
+      const int32_t parent = NewNode(false);
+      AABB mbr;
+      for (size_t k = i; k < j; ++k) {
+        nodes_[parent].children.push_back(level[k]);
+        nodes_[level[k]].parent = parent;
+        mbr.Extend(nodes_[level[k]].mbr);
+      }
+      nodes_[parent].mbr = mbr;
+      next.push_back(parent);
+    }
+    level = std::move(next);
+  }
+  root_ = level[0];
+}
+
+void RTree::RegisterEntries(int32_t leaf) {
+  for (const Entry& e : nodes_[leaf].entries) {
+    leaf_of_[e.id] = leaf;
+  }
+}
+
+int32_t RTree::ChooseLeaf(const AABB& box) const {
+  int32_t n = root_;
+  while (!nodes_[n].is_leaf) {
+    const Node& node = nodes_[n];
+    int32_t best = node.children.front();
+    double best_enlargement = std::numeric_limits<double>::max();
+    double best_volume = std::numeric_limits<double>::max();
+    for (int32_t child : node.children) {
+      const double volume = nodes_[child].mbr.Volume();
+      const double enlarged =
+          AABB::Union(nodes_[child].mbr, box).Volume() - volume;
+      if (enlarged < best_enlargement ||
+          (enlarged == best_enlargement && volume < best_volume)) {
+        best_enlargement = enlarged;
+        best_volume = volume;
+        best = child;
+      }
+    }
+    n = best;
+  }
+  return n;
+}
+
+void RTree::ExtendUpward(int32_t node, const AABB& box) {
+  for (int32_t n = node; n >= 0; n = nodes_[n].parent) {
+    nodes_[n].mbr.Extend(box);
+  }
+}
+
+void RTree::SplitIfOverflowing(int32_t node) {
+  const size_t fanout = static_cast<size_t>(options_.fanout);
+  const size_t size = nodes_[node].is_leaf ? nodes_[node].entries.size()
+                                           : nodes_[node].children.size();
+  if (size <= fanout) return;
+
+  const bool is_leaf = nodes_[node].is_leaf;
+  const int axis = WidestAxis(nodes_[node].mbr);
+  auto box_center = [&](const AABB& b) {
+    const Vec3 c = b.Center();
+    return axis == 0 ? c.x : (axis == 1 ? c.y : c.z);
+  };
+
+  const int32_t sibling = NewNode(is_leaf);
+  // NOTE: NewNode may reallocate nodes_; take references only after it.
+  Node& self = nodes_[node];
+  Node& other = nodes_[sibling];
+
+  if (is_leaf) {
+    std::sort(self.entries.begin(), self.entries.end(),
+              [&](const Entry& a, const Entry& b) {
+                return box_center(a.box) < box_center(b.box);
+              });
+    const size_t half = self.entries.size() / 2;
+    other.entries.assign(self.entries.begin() + half, self.entries.end());
+    self.entries.resize(half);
+    RegisterEntries(sibling);
+  } else {
+    std::sort(self.children.begin(), self.children.end(),
+              [&](int32_t a, int32_t b) {
+                return box_center(nodes_[a].mbr) < box_center(nodes_[b].mbr);
+              });
+    const size_t half = self.children.size() / 2;
+    other.children.assign(self.children.begin() + half, self.children.end());
+    self.children.resize(half);
+    for (int32_t child : other.children) nodes_[child].parent = sibling;
+  }
+
+  // Recompute tight MBRs of both halves.
+  auto recompute = [&](Node& n) {
+    AABB mbr;
+    if (n.is_leaf) {
+      for (const Entry& e : n.entries) mbr.Extend(e.box);
+    } else {
+      for (int32_t c : n.children) mbr.Extend(nodes_[c].mbr);
+    }
+    n.mbr = mbr;
+  };
+  recompute(self);
+  recompute(other);
+
+  if (node == root_) {
+    const int32_t new_root = NewNode(false);
+    nodes_[new_root].children = {node, sibling};
+    nodes_[new_root].mbr = AABB::Union(nodes_[node].mbr, nodes_[sibling].mbr);
+    nodes_[node].parent = new_root;
+    nodes_[sibling].parent = new_root;
+    root_ = new_root;
+    return;
+  }
+  const int32_t parent = nodes_[node].parent;
+  nodes_[sibling].parent = parent;
+  nodes_[parent].children.push_back(sibling);
+  // Parent MBR already covers both halves (they partition the old node).
+  SplitIfOverflowing(parent);
+}
+
+void RTree::Insert(VertexId id, const AABB& box) {
+  assert(leaf_of_.find(id) == leaf_of_.end() && "duplicate id insert");
+  if (root_ < 0) root_ = NewNode(true);
+  const int32_t leaf = ChooseLeaf(box);
+  nodes_[leaf].entries.push_back(Entry{id, box});
+  leaf_of_[id] = leaf;
+  ExtendUpward(leaf, box);
+  SplitIfOverflowing(leaf);
+}
+
+bool RTree::Delete(VertexId id) {
+  auto it = leaf_of_.find(id);
+  if (it == leaf_of_.end()) return false;
+  std::vector<Entry>& entries = nodes_[it->second].entries;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].id == id) {
+      entries[i] = entries.back();
+      entries.pop_back();
+      leaf_of_.erase(it);
+      // MBRs are left unshrunk: still covering, so queries stay correct.
+      return true;
+    }
+  }
+  assert(false && "leaf_of_ points to a leaf without the entry");
+  return false;
+}
+
+bool RTree::TryUpdateInPlace(VertexId id, const AABB& new_box) {
+  auto it = leaf_of_.find(id);
+  if (it == leaf_of_.end()) return false;
+  Node& leaf = nodes_[it->second];
+  if (!leaf.mbr.Contains(new_box)) return false;
+  for (Entry& e : leaf.entries) {
+    if (e.id == id) {
+      e.box = new_box;
+      return true;
+    }
+  }
+  assert(false && "leaf_of_ points to a leaf without the entry");
+  return false;
+}
+
+const AABB* RTree::FindEntryBox(VertexId id) const {
+  auto it = leaf_of_.find(id);
+  if (it == leaf_of_.end()) return nullptr;
+  for (const Entry& e : nodes_[it->second].entries) {
+    if (e.id == id) return &e.box;
+  }
+  return nullptr;
+}
+
+void RTree::Query(const AABB& query, std::vector<Entry>* out) const {
+  if (root_ < 0) return;
+  // Explicit stack; recursion depth is modest but this is the hot path.
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const int32_t n = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[n];
+    if (!query.Intersects(node.mbr)) continue;
+    if (node.is_leaf) {
+      for (const Entry& e : node.entries) {
+        if (query.Intersects(e.box)) out->push_back(e);
+      }
+    } else {
+      for (int32_t child : node.children) {
+        if (query.Intersects(nodes_[child].mbr)) stack.push_back(child);
+      }
+    }
+  }
+}
+
+void RTree::QueryIds(const AABB& query, std::vector<VertexId>* out) const {
+  if (root_ < 0) return;
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const int32_t n = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[n];
+    if (!query.Intersects(node.mbr)) continue;
+    if (node.is_leaf) {
+      for (const Entry& e : node.entries) {
+        if (query.Intersects(e.box)) out->push_back(e.id);
+      }
+    } else {
+      for (int32_t child : node.children) {
+        if (query.Intersects(nodes_[child].mbr)) stack.push_back(child);
+      }
+    }
+  }
+}
+
+int RTree::height() const {
+  if (root_ < 0) return 0;
+  int h = 1;
+  int32_t n = root_;
+  while (!nodes_[n].is_leaf) {
+    n = nodes_[n].children.front();
+    ++h;
+  }
+  return h;
+}
+
+size_t RTree::FootprintBytes() const {
+  size_t bytes = nodes_.capacity() * sizeof(Node);
+  for (const Node& n : nodes_) {
+    bytes += n.children.capacity() * sizeof(int32_t);
+    bytes += n.entries.capacity() * sizeof(Entry);
+  }
+  // Hash map: id, node index, plus typical node/bucket overhead.
+  bytes += leaf_of_.size() * (sizeof(VertexId) + sizeof(int32_t) + 16);
+  return bytes;
+}
+
+bool RTree::CheckInvariants() const {
+  if (root_ < 0) return true;
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    const Node& node = nodes_[n];
+    if (node.is_leaf) {
+      for (const Entry& e : node.entries) {
+        if (!node.mbr.Contains(e.box)) return false;
+        auto it = leaf_of_.find(e.id);
+        if (it == leaf_of_.end() ||
+            it->second != static_cast<int32_t>(n)) {
+          return false;
+        }
+      }
+    } else {
+      if (node.children.empty()) return false;
+      for (int32_t child : node.children) {
+        if (!node.mbr.Contains(nodes_[child].mbr)) return false;
+        if (nodes_[child].parent != static_cast<int32_t>(n)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace octopus

@@ -1,0 +1,101 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// In-memory R-tree over (id, box) entries. This is the shared substrate of
+// the two moving-object baselines: the LUR-Tree (Kwon et al., MDM '02)
+// indexes vertex positions directly and patches them in place while they
+// stay inside their leaf MBR; QU-Trade (Tzoumas et al., VLDB '09) indexes
+// inflated "grace windows" around positions. Both use the same R-tree with
+// fanout 110 in the paper (Sec. V-A).
+#ifndef OCTOPUS_INDEX_RTREE_H_
+#define OCTOPUS_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/aabb.h"
+#include "mesh/types.h"
+
+namespace octopus {
+
+/// \brief Array-based R-tree with STR bulk loading, insert, delete and
+/// LUR-style in-place updates.
+///
+/// Simplifications relative to a disk R-tree, documented for honesty:
+/// * Deletion does not shrink ancestor MBRs (they stay *covering*, which
+///   preserves query correctness; stale MBRs only cost query time) and
+///   does not condense underfull nodes.
+/// * Node split sorts entries on the widest MBR axis and cuts in half
+///   (linear-cost split).
+class RTree {
+ public:
+  struct Options {
+    int fanout = 110;  ///< max entries per node (paper's tuned value)
+  };
+
+  struct Entry {
+    VertexId id;
+    AABB box;
+  };
+
+  RTree();  // default options
+  explicit RTree(Options options) : options_(options) {}
+
+  void Clear();
+
+  /// Bulk loads with Sort-Tile-Recursive packing. Replaces any content.
+  void BulkLoad(std::vector<Entry> entries);
+
+  /// Inserts an entry (id must not currently be present).
+  void Insert(VertexId id, const AABB& box);
+
+  /// Removes the entry with `id`; false if not present.
+  bool Delete(VertexId id);
+
+  /// LUR-Tree fast path: if `new_box` lies inside the MBR of the leaf that
+  /// holds `id`, overwrite the entry box without any structural change and
+  /// return true. Otherwise return false (caller must Delete + Insert).
+  bool TryUpdateInPlace(VertexId id, const AABB& new_box);
+
+  /// Pointer to the stored box of `id`, or nullptr. Invalidated by any
+  /// mutation.
+  const AABB* FindEntryBox(VertexId id) const;
+
+  /// Appends all entries whose box intersects `query`.
+  void Query(const AABB& query, std::vector<Entry>* out) const;
+  /// Appends only the ids of intersecting entries.
+  void QueryIds(const AABB& query, std::vector<VertexId>* out) const;
+
+  size_t num_entries() const { return leaf_of_.size(); }
+  size_t num_nodes() const { return nodes_.size(); }
+  int height() const;
+  size_t FootprintBytes() const;
+
+  /// Internal invariant check for tests: every entry is covered by its
+  /// leaf MBR and every node MBR by its parent's. O(size).
+  bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    AABB mbr;
+    int32_t parent = -1;
+    bool is_leaf = true;
+    std::vector<int32_t> children;  // internal nodes
+    std::vector<Entry> entries;     // leaf nodes
+  };
+
+  int32_t NewNode(bool is_leaf);
+  int32_t ChooseLeaf(const AABB& box) const;
+  void ExtendUpward(int32_t node, const AABB& box);
+  void SplitIfOverflowing(int32_t node);
+  void RegisterEntries(int32_t leaf);
+  static int WidestAxis(const AABB& box);
+
+  Options options_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  std::unordered_map<VertexId, int32_t> leaf_of_;
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_INDEX_RTREE_H_

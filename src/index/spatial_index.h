@@ -1,0 +1,52 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Uniform interface for every query-execution approach compared in the
+// paper: OCTOPUS, linear scan, throwaway Octree, LUR-Tree and QU-Trade.
+// The benchmark harness drives them all through this interface and times
+// `BeforeQueries` (per-step maintenance) plus `RangeQuery` calls, matching
+// the paper's "total query response time including the time to rebuild or
+// update the index".
+#ifndef OCTOPUS_INDEX_SPATIAL_INDEX_H_
+#define OCTOPUS_INDEX_SPATIAL_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/aabb.h"
+#include "mesh/tetra_mesh.h"
+#include "mesh/types.h"
+
+namespace octopus {
+
+/// \brief A strategy for executing exact vertex range queries on a mesh
+/// that deforms in place every simulation step.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// Approach name for reports ("OCTOPUS", "LinearScan", ...).
+  virtual std::string Name() const = 0;
+
+  /// One-time preprocessing after the mesh is loaded, before the
+  /// simulation starts. Reported separately; not part of query response
+  /// time (paper Sec. V-A).
+  virtual void Build(const TetraMesh& mesh) = 0;
+
+  /// Per-step maintenance, called after the simulation finished updating
+  /// vertex positions and before the step's queries: Octree rebuilds here,
+  /// LUR-Tree/QU-Trade process the position updates, OCTOPUS and the
+  /// linear scan do nothing.
+  virtual void BeforeQueries(const TetraMesh& mesh) = 0;
+
+  /// Appends the ids of exactly the vertices whose *current* position lies
+  /// inside `box` to `out` (order unspecified).
+  virtual void RangeQuery(const TetraMesh& mesh, const AABB& box,
+                          std::vector<VertexId>* out) = 0;
+
+  /// Bytes of auxiliary data structures beyond the mesh itself
+  /// (paper Fig. 6(b)).
+  virtual size_t FootprintBytes() const = 0;
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_INDEX_SPATIAL_INDEX_H_

@@ -1,0 +1,98 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "index/uniform_grid.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace octopus {
+
+int UniformGrid::CellCoord(float v, float lo, float inv_cell) const {
+  const int c = static_cast<int>((v - lo) * inv_cell);
+  return std::clamp(c, 0, resolution_ - 1);
+}
+
+void UniformGrid::Build(const std::vector<Vec3>& points, const AABB& bounds) {
+  assert(resolution_ >= 1);
+  bounds_ = bounds.Empty() ? AABB() : bounds;
+  if (bounds_.Empty()) {
+    for (const Vec3& p : points) bounds_.Extend(p);
+  }
+  const size_t num_cells =
+      static_cast<size_t>(resolution_) * resolution_ * resolution_;
+  offsets_.assign(num_cells + 1, 0);
+  ids_.assign(points.size(), 0);
+  if (points.empty()) return;
+
+  const Vec3 ext = bounds_.Extent();
+  inv_cell_ = Vec3(ext.x > 0 ? resolution_ / ext.x : 0.0f,
+                   ext.y > 0 ? resolution_ / ext.y : 0.0f,
+                   ext.z > 0 ? resolution_ / ext.z : 0.0f);
+
+  // Counting sort of points into cells (CSR layout).
+  auto cell_of = [this](const Vec3& p) {
+    return CellIndex(CellCoord(p.x, bounds_.min.x, inv_cell_.x),
+                     CellCoord(p.y, bounds_.min.y, inv_cell_.y),
+                     CellCoord(p.z, bounds_.min.z, inv_cell_.z));
+  };
+  for (const Vec3& p : points) ++offsets_[cell_of(p) + 1];
+  for (size_t c = 1; c <= num_cells; ++c) offsets_[c] += offsets_[c - 1];
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (size_t i = 0; i < points.size(); ++i) {
+    ids_[cursor[cell_of(points[i])]++] = static_cast<VertexId>(i);
+  }
+}
+
+VertexId UniformGrid::FindNearbyVertex(const Vec3& p) const {
+  if (ids_.empty()) return kInvalidVertex;
+  const int cx = CellCoord(p.x, bounds_.min.x, inv_cell_.x);
+  const int cy = CellCoord(p.y, bounds_.min.y, inv_cell_.y);
+  const int cz = CellCoord(p.z, bounds_.min.z, inv_cell_.z);
+
+  // Growing Chebyshev shells around the home cell. The grid is non-empty,
+  // so a shell radius of at most `resolution_` always finds a vertex.
+  for (int r = 0; r < resolution_; ++r) {
+    for (int dz = -r; dz <= r; ++dz) {
+      const int z = cz + dz;
+      if (z < 0 || z >= resolution_) continue;
+      for (int dy = -r; dy <= r; ++dy) {
+        const int y = cy + dy;
+        if (y < 0 || y >= resolution_) continue;
+        for (int dx = -r; dx <= r; ++dx) {
+          // Only the shell boundary (interior was scanned at smaller r).
+          if (std::max({std::abs(dx), std::abs(dy), std::abs(dz)}) != r) {
+            continue;
+          }
+          const int x = cx + dx;
+          if (x < 0 || x >= resolution_) continue;
+          const size_t c = CellIndex(x, y, z);
+          if (offsets_[c + 1] > offsets_[c]) {
+            return ids_[offsets_[c]];
+          }
+        }
+      }
+    }
+  }
+  return kInvalidVertex;
+}
+
+void UniformGrid::CollectCandidates(const AABB& box,
+                                    std::vector<VertexId>* out) const {
+  if (ids_.empty()) return;
+  const int x0 = CellCoord(box.min.x, bounds_.min.x, inv_cell_.x);
+  const int x1 = CellCoord(box.max.x, bounds_.min.x, inv_cell_.x);
+  const int y0 = CellCoord(box.min.y, bounds_.min.y, inv_cell_.y);
+  const int y1 = CellCoord(box.max.y, bounds_.min.y, inv_cell_.y);
+  const int z0 = CellCoord(box.min.z, bounds_.min.z, inv_cell_.z);
+  const int z1 = CellCoord(box.max.z, bounds_.min.z, inv_cell_.z);
+  for (int z = z0; z <= z1; ++z) {
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        const size_t c = CellIndex(x, y, z);
+        out->insert(out->end(), ids_.begin() + offsets_[c],
+                    ids_.begin() + offsets_[c + 1]);
+      }
+    }
+  }
+}
+
+}  // namespace octopus

@@ -1,0 +1,64 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Uniform 3D grid over vertex positions. OCTOPUS-CON builds it once before
+// the simulation and never updates it (paper Sec. IV-F): even stale, it
+// supplies a starting vertex near the query center for the directed walk.
+#ifndef OCTOPUS_INDEX_UNIFORM_GRID_H_
+#define OCTOPUS_INDEX_UNIFORM_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/aabb.h"
+#include "common/vec3.h"
+#include "mesh/types.h"
+
+namespace octopus {
+
+/// \brief CSR-bucketed uniform grid of vertex ids.
+class UniformGrid {
+ public:
+  /// \param resolution cells per axis (total cells = resolution^3,
+  ///   matching the paper's Fig. 9(c) "# of grid cells" axis).
+  explicit UniformGrid(int resolution = 10) : resolution_(resolution) {}
+
+  /// Assigns every point to the cell enclosing it. `bounds` defaults to
+  /// the tight box of `points`.
+  void Build(const std::vector<Vec3>& points, const AABB& bounds = AABB());
+
+  /// Some vertex spatially near `p`: the first vertex found when scanning
+  /// the cell enclosing `p` and then growing shells of neighboring cells
+  /// (paper: "if no vertex exists the neighboring cells are recursively
+  /// checked until a vertex is found"). kInvalidVertex if the grid is
+  /// empty.
+  VertexId FindNearbyVertex(const Vec3& p) const;
+
+  /// Appends all ids whose *indexed* (possibly stale) position falls in
+  /// cells overlapping `box`. Candidates only — callers must filter by
+  /// current position.
+  void CollectCandidates(const AABB& box, std::vector<VertexId>* out) const;
+
+  int resolution() const { return resolution_; }
+  size_t num_points() const { return ids_.size(); }
+
+  /// Bytes of cell offsets + id array (paper Fig. 9(d) memory overhead).
+  size_t FootprintBytes() const {
+    return offsets_.capacity() * sizeof(uint32_t) +
+           ids_.capacity() * sizeof(VertexId);
+  }
+
+ private:
+  int CellCoord(float v, float lo, float inv_cell) const;
+  size_t CellIndex(int cx, int cy, int cz) const {
+    return (static_cast<size_t>(cz) * resolution_ + cy) * resolution_ + cx;
+  }
+
+  int resolution_;
+  AABB bounds_;
+  Vec3 inv_cell_;  // 1 / cell size per axis
+  std::vector<uint32_t> offsets_;  // res^3 + 1
+  std::vector<VertexId> ids_;
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_INDEX_UNIFORM_GRID_H_

@@ -1,0 +1,89 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "mesh/attributes.h"
+
+namespace octopus {
+
+Status VertexAttributes::AddColumn(std::string_view name, float initial) {
+  std::string key(name);
+  if (index_.find(key) != index_.end()) {
+    return Status::InvalidArgument("duplicate attribute column: " + key);
+  }
+  index_.emplace(key, columns_.size());
+  ColumnData column;
+  column.name = std::move(key);
+  column.initial = initial;
+  column.values.assign(num_vertices_, initial);
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+std::span<float> VertexAttributes::Column(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return {};
+  return columns_[it->second].values;
+}
+
+std::span<const float> VertexAttributes::Column(
+    std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return {};
+  return columns_[it->second].values;
+}
+
+Status VertexAttributes::Gather(std::string_view name,
+                                std::span<const VertexId> vertices,
+                                std::vector<float>* out) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return Status::NotFound("no attribute column named " +
+                            std::string(name));
+  }
+  const std::vector<float>& values = columns_[it->second].values;
+  out->clear();
+  out->reserve(vertices.size());
+  for (VertexId v : vertices) {
+    if (v >= values.size()) {
+      return Status::InvalidArgument("vertex id out of range in gather");
+    }
+    out->push_back(values[v]);
+  }
+  return Status::OK();
+}
+
+Result<double> VertexAttributes::Mean(
+    std::string_view name, std::span<const VertexId> vertices) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return Status::NotFound("no attribute column named " +
+                            std::string(name));
+  }
+  if (vertices.empty()) {
+    return Status::InvalidArgument("mean over empty vertex set");
+  }
+  const std::vector<float>& values = columns_[it->second].values;
+  double total = 0.0;
+  for (VertexId v : vertices) {
+    if (v >= values.size()) {
+      return Status::InvalidArgument("vertex id out of range in mean");
+    }
+    total += values[v];
+  }
+  return total / static_cast<double>(vertices.size());
+}
+
+void VertexAttributes::Resize(size_t num_vertices) {
+  num_vertices_ = num_vertices;
+  for (ColumnData& column : columns_) {
+    column.values.resize(num_vertices, column.initial);
+  }
+}
+
+size_t VertexAttributes::FootprintBytes() const {
+  size_t bytes = 0;
+  for (const ColumnData& column : columns_) {
+    bytes += column.values.capacity() * sizeof(float);
+  }
+  return bytes;
+}
+
+}  // namespace octopus

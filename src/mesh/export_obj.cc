@@ -1,0 +1,74 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "mesh/export_obj.h"
+
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+
+#include "mesh/surface.h"
+
+namespace octopus {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status ExportSurfaceObj(const TetraMesh& mesh, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return Status::IOError("cannot open for write: " + path);
+
+  const SurfaceInfo surface = ExtractSurface(mesh);
+  // OBJ indexes are 1-based and must be dense: remap surface vertices.
+  std::unordered_map<VertexId, size_t> obj_index;
+  obj_index.reserve(surface.surface_vertices.size());
+  std::fprintf(f.get(), "# OCTOPUS surface export: %zu vertices, %zu faces\n",
+               surface.surface_vertices.size(),
+               surface.surface_faces.size());
+  for (VertexId v : surface.surface_vertices) {
+    const Vec3& p = mesh.position(v);
+    obj_index.emplace(v, obj_index.size() + 1);
+    if (std::fprintf(f.get(), "v %g %g %g\n", p.x, p.y, p.z) < 0) {
+      return Status::IOError("short write: " + path);
+    }
+  }
+  for (const FaceKey& face : surface.surface_faces) {
+    if (std::fprintf(f.get(), "f %zu %zu %zu\n", obj_index.at(face[0]),
+                     obj_index.at(face[1]), obj_index.at(face[2])) < 0) {
+      return Status::IOError("short write: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Status ExportPointsObj(const TetraMesh& mesh,
+                       std::span<const VertexId> vertices,
+                       const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  std::fprintf(f.get(), "# OCTOPUS query result export: %zu points\n",
+               vertices.size());
+  for (VertexId v : vertices) {
+    if (v >= mesh.num_vertices()) {
+      return Status::InvalidArgument("vertex id out of range in export");
+    }
+    const Vec3& p = mesh.position(v);
+    if (std::fprintf(f.get(), "v %g %g %g\n", p.x, p.y, p.z) < 0) {
+      return Status::IOError("short write: " + path);
+    }
+  }
+  for (size_t i = 1; i <= vertices.size(); ++i) {
+    if (std::fprintf(f.get(), "p %zu\n", i) < 0) {
+      return Status::IOError("short write: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace octopus

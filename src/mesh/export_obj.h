@@ -1,0 +1,29 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Wavefront OBJ export of mesh surfaces and query results, for the
+// visualization monitoring use case (paper Sec. III-B): dump the current
+// state of (a part of) the deforming mesh so any 3D viewer can render it.
+#ifndef OCTOPUS_MESH_EXPORT_OBJ_H_
+#define OCTOPUS_MESH_EXPORT_OBJ_H_
+
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "mesh/tetra_mesh.h"
+
+namespace octopus {
+
+/// Writes the mesh surface (triangles) as an OBJ file. Vertices are
+/// written with their *current* positions, so calling this between
+/// simulation steps snapshots the deformation.
+Status ExportSurfaceObj(const TetraMesh& mesh, const std::string& path);
+
+/// Writes the given vertices as an OBJ point cloud (`v` records plus `p`
+/// point elements) — the typical dump of a range-query result.
+Status ExportPointsObj(const TetraMesh& mesh,
+                       std::span<const VertexId> vertices,
+                       const std::string& path);
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_MESH_EXPORT_OBJ_H_

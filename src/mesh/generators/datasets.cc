@@ -1,0 +1,139 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "mesh/generators/datasets.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "mesh/generators/grid_generator.h"
+#include "mesh/generators/shapes.h"
+
+namespace octopus {
+
+namespace {
+
+// Grid resolutions tuned so vertex counts land at ~1/1000 of the paper's
+// Fig. 4 rows (20.5k, 27.4k, 41.1k, 82.7k, 208k vertices).
+constexpr int kNeuroResolution[kNumNeuroLevels] = {67, 74, 85, 107, 146};
+
+int Scaled(int base, double scale) {
+  const int n = static_cast<int>(std::lround(base * std::cbrt(scale)));
+  return n < 2 ? 2 : n;
+}
+
+ImplicitSolid MakeTwoCellNeuronSolid(int grid_resolution) {
+  // Dendrite tubes must span at least ~2 grid cells or voxelization breaks
+  // them into disconnected specks at coarse resolutions.
+  const float tube_radius =
+      std::max(0.035f, 2.2f / static_cast<float>(grid_resolution));
+
+  ImplicitSolid solid;
+  NeuronCellParams cell_a;
+  cell_a.soma_center = Vec3(0.25f, 0.28f, 0.28f);
+  cell_a.soma_radius = 0.20f;
+  cell_a.tube_radius = tube_radius;
+  cell_a.max_extent = 0.26f;
+  cell_a.seed = 11;
+  GrowNeuronCell(cell_a, &solid);
+
+  NeuronCellParams cell_b;
+  cell_b.soma_center = Vec3(0.75f, 0.72f, 0.72f);
+  cell_b.soma_radius = 0.20f;
+  cell_b.tube_radius = tube_radius;
+  cell_b.max_extent = 0.26f;
+  cell_b.seed = 23;
+  GrowNeuronCell(cell_b, &solid);
+  // Soma centers are ~0.81 apart while each cell reaches at most
+  // max_extent + tube_radius (< 0.36), so the two cells stay disjoint at
+  // every resolution: the dataset is non-convex AND disconnected, the
+  // hardest case for connectivity-based query execution (paper Fig. 3).
+  return solid;
+}
+
+}  // namespace
+
+Result<TetraMesh> MakeNeuroMesh(int level, double scale) {
+  if (level < 0 || level >= kNumNeuroLevels) {
+    return Status::InvalidArgument("neuro level out of range [0, 5)");
+  }
+  const int n = Scaled(kNeuroResolution[level], scale);
+  const AABB domain(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  const ImplicitSolid solid = MakeTwoCellNeuronSolid(n);
+  return GenerateMaskedGrid(n, n, n, domain, solid.MakeMask(n, n, n, domain));
+}
+
+Result<TetraMesh> MakeEarthquakeMesh(EarthquakeResolution res, double scale) {
+  // A basin is a wide, shallow slab; the slab thickness (in cells) sets the
+  // surface-to-volume ratio (~2/thickness), tuned to the paper's 0.16/0.09.
+  int nx, nz;
+  if (res == EarthquakeResolution::kSF2) {
+    nx = 60;
+    nz = 12;
+  } else {
+    nx = 110;
+    nz = 22;
+  }
+  nx = Scaled(nx, scale);
+  nz = Scaled(nz, scale);
+  // Keep physical proportions: a 1 x 1 x 0.2 slab.
+  const AABB domain(Vec3(0, 0, 0), Vec3(1, 1, 0.2f));
+  return GenerateBoxMesh(nx, nx, nz, domain);
+}
+
+Result<TetraMesh> MakeAnimationMesh(AnimationDataset which, double scale) {
+  const AABB domain(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  ImplicitSolid solid;
+  int n = 0;
+  switch (which) {
+    case AnimationDataset::kHorseGallop:
+      // Elongated capsule body.
+      solid.AddTube(Vec3(0.15f, 0.5f, 0.5f), Vec3(0.85f, 0.5f, 0.5f), 0.18f);
+      n = 64;
+      break;
+    case AnimationDataset::kFacialExpression:
+      // One large ball: the lowest surface-to-volume ratio of the three.
+      solid.AddBall(Vec3(0.5f, 0.5f, 0.5f), 0.40f);
+      n = 90;
+      break;
+    case AnimationDataset::kCamelCompress:
+      solid.AddEllipsoid(Vec3(0.5f, 0.5f, 0.5f), Vec3(0.35f, 0.28f, 0.24f));
+      n = 84;
+      break;
+  }
+  n = Scaled(n, scale);
+  return GenerateMaskedGrid(n, n, n, domain, solid.MakeMask(n, n, n, domain));
+}
+
+int AnimationTimeSteps(AnimationDataset which) {
+  switch (which) {
+    case AnimationDataset::kHorseGallop:
+      return 48;
+    case AnimationDataset::kFacialExpression:
+      return 9;
+    case AnimationDataset::kCamelCompress:
+      return 53;
+  }
+  return 0;
+}
+
+std::string NeuroMeshName(int level) {
+  return "neuro-L" + std::to_string(level);
+}
+
+std::string EarthquakeMeshName(EarthquakeResolution res) {
+  return res == EarthquakeResolution::kSF2 ? "SF2" : "SF1";
+}
+
+std::string AnimationMeshName(AnimationDataset which) {
+  switch (which) {
+    case AnimationDataset::kHorseGallop:
+      return "Horse Gallop";
+    case AnimationDataset::kFacialExpression:
+      return "Facial Expression";
+    case AnimationDataset::kCamelCompress:
+      return "Camel Compress";
+  }
+  return "?";
+}
+
+}  // namespace octopus

@@ -1,0 +1,62 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Catalog of synthetic datasets mirroring the paper's evaluation datasets:
+//  * 5 neuroscience meshes of increasing detail (paper Fig. 4),
+//  * 2 convex earthquake-basin meshes SF2/SF1 (paper Fig. 8),
+//  * 3 deforming animation meshes (paper Fig. 14).
+//
+// The paper's datasets are proprietary (Blue Brain neuron meshes, the
+// Archimedes LA-basin meshes, Sumner & Popovic animations); we substitute
+// procedural analogs that preserve the parameters the analytical model
+// says matter — mesh degree M, surface-to-volume ratio S (trend and
+// ordering), vertex/tet count ratios — at ~1/1000 scale (see DESIGN.md).
+#ifndef OCTOPUS_MESH_GENERATORS_DATASETS_H_
+#define OCTOPUS_MESH_GENERATORS_DATASETS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "mesh/tetra_mesh.h"
+
+namespace octopus {
+
+/// Number of neuroscience detail levels (paper Fig. 4 rows).
+inline constexpr int kNumNeuroLevels = 5;
+
+/// \brief Two-cell branching neuron mesh at detail `level` in [0, 5).
+///
+/// Non-convex and disconnected (two cells), the worst case OCTOPUS must
+/// handle via the surface probe. `scale` multiplies the target vertex
+/// count (resolution scales with cbrt(scale)).
+Result<TetraMesh> MakeNeuroMesh(int level, double scale = 1.0);
+
+enum class EarthquakeResolution {
+  kSF2,  ///< coarse basin slab (paper: 0.38M vertices, S:V 0.16)
+  kSF1,  ///< fine basin slab (paper: 2.46M vertices, S:V 0.09)
+};
+
+/// \brief Convex basin-slab mesh (earthquake simulation analog).
+Result<TetraMesh> MakeEarthquakeMesh(EarthquakeResolution res,
+                                     double scale = 1.0);
+
+enum class AnimationDataset {
+  kHorseGallop,       ///< capsule body (paper: 20.0M verts, S:V 0.023)
+  kFacialExpression,  ///< large ball head (paper: 83.6M verts, S:V 0.010)
+  kCamelCompress,     ///< ellipsoid body (paper: 39.8M verts, S:V 0.019)
+};
+
+/// \brief Volumetric animation mesh analog.
+Result<TetraMesh> MakeAnimationMesh(AnimationDataset which,
+                                    double scale = 1.0);
+
+/// Number of animation frames in the corresponding paper dataset
+/// (horse 48, face 9, camel 53) — used as simulation step counts.
+int AnimationTimeSteps(AnimationDataset which);
+
+/// Human-readable dataset names for table output.
+std::string NeuroMeshName(int level);
+std::string EarthquakeMeshName(EarthquakeResolution res);
+std::string AnimationMeshName(AnimationDataset which);
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_MESH_GENERATORS_DATASETS_H_

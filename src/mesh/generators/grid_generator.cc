@@ -1,0 +1,79 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "mesh/generators/grid_generator.h"
+
+#include <array>
+
+#include "mesh/mesh_builder.h"
+
+namespace octopus {
+
+namespace {
+
+// The six tetrahedra of the Kuhn (Freudenthal) subdivision of a unit cube.
+// Cube corners are indexed by the bit pattern (x | y<<1 | z<<2). All six
+// tets share the main diagonal 000 -> 111, which makes the subdivision
+// conforming across face-adjacent cubes.
+constexpr int kKuhnTets[6][4] = {
+    {0, 1, 3, 7},  // x, then y, then z
+    {0, 1, 5, 7},  // x, z, y
+    {0, 2, 3, 7},  // y, x, z
+    {0, 2, 6, 7},  // y, z, x
+    {0, 4, 5, 7},  // z, x, y
+    {0, 4, 6, 7},  // z, y, x
+};
+
+}  // namespace
+
+Result<TetraMesh> GenerateMaskedGrid(int nx, int ny, int nz,
+                                     const AABB& domain,
+                                     const CellMask& mask) {
+  if (nx < 1 || ny < 1 || nz < 1) {
+    return Status::InvalidArgument("grid resolution must be >= 1 per axis");
+  }
+  if (domain.Empty()) {
+    return Status::InvalidArgument("domain box is empty");
+  }
+  MeshBuilder builder;
+  LatticeVertexMap lattice(&builder);
+  const Vec3 ext = domain.Extent();
+  const Vec3 cell(ext.x / nx, ext.y / ny, ext.z / nz);
+
+  auto corner_position = [&](int i, int j, int k) {
+    return Vec3(domain.min.x + i * cell.x, domain.min.y + j * cell.y,
+                domain.min.z + k * cell.z);
+  };
+
+  size_t active_cells = 0;
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        if (!mask(i, j, k)) continue;
+        ++active_cells;
+        // The 8 cube corners, lattice-deduplicated.
+        VertexId corner_id[8];
+        for (int c = 0; c < 8; ++c) {
+          const int ci = i + (c & 1);
+          const int cj = j + ((c >> 1) & 1);
+          const int ck = k + ((c >> 2) & 1);
+          corner_id[c] =
+              lattice.GetOrCreate(ci, cj, ck, corner_position(ci, cj, ck));
+        }
+        for (const auto& t : kKuhnTets) {
+          builder.AddTet(corner_id[t[0]], corner_id[t[1]], corner_id[t[2]],
+                         corner_id[t[3]]);
+        }
+      }
+    }
+  }
+  if (active_cells == 0) {
+    return Status::InvalidArgument("mask selects no cells");
+  }
+  return builder.Build();
+}
+
+Result<TetraMesh> GenerateBoxMesh(int nx, int ny, int nz, const AABB& domain) {
+  return GenerateMaskedGrid(nx, ny, nz, domain,
+                            [](int, int, int) { return true; });
+}
+
+}  // namespace octopus

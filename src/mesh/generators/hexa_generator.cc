@@ -1,0 +1,66 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "mesh/generators/hexa_generator.h"
+
+#include <unordered_map>
+
+namespace octopus {
+
+Result<HexaMesh> GenerateMaskedHexGrid(int nx, int ny, int nz,
+                                       const AABB& domain,
+                                       const CellMask& mask) {
+  if (nx < 1 || ny < 1 || nz < 1) {
+    return Status::InvalidArgument("grid resolution must be >= 1 per axis");
+  }
+  if (domain.Empty()) {
+    return Status::InvalidArgument("domain box is empty");
+  }
+  const Vec3 ext = domain.Extent();
+  const Vec3 cell(ext.x / nx, ext.y / ny, ext.z / nz);
+
+  std::vector<Vec3> positions;
+  std::vector<HexCell> cells;
+  // Lattice point -> vertex id, shared between adjacent cells.
+  std::unordered_map<uint64_t, VertexId> lattice;
+  auto key = [](int i, int j, int k) {
+    const uint64_t bias = 1u << 20;
+    return ((static_cast<uint64_t>(i) + bias) << 42) |
+           ((static_cast<uint64_t>(j) + bias) << 21) |
+           (static_cast<uint64_t>(k) + bias);
+  };
+
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        if (!mask(i, j, k)) continue;
+        HexCell hex;
+        for (int c = 0; c < 8; ++c) {
+          const int ci = i + (c & 1);
+          const int cj = j + ((c >> 1) & 1);
+          const int ck = k + ((c >> 2) & 1);
+          auto [it, inserted] =
+              lattice.try_emplace(key(ci, cj, ck), kInvalidVertex);
+          if (inserted) {
+            it->second = static_cast<VertexId>(positions.size());
+            positions.push_back(Vec3(domain.min.x + ci * cell.x,
+                                     domain.min.y + cj * cell.y,
+                                     domain.min.z + ck * cell.z));
+          }
+          hex[c] = it->second;
+        }
+        cells.push_back(hex);
+      }
+    }
+  }
+  if (cells.empty()) {
+    return Status::InvalidArgument("mask selects no cells");
+  }
+  return HexaMesh(std::move(positions), std::move(cells));
+}
+
+Result<HexaMesh> GenerateHexBoxMesh(int nx, int ny, int nz,
+                                    const AABB& domain) {
+  return GenerateMaskedHexGrid(nx, ny, nz, domain,
+                               [](int, int, int) { return true; });
+}
+
+}  // namespace octopus

@@ -1,0 +1,24 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Hexahedral counterpart of the voxel-mask generator: each active grid
+// cell becomes a single 8-corner hexahedron (no subdivision).
+#ifndef OCTOPUS_MESH_GENERATORS_HEXA_GENERATOR_H_
+#define OCTOPUS_MESH_GENERATORS_HEXA_GENERATOR_H_
+
+#include "common/status.h"
+#include "mesh/generators/grid_generator.h"
+#include "mesh/hexa_mesh.h"
+
+namespace octopus {
+
+/// \brief Generates a hexahedral mesh over the cells selected by `mask`.
+Result<HexaMesh> GenerateMaskedHexGrid(int nx, int ny, int nz,
+                                       const AABB& domain,
+                                       const CellMask& mask);
+
+/// Convex hexahedral box mesh over the full grid.
+Result<HexaMesh> GenerateHexBoxMesh(int nx, int ny, int nz,
+                                    const AABB& domain);
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_MESH_GENERATORS_HEXA_GENERATOR_H_

@@ -1,0 +1,97 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "mesh/generators/shapes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace octopus {
+
+float SquaredDistanceToSegment(const Vec3& p, const Vec3& a, const Vec3& b) {
+  const Vec3 ab = b - a;
+  const float len2 = ab.SquaredNorm();
+  if (len2 == 0.0f) return SquaredDistance(p, a);
+  const float t = std::clamp((p - a).Dot(ab) / len2, 0.0f, 1.0f);
+  return SquaredDistance(p, a + ab * t);
+}
+
+bool ImplicitSolid::Contains(const Vec3& p) const {
+  for (const TubeSegment& b : balls_) {
+    if (SquaredDistance(p, b.a) <= b.radius * b.radius) return true;
+  }
+  for (const Ellipsoid& e : ellipsoids_) {
+    const Vec3 d = p - e.center;
+    const float nx = d.x / e.radii.x;
+    const float ny = d.y / e.radii.y;
+    const float nz = d.z / e.radii.z;
+    if (nx * nx + ny * ny + nz * nz <= 1.0f) return true;
+  }
+  for (const TubeSegment& t : tubes_) {
+    if (SquaredDistanceToSegment(p, t.a, t.b) <= t.radius * t.radius) {
+      return true;
+    }
+  }
+  return false;
+}
+
+CellMask ImplicitSolid::MakeMask(int nx, int ny, int nz,
+                                 const AABB& domain) const {
+  const Vec3 ext = domain.Extent();
+  const Vec3 cell(ext.x / nx, ext.y / ny, ext.z / nz);
+  const Vec3 origin = domain.min + cell * 0.5f;
+  // Capture by value: the mask may outlive the solid's enclosing scope.
+  ImplicitSolid solid = *this;
+  return [solid = std::move(solid), origin, cell](int i, int j, int k) {
+    return solid.Contains(
+        Vec3(origin.x + i * cell.x, origin.y + j * cell.y,
+             origin.z + k * cell.z));
+  };
+}
+
+namespace {
+
+// Clamps `p` into the ball of radius `max_extent` around `center`.
+Vec3 ClampToBall(const Vec3& p, const Vec3& center, float max_extent) {
+  const Vec3 d = p - center;
+  const float norm = d.Norm();
+  if (norm <= max_extent || norm == 0.0f) return p;
+  return center + d * (max_extent / norm);
+}
+
+// Recursively grows a dendrite: a tube segment, then `depth` levels of two
+// children each, shrinking in length and radius. All endpoints stay within
+// `max_extent` of the soma center so neighboring cells remain disjoint.
+void GrowBranch(const Vec3& from, const Vec3& direction, float length,
+                float radius, int depth, const Vec3& soma_center,
+                float max_extent, Rng* rng, ImplicitSolid* solid) {
+  const Vec3 to =
+      ClampToBall(from + direction * length, soma_center, max_extent);
+  solid->AddTube(from, to, radius);
+  if (depth == 0) return;
+  for (int child = 0; child < 2; ++child) {
+    // Perturb the parent direction to fan the children out.
+    Vec3 d = direction + rng->NextUnitVector() * 0.55f;
+    const float n = d.Norm();
+    if (n < 1e-6f) d = direction;
+    else d = d / n;
+    GrowBranch(to, d, length * 0.75f, std::max(radius * 0.85f, 0.008f),
+               depth - 1, soma_center, max_extent, rng, solid);
+  }
+}
+
+}  // namespace
+
+void GrowNeuronCell(const NeuronCellParams& params, ImplicitSolid* solid) {
+  solid->AddBall(params.soma_center, params.soma_radius);
+  Rng rng(params.seed);
+  for (int d = 0; d < params.num_dendrites; ++d) {
+    const Vec3 dir = rng.NextUnitVector();
+    // Trunks start at the soma boundary, pointing outward.
+    const Vec3 start =
+        params.soma_center + dir * (params.soma_radius * 0.9f);
+    GrowBranch(start, dir, params.trunk_length, params.tube_radius,
+               params.branch_depth, params.soma_center, params.max_extent,
+               &rng, solid);
+  }
+}
+
+}  // namespace octopus

@@ -1,0 +1,85 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Implicit shape predicates composed into cell masks for the grid generator:
+// balls, ellipsoids, capsules, and branching neuron skeletons.
+#ifndef OCTOPUS_MESH_GENERATORS_SHAPES_H_
+#define OCTOPUS_MESH_GENERATORS_SHAPES_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec3.h"
+#include "mesh/generators/grid_generator.h"
+
+namespace octopus {
+
+/// \brief A thick line segment (tube of radius `radius` around [a, b]).
+struct TubeSegment {
+  Vec3 a;
+  Vec3 b;
+  float radius;
+};
+
+/// Squared distance from point `p` to segment [a, b].
+float SquaredDistanceToSegment(const Vec3& p, const Vec3& a, const Vec3& b);
+
+/// \brief Implicit solid described as a union of balls and tube segments.
+///
+/// `Contains` is evaluated at cell centers by `MakeMask`, so the meshed
+/// region is the voxelization of the implicit solid.
+class ImplicitSolid {
+ public:
+  void AddBall(const Vec3& center, float radius) {
+    balls_.push_back({center, center, radius});
+  }
+  void AddEllipsoid(const Vec3& center, const Vec3& radii) {
+    ellipsoids_.push_back({center, radii});
+  }
+  void AddTube(const Vec3& a, const Vec3& b, float radius) {
+    tubes_.push_back({a, b, radius});
+  }
+
+  bool Contains(const Vec3& p) const;
+
+  /// Cell mask evaluating `Contains` at cell centers of an
+  /// `nx * ny * nz` grid over `domain`.
+  CellMask MakeMask(int nx, int ny, int nz, const AABB& domain) const;
+
+  bool Empty() const {
+    return balls_.empty() && ellipsoids_.empty() && tubes_.empty();
+  }
+
+ private:
+  struct Ellipsoid {
+    Vec3 center;
+    Vec3 radii;
+  };
+  std::vector<TubeSegment> balls_;  // a == b degenerate tubes
+  std::vector<Ellipsoid> ellipsoids_;
+  std::vector<TubeSegment> tubes_;
+};
+
+/// \brief Parameters for a procedurally grown neuron cell.
+///
+/// A soma ball plus a recursively branching dendritic tree of tube
+/// segments. The resulting solid is strongly non-convex, mirroring the
+/// neuron meshes of the paper's motivating Blue Brain use case
+/// (Fig. 1(c)).
+struct NeuronCellParams {
+  Vec3 soma_center{0.5f, 0.5f, 0.5f};
+  float soma_radius = 0.22f;
+  int num_dendrites = 6;       ///< trunks leaving the soma
+  int branch_depth = 2;        ///< binary branching levels per trunk
+  float trunk_length = 0.22f;  ///< length of first segment
+  float tube_radius = 0.035f;  ///< dendrite thickness
+  /// Hard cap on how far any dendrite point may lie from the soma center.
+  /// Keeps separately placed cells disjoint (two-cell datasets).
+  float max_extent = 0.26f;
+  uint64_t seed = 1;
+};
+
+/// Grows one neuron cell into `solid`.
+void GrowNeuronCell(const NeuronCellParams& params, ImplicitSolid* solid);
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_MESH_GENERATORS_SHAPES_H_

@@ -1,0 +1,37 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Non-owning view of a mesh's vertex graph (positions + CSR adjacency).
+// OCTOPUS's query phases only need this view — the key observation of
+// paper Sec. IV-B: "meshes share [the graph structure] independently of
+// the particular polyhedral primitives used". Tetrahedral and hexahedral
+// meshes both expose it, so the crawler and directed walk are shared.
+#ifndef OCTOPUS_MESH_GRAPH_VIEW_H_
+#define OCTOPUS_MESH_GRAPH_VIEW_H_
+
+#include <span>
+
+#include "common/vec3.h"
+#include "mesh/types.h"
+
+namespace octopus {
+
+/// \brief Cheap, copyable view of vertex positions + adjacency.
+///
+/// Invalidated by restructuring (arrays may reallocate); take a fresh
+/// view after `ApplyRestructure`.
+struct MeshGraphView {
+  std::span<const Vec3> positions;
+  std::span<const uint32_t> adj_offsets;  // size num_vertices() + 1
+  std::span<const VertexId> adj;
+
+  size_t num_vertices() const { return positions.size(); }
+
+  const Vec3& position(VertexId v) const { return positions[v]; }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return adj.subspan(adj_offsets[v], adj_offsets[v + 1] - adj_offsets[v]);
+  }
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_MESH_GRAPH_VIEW_H_

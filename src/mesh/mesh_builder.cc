@@ -1,0 +1,67 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "mesh/mesh_builder.h"
+
+#include <string>
+
+namespace octopus {
+
+void MeshBuilder::Reserve(size_t vertices, size_t tets) {
+  positions_.reserve(vertices);
+  tets_.reserve(tets);
+}
+
+VertexId MeshBuilder::AddVertex(const Vec3& p) {
+  positions_.push_back(p);
+  return static_cast<VertexId>(positions_.size() - 1);
+}
+
+void MeshBuilder::AddTet(VertexId a, VertexId b, VertexId c, VertexId d) {
+  tets_.push_back(Tet{a, b, c, d});
+}
+
+Result<TetraMesh> MeshBuilder::Build() {
+  const size_t v_count = positions_.size();
+  if (v_count == 0) {
+    return Status::InvalidArgument("mesh has no vertices");
+  }
+  std::vector<bool> used(v_count, false);
+  for (size_t i = 0; i < tets_.size(); ++i) {
+    const Tet& t = tets_[i];
+    for (VertexId v : t) {
+      if (v >= v_count) {
+        return Status::InvalidArgument("tet " + std::to_string(i) +
+                                       " references vertex " +
+                                       std::to_string(v) + " out of range");
+      }
+      used[v] = true;
+    }
+    if (t[0] == t[1] || t[0] == t[2] || t[0] == t[3] || t[1] == t[2] ||
+        t[1] == t[3] || t[2] == t[3]) {
+      return Status::InvalidArgument("tet " + std::to_string(i) +
+                                     " is degenerate (repeated vertex)");
+    }
+  }
+  for (size_t v = 0; v < v_count; ++v) {
+    if (!used[v]) {
+      return Status::InvalidArgument(
+          "vertex " + std::to_string(v) +
+          " is orphaned (not referenced by any tetrahedron)");
+    }
+  }
+  TetraMesh mesh(std::move(positions_), std::move(tets_));
+  positions_ = {};
+  tets_ = {};
+  return mesh;
+}
+
+VertexId LatticeVertexMap::GetOrCreate(int32_t i, int32_t j, int32_t k,
+                                       const Vec3& position) {
+  const uint64_t key = Key(i, j, k);
+  auto [it, inserted] = map_.try_emplace(key, kInvalidVertex);
+  if (inserted) {
+    it->second = builder_->AddVertex(position);
+  }
+  return it->second;
+}
+
+}  // namespace octopus

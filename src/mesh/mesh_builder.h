@@ -1,0 +1,74 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Incremental construction of TetraMesh instances; used by the synthetic
+// dataset generators and the binary loader.
+#ifndef OCTOPUS_MESH_MESH_BUILDER_H_
+#define OCTOPUS_MESH_MESH_BUILDER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/vec3.h"
+#include "mesh/tetra_mesh.h"
+#include "mesh/types.h"
+
+namespace octopus {
+
+/// \brief Accumulates vertices and tetrahedra, validates, then builds the
+/// CSR-form `TetraMesh` in one shot.
+class MeshBuilder {
+ public:
+  MeshBuilder() = default;
+
+  /// Reserve capacity upfront when the generator knows the final size.
+  void Reserve(size_t vertices, size_t tets);
+
+  /// Appends a vertex, returns its id.
+  VertexId AddVertex(const Vec3& p);
+
+  /// Appends a tetrahedron over four previously added, distinct vertices.
+  void AddTet(VertexId a, VertexId b, VertexId c, VertexId d);
+
+  size_t num_vertices() const { return positions_.size(); }
+  size_t num_tets() const { return tets_.size(); }
+
+  /// Validates (ids in range, no degenerate tets, no orphan vertices) and
+  /// produces the mesh. The builder is left empty afterwards.
+  Result<TetraMesh> Build();
+
+ private:
+  std::vector<Vec3> positions_;
+  std::vector<Tet> tets_;
+};
+
+/// \brief Helper that deduplicates vertices on an integer lattice.
+///
+/// The voxel-mask generators emit each grid corner once per incident cell;
+/// this maps lattice coordinates to a single VertexId.
+class LatticeVertexMap {
+ public:
+  explicit LatticeVertexMap(MeshBuilder* builder) : builder_(builder) {}
+
+  /// Returns the id for lattice point (i, j, k), creating the vertex at
+  /// `position` on first use.
+  VertexId GetOrCreate(int32_t i, int32_t j, int32_t k, const Vec3& position);
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  static uint64_t Key(int32_t i, int32_t j, int32_t k) {
+    // 21 bits per axis, offset to keep coordinates non-negative.
+    const uint64_t bias = 1u << 20;
+    return ((static_cast<uint64_t>(i) + bias) << 42) |
+           ((static_cast<uint64_t>(j) + bias) << 21) |
+           (static_cast<uint64_t>(k) + bias);
+  }
+
+  MeshBuilder* builder_;
+  std::unordered_map<uint64_t, VertexId> map_;
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_MESH_MESH_BUILDER_H_

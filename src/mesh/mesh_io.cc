@@ -1,0 +1,80 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "mesh/mesh_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace octopus {
+
+namespace {
+
+constexpr char kMagic[4] = {'O', 'C', 'T', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status SaveMesh(const TetraMesh& mesh, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open for write: " + path);
+
+  const uint64_t v_count = mesh.num_vertices();
+  const uint64_t t_count = mesh.num_tetrahedra();
+  auto write = [&f](const void* data, size_t bytes) {
+    return std::fwrite(data, 1, bytes, f.get()) == bytes;
+  };
+  if (!write(kMagic, sizeof(kMagic)) || !write(&v_count, sizeof(v_count)) ||
+      !write(&t_count, sizeof(t_count)) ||
+      !write(mesh.positions().data(), v_count * sizeof(Vec3)) ||
+      !write(mesh.tetrahedra().data(), t_count * sizeof(Tet))) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Result<TetraMesh> LoadMesh(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open for read: " + path);
+
+  auto read = [&f](void* data, size_t bytes) {
+    return std::fread(data, 1, bytes, f.get()) == bytes;
+  };
+  char magic[4];
+  uint64_t v_count = 0;
+  uint64_t t_count = 0;
+  if (!read(magic, sizeof(magic)) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (!read(&v_count, sizeof(v_count)) || !read(&t_count, sizeof(t_count))) {
+    return Status::Corruption("truncated header in " + path);
+  }
+  // Guard against absurd headers before allocating.
+  constexpr uint64_t kMaxCount = 1ull << 33;
+  if (v_count == 0 || v_count > kMaxCount || t_count > kMaxCount) {
+    return Status::Corruption("implausible mesh sizes in " + path);
+  }
+  std::vector<Vec3> positions(v_count);
+  std::vector<Tet> tets(t_count);
+  if (!read(positions.data(), v_count * sizeof(Vec3)) ||
+      !read(tets.data(), t_count * sizeof(Tet))) {
+    return Status::Corruption("truncated body in " + path);
+  }
+  for (size_t i = 0; i < tets.size(); ++i) {
+    for (VertexId v : tets[i]) {
+      if (v >= v_count) {
+        return Status::Corruption("tet " + std::to_string(i) +
+                                  " references out-of-range vertex in " +
+                                  path);
+      }
+    }
+  }
+  return TetraMesh(std::move(positions), std::move(tets));
+}
+
+}  // namespace octopus

@@ -1,0 +1,24 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Binary serialization of meshes. Generating the larger synthetic datasets
+// takes seconds; benches and examples can cache them on disk.
+#ifndef OCTOPUS_MESH_MESH_IO_H_
+#define OCTOPUS_MESH_MESH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "mesh/tetra_mesh.h"
+
+namespace octopus {
+
+/// File layout (little endian):
+///   magic "OCT1" | uint64 num_vertices | uint64 num_tets |
+///   float32 positions [3 * V] | uint32 tets [4 * T]
+/// Adjacency is derived, not stored; `LoadMesh` rebuilds it.
+Status SaveMesh(const TetraMesh& mesh, const std::string& path);
+
+Result<TetraMesh> LoadMesh(const std::string& path);
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_MESH_MESH_IO_H_

@@ -1,0 +1,26 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "mesh/mesh_stats.h"
+
+#include "mesh/surface.h"
+
+namespace octopus {
+
+MeshStats ComputeMeshStats(const TetraMesh& mesh) {
+  MeshStats s;
+  s.num_vertices = mesh.num_vertices();
+  s.num_tetrahedra = mesh.num_tetrahedra();
+  s.num_edges = mesh.num_edges();
+  s.mesh_degree = mesh.AverageDegree();
+  s.memory_bytes = mesh.MemoryBytes();
+  s.bounds = mesh.ComputeBounds();
+  const SurfaceInfo surface = ExtractSurface(mesh);
+  s.num_surface_vertices = surface.surface_vertices.size();
+  s.surface_to_volume =
+      s.num_vertices == 0
+          ? 0.0
+          : static_cast<double>(s.num_surface_vertices) /
+                static_cast<double>(s.num_vertices);
+  return s;
+}
+
+}  // namespace octopus

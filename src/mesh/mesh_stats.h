@@ -1,0 +1,35 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Dataset characterization in the units of the paper's Figs. 4, 8 and 14:
+// size, #tetrahedra, #vertices, mesh degree M, surface-to-volume ratio S.
+#ifndef OCTOPUS_MESH_MESH_STATS_H_
+#define OCTOPUS_MESH_MESH_STATS_H_
+
+#include <cstddef>
+
+#include "common/aabb.h"
+#include "mesh/tetra_mesh.h"
+
+namespace octopus {
+
+/// \brief Characterization of one dataset.
+struct MeshStats {
+  size_t num_vertices = 0;
+  size_t num_tetrahedra = 0;
+  size_t num_edges = 0;
+  size_t num_surface_vertices = 0;
+  /// Average number of edges per vertex (the model's M).
+  double mesh_degree = 0.0;
+  /// Surface vertices / total vertices (the model's S).
+  double surface_to_volume = 0.0;
+  /// Bytes of the in-memory representation (positions + adjacency + tets).
+  size_t memory_bytes = 0;
+  AABB bounds;
+};
+
+/// Computes all statistics in one pass over the mesh (plus one surface
+/// extraction).
+MeshStats ComputeMeshStats(const TetraMesh& mesh);
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_MESH_MESH_STATS_H_

@@ -1,0 +1,103 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "mesh/quality.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace octopus {
+
+double SignedTetVolume(const Vec3& a, const Vec3& b, const Vec3& c,
+                       const Vec3& d) {
+  const Vec3 ab = b - a;
+  const Vec3 ac = c - a;
+  const Vec3 ad = d - a;
+  return static_cast<double>(ab.Cross(ac).Dot(ad)) / 6.0;
+}
+
+double SignedTetVolume(const TetraMesh& mesh, const Tet& t) {
+  return SignedTetVolume(mesh.position(t[0]), mesh.position(t[1]),
+                         mesh.position(t[2]), mesh.position(t[3]));
+}
+
+QualityChecker::QualityChecker(const TetraMesh& mesh) {
+  reference_sign_.reserve(mesh.num_tetrahedra());
+  double total = 0.0;
+  for (const Tet& t : mesh.tetrahedra()) {
+    const double v = SignedTetVolume(mesh, t);
+    reference_sign_.push_back(v >= 0.0 ? 1 : -1);
+    total += std::abs(v);
+  }
+  reference_mean_abs_volume_ =
+      mesh.num_tetrahedra() == 0
+          ? 0.0
+          : total / static_cast<double>(mesh.num_tetrahedra());
+}
+
+namespace {
+
+void Accumulate(const TetraMesh& mesh, TetId id, int8_t reference_sign,
+                double degenerate_threshold, QualityReport* report) {
+  const double v = SignedTetVolume(mesh, mesh.tetrahedra()[id]);
+  const double abs_v = std::abs(v);
+  ++report->tets_checked;
+  if ((v >= 0.0 ? 1 : -1) != reference_sign) ++report->inverted;
+  if (abs_v < degenerate_threshold) ++report->degenerate;
+  report->mean_abs_volume += abs_v;
+  if (report->tets_checked == 1 || abs_v < report->min_abs_volume) {
+    report->min_abs_volume = abs_v;
+  }
+}
+
+}  // namespace
+
+QualityReport QualityChecker::Check(const TetraMesh& mesh,
+                                    double degenerate_fraction) const {
+  QualityReport report;
+  const double threshold =
+      degenerate_fraction * reference_mean_abs_volume_;
+  for (TetId id = 0; id < mesh.num_tetrahedra() &&
+                     id < reference_sign_.size();
+       ++id) {
+    Accumulate(mesh, id, reference_sign_[id], threshold, &report);
+  }
+  if (report.tets_checked > 0) {
+    report.mean_abs_volume /= static_cast<double>(report.tets_checked);
+  }
+  return report;
+}
+
+QualityReport QualityChecker::CheckTets(const TetraMesh& mesh,
+                                        std::span<const TetId> ids,
+                                        double degenerate_fraction) const {
+  QualityReport report;
+  const double threshold =
+      degenerate_fraction * reference_mean_abs_volume_;
+  for (TetId id : ids) {
+    if (id >= mesh.num_tetrahedra() || id >= reference_sign_.size()) {
+      continue;
+    }
+    Accumulate(mesh, id, reference_sign_[id], threshold, &report);
+  }
+  if (report.tets_checked > 0) {
+    report.mean_abs_volume /= static_cast<double>(report.tets_checked);
+  }
+  return report;
+}
+
+std::vector<TetId> TetsTouchingVertices(
+    const TetraMesh& mesh, std::span<const VertexId> vertices) {
+  std::unordered_set<VertexId> wanted(vertices.begin(), vertices.end());
+  std::vector<TetId> result;
+  const auto& tets = mesh.tetrahedra();
+  for (TetId id = 0; id < tets.size(); ++id) {
+    for (VertexId v : tets[id]) {
+      if (wanted.count(v) != 0) {
+        result.push_back(id);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace octopus

@@ -1,0 +1,73 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Element-quality metrics for deforming tetrahedral meshes. The paper's
+// "Mesh Quality" monitoring use case (Sec. III-B) analyzes deformation
+// artifacts; these are the metrics such a monitor computes over query
+// results, and the invariants our deformers are tested against (a
+// deformation that inverts elements would invalidate any simulation).
+#ifndef OCTOPUS_MESH_QUALITY_H_
+#define OCTOPUS_MESH_QUALITY_H_
+
+#include <cstddef>
+#include <span>
+
+#include "mesh/tetra_mesh.h"
+#include "mesh/types.h"
+
+namespace octopus {
+
+/// Signed volume of tetrahedron (a, b, c, d): positive iff d lies on the
+/// positive side of triangle (a, b, c).
+double SignedTetVolume(const Vec3& a, const Vec3& b, const Vec3& c,
+                       const Vec3& d);
+
+/// Signed volume of tet `t` under the mesh's current positions.
+double SignedTetVolume(const TetraMesh& mesh, const Tet& t);
+
+/// \brief Quality summary of (a subset of) the mesh.
+struct QualityReport {
+  size_t tets_checked = 0;
+  /// Elements whose orientation flipped relative to `reference_signs`
+  /// (or, without a reference, whose volume is non-positive).
+  size_t inverted = 0;
+  /// Elements with |volume| below `degenerate_fraction` x mean |volume|.
+  size_t degenerate = 0;
+  double min_abs_volume = 0.0;
+  double mean_abs_volume = 0.0;
+
+  bool AllValid() const { return inverted == 0 && degenerate == 0; }
+};
+
+/// \brief Checks element validity of a deforming mesh.
+///
+/// Capture the reference orientation signs on the undeformed mesh, then
+/// call `Check` after any deformation step: an element whose sign flipped
+/// has been turned inside out by the deformation.
+class QualityChecker {
+ public:
+  /// Captures per-tet orientation signs and the volume scale.
+  explicit QualityChecker(const TetraMesh& mesh);
+
+  /// Evaluates the current positions. `degenerate_fraction` is the
+  /// |volume| threshold relative to the reference mean (default 1%).
+  QualityReport Check(const TetraMesh& mesh,
+                      double degenerate_fraction = 0.01) const;
+
+  /// Evaluates only the given tets (e.g. those touching a query result) —
+  /// what the paper's mesh-quality monitor does region by region.
+  QualityReport CheckTets(const TetraMesh& mesh, std::span<const TetId> ids,
+                          double degenerate_fraction = 0.01) const;
+
+ private:
+  std::vector<int8_t> reference_sign_;  // per tet: +1 / -1
+  double reference_mean_abs_volume_ = 0.0;
+};
+
+/// Ids of the tetrahedra with at least one corner in `vertex_set` — the
+/// bridge from a vertex range-query result to the elements a quality
+/// monitor inspects. O(#tets).
+std::vector<TetId> TetsTouchingVertices(const TetraMesh& mesh,
+                                        std::span<const VertexId> vertices);
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_MESH_QUALITY_H_

@@ -1,0 +1,129 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "mesh/surface.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace octopus {
+
+SurfaceInfo ExtractSurface(const TetraMesh& mesh) {
+  // Global face list as a multiplicity map. A face is shared by at most two
+  // adjacent tets, so values saturate at 2.
+  std::unordered_map<FaceKey, uint8_t, FaceKeyHash> counts;
+  counts.reserve(mesh.num_tetrahedra() * 2);  // ~2 unique faces per tet
+  for (const Tet& t : mesh.tetrahedra()) {
+    for (const FaceKey& f : TetFaces(t)) {
+      ++counts[f];
+    }
+  }
+
+  SurfaceInfo info;
+  std::vector<bool> on_surface(mesh.num_vertices(), false);
+  for (const auto& [face, count] : counts) {
+    if (count == 1) {
+      info.surface_faces.push_back(face);
+      for (VertexId v : face) on_surface[v] = true;
+    }
+  }
+  for (VertexId v = 0; v < mesh.num_vertices(); ++v) {
+    if (on_surface[v]) info.surface_vertices.push_back(v);
+  }
+  // Canonical face order so extraction output is deterministic for tests.
+  std::sort(info.surface_faces.begin(), info.surface_faces.end());
+  return info;
+}
+
+void FaceRegistry::Build(const TetraMesh& mesh) {
+  face_count_.clear();
+  surface_face_count_.clear();
+  face_count_.reserve(mesh.num_tetrahedra() * 2);
+  for (const Tet& t : mesh.tetrahedra()) {
+    for (const FaceKey& f : TetFaces(t)) {
+      ++face_count_[f];
+    }
+  }
+  for (const auto& [face, count] : face_count_) {
+    if (count == 1) {
+      for (VertexId v : face) ++surface_face_count_[v];
+    }
+  }
+}
+
+size_t FaceRegistry::num_surface_vertices() const {
+  size_t n = 0;
+  for (const auto& [v, c] : surface_face_count_) {
+    if (c > 0) ++n;
+  }
+  return n;
+}
+
+size_t FaceRegistry::FootprintBytes() const {
+  // Approximation: hash-node overhead of ~2 pointers per entry.
+  const size_t face_entry = sizeof(FaceKey) + sizeof(uint8_t) + 16;
+  const size_t vert_entry = sizeof(VertexId) + sizeof(uint32_t) + 16;
+  return face_count_.size() * face_entry +
+         surface_face_count_.size() * vert_entry;
+}
+
+void FaceRegistry::ChangeVertexSurfaceCount(
+    VertexId v, int delta,
+    std::unordered_map<VertexId, bool>* initial_membership) {
+  // Record membership as it was before the first touch within this delta,
+  // so transitions can be emitted against the true pre-delta state.
+  auto it = surface_face_count_.find(v);
+  const uint32_t old_count = it == surface_face_count_.end() ? 0 : it->second;
+  initial_membership->try_emplace(v, old_count > 0);
+  assert(delta > 0 || old_count >= static_cast<uint32_t>(-delta));
+  const uint32_t new_count = old_count + delta;
+  if (new_count == 0) {
+    if (it != surface_face_count_.end()) surface_face_count_.erase(it);
+  } else if (it != surface_face_count_.end()) {
+    it->second = new_count;
+  } else {
+    surface_face_count_.emplace(v, new_count);
+  }
+}
+
+void FaceRegistry::ChangeFace(
+    const FaceKey& face, int delta,
+    std::unordered_map<VertexId, bool>* initial_membership) {
+  uint8_t& count = face_count_[face];
+  const bool was_surface = count == 1;
+  assert(delta > 0 || count >= static_cast<uint8_t>(-delta));
+  count = static_cast<uint8_t>(count + delta);
+  assert(count <= 2 && "face shared by more than two tetrahedra");
+  const bool is_surface = count == 1;
+  if (was_surface && !is_surface) {
+    for (VertexId v : face) {
+      ChangeVertexSurfaceCount(v, -1, initial_membership);
+    }
+  } else if (!was_surface && is_surface) {
+    for (VertexId v : face) {
+      ChangeVertexSurfaceCount(v, +1, initial_membership);
+    }
+  }
+  if (count == 0) face_count_.erase(face);
+}
+
+void FaceRegistry::ApplyDelta(const RestructureDelta& delta,
+                              std::vector<VertexTransition>* transitions) {
+  std::unordered_map<VertexId, bool> initial_membership;
+  for (const Tet& t : delta.removed_tets) {
+    for (const FaceKey& f : TetFaces(t)) {
+      ChangeFace(f, -1, &initial_membership);
+    }
+  }
+  for (const Tet& t : delta.added_tets) {
+    for (const FaceKey& f : TetFaces(t)) {
+      ChangeFace(f, +1, &initial_membership);
+    }
+  }
+  if (transitions != nullptr) {
+    for (const auto& [v, was_on_surface] : initial_membership) {
+      const bool now = IsSurfaceVertex(v);
+      if (now != was_on_surface) transitions->push_back({v, now});
+    }
+  }
+}
+
+}  // namespace octopus

@@ -1,0 +1,163 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "mesh/tetra_mesh.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace octopus {
+
+namespace {
+
+// Canonical form of a tet for identity comparison (corner order ignored).
+Tet SortedTet(Tet t) {
+  std::sort(t.begin(), t.end());
+  return t;
+}
+
+struct TetHash {
+  size_t operator()(const Tet& t) const {
+    uint64_t h = 0x2545F4914F6CDD1Dull;
+    for (VertexId v : t) {
+      h ^= v;
+      h *= 0x100000001B3ull;
+      h ^= h >> 31;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+TetraMesh::TetraMesh(std::vector<Vec3> positions, std::vector<Tet> tets)
+    : positions_(std::move(positions)), tets_(std::move(tets)) {
+  RebuildAdjacency();
+  RebuildTetCounts();
+}
+
+void TetraMesh::RebuildAdjacency() {
+  const size_t v_count = positions_.size();
+  // Pass 1: count the (undirected) edge endpoints contributed by each tet.
+  // Each tet has 6 edges; each edge contributes one neighbor entry to each
+  // endpoint. Duplicates across tets are removed in pass 3.
+  std::vector<uint32_t> counts(v_count + 1, 0);
+  static constexpr int kEdges[6][2] = {{0, 1}, {0, 2}, {0, 3},
+                                       {1, 2}, {1, 3}, {2, 3}};
+  for (const Tet& t : tets_) {
+    for (const auto& e : kEdges) {
+      ++counts[t[e[0]] + 1];
+      ++counts[t[e[1]] + 1];
+    }
+  }
+  std::vector<uint32_t> offsets(v_count + 1, 0);
+  for (size_t i = 1; i <= v_count; ++i) offsets[i] = offsets[i - 1] + counts[i];
+
+  // Pass 2: scatter neighbor ids (with duplicates).
+  std::vector<VertexId> adj(offsets[v_count]);
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Tet& t : tets_) {
+    for (const auto& e : kEdges) {
+      const VertexId a = t[e[0]];
+      const VertexId b = t[e[1]];
+      adj[cursor[a]++] = b;
+      adj[cursor[b]++] = a;
+    }
+  }
+
+  // Pass 3: sort + unique each vertex's list, compact into final CSR.
+  adj_offsets_.assign(v_count + 1, 0);
+  adj_.clear();
+  adj_.reserve(adj.size() / 2);
+  for (size_t v = 0; v < v_count; ++v) {
+    auto begin = adj.begin() + offsets[v];
+    auto end = adj.begin() + offsets[v + 1];
+    std::sort(begin, end);
+    auto last = std::unique(begin, end);
+    adj_offsets_[v] = static_cast<uint32_t>(adj_.size());
+    adj_.insert(adj_.end(), begin, last);
+  }
+  adj_offsets_[v_count] = static_cast<uint32_t>(adj_.size());
+  adj_.shrink_to_fit();
+}
+
+void TetraMesh::RebuildTetCounts() {
+  tet_count_.assign(positions_.size(), 0);
+  for (const Tet& t : tets_) {
+    for (VertexId v : t) ++tet_count_[v];
+  }
+}
+
+AABB TetraMesh::ComputeBounds() const {
+  AABB box;
+  for (const Vec3& p : positions_) box.Extend(p);
+  return box;
+}
+
+double TetraMesh::AverageDegree() const {
+  if (positions_.empty()) return 0.0;
+  return static_cast<double>(adj_.size()) /
+         static_cast<double>(positions_.size());
+}
+
+size_t TetraMesh::MemoryBytes() const {
+  return positions_.capacity() * sizeof(Vec3) +
+         adj_offsets_.capacity() * sizeof(uint32_t) +
+         adj_.capacity() * sizeof(VertexId) + tets_.capacity() * sizeof(Tet) +
+         tet_count_.capacity() * sizeof(uint32_t);
+}
+
+VertexId TetraMesh::AddVertexForRestructure(const Vec3& p) {
+  positions_.push_back(p);
+  tet_count_.push_back(0);
+  return static_cast<VertexId>(positions_.size() - 1);
+}
+
+bool TetraMesh::ApplyRestructure(const RestructureDelta& delta) {
+  if (delta.removed_tets.empty() && delta.added_tets.empty()) return true;
+
+  // Index existing tets by canonical corner set for removal lookup.
+  std::unordered_map<Tet, TetId, TetHash> by_corners;
+  by_corners.reserve(tets_.size());
+  for (TetId i = 0; i < tets_.size(); ++i) {
+    by_corners.emplace(SortedTet(tets_[i]), i);
+  }
+
+  // Validate first: every removal must exist, and no vertex may be orphaned
+  // by the net effect of the batch.
+  std::vector<TetId> to_remove;
+  to_remove.reserve(delta.removed_tets.size());
+  std::unordered_map<VertexId, int32_t> count_change;
+  for (const Tet& t : delta.removed_tets) {
+    auto it = by_corners.find(SortedTet(t));
+    if (it == by_corners.end()) return false;
+    to_remove.push_back(it->second);
+    by_corners.erase(it);  // also rejects duplicate removals
+    for (VertexId v : t) --count_change[v];
+  }
+  for (const Tet& t : delta.added_tets) {
+    for (VertexId v : t) {
+      if (v >= positions_.size()) return false;
+      ++count_change[v];
+    }
+  }
+  for (const auto& [v, change] : count_change) {
+    if (static_cast<int64_t>(tet_count_[v]) + change <= 0) {
+      // Newly added vertices must gain incidence; existing ones must keep it.
+      return false;
+    }
+  }
+
+  // Apply removals back-to-front via swap-and-pop.
+  std::sort(to_remove.begin(), to_remove.end(), std::greater<TetId>());
+  for (TetId id : to_remove) {
+    tets_[id] = tets_.back();
+    tets_.pop_back();
+  }
+  tets_.insert(tets_.end(), delta.added_tets.begin(), delta.added_tets.end());
+
+  RebuildAdjacency();
+  RebuildTetCounts();
+  return true;
+}
+
+}  // namespace octopus

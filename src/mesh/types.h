@@ -1,0 +1,72 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Fundamental identifier types shared by the mesh substrate and indexes.
+#ifndef OCTOPUS_MESH_TYPES_H_
+#define OCTOPUS_MESH_TYPES_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace octopus {
+
+/// Index of a vertex in a `TetraMesh`. 32 bits bound meshes to ~4.2 billion
+/// vertices, comfortably above what fits in memory at our scale.
+using VertexId = uint32_t;
+
+/// Index of a tetrahedron in a `TetraMesh`.
+using TetId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr TetId kInvalidTet = std::numeric_limits<TetId>::max();
+
+/// A tetrahedron as the ids of its four corner vertices.
+using Tet = std::array<VertexId, 4>;
+
+/// A triangular face as sorted corner ids; sorting makes the key canonical
+/// so the two copies of a face shared by adjacent tetrahedra compare equal.
+using FaceKey = std::array<VertexId, 3>;
+
+/// Canonicalizes three vertex ids into a `FaceKey` (ascending order).
+inline FaceKey MakeFaceKey(VertexId a, VertexId b, VertexId c) {
+  if (a > b) {
+    const VertexId t = a;
+    a = b;
+    b = t;
+  }
+  if (b > c) {
+    const VertexId t = b;
+    b = c;
+    c = t;
+  }
+  if (a > b) {
+    const VertexId t = a;
+    a = b;
+    b = t;
+  }
+  return {a, b, c};
+}
+
+struct FaceKeyHash {
+  size_t operator()(const FaceKey& f) const {
+    // 3x fmix-style avalanche; cheap and well distributed for dense ids.
+    uint64_t h = 0x9E3779B97F4A7C15ull;
+    for (VertexId v : f) {
+      uint64_t k = v;
+      k *= 0xFF51AFD7ED558CCDull;
+      k ^= k >> 33;
+      h = (h ^ k) * 0xC4CEB9FE1A85EC53ull;
+    }
+    return static_cast<size_t>(h ^ (h >> 29));
+  }
+};
+
+/// The four faces of tet (v0, v1, v2, v3), each canonicalized.
+inline std::array<FaceKey, 4> TetFaces(const Tet& t) {
+  return {MakeFaceKey(t[0], t[1], t[2]), MakeFaceKey(t[0], t[1], t[3]),
+          MakeFaceKey(t[0], t[2], t[3]), MakeFaceKey(t[1], t[2], t[3])};
+}
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_MESH_TYPES_H_

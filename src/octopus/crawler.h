@@ -1,0 +1,87 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// The crawling phase (paper Sec. IV-B): breadth-first traversal of the
+// mesh edges from the start vertices, never expanding past a vertex that
+// lies outside the query region. Visits O(result-neighborhood) vertices —
+// the reason OCTOPUS scales sublinearly with dataset size.
+#ifndef OCTOPUS_OCTOPUS_CRAWLER_H_
+#define OCTOPUS_OCTOPUS_CRAWLER_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "common/aabb.h"
+#include "mesh/graph_view.h"
+#include "mesh/tetra_mesh.h"
+#include "mesh/types.h"
+
+namespace octopus {
+
+/// How the crawler tracks visited vertices.
+enum class VisitedMode {
+  /// O(V) epoch-stamped array: fastest, memory proportional to the mesh.
+  kEpochArray,
+  /// Hash set of visited ids: memory proportional to the *result
+  /// neighborhood* — the behaviour behind the paper's Fig. 10(b)
+  /// footprint-vs-results correlation — at some speed cost.
+  kHashSet,
+};
+
+/// \brief Per-crawl counters (feed the analytical model and Fig. 10).
+struct CrawlStats {
+  size_t vertices_inside = 0;    ///< result size
+  size_t vertices_touched = 0;   ///< inside + frontier vertices tested
+  size_t edges_traversed = 0;    ///< adjacency entries inspected
+};
+
+/// \brief Reusable BFS engine with epoch-stamped visited marks.
+///
+/// The visited array is O(V) but is *not* cleared between queries — a per
+/// -query epoch stamp makes clearing O(1). This scratch space is counted
+/// in OCTOPUS's memory footprint (paper Fig. 10(b)).
+class Crawler {
+ public:
+  Crawler() = default;
+  explicit Crawler(VisitedMode mode) : mode_(mode) {}
+
+  /// Grows the scratch arrays to cover `num_vertices` (no-op in
+  /// kHashSet mode).
+  void EnsureSize(size_t num_vertices);
+
+  VisitedMode mode() const { return mode_; }
+
+  /// BFS from `starts`; appends every vertex inside `box` reachable from a
+  /// start through vertices inside `box`. Starts outside the box are
+  /// ignored. Duplicate starts are fine. Primitive-agnostic: any mesh
+  /// exposing a `MeshGraphView` can be crawled (paper Sec. IV-B).
+  CrawlStats Crawl(const MeshGraphView& graph, const AABB& box,
+                   std::span<const VertexId> starts,
+                   std::vector<VertexId>* out);
+
+  CrawlStats Crawl(const TetraMesh& mesh, const AABB& box,
+                   std::span<const VertexId> starts,
+                   std::vector<VertexId>* out) {
+    return Crawl(mesh.Graph(), box, starts, out);
+  }
+
+  /// Bytes of visited marks + queue.
+  size_t ScratchBytes() const {
+    return visit_epoch_.capacity() * sizeof(uint32_t) +
+           queue_.capacity() * sizeof(VertexId) +
+           visited_set_.size() * (sizeof(VertexId) + 16);
+  }
+
+ private:
+  bool MarkVisited(VertexId v);
+
+  VisitedMode mode_ = VisitedMode::kEpochArray;
+  std::vector<uint32_t> visit_epoch_;
+  uint32_t epoch_ = 0;
+  std::unordered_set<VertexId> visited_set_;
+  std::vector<VertexId> queue_;
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_OCTOPUS_CRAWLER_H_

@@ -1,0 +1,43 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// The directed-walk phase (paper Sec. IV-D): when no surface vertex lies
+// inside the query (query fully interior, or not intersecting the mesh),
+// walk mesh edges from a start vertex toward the query box until a vertex
+// inside is reached or the whole frontier is receding (-> empty result).
+// Implemented as a bounded best-first search rather than the paper's pure
+// greedy descent; see DESIGN.md 4b for the rationale (greedy stalls in
+// local minima on jittered meshes).
+#ifndef OCTOPUS_OCTOPUS_DIRECTED_WALK_H_
+#define OCTOPUS_OCTOPUS_DIRECTED_WALK_H_
+
+#include "common/aabb.h"
+#include "mesh/graph_view.h"
+#include "mesh/tetra_mesh.h"
+#include "mesh/types.h"
+
+namespace octopus {
+
+/// \brief Outcome of a directed walk.
+struct WalkResult {
+  /// A vertex inside the query box, or kInvalidVertex if the walk reached
+  /// a local minimum first (on convex meshes that means the query does not
+  /// intersect the mesh).
+  VertexId found = kInvalidVertex;
+  /// Vertices whose neighbor lists were expanded (paper Fig. 9(c) metric).
+  size_t vertices_visited = 0;
+
+  bool ok() const { return found != kInvalidVertex; }
+};
+
+/// Walk from `start` toward `box` using current vertex positions.
+/// Primitive-agnostic (works on any `MeshGraphView`).
+WalkResult DirectedWalk(const MeshGraphView& graph, const AABB& box,
+                        VertexId start);
+
+inline WalkResult DirectedWalk(const TetraMesh& mesh, const AABB& box,
+                               VertexId start) {
+  return DirectedWalk(mesh.Graph(), box, start);
+}
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_OCTOPUS_DIRECTED_WALK_H_

@@ -1,0 +1,33 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "octopus/hex_octopus.h"
+
+#include <cassert>
+
+namespace octopus {
+
+HexOctopus::HexOctopus(OctopusOptions options)
+    : options_(options), crawler_(options.visited_mode) {
+  assert(options_.surface_sample_fraction > 0.0 &&
+         options_.surface_sample_fraction <= 1.0);
+  assert(!options_.support_restructuring &&
+         "hexahedral restructuring maintenance is not implemented");
+}
+
+void HexOctopus::Build(const HexaMesh& mesh) {
+  HexSurfaceInfo info = ExtractHexSurface(mesh);
+  surface_index_.BuildFromSurfaceVertices(std::move(info.surface_vertices));
+  crawler_.EnsureSize(mesh.num_vertices());
+}
+
+void HexOctopus::RangeQuery(const HexaMesh& mesh, const AABB& box,
+                            std::vector<VertexId>* out) {
+  ExecuteOctopusQuery(mesh.Graph(), surface_index_, options_, box, &crawler_,
+                      &start_scratch_, &stats_, out);
+}
+
+size_t HexOctopus::FootprintBytes() const {
+  return surface_index_.FootprintBytes() + crawler_.ScratchBytes() +
+         start_scratch_.capacity() * sizeof(VertexId);
+}
+
+}  // namespace octopus

@@ -1,0 +1,62 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "octopus/hilbert_layout.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/hilbert.h"
+
+namespace octopus {
+
+VertexPermutation ComputeHilbertOrder(const TetraMesh& mesh, int bits) {
+  const size_t v_count = mesh.num_vertices();
+  const AABB bounds = mesh.ComputeBounds();
+  if (bits <= 0) {
+    // ~2 curve cells per axis per cbrt(V) vertices.
+    const double per_axis = 2.0 * std::cbrt(static_cast<double>(v_count));
+    bits = 1;
+    while ((1 << bits) < per_axis && bits < 21) ++bits;
+  }
+  const HilbertCurve3D curve(bits);
+
+  std::vector<uint64_t> keys(v_count);
+  for (size_t v = 0; v < v_count; ++v) {
+    keys[v] = curve.EncodePoint(mesh.position(static_cast<VertexId>(v)),
+                                bounds);
+  }
+
+  VertexPermutation perm;
+  perm.new_to_old.resize(v_count);
+  for (size_t v = 0; v < v_count; ++v) {
+    perm.new_to_old[v] = static_cast<VertexId>(v);
+  }
+  std::stable_sort(perm.new_to_old.begin(), perm.new_to_old.end(),
+                   [&](VertexId a, VertexId b) { return keys[a] < keys[b]; });
+  perm.old_to_new.resize(v_count);
+  for (size_t new_id = 0; new_id < v_count; ++new_id) {
+    perm.old_to_new[perm.new_to_old[new_id]] =
+        static_cast<VertexId>(new_id);
+  }
+  return perm;
+}
+
+TetraMesh ApplyPermutation(const TetraMesh& mesh,
+                           const VertexPermutation& permutation) {
+  assert(permutation.size() == mesh.num_vertices());
+  std::vector<Vec3> positions(mesh.num_vertices());
+  for (size_t new_id = 0; new_id < positions.size(); ++new_id) {
+    positions[new_id] = mesh.position(permutation.new_to_old[new_id]);
+  }
+  std::vector<Tet> tets;
+  tets.reserve(mesh.num_tetrahedra());
+  for (const Tet& t : mesh.tetrahedra()) {
+    tets.push_back(Tet{permutation.old_to_new[t[0]],
+                       permutation.old_to_new[t[1]],
+                       permutation.old_to_new[t[2]],
+                       permutation.old_to_new[t[3]]});
+  }
+  return TetraMesh(std::move(positions), std::move(tets));
+}
+
+}  // namespace octopus

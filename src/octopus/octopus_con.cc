@@ -1,0 +1,45 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "octopus/octopus_con.h"
+
+#include "common/timer.h"
+
+namespace octopus {
+
+void OctopusCon::Build(const TetraMesh& mesh) {
+  grid_.Build(mesh.positions());
+  crawler_.EnsureSize(mesh.num_vertices());
+}
+
+void OctopusCon::RangeQuery(const TetraMesh& mesh, const AABB& box,
+                            std::vector<VertexId>* out) {
+  Timer timer;
+  ++stats_.queries;
+
+  // --- Directed walk from a grid-suggested start ---
+  // The grid maps the query center to a vertex that was nearby when the
+  // grid was built. Even stale, it is a far better start than a random
+  // vertex; the walk covers the remaining (drift) distance.
+  ++stats_.walk_invocations;
+  const VertexId hint = grid_.FindNearbyVertex(box.Center());
+  const WalkResult walk = DirectedWalk(mesh, box, hint);
+  stats_.walk_vertices += walk.vertices_visited;
+  stats_.walk_nanos += timer.ElapsedNanos();
+  if (!walk.ok()) {
+    return;  // convex mesh + failed walk => query misses the mesh
+  }
+
+  // --- Crawl from the single interior start ---
+  timer.Restart();
+  start_scratch_.assign(1, walk.found);
+  const CrawlStats crawl = crawler_.Crawl(mesh, box, start_scratch_, out);
+  stats_.crawl_edges += crawl.edges_traversed;
+  stats_.result_vertices += crawl.vertices_inside;
+  stats_.crawl_nanos += timer.ElapsedNanos();
+}
+
+size_t OctopusCon::FootprintBytes() const {
+  return grid_.FootprintBytes() + crawler_.ScratchBytes() +
+         start_scratch_.capacity() * sizeof(VertexId);
+}
+
+}  // namespace octopus

@@ -1,0 +1,66 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// OCTOPUS-CON (paper Sec. IV-F): the convex-mesh variant. Convex meshes
+// satisfy internal reachability, so the surface probe is unnecessary —
+// any single vertex inside the query seeds a complete crawl. A uniform
+// grid built ONCE over the initial positions (and deliberately never
+// updated — "stale") supplies a start vertex near the query center for
+// the directed walk.
+#ifndef OCTOPUS_OCTOPUS_OCTOPUS_CON_H_
+#define OCTOPUS_OCTOPUS_OCTOPUS_CON_H_
+
+#include <vector>
+
+#include "index/spatial_index.h"
+#include "index/uniform_grid.h"
+#include "octopus/crawler.h"
+#include "octopus/directed_walk.h"
+#include "octopus/query_executor.h"  // PhaseStats
+
+namespace octopus {
+
+/// \brief Configuration of OCTOPUS-CON.
+struct OctopusConOptions {
+  /// Grid cells per axis; total cells = resolution^3. The paper sweeps
+  /// 8..5832 total cells (Fig. 9(c,d)) and uses 1000 (= 10^3) by default.
+  int grid_resolution = 10;
+};
+
+/// \brief OCTOPUS-CON: stale-grid + directed walk + crawl, for meshes
+/// that remain convex throughout the simulation.
+///
+/// Correctness requires convexity; on non-convex meshes use `Octopus`.
+class OctopusCon : public SpatialIndex {
+ public:
+  explicit OctopusCon(OctopusConOptions options = {})
+      : options_(options), grid_(options.grid_resolution) {}
+
+  std::string Name() const override { return "OCTOPUS-CON"; }
+
+  /// Builds the uniform grid over the *initial* vertex positions. The
+  /// grid is never rebuilt; it may go arbitrarily stale (Sec. IV-F: "the
+  /// index is built once and never updated").
+  void Build(const TetraMesh& mesh) override;
+
+  /// No-op, like OCTOPUS.
+  void BeforeQueries(const TetraMesh& mesh) override { (void)mesh; }
+
+  void RangeQuery(const TetraMesh& mesh, const AABB& box,
+                  std::vector<VertexId>* out) override;
+
+  size_t FootprintBytes() const override;
+
+  const UniformGrid& grid() const { return grid_; }
+  const PhaseStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  OctopusConOptions options_;
+  UniformGrid grid_;
+  Crawler crawler_;
+  PhaseStats stats_;
+  std::vector<VertexId> start_scratch_;
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_OCTOPUS_OCTOPUS_CON_H_

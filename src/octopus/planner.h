@@ -1,0 +1,69 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Model-driven approach selection (paper Sec. VI-B / VIII-B): "Equations
+// 5 and 6 help us to decide when to use OCTOPUS given that we know the
+// workload characteristics (M and S) and the runtime constants". The
+// planner estimates each query's selectivity with the histogram technique
+// of Acharya et al. [2] and routes it to OCTOPUS or the linear scan,
+// whichever the cost model predicts to be faster.
+#ifndef OCTOPUS_OCTOPUS_PLANNER_H_
+#define OCTOPUS_OCTOPUS_PLANNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/histogram3d.h"
+#include "index/linear_scan.h"
+#include "index/spatial_index.h"
+#include "octopus/cost_model.h"
+#include "octopus/query_executor.h"
+
+namespace octopus {
+
+/// \brief Per-query adaptive executor: OCTOPUS below the break-even
+/// selectivity, linear scan above it.
+class AdaptiveExecutor : public SpatialIndex {
+ public:
+  struct Options {
+    OctopusOptions octopus;
+    /// Histogram resolution for selectivity estimation.
+    int histogram_resolution = 24;
+    /// Calibration repetitions for the cost constants.
+    int calibration_repetitions = 2;
+  };
+
+  AdaptiveExecutor();  // default options
+  explicit AdaptiveExecutor(Options options);
+
+  std::string Name() const override { return "OCTOPUS-Adaptive"; }
+
+  /// Builds the OCTOPUS surface index, the selectivity histogram and
+  /// calibrates the cost model on this mesh.
+  void Build(const TetraMesh& mesh) override;
+
+  /// No-op (neither sub-approach needs per-step maintenance).
+  void BeforeQueries(const TetraMesh& mesh) override { (void)mesh; }
+
+  void RangeQuery(const TetraMesh& mesh, const AABB& box,
+                  std::vector<VertexId>* out) override;
+
+  size_t FootprintBytes() const override;
+
+  /// The Eq. 6 routing threshold currently in force.
+  double break_even_selectivity() const { return break_even_; }
+  size_t queries_routed_to_octopus() const { return to_octopus_; }
+  size_t queries_routed_to_scan() const { return to_scan_; }
+  const Octopus& octopus() const { return octopus_; }
+
+ private:
+  Options options_;
+  Octopus octopus_;
+  LinearScan scan_;
+  Histogram3D histogram_;
+  double break_even_ = 1.0;
+  size_t to_octopus_ = 0;
+  size_t to_scan_ = 0;
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_OCTOPUS_PLANNER_H_

@@ -1,0 +1,111 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "octopus/query_executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/timer.h"
+
+namespace octopus {
+
+void ExecuteOctopusQuery(const MeshGraphView& graph,
+                         const SurfaceIndex& surface_index,
+                         const OctopusOptions& options, const AABB& box,
+                         Crawler* crawler,
+                         std::vector<VertexId>* start_scratch,
+                         PhaseStats* stats, std::vector<VertexId>* out) {
+  Timer timer;
+  ++stats->queries;
+
+  // --- Phase 1: surface probe (Sec. IV-C) ---
+  // Scan the surface vertices in ascending-id order (streaming access over
+  // the position array); collect those inside the query as crawl starts,
+  // and track the closest one as a fallback walk start. Under surface
+  // approximation (Sec. IV-H2) only every `stride`-th vertex is probed —
+  // the paper's "equidistant sample" of the surface.
+  start_scratch->clear();
+  const std::span<const VertexId> surface = surface_index.probe_order();
+  const size_t stride =
+      options.surface_sample_fraction >= 1.0
+          ? 1
+          : std::max<size_t>(
+                1, static_cast<size_t>(std::llround(
+                       1.0 / options.surface_sample_fraction)));
+  VertexId closest = kInvalidVertex;
+  float closest_d2 = std::numeric_limits<float>::max();
+  size_t probed = 0;
+  const Vec3* positions = graph.positions.data();
+  constexpr size_t kPrefetchAhead = 16;
+  for (size_t i = 0; i < surface.size(); i += stride) {
+    // The probe is a strided gather through the position array; software
+    // prefetch hides most of the per-entry miss latency.
+    if (i + kPrefetchAhead * stride < surface.size()) {
+      __builtin_prefetch(positions + surface[i + kPrefetchAhead * stride]);
+    }
+    const VertexId v = surface[i];
+    ++probed;
+    const float d2 = box.SquaredDistanceTo(positions[v]);
+    if (d2 == 0.0f) {
+      start_scratch->push_back(v);
+    } else if (start_scratch->empty() && d2 < closest_d2) {
+      closest_d2 = d2;
+      closest = v;
+    }
+  }
+  stats->probed_vertices += probed;
+  stats->probe_nanos += timer.ElapsedNanos();
+
+  // --- Phase 2: directed walk (Sec. IV-D), only if the probe was dry ---
+  if (start_scratch->empty()) {
+    timer.Restart();
+    ++stats->walk_invocations;
+    const WalkResult walk = DirectedWalk(graph, box, closest);
+    stats->walk_vertices += walk.vertices_visited;
+    stats->walk_nanos += timer.ElapsedNanos();
+    if (!walk.ok()) {
+      return;  // query does not intersect the mesh: empty result
+    }
+    start_scratch->push_back(walk.found);
+  }
+
+  // --- Phase 3: crawling (Sec. IV-B) ---
+  timer.Restart();
+  const CrawlStats crawl = crawler->Crawl(graph, box, *start_scratch, out);
+  stats->crawl_edges += crawl.edges_traversed;
+  stats->result_vertices += crawl.vertices_inside;
+  stats->crawl_nanos += timer.ElapsedNanos();
+}
+
+Octopus::Octopus(OctopusOptions options)
+    : options_(options), crawler_(options.visited_mode) {
+  assert(options_.surface_sample_fraction > 0.0 &&
+         options_.surface_sample_fraction <= 1.0);
+  surface_index_ = SurfaceIndex(SurfaceIndex::Options{
+      .support_restructuring = options_.support_restructuring,
+  });
+}
+
+void Octopus::Build(const TetraMesh& mesh) {
+  surface_index_.Build(mesh);
+  crawler_.EnsureSize(mesh.num_vertices());
+}
+
+void Octopus::RangeQuery(const TetraMesh& mesh, const AABB& box,
+                         std::vector<VertexId>* out) {
+  ExecuteOctopusQuery(mesh.Graph(), surface_index_, options_, box, &crawler_,
+                      &start_scratch_, &stats_, out);
+}
+
+size_t Octopus::FootprintBytes() const {
+  return surface_index_.FootprintBytes() + crawler_.ScratchBytes() +
+         start_scratch_.capacity() * sizeof(VertexId);
+}
+
+void Octopus::OnRestructure(const TetraMesh& mesh,
+                            const RestructureDelta& delta) {
+  surface_index_.ApplyDelta(delta);
+  crawler_.EnsureSize(mesh.num_vertices());
+}
+
+}  // namespace octopus

@@ -1,0 +1,87 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "sim/animation_deformer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace octopus {
+
+namespace {
+constexpr float kTwoPi = 6.2831853f;
+}
+
+void AnimationDeformer::Bind(const TetraMesh& mesh) {
+  rest_ = mesh.positions();
+  Vec3 sum(0, 0, 0);
+  for (const Vec3& p : rest_) sum += p;
+  centroid_ = rest_.empty() ? Vec3(0, 0, 0)
+                            : sum / static_cast<float>(rest_.size());
+}
+
+void AnimationDeformer::ApplyStep(int step, TetraMesh* mesh) {
+  assert(rest_.size() == mesh->num_vertices() &&
+         "Bind() not called or mesh restructured without rebinding");
+  const int period = AnimationTimeSteps(which_);
+  const float t = static_cast<float>(step % period) /
+                  static_cast<float>(period);
+  std::vector<Vec3>& positions = mesh->mutable_positions();
+
+  switch (which_) {
+    case AnimationDataset::kHorseGallop: {
+      // Vertical bending wave traveling along x.
+      for (size_t v = 0; v < positions.size(); ++v) {
+        const Vec3& r = rest_[v];
+        const float wave =
+            std::sin(kTwoPi * (2.0f * r.x - t)) * amplitude_;
+        positions[v] = Vec3(r.x, r.y, r.z + wave);
+      }
+      break;
+    }
+    case AnimationDataset::kFacialExpression: {
+      // Three blendshape-like Gaussian bumps, weights cycling with t.
+      static constexpr Vec3 kBumpCenters[3] = {
+          Vec3(0.42f, 0.40f, 0.72f),  // brow
+          Vec3(0.58f, 0.62f, 0.40f),  // cheek
+          Vec3(0.50f, 0.50f, 0.22f),  // jaw
+      };
+      const float weights[3] = {std::sin(kTwoPi * t),
+                                std::sin(kTwoPi * t + 2.094f),
+                                std::sin(kTwoPi * t + 4.189f)};
+      const float inv_sigma2 = 1.0f / (2.0f * 0.12f * 0.12f);
+      for (size_t v = 0; v < positions.size(); ++v) {
+        const Vec3& r = rest_[v];
+        Vec3 d(0, 0, 0);
+        for (int b = 0; b < 3; ++b) {
+          const float dist2 = SquaredDistance(r, kBumpCenters[b]);
+          const float g = std::exp(-dist2 * inv_sigma2);
+          // Push outward from the mesh centroid, expression-like. The
+          // direction field is singular at the centroid; taper the
+          // magnitude to zero there so nearby elements cannot invert.
+          Vec3 out = r - centroid_;
+          const float n = out.Norm();
+          if (n > 1e-6f) out = out / n;
+          const float taper = std::min(n / 0.15f, 1.0f);
+          d += out * (weights[b] * g * amplitude_ * taper);
+        }
+        positions[v] = r + d;
+      }
+      break;
+    }
+    case AnimationDataset::kCamelCompress: {
+      // Squash along z around the centroid, bulge in x/y to compensate.
+      const float squash =
+          1.0f - amplitude_ * 0.5f * (1.0f - std::cos(kTwoPi * t));
+      const float bulge = 1.0f / std::sqrt(squash);
+      for (size_t v = 0; v < positions.size(); ++v) {
+        const Vec3& r = rest_[v];
+        const Vec3 d = r - centroid_;
+        positions[v] = Vec3(centroid_.x + d.x * bulge,
+                            centroid_.y + d.y * bulge,
+                            centroid_.z + d.z * squash);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace octopus

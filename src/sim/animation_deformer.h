@@ -1,0 +1,38 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Keyframed deformations mimicking the three deforming-mesh animation
+// sequences of paper Sec. VIII-A (horse gallop, facial expression, camel
+// compress — Sumner & Popovic's deformation-transfer data).
+#ifndef OCTOPUS_SIM_ANIMATION_DEFORMER_H_
+#define OCTOPUS_SIM_ANIMATION_DEFORMER_H_
+
+#include <vector>
+
+#include "mesh/generators/datasets.h"
+#include "sim/deformer.h"
+
+namespace octopus {
+
+/// \brief Procedural analog of a mesh-animation sequence.
+///
+/// * Horse gallop — traveling vertical bending wave along the body axis.
+/// * Facial expression — localized Gaussian bumps with periodic weights
+///   (blendshape-style).
+/// * Camel compress — periodic squash along z with lateral bulge.
+class AnimationDeformer : public Deformer {
+ public:
+  explicit AnimationDeformer(AnimationDataset which, float amplitude)
+      : which_(which), amplitude_(amplitude) {}
+
+  void Bind(const TetraMesh& mesh) override;
+  void ApplyStep(int step, TetraMesh* mesh) override;
+
+ private:
+  AnimationDataset which_;
+  float amplitude_;
+  std::vector<Vec3> rest_;
+  Vec3 centroid_;
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_SIM_ANIMATION_DEFORMER_H_

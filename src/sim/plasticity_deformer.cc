@@ -1,0 +1,53 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "sim/plasticity_deformer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace octopus {
+
+PlasticityDeformer::PlasticityDeformer(float amplitude, int num_harmonics,
+                                       uint64_t seed)
+    : amplitude_(amplitude), rng_(seed) {
+  harmonics_.resize(num_harmonics);
+  for (Harmonic& h : harmonics_) {
+    // Wavelengths on the order of 1/2 .. 2 of the unit domain: long enough
+    // that neighboring vertices move almost identically (the spatial
+    // correlation surface approximation relies on) and that accumulated
+    // strain stays far below element inversion.
+    h.wave_vector = rng_.NextUnitVector() * rng_.NextFloat(3.0f, 12.0f);
+    h.direction = rng_.NextUnitVector();
+    h.phase = rng_.NextFloat(0.0f, 6.2831853f);
+  }
+}
+
+void PlasticityDeformer::Bind(const TetraMesh& mesh) {
+  rest_ = mesh.positions();
+  displacement_.assign(rest_.size(), Vec3(0, 0, 0));
+}
+
+void PlasticityDeformer::ApplyStep(int step, TetraMesh* mesh) {
+  (void)step;
+  assert(rest_.size() == mesh->num_vertices() &&
+         "Bind() not called or mesh restructured without rebinding");
+  // Random phase walk: the velocity field at step t+1 is not predictable
+  // from the field at step t (fresh randomness each call).
+  for (Harmonic& h : harmonics_) {
+    h.phase += rng_.NextFloat(-0.8f, 0.8f);
+  }
+  const float per_harmonic =
+      amplitude_ / static_cast<float>(harmonics_.size());
+  std::vector<Vec3>& positions = mesh->mutable_positions();
+  for (size_t v = 0; v < positions.size(); ++v) {
+    const Vec3& r = rest_[v];
+    Vec3 velocity(0, 0, 0);
+    for (const Harmonic& h : harmonics_) {
+      const float s = std::sin(h.wave_vector.Dot(r) + h.phase);
+      velocity += h.direction * (per_harmonic * s);
+    }
+    displacement_[v] += velocity;  // progressive drift, not oscillation
+    positions[v] = r + displacement_[v];
+  }
+}
+
+}  // namespace octopus

@@ -1,0 +1,57 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Neural-plasticity-style deformation: a smooth, spatially correlated
+// velocity field whose phases drift unpredictably per step. Neighboring
+// vertices move similarly ("groups of neighboring mesh elements move
+// similarly throughout the simulation", paper Sec. IV-H2) — which is what
+// makes the surface-approximation optimization effective — while each
+// vertex drifts progressively over the simulation, like spine lengths
+// that keep adjusting (paper Sec. V-A). Sustained drift is what defeats
+// grace-window indexes: bounded oscillation would let them win for free.
+#ifndef OCTOPUS_SIM_PLASTICITY_DEFORMER_H_
+#define OCTOPUS_SIM_PLASTICITY_DEFORMER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/deformer.h"
+
+namespace octopus {
+
+/// \brief Integrated sum-of-harmonics displacement field with random
+/// phase walk.
+///
+/// velocity(p, t) = amplitude * sum_h dir_h * sin(k_h . p + phi_h(t)),
+/// displacement(v, t) = displacement(v, t-1) + velocity(rest_v, t).
+/// Each phi_h performs an independent random walk over steps, so the
+/// motion is unpredictable in time (no extrapolatable trajectory) yet
+/// smooth in space. Displacement accumulates ~ amplitude * sqrt(t); local
+/// strain stays small because the wavelengths are long relative to edge
+/// lengths.
+class PlasticityDeformer : public Deformer {
+ public:
+  /// \param amplitude per-step displacement bound; keep below half the
+  ///   mean edge length so elements never invert over realistic horizons.
+  /// \param num_harmonics number of spatial waves (3-6 is plenty).
+  PlasticityDeformer(float amplitude, int num_harmonics = 4,
+                     uint64_t seed = 7);
+
+  void Bind(const TetraMesh& mesh) override;
+  void ApplyStep(int step, TetraMesh* mesh) override;
+
+ private:
+  struct Harmonic {
+    Vec3 wave_vector;
+    Vec3 direction;
+    float phase;
+  };
+
+  float amplitude_;
+  Rng rng_;
+  std::vector<Harmonic> harmonics_;
+  std::vector<Vec3> rest_;
+  std::vector<Vec3> displacement_;  // accumulated drift per vertex
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_SIM_PLASTICITY_DEFORMER_H_

@@ -1,0 +1,20 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "sim/random_deformer.h"
+
+#include <cassert>
+
+namespace octopus {
+
+void RandomDeformer::ApplyStep(int step, TetraMesh* mesh) {
+  assert(rest_.size() == mesh->num_vertices() &&
+         "Bind() not called or mesh restructured without rebinding");
+  Rng rng(seed_ ^ (static_cast<uint64_t>(step) * 0x9E3779B97F4A7C15ull));
+  std::vector<Vec3>& positions = mesh->mutable_positions();
+  for (size_t v = 0; v < positions.size(); ++v) {
+    const Vec3 dir = rng.NextUnitVector();
+    const float mag = amplitude_ * static_cast<float>(rng.NextDouble());
+    positions[v] = rest_[v] + dir * mag;
+  }
+}
+
+}  // namespace octopus

@@ -1,0 +1,46 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Unpredictable deformation: fresh bounded random displacement of every
+// vertex at every step. This is the adversarial workload of the paper's
+// problem statement — no trajectory, no velocity class, nothing an index
+// could exploit.
+#ifndef OCTOPUS_SIM_RANDOM_DEFORMER_H_
+#define OCTOPUS_SIM_RANDOM_DEFORMER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/deformer.h"
+
+namespace octopus {
+
+/// \brief Displaces each vertex by an independent random vector each step.
+///
+/// Displacements are taken around the rest positions with magnitude <=
+/// `amplitude`, so consecutive steps move each vertex by up to
+/// 2 * amplitude in an unpredictable direction.
+class RandomDeformer : public Deformer {
+ public:
+  /// \param amplitude maximum displacement from rest; choose well below
+  ///   half the mean edge length to keep elements valid.
+  /// \param seed RNG seed; the step index is mixed in, so replaying a step
+  ///   is deterministic.
+  explicit RandomDeformer(float amplitude, uint64_t seed = 42)
+      : amplitude_(amplitude), seed_(seed) {}
+
+  void Bind(const TetraMesh& mesh) override {
+    rest_ = mesh.positions();
+  }
+
+  void ApplyStep(int step, TetraMesh* mesh) override;
+
+  float amplitude() const { return amplitude_; }
+
+ private:
+  float amplitude_;
+  uint64_t seed_;
+  std::vector<Vec3> rest_;
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_SIM_RANDOM_DEFORMER_H_

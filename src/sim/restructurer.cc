@@ -1,0 +1,124 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "sim/restructurer.h"
+
+#include <cassert>
+#include <string>
+#include <unordered_set>
+
+namespace octopus {
+
+namespace {
+
+Vec3 TetCentroid(const TetraMesh& mesh, const Tet& t) {
+  return (mesh.position(t[0]) + mesh.position(t[1]) + mesh.position(t[2]) +
+          mesh.position(t[3])) *
+         0.25f;
+}
+
+// Appends the four sub-tets of splitting `t` at new vertex `m`.
+void AppendCentroidSplitTets(const Tet& t, VertexId m,
+                             std::vector<Tet>* out) {
+  out->push_back(Tet{m, t[1], t[2], t[3]});
+  out->push_back(Tet{t[0], m, t[2], t[3]});
+  out->push_back(Tet{t[0], t[1], m, t[3]});
+  out->push_back(Tet{t[0], t[1], t[2], m});
+}
+
+}  // namespace
+
+Result<RestructureDelta> SplitTetAtCentroid(TetraMesh* mesh, TetId t) {
+  if (t >= mesh->num_tetrahedra()) {
+    return Status::NotFound("tet id " + std::to_string(t) + " out of range");
+  }
+  const Tet old = mesh->tetrahedra()[t];
+  RestructureDelta delta;
+  delta.removed_tets.push_back(old);
+  const VertexId m =
+      mesh->AddVertexForRestructure(TetCentroid(*mesh, old));
+  delta.added_vertices.push_back(m);
+  AppendCentroidSplitTets(old, m, &delta.added_tets);
+  const bool ok = mesh->ApplyRestructure(delta);
+  assert(ok && "centroid split cannot fail after validation");
+  (void)ok;
+  return delta;
+}
+
+Result<RestructureDelta> AddTetOnSurfaceFace(TetraMesh* mesh,
+                                             const FaceKey& face,
+                                             const Vec3& apex) {
+  // The face must exist and be on the surface, i.e. contained in exactly
+  // one tet. O(#tets) scan; restructuring is rare so this is acceptable.
+  int count = 0;
+  for (const Tet& t : mesh->tetrahedra()) {
+    for (const FaceKey& f : TetFaces(t)) {
+      if (f == face) ++count;
+    }
+  }
+  if (count == 0) {
+    return Status::NotFound("face does not exist in the mesh");
+  }
+  if (count != 1) {
+    return Status::InvalidArgument("face is interior, not on the surface");
+  }
+  RestructureDelta delta;
+  const VertexId apex_id = mesh->AddVertexForRestructure(apex);
+  delta.added_vertices.push_back(apex_id);
+  delta.added_tets.push_back(Tet{face[0], face[1], face[2], apex_id});
+  const bool ok = mesh->ApplyRestructure(delta);
+  assert(ok && "surface extrusion cannot fail after validation");
+  (void)ok;
+  return delta;
+}
+
+Result<RestructureDelta> RemoveTet(TetraMesh* mesh, TetId t) {
+  if (t >= mesh->num_tetrahedra()) {
+    return Status::NotFound("tet id " + std::to_string(t) + " out of range");
+  }
+  const Tet old = mesh->tetrahedra()[t];
+  for (VertexId v : old) {
+    if (mesh->incident_tet_count(v) <= 1) {
+      return Status::InvalidArgument(
+          "removing tet would orphan vertex " + std::to_string(v));
+    }
+  }
+  RestructureDelta delta;
+  delta.removed_tets.push_back(old);
+  if (!mesh->ApplyRestructure(delta)) {
+    return Status::InvalidArgument("restructure rejected tet removal");
+  }
+  return delta;
+}
+
+Result<RestructureDelta> RandomRefinement(TetraMesh* mesh, int count,
+                                          Rng* rng) {
+  if (count <= 0) {
+    return Status::InvalidArgument("refinement count must be positive");
+  }
+  if (mesh->num_tetrahedra() == 0) {
+    return Status::InvalidArgument("mesh has no tetrahedra");
+  }
+  // Pick distinct tets, then apply all splits as one batch (one adjacency
+  // rebuild instead of `count`).
+  std::unordered_set<TetId> chosen;
+  const size_t limit =
+      std::min<size_t>(count, mesh->num_tetrahedra());
+  while (chosen.size() < limit) {
+    chosen.insert(
+        static_cast<TetId>(rng->NextBelow(mesh->num_tetrahedra())));
+  }
+  RestructureDelta delta;
+  for (TetId t : chosen) {
+    const Tet old = mesh->tetrahedra()[t];
+    delta.removed_tets.push_back(old);
+    const VertexId m =
+        mesh->AddVertexForRestructure(TetCentroid(*mesh, old));
+    delta.added_vertices.push_back(m);
+    AppendCentroidSplitTets(old, m, &delta.added_tets);
+  }
+  const bool ok = mesh->ApplyRestructure(delta);
+  assert(ok && "batched centroid splits cannot fail after validation");
+  (void)ok;
+  return delta;
+}
+
+}  // namespace octopus

@@ -1,0 +1,47 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Mesh restructuring operations (paper Sec. IV-E2): the rare connectivity
+// changes — polyhedra split or merged — that are the only events requiring
+// surface-index maintenance. Each operation mutates the mesh and returns
+// the RestructureDelta that indexes consume for incremental updates.
+#ifndef OCTOPUS_SIM_RESTRUCTURER_H_
+#define OCTOPUS_SIM_RESTRUCTURER_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "mesh/tetra_mesh.h"
+#include "mesh/types.h"
+
+namespace octopus {
+
+/// \brief 1-to-4 split: replaces tet `t` by four tets around a new vertex
+/// at its centroid.
+///
+/// Pure interior refinement: the outer faces of `t` survive in the new
+/// tets, so the mesh surface is unchanged (a useful do-nothing case for
+/// surface-index maintenance).
+Result<RestructureDelta> SplitTetAtCentroid(TetraMesh* mesh, TetId t);
+
+/// \brief Grows the mesh by one tet glued onto surface face `face`, with a
+/// new apex vertex at `apex`.
+///
+/// `face` must currently be a surface face. The face becomes interior;
+/// three new faces (and the apex) join the surface.
+Result<RestructureDelta> AddTetOnSurfaceFace(TetraMesh* mesh,
+                                             const FaceKey& face,
+                                             const Vec3& apex);
+
+/// \brief Removes tet `t` (polyhedra "merge"/erosion).
+///
+/// Interior faces of `t` become surface faces; fails (NotFound /
+/// InvalidArgument) if `t` does not exist or removing it would orphan a
+/// vertex.
+Result<RestructureDelta> RemoveTet(TetraMesh* mesh, TetId t);
+
+/// \brief Applies `count` random centroid splits; convenience for
+/// stress-testing index maintenance. Returns the merged delta.
+Result<RestructureDelta> RandomRefinement(TetraMesh* mesh, int count,
+                                          Rng* rng);
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_SIM_RESTRUCTURER_H_

@@ -1,0 +1,51 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// The simulation driver: alternates SIMULATE (deform the mesh in place)
+// and MONITOR (run range queries) phases, exactly the timeline of paper
+// Fig. 1(e). The simulation is a black box to the monitoring side; the two
+// phases are never merged.
+#ifndef OCTOPUS_SIM_SIMULATION_H_
+#define OCTOPUS_SIM_SIMULATION_H_
+
+#include <functional>
+
+#include "mesh/tetra_mesh.h"
+#include "sim/deformer.h"
+
+namespace octopus {
+
+/// \brief Drives a deformer over a mesh in discrete time steps.
+class Simulation {
+ public:
+  /// Binds `deformer` to `mesh`. Both must outlive the simulation.
+  Simulation(TetraMesh* mesh, Deformer* deformer)
+      : mesh_(mesh), deformer_(deformer) {
+    deformer_->Bind(*mesh_);
+  }
+
+  /// Advances one time step: overwrites all vertex positions in place.
+  /// Afterwards the mesh is consistent and may be queried (MONITOR phase).
+  void Step() {
+    ++current_step_;
+    deformer_->ApplyStep(current_step_, mesh_);
+  }
+
+  /// Runs `steps` SIMULATE phases, invoking `monitor` after each.
+  void Run(int steps, const std::function<void(int step)>& monitor) {
+    for (int i = 0; i < steps; ++i) {
+      Step();
+      if (monitor) monitor(current_step_);
+    }
+  }
+
+  int current_step() const { return current_step_; }
+  TetraMesh& mesh() { return *mesh_; }
+
+ private:
+  TetraMesh* mesh_;
+  Deformer* deformer_;
+  int current_step_ = 0;
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_SIM_SIMULATION_H_

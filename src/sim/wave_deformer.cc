@@ -1,0 +1,45 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "sim/wave_deformer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace octopus {
+
+void WaveDeformer::Bind(const TetraMesh& mesh) {
+  rest_ = mesh.positions();
+}
+
+void WaveDeformer::ApplyStep(int step, TetraMesh* mesh) {
+  (void)step;
+  assert(rest_.size() == mesh->num_vertices() &&
+         "Bind() not called or mesh restructured without rebinding");
+  // Random-walk the strain and shift, clamped to their amplitudes.
+  for (auto& row : strain_) {
+    for (float& e : row) {
+      e = std::clamp(e + rng_.NextFloat(-0.3f, 0.3f) * strain_amplitude_,
+                     -strain_amplitude_, strain_amplitude_);
+    }
+  }
+  const Vec3 delta = rng_.NextUnitVector() *
+                     (0.3f * shift_amplitude_ *
+                      static_cast<float>(rng_.NextDouble()));
+  shift_ += delta;
+  const float shift_norm = shift_.Norm();
+  if (shift_norm > shift_amplitude_) {
+    shift_ *= shift_amplitude_ / shift_norm;
+  }
+
+  std::vector<Vec3>& positions = mesh->mutable_positions();
+  for (size_t v = 0; v < positions.size(); ++v) {
+    const Vec3& r = rest_[v];
+    positions[v] = Vec3(r.x + strain_[0][0] * r.x + strain_[0][1] * r.y +
+                            strain_[0][2] * r.z + shift_.x,
+                        r.y + strain_[1][0] * r.x + strain_[1][1] * r.y +
+                            strain_[1][2] * r.z + shift_.y,
+                        r.z + strain_[2][0] * r.x + strain_[2][1] * r.y +
+                            strain_[2][2] * r.z + shift_.z);
+  }
+}
+
+}  // namespace octopus

@@ -1,0 +1,46 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Convexity-preserving deformation for earthquake-style simulations.
+// A time-varying affine map (small shear/scale/translation) is applied to
+// the rest positions; affine maps preserve convexity exactly, which is the
+// precondition of OCTOPUS-CON (paper Sec. IV-F).
+#ifndef OCTOPUS_SIM_WAVE_DEFORMER_H_
+#define OCTOPUS_SIM_WAVE_DEFORMER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/deformer.h"
+
+namespace octopus {
+
+/// \brief Affine "ground shaking" deformation.
+///
+/// position(t) = (I + E(t)) * rest + b(t), where E is a small random-walk
+/// strain matrix and b a small random-walk translation. Unpredictable step
+/// to step (random walk), yet the mesh stays convex at all times.
+class WaveDeformer : public Deformer {
+ public:
+  /// \param strain_amplitude bound on |E| entries (e.g. 0.02 = 2% strain).
+  /// \param shift_amplitude bound on translation magnitude.
+  WaveDeformer(float strain_amplitude, float shift_amplitude,
+               uint64_t seed = 99)
+      : strain_amplitude_(strain_amplitude),
+        shift_amplitude_(shift_amplitude),
+        rng_(seed) {}
+
+  void Bind(const TetraMesh& mesh) override;
+  void ApplyStep(int step, TetraMesh* mesh) override;
+
+ private:
+  float strain_amplitude_;
+  float shift_amplitude_;
+  Rng rng_;
+  std::vector<Vec3> rest_;
+  // Current strain/translation random-walk state.
+  float strain_[3][3] = {};
+  Vec3 shift_;
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_SIM_WAVE_DEFORMER_H_

@@ -1,0 +1,66 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace octopus {
+
+QueryGenerator::QueryGenerator(const TetraMesh& mesh,
+                               int histogram_resolution)
+    : mesh_(mesh),
+      histogram_(histogram_resolution),
+      bounds_(mesh.ComputeBounds()) {
+  histogram_.Build(mesh.positions(), bounds_);
+}
+
+AABB QueryGenerator::MakeQuery(Rng* rng, double target_selectivity) const {
+  assert(target_selectivity > 0.0 && target_selectivity <= 1.0);
+  const Vec3 center =
+      mesh_.position(static_cast<VertexId>(rng->NextBelow(
+          std::max<uint64_t>(mesh_.num_vertices(), 1))));
+  const double target = target_selectivity *
+                        static_cast<double>(mesh_.num_vertices());
+
+  // Binary search the cubic half-extent. Count is monotone in h.
+  const Vec3 ext = bounds_.Extent();
+  float hi = 0.5f * std::max({ext.x, ext.y, ext.z});
+  float lo = 0.0f;
+  for (int iter = 0; iter < 40; ++iter) {
+    const float h = 0.5f * (lo + hi);
+    const AABB box = AABB::FromCenterHalfExtent(center, Vec3(h, h, h));
+    const double estimate = histogram_.EstimateCount(box);
+    if (estimate < target) {
+      lo = h;
+    } else {
+      hi = h;
+    }
+  }
+  const float h = 0.5f * (lo + hi);
+  return AABB::FromCenterHalfExtent(center, Vec3(h, h, h));
+}
+
+std::vector<AABB> QueryGenerator::MakeQueries(Rng* rng, int count,
+                                              double sel_lo,
+                                              double sel_hi) const {
+  std::vector<AABB> queries;
+  queries.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const double sel =
+        sel_lo + (sel_hi - sel_lo) * rng->NextDouble();
+    queries.push_back(MakeQuery(rng, sel));
+  }
+  return queries;
+}
+
+std::vector<BenchmarkSpec> NeuroscienceBenchmarks() {
+  // Paper Fig. 5. Selectivities are percentages there; stored as fractions.
+  return {
+      {"A) Structural Validation", 13, 17, 0.0011, 0.0016},
+      {"B) Mesh Quality", 7, 9, 0.0002, 0.0014},
+      {"C) Visualization (Low Quality)", 22, 22, 0.0018, 0.0018},
+      {"D) Visualization (High Quality)", 22, 22, 0.0012, 0.0012},
+  };
+}
+
+}  // namespace octopus

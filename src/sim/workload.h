@@ -1,0 +1,65 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Range-query workload generation: uniformly placed box queries with a
+// target selectivity, plus the paper's four neuroscience micro-benchmarks
+// (Fig. 5).
+#ifndef OCTOPUS_SIM_WORKLOAD_H_
+#define OCTOPUS_SIM_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/aabb.h"
+#include "common/histogram3d.h"
+#include "common/rng.h"
+#include "mesh/tetra_mesh.h"
+
+namespace octopus {
+
+/// \brief Generates box queries of a given target selectivity.
+///
+/// Selectivity (fraction of mesh vertices inside the box) is hit
+/// approximately, via binary search on the box half-extent against a 3D
+/// histogram built once over the initial positions. The paper's workloads
+/// quote selectivity ranges, not exact values, so histogram accuracy is
+/// sufficient; deformation amplitudes are small relative to the mesh, so
+/// the initial histogram stays representative.
+class QueryGenerator {
+ public:
+  /// \param histogram_resolution buckets per axis of the estimator.
+  explicit QueryGenerator(const TetraMesh& mesh,
+                          int histogram_resolution = 32);
+
+  /// One cubic query centered at the position of a random mesh vertex
+  /// (guaranteeing the query region intersects the dataset, as in the
+  /// paper's "located uniform randomly in the mesh").
+  AABB MakeQuery(Rng* rng, double target_selectivity) const;
+
+  /// A batch of queries with selectivities uniform in [sel_lo, sel_hi].
+  std::vector<AABB> MakeQueries(Rng* rng, int count, double sel_lo,
+                                double sel_hi) const;
+
+  const Histogram3D& histogram() const { return histogram_; }
+
+ private:
+  const TetraMesh& mesh_;
+  Histogram3D histogram_;
+  AABB bounds_;
+};
+
+/// \brief One row of the paper's Fig. 5 micro-benchmark table.
+struct BenchmarkSpec {
+  std::string name;
+  int queries_per_step_min = 0;
+  int queries_per_step_max = 0;
+  double selectivity_min = 0.0;  // fraction, e.g. 0.0011 for 0.11%
+  double selectivity_max = 0.0;
+};
+
+/// The four neuroscience monitoring micro-benchmarks (paper Fig. 5):
+/// A) structural validation, B) mesh quality, C) visualization (low
+/// quality), D) visualization (high quality).
+std::vector<BenchmarkSpec> NeuroscienceBenchmarks();
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_SIM_WORKLOAD_H_

@@ -1,0 +1,113 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Tests for the adaptive two-level hashing baseline (Kwon et al. [12]).
+#include <gtest/gtest.h>
+
+#include "index/adaptive_hash.h"
+#include "mesh/generators/grid_generator.h"
+#include "sim/plasticity_deformer.h"
+#include "sim/random_deformer.h"
+#include "sim/workload.h"
+#include "test_util.h"
+
+namespace octopus {
+namespace {
+
+using testing::BruteForceRangeQuery;
+using testing::Sorted;
+
+TetraMesh MakeBox(int n) {
+  return GenerateBoxMesh(n, n, n, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))
+      .MoveValue();
+}
+
+TEST(AdaptiveHashTest, ExactAfterBuild) {
+  const TetraMesh mesh = MakeBox(9);
+  AdaptiveHashIndex index;
+  index.Build(mesh);
+  const AABB q(Vec3(0.15f, 0.25f, 0.05f), Vec3(0.7f, 0.6f, 0.5f));
+  std::vector<VertexId> got;
+  index.RangeQuery(mesh, q, &got);
+  EXPECT_EQ(Sorted(got), BruteForceRangeQuery(mesh, q));
+}
+
+TEST(AdaptiveHashTest, TracksDeformationExactly) {
+  TetraMesh mesh = MakeBox(8);
+  AdaptiveHashIndex index;
+  index.Build(mesh);
+  RandomDeformer deformer(0.01f);
+  deformer.Bind(mesh);
+  QueryGenerator gen(mesh);
+  Rng rng(31);
+  for (int step = 1; step <= 8; ++step) {
+    deformer.ApplyStep(step, &mesh);
+    index.BeforeQueries(mesh);
+    for (int q = 0; q < 5; ++q) {
+      const AABB box = gen.MakeQuery(&rng, 0.02);
+      std::vector<VertexId> got;
+      index.RangeQuery(mesh, box, &got);
+      ASSERT_EQ(Sorted(got), BruteForceRangeQuery(mesh, box))
+          << "step " << step << " query " << q;
+    }
+  }
+}
+
+TEST(AdaptiveHashTest, FastObjectsMoveToCoarseLevel) {
+  TetraMesh mesh = MakeBox(8);
+  AdaptiveHashIndex::Options options;
+  options.fast_fraction_of_fine_cell = 0.25f;
+  AdaptiveHashIndex index(options);
+  index.Build(mesh);
+  EXPECT_EQ(index.num_fast(), 0u);
+
+  // Move the first quarter of the vertices by a large step: they must be
+  // reclassified as fast.
+  const size_t movers = mesh.num_vertices() / 4;
+  for (size_t v = 0; v < movers; ++v) {
+    mesh.mutable_positions()[v] += Vec3(0.2f, 0.0f, 0.0f);
+  }
+  index.BeforeQueries(mesh);
+  EXPECT_EQ(index.num_fast(), movers);
+
+  // Results stay exact with mixed levels.
+  const AABB q(Vec3(0, 0, 0), Vec3(0.6f, 0.6f, 0.6f));
+  std::vector<VertexId> got;
+  index.RangeQuery(mesh, q, &got);
+  EXPECT_EQ(Sorted(got), BruteForceRangeQuery(mesh, q));
+}
+
+TEST(AdaptiveHashTest, TinyMovesAvoidRebucketing) {
+  TetraMesh mesh = MakeBox(10);
+  AdaptiveHashIndex index;
+  index.Build(mesh);
+  // Move every vertex by far less than a fine cell: most stay put.
+  RandomDeformer deformer(0.001f);
+  deformer.Bind(mesh);
+  deformer.ApplyStep(1, &mesh);
+  index.BeforeQueries(mesh);
+  EXPECT_LT(index.last_rebuckets(), mesh.num_vertices() / 4);
+}
+
+TEST(AdaptiveHashTest, SurvivesDriftOutsideOriginalBounds) {
+  TetraMesh mesh = MakeBox(6);
+  AdaptiveHashIndex index;
+  index.Build(mesh);
+  // Drift the mesh outside the original bounding box; clamping must keep
+  // results exact (just slower).
+  for (Vec3& p : mesh.mutable_positions()) p += Vec3(0.9f, 0.9f, 0.9f);
+  index.BeforeQueries(mesh);
+  const AABB q(Vec3(1.0f, 1.0f, 1.0f), Vec3(1.6f, 1.6f, 1.6f));
+  std::vector<VertexId> got;
+  index.RangeQuery(mesh, q, &got);
+  EXPECT_EQ(Sorted(got), BruteForceRangeQuery(mesh, q));
+}
+
+TEST(AdaptiveHashTest, FootprintAccounted) {
+  const TetraMesh mesh = MakeBox(8);
+  AdaptiveHashIndex index;
+  index.Build(mesh);
+  EXPECT_GT(index.FootprintBytes(),
+            mesh.num_vertices() * sizeof(VertexId));
+}
+
+}  // namespace
+}  // namespace octopus

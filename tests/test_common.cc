@@ -1,0 +1,316 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Unit tests for Rng, HilbertCurve3D, Histogram3D, Table, Status/Result.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/hilbert.h"
+#include "common/histogram3d.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace octopus {
+namespace {
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextFloatRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = rng.NextFloat(-2.0f, 3.0f);
+    EXPECT_GE(f, -2.0f);
+    EXPECT_LT(f, 3.0f);
+  }
+}
+
+TEST(RngTest, UnitVectorHasUnitNorm) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NEAR(rng.NextUnitVector().Norm(), 1.0f, 1e-5f);
+  }
+}
+
+TEST(RngTest, PointInBoxStaysInBox) {
+  Rng rng(13);
+  const AABB box(Vec3(-1, 2, 0), Vec3(1, 5, 0.5f));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(box.Contains(rng.NextPointIn(box)));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+// ---------- Hilbert ----------
+
+class HilbertBitsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HilbertBitsTest, EncodeDecodeRoundTrip) {
+  const int bits = GetParam();
+  const HilbertCurve3D curve(bits);
+  Rng rng(bits);
+  const uint32_t mask = (1u << bits) - 1;
+  for (int i = 0; i < 500; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextU64()) & mask;
+    const uint32_t y = static_cast<uint32_t>(rng.NextU64()) & mask;
+    const uint32_t z = static_cast<uint32_t>(rng.NextU64()) & mask;
+    uint32_t dx, dy, dz;
+    curve.Decode(curve.Encode(x, y, z), &dx, &dy, &dz);
+    EXPECT_EQ(x, dx);
+    EXPECT_EQ(y, dy);
+    EXPECT_EQ(z, dz);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrecisions, HilbertBitsTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 10, 16, 21));
+
+TEST(HilbertTest, IsBijectionAtLowPrecision) {
+  const HilbertCurve3D curve(3);  // 512 cells
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < 8; ++x) {
+    for (uint32_t y = 0; y < 8; ++y) {
+      for (uint32_t z = 0; z < 8; ++z) {
+        const uint64_t d = curve.Encode(x, y, z);
+        EXPECT_LT(d, 512u);
+        EXPECT_TRUE(seen.insert(d).second) << "duplicate key " << d;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 512u);
+}
+
+TEST(HilbertTest, ConsecutiveKeysAreNeighborCells) {
+  // The defining property of the Hilbert curve: consecutive curve
+  // positions are adjacent cells (Manhattan distance 1).
+  const HilbertCurve3D curve(4);
+  uint32_t px, py, pz;
+  curve.Decode(0, &px, &py, &pz);
+  for (uint64_t d = 1; d < (1ull << 12); ++d) {
+    uint32_t x, y, z;
+    curve.Decode(d, &x, &y, &z);
+    const int manhattan = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                          std::abs(static_cast<int>(y) - static_cast<int>(py)) +
+                          std::abs(static_cast<int>(z) - static_cast<int>(pz));
+    ASSERT_EQ(manhattan, 1) << "jump at d=" << d;
+    px = x;
+    py = y;
+    pz = z;
+  }
+}
+
+TEST(HilbertTest, EncodePointClampsOutOfBounds) {
+  const HilbertCurve3D curve(4);
+  const AABB bounds(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  // Outside points must not crash and must map like boundary points.
+  const uint64_t below = curve.EncodePoint(Vec3(-5, -5, -5), bounds);
+  const uint64_t at_min = curve.EncodePoint(Vec3(0, 0, 0), bounds);
+  EXPECT_EQ(below, at_min);
+  const uint64_t above = curve.EncodePoint(Vec3(9, 9, 9), bounds);
+  const uint64_t at_max = curve.EncodePoint(Vec3(1, 1, 1), bounds);
+  EXPECT_EQ(above, at_max);
+}
+
+// ---------- Histogram3D ----------
+
+TEST(HistogramTest, ExactForFullQuery) {
+  Rng rng(3);
+  std::vector<Vec3> points;
+  const AABB box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  for (int i = 0; i < 5000; ++i) points.push_back(rng.NextPointIn(box));
+  Histogram3D h(8);
+  h.Build(points);
+  EXPECT_NEAR(h.EstimateCount(box.Inflated(0.1f)), 5000.0, 0.5);
+  EXPECT_NEAR(h.EstimateSelectivity(box.Inflated(0.1f)), 1.0, 1e-4);
+}
+
+TEST(HistogramTest, ZeroOutsideBounds) {
+  std::vector<Vec3> points = {Vec3(0.5f, 0.5f, 0.5f)};
+  Histogram3D h(4);
+  h.Build(points);
+  const AABB far_away(Vec3(10, 10, 10), Vec3(11, 11, 11));
+  EXPECT_DOUBLE_EQ(h.EstimateCount(far_away), 0.0);
+}
+
+TEST(HistogramTest, UniformDataHalfQuery) {
+  Rng rng(4);
+  std::vector<Vec3> points;
+  const AABB box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  for (int i = 0; i < 40000; ++i) points.push_back(rng.NextPointIn(box));
+  Histogram3D h(16);
+  h.Build(points, box);
+  const AABB half(Vec3(0, 0, 0), Vec3(0.5f, 1, 1));
+  EXPECT_NEAR(h.EstimateCount(half) / 40000.0, 0.5, 0.02);
+}
+
+TEST(HistogramTest, FractionalBucketOverlap) {
+  // All mass in one bucket; a query covering half that bucket should
+  // estimate about half the mass (uniform-within-bucket assumption).
+  std::vector<Vec3> points;
+  Rng rng(5);
+  const AABB cell(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  for (int i = 0; i < 1000; ++i) points.push_back(rng.NextPointIn(cell));
+  Histogram3D h(1);  // single bucket
+  h.Build(points, cell);
+  const AABB half(Vec3(0, 0, 0), Vec3(0.5f, 1, 1));
+  EXPECT_NEAR(h.EstimateCount(half), 500.0, 1e-3);
+}
+
+TEST(HistogramTest, EmptyPoints) {
+  Histogram3D h(4);
+  h.Build({});
+  EXPECT_DOUBLE_EQ(
+      h.EstimateCount(AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))), 0.0);
+  EXPECT_DOUBLE_EQ(
+      h.EstimateSelectivity(AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))), 0.0);
+}
+
+TEST(HistogramTest, EstimateWithinToleranceOnClusteredData) {
+  Rng rng(6);
+  std::vector<Vec3> points;
+  // Two clusters.
+  for (int i = 0; i < 10000; ++i) {
+    const Vec3 c = (i % 2 == 0) ? Vec3(0.25f, 0.25f, 0.25f)
+                                : Vec3(0.75f, 0.75f, 0.75f);
+    points.push_back(c + rng.NextUnitVector() * 0.1f *
+                             static_cast<float>(rng.NextDouble()));
+  }
+  Histogram3D h(16);
+  h.Build(points);
+  const AABB around_first(Vec3(0.1f, 0.1f, 0.1f), Vec3(0.4f, 0.4f, 0.4f));
+  const double est = h.EstimateCount(around_first);
+  int exact = 0;
+  for (const Vec3& p : points) {
+    if (around_first.Contains(p)) ++exact;
+  }
+  EXPECT_NEAR(est, exact, 0.15 * exact + 50);
+}
+
+// ---------- Table ----------
+
+TEST(TableTest, FormatsAlignedColumns) {
+  Table t("demo");
+  t.SetHeader({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-name", "22"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| longer-name"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, MissingCellsRenderEmpty) {
+  Table t("demo");
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| 1"), std::string::npos);
+}
+
+TEST(TableTest, NumberFormatters) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+  EXPECT_EQ(Table::Count(0), "0");
+  EXPECT_EQ(Table::Count(999), "999");
+  EXPECT_EQ(Table::Count(1000), "1,000");
+  EXPECT_EQ(Table::Count(1234567), "1,234,567");
+  EXPECT_EQ(Table::Megabytes(1024 * 1024), "1.00 MB");
+}
+
+// ---------- Status / Result ----------
+
+TEST(StatusTest, OkByDefault) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.Value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(ResultTest, MoveValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  const std::vector<int> v = r.MoveValue();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+Status FailingOperation() { return Status::IOError("disk on fire"); }
+Status Propagates() {
+  OCTOPUS_RETURN_NOT_OK(FailingOperation());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  const Status s = Propagates();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kIOError);
+}
+
+}  // namespace
+}  // namespace octopus

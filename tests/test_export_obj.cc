@@ -1,0 +1,98 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Tests for the OBJ exporter used by visualization monitoring.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "mesh/export_obj.h"
+#include "mesh/generators/grid_generator.h"
+#include "mesh/surface.h"
+#include "test_util.h"
+
+namespace octopus {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+size_t CountLinesStartingWith(const std::string& text, char c) {
+  size_t count = 0;
+  bool at_line_start = true;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (at_line_start && text[i] == c &&
+        i + 1 < text.size() && text[i + 1] == ' ') {
+      ++count;
+    }
+    at_line_start = text[i] == '\n';
+  }
+  return count;
+}
+
+TEST(ExportObjTest, SurfaceCountsMatchExtraction) {
+  const TetraMesh mesh =
+      GenerateBoxMesh(4, 4, 4, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))
+          .MoveValue();
+  const std::string path = ::testing::TempDir() + "/octopus_surface.obj";
+  ASSERT_TRUE(ExportSurfaceObj(mesh, path).ok());
+  const std::string obj = ReadAll(path);
+  const SurfaceInfo surface = ExtractSurface(mesh);
+  EXPECT_EQ(CountLinesStartingWith(obj, 'v'),
+            surface.surface_vertices.size());
+  EXPECT_EQ(CountLinesStartingWith(obj, 'f'), surface.surface_faces.size());
+  std::remove(path.c_str());
+}
+
+TEST(ExportObjTest, FaceIndicesAreOneBasedAndDense) {
+  const TetraMesh mesh = testing::MakeSingleTetMesh();
+  const std::string path = ::testing::TempDir() + "/octopus_tet.obj";
+  ASSERT_TRUE(ExportSurfaceObj(mesh, path).ok());
+  const std::string obj = ReadAll(path);
+  // 4 vertices => all face indices in 1..4.
+  std::istringstream in(obj);
+  std::string word;
+  while (in >> word) {
+    if (word == "f") {
+      for (int i = 0; i < 3; ++i) {
+        size_t index = 0;
+        in >> index;
+        EXPECT_GE(index, 1u);
+        EXPECT_LE(index, 4u);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ExportObjTest, PointExportMatchesQueryResult) {
+  const TetraMesh mesh =
+      GenerateBoxMesh(5, 5, 5, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))
+          .MoveValue();
+  const AABB q(Vec3(0.2f, 0.2f, 0.2f), Vec3(0.7f, 0.7f, 0.7f));
+  const auto result = testing::BruteForceRangeQuery(mesh, q);
+  const std::string path = ::testing::TempDir() + "/octopus_points.obj";
+  ASSERT_TRUE(ExportPointsObj(mesh, result, path).ok());
+  const std::string obj = ReadAll(path);
+  EXPECT_EQ(CountLinesStartingWith(obj, 'v'), result.size());
+  EXPECT_EQ(CountLinesStartingWith(obj, 'p'), result.size());
+  std::remove(path.c_str());
+}
+
+TEST(ExportObjTest, ErrorsOnBadPathAndBadIds) {
+  const TetraMesh mesh = testing::MakeSingleTetMesh();
+  EXPECT_EQ(ExportSurfaceObj(mesh, "/nonexistent/dir/x.obj").code(),
+            Status::Code::kIOError);
+  const std::vector<VertexId> bad = {99};
+  const std::string path = ::testing::TempDir() + "/octopus_bad.obj";
+  EXPECT_EQ(ExportPointsObj(mesh, bad, path).code(),
+            Status::Code::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace octopus

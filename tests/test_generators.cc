@@ -1,0 +1,208 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Unit tests for the voxel-mask generator, implicit shapes and the dataset
+// catalog.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "mesh/generators/datasets.h"
+#include "mesh/generators/grid_generator.h"
+#include "mesh/generators/shapes.h"
+#include "mesh/mesh_stats.h"
+
+namespace octopus {
+namespace {
+
+// Number of connected components of the mesh graph.
+size_t CountComponents(const TetraMesh& mesh) {
+  std::vector<bool> seen(mesh.num_vertices(), false);
+  size_t components = 0;
+  for (VertexId start = 0; start < mesh.num_vertices(); ++start) {
+    if (seen[start]) continue;
+    ++components;
+    std::queue<VertexId> q;
+    q.push(start);
+    seen[start] = true;
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      for (VertexId n : mesh.neighbors(v)) {
+        if (!seen[n]) {
+          seen[n] = true;
+          q.push(n);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+TEST(GridGeneratorTest, BoxMeshCounts) {
+  auto r = GenerateBoxMesh(4, 3, 2, AABB(Vec3(0, 0, 0), Vec3(4, 3, 2)));
+  ASSERT_TRUE(r.ok());
+  const TetraMesh& mesh = r.Value();
+  EXPECT_EQ(mesh.num_vertices(), 5u * 4u * 3u);
+  EXPECT_EQ(mesh.num_tetrahedra(), 6u * 4u * 3u * 2u);
+}
+
+TEST(GridGeneratorTest, BoxMeshIsConnected) {
+  auto r = GenerateBoxMesh(3, 3, 3, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(CountComponents(r.Value()), 1u);
+}
+
+TEST(GridGeneratorTest, InteriorDegreeIsFourteen) {
+  // The Kuhn subdivision gives interior lattice vertices exactly 14
+  // neighbors — the mesh degree the paper reports for tetrahedral meshes.
+  auto r = GenerateBoxMesh(6, 6, 6, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+  ASSERT_TRUE(r.ok());
+  const TetraMesh& mesh = r.Value();
+  const AABB interior(Vec3(0.3f, 0.3f, 0.3f), Vec3(0.7f, 0.7f, 0.7f));
+  size_t checked = 0;
+  for (VertexId v = 0; v < mesh.num_vertices(); ++v) {
+    if (interior.Contains(mesh.position(v))) {
+      EXPECT_EQ(mesh.degree(v), 14u) << "vertex " << v;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(GridGeneratorTest, RejectsBadArguments) {
+  EXPECT_FALSE(
+      GenerateBoxMesh(0, 1, 1, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))).ok());
+  EXPECT_FALSE(GenerateBoxMesh(2, 2, 2, AABB()).ok());
+  EXPECT_FALSE(GenerateMaskedGrid(2, 2, 2, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)),
+                                  [](int, int, int) { return false; })
+                   .ok());
+}
+
+TEST(GridGeneratorTest, MaskSelectsSubsetOfCells) {
+  // Only the k == 0 layer: a 4x4x1 slab.
+  auto r = GenerateMaskedGrid(4, 4, 4, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)),
+                              [](int, int, int k) { return k == 0; });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.Value().num_tetrahedra(), 6u * 16u);
+  EXPECT_EQ(r.Value().num_vertices(), 5u * 5u * 2u);
+}
+
+TEST(GridGeneratorTest, DisjointMaskYieldsTwoComponents) {
+  // Two separated slabs -> two connected components (the non-convex case
+  // of paper Fig. 3).
+  auto r = GenerateMaskedGrid(4, 4, 5, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)),
+                              [](int, int, int k) {
+                                return k == 0 || k == 4;
+                              });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(CountComponents(r.Value()), 2u);
+}
+
+TEST(ShapesTest, SegmentDistance) {
+  const Vec3 a(0, 0, 0);
+  const Vec3 b(2, 0, 0);
+  EXPECT_FLOAT_EQ(SquaredDistanceToSegment(Vec3(1, 1, 0), a, b), 1.0f);
+  EXPECT_FLOAT_EQ(SquaredDistanceToSegment(Vec3(-1, 0, 0), a, b), 1.0f);
+  EXPECT_FLOAT_EQ(SquaredDistanceToSegment(Vec3(3, 0, 0), a, b), 1.0f);
+  EXPECT_FLOAT_EQ(SquaredDistanceToSegment(Vec3(1, 0, 0), a, b), 0.0f);
+  // Degenerate segment behaves like a point.
+  EXPECT_FLOAT_EQ(SquaredDistanceToSegment(Vec3(0, 3, 0), a, a), 9.0f);
+}
+
+TEST(ShapesTest, ImplicitSolidMembership) {
+  ImplicitSolid solid;
+  solid.AddBall(Vec3(0, 0, 0), 1.0f);
+  solid.AddTube(Vec3(2, 0, 0), Vec3(4, 0, 0), 0.5f);
+  solid.AddEllipsoid(Vec3(0, 5, 0), Vec3(2, 1, 1));
+  EXPECT_TRUE(solid.Contains(Vec3(0.5f, 0, 0)));       // ball
+  EXPECT_FALSE(solid.Contains(Vec3(1.4f, 0, 0)));      // gap
+  EXPECT_TRUE(solid.Contains(Vec3(3, 0.4f, 0)));       // tube
+  EXPECT_FALSE(solid.Contains(Vec3(3, 0.6f, 0)));      // outside tube
+  EXPECT_TRUE(solid.Contains(Vec3(1.5f, 5, 0)));       // ellipsoid
+  EXPECT_FALSE(solid.Contains(Vec3(0, 6.5f, 0)));      // outside ellipsoid
+}
+
+TEST(ShapesTest, NeuronCellIsNonTrivial) {
+  ImplicitSolid solid;
+  NeuronCellParams params;
+  GrowNeuronCell(params, &solid);
+  EXPECT_TRUE(solid.Contains(params.soma_center));
+  EXPECT_FALSE(solid.Contains(params.soma_center + Vec3(10, 0, 0)));
+}
+
+TEST(DatasetsTest, NeuroLevelsGrowInSize) {
+  size_t previous = 0;
+  for (int level = 0; level < kNumNeuroLevels; ++level) {
+    auto r = MakeNeuroMesh(level, /*scale=*/0.02);
+    ASSERT_TRUE(r.ok()) << "level " << level;
+    const size_t v = r.Value().num_vertices();
+    EXPECT_GT(v, previous) << "level " << level;
+    previous = v;
+  }
+}
+
+TEST(DatasetsTest, NeuroSurfaceToVolumeDecreasesWithDetail) {
+  // The core scaling property behind Fig. 7(b,d): finer meshes have a
+  // smaller surface-to-volume ratio.
+  const MeshStats coarse =
+      ComputeMeshStats(MakeNeuroMesh(0, 0.05).MoveValue());
+  const MeshStats fine =
+      ComputeMeshStats(MakeNeuroMesh(4, 0.05).MoveValue());
+  EXPECT_LT(fine.surface_to_volume, coarse.surface_to_volume);
+}
+
+TEST(DatasetsTest, NeuroMeshHasTwoCells) {
+  auto r = MakeNeuroMesh(1, 0.05);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(CountComponents(r.Value()), 2u) << "two neuron cells expected";
+}
+
+TEST(DatasetsTest, NeuroRejectsBadLevel) {
+  EXPECT_FALSE(MakeNeuroMesh(-1).ok());
+  EXPECT_FALSE(MakeNeuroMesh(kNumNeuroLevels).ok());
+}
+
+TEST(DatasetsTest, EarthquakeSF1FinerThanSF2) {
+  auto sf2 = MakeEarthquakeMesh(EarthquakeResolution::kSF2, 0.1);
+  auto sf1 = MakeEarthquakeMesh(EarthquakeResolution::kSF1, 0.1);
+  ASSERT_TRUE(sf2.ok());
+  ASSERT_TRUE(sf1.ok());
+  EXPECT_GT(sf1.Value().num_vertices(), sf2.Value().num_vertices());
+  const MeshStats s2 = ComputeMeshStats(sf2.Value());
+  const MeshStats s1 = ComputeMeshStats(sf1.Value());
+  EXPECT_LT(s1.surface_to_volume, s2.surface_to_volume)
+      << "SF1 must have the smaller S:V ratio (paper Fig. 8)";
+}
+
+TEST(DatasetsTest, AnimationMeshesOrderedBySurfaceRatio) {
+  // Paper Fig. 14 ordering: facial (0.010) < camel (0.019) < horse (0.023).
+  const MeshStats horse = ComputeMeshStats(
+      MakeAnimationMesh(AnimationDataset::kHorseGallop, 0.08).MoveValue());
+  const MeshStats face = ComputeMeshStats(
+      MakeAnimationMesh(AnimationDataset::kFacialExpression, 0.08)
+          .MoveValue());
+  const MeshStats camel = ComputeMeshStats(
+      MakeAnimationMesh(AnimationDataset::kCamelCompress, 0.08).MoveValue());
+  EXPECT_LT(face.surface_to_volume, camel.surface_to_volume);
+  EXPECT_LT(camel.surface_to_volume, horse.surface_to_volume);
+}
+
+TEST(DatasetsTest, AnimationMetadata) {
+  EXPECT_EQ(AnimationTimeSteps(AnimationDataset::kHorseGallop), 48);
+  EXPECT_EQ(AnimationTimeSteps(AnimationDataset::kFacialExpression), 9);
+  EXPECT_EQ(AnimationTimeSteps(AnimationDataset::kCamelCompress), 53);
+  EXPECT_EQ(AnimationMeshName(AnimationDataset::kHorseGallop),
+            "Horse Gallop");
+  EXPECT_EQ(NeuroMeshName(2), "neuro-L2");
+  EXPECT_EQ(EarthquakeMeshName(EarthquakeResolution::kSF1), "SF1");
+}
+
+TEST(DatasetsTest, ScaleChangesResolution) {
+  auto small = MakeNeuroMesh(0, 0.01);
+  auto larger = MakeNeuroMesh(0, 0.08);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(larger.ok());
+  EXPECT_LT(small.Value().num_vertices(), larger.Value().num_vertices());
+}
+
+}  // namespace
+}  // namespace octopus

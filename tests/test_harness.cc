@@ -1,0 +1,133 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Tests for the measurement harness: deterministic workloads, honest
+// accounting, and cross-approach result agreement under the harness's
+// replay protocol.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/bench_harness.h"
+#include "index/linear_scan.h"
+#include "mesh/generators/grid_generator.h"
+#include "octopus/query_executor.h"
+#include "sim/random_deformer.h"
+
+namespace octopus {
+namespace {
+
+namespace bench = octopus::bench;
+
+TetraMesh MakeBox(int n) {
+  return GenerateBoxMesh(n, n, n, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))
+      .MoveValue();
+}
+
+TEST(HarnessTest, WorkloadIsDeterministicPerSeed) {
+  const TetraMesh mesh = MakeBox(8);
+  const bench::StepWorkload a =
+      bench::MakeStepWorkload(mesh, 5, 3, 7, 0.001, 0.01, 42);
+  const bench::StepWorkload b =
+      bench::MakeStepWorkload(mesh, 5, 3, 7, 0.001, 0.01, 42);
+  const bench::StepWorkload c =
+      bench::MakeStepWorkload(mesh, 5, 3, 7, 0.001, 0.01, 43);
+  ASSERT_EQ(a.per_step.size(), 5u);
+  ASSERT_EQ(a.TotalQueries(), b.TotalQueries());
+  for (size_t s = 0; s < a.per_step.size(); ++s) {
+    ASSERT_EQ(a.per_step[s].size(), b.per_step[s].size());
+    for (size_t q = 0; q < a.per_step[s].size(); ++q) {
+      EXPECT_EQ(a.per_step[s][q].min, b.per_step[s][q].min);
+      EXPECT_EQ(a.per_step[s][q].max, b.per_step[s][q].max);
+    }
+  }
+  // A different seed produces a different workload.
+  bool any_different = c.TotalQueries() != a.TotalQueries();
+  if (!any_different && !a.per_step.empty() && !a.per_step[0].empty() &&
+      !c.per_step.empty() && !c.per_step[0].empty()) {
+    any_different = !(a.per_step[0][0].min == c.per_step[0][0].min);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(HarnessTest, QueriesPerStepWithinBounds) {
+  const TetraMesh mesh = MakeBox(6);
+  const bench::StepWorkload w =
+      bench::MakeStepWorkload(mesh, 20, 7, 9, 0.001, 0.002, 7);
+  for (const auto& step : w.per_step) {
+    EXPECT_GE(step.size(), 7u);
+    EXPECT_LE(step.size(), 9u);
+  }
+}
+
+TEST(HarnessTest, RunApproachLeavesBaseMeshUntouched) {
+  const TetraMesh base = MakeBox(6);
+  const std::vector<Vec3> before = base.positions();
+  const bench::StepWorkload w =
+      bench::MakeStepWorkload(base, 4, 2, 2, 0.01, 0.01, 9);
+  LinearScan scan;
+  bench::RunApproach(&scan, base, bench::NeuroDeformerFactory(base), w);
+  EXPECT_EQ(base.positions(), before)
+      << "the harness must deform a private copy";
+}
+
+TEST(HarnessTest, IdenticalReplayAcrossApproaches) {
+  // The core fairness property: two approaches see the same deformation
+  // sequence and queries, so their result counts agree exactly.
+  // Queries several edge lengths wide (see DESIGN.md section 5).
+  const TetraMesh base = MakeBox(16);
+  const bench::StepWorkload w =
+      bench::MakeStepWorkload(base, 5, 3, 3, 0.05, 0.08, 11);
+  const bench::DeformerFactory deformer = []() {
+    return std::make_unique<RandomDeformer>(0.01f, 5);
+  };
+  Octopus octo;
+  LinearScan scan;
+  const bench::RunResult a = bench::RunApproach(&octo, base, deformer, w);
+  const bench::RunResult b = bench::RunApproach(&scan, base, deformer, w);
+  EXPECT_EQ(a.total_results, b.total_results);
+  EXPECT_GT(a.total_results, 0u);
+}
+
+TEST(HarnessTest, AccountingSeparatesBuildMaintenanceQuery) {
+  const TetraMesh base = MakeBox(8);
+  const bench::StepWorkload w =
+      bench::MakeStepWorkload(base, 3, 2, 2, 0.01, 0.01, 13);
+  Octopus octo;
+  const bench::RunResult r = bench::RunApproach(
+      &octo, base, bench::NeuroDeformerFactory(base), w);
+  EXPECT_GT(r.build_seconds, 0.0);
+  EXPECT_GT(r.query_seconds, 0.0);
+  EXPECT_GE(r.maintenance_seconds, 0.0);
+  EXPECT_GT(r.footprint_bytes, 0u);
+  EXPECT_DOUBLE_EQ(r.TotalSeconds(),
+                   r.maintenance_seconds + r.query_seconds);
+}
+
+TEST(HarnessTest, MakeAllApproachesMatchesPaperLineup) {
+  const auto approaches = bench::MakeAllApproaches();
+  ASSERT_EQ(approaches.size(), 5u);
+  EXPECT_EQ(approaches[0]->Name(), "OCTOPUS");
+  EXPECT_EQ(approaches[1]->Name(), "LinearScan");
+  EXPECT_EQ(approaches[2]->Name(), "OCTREE");
+  EXPECT_EQ(approaches[3]->Name(), "LUR-Tree");
+  EXPECT_EQ(approaches[4]->Name(), "QU-Trade");
+}
+
+TEST(HarnessTest, EnvHelpers) {
+  ::unsetenv("OCTOPUS_BENCH_SCALE");
+  ::unsetenv("OCTOPUS_BENCH_STEPS");
+  EXPECT_DOUBLE_EQ(bench::ScaleFromEnv(), 1.0);
+  EXPECT_EQ(bench::StepsFromEnv(60), 60);
+  ::setenv("OCTOPUS_BENCH_SCALE", "0.25", 1);
+  ::setenv("OCTOPUS_BENCH_STEPS", "12", 1);
+  EXPECT_DOUBLE_EQ(bench::ScaleFromEnv(), 0.25);
+  EXPECT_EQ(bench::StepsFromEnv(60), 12);
+  ::setenv("OCTOPUS_BENCH_SCALE", "-3", 1);
+  ::setenv("OCTOPUS_BENCH_STEPS", "junk", 1);
+  EXPECT_DOUBLE_EQ(bench::ScaleFromEnv(), 1.0);
+  EXPECT_EQ(bench::StepsFromEnv(60), 60);
+  ::unsetenv("OCTOPUS_BENCH_SCALE");
+  ::unsetenv("OCTOPUS_BENCH_STEPS");
+}
+
+}  // namespace
+}  // namespace octopus

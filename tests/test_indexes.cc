@@ -1,0 +1,480 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Unit and property tests for the baseline indexes: linear scan, octree,
+// uniform grid, R-tree, LUR-Tree, QU-Trade. The governing invariant for
+// all of them: after any update pattern, a range query returns exactly the
+// brute-force result.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "index/linear_scan.h"
+#include "index/lur_tree.h"
+#include "index/octree.h"
+#include "index/qu_trade.h"
+#include "index/rtree.h"
+#include "index/uniform_grid.h"
+#include "mesh/generators/grid_generator.h"
+#include "sim/random_deformer.h"
+#include "sim/workload.h"
+#include "test_util.h"
+
+namespace octopus {
+namespace {
+
+using testing::BruteForceRangeQuery;
+using testing::Sorted;
+
+TetraMesh MakeBox(int n) {
+  return GenerateBoxMesh(n, n, n, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))
+      .MoveValue();
+}
+
+std::vector<Vec3> RandomPoints(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec3> points;
+  points.reserve(n);
+  const AABB box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  for (size_t i = 0; i < n; ++i) points.push_back(rng.NextPointIn(box));
+  return points;
+}
+
+std::vector<VertexId> BruteForcePoints(const std::vector<Vec3>& points,
+                                       const AABB& box) {
+  std::vector<VertexId> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (box.Contains(points[i])) out.push_back(static_cast<VertexId>(i));
+  }
+  return out;
+}
+
+// ---------- LinearScan ----------
+
+TEST(LinearScanTest, MatchesBruteForce) {
+  const TetraMesh mesh = MakeBox(8);
+  LinearScan scan;
+  scan.Build(mesh);
+  const AABB q(Vec3(0.2f, 0.2f, 0.2f), Vec3(0.6f, 0.5f, 0.9f));
+  std::vector<VertexId> got;
+  scan.RangeQuery(mesh, q, &got);
+  EXPECT_EQ(Sorted(got), BruteForceRangeQuery(mesh, q));
+  EXPECT_EQ(scan.FootprintBytes(), 0u);
+  EXPECT_EQ(scan.Name(), "LinearScan");
+}
+
+// ---------- Octree ----------
+
+class OctreeBucketTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OctreeBucketTest, MatchesBruteForceOnRandomPoints) {
+  const auto points = RandomPoints(4000, GetParam());
+  Octree::Options options;
+  options.bucket_size = GetParam();
+  Octree tree(options);
+  tree.Build(points);
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    const Vec3 c = rng.NextPointIn(AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+    const float h = rng.NextFloat(0.01f, 0.3f);
+    const AABB q = AABB::FromCenterHalfExtent(c, Vec3(h, h, h));
+    std::vector<VertexId> got;
+    tree.Query(q, &got);
+    EXPECT_EQ(Sorted(got), BruteForcePoints(points, q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketSizes, OctreeBucketTest,
+                         ::testing::Values(1, 4, 16, 64, 256, 2048));
+
+TEST(OctreeTest, EmptyPointSet) {
+  Octree tree;
+  tree.Build({});
+  std::vector<VertexId> got;
+  tree.Query(AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)), &got);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(OctreeTest, DuplicatePointsDoNotRecurseForever) {
+  std::vector<Vec3> points(5000, Vec3(0.5f, 0.5f, 0.5f));
+  Octree::Options options;
+  options.bucket_size = 8;
+  Octree tree(options);
+  tree.Build(points);  // must terminate via max_depth
+  std::vector<VertexId> got;
+  tree.Query(AABB(Vec3(0.4f, 0.4f, 0.4f), Vec3(0.6f, 0.6f, 0.6f)), &got);
+  EXPECT_EQ(got.size(), 5000u);
+}
+
+TEST(OctreeTest, FullCoverQueryReturnsEverything) {
+  const auto points = RandomPoints(2000, 7);
+  Octree tree;
+  tree.Build(points);
+  std::vector<VertexId> got;
+  tree.Query(AABB(Vec3(-1, -1, -1), Vec3(2, 2, 2)), &got);
+  EXPECT_EQ(got.size(), points.size());
+}
+
+TEST(OctreeTest, SmallerBucketsMoreNodes) {
+  const auto points = RandomPoints(5000, 8);
+  Octree::Options small_opts;
+  small_opts.bucket_size = 16;
+  Octree::Options large_opts;
+  large_opts.bucket_size = 1024;
+  Octree small_tree(small_opts);
+  Octree large_tree(large_opts);
+  small_tree.Build(points);
+  large_tree.Build(points);
+  EXPECT_GT(small_tree.num_nodes(), large_tree.num_nodes());
+  EXPECT_GT(small_tree.FootprintBytes(), 0u);
+}
+
+TEST(ThrowawayOctreeTest, RebuildTracksDeformation) {
+  TetraMesh mesh = MakeBox(7);
+  ThrowawayOctree index;
+  index.Build(mesh);
+  RandomDeformer deformer(0.01f);
+  deformer.Bind(mesh);
+  for (int step = 1; step <= 5; ++step) {
+    deformer.ApplyStep(step, &mesh);
+    index.BeforeQueries(mesh);  // throwaway rebuild
+    const AABB q(Vec3(0.1f, 0.1f, 0.1f), Vec3(0.5f, 0.6f, 0.7f));
+    std::vector<VertexId> got;
+    index.RangeQuery(mesh, q, &got);
+    EXPECT_EQ(Sorted(got), BruteForceRangeQuery(mesh, q)) << "step " << step;
+  }
+}
+
+// ---------- UniformGrid ----------
+
+class GridResolutionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridResolutionTest, FindNearbyVertexAlwaysFindsSomething) {
+  const auto points = RandomPoints(500, 21);
+  UniformGrid grid(GetParam());
+  grid.Build(points);
+  Rng rng(22);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 p = rng.NextPointIn(AABB(Vec3(-0.5f, -0.5f, -0.5f),
+                                        Vec3(1.5f, 1.5f, 1.5f)));
+    const VertexId v = grid.FindNearbyVertex(p);
+    ASSERT_NE(v, kInvalidVertex);
+    EXPECT_LT(v, points.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, GridResolutionTest,
+                         ::testing::Values(1, 2, 3, 6, 10, 18));
+
+TEST(UniformGridTest, EmptyGrid) {
+  UniformGrid grid(4);
+  grid.Build({});
+  EXPECT_EQ(grid.FindNearbyVertex(Vec3(0, 0, 0)), kInvalidVertex);
+}
+
+TEST(UniformGridTest, NearbyVertexIsActuallyNear) {
+  // With a fine grid over dense points the returned vertex must be within
+  // a few cell diagonals of the probe.
+  const auto points = RandomPoints(20000, 23);
+  UniformGrid grid(16);
+  grid.Build(points);
+  Rng rng(24);
+  const float cell_diag = std::sqrt(3.0f) / 16.0f;
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p = rng.NextPointIn(AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+    const VertexId v = grid.FindNearbyVertex(p);
+    ASSERT_NE(v, kInvalidVertex);
+    EXPECT_LT(Distance(points[v], p), 3.0f * cell_diag);
+  }
+}
+
+TEST(UniformGridTest, CollectCandidatesIsSuperset) {
+  const auto points = RandomPoints(3000, 25);
+  UniformGrid grid(8);
+  grid.Build(points);
+  const AABB q(Vec3(0.3f, 0.1f, 0.2f), Vec3(0.7f, 0.5f, 0.9f));
+  std::vector<VertexId> candidates;
+  grid.CollectCandidates(q, &candidates);
+  const std::unordered_set<VertexId> candidate_set(candidates.begin(),
+                                                   candidates.end());
+  for (VertexId v : BruteForcePoints(points, q)) {
+    EXPECT_TRUE(candidate_set.count(v)) << "missing vertex " << v;
+  }
+}
+
+TEST(UniformGridTest, FootprintGrowsWithResolution) {
+  const auto points = RandomPoints(1000, 26);
+  UniformGrid coarse(2);
+  UniformGrid fine(20);
+  coarse.Build(points);
+  fine.Build(points);
+  EXPECT_GT(fine.FootprintBytes(), coarse.FootprintBytes());
+}
+
+// ---------- RTree ----------
+
+std::vector<RTree::Entry> PointEntries(const std::vector<Vec3>& points) {
+  std::vector<RTree::Entry> entries;
+  entries.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries.push_back({static_cast<VertexId>(i),
+                       AABB(points[i], points[i])});
+  }
+  return entries;
+}
+
+class RTreeFanoutTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeFanoutTest, BulkLoadMatchesBruteForce) {
+  const auto points = RandomPoints(3000, 31);
+  RTree::Options options;
+  options.fanout = GetParam();
+  RTree tree(options);
+  tree.BulkLoad(PointEntries(points));
+  EXPECT_EQ(tree.num_entries(), points.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+  Rng rng(32);
+  for (int i = 0; i < 40; ++i) {
+    const Vec3 c = rng.NextPointIn(AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+    const float h = rng.NextFloat(0.02f, 0.25f);
+    const AABB q = AABB::FromCenterHalfExtent(c, Vec3(h, h, h));
+    std::vector<VertexId> got;
+    tree.QueryIds(q, &got);
+    EXPECT_EQ(Sorted(got), BruteForcePoints(points, q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, RTreeFanoutTest,
+                         ::testing::Values(4, 8, 32, 110, 256));
+
+TEST(RTreeTest, InsertOnlyMatchesBruteForce) {
+  const auto points = RandomPoints(1200, 33);
+  RTree::Options options;
+  options.fanout = 16;
+  RTree tree(options);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(static_cast<VertexId>(i), AABB(points[i], points[i]));
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.num_entries(), points.size());
+  const AABB q(Vec3(0.25f, 0.25f, 0.25f), Vec3(0.75f, 0.6f, 0.8f));
+  std::vector<VertexId> got;
+  tree.QueryIds(q, &got);
+  EXPECT_EQ(Sorted(got), BruteForcePoints(points, q));
+}
+
+TEST(RTreeTest, DeleteRemovesExactlyTheEntry) {
+  const auto points = RandomPoints(500, 34);
+  RTree::Options options;
+  options.fanout = 8;
+  RTree tree(options);
+  tree.BulkLoad(PointEntries(points));
+  EXPECT_TRUE(tree.Delete(42));
+  EXPECT_FALSE(tree.Delete(42));  // already gone
+  EXPECT_EQ(tree.num_entries(), points.size() - 1);
+  std::vector<VertexId> got;
+  tree.QueryIds(AABB(Vec3(-1, -1, -1), Vec3(2, 2, 2)), &got);
+  EXPECT_EQ(got.size(), points.size() - 1);
+  for (VertexId v : got) EXPECT_NE(v, 42u);
+}
+
+TEST(RTreeTest, TryUpdateInPlaceSemantics) {
+  const auto points = RandomPoints(2000, 35);
+  RTree::Options options;
+  options.fanout = 32;
+  RTree tree(options);
+  tree.BulkLoad(PointEntries(points));
+
+  // A tiny move almost always stays within the leaf MBR.
+  size_t in_place = 0;
+  Rng rng(36);
+  for (VertexId id = 0; id < 200; ++id) {
+    const Vec3 p = points[id] + rng.NextUnitVector() * 1e-5f;
+    if (tree.TryUpdateInPlace(id, AABB(p, p))) {
+      ++in_place;
+      const AABB* stored = tree.FindEntryBox(id);
+      ASSERT_NE(stored, nullptr);
+      EXPECT_EQ(stored->min, p);
+    }
+  }
+  EXPECT_GT(in_place, 150u);
+
+  // A move across the domain must NOT be applied in place.
+  EXPECT_FALSE(tree.TryUpdateInPlace(
+      0, AABB(Vec3(50, 50, 50), Vec3(50, 50, 50))));
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, MixedWorkloadKeepsInvariants) {
+  RTree::Options options;
+  options.fanout = 8;
+  RTree tree(options);
+  Rng rng(37);
+  std::unordered_set<VertexId> live;
+  const AABB domain(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  VertexId next_id = 0;
+  for (int op = 0; op < 3000; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.6 || live.empty()) {
+      const Vec3 p = rng.NextPointIn(domain);
+      tree.Insert(next_id, AABB(p, p));
+      live.insert(next_id);
+      ++next_id;
+    } else {
+      // Delete a random live id.
+      const VertexId id = *live.begin();
+      EXPECT_TRUE(tree.Delete(id));
+      live.erase(live.begin());
+    }
+  }
+  EXPECT_EQ(tree.num_entries(), live.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::vector<VertexId> got;
+  tree.QueryIds(AABB(Vec3(-1, -1, -1), Vec3(2, 2, 2)), &got);
+  EXPECT_EQ(got.size(), live.size());
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  RTree::Options options;
+  options.fanout = 4;
+  RTree tree(options);
+  const auto points = RandomPoints(1000, 38);
+  tree.BulkLoad(PointEntries(points));
+  // 1000 entries, fanout 4 -> ~250 leaves -> height ~ log4(250)+1 ~ 5..7.
+  EXPECT_GE(tree.height(), 4);
+  EXPECT_LE(tree.height(), 8);
+}
+
+TEST(RTreeTest, BoxEntriesQueryByIntersection) {
+  // QU-Trade stores non-degenerate boxes: Query must return entries whose
+  // BOX intersects, even when the box center is outside the query.
+  RTree tree;
+  tree.Insert(1, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+  tree.Insert(2, AABB(Vec3(5, 5, 5), Vec3(6, 6, 6)));
+  std::vector<RTree::Entry> got;
+  tree.Query(AABB(Vec3(0.9f, 0.9f, 0.9f), Vec3(1.5f, 1.5f, 1.5f)), &got);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 1u);
+}
+
+TEST(RTreeTest, EmptyTreeQueries) {
+  RTree tree;
+  tree.BulkLoad({});
+  std::vector<VertexId> got;
+  tree.QueryIds(AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)), &got);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(tree.num_entries(), 0u);
+}
+
+// ---------- LUR-Tree ----------
+
+TEST(LURTreeTest, TracksDeformationExactly) {
+  TetraMesh mesh = MakeBox(7);
+  LURTree index;
+  index.Build(mesh);
+  RandomDeformer deformer(0.008f);
+  deformer.Bind(mesh);
+  QueryGenerator gen(mesh);
+  Rng rng(41);
+  for (int step = 1; step <= 6; ++step) {
+    deformer.ApplyStep(step, &mesh);
+    index.BeforeQueries(mesh);
+    for (int q = 0; q < 5; ++q) {
+      const AABB box = gen.MakeQuery(&rng, 0.02);
+      std::vector<VertexId> got;
+      index.RangeQuery(mesh, box, &got);
+      EXPECT_EQ(Sorted(got), BruteForceRangeQuery(mesh, box))
+          << "step " << step << " query " << q;
+    }
+  }
+}
+
+TEST(LURTreeTest, SmallMovesMostlyInPlace) {
+  TetraMesh mesh = MakeBox(10);
+  LURTree index;
+  index.Build(mesh);
+  RandomDeformer deformer(0.002f);  // tiny moves vs leaf MBRs
+  deformer.Bind(mesh);
+  deformer.ApplyStep(1, &mesh);
+  index.BeforeQueries(mesh);
+  EXPECT_LT(index.last_reinsert_fraction(), 0.5);
+}
+
+TEST(LURTreeTest, FootprintNonTrivial) {
+  TetraMesh mesh = MakeBox(6);
+  LURTree index;
+  index.Build(mesh);
+  EXPECT_GT(index.FootprintBytes(),
+            mesh.num_vertices() * sizeof(Vec3));  // holds a position copy
+}
+
+// ---------- QU-Trade ----------
+
+TEST(QUTradeTest, TracksDeformationExactly) {
+  TetraMesh mesh = MakeBox(7);
+  QUTrade index;
+  index.Build(mesh);
+  RandomDeformer deformer(0.008f);
+  deformer.Bind(mesh);
+  QueryGenerator gen(mesh);
+  Rng rng(43);
+  for (int step = 1; step <= 6; ++step) {
+    deformer.ApplyStep(step, &mesh);
+    index.BeforeQueries(mesh);
+    for (int q = 0; q < 5; ++q) {
+      const AABB box = gen.MakeQuery(&rng, 0.02);
+      std::vector<VertexId> got;
+      index.RangeQuery(mesh, box, &got);
+      EXPECT_EQ(Sorted(got), BruteForceRangeQuery(mesh, box))
+          << "step " << step << " query " << q;
+    }
+  }
+}
+
+TEST(QUTradeTest, GraceWindowSuppressesTriggers) {
+  TetraMesh mesh = MakeBox(9);
+  QUTrade::Options options;
+  options.initial_window = 0.05f;  // generous window vs 0.004 moves
+  QUTrade index(options);
+  index.Build(mesh);
+  RandomDeformer deformer(0.002f);
+  deformer.Bind(mesh);
+  for (int step = 1; step <= 3; ++step) {
+    deformer.ApplyStep(step, &mesh);
+    index.BeforeQueries(mesh);
+    EXPECT_LT(index.last_trigger_rate(), 0.01) << "step " << step;
+  }
+}
+
+TEST(QUTradeTest, AdaptiveWindowGrowsUnderPressure) {
+  TetraMesh mesh = MakeBox(8);
+  QUTrade::Options options;
+  options.initial_window = 1e-4f;  // far too small for the movement
+  options.adaptive = true;
+  QUTrade index(options);
+  index.Build(mesh);
+  const float before = index.window();
+  RandomDeformer deformer(0.01f);
+  deformer.Bind(mesh);
+  for (int step = 1; step <= 5; ++step) {
+    deformer.ApplyStep(step, &mesh);
+    index.BeforeQueries(mesh);
+  }
+  EXPECT_GT(index.window(), before);
+}
+
+TEST(QUTradeTest, QueriesFilterStaleCandidates) {
+  // With a huge window every candidate is stale; results must still be
+  // exact thanks to the position filter.
+  TetraMesh mesh = MakeBox(6);
+  QUTrade::Options options;
+  options.initial_window = 10.0f;
+  options.adaptive = false;
+  QUTrade index(options);
+  index.Build(mesh);
+  const AABB q(Vec3(0.4f, 0.4f, 0.4f), Vec3(0.6f, 0.6f, 0.6f));
+  std::vector<VertexId> got;
+  index.RangeQuery(mesh, q, &got);
+  EXPECT_EQ(Sorted(got), BruteForceRangeQuery(mesh, q));
+}
+
+}  // namespace
+}  // namespace octopus

@@ -1,0 +1,225 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Randomized property tests ("fuzz-lite"): exactness and robustness over
+// randomly generated geometries, degenerate query shapes and adversarial
+// index workloads. All RNG is seeded — failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "index/rtree.h"
+#include "index/uniform_grid.h"
+#include "mesh/generators/grid_generator.h"
+#include "mesh/generators/hexa_generator.h"
+#include "mesh/generators/shapes.h"
+#include "octopus/hex_octopus.h"
+#include "octopus/query_executor.h"
+#include "sim/random_deformer.h"
+#include "test_util.h"
+
+namespace octopus {
+namespace {
+
+using testing::BruteForceRangeQuery;
+using testing::Sorted;
+
+// Random solid: a few balls and tubes placed at random — non-convex and
+// often multi-component, the general case the surface probe must handle.
+ImplicitSolid RandomSolid(uint64_t seed) {
+  Rng rng(seed);
+  ImplicitSolid solid;
+  const AABB domain(Vec3(0.15f, 0.15f, 0.15f), Vec3(0.85f, 0.85f, 0.85f));
+  const int balls = 1 + static_cast<int>(rng.NextBelow(3));
+  for (int i = 0; i < balls; ++i) {
+    solid.AddBall(rng.NextPointIn(domain), rng.NextFloat(0.12f, 0.25f));
+  }
+  const int tubes = static_cast<int>(rng.NextBelow(3));
+  for (int i = 0; i < tubes; ++i) {
+    solid.AddTube(rng.NextPointIn(domain), rng.NextPointIn(domain),
+                  rng.NextFloat(0.06f, 0.1f));
+  }
+  return solid;
+}
+
+class RandomSolidTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomSolidTest, OctopusExactOnRandomGeometry) {
+  const uint64_t seed = GetParam();
+  const int n = 28;
+  const AABB domain(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  const ImplicitSolid solid = RandomSolid(seed);
+  auto mesh_result = GenerateMaskedGrid(n, n, n, domain,
+                                        solid.MakeMask(n, n, n, domain));
+  ASSERT_TRUE(mesh_result.ok());
+  TetraMesh mesh = mesh_result.MoveValue();
+
+  Octopus octopus;
+  octopus.Build(mesh);
+  RandomDeformer deformer(0.25f / n, seed);
+  deformer.Bind(mesh);
+  Rng rng(seed ^ 0xF00D);
+  for (int step = 1; step <= 4; ++step) {
+    deformer.ApplyStep(step, &mesh);
+    for (int q = 0; q < 6; ++q) {
+      // Queries several edge lengths wide (see DESIGN.md section 5).
+      const float h = rng.NextFloat(0.12f, 0.3f);
+      const VertexId center =
+          static_cast<VertexId>(rng.NextBelow(mesh.num_vertices()));
+      const AABB box = AABB::FromCenterHalfExtent(mesh.position(center),
+                                                  Vec3(h, h, h));
+      std::vector<VertexId> got;
+      octopus.RangeQuery(mesh, box, &got);
+      ASSERT_EQ(Sorted(got), BruteForceRangeQuery(mesh, box))
+          << "seed " << seed << " step " << step << " query " << q;
+    }
+  }
+}
+
+TEST_P(RandomSolidTest, HexOctopusExactOnRandomGeometry) {
+  const uint64_t seed = GetParam();
+  const int n = 24;
+  const AABB domain(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  const ImplicitSolid solid = RandomSolid(seed);
+  auto mesh_result = GenerateMaskedHexGrid(n, n, n, domain,
+                                           solid.MakeMask(n, n, n, domain));
+  ASSERT_TRUE(mesh_result.ok());
+  const HexaMesh& mesh = mesh_result.Value();
+
+  HexOctopus octopus;
+  octopus.Build(mesh);
+  Rng rng(seed ^ 0xBEEF);
+  for (int q = 0; q < 12; ++q) {
+    const float h = rng.NextFloat(0.15f, 0.3f);
+    const VertexId center =
+        static_cast<VertexId>(rng.NextBelow(mesh.num_vertices()));
+    const AABB box = AABB::FromCenterHalfExtent(mesh.position(center),
+                                                Vec3(h, h, h));
+    std::vector<VertexId> got;
+    octopus.RangeQuery(mesh, box, &got);
+    std::vector<VertexId> expected;
+    for (VertexId v = 0; v < mesh.num_vertices(); ++v) {
+      if (box.Contains(mesh.position(v))) expected.push_back(v);
+    }
+    ASSERT_EQ(Sorted(got), expected) << "seed " << seed << " query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSolidTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+// ---------- Degenerate query shapes ----------
+
+TEST(DegenerateQueryTest, PointQueryAtVertexPosition) {
+  const TetraMesh mesh =
+      GenerateBoxMesh(8, 8, 8, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))
+          .MoveValue();
+  Octopus octopus;
+  octopus.Build(mesh);
+  // A zero-volume box exactly at an interior vertex's position.
+  const Vec3 p = mesh.position(mesh.num_vertices() / 2);
+  const AABB point_box(p, p);
+  std::vector<VertexId> got;
+  octopus.RangeQuery(mesh, point_box, &got);
+  EXPECT_EQ(Sorted(got), BruteForceRangeQuery(mesh, point_box));
+  EXPECT_GE(got.size(), 1u);
+}
+
+TEST(DegenerateQueryTest, PlaneSliceQuery) {
+  const TetraMesh mesh =
+      GenerateBoxMesh(8, 8, 8, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))
+          .MoveValue();
+  Octopus octopus;
+  octopus.Build(mesh);
+  // Zero thickness in z, exactly on a lattice plane: all vertices of that
+  // plane are inside; the crawl must traverse within the plane.
+  const AABB slice(Vec3(0, 0, 0.5f), Vec3(1, 1, 0.5f));
+  std::vector<VertexId> got;
+  octopus.RangeQuery(mesh, slice, &got);
+  EXPECT_EQ(Sorted(got), BruteForceRangeQuery(mesh, slice));
+  EXPECT_EQ(got.size(), 81u);  // 9 x 9 lattice plane
+}
+
+TEST(DegenerateQueryTest, InvertedBoxIsEmpty) {
+  const TetraMesh mesh =
+      GenerateBoxMesh(4, 4, 4, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))
+          .MoveValue();
+  Octopus octopus;
+  octopus.Build(mesh);
+  AABB empty;  // default box: min > max
+  std::vector<VertexId> got;
+  octopus.RangeQuery(mesh, empty, &got);
+  EXPECT_TRUE(got.empty());
+}
+
+// ---------- R-tree with box entries under churn ----------
+
+TEST(RTreeFuzzTest, BoxEntriesChurnMatchesBruteForce) {
+  RTree::Options options;
+  options.fanout = 8;
+  RTree tree(options);
+  Rng rng(0xF422);
+  const AABB domain(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  std::unordered_map<VertexId, AABB> live;
+  VertexId next_id = 0;
+
+  for (int op = 0; op < 4000; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.5 || live.empty()) {
+      const Vec3 c = rng.NextPointIn(domain);
+      const float h = rng.NextFloat(0.0f, 0.08f);
+      const AABB box = AABB::FromCenterHalfExtent(c, Vec3(h, h, h));
+      tree.Insert(next_id, box);
+      live.emplace(next_id, box);
+      ++next_id;
+    } else if (dice < 0.8) {
+      const VertexId id = live.begin()->first;
+      ASSERT_TRUE(tree.Delete(id));
+      live.erase(live.begin());
+    } else {
+      // Update: in-place if possible, else delete + insert.
+      const VertexId id = live.begin()->first;
+      const Vec3 c = rng.NextPointIn(domain);
+      const AABB box = AABB::FromCenterHalfExtent(c, Vec3(0.01f, 0.01f,
+                                                          0.01f));
+      if (!tree.TryUpdateInPlace(id, box)) {
+        ASSERT_TRUE(tree.Delete(id));
+        tree.Insert(id, box);
+      }
+      live[id] = box;
+    }
+    if (op % 500 == 499) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "op " << op;
+      const AABB q = AABB::FromCenterHalfExtent(
+          rng.NextPointIn(domain), Vec3(0.2f, 0.2f, 0.2f));
+      std::vector<VertexId> got;
+      tree.QueryIds(q, &got);
+      std::vector<VertexId> expected;
+      for (const auto& [id, box] : live) {
+        if (q.Intersects(box)) expected.push_back(id);
+      }
+      ASSERT_EQ(Sorted(got), Sorted(expected)) << "op " << op;
+    }
+  }
+}
+
+// ---------- Stale grid robustness (OCTOPUS-CON precondition) ----------
+
+TEST(StaleGridTest, FindNearbyRemainsValidAfterHeavyDrift) {
+  TetraMesh mesh =
+      GenerateBoxMesh(10, 10, 10, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))
+          .MoveValue();
+  UniformGrid grid(8);
+  grid.Build(mesh.positions());
+  // Drift the whole mesh far from where the grid thinks vertices are.
+  for (Vec3& p : mesh.mutable_positions()) p += Vec3(0.4f, -0.3f, 0.2f);
+  Rng rng(0x57A1E);
+  for (int i = 0; i < 100; ++i) {
+    const VertexId v = grid.FindNearbyVertex(
+        rng.NextPointIn(AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))));
+    // The hint may be spatially stale but must always be a live id.
+    ASSERT_NE(v, kInvalidVertex);
+    ASSERT_LT(v, mesh.num_vertices());
+  }
+}
+
+}  // namespace
+}  // namespace octopus

@@ -1,0 +1,213 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Tests for element quality checking and vertex attributes, plus the
+// deformer-validity properties: no deformer may invert mesh elements over
+// a realistic simulation horizon.
+#include <gtest/gtest.h>
+
+#include "mesh/attributes.h"
+#include "mesh/generators/datasets.h"
+#include "mesh/generators/grid_generator.h"
+#include "mesh/quality.h"
+#include "sim/animation_deformer.h"
+#include "sim/plasticity_deformer.h"
+#include "sim/random_deformer.h"
+#include "sim/wave_deformer.h"
+#include "test_util.h"
+
+namespace octopus {
+namespace {
+
+TetraMesh MakeBox(int n) {
+  return GenerateBoxMesh(n, n, n, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))
+      .MoveValue();
+}
+
+// ---------- Signed volume ----------
+
+TEST(SignedVolumeTest, UnitTet) {
+  const double v = SignedTetVolume(Vec3(0, 0, 0), Vec3(1, 0, 0),
+                                   Vec3(0, 1, 0), Vec3(0, 0, 1));
+  EXPECT_NEAR(v, 1.0 / 6.0, 1e-9);
+  // Swapping two corners flips the sign.
+  const double flipped = SignedTetVolume(Vec3(0, 0, 0), Vec3(0, 1, 0),
+                                         Vec3(1, 0, 0), Vec3(0, 0, 1));
+  EXPECT_NEAR(flipped, -1.0 / 6.0, 1e-9);
+}
+
+TEST(SignedVolumeTest, DegenerateIsZero) {
+  EXPECT_NEAR(SignedTetVolume(Vec3(0, 0, 0), Vec3(1, 0, 0), Vec3(2, 0, 0),
+                              Vec3(3, 0, 0)),
+              0.0, 1e-12);
+}
+
+// ---------- QualityChecker ----------
+
+TEST(QualityCheckerTest, PristineMeshIsValid) {
+  const TetraMesh mesh = MakeBox(6);
+  const QualityChecker checker(mesh);
+  const QualityReport report = checker.Check(mesh);
+  EXPECT_EQ(report.tets_checked, mesh.num_tetrahedra());
+  EXPECT_TRUE(report.AllValid());
+  EXPECT_GT(report.min_abs_volume, 0.0);
+  EXPECT_GT(report.mean_abs_volume, 0.0);
+}
+
+TEST(QualityCheckerTest, DetectsInversion) {
+  TetraMesh mesh = MakeBox(4);
+  const QualityChecker checker(mesh);
+  // Yank one interior vertex across the mesh: surrounding tets invert.
+  VertexId victim = 0;
+  for (VertexId v = 0; v < mesh.num_vertices(); ++v) {
+    if (mesh.incident_tet_count(v) >= 8) {
+      victim = v;
+      break;
+    }
+  }
+  mesh.set_position(victim, mesh.position(victim) + Vec3(0.9f, 0.9f, 0.9f));
+  const QualityReport report = checker.Check(mesh);
+  EXPECT_GT(report.inverted, 0u);
+  EXPECT_FALSE(report.AllValid());
+}
+
+TEST(QualityCheckerTest, RegionalCheckViaQueryResult) {
+  const TetraMesh mesh = MakeBox(8);
+  const QualityChecker checker(mesh);
+  const AABB region(Vec3(0.2f, 0.2f, 0.2f), Vec3(0.5f, 0.5f, 0.5f));
+  const auto vertices = testing::BruteForceRangeQuery(mesh, region);
+  const auto tets = TetsTouchingVertices(mesh, vertices);
+  EXPECT_GT(tets.size(), 0u);
+  EXPECT_LT(tets.size(), mesh.num_tetrahedra());
+  const QualityReport report = checker.CheckTets(mesh, tets);
+  EXPECT_EQ(report.tets_checked, tets.size());
+  EXPECT_TRUE(report.AllValid());
+}
+
+// ---------- Deformer validity properties ----------
+
+// Every deformer must keep all elements un-inverted over a 60-step run
+// with the amplitudes the benches use.
+TEST(DeformerValidityTest, RandomDeformerKeepsElementsValid) {
+  TetraMesh mesh = MakeBox(10);
+  const QualityChecker checker(mesh);
+  RandomDeformer deformer(0.25f * EstimateMeanEdgeLength(mesh));
+  deformer.Bind(mesh);
+  for (int step = 1; step <= 60; ++step) deformer.ApplyStep(step, &mesh);
+  EXPECT_EQ(checker.Check(mesh).inverted, 0u);
+}
+
+TEST(DeformerValidityTest, PlasticityDriftKeepsElementsValid) {
+  TetraMesh mesh = MakeNeuroMesh(0, 0.2).MoveValue();
+  const QualityChecker checker(mesh);
+  PlasticityDeformer deformer(0.3f * EstimateMeanEdgeLength(mesh));
+  deformer.Bind(mesh);
+  for (int step = 1; step <= 60; ++step) deformer.ApplyStep(step, &mesh);
+  const QualityReport report = checker.Check(mesh);
+  EXPECT_EQ(report.inverted, 0u)
+      << "drift accumulated enough strain to fold elements";
+}
+
+TEST(DeformerValidityTest, WaveDeformerKeepsElementsValid) {
+  TetraMesh mesh =
+      MakeEarthquakeMesh(EarthquakeResolution::kSF2, 0.2).MoveValue();
+  const QualityChecker checker(mesh);
+  WaveDeformer deformer(0.02f, 0.01f);
+  deformer.Bind(mesh);
+  for (int step = 1; step <= 60; ++step) deformer.ApplyStep(step, &mesh);
+  EXPECT_EQ(checker.Check(mesh).inverted, 0u);
+}
+
+class AnimationValidityTest
+    : public ::testing::TestWithParam<AnimationDataset> {};
+
+TEST_P(AnimationValidityTest, KeepsElementsValid) {
+  TetraMesh mesh = MakeAnimationMesh(GetParam(), 0.05).MoveValue();
+  const QualityChecker checker(mesh);
+  AnimationDeformer deformer(GetParam(),
+                             2.0f * EstimateMeanEdgeLength(mesh));
+  deformer.Bind(mesh);
+  const int period = AnimationTimeSteps(GetParam());
+  for (int step = 1; step <= period; ++step) {
+    deformer.ApplyStep(step, &mesh);
+    ASSERT_EQ(checker.Check(mesh).inverted, 0u) << "frame " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSequences, AnimationValidityTest,
+    ::testing::Values(AnimationDataset::kHorseGallop,
+                      AnimationDataset::kFacialExpression,
+                      AnimationDataset::kCamelCompress));
+
+// ---------- VertexAttributes ----------
+
+TEST(AttributesTest, AddAndFill) {
+  VertexAttributes attrs(10);
+  ASSERT_TRUE(attrs.AddColumn("voltage", -65.0f).ok());
+  ASSERT_TRUE(attrs.AddColumn("calcium").ok());
+  EXPECT_EQ(attrs.num_columns(), 2u);
+  EXPECT_TRUE(attrs.HasColumn("voltage"));
+  EXPECT_FALSE(attrs.HasColumn("sodium"));
+  auto column = attrs.Column("voltage");
+  ASSERT_EQ(column.size(), 10u);
+  EXPECT_FLOAT_EQ(column[3], -65.0f);
+}
+
+TEST(AttributesTest, DuplicateColumnRejected) {
+  VertexAttributes attrs(4);
+  ASSERT_TRUE(attrs.AddColumn("x").ok());
+  EXPECT_FALSE(attrs.AddColumn("x").ok());
+}
+
+TEST(AttributesTest, GatherFollowsQueryResult) {
+  VertexAttributes attrs(8);
+  ASSERT_TRUE(attrs.AddColumn("value").ok());
+  auto column = attrs.Column("value");
+  for (size_t v = 0; v < column.size(); ++v) {
+    column[v] = static_cast<float>(v * v);
+  }
+  const std::vector<VertexId> picked = {1, 3, 7};
+  std::vector<float> out;
+  ASSERT_TRUE(attrs.Gather("value", picked, &out).ok());
+  EXPECT_EQ(out, (std::vector<float>{1.0f, 9.0f, 49.0f}));
+}
+
+TEST(AttributesTest, GatherErrors) {
+  VertexAttributes attrs(4);
+  ASSERT_TRUE(attrs.AddColumn("v").ok());
+  std::vector<float> out;
+  EXPECT_EQ(attrs.Gather("missing", {}, &out).code(),
+            Status::Code::kNotFound);
+  const std::vector<VertexId> bad = {99};
+  EXPECT_EQ(attrs.Gather("v", bad, &out).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(AttributesTest, MeanStatistic) {
+  VertexAttributes attrs(5);
+  ASSERT_TRUE(attrs.AddColumn("density").ok());
+  auto column = attrs.Column("density");
+  for (size_t v = 0; v < column.size(); ++v) {
+    column[v] = static_cast<float>(v);
+  }
+  const std::vector<VertexId> all = {0, 1, 2, 3, 4};
+  auto mean = attrs.Mean("density", all);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_DOUBLE_EQ(mean.Value(), 2.0);
+  EXPECT_FALSE(attrs.Mean("density", {}).ok());
+  EXPECT_FALSE(attrs.Mean("nope", all).ok());
+}
+
+TEST(AttributesTest, ResizeForRestructuring) {
+  VertexAttributes attrs(3);
+  ASSERT_TRUE(attrs.AddColumn("tag", 7.0f).ok());
+  attrs.Column("tag")[0] = 1.0f;
+  attrs.Resize(6);
+  auto column = attrs.Column("tag");
+  ASSERT_EQ(column.size(), 6u);
+  EXPECT_FLOAT_EQ(column[0], 1.0f);   // existing values preserved
+  EXPECT_FLOAT_EQ(column[5], 7.0f);   // new slots get the initial value
+  EXPECT_GT(attrs.FootprintBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace octopus

@@ -1,0 +1,340 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Unit tests for deformers, restructuring operations, the simulation
+// driver and the query-workload generator.
+#include <gtest/gtest.h>
+
+#include "mesh/generators/grid_generator.h"
+#include "mesh/mesh_stats.h"
+#include "mesh/surface.h"
+#include "sim/animation_deformer.h"
+#include "sim/deformer.h"
+#include "sim/plasticity_deformer.h"
+#include "sim/random_deformer.h"
+#include "sim/restructurer.h"
+#include "sim/simulation.h"
+#include "sim/wave_deformer.h"
+#include "sim/workload.h"
+#include "test_util.h"
+
+namespace octopus {
+namespace {
+
+TetraMesh MakeBox(int n) {
+  return GenerateBoxMesh(n, n, n, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))
+      .MoveValue();
+}
+
+float MaxDisplacement(const std::vector<Vec3>& a,
+                      const std::vector<Vec3>& b) {
+  float max_d = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_d = std::max(max_d, Distance(a[i], b[i]));
+  }
+  return max_d;
+}
+
+size_t CountMoved(const std::vector<Vec3>& a, const std::vector<Vec3>& b) {
+  size_t moved = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++moved;
+  }
+  return moved;
+}
+
+TEST(EstimateMeanEdgeLengthTest, MatchesGridSpacing) {
+  const TetraMesh mesh = MakeBox(8);
+  const float mean = EstimateMeanEdgeLength(mesh);
+  // Grid spacing is 1/8; edges are axis (1/8), face diagonal (~0.177) and
+  // body diagonal (~0.217). The mean must land between those.
+  EXPECT_GT(mean, 0.125f);
+  EXPECT_LT(mean, 0.22f);
+}
+
+// ---------- RandomDeformer ----------
+
+TEST(RandomDeformerTest, MovesEveryVertexWithinAmplitude) {
+  TetraMesh mesh = MakeBox(6);
+  const std::vector<Vec3> rest = mesh.positions();
+  RandomDeformer deformer(0.01f);
+  deformer.Bind(mesh);
+  deformer.ApplyStep(1, &mesh);
+  EXPECT_GT(CountMoved(rest, mesh.positions()),
+            mesh.num_vertices() * 95 / 100);
+  EXPECT_LE(MaxDisplacement(rest, mesh.positions()), 0.01f + 1e-6f);
+}
+
+TEST(RandomDeformerTest, StepsAreDeterministicAndDistinct) {
+  TetraMesh mesh_a = MakeBox(4);
+  TetraMesh mesh_b = MakeBox(4);
+  RandomDeformer da(0.01f, 5);
+  RandomDeformer db(0.01f, 5);
+  da.Bind(mesh_a);
+  db.Bind(mesh_b);
+  da.ApplyStep(3, &mesh_a);
+  db.ApplyStep(3, &mesh_b);
+  EXPECT_EQ(mesh_a.positions(), mesh_b.positions());
+  db.ApplyStep(4, &mesh_b);
+  EXPECT_NE(mesh_a.positions(), mesh_b.positions());
+}
+
+TEST(RandomDeformerTest, DisplacementBoundedOverManySteps) {
+  // Displacements are taken from rest positions, so they never accumulate.
+  TetraMesh mesh = MakeBox(4);
+  const std::vector<Vec3> rest = mesh.positions();
+  RandomDeformer deformer(0.02f);
+  deformer.Bind(mesh);
+  for (int step = 1; step <= 50; ++step) deformer.ApplyStep(step, &mesh);
+  EXPECT_LE(MaxDisplacement(rest, mesh.positions()), 0.02f + 1e-6f);
+}
+
+// ---------- PlasticityDeformer ----------
+
+TEST(PlasticityDeformerTest, SmoothInSpace) {
+  // Neighboring vertices must move by similar vectors (spatial
+  // correlation, the property exploited by surface approximation). The
+  // uncorrelated RandomDeformer serves as the contrast baseline.
+  auto mean_neighbor_delta = [](Deformer* deformer) {
+    TetraMesh mesh = MakeBox(8);
+    const std::vector<Vec3> rest = mesh.positions();
+    deformer->Bind(mesh);
+    deformer->ApplyStep(1, &mesh);
+    double total = 0.0;
+    size_t count = 0;
+    for (VertexId v = 0; v < mesh.num_vertices(); ++v) {
+      const Vec3 dv = mesh.position(v) - rest[v];
+      for (VertexId n : mesh.neighbors(v)) {
+        total += (dv - (mesh.position(n) - rest[n])).Norm();
+        ++count;
+      }
+    }
+    return total / static_cast<double>(count);
+  };
+  PlasticityDeformer smooth(0.01f);
+  RandomDeformer rough(0.01f);
+  const double smooth_delta = mean_neighbor_delta(&smooth);
+  const double rough_delta = mean_neighbor_delta(&rough);
+  EXPECT_LT(smooth_delta, 0.5 * rough_delta)
+      << "plasticity field must be far smoother than independent jitter";
+}
+
+TEST(PlasticityDeformerTest, FieldChangesEveryStep) {
+  TetraMesh mesh = MakeBox(5);
+  PlasticityDeformer deformer(0.01f);
+  deformer.Bind(mesh);
+  deformer.ApplyStep(1, &mesh);
+  const std::vector<Vec3> after_one = mesh.positions();
+  deformer.ApplyStep(2, &mesh);
+  EXPECT_NE(after_one, mesh.positions());
+}
+
+// ---------- WaveDeformer (convexity) ----------
+
+TEST(WaveDeformerTest, AffineMapPreservesStructure) {
+  TetraMesh mesh = MakeBox(6);
+  const std::vector<Vec3> rest = mesh.positions();
+  WaveDeformer deformer(0.03f, 0.02f);
+  deformer.Bind(mesh);
+  deformer.ApplyStep(1, &mesh);
+
+  // Affinity check: the strain matrix is shared, so displacement difference
+  // between two vertices is a linear function of their rest difference.
+  // For vertices with equal rest difference, image difference is equal.
+  const Vec3 d01 = mesh.position(1) - mesh.position(0);
+  bool found_pair = false;
+  for (VertexId v = 0; v + 1 < mesh.num_vertices(); ++v) {
+    if (rest[v + 1] - rest[v] == rest[1] - rest[0]) {
+      const Vec3 d = mesh.position(v + 1) - mesh.position(v);
+      EXPECT_NEAR(d.x, d01.x, 1e-5f);
+      EXPECT_NEAR(d.y, d01.y, 1e-5f);
+      EXPECT_NEAR(d.z, d01.z, 1e-5f);
+      found_pair = true;
+    }
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(WaveDeformerTest, BoundedStrainAndShift) {
+  TetraMesh mesh = MakeBox(5);
+  const std::vector<Vec3> rest = mesh.positions();
+  WaveDeformer deformer(0.02f, 0.01f);
+  deformer.Bind(mesh);
+  for (int step = 1; step <= 40; ++step) deformer.ApplyStep(step, &mesh);
+  // |displacement| <= |E|*|r|*3 + |b| <= 0.02*sqrt(3)*3 + 0.01 ~ 0.114.
+  EXPECT_LE(MaxDisplacement(rest, mesh.positions()), 0.12f);
+}
+
+// ---------- AnimationDeformer ----------
+
+class AnimationDeformerTest
+    : public ::testing::TestWithParam<AnimationDataset> {};
+
+TEST_P(AnimationDeformerTest, PeriodicAndBounded) {
+  TetraMesh mesh = MakeBox(5);
+  const std::vector<Vec3> rest = mesh.positions();
+  AnimationDeformer deformer(GetParam(), 0.05f);
+  deformer.Bind(mesh);
+  const int period = AnimationTimeSteps(GetParam());
+
+  deformer.ApplyStep(1, &mesh);
+  const std::vector<Vec3> frame_one = mesh.positions();
+  EXPECT_LE(MaxDisplacement(rest, frame_one), 0.25f);
+
+  // One full period later the pose repeats.
+  deformer.ApplyStep(1 + period, &mesh);
+  for (size_t v = 0; v < rest.size(); ++v) {
+    EXPECT_NEAR(mesh.position(static_cast<VertexId>(v)).x, frame_one[v].x,
+                1e-5f);
+    EXPECT_NEAR(mesh.position(static_cast<VertexId>(v)).y, frame_one[v].y,
+                1e-5f);
+    EXPECT_NEAR(mesh.position(static_cast<VertexId>(v)).z, frame_one[v].z,
+                1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSequences, AnimationDeformerTest,
+    ::testing::Values(AnimationDataset::kHorseGallop,
+                      AnimationDataset::kFacialExpression,
+                      AnimationDataset::kCamelCompress));
+
+// ---------- Restructurer ----------
+
+TEST(RestructurerTest, SplitTetAtCentroid) {
+  TetraMesh mesh = testing::MakeSingleTetMesh();
+  auto delta = SplitTetAtCentroid(&mesh, 0);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(mesh.num_vertices(), 5u);
+  EXPECT_EQ(mesh.num_tetrahedra(), 4u);
+  EXPECT_EQ(delta.Value().added_tets.size(), 4u);
+  EXPECT_EQ(delta.Value().removed_tets.size(), 1u);
+  // Surface is unchanged: the new vertex is interior.
+  const SurfaceInfo s = ExtractSurface(mesh);
+  EXPECT_EQ(s.surface_vertices.size(), 4u);
+}
+
+TEST(RestructurerTest, SplitRejectsBadId) {
+  TetraMesh mesh = testing::MakeSingleTetMesh();
+  EXPECT_FALSE(SplitTetAtCentroid(&mesh, 99).ok());
+}
+
+TEST(RestructurerTest, AddTetOnSurfaceFaceGrowsSurface) {
+  TetraMesh mesh = testing::MakeSingleTetMesh();
+  const SurfaceInfo before = ExtractSurface(mesh);
+  const FaceKey face = before.surface_faces.front();
+  auto delta = AddTetOnSurfaceFace(&mesh, face, Vec3(2, 2, 2));
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(mesh.num_tetrahedra(), 2u);
+  EXPECT_EQ(mesh.num_vertices(), 5u);
+  const SurfaceInfo after = ExtractSurface(mesh);
+  EXPECT_EQ(after.surface_vertices.size(), 5u);
+  // The glued face is now interior: 4 + 3 new - the glued one = 6 faces.
+  EXPECT_EQ(after.surface_faces.size(), 6u);
+}
+
+TEST(RestructurerTest, AddTetRejectsInteriorOrMissingFace) {
+  TetraMesh mesh = testing::MakeTwoTetMesh();
+  EXPECT_FALSE(
+      AddTetOnSurfaceFace(&mesh, MakeFaceKey(1, 2, 3), Vec3(2, 2, 2)).ok())
+      << "shared face is interior";
+  EXPECT_FALSE(
+      AddTetOnSurfaceFace(&mesh, MakeFaceKey(0, 1, 4), Vec3(2, 2, 2)).ok())
+      << "face does not exist";
+}
+
+TEST(RestructurerTest, RemoveTetRejectsOrphaning) {
+  TetraMesh mesh = testing::MakeSingleTetMesh();
+  EXPECT_FALSE(RemoveTet(&mesh, 0).ok());
+}
+
+TEST(RestructurerTest, RemoveTetAfterSplit) {
+  TetraMesh mesh = testing::MakeSingleTetMesh();
+  ASSERT_TRUE(SplitTetAtCentroid(&mesh, 0).ok());
+  auto delta = RemoveTet(&mesh, 0);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(mesh.num_tetrahedra(), 3u);
+}
+
+TEST(RestructurerTest, RandomRefinementBatch) {
+  TetraMesh mesh = MakeBox(3);
+  const size_t tets_before = mesh.num_tetrahedra();
+  const size_t verts_before = mesh.num_vertices();
+  Rng rng(1);
+  auto delta = RandomRefinement(&mesh, 10, &rng);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(mesh.num_tetrahedra(), tets_before + 3 * 10);
+  EXPECT_EQ(mesh.num_vertices(), verts_before + 10);
+  // Refinement is interior: surface unchanged.
+  const SurfaceInfo s = ExtractSurface(mesh);
+  const TetraMesh reference = MakeBox(3);
+  EXPECT_EQ(s.surface_vertices.size(),
+            ExtractSurface(reference).surface_vertices.size());
+}
+
+// ---------- Simulation driver ----------
+
+TEST(SimulationTest, RunsStepsAndInvokesMonitor) {
+  TetraMesh mesh = MakeBox(4);
+  RandomDeformer deformer(0.005f);
+  Simulation sim(&mesh, &deformer);
+  int monitored = 0;
+  sim.Run(7, [&](int step) {
+    ++monitored;
+    EXPECT_EQ(step, monitored);
+  });
+  EXPECT_EQ(monitored, 7);
+  EXPECT_EQ(sim.current_step(), 7);
+}
+
+// ---------- QueryGenerator ----------
+
+TEST(QueryGeneratorTest, HitsTargetSelectivity) {
+  const TetraMesh mesh = MakeBox(14);  // 3375 vertices
+  QueryGenerator gen(mesh);
+  Rng rng(2);
+  for (const double target : {0.001, 0.01, 0.05}) {
+    double total_ratio = 0.0;
+    const int trials = 20;
+    for (int i = 0; i < trials; ++i) {
+      const AABB q = gen.MakeQuery(&rng, target);
+      const size_t count = testing::BruteForceRangeQuery(mesh, q).size();
+      total_ratio += static_cast<double>(count) /
+                     static_cast<double>(mesh.num_vertices());
+    }
+    const double mean = total_ratio / trials;
+    EXPECT_GT(mean, target * 0.3) << "target " << target;
+    EXPECT_LT(mean, target * 3.0 + 0.002) << "target " << target;
+  }
+}
+
+TEST(QueryGeneratorTest, QueriesIntersectTheMesh) {
+  const TetraMesh mesh = MakeBox(10);
+  QueryGenerator gen(mesh);
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const AABB q = gen.MakeQuery(&rng, 0.005);
+    EXPECT_FALSE(testing::BruteForceRangeQuery(mesh, q).empty());
+  }
+}
+
+TEST(QueryGeneratorTest, BatchRespectsRange) {
+  const TetraMesh mesh = MakeBox(10);
+  QueryGenerator gen(mesh);
+  Rng rng(5);
+  const auto queries = gen.MakeQueries(&rng, 12, 0.001, 0.002);
+  EXPECT_EQ(queries.size(), 12u);
+}
+
+TEST(WorkloadTest, NeuroscienceBenchmarkSpecs) {
+  const auto specs = NeuroscienceBenchmarks();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].queries_per_step_min, 13);
+  EXPECT_EQ(specs[0].queries_per_step_max, 17);
+  EXPECT_DOUBLE_EQ(specs[2].selectivity_min, 0.0018);
+  for (const auto& s : specs) {
+    EXPECT_LE(s.selectivity_min, s.selectivity_max);
+    EXPECT_LE(s.queries_per_step_min, s.queries_per_step_max);
+  }
+}
+
+}  // namespace
+}  // namespace octopus

@@ -1,0 +1,62 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Shared helpers for the OCTOPUS test suite.
+#ifndef OCTOPUS_TESTS_TEST_UTIL_H_
+#define OCTOPUS_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/aabb.h"
+#include "mesh/mesh_builder.h"
+#include "mesh/tetra_mesh.h"
+#include "mesh/types.h"
+
+namespace octopus::testing {
+
+/// Ground truth: ids of vertices currently inside `box`, sorted.
+inline std::vector<VertexId> BruteForceRangeQuery(const TetraMesh& mesh,
+                                                  const AABB& box) {
+  std::vector<VertexId> result;
+  for (size_t v = 0; v < mesh.num_vertices(); ++v) {
+    if (box.Contains(mesh.position(static_cast<VertexId>(v)))) {
+      result.push_back(static_cast<VertexId>(v));
+    }
+  }
+  return result;
+}
+
+/// Sorted copy, for order-insensitive comparisons.
+inline std::vector<VertexId> Sorted(std::vector<VertexId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// A single regular tetrahedron.
+inline TetraMesh MakeSingleTetMesh() {
+  MeshBuilder b;
+  const VertexId v0 = b.AddVertex(Vec3(0, 0, 0));
+  const VertexId v1 = b.AddVertex(Vec3(1, 0, 0));
+  const VertexId v2 = b.AddVertex(Vec3(0, 1, 0));
+  const VertexId v3 = b.AddVertex(Vec3(0, 0, 1));
+  b.AddTet(v0, v1, v2, v3);
+  auto result = b.Build();
+  return result.MoveValue();
+}
+
+/// Two tetrahedra sharing face (v1, v2, v3).
+inline TetraMesh MakeTwoTetMesh() {
+  MeshBuilder b;
+  const VertexId v0 = b.AddVertex(Vec3(0, 0, 0));
+  const VertexId v1 = b.AddVertex(Vec3(1, 0, 0));
+  const VertexId v2 = b.AddVertex(Vec3(0, 1, 0));
+  const VertexId v3 = b.AddVertex(Vec3(0, 0, 1));
+  const VertexId v4 = b.AddVertex(Vec3(1, 1, 1));
+  b.AddTet(v0, v1, v2, v3);
+  b.AddTet(v4, v1, v2, v3);
+  auto result = b.Build();
+  return result.MoveValue();
+}
+
+}  // namespace octopus::testing
+
+#endif  // OCTOPUS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,154 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+//
+// octopus_cli — command-line utility around the OCTOPUS library.
+//
+//   octopus_cli generate <dataset> <out.mesh> [scale]
+//       dataset: neuro0..neuro4 | sf1 | sf2 | horse | face | camel
+//   octopus_cli info <mesh>
+//       prints the Fig. 4-style characterization of a mesh file
+//   octopus_cli query <mesh> <minx miny minz maxx maxy maxz>
+//       runs one OCTOPUS range query and prints the result count +
+//       phase breakdown
+//   octopus_cli export <mesh> <out.obj>
+//       writes the mesh surface as a Wavefront OBJ
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/table.h"
+#include "mesh/export_obj.h"
+#include "mesh/generators/datasets.h"
+#include "mesh/mesh_io.h"
+#include "mesh/mesh_stats.h"
+#include "octopus/query_executor.h"
+
+namespace {
+
+using namespace octopus;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  octopus_cli generate <neuro0..neuro4|sf1|sf2|horse|face|camel> "
+      "<out.mesh> [scale]\n"
+      "  octopus_cli info <mesh>\n"
+      "  octopus_cli query <mesh> <minx> <miny> <minz> <maxx> <maxy> "
+      "<maxz>\n"
+      "  octopus_cli export <mesh> <out.obj>\n");
+  return 2;
+}
+
+Result<TetraMesh> GenerateByName(const std::string& name, double scale) {
+  if (name.rfind("neuro", 0) == 0 && name.size() == 6) {
+    return MakeNeuroMesh(name[5] - '0', scale);
+  }
+  if (name == "sf1") {
+    return MakeEarthquakeMesh(EarthquakeResolution::kSF1, scale);
+  }
+  if (name == "sf2") {
+    return MakeEarthquakeMesh(EarthquakeResolution::kSF2, scale);
+  }
+  if (name == "horse") {
+    return MakeAnimationMesh(AnimationDataset::kHorseGallop, scale);
+  }
+  if (name == "face") {
+    return MakeAnimationMesh(AnimationDataset::kFacialExpression, scale);
+  }
+  if (name == "camel") {
+    return MakeAnimationMesh(AnimationDataset::kCamelCompress, scale);
+  }
+  return Status::InvalidArgument("unknown dataset: " + name);
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const double scale = argc > 4 ? std::atof(argv[4]) : 1.0;
+  auto mesh = GenerateByName(argv[2], scale);
+  if (!mesh.ok()) {
+    std::fprintf(stderr, "%s\n", mesh.status().ToString().c_str());
+    return 1;
+  }
+  const Status st = SaveMesh(mesh.Value(), argv[3]);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu vertices, %zu tetrahedra\n", argv[3],
+              mesh.Value().num_vertices(), mesh.Value().num_tetrahedra());
+  return 0;
+}
+
+int CmdInfo(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto mesh = LoadMesh(argv[2]);
+  if (!mesh.ok()) {
+    std::fprintf(stderr, "%s\n", mesh.status().ToString().c_str());
+    return 1;
+  }
+  const MeshStats s = ComputeMeshStats(mesh.Value());
+  Table t(std::string("mesh info: ") + argv[2]);
+  t.SetHeader({"metric", "value"});
+  t.AddRow({"vertices", Table::Count(s.num_vertices)});
+  t.AddRow({"tetrahedra", Table::Count(s.num_tetrahedra)});
+  t.AddRow({"edges", Table::Count(s.num_edges)});
+  t.AddRow({"surface vertices", Table::Count(s.num_surface_vertices)});
+  t.AddRow({"mesh degree (M)", Table::Num(s.mesh_degree, 2)});
+  t.AddRow({"surface:volume (S)", Table::Num(s.surface_to_volume, 4)});
+  t.AddRow({"memory", Table::Megabytes(s.memory_bytes)});
+  t.Print();
+  return 0;
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 9) return Usage();
+  auto mesh = LoadMesh(argv[2]);
+  if (!mesh.ok()) {
+    std::fprintf(stderr, "%s\n", mesh.status().ToString().c_str());
+    return 1;
+  }
+  const AABB box(Vec3(std::atof(argv[3]), std::atof(argv[4]),
+                      std::atof(argv[5])),
+                 Vec3(std::atof(argv[6]), std::atof(argv[7]),
+                      std::atof(argv[8])));
+  Octopus octo;
+  octo.Build(mesh.Value());
+  std::vector<VertexId> result;
+  octo.RangeQuery(mesh.Value(), box, &result);
+  const PhaseStats& stats = octo.stats();
+  std::printf("%zu vertices inside %s\n", result.size(), "query box");
+  std::printf("phases: probe %.3f ms (%zu probed) | walk %.3f ms (%zu "
+              "walks) | crawl %.3f ms (%zu edges)\n",
+              stats.probe_nanos * 1e-6, stats.probed_vertices,
+              stats.walk_nanos * 1e-6, stats.walk_invocations,
+              stats.crawl_nanos * 1e-6, stats.crawl_edges);
+  return 0;
+}
+
+int CmdExport(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto mesh = LoadMesh(argv[2]);
+  if (!mesh.ok()) {
+    std::fprintf(stderr, "%s\n", mesh.status().ToString().c_str());
+    return 1;
+  }
+  const Status st = ExportSurfaceObj(mesh.Value(), argv[3]);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", argv[3]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "generate") == 0) return CmdGenerate(argc, argv);
+  if (std::strcmp(argv[1], "info") == 0) return CmdInfo(argc, argv);
+  if (std::strcmp(argv[1], "query") == 0) return CmdQuery(argc, argv);
+  if (std::strcmp(argv[1], "export") == 0) return CmdExport(argc, argv);
+  return Usage();
+}
