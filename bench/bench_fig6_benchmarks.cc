@@ -21,8 +21,13 @@ int main() {
 
   const double scale = bench::ScaleFromEnv();
   const int steps = bench::StepsFromEnv(60);
-  std::printf("OCTOPUS reproduction — Figs. 5 & 6 (scale %.3g, %d steps)\n\n",
-              scale, steps);
+  const int threads = bench::ThreadsFromEnv(1);
+  std::printf(
+      "OCTOPUS reproduction — Figs. 5 & 6 (scale %.3g, %d steps, "
+      "%d query threads)\n\n",
+      scale, steps, threads);
+  octopus::engine::QueryEngine query_engine(
+      octopus::engine::QueryEngineOptions{.threads = threads});
 
   // --- Fig. 5: the benchmark definitions ---
   const auto specs = octopus::NeuroscienceBenchmarks();
@@ -76,8 +81,8 @@ int main() {
     double octopus_s = 0.0;
     double scan_s = 0.0;
     for (auto& index : bench::MakeAllApproaches()) {
-      const bench::RunResult r =
-          bench::RunApproach(index.get(), mesh, deformer, workload);
+      const bench::RunResult r = bench::RunApproach(
+          index.get(), mesh, deformer, workload, &query_engine);
       time_row.push_back(Table::Num(r.TotalSeconds(), 2));
       mem_row.push_back(Table::Num(r.footprint_bytes / 1e6, 2));
       if (index->Name() == "OCTOPUS") octopus_s = r.TotalSeconds();

@@ -4,8 +4,12 @@
 // Sec. V-A (R-tree fanout sweep, octree bucket-size sweep, QU-Trade grace
 // window): per-op costs of the surface probe, crawl, directed walk, index
 // builds and update paths.
+// Results are also written to BENCH_micro.json (see main below) so the
+// perf trajectory is machine-readable across PRs.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+#include "engine/query_engine.h"
 #include "index/linear_scan.h"
 #include "index/lur_tree.h"
 #include "index/octree.h"
@@ -79,6 +83,48 @@ void BM_OctopusQuery(benchmark::State& state) {
 }
 // Selectivity 0.01% .. 0.2% in basis points of a percent (range/10000 %).
 BENCHMARK(BM_OctopusQuery)->Arg(1)->Arg(10)->Arg(20);
+
+// --- Batched execution through the QueryEngine ---
+// The acceptance workload for the engine: a simulation step's worth of
+// queries executed as one batch, sharded across the engine's threads.
+// Arg = thread count; per-query results are identical across counts.
+void BM_OctopusBatchQuery(benchmark::State& state) {
+  const TetraMesh& mesh = BenchMesh();
+  Octopus octo;
+  octo.Build(mesh);
+  engine::QueryEngine eng(
+      engine::QueryEngineOptions{.threads = static_cast<int>(state.range(0))});
+  QueryGenerator gen(mesh);
+  Rng rng(7);
+  const engine::QueryBatch batch = gen.MakeBatch(&rng, 64, 0.0005, 0.002);
+  engine::QueryBatchResult out;
+  for (auto _ : state) {
+    eng.Execute(octo, mesh, batch, &out);
+    benchmark::DoNotOptimize(out.TotalResults());
+  }
+  state.SetItemsProcessed(state.iterations() * batch.size());
+}
+BENCHMARK(BM_OctopusBatchQuery)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Engine overhead control: the same batch through the sequential default
+// path of a baseline — measures the batching machinery, not parallelism.
+void BM_LinearScanBatchQuery(benchmark::State& state) {
+  const TetraMesh& mesh = BenchMesh();
+  LinearScan scan;
+  scan.Build(mesh);
+  engine::QueryEngine eng;
+  QueryGenerator gen(mesh);
+  Rng rng(7);
+  const engine::QueryBatch batch = gen.MakeBatch(&rng, 64, 0.0005, 0.002);
+  engine::QueryBatchResult out;
+  for (auto _ : state) {
+    eng.Execute(scan, mesh, batch, &out);
+    benchmark::DoNotOptimize(out.TotalResults());
+  }
+  state.SetItemsProcessed(state.iterations() * batch.size());
+}
+BENCHMARK(BM_LinearScanBatchQuery)->Unit(benchmark::kMillisecond);
 
 void BM_Crawl(benchmark::State& state) {
   const TetraMesh& mesh = BenchMesh();
@@ -229,7 +275,73 @@ void BM_QUTradeMaintenanceStep(benchmark::State& state) {
 }
 BENCHMARK(BM_QUTradeMaintenanceStep)->Unit(benchmark::kMillisecond);
 
+// Console output plus a machine-readable record of every run, written to
+// BENCH_micro.json at exit so CI and future PRs can diff the numbers.
+// google-benchmark < 1.8 exposes Run::error_occurred; 1.8+ replaced it
+// with Run::skipped. Detect whichever this build has.
+template <typename R>
+auto RunWasSkipped(const R& run, int) -> decltype(run.error_occurred) {
+  return run.error_occurred;
+}
+template <typename R>
+auto RunWasSkipped(const R& run, long)
+    -> decltype(static_cast<bool>(run.skipped)) {
+  return static_cast<bool>(run.skipped);
+}
+
+class JsonSavingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (RunWasSkipped(run, 0)) continue;
+      writer_.BeginObject();
+      writer_.Field("name", run.benchmark_name());
+      writer_.Field("iterations", static_cast<int64_t>(run.iterations));
+      writer_.Field("real_time_ns", run.GetAdjustedRealTime() *
+                                        GetTimeUnitMultiplier(run.time_unit));
+      writer_.Field("cpu_time_ns", run.GetAdjustedCPUTime() *
+                                       GetTimeUnitMultiplier(run.time_unit));
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        writer_.Field("items_per_second",
+                      static_cast<double>(items->second));
+      }
+      writer_.EndObject();
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const bench::JsonWriter& writer() const { return writer_; }
+
+ private:
+  // ns per reported unit: runs carry times in their own time unit.
+  static double GetTimeUnitMultiplier(benchmark::TimeUnit unit) {
+    switch (unit) {
+      case benchmark::kNanosecond: return 1.0;
+      case benchmark::kMicrosecond: return 1e3;
+      case benchmark::kMillisecond: return 1e6;
+      case benchmark::kSecond: return 1e9;
+    }
+    return 1.0;
+  }
+
+  bench::JsonWriter writer_;
+};
+
 }  // namespace
 }  // namespace octopus
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  octopus::JsonSavingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!reporter.writer().WriteTo("BENCH_micro.json")) {
+    std::fprintf(stderr, "failed to write BENCH_micro.json\n");
+    return 1;
+  }
+  std::fprintf(stderr, "wrote BENCH_micro.json (%zu records)\n",
+               reporter.writer().num_objects());
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Per-thread mutable query-execution state. All scratch that the seed
+// kept inside the index objects (crawler visited-epoch array, start
+// scratch, phase stats) lives here instead, making the index objects
+// read-only during query execution and a batch embarrassingly parallel:
+// one context per shard, zero shared mutation.
+#ifndef OCTOPUS_ENGINE_EXECUTION_CONTEXT_H_
+#define OCTOPUS_ENGINE_EXECUTION_CONTEXT_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mesh/types.h"
+#include "octopus/crawler.h"
+#include "octopus/phase_stats.h"
+
+namespace octopus::engine {
+
+/// \brief Everything one executing thread needs to run OCTOPUS queries:
+/// a crawler (with its visited-epoch scratch), the probe's start-vertex
+/// scratch, and a local `PhaseStats` accumulator.
+///
+/// Contexts are never shared between concurrently executing queries.
+/// After a parallel batch, per-context stats are merged into the
+/// index-level aggregate in deterministic shard order.
+struct ExecutionContext {
+  Crawler crawler;
+  std::vector<VertexId> start_scratch;
+  PhaseStats stats;
+
+  ExecutionContext() = default;
+  explicit ExecutionContext(VisitedMode mode) : crawler(mode) {}
+
+  /// Grows the crawler scratch to cover `num_vertices`.
+  void EnsureSize(size_t num_vertices) { crawler.EnsureSize(num_vertices); }
+
+  /// Bytes of scratch held by this context (footprint accounting).
+  size_t ScratchBytes() const {
+    return crawler.ScratchBytes() +
+           start_scratch.capacity() * sizeof(VertexId);
+  }
+};
+
+/// \brief Lazily grown set of per-shard contexts plus the merged stats
+/// aggregate — the executor-side state shared by `Octopus` and
+/// `HexOctopus`.
+///
+/// `Ensure` must run on the calling thread before shards fork; after a
+/// batch, `MergeStats` folds per-context stats into the aggregate in
+/// shard order (deterministic counts for any thread count) and resets
+/// the locals, upholding the no-shared-mutation-in-flight invariant.
+class ContextPool {
+ public:
+  ContextPool() = default;
+  explicit ContextPool(VisitedMode mode) : mode_(mode) {}
+
+  /// Sets the graph size contexts must cover; resizes existing contexts.
+  void set_num_vertices(size_t n) {
+    num_vertices_ = n;
+    for (const auto& context : contexts_) {
+      if (context) context->EnsureSize(n);
+    }
+  }
+
+  /// Guarantees contexts `[0, count)` exist and are sized. Calling
+  /// thread only — never concurrently with executing shards.
+  void Ensure(size_t count) {
+    if (contexts_.size() < count) contexts_.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      if (!contexts_[i]) {
+        contexts_[i] = std::make_unique<ExecutionContext>(mode_);
+      }
+      contexts_[i]->EnsureSize(num_vertices_);
+    }
+  }
+
+  ExecutionContext* context(size_t i) { return contexts_[i].get(); }
+
+  /// Folds contexts `[0, shards)` into the aggregate, in shard order,
+  /// and resets their local stats.
+  void MergeStats(size_t shards) {
+    for (size_t i = 0; i < shards; ++i) {
+      stats_.Merge(contexts_[i]->stats);
+      contexts_[i]->stats.Reset();
+    }
+  }
+
+  const PhaseStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  /// Scratch across every allocated context (honest accounting: after a
+  /// T-thread batch this is T crawlers' worth of memory, really held).
+  size_t ScratchBytes() const {
+    size_t bytes = 0;
+    for (const auto& context : contexts_) {
+      if (context) bytes += context->ScratchBytes();
+    }
+    return bytes;
+  }
+
+ private:
+  VisitedMode mode_ = VisitedMode::kEpochArray;
+  size_t num_vertices_ = 0;
+  std::vector<std::unique_ptr<ExecutionContext>> contexts_;
+  PhaseStats stats_;
+};
+
+}  // namespace octopus::engine
+
+#endif  // OCTOPUS_ENGINE_EXECUTION_CONTEXT_H_

@@ -1,0 +1,63 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Batch-of-queries value types shared by the `SpatialIndex` batch entry
+// point and the `QueryEngine`. Dependency-wise these sit at the common
+// layer (they only know about AABBs and vertex ids), so the index layer
+// can use them without depending on the engine's execution machinery.
+#ifndef OCTOPUS_ENGINE_QUERY_BATCH_H_
+#define OCTOPUS_ENGINE_QUERY_BATCH_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/aabb.h"
+#include "mesh/types.h"
+
+namespace octopus::engine {
+
+/// \brief An ordered batch of AABB range queries issued together, as a
+/// simulation step does (paper Sec. V-A: tens to hundreds of queries per
+/// time step).
+struct QueryBatch {
+  std::vector<AABB> boxes;
+
+  QueryBatch() = default;
+  explicit QueryBatch(std::vector<AABB> b) : boxes(std::move(b)) {}
+
+  void Add(const AABB& box) { boxes.push_back(box); }
+  size_t size() const { return boxes.size(); }
+  bool empty() const { return boxes.empty(); }
+
+  std::span<const AABB> View() const { return boxes; }
+  operator std::span<const AABB>() const { return boxes; }  // NOLINT
+};
+
+/// \brief Per-query result sets of a batch, in batch order.
+///
+/// Each query owns a distinct slot, so parallel executors can write
+/// results concurrently without synchronization; the layout (and thus the
+/// content per query) is identical regardless of how many threads
+/// produced it.
+struct QueryBatchResult {
+  std::vector<std::vector<VertexId>> per_query;
+
+  /// Clears and resizes to `num_queries` empty result sets. Reuses slot
+  /// capacity across batches.
+  void Reset(size_t num_queries) {
+    for (auto& slot : per_query) slot.clear();
+    per_query.resize(num_queries);
+  }
+
+  size_t size() const { return per_query.size(); }
+
+  size_t TotalResults() const {
+    size_t n = 0;
+    for (const auto& slot : per_query) n += slot.size();
+    return n;
+  }
+};
+
+}  // namespace octopus::engine
+
+#endif  // OCTOPUS_ENGINE_QUERY_BATCH_H_

@@ -1,0 +1,16 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "engine/query_engine.h"
+
+namespace octopus::engine {
+
+QueryEngine::QueryEngine(QueryEngineOptions options)
+    : pool_(options.threads) {}
+
+void QueryEngine::Execute(const SpatialIndex& index, const TetraMesh& mesh,
+                          std::span<const AABB> boxes,
+                          QueryBatchResult* out) {
+  index.RangeQueryBatch(mesh, boxes, out,
+                        pool_.threads() > 1 ? &pool_ : nullptr);
+}
+
+}  // namespace octopus::engine

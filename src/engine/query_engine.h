@@ -1,0 +1,61 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// The batched query engine: the single entry point through which the
+// harness, benches and tools execute a simulation step's worth of range
+// queries against any `SpatialIndex`. Owns a small internal thread pool;
+// indexes whose batch path is parallel (OCTOPUS) shard the batch across
+// it, baselines fall back to the sequential default transparently.
+//
+// OCTOPUS's probe -> walk -> crawl phases are read-only over the mesh and
+// the surface index, so a batch is embarrassingly parallel: each shard
+// executes on its own `ExecutionContext` and per-shard `PhaseStats` are
+// merged deterministically at batch end (see execution_context.h).
+#ifndef OCTOPUS_ENGINE_QUERY_ENGINE_H_
+#define OCTOPUS_ENGINE_QUERY_ENGINE_H_
+
+#include <span>
+
+#include "common/aabb.h"
+#include "engine/query_batch.h"
+#include "engine/thread_pool.h"
+#include "index/spatial_index.h"
+#include "mesh/tetra_mesh.h"
+
+namespace octopus::engine {
+
+/// \brief Engine configuration.
+struct QueryEngineOptions {
+  /// Total query-execution parallelism, including the calling thread.
+  /// 1 = fully sequential (no worker threads are created).
+  int threads = 1;
+};
+
+/// \brief Executes query batches against a `SpatialIndex`.
+///
+/// Construct once, reuse across steps: the worker threads and the
+/// per-query result slots are recycled. One engine serves any number of
+/// indexes. Not thread-safe itself: one engine per driving thread.
+class QueryEngine {
+ public:
+  explicit QueryEngine(QueryEngineOptions options = {});
+
+  int threads() const { return pool_.threads(); }
+
+  /// Executes `boxes` against `index`, filling `out` with one result set
+  /// per query in batch order. Equivalent to calling `RangeQuery` per box
+  /// on a quiescent index — but parallel when the index supports it and
+  /// `threads > 1`.
+  void Execute(const SpatialIndex& index, const TetraMesh& mesh,
+               std::span<const AABB> boxes, QueryBatchResult* out);
+
+  void Execute(const SpatialIndex& index, const TetraMesh& mesh,
+               const QueryBatch& batch, QueryBatchResult* out) {
+    Execute(index, mesh, batch.View(), out);
+  }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace octopus::engine
+
+#endif  // OCTOPUS_ENGINE_QUERY_ENGINE_H_

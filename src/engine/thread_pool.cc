@@ -1,0 +1,85 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+
+namespace octopus::engine {
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = std::max(threads, 1) - 1;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, shard = i + 1] { WorkerLoop(shard); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Run(const std::function<void(int)>& fn) {
+  if (workers_.empty()) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    worker_error_ = nullptr;
+    pending_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The calling thread is shard 0. If it throws, the workers must still
+  // be awaited before unwinding: they hold a pointer to `fn`, and the
+  // pool would otherwise be left with pending work forever.
+  std::exception_ptr error;
+  try {
+    fn(0);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    fn_ = nullptr;
+    if (error == nullptr) error = worker_error_;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+void ThreadPool::WorkerLoop(int shard) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      fn = fn_;
+    }
+    std::exception_ptr error;
+    try {
+      (*fn)(shard);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error != nullptr && worker_error_ == nullptr) {
+        worker_error_ = error;
+      }
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace octopus::engine

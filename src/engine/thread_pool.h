@@ -1,0 +1,56 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// A small fixed-size fork/join pool for sharded batch execution. The
+// calling thread participates as shard 0, so a 1-thread pool spawns no
+// workers and adds no synchronization to the sequential path.
+#ifndef OCTOPUS_ENGINE_THREAD_POOL_H_
+#define OCTOPUS_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace octopus::engine {
+
+/// \brief Fixed-width fork/join executor.
+///
+/// `Run(fn)` invokes `fn(shard)` for every shard in `[0, threads())`
+/// concurrently and returns when all invocations have finished. Workers
+/// are created once and parked between runs. `Run` is not re-entrant and
+/// must always be called from the same (owning) thread. If any shard
+/// throws, `Run` still joins every in-flight shard before rethrowing one
+/// of the exceptions, so the pool stays usable.
+class ThreadPool {
+ public:
+  /// \param threads total parallelism including the calling thread;
+  ///   clamped to >= 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  void Run(const std::function<void(int shard)>& fn);
+
+ private:
+  void WorkerLoop(int shard);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* fn_ = nullptr;  // valid during a Run
+  std::exception_ptr worker_error_;               // first worker throw
+  uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace octopus::engine
+
+#endif  // OCTOPUS_ENGINE_THREAD_POOL_H_

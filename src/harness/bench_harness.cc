@@ -30,6 +30,13 @@ int StepsFromEnv(int fallback) {
   return v > 0 ? v : fallback;
 }
 
+int ThreadsFromEnv(int fallback) {
+  const char* s = std::getenv("OCTOPUS_BENCH_THREADS");
+  if (s == nullptr) return fallback;
+  const int v = std::atoi(s);
+  return v > 0 ? v : fallback;
+}
+
 StepWorkload MakeStepWorkload(const TetraMesh& mesh, int steps, int qmin,
                               int qmax, double sel_min, double sel_max,
                               uint64_t seed) {
@@ -47,9 +54,13 @@ StepWorkload MakeStepWorkload(const TetraMesh& mesh, int steps, int qmin,
 
 RunResult RunApproach(SpatialIndex* index, const TetraMesh& base_mesh,
                       const DeformerFactory& make_deformer,
-                      const StepWorkload& workload) {
+                      const StepWorkload& workload,
+                      engine::QueryEngine* engine) {
   TetraMesh mesh = base_mesh;  // private copy: deformed in place below
   std::unique_ptr<Deformer> deformer = make_deformer();
+
+  engine::QueryEngine sequential_engine;
+  if (engine == nullptr) engine = &sequential_engine;
 
   RunResult result;
   Timer build_timer;
@@ -57,7 +68,7 @@ RunResult RunApproach(SpatialIndex* index, const TetraMesh& base_mesh,
   result.build_seconds = build_timer.ElapsedSeconds();
 
   Simulation sim(&mesh, deformer.get());
-  std::vector<VertexId> sink;
+  engine::QueryBatchResult results;  // slots recycled across steps
   for (const auto& step_queries : workload.per_step) {
     sim.Step();  // SIMULATE phase (not part of query response time)
 
@@ -66,12 +77,9 @@ RunResult RunApproach(SpatialIndex* index, const TetraMesh& base_mesh,
     result.maintenance_seconds += maintenance_timer.ElapsedSeconds();
 
     Timer query_timer;
-    for (const AABB& q : step_queries) {
-      sink.clear();
-      index->RangeQuery(mesh, q, &sink);
-      result.total_results += sink.size();
-    }
+    engine->Execute(*index, mesh, step_queries, &results);
     result.query_seconds += query_timer.ElapsedSeconds();
+    result.total_results += results.TotalResults();
   }
   result.footprint_bytes = index->FootprintBytes();
   return result;

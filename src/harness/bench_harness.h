@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/aabb.h"
+#include "engine/query_engine.h"
 #include "index/spatial_index.h"
 #include "mesh/tetra_mesh.h"
 #include "sim/deformer.h"
@@ -33,6 +34,10 @@ double ScaleFromEnv();
 
 /// Simulation steps from $OCTOPUS_BENCH_STEPS (default `fallback`).
 int StepsFromEnv(int fallback);
+
+/// Query-execution threads from $OCTOPUS_BENCH_THREADS (default
+/// `fallback`, normally 1).
+int ThreadsFromEnv(int fallback = 1);
 
 /// Per-step query batches, pre-generated so every approach sees the same
 /// workload.
@@ -67,10 +72,15 @@ struct RunResult {
 };
 
 /// Replays the full simulate->monitor loop for one approach on a private
-/// copy of `base_mesh`.
+/// copy of `base_mesh`. Each step's queries execute as one batch through
+/// `engine` (OCTOPUS parallelizes across the engine's threads, the
+/// baselines run sequentially); when `engine` is null an internal
+/// single-threaded engine is used, which is behaviourally identical to
+/// the historical per-query loop.
 RunResult RunApproach(SpatialIndex* index, const TetraMesh& base_mesh,
                       const DeformerFactory& make_deformer,
-                      const StepWorkload& workload);
+                      const StepWorkload& workload,
+                      engine::QueryEngine* engine = nullptr);
 
 /// The paper's five compared approaches (Fig. 6): OCTOPUS, LinearScan,
 /// OCTREE, LUR-Tree, QU-Trade — freshly constructed.

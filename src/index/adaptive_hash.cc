@@ -122,7 +122,7 @@ void AdaptiveHashIndex::BeforeQueries(const TetraMesh& mesh) {
 }
 
 void AdaptiveHashIndex::RangeQuery(const TetraMesh& mesh, const AABB& box,
-                                   std::vector<VertexId>* out) {
+                                   std::vector<VertexId>* out) const {
   // Fetch all cells intersecting the query from both levels, filter each
   // candidate by its actual current position (paper Sec. II-B: "filter
   // the objects that intersect with the grid cell but not the query").

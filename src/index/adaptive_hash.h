@@ -38,7 +38,7 @@ class AdaptiveHashIndex : public SpatialIndex {
   void Build(const TetraMesh& mesh) override;
   void BeforeQueries(const TetraMesh& mesh) override;
   void RangeQuery(const TetraMesh& mesh, const AABB& box,
-                  std::vector<VertexId>* out) override;
+                  std::vector<VertexId>* out) const override;
   size_t FootprintBytes() const override;
 
   /// Objects currently assigned to the fast (coarse) level.

@@ -4,7 +4,7 @@
 namespace octopus {
 
 void LinearScan::RangeQuery(const TetraMesh& mesh, const AABB& box,
-                            std::vector<VertexId>* out) {
+                            std::vector<VertexId>* out) const {
   const std::vector<Vec3>& positions = mesh.positions();
   for (size_t v = 0; v < positions.size(); ++v) {
     if (box.Contains(positions[v])) {

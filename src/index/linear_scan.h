@@ -15,7 +15,7 @@ class LinearScan : public SpatialIndex {
   void Build(const TetraMesh& mesh) override { (void)mesh; }
   void BeforeQueries(const TetraMesh& mesh) override { (void)mesh; }
   void RangeQuery(const TetraMesh& mesh, const AABB& box,
-                  std::vector<VertexId>* out) override;
+                  std::vector<VertexId>* out) const override;
   size_t FootprintBytes() const override { return 0; }
 };
 

@@ -40,7 +40,7 @@ void LURTree::BeforeQueries(const TetraMesh& mesh) {
 }
 
 void LURTree::RangeQuery(const TetraMesh& mesh, const AABB& box,
-                         std::vector<VertexId>* out) {
+                         std::vector<VertexId>* out) const {
   (void)mesh;  // entry boxes are the exact current positions
   tree_.QueryIds(box, out);
 }

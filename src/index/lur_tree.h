@@ -28,7 +28,7 @@ class LURTree : public SpatialIndex {
   void Build(const TetraMesh& mesh) override;
   void BeforeQueries(const TetraMesh& mesh) override;
   void RangeQuery(const TetraMesh& mesh, const AABB& box,
-                  std::vector<VertexId>* out) override;
+                  std::vector<VertexId>* out) const override;
   size_t FootprintBytes() const override;
 
   /// Fraction of updates in the last `BeforeQueries` that escaped their

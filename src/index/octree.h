@@ -71,7 +71,7 @@ class ThrowawayOctree : public SpatialIndex {
     tree_.Build(mesh.positions());
   }
   void RangeQuery(const TetraMesh& mesh, const AABB& box,
-                  std::vector<VertexId>* out) override {
+                  std::vector<VertexId>* out) const override {
     (void)mesh;
     tree_.Query(box, out);
   }

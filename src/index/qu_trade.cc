@@ -65,7 +65,7 @@ void QUTrade::BeforeQueries(const TetraMesh& mesh) {
 }
 
 void QUTrade::RangeQuery(const TetraMesh& mesh, const AABB& box,
-                         std::vector<VertexId>* out) {
+                         std::vector<VertexId>* out) const {
   // Grace boxes over-approximate positions: fetch candidates, then filter
   // by the actual current position (the paper's "filter the objects that
   // intersect with the grid cell but not the query" analog).

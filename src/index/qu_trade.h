@@ -38,7 +38,7 @@ class QUTrade : public SpatialIndex {
   void Build(const TetraMesh& mesh) override;
   void BeforeQueries(const TetraMesh& mesh) override;
   void RangeQuery(const TetraMesh& mesh, const AABB& box,
-                  std::vector<VertexId>* out) override;
+                  std::vector<VertexId>* out) const override;
   size_t FootprintBytes() const override;
 
   float window() const { return window_; }

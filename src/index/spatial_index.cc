@@ -1,0 +1,17 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "index/spatial_index.h"
+
+namespace octopus {
+
+void SpatialIndex::RangeQueryBatch(const TetraMesh& mesh,
+                                   std::span<const AABB> boxes,
+                                   engine::QueryBatchResult* out,
+                                   engine::ThreadPool* pool) const {
+  (void)pool;  // sequential default: per-query overhead, no concurrency
+  out->Reset(boxes.size());
+  for (size_t q = 0; q < boxes.size(); ++q) {
+    RangeQuery(mesh, boxes[q], &out->per_query[q]);
+  }
+}
+
+}  // namespace octopus

@@ -2,23 +2,35 @@
 // Uniform interface for every query-execution approach compared in the
 // paper: OCTOPUS, linear scan, throwaway Octree, LUR-Tree and QU-Trade.
 // The benchmark harness drives them all through this interface and times
-// `BeforeQueries` (per-step maintenance) plus `RangeQuery` calls, matching
-// the paper's "total query response time including the time to rebuild or
-// update the index".
+// `BeforeQueries` (per-step maintenance) plus `RangeQueryBatch` calls,
+// matching the paper's "total query response time including the time to
+// rebuild or update the index".
 #ifndef OCTOPUS_INDEX_SPATIAL_INDEX_H_
 #define OCTOPUS_INDEX_SPATIAL_INDEX_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/aabb.h"
+#include "engine/query_batch.h"
 #include "mesh/tetra_mesh.h"
 #include "mesh/types.h"
 
 namespace octopus {
 
+namespace engine {
+class ThreadPool;
+}  // namespace engine
+
 /// \brief A strategy for executing exact vertex range queries on a mesh
 /// that deforms in place every simulation step.
+///
+/// Mutation model: `Build` and `BeforeQueries` are the only mutating
+/// entry points. Query execution (`RangeQuery`, `RangeQueryBatch`) is
+/// `const` — all scratch lives in per-thread execution contexts, not in
+/// the index — so a batch of queries may be executed concurrently by an
+/// implementation that overrides `RangeQueryBatch` with a parallel path.
 class SpatialIndex {
  public:
   virtual ~SpatialIndex() = default;
@@ -38,9 +50,24 @@ class SpatialIndex {
   virtual void BeforeQueries(const TetraMesh& mesh) = 0;
 
   /// Appends the ids of exactly the vertices whose *current* position lies
-  /// inside `box` to `out` (order unspecified).
+  /// inside `box` to `out` (order unspecified). `const`, but single-query
+  /// convenience only — implementations may route it through one cached
+  /// execution context, so calls are NOT safe to issue concurrently. Use
+  /// `RangeQueryBatch` for concurrent execution.
   virtual void RangeQuery(const TetraMesh& mesh, const AABB& box,
-                          std::vector<VertexId>* out) = 0;
+                          std::vector<VertexId>* out) const = 0;
+
+  /// Executes all of `boxes` and fills `out` with one result set per
+  /// query, in batch order. The default implementation resets `out` and
+  /// runs the queries sequentially through `RangeQuery`, ignoring `pool`
+  /// — every baseline works through the engine unchanged. OCTOPUS
+  /// overrides this with a sharded parallel path that uses `pool` (may
+  /// be null, meaning sequential). Result sets per query are identical
+  /// regardless of thread count.
+  virtual void RangeQueryBatch(const TetraMesh& mesh,
+                               std::span<const AABB> boxes,
+                               engine::QueryBatchResult* out,
+                               engine::ThreadPool* pool = nullptr) const;
 
   /// Bytes of auxiliary data structures beyond the mesh itself
   /// (paper Fig. 6(b)).

@@ -6,7 +6,7 @@
 namespace octopus {
 
 HexOctopus::HexOctopus(OctopusOptions options)
-    : options_(options), crawler_(options.visited_mode) {
+    : options_(options), contexts_(options.visited_mode) {
   assert(options_.surface_sample_fraction > 0.0 &&
          options_.surface_sample_fraction <= 1.0);
   assert(!options_.support_restructuring &&
@@ -16,18 +16,28 @@ HexOctopus::HexOctopus(OctopusOptions options)
 void HexOctopus::Build(const HexaMesh& mesh) {
   HexSurfaceInfo info = ExtractHexSurface(mesh);
   surface_index_.BuildFromSurfaceVertices(std::move(info.surface_vertices));
-  crawler_.EnsureSize(mesh.num_vertices());
+  contexts_.set_num_vertices(mesh.num_vertices());
+  contexts_.Ensure(1);
 }
 
 void HexOctopus::RangeQuery(const HexaMesh& mesh, const AABB& box,
-                            std::vector<VertexId>* out) {
-  ExecuteOctopusQuery(mesh.Graph(), surface_index_, options_, box, &crawler_,
-                      &start_scratch_, &stats_, out);
+                            std::vector<VertexId>* out) const {
+  contexts_.Ensure(1);
+  ExecuteOctopusQuery(mesh.Graph(), surface_index_, options_, box,
+                      contexts_.context(0), out);
+  contexts_.MergeStats(1);
+}
+
+void HexOctopus::RangeQueryBatch(const HexaMesh& mesh,
+                                 std::span<const AABB> boxes,
+                                 engine::QueryBatchResult* out,
+                                 engine::ThreadPool* pool) const {
+  ExecuteOctopusBatch(mesh.Graph(), surface_index_, options_, boxes, out,
+                      pool, &contexts_);
 }
 
 size_t HexOctopus::FootprintBytes() const {
-  return surface_index_.FootprintBytes() + crawler_.ScratchBytes() +
-         start_scratch_.capacity() * sizeof(VertexId);
+  return surface_index_.FootprintBytes() + contexts_.ScratchBytes();
 }
 
 }  // namespace octopus

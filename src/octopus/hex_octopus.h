@@ -4,18 +4,30 @@
 // paper's key observation (Sec. IV-B) is that the strategy is independent
 // of the polyhedral primitive — this executor demonstrates it, sharing the
 // crawler and directed walk with the tetrahedral one via `MeshGraphView`.
+// The same execution-context model applies: the object is read-only after
+// `Build`, all query scratch lives in per-shard contexts, so
+// `RangeQueryBatch` parallelizes exactly like the tetrahedral `Octopus`.
 #ifndef OCTOPUS_OCTOPUS_HEX_OCTOPUS_H_
 #define OCTOPUS_OCTOPUS_HEX_OCTOPUS_H_
 
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "engine/execution_context.h"
+#include "engine/query_batch.h"
 #include "mesh/hexa_mesh.h"
 #include "octopus/crawler.h"
 #include "octopus/directed_walk.h"
-#include "octopus/query_executor.h"  // OctopusOptions, PhaseStats
+#include "octopus/phase_stats.h"
+#include "octopus/query_executor.h"  // OctopusOptions
 #include "octopus/surface_index.h"
 
 namespace octopus {
+
+namespace engine {
+class ThreadPool;
+}  // namespace engine
 
 /// \brief OCTOPUS query executor over a `HexaMesh`.
 ///
@@ -29,22 +41,26 @@ class HexOctopus {
   /// Builds the surface index from the hexahedral quad-face surface.
   void Build(const HexaMesh& mesh);
 
-  /// Appends the ids of exactly the vertices inside `box`.
+  /// Appends the ids of exactly the vertices inside `box`. Single-query
+  /// convenience path through context 0; not safe to call concurrently.
   void RangeQuery(const HexaMesh& mesh, const AABB& box,
-                  std::vector<VertexId>* out);
+                  std::vector<VertexId>* out) const;
+
+  /// Batch path, sharded across `pool` when given (null = sequential).
+  void RangeQueryBatch(const HexaMesh& mesh, std::span<const AABB> boxes,
+                       engine::QueryBatchResult* out,
+                       engine::ThreadPool* pool = nullptr) const;
 
   size_t FootprintBytes() const;
 
   const SurfaceIndex& surface_index() const { return surface_index_; }
-  const PhaseStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  const PhaseStats& stats() const { return contexts_.stats(); }
+  void ResetStats() const { contexts_.ResetStats(); }
 
  private:
   OctopusOptions options_;
   SurfaceIndex surface_index_;
-  Crawler crawler_;
-  PhaseStats stats_;
-  std::vector<VertexId> start_scratch_;
+  mutable engine::ContextPool contexts_;
 };
 
 }  // namespace octopus

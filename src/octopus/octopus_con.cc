@@ -7,11 +7,12 @@ namespace octopus {
 
 void OctopusCon::Build(const TetraMesh& mesh) {
   grid_.Build(mesh.positions());
-  crawler_.EnsureSize(mesh.num_vertices());
+  num_vertices_ = mesh.num_vertices();
+  context_.EnsureSize(num_vertices_);
 }
 
 void OctopusCon::RangeQuery(const TetraMesh& mesh, const AABB& box,
-                            std::vector<VertexId>* out) {
+                            std::vector<VertexId>* out) const {
   Timer timer;
   ++stats_.queries;
 
@@ -30,16 +31,17 @@ void OctopusCon::RangeQuery(const TetraMesh& mesh, const AABB& box,
 
   // --- Crawl from the single interior start ---
   timer.Restart();
-  start_scratch_.assign(1, walk.found);
-  const CrawlStats crawl = crawler_.Crawl(mesh, box, start_scratch_, out);
+  context_.EnsureSize(num_vertices_);
+  context_.start_scratch.assign(1, walk.found);
+  const CrawlStats crawl =
+      context_.crawler.Crawl(mesh, box, context_.start_scratch, out);
   stats_.crawl_edges += crawl.edges_traversed;
   stats_.result_vertices += crawl.vertices_inside;
   stats_.crawl_nanos += timer.ElapsedNanos();
 }
 
 size_t OctopusCon::FootprintBytes() const {
-  return grid_.FootprintBytes() + crawler_.ScratchBytes() +
-         start_scratch_.capacity() * sizeof(VertexId);
+  return grid_.FootprintBytes() + context_.ScratchBytes();
 }
 
 }  // namespace octopus

@@ -10,11 +10,12 @@
 
 #include <vector>
 
+#include "engine/execution_context.h"
 #include "index/spatial_index.h"
 #include "index/uniform_grid.h"
 #include "octopus/crawler.h"
 #include "octopus/directed_walk.h"
-#include "octopus/query_executor.h"  // PhaseStats
+#include "octopus/phase_stats.h"
 
 namespace octopus {
 
@@ -44,21 +45,26 @@ class OctopusCon : public SpatialIndex {
   /// No-op, like OCTOPUS.
   void BeforeQueries(const TetraMesh& mesh) override { (void)mesh; }
 
+  /// Single-query path through the cached execution context; `const`
+  /// but not safe to call concurrently (`RangeQueryBatch` inherits the
+  /// sequential default).
   void RangeQuery(const TetraMesh& mesh, const AABB& box,
-                  std::vector<VertexId>* out) override;
+                  std::vector<VertexId>* out) const override;
 
   size_t FootprintBytes() const override;
 
   const UniformGrid& grid() const { return grid_; }
   const PhaseStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  void ResetStats() const { stats_.Reset(); }
 
  private:
   OctopusConOptions options_;
   UniformGrid grid_;
-  Crawler crawler_;
-  PhaseStats stats_;
-  std::vector<VertexId> start_scratch_;
+  size_t num_vertices_ = 0;
+  // Query scratch + stats, per the engine-layer mutation model: the grid
+  // is read-only after Build, queries only touch the context.
+  mutable engine::ExecutionContext context_;
+  mutable PhaseStats stats_;
 };
 
 }  // namespace octopus

@@ -1,0 +1,53 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Per-phase statistics of the OCTOPUS executor (probe / walk / crawl).
+// Lives in its own header so the engine layer's `ExecutionContext` can
+// hold a thread-local copy without pulling in the executor itself.
+#ifndef OCTOPUS_OCTOPUS_PHASE_STATS_H_
+#define OCTOPUS_OCTOPUS_PHASE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace octopus {
+
+/// \brief Accumulated per-phase statistics across queries.
+///
+/// Thread-safety invariant: a `PhaseStats` instance is never shared
+/// between concurrently executing queries. During a parallel batch each
+/// execution context accumulates into its own local instance; the locals
+/// are merged (`Merge`) into the index-level aggregate on the calling
+/// thread after all workers have joined, in deterministic shard order.
+struct PhaseStats {
+  int64_t probe_nanos = 0;
+  int64_t walk_nanos = 0;
+  int64_t crawl_nanos = 0;
+  size_t queries = 0;
+  size_t probed_vertices = 0;   ///< surface vertices inspected
+  size_t walk_invocations = 0;  ///< queries that needed a directed walk
+  size_t walk_vertices = 0;     ///< vertices expanded during walks
+  size_t crawl_edges = 0;       ///< adjacency entries inspected
+  size_t result_vertices = 0;
+
+  void Reset() { *this = PhaseStats{}; }
+
+  /// Adds `other`'s counters into this instance (batch-end merge).
+  void Merge(const PhaseStats& other) {
+    probe_nanos += other.probe_nanos;
+    walk_nanos += other.walk_nanos;
+    crawl_nanos += other.crawl_nanos;
+    queries += other.queries;
+    probed_vertices += other.probed_vertices;
+    walk_invocations += other.walk_invocations;
+    walk_vertices += other.walk_vertices;
+    crawl_edges += other.crawl_edges;
+    result_vertices += other.result_vertices;
+  }
+
+  int64_t TotalNanos() const {
+    return probe_nanos + walk_nanos + crawl_nanos;
+  }
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_OCTOPUS_PHASE_STATS_H_

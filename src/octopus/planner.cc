@@ -25,7 +25,7 @@ void AdaptiveExecutor::Build(const TetraMesh& mesh) {
 }
 
 void AdaptiveExecutor::RangeQuery(const TetraMesh& mesh, const AABB& box,
-                                  std::vector<VertexId>* out) {
+                                  std::vector<VertexId>* out) const {
   const double selectivity = histogram_.EstimateSelectivity(box);
   if (selectivity < break_even_) {
     ++to_octopus_;

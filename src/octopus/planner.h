@@ -43,8 +43,10 @@ class AdaptiveExecutor : public SpatialIndex {
   /// No-op (neither sub-approach needs per-step maintenance).
   void BeforeQueries(const TetraMesh& mesh) override { (void)mesh; }
 
+  /// Routes through `Octopus::RangeQuery` (context 0); `const` but not
+  /// safe to call concurrently. Inherits the sequential batch default.
   void RangeQuery(const TetraMesh& mesh, const AABB& box,
-                  std::vector<VertexId>* out) override;
+                  std::vector<VertexId>* out) const override;
 
   size_t FootprintBytes() const override;
 
@@ -60,8 +62,9 @@ class AdaptiveExecutor : public SpatialIndex {
   LinearScan scan_;
   Histogram3D histogram_;
   double break_even_ = 1.0;
-  size_t to_octopus_ = 0;
-  size_t to_scan_ = 0;
+  // Routing telemetry mutated by the const query path.
+  mutable size_t to_octopus_ = 0;
+  mutable size_t to_scan_ = 0;
 };
 
 }  // namespace octopus

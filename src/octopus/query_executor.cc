@@ -6,16 +6,17 @@
 #include <cmath>
 
 #include "common/timer.h"
+#include "engine/thread_pool.h"
 
 namespace octopus {
 
 void ExecuteOctopusQuery(const MeshGraphView& graph,
                          const SurfaceIndex& surface_index,
                          const OctopusOptions& options, const AABB& box,
-                         Crawler* crawler,
-                         std::vector<VertexId>* start_scratch,
-                         PhaseStats* stats, std::vector<VertexId>* out) {
+                         engine::ExecutionContext* context,
+                         std::vector<VertexId>* out) {
   Timer timer;
+  PhaseStats* stats = &context->stats;
   ++stats->queries;
 
   // --- Phase 1: surface probe (Sec. IV-C) ---
@@ -24,6 +25,7 @@ void ExecuteOctopusQuery(const MeshGraphView& graph,
   // and track the closest one as a fallback walk start. Under surface
   // approximation (Sec. IV-H2) only every `stride`-th vertex is probed —
   // the paper's "equidistant sample" of the surface.
+  std::vector<VertexId>* start_scratch = &context->start_scratch;
   start_scratch->clear();
   const std::span<const VertexId> surface = surface_index.probe_order();
   const size_t stride =
@@ -71,14 +73,57 @@ void ExecuteOctopusQuery(const MeshGraphView& graph,
 
   // --- Phase 3: crawling (Sec. IV-B) ---
   timer.Restart();
-  const CrawlStats crawl = crawler->Crawl(graph, box, *start_scratch, out);
+  const CrawlStats crawl =
+      context->crawler.Crawl(graph, box, *start_scratch, out);
   stats->crawl_edges += crawl.edges_traversed;
   stats->result_vertices += crawl.vertices_inside;
   stats->crawl_nanos += timer.ElapsedNanos();
 }
 
+void ExecuteOctopusBatch(const MeshGraphView& graph,
+                         const SurfaceIndex& surface_index,
+                         const OctopusOptions& options,
+                         std::span<const AABB> boxes,
+                         engine::QueryBatchResult* out,
+                         engine::ThreadPool* pool,
+                         engine::ContextPool* contexts) {
+  out->Reset(boxes.size());
+  const int shards =
+      pool == nullptr
+          ? 1
+          : static_cast<int>(
+                std::min<size_t>(pool->threads(),
+                                 std::max<size_t>(boxes.size(), 1)));
+  // Contexts are created/sized on the calling thread, before forking.
+  contexts->Ensure(shards);
+
+  auto run_shard = [&](int shard) {
+    // The pool always invokes one call per pool thread; threads beyond
+    // the (batch-size-clamped) shard count have no work.
+    if (shard >= shards) return;
+    // Contiguous sharding: shard s owns queries [s*n/T, (s+1)*n/T).
+    const size_t begin = boxes.size() * shard / shards;
+    const size_t end = boxes.size() * (shard + 1) / shards;
+    engine::ExecutionContext* context = contexts->context(shard);
+    for (size_t q = begin; q < end; ++q) {
+      ExecuteOctopusQuery(graph, surface_index, options, boxes[q], context,
+                          &out->per_query[q]);
+    }
+  };
+
+  if (shards == 1) {
+    run_shard(0);
+  } else {
+    pool->Run(run_shard);
+  }
+
+  // Deterministic merge at batch end, on the calling thread: counts are
+  // identical for any thread count (timings naturally vary).
+  contexts->MergeStats(shards);
+}
+
 Octopus::Octopus(OctopusOptions options)
-    : options_(options), crawler_(options.visited_mode) {
+    : options_(options), contexts_(options.visited_mode) {
   assert(options_.surface_sample_fraction > 0.0 &&
          options_.surface_sample_fraction <= 1.0);
   surface_index_ = SurfaceIndex(SurfaceIndex::Options{
@@ -88,24 +133,37 @@ Octopus::Octopus(OctopusOptions options)
 
 void Octopus::Build(const TetraMesh& mesh) {
   surface_index_.Build(mesh);
-  crawler_.EnsureSize(mesh.num_vertices());
+  contexts_.set_num_vertices(mesh.num_vertices());
+  contexts_.Ensure(1);
 }
 
 void Octopus::RangeQuery(const TetraMesh& mesh, const AABB& box,
-                         std::vector<VertexId>* out) {
-  ExecuteOctopusQuery(mesh.Graph(), surface_index_, options_, box, &crawler_,
-                      &start_scratch_, &stats_, out);
+                         std::vector<VertexId>* out) const {
+  contexts_.Ensure(1);
+  ExecuteOctopusQuery(mesh.Graph(), surface_index_, options_, box,
+                      contexts_.context(0), out);
+  // Single-query path: fold the context delta into the aggregate
+  // immediately so `stats()` stays live between calls, as it was when the
+  // stats lived inside the index.
+  contexts_.MergeStats(1);
+}
+
+void Octopus::RangeQueryBatch(const TetraMesh& mesh,
+                              std::span<const AABB> boxes,
+                              engine::QueryBatchResult* out,
+                              engine::ThreadPool* pool) const {
+  ExecuteOctopusBatch(mesh.Graph(), surface_index_, options_, boxes, out,
+                      pool, &contexts_);
 }
 
 size_t Octopus::FootprintBytes() const {
-  return surface_index_.FootprintBytes() + crawler_.ScratchBytes() +
-         start_scratch_.capacity() * sizeof(VertexId);
+  return surface_index_.FootprintBytes() + contexts_.ScratchBytes();
 }
 
 void Octopus::OnRestructure(const TetraMesh& mesh,
                             const RestructureDelta& delta) {
   surface_index_.ApplyDelta(delta);
-  crawler_.EnsureSize(mesh.num_vertices());
+  contexts_.set_num_vertices(mesh.num_vertices());
 }
 
 }  // namespace octopus

@@ -2,36 +2,32 @@
 // The OCTOPUS query execution strategy (paper Sec. IV, Algorithm 1):
 // surface probe -> (directed walk if needed) -> crawling. No maintenance
 // on deformation; incremental surface-index maintenance on restructuring.
+//
+// Thread-safety invariant (engine layer): after `Build`, the index object
+// (`options_`, `surface_index_`) is read-only during query execution. All
+// mutable query state — crawler visited-epochs, start scratch, phase
+// stats — lives in per-thread `engine::ExecutionContext`s. During a
+// parallel `RangeQueryBatch`, each shard accumulates stats into its own
+// context-local `PhaseStats`; the locals are merged into the index-level
+// aggregate `stats_` on the calling thread after the pool joins, in
+// shard order — never shared mutation while queries are in flight. The
+// single-query `RangeQuery` is `const` but routes through context 0, so
+// it must not be called concurrently; use `RangeQueryBatch` for that.
 #ifndef OCTOPUS_OCTOPUS_QUERY_EXECUTOR_H_
 #define OCTOPUS_OCTOPUS_QUERY_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "engine/execution_context.h"
 #include "index/spatial_index.h"
 #include "octopus/crawler.h"
 #include "octopus/directed_walk.h"
+#include "octopus/phase_stats.h"
 #include "octopus/surface_index.h"
 
 namespace octopus {
-
-/// \brief Accumulated per-phase statistics across queries.
-struct PhaseStats {
-  int64_t probe_nanos = 0;
-  int64_t walk_nanos = 0;
-  int64_t crawl_nanos = 0;
-  size_t queries = 0;
-  size_t probed_vertices = 0;   ///< surface vertices inspected
-  size_t walk_invocations = 0;  ///< queries that needed a directed walk
-  size_t walk_vertices = 0;     ///< vertices expanded during walks
-  size_t crawl_edges = 0;       ///< adjacency entries inspected
-  size_t result_vertices = 0;
-
-  void Reset() { *this = PhaseStats{}; }
-  int64_t TotalNanos() const {
-    return probe_nanos + walk_nanos + crawl_nanos;
-  }
-};
 
 /// \brief Configuration of the OCTOPUS executor.
 struct OctopusOptions {
@@ -53,15 +49,29 @@ struct OctopusOptions {
 
 /// Core of Algorithm 1 over any mesh graph: surface probe (with optional
 /// equidistant sampling) -> directed walk fallback -> crawl. Appends the
-/// result to `out` and accumulates into `stats`. `crawler` must be sized
-/// for the graph; `start_scratch` is caller-owned scratch. Shared by the
-/// tetrahedral `Octopus` and the hexahedral `HexOctopus`.
+/// result to `out` and accumulates into `context->stats`. Re-entrant:
+/// concurrent calls are safe as long as each uses its own context (the
+/// graph and surface index are only read).
 void ExecuteOctopusQuery(const MeshGraphView& graph,
                          const SurfaceIndex& surface_index,
                          const OctopusOptions& options, const AABB& box,
-                         Crawler* crawler,
-                         std::vector<VertexId>* start_scratch,
-                         PhaseStats* stats, std::vector<VertexId>* out);
+                         engine::ExecutionContext* context,
+                         std::vector<VertexId>* out);
+
+/// Batch core shared by `Octopus` and `HexOctopus`: resets `out`, clamps
+/// the shard count to min(pool width, batch size), runs each shard's
+/// contiguous query range on its own context (grown via
+/// `contexts->Ensure` on the calling thread before forking), and merges
+/// per-shard stats into the pool's aggregate in deterministic shard
+/// order after the pool joins. `pool` may be null (sequential).
+/// Per-query results are independent of the shard count.
+void ExecuteOctopusBatch(const MeshGraphView& graph,
+                         const SurfaceIndex& surface_index,
+                         const OctopusOptions& options,
+                         std::span<const AABB> boxes,
+                         engine::QueryBatchResult* out,
+                         engine::ThreadPool* pool,
+                         engine::ContextPool* contexts);
 
 /// \brief OCTOPUS: range-query execution for unpredictably deforming
 /// meshes.
@@ -82,10 +92,24 @@ class Octopus : public SpatialIndex {
   /// No-op: deformation never invalidates OCTOPUS's structures.
   void BeforeQueries(const TetraMesh& mesh) override { (void)mesh; }
 
+  /// Single-query convenience path through context 0. Not safe to call
+  /// concurrently (see the header invariant); `RangeQueryBatch` is.
   void RangeQuery(const TetraMesh& mesh, const AABB& box,
-                  std::vector<VertexId>* out) override;
+                  std::vector<VertexId>* out) const override;
 
-  /// Surface index + crawl scratch (paper Fig. 10(b) accounting).
+  /// The parallel path: shards `boxes` contiguously across `pool` (or
+  /// runs sequentially when `pool` is null), one execution context per
+  /// shard. Per-query results are independent of the thread count;
+  /// per-shard stats merge into `stats()` in deterministic shard order.
+  void RangeQueryBatch(const TetraMesh& mesh, std::span<const AABB> boxes,
+                       engine::QueryBatchResult* out,
+                       engine::ThreadPool* pool = nullptr) const override;
+
+  /// Surface index + per-context crawl scratch (paper Fig. 10(b)
+  /// accounting). Honest accounting: the sum covers EVERY allocated
+  /// execution context, so after a T-thread batch the crawl-scratch term
+  /// is T× the sequential one (that memory is really held). The paper's
+  /// figures correspond to the default single-threaded configuration.
   size_t FootprintBytes() const override;
 
   /// Incremental maintenance after a mesh restructuring step. Requires
@@ -93,15 +117,16 @@ class Octopus : public SpatialIndex {
   void OnRestructure(const TetraMesh& mesh, const RestructureDelta& delta);
 
   const SurfaceIndex& surface_index() const { return surface_index_; }
-  const PhaseStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  const PhaseStats& stats() const { return contexts_.stats(); }
+  void ResetStats() const { contexts_.ResetStats(); }
 
  private:
   OctopusOptions options_;
   SurfaceIndex surface_index_;
-  Crawler crawler_;
-  PhaseStats stats_;
-  std::vector<VertexId> start_scratch_;
+  // Per-shard execution contexts (lazily created, reused across batches)
+  // and the merged aggregate. `mutable`: queries are logically const —
+  // they never change the index structure — but need scratch + stats.
+  mutable engine::ContextPool contexts_;
 };
 
 }  // namespace octopus

@@ -11,6 +11,7 @@
 #include "common/aabb.h"
 #include "common/histogram3d.h"
 #include "common/rng.h"
+#include "engine/query_batch.h"
 #include "mesh/tetra_mesh.h"
 
 namespace octopus {
@@ -37,6 +38,13 @@ class QueryGenerator {
   /// A batch of queries with selectivities uniform in [sel_lo, sel_hi].
   std::vector<AABB> MakeQueries(Rng* rng, int count, double sel_lo,
                                 double sel_hi) const;
+
+  /// Same workload as `MakeQueries`, packaged for the `QueryEngine`'s
+  /// batched execution path.
+  engine::QueryBatch MakeBatch(Rng* rng, int count, double sel_lo,
+                               double sel_hi) const {
+    return engine::QueryBatch(MakeQueries(rng, count, sel_lo, sel_hi));
+  }
 
   const Histogram3D& histogram() const { return histogram_; }
 

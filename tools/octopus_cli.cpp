@@ -11,17 +11,25 @@
 //       phase breakdown
 //   octopus_cli export <mesh> <out.obj>
 //       writes the mesh surface as a Wavefront OBJ
+//   octopus_cli bench <mesh> [--threads N] [--queries N] [--sel F]
+//       executes a batch of random range queries through the QueryEngine
+//       and prints throughput + phase breakdown
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "common/rng.h"
 #include "common/table.h"
+#include "common/timer.h"
+#include "engine/query_engine.h"
 #include "mesh/export_obj.h"
 #include "mesh/generators/datasets.h"
 #include "mesh/mesh_io.h"
 #include "mesh/mesh_stats.h"
 #include "octopus/query_executor.h"
+#include "sim/workload.h"
 
 namespace {
 
@@ -36,7 +44,8 @@ int Usage() {
       "  octopus_cli info <mesh>\n"
       "  octopus_cli query <mesh> <minx> <miny> <minz> <maxx> <maxy> "
       "<maxz>\n"
-      "  octopus_cli export <mesh> <out.obj>\n");
+      "  octopus_cli export <mesh> <out.obj>\n"
+      "  octopus_cli bench <mesh> [--threads N] [--queries N] [--sel F]\n");
   return 2;
 }
 
@@ -126,6 +135,57 @@ int CmdQuery(int argc, char** argv) {
   return 0;
 }
 
+int CmdBench(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  int threads = 1;
+  int queries = 256;
+  double selectivity = 0.001;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      queries = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--sel") == 0 && i + 1 < argc) {
+      selectivity = std::atof(argv[++i]);
+    } else {
+      return Usage();
+    }
+  }
+  if (threads < 1 || queries < 1) return Usage();
+
+  auto mesh = LoadMesh(argv[2]);
+  if (!mesh.ok()) {
+    std::fprintf(stderr, "%s\n", mesh.status().ToString().c_str());
+    return 1;
+  }
+  Octopus octo;
+  Timer build_timer;
+  octo.Build(mesh.Value());
+  const double build_s = build_timer.ElapsedSeconds();
+
+  QueryGenerator gen(mesh.Value());
+  Rng rng(42);
+  const engine::QueryBatch batch =
+      gen.MakeBatch(&rng, queries, selectivity, selectivity);
+  engine::QueryEngine eng(engine::QueryEngineOptions{.threads = threads});
+  engine::QueryBatchResult results;
+
+  Timer batch_timer;
+  eng.Execute(octo, mesh.Value(), batch, &results);
+  const double batch_s = batch_timer.ElapsedSeconds();
+
+  const PhaseStats& stats = octo.stats();
+  std::printf("%d queries (sel %.4f) on %d thread(s): %.3f ms total, "
+              "%.1f queries/s, %zu results\n",
+              queries, selectivity, threads, batch_s * 1e3,
+              queries / batch_s, results.TotalResults());
+  std::printf("build: %.3f s | phase counts: %zu probed, %zu walks, "
+              "%zu crawl edges\n",
+              build_s, stats.probed_vertices, stats.walk_invocations,
+              stats.crawl_edges);
+  return 0;
+}
+
 int CmdExport(int argc, char** argv) {
   if (argc < 4) return Usage();
   auto mesh = LoadMesh(argv[2]);
@@ -150,5 +210,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "info") == 0) return CmdInfo(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return CmdQuery(argc, argv);
   if (std::strcmp(argv[1], "export") == 0) return CmdExport(argc, argv);
+  if (std::strcmp(argv[1], "bench") == 0) return CmdBench(argc, argv);
   return Usage();
 }
