@@ -9,7 +9,7 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "mesh/generators/datasets.h"
-#include "octopus/hilbert_layout.h"
+#include "mesh/hilbert_layout.h"
 #include "octopus/query_executor.h"
 
 namespace {

@@ -14,12 +14,14 @@
 #include "mesh/types.h"
 #include "octopus/crawler.h"
 #include "octopus/phase_stats.h"
+#include "storage/paged_mesh.h"
 
 namespace octopus::engine {
 
 /// \brief Everything one executing thread needs to run OCTOPUS queries:
 /// a crawler (with its visited-epoch scratch), the probe's start-vertex
-/// scratch, and a local `PhaseStats` accumulator.
+/// scratch, a local `PhaseStats` accumulator, and — for out-of-core
+/// execution — the thread's paged mesh accessor.
 ///
 /// Contexts are never shared between concurrently executing queries.
 /// After a parallel batch, per-context stats are merged into the
@@ -28,6 +30,10 @@ struct ExecutionContext {
   Crawler crawler;
   std::vector<VertexId> start_scratch;
   PhaseStats stats;
+  /// The per-thread out-of-core read handle, created (and rebound) by
+  /// `PagedOctopus` on first use of this context and reused across
+  /// batches. Null while queries run over the in-memory accessor.
+  std::unique_ptr<storage::PagedMeshAccessor> paged_accessor;
 
   ExecutionContext() = default;
   explicit ExecutionContext(VisitedMode mode) : crawler(mode) {}
@@ -38,7 +44,8 @@ struct ExecutionContext {
   /// Bytes of scratch held by this context (footprint accounting).
   size_t ScratchBytes() const {
     return crawler.ScratchBytes() +
-           start_scratch.capacity() * sizeof(VertexId);
+           start_scratch.capacity() * sizeof(VertexId) +
+           (paged_accessor ? paged_accessor->ScratchBytes() : 0);
   }
 };
 

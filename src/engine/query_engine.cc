@@ -1,6 +1,8 @@
 // Copyright 2026 The OCTOPUS Reproduction Authors
 #include "engine/query_engine.h"
 
+#include "octopus/paged_executor.h"
+
 namespace octopus::engine {
 
 QueryEngine::QueryEngine(QueryEngineOptions options)
@@ -11,6 +13,12 @@ void QueryEngine::Execute(const SpatialIndex& index, const TetraMesh& mesh,
                           QueryBatchResult* out) {
   index.RangeQueryBatch(mesh, boxes, out,
                         pool_.threads() > 1 ? &pool_ : nullptr);
+}
+
+void QueryEngine::Execute(const PagedOctopus& index,
+                          std::span<const AABB> boxes,
+                          QueryBatchResult* out) {
+  index.RangeQueryBatch(boxes, out, pool_.threads() > 1 ? &pool_ : nullptr);
 }
 
 }  // namespace octopus::engine

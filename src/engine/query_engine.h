@@ -20,6 +20,10 @@
 #include "index/spatial_index.h"
 #include "mesh/tetra_mesh.h"
 
+namespace octopus {
+class PagedOctopus;
+}  // namespace octopus
+
 namespace octopus::engine {
 
 /// \brief Engine configuration.
@@ -51,6 +55,13 @@ class QueryEngine {
                const QueryBatch& batch, QueryBatchResult* out) {
     Execute(index, mesh, batch.View(), out);
   }
+
+  /// Out-of-core path: executes `boxes` against a paged snapshot
+  /// executor (which carries its own mesh view — no resident
+  /// `TetraMesh` exists). Sharding and stats merge work exactly as in
+  /// the in-memory path.
+  void Execute(const PagedOctopus& index, std::span<const AABB> boxes,
+               QueryBatchResult* out);
 
  private:
   ThreadPool pool_;

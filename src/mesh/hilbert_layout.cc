@@ -1,5 +1,5 @@
 // Copyright 2026 The OCTOPUS Reproduction Authors
-#include "octopus/hilbert_layout.h"
+#include "mesh/hilbert_layout.h"
 
 #include <algorithm>
 #include <cassert>

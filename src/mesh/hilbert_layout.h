@@ -2,8 +2,8 @@
 // Graph data organization (paper Sec. IV-H1): reorder vertices along the
 // 3D Hilbert curve so spatially close vertices are close in memory,
 // improving the cache hit rate of the crawl's random adjacency accesses.
-#ifndef OCTOPUS_OCTOPUS_HILBERT_LAYOUT_H_
-#define OCTOPUS_OCTOPUS_HILBERT_LAYOUT_H_
+#ifndef OCTOPUS_MESH_HILBERT_LAYOUT_H_
+#define OCTOPUS_MESH_HILBERT_LAYOUT_H_
 
 #include <vector>
 
@@ -37,4 +37,4 @@ TetraMesh ApplyPermutation(const TetraMesh& mesh,
 
 }  // namespace octopus
 
-#endif  // OCTOPUS_OCTOPUS_HILBERT_LAYOUT_H_
+#endif  // OCTOPUS_MESH_HILBERT_LAYOUT_H_

@@ -5,18 +5,17 @@
 #include <cstring>
 #include <memory>
 
+#include "mesh/hilbert_layout.h"
+#include "mesh/surface.h"
+#include "storage/file_util.h"
+
 namespace octopus {
 
 namespace {
 
 constexpr char kMagic[4] = {'O', 'C', 'T', '1'};
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+using storage::FilePtr;
 
 }  // namespace
 
@@ -75,6 +74,30 @@ Result<TetraMesh> LoadMesh(const std::string& path) {
     }
   }
   return TetraMesh(std::move(positions), std::move(tets));
+}
+
+Status SaveSnapshot(const TetraMesh& mesh, const std::string& path,
+                    const storage::SnapshotOptions& options) {
+  const TetraMesh* source = &mesh;
+  TetraMesh permuted;
+  if (options.layout == storage::SnapshotLayout::kHilbert) {
+    permuted = ApplyPermutation(mesh, ComputeHilbertOrder(mesh));
+    source = &permuted;
+  }
+  const SurfaceInfo surface = ExtractSurface(*source);
+  const MeshGraphView graph = source->Graph();
+  return storage::WriteSnapshot(graph.positions, graph.adj_offsets,
+                                graph.adj, surface.surface_vertices,
+                                source->num_tetrahedra(), options.layout,
+                                options.page_bytes, path);
+}
+
+Status ConvertMeshToSnapshot(const std::string& mesh_path,
+                             const std::string& snapshot_path,
+                             const storage::SnapshotOptions& options) {
+  Result<TetraMesh> mesh = LoadMesh(mesh_path);
+  if (!mesh.ok()) return mesh.status();
+  return SaveSnapshot(mesh.Value(), snapshot_path, options);
 }
 
 }  // namespace octopus

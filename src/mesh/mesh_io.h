@@ -1,6 +1,11 @@
 // Copyright 2026 The OCTOPUS Reproduction Authors
 // Binary serialization of meshes. Generating the larger synthetic datasets
-// takes seconds; benches and examples can cache them on disk.
+// takes seconds; benches and examples can cache them on disk. Two formats:
+//  * OCT1 (`SaveMesh`/`LoadMesh`): the flat source-of-truth mesh file
+//    (positions + tets; adjacency is derived on load).
+//  * OCT2 (`SaveSnapshot`/`ConvertMeshToSnapshot`): the paged,
+//    query-optimized snapshot the out-of-core engine reads through a
+//    buffer pool — see storage/snapshot.h for the layout.
 #ifndef OCTOPUS_MESH_MESH_IO_H_
 #define OCTOPUS_MESH_MESH_IO_H_
 
@@ -8,6 +13,7 @@
 
 #include "common/status.h"
 #include "mesh/tetra_mesh.h"
+#include "storage/snapshot.h"
 
 namespace octopus {
 
@@ -18,6 +24,22 @@ namespace octopus {
 Status SaveMesh(const TetraMesh& mesh, const std::string& path);
 
 Result<TetraMesh> LoadMesh(const std::string& path);
+
+/// Writes the paged OCT2 snapshot of `mesh`: positions, CSR adjacency
+/// and the extracted surface vertex list, paged at
+/// `options.page_bytes`. With `SnapshotLayout::kHilbert` the vertices
+/// are first relabeled along the 3D Hilbert curve (paper Sec. IV-H1), so
+/// spatially close vertices share pages and the crawl's random adjacency
+/// accesses cluster onto few of them; query results over such a snapshot
+/// are in the permuted id space. `mesh` itself is not modified.
+Status SaveSnapshot(const TetraMesh& mesh, const std::string& path,
+                    const storage::SnapshotOptions& options = {});
+
+/// Loads an OCT1 mesh file and writes its OCT2 snapshot — the
+/// `octopus_cli snapshot save` path.
+Status ConvertMeshToSnapshot(const std::string& mesh_path,
+                             const std::string& snapshot_path,
+                             const storage::SnapshotOptions& options = {});
 
 }  // namespace octopus
 

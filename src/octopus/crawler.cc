@@ -1,8 +1,6 @@
 // Copyright 2026 The OCTOPUS Reproduction Authors
 #include "octopus/crawler.h"
 
-#include <cassert>
-
 namespace octopus {
 
 void Crawler::EnsureSize(size_t num_vertices) {
@@ -19,49 +17,6 @@ bool Crawler::MarkVisited(VertexId v) {
     return true;
   }
   return visited_set_.insert(v).second;
-}
-
-CrawlStats Crawler::Crawl(const MeshGraphView& mesh, const AABB& box,
-                          std::span<const VertexId> starts,
-                          std::vector<VertexId>* out) {
-  CrawlStats stats;
-  if (mode_ == VisitedMode::kEpochArray) {
-    assert(visit_epoch_.size() >= mesh.num_vertices() &&
-           "EnsureSize not called for this mesh");
-    if (++epoch_ == 0) {
-      // Epoch counter wrapped: reset all stamps once, then continue.
-      std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0u);
-      epoch_ = 1;
-    }
-  } else {
-    visited_set_.clear();
-  }
-
-  queue_.clear();
-  for (VertexId s : starts) {
-    if (!MarkVisited(s)) continue;
-    ++stats.vertices_touched;
-    if (!box.Contains(mesh.position(s))) continue;
-    queue_.push_back(s);
-    out->push_back(s);
-    ++stats.vertices_inside;
-  }
-
-  // BFS; queue_ doubles as the FIFO with a moving head index.
-  for (size_t head = 0; head < queue_.size(); ++head) {
-    const VertexId v = queue_[head];
-    for (VertexId n : mesh.neighbors(v)) {
-      ++stats.edges_traversed;
-      if (!MarkVisited(n)) continue;
-      ++stats.vertices_touched;
-      // Stop criteria: do not expand past vertices outside the query.
-      if (!box.Contains(mesh.position(n))) continue;
-      queue_.push_back(n);
-      out->push_back(n);
-      ++stats.vertices_inside;
-    }
-  }
-  return stats;
 }
 
 }  // namespace octopus

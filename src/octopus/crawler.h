@@ -3,9 +3,16 @@
 // mesh edges from the start vertices, never expanding past a vertex that
 // lies outside the query region. Visits O(result-neighborhood) vertices —
 // the reason OCTOPUS scales sublinearly with dataset size.
+//
+// The BFS core is a template over any `storage::MeshAccessor`, so the
+// same code crawls the resident mesh (zero overhead — the in-memory
+// accessor inlines to the historical loads) and a paged out-of-core
+// snapshot (every access routed through the buffer pool).
 #ifndef OCTOPUS_OCTOPUS_CRAWLER_H_
 #define OCTOPUS_OCTOPUS_CRAWLER_H_
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <unordered_set>
@@ -15,6 +22,7 @@
 #include "mesh/graph_view.h"
 #include "mesh/tetra_mesh.h"
 #include "mesh/types.h"
+#include "storage/mesh_accessor.h"
 
 namespace octopus {
 
@@ -51,13 +59,61 @@ class Crawler {
 
   VisitedMode mode() const { return mode_; }
 
-  /// BFS from `starts`; appends every vertex inside `box` reachable from a
-  /// start through vertices inside `box`. Starts outside the box are
-  /// ignored. Duplicate starts are fine. Primitive-agnostic: any mesh
-  /// exposing a `MeshGraphView` can be crawled (paper Sec. IV-B).
+  /// BFS from `starts`; appends every vertex inside `box` reachable from
+  /// a start through vertices inside `box`. Starts outside the box are
+  /// ignored. Duplicate starts are fine. Primitive- and residency-
+  /// agnostic: any `MeshAccessor` can be crawled (paper Sec. IV-B).
+  template <storage::MeshAccessor Accessor>
+  CrawlStats Crawl(Accessor& mesh, const AABB& box,
+                   std::span<const VertexId> starts,
+                   std::vector<VertexId>* out) {
+    CrawlStats stats;
+    if (mode_ == VisitedMode::kEpochArray) {
+      assert(visit_epoch_.size() >= mesh.num_vertices() &&
+             "EnsureSize not called for this mesh");
+      if (++epoch_ == 0) {
+        // Epoch counter wrapped: reset all stamps once, then continue.
+        std::fill(visit_epoch_.begin(), visit_epoch_.end(), 0u);
+        epoch_ = 1;
+      }
+    } else {
+      visited_set_.clear();
+    }
+
+    queue_.clear();
+    for (VertexId s : starts) {
+      if (!MarkVisited(s)) continue;
+      ++stats.vertices_touched;
+      if (!box.Contains(mesh.position(s))) continue;
+      queue_.push_back(s);
+      out->push_back(s);
+      ++stats.vertices_inside;
+    }
+
+    // BFS; queue_ doubles as the FIFO with a moving head index.
+    for (size_t head = 0; head < queue_.size(); ++head) {
+      const VertexId v = queue_[head];
+      for (VertexId n : mesh.neighbors(v)) {
+        ++stats.edges_traversed;
+        if (!MarkVisited(n)) continue;
+        ++stats.vertices_touched;
+        // Stop criteria: do not expand past vertices outside the query.
+        if (!box.Contains(mesh.position(n))) continue;
+        queue_.push_back(n);
+        out->push_back(n);
+        ++stats.vertices_inside;
+      }
+    }
+    return stats;
+  }
+
+  /// Resident-mesh convenience overloads.
   CrawlStats Crawl(const MeshGraphView& graph, const AABB& box,
                    std::span<const VertexId> starts,
-                   std::vector<VertexId>* out);
+                   std::vector<VertexId>* out) {
+    storage::InMemoryMeshAccessor accessor(graph);
+    return Crawl(accessor, box, starts, out);
+  }
 
   CrawlStats Crawl(const TetraMesh& mesh, const AABB& box,
                    std::span<const VertexId> starts,

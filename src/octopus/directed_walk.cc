@@ -1,85 +1,12 @@
 // Copyright 2026 The OCTOPUS Reproduction Authors
 #include "octopus/directed_walk.h"
 
-#include <algorithm>
-#include <cmath>
-#include <queue>
-#include <unordered_set>
-#include <vector>
-
 namespace octopus {
 
-namespace {
-
-// Mean length of the edges incident to `v` — a cheap local scale estimate
-// for the backtracking margin.
-float LocalMeanEdgeLength(const MeshGraphView& mesh, VertexId v) {
-  const Vec3& p = mesh.position(v);
-  float total = 0.0f;
-  size_t count = 0;
-  for (VertexId n : mesh.neighbors(v)) {
-    total += Distance(p, mesh.position(n));
-    ++count;
-  }
-  return count == 0 ? 0.0f : total / static_cast<float>(count);
-}
-
-struct Frontier {
-  float d2;
-  VertexId vertex;
-  bool operator>(const Frontier& o) const { return d2 > o.d2; }
-};
-
-}  // namespace
-
-WalkResult DirectedWalk(const MeshGraphView& mesh, const AABB& box,
+WalkResult DirectedWalk(const MeshGraphView& graph, const AABB& box,
                         VertexId start) {
-  WalkResult result;
-  if (start == kInvalidVertex || mesh.num_vertices() == 0) return result;
-
-  // Best-first walk: always expand the frontier vertex closest to the
-  // query box (the paper's "always picking the edge that leads to a
-  // vertex closer to the query region", made robust against the local
-  // minima a purely greedy descent hits on jittered meshes).
-  //
-  // Termination: success when a vertex inside the box (distance 0) pops;
-  // failure when even the CLOSEST frontier vertex is farther than the
-  // start distance plus a few local edge lengths — on a convex mesh that
-  // means the query does not intersect the mesh, and the explored shell
-  // stays small because it is distance-bounded.
-  const float start_d2 = box.SquaredDistanceTo(mesh.position(start));
-  if (start_d2 == 0.0f) {
-    result.found = start;
-    return result;
-  }
-  const float margin = 3.0f * LocalMeanEdgeLength(mesh, start);
-  const float limit = std::sqrt(start_d2) + margin;
-  const float limit_d2 = limit * limit;
-
-  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> heap;
-  std::unordered_set<VertexId> visited;
-  heap.push({start_d2, start});
-  visited.insert(start);
-
-  while (!heap.empty()) {
-    const Frontier current = heap.top();
-    heap.pop();
-    if (current.d2 == 0.0f) {
-      result.found = current.vertex;
-      return result;
-    }
-    if (current.d2 > limit_d2) {
-      // The nearest reachable vertex is receding: no intersection.
-      return result;
-    }
-    ++result.vertices_visited;
-    for (VertexId n : mesh.neighbors(current.vertex)) {
-      if (visited.insert(n).second) {
-        heap.push({box.SquaredDistanceTo(mesh.position(n)), n});
-      }
-    }
-  }
-  return result;  // exhausted the component without entering the box
+  storage::InMemoryMeshAccessor accessor(graph);
+  return DirectedWalk(accessor, box, start);
 }
 
 }  // namespace octopus

@@ -6,13 +6,23 @@
 // Implemented as a bounded best-first search rather than the paper's pure
 // greedy descent; see DESIGN.md 4b for the rationale (greedy stalls in
 // local minima on jittered meshes).
+//
+// Like the crawler, the walk is a template over any
+// `storage::MeshAccessor`: identical code (and identical expansion
+// order, hence identical counters) in memory and out of core.
 #ifndef OCTOPUS_OCTOPUS_DIRECTED_WALK_H_
 #define OCTOPUS_OCTOPUS_DIRECTED_WALK_H_
+
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+#include <vector>
 
 #include "common/aabb.h"
 #include "mesh/graph_view.h"
 #include "mesh/tetra_mesh.h"
 #include "mesh/types.h"
+#include "storage/mesh_accessor.h"
 
 namespace octopus {
 
@@ -28,8 +38,85 @@ struct WalkResult {
   bool ok() const { return found != kInvalidVertex; }
 };
 
+namespace internal {
+
+// Mean length of the edges incident to `v` — a cheap local scale estimate
+// for the backtracking margin.
+template <storage::MeshAccessor Accessor>
+float LocalMeanEdgeLength(Accessor& mesh, VertexId v) {
+  const Vec3 p = mesh.position(v);
+  float total = 0.0f;
+  size_t count = 0;
+  for (VertexId n : mesh.neighbors(v)) {
+    total += Distance(p, mesh.position(n));
+    ++count;
+  }
+  return count == 0 ? 0.0f : total / static_cast<float>(count);
+}
+
+struct WalkFrontier {
+  float d2;
+  VertexId vertex;
+  bool operator>(const WalkFrontier& o) const { return d2 > o.d2; }
+};
+
+}  // namespace internal
+
 /// Walk from `start` toward `box` using current vertex positions.
-/// Primitive-agnostic (works on any `MeshGraphView`).
+/// Primitive- and residency-agnostic (works on any `MeshAccessor`).
+template <storage::MeshAccessor Accessor>
+WalkResult DirectedWalk(Accessor& mesh, const AABB& box, VertexId start) {
+  WalkResult result;
+  if (start == kInvalidVertex || mesh.num_vertices() == 0) return result;
+
+  // Best-first walk: always expand the frontier vertex closest to the
+  // query box (the paper's "always picking the edge that leads to a
+  // vertex closer to the query region", made robust against the local
+  // minima a purely greedy descent hits on jittered meshes).
+  //
+  // Termination: success when a vertex inside the box (distance 0) pops;
+  // failure when even the CLOSEST frontier vertex is farther than the
+  // start distance plus a few local edge lengths — on a convex mesh that
+  // means the query does not intersect the mesh, and the explored shell
+  // stays small because it is distance-bounded.
+  const float start_d2 = box.SquaredDistanceTo(mesh.position(start));
+  if (start_d2 == 0.0f) {
+    result.found = start;
+    return result;
+  }
+  const float margin = 3.0f * internal::LocalMeanEdgeLength(mesh, start);
+  const float limit = std::sqrt(start_d2) + margin;
+  const float limit_d2 = limit * limit;
+
+  std::priority_queue<internal::WalkFrontier,
+                      std::vector<internal::WalkFrontier>, std::greater<>>
+      heap;
+  std::unordered_set<VertexId> visited;
+  heap.push({start_d2, start});
+  visited.insert(start);
+
+  while (!heap.empty()) {
+    const internal::WalkFrontier current = heap.top();
+    heap.pop();
+    if (current.d2 == 0.0f) {
+      result.found = current.vertex;
+      return result;
+    }
+    if (current.d2 > limit_d2) {
+      // The nearest reachable vertex is receding: no intersection.
+      return result;
+    }
+    ++result.vertices_visited;
+    for (VertexId n : mesh.neighbors(current.vertex)) {
+      if (visited.insert(n).second) {
+        heap.push({box.SquaredDistanceTo(mesh.position(n)), n});
+      }
+    }
+  }
+  return result;  // exhausted the component without entering the box
+}
+
+/// Resident-mesh convenience overloads.
 WalkResult DirectedWalk(const MeshGraphView& graph, const AABB& box,
                         VertexId start);
 

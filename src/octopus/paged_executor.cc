@@ -1,0 +1,60 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "octopus/paged_executor.h"
+
+namespace octopus {
+
+Result<std::unique_ptr<PagedOctopus>> PagedOctopus::Open(
+    const std::string& snapshot_path, const Options& options) {
+  auto store = storage::PagedMeshStore::Open(snapshot_path, options.pool);
+  if (!store.ok()) return store.status();
+  return std::unique_ptr<PagedOctopus>(
+      new PagedOctopus(store.MoveValue(), options));
+}
+
+PagedOctopus::PagedOctopus(std::unique_ptr<storage::PagedMeshStore> store,
+                           const Options& options)
+    : options_(options),
+      store_(std::move(store)),
+      contexts_(options.executor.visited_mode) {
+  surface_index_.BuildFromSurfaceVertices(store_->surface_vertices());
+  contexts_.set_num_vertices(store_->num_vertices());
+  contexts_.Ensure(1);
+}
+
+storage::PagedMeshAccessor& PagedOctopus::AccessorFor(
+    engine::ExecutionContext* context) const {
+  if (context->paged_accessor == nullptr ||
+      &context->paged_accessor->store() != store_.get()) {
+    context->paged_accessor = std::make_unique<storage::PagedMeshAccessor>(
+        store_.get(), &context->stats.page_io);
+  } else {
+    context->paged_accessor->set_stats(&context->stats.page_io);
+  }
+  return *context->paged_accessor;
+}
+
+void PagedOctopus::RangeQuery(const AABB& box,
+                              std::vector<VertexId>* out) const {
+  contexts_.Ensure(1);
+  engine::ExecutionContext* context = contexts_.context(0);
+  ExecuteOctopusQuery(AccessorFor(context), surface_index_,
+                      options_.executor, box, context, out);
+  contexts_.MergeStats(1);
+}
+
+void PagedOctopus::RangeQueryBatch(std::span<const AABB> boxes,
+                                   engine::QueryBatchResult* out,
+                                   engine::ThreadPool* pool) const {
+  ExecuteOctopusBatch(
+      [this](engine::ExecutionContext* context)
+          -> storage::PagedMeshAccessor& { return AccessorFor(context); },
+      surface_index_, options_.executor, boxes, out, pool, &contexts_);
+}
+
+size_t PagedOctopus::FootprintBytes() const {
+  return surface_index_.FootprintBytes() +
+         store_->buffer_manager()->AllocatedBytes() +
+         contexts_.ScratchBytes();
+}
+
+}  // namespace octopus

@@ -8,6 +8,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "storage/page.h"
+
 namespace octopus {
 
 /// \brief Accumulated per-phase statistics across queries.
@@ -27,6 +29,11 @@ struct PhaseStats {
   size_t walk_vertices = 0;     ///< vertices expanded during walks
   size_t crawl_edges = 0;       ///< adjacency entries inspected
   size_t result_vertices = 0;
+  /// Page-I/O counters of out-of-core execution (all zero when queries
+  /// run over the in-memory accessor). Merged in shard order like every
+  /// other counter; see `storage::PageIOStats` for the determinism
+  /// caveat under a shared pool.
+  storage::PageIOStats page_io;
 
   void Reset() { *this = PhaseStats{}; }
 
@@ -41,6 +48,7 @@ struct PhaseStats {
     walk_vertices += other.walk_vertices;
     crawl_edges += other.crawl_edges;
     result_vertices += other.result_vertices;
+    page_io.Merge(other.page_io);
   }
 
   int64_t TotalNanos() const {

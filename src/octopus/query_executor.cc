@@ -1,12 +1,7 @@
 // Copyright 2026 The OCTOPUS Reproduction Authors
 #include "octopus/query_executor.h"
 
-#include <algorithm>
 #include <cassert>
-#include <cmath>
-
-#include "common/timer.h"
-#include "engine/thread_pool.h"
 
 namespace octopus {
 
@@ -15,69 +10,8 @@ void ExecuteOctopusQuery(const MeshGraphView& graph,
                          const OctopusOptions& options, const AABB& box,
                          engine::ExecutionContext* context,
                          std::vector<VertexId>* out) {
-  Timer timer;
-  PhaseStats* stats = &context->stats;
-  ++stats->queries;
-
-  // --- Phase 1: surface probe (Sec. IV-C) ---
-  // Scan the surface vertices in ascending-id order (streaming access over
-  // the position array); collect those inside the query as crawl starts,
-  // and track the closest one as a fallback walk start. Under surface
-  // approximation (Sec. IV-H2) only every `stride`-th vertex is probed —
-  // the paper's "equidistant sample" of the surface.
-  std::vector<VertexId>* start_scratch = &context->start_scratch;
-  start_scratch->clear();
-  const std::span<const VertexId> surface = surface_index.probe_order();
-  const size_t stride =
-      options.surface_sample_fraction >= 1.0
-          ? 1
-          : std::max<size_t>(
-                1, static_cast<size_t>(std::llround(
-                       1.0 / options.surface_sample_fraction)));
-  VertexId closest = kInvalidVertex;
-  float closest_d2 = std::numeric_limits<float>::max();
-  size_t probed = 0;
-  const Vec3* positions = graph.positions.data();
-  constexpr size_t kPrefetchAhead = 16;
-  for (size_t i = 0; i < surface.size(); i += stride) {
-    // The probe is a strided gather through the position array; software
-    // prefetch hides most of the per-entry miss latency.
-    if (i + kPrefetchAhead * stride < surface.size()) {
-      __builtin_prefetch(positions + surface[i + kPrefetchAhead * stride]);
-    }
-    const VertexId v = surface[i];
-    ++probed;
-    const float d2 = box.SquaredDistanceTo(positions[v]);
-    if (d2 == 0.0f) {
-      start_scratch->push_back(v);
-    } else if (start_scratch->empty() && d2 < closest_d2) {
-      closest_d2 = d2;
-      closest = v;
-    }
-  }
-  stats->probed_vertices += probed;
-  stats->probe_nanos += timer.ElapsedNanos();
-
-  // --- Phase 2: directed walk (Sec. IV-D), only if the probe was dry ---
-  if (start_scratch->empty()) {
-    timer.Restart();
-    ++stats->walk_invocations;
-    const WalkResult walk = DirectedWalk(graph, box, closest);
-    stats->walk_vertices += walk.vertices_visited;
-    stats->walk_nanos += timer.ElapsedNanos();
-    if (!walk.ok()) {
-      return;  // query does not intersect the mesh: empty result
-    }
-    start_scratch->push_back(walk.found);
-  }
-
-  // --- Phase 3: crawling (Sec. IV-B) ---
-  timer.Restart();
-  const CrawlStats crawl =
-      context->crawler.Crawl(graph, box, *start_scratch, out);
-  stats->crawl_edges += crawl.edges_traversed;
-  stats->result_vertices += crawl.vertices_inside;
-  stats->crawl_nanos += timer.ElapsedNanos();
+  storage::InMemoryMeshAccessor accessor(graph);
+  ExecuteOctopusQuery(accessor, surface_index, options, box, context, out);
 }
 
 void ExecuteOctopusBatch(const MeshGraphView& graph,
@@ -87,39 +21,11 @@ void ExecuteOctopusBatch(const MeshGraphView& graph,
                          engine::QueryBatchResult* out,
                          engine::ThreadPool* pool,
                          engine::ContextPool* contexts) {
-  out->Reset(boxes.size());
-  const int shards =
-      pool == nullptr
-          ? 1
-          : static_cast<int>(
-                std::min<size_t>(pool->threads(),
-                                 std::max<size_t>(boxes.size(), 1)));
-  // Contexts are created/sized on the calling thread, before forking.
-  contexts->Ensure(shards);
-
-  auto run_shard = [&](int shard) {
-    // The pool always invokes one call per pool thread; threads beyond
-    // the (batch-size-clamped) shard count have no work.
-    if (shard >= shards) return;
-    // Contiguous sharding: shard s owns queries [s*n/T, (s+1)*n/T).
-    const size_t begin = boxes.size() * shard / shards;
-    const size_t end = boxes.size() * (shard + 1) / shards;
-    engine::ExecutionContext* context = contexts->context(shard);
-    for (size_t q = begin; q < end; ++q) {
-      ExecuteOctopusQuery(graph, surface_index, options, boxes[q], context,
-                          &out->per_query[q]);
-    }
-  };
-
-  if (shards == 1) {
-    run_shard(0);
-  } else {
-    pool->Run(run_shard);
-  }
-
-  // Deterministic merge at batch end, on the calling thread: counts are
-  // identical for any thread count (timings naturally vary).
-  contexts->MergeStats(shards);
+  ExecuteOctopusBatch(
+      [&graph](engine::ExecutionContext*) {
+        return storage::InMemoryMeshAccessor(graph);
+      },
+      surface_index, options, boxes, out, pool, contexts);
 }
 
 Octopus::Octopus(OctopusOptions options)

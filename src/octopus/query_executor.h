@@ -3,6 +3,10 @@
 // surface probe -> (directed walk if needed) -> crawling. No maintenance
 // on deformation; incremental surface-index maintenance on restructuring.
 //
+// The phase cores are templates over `storage::MeshAccessor`, so the
+// identical algorithm executes over the resident mesh (zero overhead)
+// and over a paged out-of-core snapshot (see octopus/paged_executor.h).
+//
 // Thread-safety invariant (engine layer): after `Build`, the index object
 // (`options_`, `surface_index_`) is read-only during query execution. All
 // mutable query state — crawler visited-epochs, start scratch, phase
@@ -16,11 +20,16 @@
 #ifndef OCTOPUS_OCTOPUS_QUERY_EXECUTOR_H_
 #define OCTOPUS_OCTOPUS_QUERY_EXECUTOR_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
+#include "common/timer.h"
 #include "engine/execution_context.h"
+#include "engine/thread_pool.h"
 #include "index/spatial_index.h"
 #include "octopus/crawler.h"
 #include "octopus/directed_walk.h"
@@ -47,24 +56,143 @@ struct OctopusOptions {
   VisitedMode visited_mode = VisitedMode::kEpochArray;
 };
 
-/// Core of Algorithm 1 over any mesh graph: surface probe (with optional
-/// equidistant sampling) -> directed walk fallback -> crawl. Appends the
-/// result to `out` and accumulates into `context->stats`. Re-entrant:
-/// concurrent calls are safe as long as each uses its own context (the
-/// graph and surface index are only read).
+/// Core of Algorithm 1 over any mesh accessor: surface probe (with
+/// optional equidistant sampling) -> directed walk fallback -> crawl.
+/// Appends the result to `out` and accumulates into `context->stats`.
+/// Re-entrant: concurrent calls are safe as long as each uses its own
+/// context and accessor (the backing store and surface index are only
+/// read).
+template <storage::MeshAccessor Accessor>
+void ExecuteOctopusQuery(Accessor& mesh, const SurfaceIndex& surface_index,
+                         const OctopusOptions& options, const AABB& box,
+                         engine::ExecutionContext* context,
+                         std::vector<VertexId>* out) {
+  Timer timer;
+  PhaseStats* stats = &context->stats;
+  ++stats->queries;
+
+  // --- Phase 1: surface probe (Sec. IV-C) ---
+  // Scan the surface vertices in ascending-id order (streaming access over
+  // the position array); collect those inside the query as crawl starts,
+  // and track the closest one as a fallback walk start. Under surface
+  // approximation (Sec. IV-H2) only every `stride`-th vertex is probed —
+  // the paper's "equidistant sample" of the surface.
+  std::vector<VertexId>* start_scratch = &context->start_scratch;
+  start_scratch->clear();
+  const std::span<const VertexId> surface = surface_index.probe_order();
+  const size_t stride =
+      options.surface_sample_fraction >= 1.0
+          ? 1
+          : std::max<size_t>(
+                1, static_cast<size_t>(std::llround(
+                       1.0 / options.surface_sample_fraction)));
+  VertexId closest = kInvalidVertex;
+  float closest_d2 = std::numeric_limits<float>::max();
+  size_t probed = 0;
+  constexpr size_t kPrefetchAhead = 16;
+  for (size_t i = 0; i < surface.size(); i += stride) {
+    // The probe is a strided gather through the position array; software
+    // prefetch hides most of the per-entry miss latency (in memory; the
+    // paged accessor's prefetch is a no-op).
+    if (i + kPrefetchAhead * stride < surface.size()) {
+      mesh.PrefetchPosition(surface[i + kPrefetchAhead * stride]);
+    }
+    const VertexId v = surface[i];
+    ++probed;
+    const float d2 = box.SquaredDistanceTo(mesh.position(v));
+    if (d2 == 0.0f) {
+      start_scratch->push_back(v);
+    } else if (start_scratch->empty() && d2 < closest_d2) {
+      closest_d2 = d2;
+      closest = v;
+    }
+  }
+  stats->probed_vertices += probed;
+  stats->probe_nanos += timer.ElapsedNanos();
+
+  // --- Phase 2: directed walk (Sec. IV-D), only if the probe was dry ---
+  if (start_scratch->empty()) {
+    timer.Restart();
+    ++stats->walk_invocations;
+    const WalkResult walk = DirectedWalk(mesh, box, closest);
+    stats->walk_vertices += walk.vertices_visited;
+    stats->walk_nanos += timer.ElapsedNanos();
+    if (!walk.ok()) {
+      return;  // query does not intersect the mesh: empty result
+    }
+    start_scratch->push_back(walk.found);
+  }
+
+  // --- Phase 3: crawling (Sec. IV-B) ---
+  timer.Restart();
+  const CrawlStats crawl =
+      context->crawler.Crawl(mesh, box, *start_scratch, out);
+  stats->crawl_edges += crawl.edges_traversed;
+  stats->result_vertices += crawl.vertices_inside;
+  stats->crawl_nanos += timer.ElapsedNanos();
+}
+
+/// Batch core shared by every OCTOPUS executor (`Octopus`, `HexOctopus`,
+/// `PagedOctopus`): resets `out`, clamps the shard count to min(pool
+/// width, batch size), runs each shard's contiguous query range on its
+/// own context (grown via `contexts->Ensure` on the calling thread
+/// before forking), and merges per-shard stats into the pool's aggregate
+/// in deterministic shard order after the pool joins. `pool` may be null
+/// (sequential). `make_accessor(context)` supplies the shard's mesh
+/// accessor — by value for the free in-memory view, by reference for a
+/// context-owned paged accessor. Per-query results are independent of
+/// the shard count.
+template <typename MakeAccessor>
+void ExecuteOctopusBatch(const MakeAccessor& make_accessor,
+                         const SurfaceIndex& surface_index,
+                         const OctopusOptions& options,
+                         std::span<const AABB> boxes,
+                         engine::QueryBatchResult* out,
+                         engine::ThreadPool* pool,
+                         engine::ContextPool* contexts) {
+  out->Reset(boxes.size());
+  const int shards =
+      pool == nullptr
+          ? 1
+          : static_cast<int>(
+                std::min<size_t>(pool->threads(),
+                                 std::max<size_t>(boxes.size(), 1)));
+  // Contexts are created/sized on the calling thread, before forking.
+  contexts->Ensure(shards);
+
+  auto run_shard = [&](int shard) {
+    // The pool always invokes one call per pool thread; threads beyond
+    // the (batch-size-clamped) shard count have no work.
+    if (shard >= shards) return;
+    // Contiguous sharding: shard s owns queries [s*n/T, (s+1)*n/T).
+    const size_t begin = boxes.size() * shard / shards;
+    const size_t end = boxes.size() * (shard + 1) / shards;
+    engine::ExecutionContext* context = contexts->context(shard);
+    decltype(auto) accessor = make_accessor(context);
+    for (size_t q = begin; q < end; ++q) {
+      ExecuteOctopusQuery(accessor, surface_index, options, boxes[q],
+                          context, &out->per_query[q]);
+    }
+  };
+
+  if (shards == 1) {
+    run_shard(0);
+  } else {
+    pool->Run(run_shard);
+  }
+
+  // Deterministic merge at batch end, on the calling thread: counts are
+  // identical for any thread count (timings naturally vary).
+  contexts->MergeStats(shards);
+}
+
+/// Resident-mesh wrappers (the historical entry points).
 void ExecuteOctopusQuery(const MeshGraphView& graph,
                          const SurfaceIndex& surface_index,
                          const OctopusOptions& options, const AABB& box,
                          engine::ExecutionContext* context,
                          std::vector<VertexId>* out);
 
-/// Batch core shared by `Octopus` and `HexOctopus`: resets `out`, clamps
-/// the shard count to min(pool width, batch size), runs each shard's
-/// contiguous query range on its own context (grown via
-/// `contexts->Ensure` on the calling thread before forking), and merges
-/// per-shard stats into the pool's aggregate in deterministic shard
-/// order after the pool joins. `pool` may be null (sequential).
-/// Per-query results are independent of the shard count.
 void ExecuteOctopusBatch(const MeshGraphView& graph,
                          const SurfaceIndex& surface_index,
                          const OctopusOptions& options,

@@ -1,0 +1,180 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "storage/buffer_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace octopus::storage {
+
+const char* EvictionName(BufferManager::Eviction eviction) {
+  switch (eviction) {
+    case BufferManager::Eviction::kLRU:
+      return "lru";
+    case BufferManager::Eviction::kClock:
+      return "clock";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<BufferManager>> BufferManager::Open(
+    const std::string& path, size_t page_bytes, uint64_t num_pages,
+    const Options& options) {
+  if (page_bytes == 0 || num_pages == 0) {
+    return Status::InvalidArgument("empty page geometry");
+  }
+  if (options.pool_bytes < 2 * page_bytes) {
+    return Status::InvalidArgument(
+        "buffer pool must cover at least 2 pages (" +
+        std::to_string(2 * page_bytes) + " bytes)");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open for read: " + path);
+  }
+  return std::unique_ptr<BufferManager>(
+      new BufferManager(file, page_bytes, num_pages, options));
+}
+
+BufferManager::BufferManager(std::FILE* file, size_t page_bytes,
+                             uint64_t num_pages, const Options& options)
+    : options_(options),
+      page_bytes_(page_bytes),
+      num_pages_(num_pages),
+      max_frames_(options.pool_bytes / page_bytes),
+      file_(file) {
+  // Frames allocate lazily; only pre-reserve bookkeeping for pools that
+  // plausibly fill (a generous cap can exceed the snapshot many times
+  // over).
+  frames_.reserve(std::min<size_t>(max_frames_, num_pages));
+}
+
+BufferManager::~BufferManager() { std::fclose(file_); }
+
+size_t BufferManager::AllocatedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size() * page_bytes_;
+}
+
+PageIOStats BufferManager::TotalStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_;
+}
+
+size_t BufferManager::PickVictim() {
+  if (options_.eviction == Eviction::kLRU) {
+    size_t victim = max_frames_;
+    uint64_t oldest = ~0ull;
+    for (size_t i = 0; i < frames_.size(); ++i) {
+      if (frames_[i].pins == 0 && frames_[i].lru_tick < oldest) {
+        oldest = frames_[i].lru_tick;
+        victim = i;
+      }
+    }
+    return victim;
+  }
+  // Clock: sweep at most two full revolutions (the first clears
+  // referenced bits, the second then finds any unpinned frame).
+  for (size_t step = 0; step < 2 * frames_.size(); ++step) {
+    Frame& frame = frames_[clock_hand_];
+    const size_t index = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % frames_.size();
+    if (frame.pins != 0) continue;
+    if (frame.referenced) {
+      frame.referenced = false;
+      continue;
+    }
+    return index;
+  }
+  return max_frames_;  // everything pinned
+}
+
+size_t BufferManager::TryAcquireFrame(PageIOStats* stats) {
+  if (frames_.size() < max_frames_) {
+    // Grow lazily; total frame memory stays under the byte cap.
+    frames_.emplace_back();
+    frames_.back().data = std::make_unique<std::byte[]>(page_bytes_);
+    assert(frames_.size() * page_bytes_ <= options_.pool_bytes);
+    return frames_.size() - 1;
+  }
+  const size_t victim = PickVictim();
+  if (victim != max_frames_) {
+    Frame& frame = frames_[victim];
+    if (frame.page != kInvalidPageId) {
+      page_to_frame_.erase(frame.page);
+      frame.page = kInvalidPageId;
+      ++stats->page_evictions;
+      ++totals_.page_evictions;
+    }
+  }
+  return victim;
+}
+
+const std::byte* BufferManager::Pin(PageId page, PageIOStats* stats) {
+  assert(page < num_pages_ && "page out of range");
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = page_to_frame_.find(page);
+    if (it != page_to_frame_.end()) {
+      Frame& frame = frames_[it->second];
+      ++frame.pins;
+      frame.lru_tick = ++tick_;
+      frame.referenced = true;
+      ++stats->page_hits;
+      ++totals_.page_hits;
+      return frame.data.get();
+    }
+
+    const size_t index = TryAcquireFrame(stats);
+    if (index == max_frames_) {
+      // Every frame pinned by other threads: wait for an Unpin, then
+      // RE-PROBE the residency map — another thread may have loaded
+      // this very page meanwhile, and loading it twice would alias two
+      // frames to one page and corrupt the pin bookkeeping. Readers
+      // hold at most one transient pin each, so a frame frees up
+      // quickly and no pin is ever held while waiting (no deadlock).
+      frame_freed_.wait(lock);
+      continue;
+    }
+
+    Frame& frame = frames_[index];
+    // Read under the lock: the FILE* seek+read pair is not atomic, and
+    // serialized I/O is fine at reproduction scale.
+    if (std::fseek(file_,
+                   static_cast<long>(page * page_bytes_), SEEK_SET) != 0 ||
+        std::fread(frame.data.get(), 1, page_bytes_, file_) !=
+            page_bytes_) {
+      // The writer pads every page to full size, so a short read means
+      // the file was truncated after open — unrecoverable mid-query.
+      assert(false && "snapshot page read failed");
+      std::memset(frame.data.get(), 0, page_bytes_);
+    }
+    frame.page = page;
+    frame.pins = 1;
+    frame.lru_tick = ++tick_;
+    frame.referenced = true;
+    page_to_frame_[page] = index;
+    ++stats->page_misses;
+    ++totals_.page_misses;
+    return frame.data.get();
+  }
+}
+
+void BufferManager::Unpin(PageId page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = page_to_frame_.find(page);
+  assert(it != page_to_frame_.end() && "unpin of a non-resident page");
+  Frame& frame = frames_[it->second];
+  assert(frame.pins > 0 && "unpin of an unpinned page");
+  if (--frame.pins == 0) frame_freed_.notify_one();
+}
+
+void BufferManager::CopyOut(PageId page, size_t offset, size_t len,
+                            void* dst, PageIOStats* stats) {
+  assert(offset + len <= page_bytes_);
+  const std::byte* data = Pin(page, stats);
+  std::memcpy(dst, data + offset, len);
+  Unpin(page);
+}
+
+}  // namespace octopus::storage

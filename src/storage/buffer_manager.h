@@ -1,0 +1,127 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// A byte-capped buffer pool over a paged snapshot file: the component
+// that makes "how many pages did this query touch?" a first-class,
+// measurable quantity (the paper's unit of disk cost, Sec. IV-H1).
+//
+// Frames are allocated lazily up to the byte cap and NEVER beyond it —
+// under memory pressure pages are evicted (LRU or clock, pluggable),
+// pinned pages excepted. All operations are thread-safe; per-context
+// counters are accumulated through the caller-supplied `PageIOStats`.
+#ifndef OCTOPUS_STORAGE_BUFFER_MANAGER_H_
+#define OCTOPUS_STORAGE_BUFFER_MANAGER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace octopus::storage {
+
+/// \brief Fixed-capacity page cache with pin/unpin and pluggable
+/// eviction.
+///
+/// Pin discipline: query-path readers (`PagedMeshAccessor`) hold at most
+/// one pin at a time and release it before returning, so even a 2-frame
+/// pool can serve any number of threads — a `Pin` that finds every frame
+/// pinned by other threads blocks until one is released.
+class BufferManager {
+ public:
+  /// Page-replacement policy.
+  enum class Eviction {
+    kLRU,    ///< evict the least recently accessed unpinned page
+    kClock,  ///< second-chance clock sweep over the frames
+  };
+
+  struct Options {
+    /// Hard byte cap of the pool. Frames of `page_bytes` each are
+    /// allocated lazily; their total never exceeds this cap (and the cap
+    /// must cover at least 2 pages).
+    size_t pool_bytes = 4u << 20;
+    Eviction eviction = Eviction::kLRU;
+  };
+
+  /// Opens `path` for reading pages of `page_bytes` (pages beyond
+  /// `num_pages` are out of range). Fails if the cap is under 2 pages.
+  static Result<std::unique_ptr<BufferManager>> Open(
+      const std::string& path, size_t page_bytes, uint64_t num_pages,
+      const Options& options);
+
+  ~BufferManager();
+
+  BufferManager(const BufferManager&) = delete;
+  BufferManager& operator=(const BufferManager&) = delete;
+
+  size_t page_bytes() const { return page_bytes_; }
+  /// Maximum frames the cap allows.
+  size_t max_frames() const { return max_frames_; }
+  /// The configured cap.
+  size_t PoolCapBytes() const { return options_.pool_bytes; }
+  /// Bytes actually allocated for frames so far (the high-water mark:
+  /// frames are never freed). Always <= PoolCapBytes().
+  size_t AllocatedBytes() const;
+  /// Pool-wide totals across every context (hits/misses/evictions).
+  PageIOStats TotalStats() const;
+
+  /// Pins `page` resident and returns its frame memory (valid until the
+  /// matching `Unpin`). Counts a hit or a miss (plus any eviction) into
+  /// `stats`. Blocks if every frame is currently pinned by other
+  /// threads. Asserts on out-of-range pages (programming error).
+  const std::byte* Pin(PageId page, PageIOStats* stats);
+
+  /// Releases one pin on `page` (which must be pinned).
+  void Unpin(PageId page);
+
+  /// Convenience read: copies `[offset, offset + len)` of `page` into
+  /// `dst` under a transient pin. `offset + len` must lie within the
+  /// page.
+  void CopyOut(PageId page, size_t offset, size_t len, void* dst,
+               PageIOStats* stats);
+
+ private:
+  struct Frame {
+    std::unique_ptr<std::byte[]> data;
+    PageId page = kInvalidPageId;
+    uint32_t pins = 0;
+    uint64_t lru_tick = 0;  // last-access time (LRU)
+    bool referenced = false;  // second-chance bit (clock)
+  };
+
+  BufferManager(std::FILE* file, size_t page_bytes, uint64_t num_pages,
+                const Options& options);
+
+  /// Returns the index of a frame ready to receive a new page (growing
+  /// the pool or evicting), or `max_frames()` when every frame is
+  /// currently pinned. Never blocks. Called with `mu_` held.
+  size_t TryAcquireFrame(PageIOStats* stats);
+  /// Victim selection among unpinned frames; returns max_frames() when
+  /// every frame is pinned. Called with `mu_` held.
+  size_t PickVictim();
+
+  const Options options_;
+  const size_t page_bytes_;
+  const uint64_t num_pages_;
+  const size_t max_frames_;
+
+  mutable std::mutex mu_;
+  std::condition_variable frame_freed_;
+  std::FILE* file_;  // guarded by mu_ (seek+read are not atomic)
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_to_frame_;
+  uint64_t tick_ = 0;
+  size_t clock_hand_ = 0;
+  PageIOStats totals_;
+};
+
+const char* EvictionName(BufferManager::Eviction eviction);
+
+}  // namespace octopus::storage
+
+#endif  // OCTOPUS_STORAGE_BUFFER_MANAGER_H_

@@ -1,0 +1,28 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Shared RAII wrapper for C stdio handles used by the binary I/O code
+// (mesh files, snapshots, the buffer manager).
+#ifndef OCTOPUS_STORAGE_FILE_UTIL_H_
+#define OCTOPUS_STORAGE_FILE_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+namespace octopus::storage {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+/// Owning `std::FILE*`; closes on destruction.
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+inline FilePtr OpenFile(const std::string& path, const char* mode) {
+  return FilePtr(std::fopen(path.c_str(), mode));
+}
+
+}  // namespace octopus::storage
+
+#endif  // OCTOPUS_STORAGE_FILE_UTIL_H_

@@ -1,0 +1,51 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Fundamental types of the out-of-core storage engine: page identifiers
+// and the per-context page-I/O counters. The paper (Sec. IV-H1) evaluates
+// OCTOPUS on disk-resident meshes where the cost that matters is *page
+// accesses*; everything in storage/ exists to make that cost measurable.
+#ifndef OCTOPUS_STORAGE_PAGE_H_
+#define OCTOPUS_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace octopus::storage {
+
+/// Index of a fixed-size page within a snapshot file. Page 0 is the
+/// superblock; data sections start at page boundaries after it.
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+/// Default snapshot page size. 4 KiB matches the common filesystem block
+/// size; tests use smaller pages to force heavy paging on small meshes.
+inline constexpr size_t kDefaultPageBytes = 4096;
+
+/// \brief Per-context page-I/O counters.
+///
+/// Each `engine::ExecutionContext` accumulates its own instance (inside
+/// `PhaseStats`), merged into the index-level aggregate in deterministic
+/// shard order at batch end, exactly like the phase counters. The values
+/// themselves are deterministic for single-threaded execution; with a
+/// shared buffer pool and multiple threads the hit/miss split depends on
+/// interleaving (the totals still balance: hits + misses = accesses).
+struct PageIOStats {
+  size_t page_hits = 0;       ///< accesses served from the buffer pool
+  size_t page_misses = 0;     ///< accesses that had to read from disk
+  size_t page_evictions = 0;  ///< resident pages dropped to make room
+
+  void Reset() { *this = PageIOStats{}; }
+
+  void Merge(const PageIOStats& other) {
+    page_hits += other.page_hits;
+    page_misses += other.page_misses;
+    page_evictions += other.page_evictions;
+  }
+
+  size_t PageAccesses() const { return page_hits + page_misses; }
+};
+
+}  // namespace octopus::storage
+
+#endif  // OCTOPUS_STORAGE_PAGE_H_

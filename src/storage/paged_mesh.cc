@@ -1,0 +1,112 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "storage/paged_mesh.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "storage/file_util.h"
+#include "storage/mesh_accessor.h"
+
+namespace octopus::storage {
+
+static_assert(MeshAccessor<PagedMeshAccessor>,
+              "the paged accessor must satisfy the query-core concept");
+
+namespace {
+
+/// Sequentially reads a paged uint32 section (entries are page-packed,
+/// never straddling a boundary).
+Status ReadU32Section(std::FILE* f, const SnapshotHeader& h,
+                      uint64_t start_page, uint64_t count,
+                      std::vector<uint32_t>* out) {
+  out->resize(count);
+  const size_t per_page = h.U32PerPage();
+  uint64_t done = 0;
+  for (uint64_t page = start_page; done < count; ++page) {
+    const size_t chunk =
+        static_cast<size_t>(std::min<uint64_t>(per_page, count - done));
+    if (std::fseek(f, static_cast<long>(page * h.page_bytes), SEEK_SET) !=
+            0 ||
+        std::fread(out->data() + done, sizeof(uint32_t), chunk, f) !=
+            chunk) {
+      return Status::Corruption("truncated snapshot section");
+    }
+    done += chunk;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PagedMeshStore>> PagedMeshStore::Open(
+    const std::string& path, const BufferManager::Options& options) {
+  auto header = ReadSnapshotHeader(path);
+  if (!header.ok()) return header.status();
+  const SnapshotHeader& h = header.Value();
+
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  std::vector<VertexId> surface;
+  OCTOPUS_RETURN_NOT_OK(ReadU32Section(f.get(), h, h.surface_start_page,
+                                       h.num_surface_vertices, &surface));
+  for (VertexId v : surface) {
+    if (v >= h.num_vertices) {
+      return Status::Corruption("surface vertex out of range in " + path);
+    }
+  }
+
+  auto buffer =
+      BufferManager::Open(path, h.page_bytes, h.num_pages, options);
+  if (!buffer.ok()) return buffer.status();
+  return std::unique_ptr<PagedMeshStore>(new PagedMeshStore(
+      h, std::move(surface), buffer.MoveValue()));
+}
+
+uint32_t PagedMeshAccessor::ReadU32(uint64_t section_start_page,
+                                    uint64_t index) {
+  const SnapshotHeader& h = store_->header();
+  const size_t per_page = h.U32PerPage();
+  uint32_t value = 0;
+  store_->buffer_manager()->CopyOut(
+      static_cast<PageId>(section_start_page + index / per_page),
+      (index % per_page) * sizeof(uint32_t), sizeof(uint32_t), &value,
+      stats_);
+  return value;
+}
+
+std::span<const VertexId> PagedMeshAccessor::neighbors(VertexId v) {
+  const SnapshotHeader& h = store_->header();
+  const size_t per_page = h.U32PerPage();
+
+  // CSR offsets for v and v+1; one page access when they share a page
+  // (the common case), two otherwise.
+  uint32_t range[2];
+  if (v / per_page == (v + 1) / per_page) {
+    store_->buffer_manager()->CopyOut(
+        static_cast<PageId>(h.adj_offsets_start_page + v / per_page),
+        (v % per_page) * sizeof(uint32_t), 2 * sizeof(uint32_t), range,
+        stats_);
+  } else {
+    range[0] = ReadU32(h.adj_offsets_start_page, v);
+    range[1] = ReadU32(h.adj_offsets_start_page, v + 1);
+  }
+
+  const size_t degree = range[1] - range[0];
+  scratch_.resize(degree);
+  // Copy the neighbor list page chunk by page chunk (a list rarely spans
+  // more than one adjacency page).
+  size_t done = 0;
+  while (done < degree) {
+    const uint64_t entry = range[0] + done;
+    const size_t within = entry % per_page;
+    const size_t chunk = std::min(degree - done, per_page - within);
+    store_->buffer_manager()->CopyOut(
+        static_cast<PageId>(h.adj_start_page + entry / per_page),
+        within * sizeof(uint32_t), chunk * sizeof(uint32_t),
+        scratch_.data() + done, stats_);
+    done += chunk;
+  }
+  return scratch_;
+}
+
+}  // namespace octopus::storage

@@ -1,0 +1,119 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// The out-of-core mesh view: a `PagedMeshStore` owns an open OCT2
+// snapshot plus its buffer pool, and hands out per-thread
+// `PagedMeshAccessor`s through which the query phases read positions and
+// adjacency one page access at a time. Mirrors how production CFD codes
+// (e.g. Code_Saturne's fvm/cs_io layers) keep mesh data behind a paged
+// I/O layer rather than one flat in-memory vector.
+#ifndef OCTOPUS_STORAGE_PAGED_MESH_H_
+#define OCTOPUS_STORAGE_PAGED_MESH_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/vec3.h"
+#include "mesh/types.h"
+#include "storage/buffer_manager.h"
+#include "storage/snapshot.h"
+
+namespace octopus::storage {
+
+/// \brief An open snapshot: header, eagerly loaded surface vertex list,
+/// and the shared buffer pool. Immutable after `Open`; any number of
+/// accessors (one per thread) may read through it concurrently.
+class PagedMeshStore {
+ public:
+  static Result<std::unique_ptr<PagedMeshStore>> Open(
+      const std::string& path, const BufferManager::Options& options);
+
+  PagedMeshStore(const PagedMeshStore&) = delete;
+  PagedMeshStore& operator=(const PagedMeshStore&) = delete;
+
+  const SnapshotHeader& header() const { return header_; }
+  size_t num_vertices() const { return header_.num_vertices; }
+  SnapshotLayout layout() const {
+    return static_cast<SnapshotLayout>(header_.layout);
+  }
+
+  /// The snapshot's surface vertex ids, ascending — the probe order the
+  /// `SurfaceIndex` is built from. Loaded once at `Open` (a sequential
+  /// read), deliberately not routed through the pool: it is part of the
+  /// index, not of the crawled data.
+  const std::vector<VertexId>& surface_vertices() const {
+    return surface_vertices_;
+  }
+
+  BufferManager* buffer_manager() const { return buffer_.get(); }
+
+  /// Snapshot bytes on disk.
+  size_t FileBytes() const { return header_.FileBytes(); }
+
+ private:
+  PagedMeshStore(SnapshotHeader header, std::vector<VertexId> surface,
+                 std::unique_ptr<BufferManager> buffer)
+      : header_(header),
+        surface_vertices_(std::move(surface)),
+        buffer_(std::move(buffer)) {}
+
+  SnapshotHeader header_;
+  std::vector<VertexId> surface_vertices_;
+  std::unique_ptr<BufferManager> buffer_;
+};
+
+/// \brief Per-thread read handle over a `PagedMeshStore`, satisfying the
+/// `MeshAccessor` concept (see storage/mesh_accessor.h).
+///
+/// Every read copies out of the buffer pool under a transient pin, so an
+/// accessor never holds pool resources between calls — the property that
+/// lets a 2-page pool serve any thread count. The span returned by
+/// `neighbors` points into accessor-local scratch and stays valid until
+/// the next `neighbors` call (`position` calls do not invalidate it),
+/// which is exactly the contract the crawler and directed walk need.
+class PagedMeshAccessor {
+ public:
+  /// `stats` receives this context's page-I/O counters (may be
+  /// repointed later via `set_stats`). Both pointers must outlive the
+  /// accessor.
+  PagedMeshAccessor(const PagedMeshStore* store, PageIOStats* stats)
+      : store_(store), stats_(stats) {}
+
+  const PagedMeshStore& store() const { return *store_; }
+  void set_stats(PageIOStats* stats) { stats_ = stats; }
+
+  size_t num_vertices() const { return store_->num_vertices(); }
+
+  Vec3 position(VertexId v) {
+    const SnapshotHeader& h = store_->header();
+    const size_t per_page = h.PositionsPerPage();
+    Vec3 p;
+    store_->buffer_manager()->CopyOut(
+        static_cast<PageId>(h.positions_start_page + v / per_page),
+        (v % per_page) * sizeof(Vec3), sizeof(Vec3), &p, stats_);
+    return p;
+  }
+
+  std::span<const VertexId> neighbors(VertexId v);
+
+  /// Prefetch is a no-op out of core: there is no cheap speculative page
+  /// read that would not also count (and cost) as an access.
+  void PrefetchPosition(VertexId) {}
+
+  /// Bytes of accessor-local scratch (footprint accounting).
+  size_t ScratchBytes() const {
+    return scratch_.capacity() * sizeof(VertexId);
+  }
+
+ private:
+  uint32_t ReadU32(uint64_t section_start_page, uint64_t index);
+
+  const PagedMeshStore* store_;
+  PageIOStats* stats_;
+  std::vector<VertexId> scratch_;  // neighbors() copy-out target
+};
+
+}  // namespace octopus::storage
+
+#endif  // OCTOPUS_STORAGE_PAGED_MESH_H_

@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "engine/query_engine.h"
@@ -21,7 +23,10 @@
 #include "index/qu_trade.h"
 #include "mesh/generators/grid_generator.h"
 #include "mesh/generators/hexa_generator.h"
+#include "mesh/hilbert_layout.h"
+#include "mesh/mesh_io.h"
 #include "octopus/hex_octopus.h"
+#include "octopus/paged_executor.h"
 #include "octopus/octopus_con.h"
 #include "octopus/phase_stats.h"
 #include "octopus/planner.h"
@@ -197,6 +202,79 @@ TEST(QueryEngineTest, HexOctopusBatchParity) {
   }
 }
 
+// Out-of-core parity: the paged executor over a snapshot must return
+// exactly the in-memory result sets and the identical non-I/O counters,
+// for any pool size >= 2 pages and at 1 and 4 threads, in both layouts.
+TEST(QueryEngineTest, PagedVsInMemoryParity) {
+  const TetraMesh base = MakeBox(8);
+  QueryGenerator gen(base);
+  Rng rng(21);
+  std::vector<AABB> queries = gen.MakeQueries(&rng, 24, 0.001, 0.02);
+  queries.push_back(AABB(Vec3(5, 5, 5), Vec3(6, 6, 6)));  // miss
+
+  constexpr size_t kPageBytes = 512;
+  for (const auto layout : {storage::SnapshotLayout::kOriginal,
+                            storage::SnapshotLayout::kHilbert}) {
+    SCOPED_TRACE(storage::LayoutName(layout));
+    const std::string path = ::testing::TempDir() + "/engine_parity_" +
+                             storage::LayoutName(layout) + ".oct2";
+    ASSERT_TRUE(
+        SaveSnapshot(base, path,
+                     storage::SnapshotOptions{.page_bytes = kPageBytes,
+                                              .layout = layout})
+            .ok());
+
+    // The in-memory reference runs on the same vertex order the
+    // snapshot was written in.
+    const TetraMesh reference =
+        layout == storage::SnapshotLayout::kHilbert
+            ? ApplyPermutation(base, ComputeHilbertOrder(base))
+            : base;
+    Octopus octopus;
+    octopus.Build(reference);
+    engine::QueryEngine reference_engine;
+    engine::QueryBatchResult expected;
+    reference_engine.Execute(octopus, reference, queries, &expected);
+    const PhaseStats reference_stats = octopus.stats();
+
+    for (const size_t pool_bytes :
+         {2 * kPageBytes, 16 * kPageBytes, size_t{1} << 20}) {
+      for (const int threads : {1, 4}) {
+        SCOPED_TRACE(std::to_string(pool_bytes) + " pool bytes, " +
+                     std::to_string(threads) + " threads");
+        PagedOctopus::Options options;
+        options.pool.pool_bytes = pool_bytes;
+        auto paged = PagedOctopus::Open(path, options);
+        ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+        engine::QueryEngine eng(
+            engine::QueryEngineOptions{.threads = threads});
+        engine::QueryBatchResult results;
+        eng.Execute(*paged.Value(), queries, &results);
+        ASSERT_EQ(results.size(), queries.size());
+        for (size_t q = 0; q < queries.size(); ++q) {
+          EXPECT_EQ(Sorted(results.per_query[q]),
+                    Sorted(expected.per_query[q]))
+              << "query " << q;
+        }
+        // Identical algorithm -> identical non-I/O counters, regardless
+        // of pool size or thread count.
+        const PhaseStats& stats = paged.Value()->stats();
+        EXPECT_EQ(stats.queries, reference_stats.queries);
+        EXPECT_EQ(stats.probed_vertices, reference_stats.probed_vertices);
+        EXPECT_EQ(stats.walk_invocations,
+                  reference_stats.walk_invocations);
+        EXPECT_EQ(stats.walk_vertices, reference_stats.walk_vertices);
+        EXPECT_EQ(stats.crawl_edges, reference_stats.crawl_edges);
+        EXPECT_EQ(stats.result_vertices, reference_stats.result_vertices);
+        // The in-memory run does no page I/O; the paged one must.
+        EXPECT_EQ(reference_stats.page_io.PageAccesses(), 0u);
+        EXPECT_GT(stats.page_io.PageAccesses(), 0u);
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
 TEST(QueryEngineTest, OctopusStatsCountersIndependentOfThreadCount) {
   PhaseStats counts[2];
   const int thread_options[2] = {1, 4};
@@ -245,6 +323,9 @@ TEST(PhaseStatsTest, MergeSumsEveryCounter) {
   a.walk_vertices = 7;
   a.crawl_edges = 8;
   a.result_vertices = 9;
+  a.page_io.page_hits = 10;
+  a.page_io.page_misses = 11;
+  a.page_io.page_evictions = 12;
   PhaseStats b = a;
   b.Merge(a);
   EXPECT_EQ(b.probe_nanos, 2);
@@ -256,12 +337,18 @@ TEST(PhaseStatsTest, MergeSumsEveryCounter) {
   EXPECT_EQ(b.walk_vertices, 14u);
   EXPECT_EQ(b.crawl_edges, 16u);
   EXPECT_EQ(b.result_vertices, 18u);
+  EXPECT_EQ(b.page_io.page_hits, 20u);
+  EXPECT_EQ(b.page_io.page_misses, 22u);
+  EXPECT_EQ(b.page_io.page_evictions, 24u);
+  EXPECT_EQ(b.page_io.PageAccesses(), 42u);
   EXPECT_EQ(b.TotalNanos(), 12);
 
   b.Reset();
   EXPECT_EQ(b.queries, 0u);
   EXPECT_EQ(b.TotalNanos(), 0);
   EXPECT_EQ(b.result_vertices, 0u);
+  EXPECT_EQ(b.page_io.PageAccesses(), 0u);
+  EXPECT_EQ(b.page_io.page_evictions, 0u);
 }
 
 TEST(ThreadPoolTest, RunsEveryShardExactlyOnceEveryTime) {

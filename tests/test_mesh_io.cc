@@ -1,0 +1,168 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Round-trip and error-path coverage of the OCT1 mesh format: every
+// `Result`/`Status` branch of `LoadMesh` (bad magic, truncated header,
+// implausible sizes, truncated body, dangling tet references) plus the
+// adjacency equivalence of a full save/load cycle. The OCT2 snapshot
+// error paths live in test_storage.cc.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mesh/generators/grid_generator.h"
+#include "mesh/mesh_io.h"
+#include "test_util.h"
+
+namespace octopus {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteBytes(const std::string& path, const void* data, size_t bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(data, 1, bytes, f), bytes);
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+/// A valid OCT1 byte image of `mesh`, for truncation/corruption tests.
+std::vector<unsigned char> ValidFileImage(const TetraMesh& mesh) {
+  const std::string path = TempPath("oct1_image.mesh");
+  EXPECT_TRUE(SaveMesh(mesh, path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  std::vector<unsigned char> bytes(std::ftell(f));
+  std::fseek(f, 0, SEEK_SET);
+  EXPECT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  std::remove(path.c_str());
+  return bytes;
+}
+
+TEST(MeshIOErrorTest, RoundTripPreservesAdjacency) {
+  const TetraMesh original =
+      GenerateBoxMesh(4, 4, 4, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))
+          .MoveValue();
+  const std::string path = TempPath("oct1_roundtrip_adj.mesh");
+  ASSERT_TRUE(SaveMesh(original, path).ok());
+  auto loaded = LoadMesh(path);
+  ASSERT_TRUE(loaded.ok());
+  const TetraMesh& mesh = loaded.Value();
+  ASSERT_EQ(mesh.num_vertices(), original.num_vertices());
+  ASSERT_EQ(mesh.num_tetrahedra(), original.num_tetrahedra());
+  for (size_t t = 0; t < mesh.num_tetrahedra(); ++t) {
+    EXPECT_EQ(mesh.tetrahedra()[t], original.tetrahedra()[t]);
+  }
+  // Adjacency is derived on load; it must match exactly (same CSR
+  // construction over the same tets).
+  for (VertexId v = 0; v < mesh.num_vertices(); ++v) {
+    ASSERT_EQ(mesh.degree(v), original.degree(v)) << "vertex " << v;
+    const auto a = mesh.neighbors(v);
+    const auto b = original.neighbors(v);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MeshIOErrorTest, BadMagicIsCorruption) {
+  const std::vector<unsigned char> image =
+      ValidFileImage(testing::MakeTwoTetMesh());
+  std::vector<unsigned char> bad = image;
+  std::memcpy(bad.data(), "OCTX", 4);
+  const std::string path = TempPath("oct1_badmagic.mesh");
+  WriteBytes(path, bad.data(), bad.size());
+  const auto result = LoadMesh(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(MeshIOErrorTest, TruncatedHeaderIsCorruption) {
+  const std::vector<unsigned char> image =
+      ValidFileImage(testing::MakeTwoTetMesh());
+  // Magic intact, but the counts are cut short.
+  const std::string path = TempPath("oct1_truncheader.mesh");
+  WriteBytes(path, image.data(), 4 + 3);
+  const auto result = LoadMesh(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(MeshIOErrorTest, TruncatedBodyIsCorruption) {
+  const std::vector<unsigned char> image =
+      ValidFileImage(testing::MakeTwoTetMesh());
+  const std::string path = TempPath("oct1_truncbody.mesh");
+  // Chop the last tet in half.
+  WriteBytes(path, image.data(), image.size() - 8);
+  const auto result = LoadMesh(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(MeshIOErrorTest, ImplausibleCountsAreCorruption) {
+  std::vector<unsigned char> image =
+      ValidFileImage(testing::MakeTwoTetMesh());
+  // Claim 2^60 vertices: must be rejected before any allocation.
+  const uint64_t absurd = 1ull << 60;
+  std::memcpy(image.data() + 4, &absurd, sizeof(absurd));
+  const std::string path = TempPath("oct1_absurd.mesh");
+  WriteBytes(path, image.data(), image.size());
+  const auto result = LoadMesh(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(MeshIOErrorTest, ZeroVerticesIsCorruption) {
+  std::vector<unsigned char> image =
+      ValidFileImage(testing::MakeTwoTetMesh());
+  const uint64_t zero = 0;
+  std::memcpy(image.data() + 4, &zero, sizeof(zero));
+  const std::string path = TempPath("oct1_zerov.mesh");
+  WriteBytes(path, image.data(), image.size());
+  const auto result = LoadMesh(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(MeshIOErrorTest, OutOfRangeTetVertexIsCorruption) {
+  const TetraMesh mesh = testing::MakeTwoTetMesh();
+  std::vector<unsigned char> image = ValidFileImage(mesh);
+  // Corrupt the first corner of the first tet to a dangling id. The tet
+  // list starts after magic(4) + counts(16) + positions(12 * V).
+  const size_t tets_offset = 4 + 16 + 12 * mesh.num_vertices();
+  const uint32_t dangling = 1u << 20;
+  std::memcpy(image.data() + tets_offset, &dangling, sizeof(dangling));
+  const std::string path = TempPath("oct1_dangling.mesh");
+  WriteBytes(path, image.data(), image.size());
+  const auto result = LoadMesh(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(MeshIOErrorTest, SaveToUnwritablePathIsIOError) {
+  const Status st =
+      SaveMesh(testing::MakeTwoTetMesh(), "/nonexistent/dir/mesh.bin");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kIOError);
+}
+
+TEST(MeshIOErrorTest, ConvertMissingMeshPropagatesIOError) {
+  const Status st = ConvertMeshToSnapshot("/nonexistent/in.mesh",
+                                          TempPath("never_written.oct2"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kIOError);
+}
+
+}  // namespace
+}  // namespace octopus

@@ -11,7 +11,7 @@
 #include "octopus/cost_model.h"
 #include "octopus/crawler.h"
 #include "octopus/directed_walk.h"
-#include "octopus/hilbert_layout.h"
+#include "mesh/hilbert_layout.h"
 #include "octopus/query_executor.h"
 #include "octopus/surface_index.h"
 #include "sim/restructurer.h"

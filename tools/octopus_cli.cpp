@@ -7,8 +7,15 @@
 //   octopus_cli info <mesh>
 //       prints the Fig. 4-style characterization of a mesh file
 //   octopus_cli query <mesh> <minx miny minz maxx maxy maxz>
+//              [--paged --pool-bytes N]
 //       runs one OCTOPUS range query and prints the result count +
-//       phase breakdown
+//       phase breakdown; with --paged, <mesh> is an .oct2 snapshot
+//       executed out of core through a byte-capped buffer pool
+//   octopus_cli snapshot save <mesh> <out.oct2> [--page-bytes N]
+//              [--layout original|hilbert]
+//       converts an OCT1 mesh file into a paged OCT2 snapshot
+//   octopus_cli snapshot info <file.oct2>
+//       prints the snapshot header (pages, sections, layout)
 //   octopus_cli export <mesh> <out.obj>
 //       writes the mesh surface as a Wavefront OBJ
 //   octopus_cli bench <mesh> [--threads N] [--queries N] [--sel F]
@@ -28,6 +35,7 @@
 #include "mesh/generators/datasets.h"
 #include "mesh/mesh_io.h"
 #include "mesh/mesh_stats.h"
+#include "octopus/paged_executor.h"
 #include "octopus/query_executor.h"
 #include "sim/workload.h"
 
@@ -35,18 +43,46 @@ namespace {
 
 using namespace octopus;
 
-int Usage() {
+void PrintUsage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage:\n"
       "  octopus_cli generate <neuro0..neuro4|sf1|sf2|horse|face|camel> "
       "<out.mesh> [scale]\n"
       "  octopus_cli info <mesh>\n"
       "  octopus_cli query <mesh> <minx> <miny> <minz> <maxx> <maxy> "
-      "<maxz>\n"
+      "<maxz> [--paged --pool-bytes N]\n"
+      "      --paged          treat <mesh> as an .oct2 snapshot and "
+      "execute out of core\n"
+      "      --pool-bytes N   buffer-pool byte cap for --paged "
+      "(default 4194304, min 2 pages)\n"
+      "  octopus_cli snapshot save <mesh> <out.oct2> [--page-bytes N] "
+      "[--layout original|hilbert]\n"
+      "  octopus_cli snapshot info <file.oct2>\n"
       "  octopus_cli export <mesh> <out.obj>\n"
-      "  octopus_cli bench <mesh> [--threads N] [--queries N] [--sel F]\n");
+      "  octopus_cli bench <mesh> [--threads N] [--queries N] [--sel F]\n"
+      "      --threads N      query-execution threads for the batch "
+      "(default 1)\n"
+      "      --queries N      batch size (default 256)\n"
+      "      --sel F          query selectivity (default 0.001)\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
+}
+
+/// Parses a positive byte count (pool or page size); false on garbage,
+/// non-positive or implausibly large values.
+bool ParseByteCount(const char* arg, size_t* out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(arg, &end, 10);
+  if (end == arg || *end != '\0' || value <= 0 ||
+      value > (1ll << 40)) {
+    return false;
+  }
+  *out = static_cast<size_t>(value);
+  return true;
 }
 
 Result<TetraMesh> GenerateByName(const std::string& name, double scale) {
@@ -110,29 +146,136 @@ int CmdInfo(int argc, char** argv) {
   return 0;
 }
 
-int CmdQuery(int argc, char** argv) {
-  if (argc < 9) return Usage();
-  auto mesh = LoadMesh(argv[2]);
-  if (!mesh.ok()) {
-    std::fprintf(stderr, "%s\n", mesh.status().ToString().c_str());
-    return 1;
-  }
-  const AABB box(Vec3(std::atof(argv[3]), std::atof(argv[4]),
-                      std::atof(argv[5])),
-                 Vec3(std::atof(argv[6]), std::atof(argv[7]),
-                      std::atof(argv[8])));
-  Octopus octo;
-  octo.Build(mesh.Value());
-  std::vector<VertexId> result;
-  octo.RangeQuery(mesh.Value(), box, &result);
-  const PhaseStats& stats = octo.stats();
-  std::printf("%zu vertices inside %s\n", result.size(), "query box");
+void PrintPhaseBreakdown(const PhaseStats& stats) {
   std::printf("phases: probe %.3f ms (%zu probed) | walk %.3f ms (%zu "
               "walks) | crawl %.3f ms (%zu edges)\n",
               stats.probe_nanos * 1e-6, stats.probed_vertices,
               stats.walk_nanos * 1e-6, stats.walk_invocations,
               stats.crawl_nanos * 1e-6, stats.crawl_edges);
+}
+
+int CmdQuery(int argc, char** argv) {
+  if (argc < 9) return Usage();
+  bool paged = false;
+  size_t pool_bytes = 4u << 20;
+  for (int i = 9; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paged") == 0) {
+      paged = true;
+    } else if (std::strcmp(argv[i], "--pool-bytes") == 0 && i + 1 < argc) {
+      if (!ParseByteCount(argv[++i], &pool_bytes)) return Usage();
+    } else {
+      return Usage();
+    }
+  }
+  const AABB box(Vec3(std::atof(argv[3]), std::atof(argv[4]),
+                      std::atof(argv[5])),
+                 Vec3(std::atof(argv[6]), std::atof(argv[7]),
+                      std::atof(argv[8])));
+
+  if (paged) {
+    PagedOctopus::Options options;
+    options.pool.pool_bytes = pool_bytes;
+    auto octo = PagedOctopus::Open(argv[2], options);
+    if (!octo.ok()) {
+      std::fprintf(stderr, "%s\n", octo.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<VertexId> result;
+    octo.Value()->RangeQuery(box, &result);
+    const PhaseStats& stats = octo.Value()->stats();
+    std::printf("%zu vertices inside query box (out of core, %s layout)\n",
+                result.size(),
+                storage::LayoutName(octo.Value()->store().layout()));
+    PrintPhaseBreakdown(stats);
+    std::printf("page I/O: %zu hits, %zu misses, %zu evictions "
+                "(pool cap %zu bytes, allocated %zu)\n",
+                stats.page_io.page_hits, stats.page_io.page_misses,
+                stats.page_io.page_evictions, pool_bytes,
+                octo.Value()->store().buffer_manager()->AllocatedBytes());
+    return 0;
+  }
+
+  auto mesh = LoadMesh(argv[2]);
+  if (!mesh.ok()) {
+    std::fprintf(stderr, "%s\n", mesh.status().ToString().c_str());
+    return 1;
+  }
+  Octopus octo;
+  octo.Build(mesh.Value());
+  std::vector<VertexId> result;
+  octo.RangeQuery(mesh.Value(), box, &result);
+  std::printf("%zu vertices inside query box\n", result.size());
+  PrintPhaseBreakdown(octo.stats());
   return 0;
+}
+
+int CmdSnapshot(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  if (std::strcmp(argv[2], "info") == 0) {
+    auto header = storage::ReadSnapshotHeader(argv[3]);
+    if (!header.ok()) {
+      std::fprintf(stderr, "%s\n", header.status().ToString().c_str());
+      return 1;
+    }
+    const storage::SnapshotHeader& h = header.Value();
+    Table t(std::string("snapshot info: ") + argv[3]);
+    t.SetHeader({"field", "value"});
+    t.AddRow({"layout", storage::LayoutName(
+                            static_cast<storage::SnapshotLayout>(
+                                h.layout))});
+    t.AddRow({"page bytes", Table::Count(h.page_bytes)});
+    t.AddRow({"pages", Table::Count(h.num_pages)});
+    t.AddRow({"file size", Table::Megabytes(h.FileBytes())});
+    t.AddRow({"vertices", Table::Count(h.num_vertices)});
+    t.AddRow({"adjacency entries", Table::Count(h.num_adj_entries)});
+    t.AddRow({"surface vertices", Table::Count(h.num_surface_vertices)});
+    t.AddRow({"tetrahedra (source)", Table::Count(h.num_tets)});
+    t.Print();
+    return 0;
+  }
+  if (std::strcmp(argv[2], "save") == 0) {
+    if (argc < 5) return Usage();
+    storage::SnapshotOptions options;
+    for (int i = 5; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--page-bytes") == 0 && i + 1 < argc) {
+        if (!ParseByteCount(argv[++i], &options.page_bytes)) {
+          return Usage();
+        }
+      } else if (std::strcmp(argv[i], "--layout") == 0 && i + 1 < argc) {
+        const char* name = argv[++i];
+        if (std::strcmp(name, "hilbert") == 0) {
+          options.layout = storage::SnapshotLayout::kHilbert;
+        } else if (std::strcmp(name, "original") == 0) {
+          options.layout = storage::SnapshotLayout::kOriginal;
+        } else {
+          return Usage();
+        }
+      } else {
+        return Usage();
+      }
+    }
+    const Status st = ConvertMeshToSnapshot(argv[3], argv[4], options);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto header = storage::ReadSnapshotHeader(argv[4]);
+    if (!header.ok()) {
+      std::fprintf(stderr, "%s\n", header.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s: %llu pages of %u bytes (%s layout, %llu "
+                "vertices)\n",
+                argv[4],
+                static_cast<unsigned long long>(header.Value().num_pages),
+                header.Value().page_bytes,
+                storage::LayoutName(static_cast<storage::SnapshotLayout>(
+                    header.Value().layout)),
+                static_cast<unsigned long long>(
+                    header.Value().num_vertices));
+    return 0;
+  }
+  return Usage();
 }
 
 int CmdBench(int argc, char** argv) {
@@ -206,9 +349,16 @@ int CmdExport(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0 ||
+      std::strcmp(argv[1], "help") == 0) {
+    PrintUsage(stdout);
+    return 0;
+  }
   if (std::strcmp(argv[1], "generate") == 0) return CmdGenerate(argc, argv);
   if (std::strcmp(argv[1], "info") == 0) return CmdInfo(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return CmdQuery(argc, argv);
+  if (std::strcmp(argv[1], "snapshot") == 0) return CmdSnapshot(argc, argv);
   if (std::strcmp(argv[1], "export") == 0) return CmdExport(argc, argv);
   if (std::strcmp(argv[1], "bench") == 0) return CmdBench(argc, argv);
   return Usage();
