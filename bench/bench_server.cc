@@ -1,0 +1,246 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Loopback benchmark of the network query service: an in-process server
+// on an ephemeral 127.0.0.1 port, driven by concurrent blocking clients
+// replaying the fig6-style monitoring workload. Reports throughput,
+// request latency percentiles (from the server's histogram) and the
+// cross-client coalesce factor, and verifies loopback parity against
+// the in-process engine — counters and result sets, not wall-clock
+// multipliers, so the numbers are meaningful on the 1-core CI runner
+// too. Emits BENCH_server.json.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "client/remote_client.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "mesh/generators/datasets.h"
+#include "mesh/mesh_io.h"
+#include "octopus/query_executor.h"
+#include "server/backend.h"
+#include "server/server.h"
+#include "sim/workload.h"
+#include "storage/snapshot.h"
+
+namespace {
+
+using namespace octopus;
+
+struct BenchConfig {
+  std::string name;
+  int clients = 1;
+  int requests_per_client = 32;
+  int queries_per_request = 16;
+  bool paged = false;
+};
+
+struct BenchOutcome {
+  double wall_seconds = 0.0;
+  server::ServerMetrics metrics;
+  bool parity_ok = true;
+};
+
+/// Drives one config against a fresh server; returns the server's
+/// post-run metrics plus a client-side parity verdict.
+BenchOutcome RunConfig(const BenchConfig& config, const TetraMesh& mesh,
+                       const std::string& snapshot_path) {
+  std::unique_ptr<server::QueryBackend> backend;
+  if (config.paged) {
+    auto opened = server::QueryBackend::OpenSnapshot(
+        snapshot_path, /*pool_bytes=*/256 * 4096, /*threads=*/1);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open snapshot: %s\n",
+                   opened.status().ToString().c_str());
+      std::exit(1);
+    }
+    backend = opened.MoveValue();
+  } else {
+    backend = server::QueryBackend::FromMesh(mesh, /*threads=*/1);
+  }
+
+  server::ServerOptions options;
+  options.bind_address = "127.0.0.1";
+  options.port = 0;
+  server::QueryServer srv(std::move(backend), options);
+  const Status started = srv.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    std::exit(1);
+  }
+  std::thread server_thread([&srv] { (void)srv.Run(); });
+
+  // In-process reference for client 0's workload, precomputed OUTSIDE
+  // the timed region (the query sequence is seed-deterministic), so
+  // parity verification does not skew the throughput comparison.
+  Octopus reference;
+  reference.Build(mesh);
+  engine::QueryEngine reference_engine;
+  std::vector<std::vector<AABB>> client0_queries;
+  std::vector<engine::QueryBatchResult> client0_expected(
+      static_cast<size_t>(config.requests_per_client));
+  {
+    QueryGenerator gen(mesh);
+    Rng rng(0xBE7C);
+    for (int r = 0; r < config.requests_per_client; ++r) {
+      client0_queries.push_back(gen.MakeQueries(
+          &rng, config.queries_per_request, 0.0011, 0.0018));
+      reference_engine.Execute(reference, mesh, client0_queries.back(),
+                               &client0_expected[r]);
+    }
+  }
+
+  BenchOutcome outcome;
+  std::vector<std::thread> clients;
+  // char, not bool: vector<bool> is bit-packed and concurrent writes
+  // from client threads would race on shared bytes.
+  std::vector<char> client_ok(static_cast<size_t>(config.clients), 1);
+  Timer wall;
+  for (int c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      auto connected =
+          client::RemoteClient::Connect("127.0.0.1", srv.port());
+      if (!connected.ok()) {
+        client_ok[c] = 0;
+        return;
+      }
+      QueryGenerator gen(mesh);
+      Rng rng(0xBE7C + static_cast<uint64_t>(c));
+      for (int r = 0; r < config.requests_per_client; ++r) {
+        const std::vector<AABB> queries =
+            c == 0 ? client0_queries[r]
+                   : gen.MakeQueries(&rng, config.queries_per_request,
+                                     0.0011, 0.0018);
+        auto result = connected.Value()->ExecuteBatch(queries);
+        if (!result.ok()) {
+          client_ok[c] = 0;
+          return;
+        }
+        if (c == 0) {
+          // Loopback parity against the precomputed in-process results.
+          for (size_t q = 0; q < queries.size(); ++q) {
+            if (result.Value().results.per_query[q] !=
+                client0_expected[r].per_query[q]) {
+              client_ok[c] = 0;
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  outcome.wall_seconds = wall.ElapsedSeconds();
+
+  srv.Stop();
+  server_thread.join();
+  outcome.metrics = srv.metrics();
+  for (const char ok : client_ok) outcome.parity_ok &= (ok != 0);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  namespace bench = octopus::bench;
+  const double scale = bench::ScaleFromEnv();
+
+  auto mesh_result = MakeNeuroMesh(0, 0.5 * scale);
+  if (!mesh_result.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 mesh_result.status().ToString().c_str());
+    return 1;
+  }
+  const TetraMesh& mesh = mesh_result.Value();
+  std::printf("OCTOPUS network query service — loopback bench (%zu "
+              "vertices)\n\n",
+              mesh.num_vertices());
+
+  const std::string snapshot_path = "bench_server_tmp.oct2";
+  const Status saved =
+      SaveSnapshot(mesh, snapshot_path,
+                   storage::SnapshotOptions{.page_bytes = 4096});
+  if (!saved.ok()) {
+    std::fprintf(stderr, "snapshot: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<BenchConfig> configs = {
+      {"loopback_1client", 1, 32, 16, false},
+      {"loopback_4clients", 4, 16, 16, false},
+      {"loopback_8clients", 8, 8, 16, false},
+      {"loopback_8clients_paged", 8, 8, 16, true},
+  };
+
+  Table table("bench_server — loopback service throughput");
+  table.SetHeader({"config", "queries", "queries/s", "p50 [us]",
+                   "p95 [us]", "p99 [us]", "coalesce", "parity"});
+  bench::JsonWriter json;
+  bool all_parity_ok = true;
+  for (const BenchConfig& config : configs) {
+    const BenchOutcome outcome = RunConfig(config, mesh, snapshot_path);
+    const server::ServerMetrics& m = outcome.metrics;
+    const double qps =
+        outcome.wall_seconds > 0
+            ? static_cast<double>(m.queries_executed) / outcome.wall_seconds
+            : 0.0;
+    const double p50 =
+        static_cast<double>(m.request_latency.PercentileNanos(0.50)) / 1e3;
+    const double p95 =
+        static_cast<double>(m.request_latency.PercentileNanos(0.95)) / 1e3;
+    const double p99 =
+        static_cast<double>(m.request_latency.PercentileNanos(0.99)) / 1e3;
+    all_parity_ok &= outcome.parity_ok;
+
+    table.AddRow({config.name, Table::Count(m.queries_executed),
+                  Table::Num(qps, 0), Table::Num(p50, 0),
+                  Table::Num(p95, 0), Table::Num(p99, 0),
+                  Table::Num(m.CoalesceFactor(), 2),
+                  outcome.parity_ok ? "ok" : "MISMATCH"});
+
+    json.BeginObject();
+    json.Field("name", config.name);
+    json.Field("clients", static_cast<int64_t>(config.clients));
+    json.Field("requests_per_client",
+               static_cast<int64_t>(config.requests_per_client));
+    json.Field("queries_per_request",
+               static_cast<int64_t>(config.queries_per_request));
+    json.Field("paged", static_cast<int64_t>(config.paged ? 1 : 0));
+    json.Field("queries_executed",
+               static_cast<int64_t>(m.queries_executed));
+    json.Field("batches_executed",
+               static_cast<int64_t>(m.batches_executed));
+    json.Field("coalesce_factor", m.CoalesceFactor());
+    json.Field("wall_seconds", outcome.wall_seconds);
+    json.Field("queries_per_sec", qps);
+    json.Field("latency_p50_us", p50);
+    json.Field("latency_p95_us", p95);
+    json.Field("latency_p99_us", p99);
+    json.Field("page_hits",
+               static_cast<int64_t>(m.engine_total.page_io.page_hits));
+    json.Field("page_misses",
+               static_cast<int64_t>(m.engine_total.page_io.page_misses));
+    json.Field("parity_ok",
+               static_cast<int64_t>(outcome.parity_ok ? 1 : 0));
+    json.EndObject();
+  }
+  table.Print();
+  std::printf(
+      "\nCoalesce factor = queries per engine batch; > %d means the "
+      "scheduler folded requests\nfrom different connections into one "
+      "probe->walk->crawl sweep. Parity compares client-0\nresult sets "
+      "against the in-process engine, bit for bit.\n",
+      16);
+
+  std::remove(snapshot_path.c_str());
+  if (!json.WriteTo("BENCH_server.json")) {
+    std::fprintf(stderr, "failed to write BENCH_server.json\n");
+    return 1;
+  }
+  std::printf("\nwrote BENCH_server.json (%zu records)\n",
+              json.num_objects());
+  return all_parity_ok ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Blocking client library for the OCTP query service: connect +
+// handshake, send query batches, receive demultiplexed results and
+// server stats. One instance per connection, not thread-safe (open one
+// client per driving thread — the server coalesces across connections).
+#ifndef OCTOPUS_CLIENT_REMOTE_CLIENT_H_
+#define OCTOPUS_CLIENT_REMOTE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/aabb.h"
+#include "common/status.h"
+#include "engine/query_batch.h"
+#include "server/protocol.h"
+
+namespace octopus::client {
+
+/// Result of one remote batch: per-query result sets in request order
+/// plus the executing batch's stats (see `server::BatchStatsWire` for
+/// the coalescing caveat).
+struct RemoteBatchResult {
+  engine::QueryBatchResult results;
+  server::BatchStatsWire stats;
+};
+
+struct RemoteClientOptions {
+  /// Socket receive/send timeout; 0 disables (block forever).
+  int64_t io_timeout_nanos = 30'000'000'000;
+};
+
+class RemoteClient {
+ public:
+  using Options = RemoteClientOptions;
+
+  /// Connects to `host:port` (IPv4 literal or resolvable name) and
+  /// performs the OCTP handshake.
+  static Result<std::unique_ptr<RemoteClient>> Connect(
+      const std::string& host, uint16_t port,
+      const Options& options = Options());
+
+  ~RemoteClient();
+
+  RemoteClient(const RemoteClient&) = delete;
+  RemoteClient& operator=(const RemoteClient&) = delete;
+
+  /// What the server reported in its WELCOME frame.
+  const server::WelcomeFrame& server_info() const { return welcome_; }
+
+  /// Executes `boxes` remotely; blocks until the RESULT arrives. An
+  /// OVERLOADED rejection surfaces as `ResourceExhausted` (the
+  /// connection stays usable); other error frames and transport
+  /// failures surface as their mapped Status and poison the connection.
+  Result<RemoteBatchResult> ExecuteBatch(std::span<const AABB> boxes);
+
+  /// Fetches the server's metrics snapshot.
+  Result<server::ServerStatsWire> FetchStats();
+
+  void Close();
+
+ private:
+  explicit RemoteClient(int fd) : fd_(fd) {}
+
+  Status SendAll(const server::Buffer& data);
+  /// Reads exactly one frame (header + payload) into `payload`/`type`.
+  Status ReadFrame(server::FrameType* type, server::Buffer* payload);
+  /// Maps an ERROR frame to a Status (and closes unless it is a
+  /// request-scoped overload rejection).
+  Status StatusFromError(const server::ErrorFrame& error);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  server::WelcomeFrame welcome_;
+};
+
+}  // namespace octopus::client
+
+#endif  // OCTOPUS_CLIENT_REMOTE_CLIENT_H_

@@ -24,6 +24,7 @@ class Status {
     kNotFound,
     kCorruption,
     kUnimplemented,
+    kResourceExhausted,
   };
 
   Status() : code_(Code::kOk) {}
@@ -43,6 +44,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(Code::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }
@@ -70,6 +74,9 @@ class Status {
         break;
       case Code::kUnimplemented:
         name = "Unimplemented";
+        break;
+      case Code::kResourceExhausted:
+        name = "ResourceExhausted";
         break;
     }
     return std::string(name) + ": " + message_;

@@ -1,0 +1,15 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Single source of truth for the library/CLI version string, so tools
+// can answer `--version` without inventing their own numbers.
+#ifndef OCTOPUS_COMMON_VERSION_H_
+#define OCTOPUS_COMMON_VERSION_H_
+
+namespace octopus {
+
+/// Library version, bumped per PR milestone: 0.1 batched engine,
+/// 0.2 out-of-core storage, 0.3 network query service.
+inline constexpr const char kVersionString[] = "0.3.0";
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_COMMON_VERSION_H_

@@ -1,0 +1,55 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "server/backend.h"
+
+#include <utility>
+
+#include "mesh/mesh_io.h"
+
+namespace octopus::server {
+
+Result<std::unique_ptr<QueryBackend>> QueryBackend::OpenMeshFile(
+    const std::string& path, int threads) {
+  auto mesh = LoadMesh(path);
+  if (!mesh.ok()) return mesh.status();
+  return FromMesh(mesh.MoveValue(), threads);
+}
+
+std::unique_ptr<QueryBackend> QueryBackend::FromMesh(TetraMesh mesh,
+                                                     int threads) {
+  std::unique_ptr<QueryBackend> backend(new QueryBackend(threads));
+  backend->mesh_ = std::make_unique<TetraMesh>(std::move(mesh));
+  backend->octopus_ = std::make_unique<Octopus>();
+  backend->octopus_->Build(*backend->mesh_);
+  backend->num_vertices_ = backend->mesh_->num_vertices();
+  return backend;
+}
+
+Result<std::unique_ptr<QueryBackend>> QueryBackend::OpenSnapshot(
+    const std::string& path, size_t pool_bytes, int threads) {
+  PagedOctopus::Options options;
+  options.pool.pool_bytes = pool_bytes;
+  auto paged = PagedOctopus::Open(path, options);
+  if (!paged.ok()) return paged.status();
+  std::unique_ptr<QueryBackend> backend(new QueryBackend(threads));
+  backend->paged_ = paged.MoveValue();
+  backend->num_vertices_ =
+      backend->paged_->store().header().num_vertices;
+  backend->page_bytes_ = backend->paged_->store().header().page_bytes;
+  return backend;
+}
+
+void QueryBackend::Execute(std::span<const AABB> boxes,
+                           engine::QueryBatchResult* out,
+                           PhaseStats* batch_stats) {
+  if (paged_ != nullptr) {
+    paged_->ResetStats();
+    engine_.Execute(*paged_, boxes, out);
+    *batch_stats = paged_->stats();
+  } else {
+    octopus_->ResetStats();
+    engine_.Execute(*octopus_, *mesh_, boxes, out);
+    *batch_stats = octopus_->stats();
+  }
+}
+
+}  // namespace octopus::server

@@ -1,0 +1,69 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// The server's query backend: one OCTOPUS executor — in-memory mesh or
+// paged OCT2 snapshot — plus the `QueryEngine` that runs coalesced
+// batches on it. Isolates the event loop from every storage/engine
+// detail: the loop hands it boxes, gets per-query results and the
+// batch's `PhaseStats` delta back.
+#ifndef OCTOPUS_SERVER_BACKEND_H_
+#define OCTOPUS_SERVER_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "engine/query_engine.h"
+#include "mesh/tetra_mesh.h"
+#include "octopus/paged_executor.h"
+#include "octopus/query_executor.h"
+
+namespace octopus::server {
+
+/// \brief Executes query batches for the server, over either backing
+/// store. Single-threaded interface (the event loop is the only caller);
+/// internal query parallelism comes from the engine's thread pool.
+class QueryBackend {
+ public:
+  /// In-memory backend over an OCT1 mesh file (loads + builds the
+  /// surface index).
+  static Result<std::unique_ptr<QueryBackend>> OpenMeshFile(
+      const std::string& path, int threads);
+
+  /// In-memory backend over an already-built mesh (tests, benches).
+  static std::unique_ptr<QueryBackend> FromMesh(TetraMesh mesh,
+                                                int threads);
+
+  /// Out-of-core backend over an OCT2 snapshot with a byte-capped pool.
+  static Result<std::unique_ptr<QueryBackend>> OpenSnapshot(
+      const std::string& path, size_t pool_bytes, int threads);
+
+  /// Executes one coalesced batch; `batch_stats` receives exactly this
+  /// batch's stats (the executor's counters are reset per batch, so the
+  /// delta is deterministic and, for a single-request batch, identical
+  /// to an in-process run of the same queries).
+  void Execute(std::span<const AABB> boxes, engine::QueryBatchResult* out,
+               PhaseStats* batch_stats);
+
+  bool paged() const { return paged_ != nullptr; }
+  uint64_t num_vertices() const { return num_vertices_; }
+  /// Snapshot page size; 0 for the in-memory backend.
+  uint32_t page_bytes() const { return page_bytes_; }
+  int threads() const { return engine_.threads(); }
+
+ private:
+  QueryBackend(int threads)
+      : engine_(engine::QueryEngineOptions{.threads = threads}) {}
+
+  engine::QueryEngine engine_;
+  // Exactly one of the two backends is set.
+  std::unique_ptr<TetraMesh> mesh_;
+  std::unique_ptr<Octopus> octopus_;
+  std::unique_ptr<PagedOctopus> paged_;
+  uint64_t num_vertices_ = 0;
+  uint32_t page_bytes_ = 0;
+};
+
+}  // namespace octopus::server
+
+#endif  // OCTOPUS_SERVER_BACKEND_H_

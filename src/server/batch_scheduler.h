@@ -1,0 +1,117 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Cross-client batch coalescing: the scheduler collects range-query
+// requests arriving from many connections and folds them into one
+// `engine::QueryBatch` when either (a) the oldest pending request's
+// coalescing window expires or (b) enough queries have accumulated —
+// then executes once on the backend and demultiplexes per-request
+// results. This is where the paper's "tens to hundreds of queries per
+// time step" batching meets a multi-tenant server: concurrent monitoring
+// clients share one probe->walk->crawl sweep per window instead of one
+// per request.
+//
+// Driven entirely by the server's event loop (no threads of its own):
+// the loop asks `NanosUntilDue` to size its poll timeout and calls
+// `ExecuteReady` whenever the scheduler says a batch is due.
+#ifndef OCTOPUS_SERVER_BATCH_SCHEDULER_H_
+#define OCTOPUS_SERVER_BATCH_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/aabb.h"
+#include "engine/query_batch.h"
+#include "server/backend.h"
+#include "server/metrics.h"
+#include "server/protocol.h"
+
+namespace octopus::server {
+
+struct SchedulerOptions {
+  /// Coalescing window: a pending request executes at latest this long
+  /// after it arrived. 0 = execute as soon as the loop drains its
+  /// sockets (still coalescing whatever arrived in the same poll round).
+  int64_t window_nanos = 2'000'000;  // 2 ms
+  /// A batch executes early once it holds at least this many queries.
+  /// Whole requests are packed; a single request larger than the cap
+  /// executes alone (the cap tunes coalescing, it is not a protocol
+  /// limit).
+  size_t max_batch_queries = 1024;
+  /// Admission bound: total queries waiting to execute. Requests that
+  /// would exceed it are rejected with an OVERLOADED error frame —
+  /// except into an empty queue, which always admits, so a single
+  /// request larger than the bound is served alone instead of being
+  /// rejected forever.
+  size_t max_pending_queries = 8192;
+};
+
+/// One client request waiting for execution.
+struct PendingRequest {
+  uint64_t session_id = 0;
+  uint64_t request_id = 0;
+  std::vector<AABB> boxes;
+  int64_t arrival_nanos = 0;  ///< event-loop monotonic clock
+};
+
+/// One executed request, ready to encode as a RESULT frame.
+struct CompletedRequest {
+  uint64_t session_id = 0;
+  uint64_t request_id = 0;
+  int64_t arrival_nanos = 0;
+  BatchStatsWire stats;  ///< stats of the coalesced batch that served it
+  /// The request's slice of the batch results, in request query order.
+  std::vector<std::vector<VertexId>> per_query;
+};
+
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(SchedulerOptions options) : options_(options) {}
+
+  const SchedulerOptions& options() const { return options_; }
+
+  /// Admission control: accepts the request into the pending queue, or
+  /// returns false (queue full — caller sends OVERLOADED) leaving the
+  /// queue untouched. Zero-query requests are accepted (they complete
+  /// with an empty result at the next execution point).
+  bool Enqueue(PendingRequest request);
+
+  bool HasPending() const { return !pending_.empty(); }
+  size_t pending_queries() const { return pending_query_count_; }
+
+  /// Nanoseconds until the oldest pending request's window expires;
+  /// <= 0 means a batch is due now, -1 means nothing is pending.
+  int64_t NanosUntilDue(int64_t now_nanos) const;
+
+  /// True when `ExecuteReady` would execute at least one batch now
+  /// (window expired or the size trigger reached).
+  bool ShouldExecute(int64_t now_nanos) const;
+
+  /// Packs pending requests (FIFO, whole requests, up to the size cap)
+  /// into one batch, executes it on `backend`, and appends one
+  /// `CompletedRequest` per packed request to `completed`. Updates
+  /// `metrics` (batch/query counters + engine totals). Call in a loop
+  /// while `ShouldExecute` — one call executes exactly one batch.
+  void ExecuteReady(QueryBackend* backend,
+                    std::vector<CompletedRequest>* completed,
+                    ServerMetrics* metrics);
+
+  /// Drops every pending request of a disconnected session so its
+  /// queries are not executed for nobody.
+  void DropSession(uint64_t session_id);
+
+  /// True while any pending request belongs to `session_id` (used to
+  /// keep a half-closed session alive until it has been answered).
+  bool HasPendingFor(uint64_t session_id) const;
+
+ private:
+  SchedulerOptions options_;
+  std::deque<PendingRequest> pending_;
+  size_t pending_query_count_ = 0;
+  // Scratch reused across batches.
+  engine::QueryBatch batch_;
+  engine::QueryBatchResult batch_results_;
+};
+
+}  // namespace octopus::server
+
+#endif  // OCTOPUS_SERVER_BATCH_SCHEDULER_H_

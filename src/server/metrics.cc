@@ -1,0 +1,57 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "server/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+namespace octopus::server {
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  const int bucket =
+      nanos == 0 ? 0 : std::bit_width(nanos) - 1;  // floor(log2)
+  buckets_[bucket < kBuckets ? bucket : kBuckets - 1] += 1;
+  ++count_;
+  if (nanos > max_nanos_) max_nanos_ = nanos;
+}
+
+uint64_t LatencyHistogram::PercentileNanos(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the quantile sample, 1-based (nearest-rank definition:
+  // ceil(p * n), clamped to [1, n]).
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const uint64_t upper = (uint64_t{2} << i) - 1;  // bucket upper bound
+      return upper < max_nanos_ ? upper : max_nanos_;
+    }
+  }
+  return max_nanos_;
+}
+
+ServerStatsWire ServerMetrics::ToWire() const {
+  ServerStatsWire w;
+  w.connections_accepted = connections_accepted;
+  w.connections_active = connections_active();
+  w.frames_received = frames_received;
+  w.malformed_frames = malformed_frames;
+  w.queries_received = queries_received;
+  w.queries_rejected = queries_rejected;
+  w.queries_executed = queries_executed;
+  w.batches_executed = batches_executed;
+  w.latency_p50_nanos = request_latency.PercentileNanos(0.50);
+  w.latency_p95_nanos = request_latency.PercentileNanos(0.95);
+  w.latency_p99_nanos = request_latency.PercentileNanos(0.99);
+  w.page_hits = engine_total.page_io.page_hits;
+  w.page_misses = engine_total.page_io.page_misses;
+  w.page_evictions = engine_total.page_io.page_evictions;
+  return w;
+}
+
+}  // namespace octopus::server

@@ -1,0 +1,75 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Server-side observability: plain counters plus a log-bucketed latency
+// histogram. Owned and mutated exclusively by the server's event-loop
+// thread (single-writer, no atomics); readers either ask over the wire
+// (STATS frame) or inspect the server object after `Run` returns.
+#ifndef OCTOPUS_SERVER_METRICS_H_
+#define OCTOPUS_SERVER_METRICS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "octopus/phase_stats.h"
+#include "server/protocol.h"
+
+namespace octopus::server {
+
+/// \brief Power-of-two-bucketed latency histogram.
+///
+/// Bucket i counts samples with floor(log2(nanos)) == i (bucket 0 also
+/// takes 0 ns). Percentile lookups return the upper bound of the bucket
+/// the rank falls into — at most 2x off, which is plenty to distinguish
+/// "microseconds" from "milliseconds" without storing samples.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 63;
+
+  void Record(uint64_t nanos);
+
+  uint64_t count() const { return count_; }
+  uint64_t max_nanos() const { return max_nanos_; }
+
+  /// Upper bound of the bucket holding the `p`-quantile sample
+  /// (p in [0, 1]); 0 when empty.
+  uint64_t PercentileNanos(double p) const;
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_ = {};
+  uint64_t count_ = 0;
+  uint64_t max_nanos_ = 0;
+};
+
+/// \brief All server counters, single-writer (the event loop).
+struct ServerMetrics {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;
+  uint64_t malformed_frames = 0;
+  uint64_t queries_received = 0;
+  uint64_t queries_rejected = 0;
+  uint64_t queries_executed = 0;
+  uint64_t batches_executed = 0;
+  uint64_t results_sent = 0;
+  uint64_t errors_sent = 0;
+  /// Request arrival (frame fully parsed) to response enqueue.
+  LatencyHistogram request_latency;
+  /// Engine stats accumulated across every executed batch, including
+  /// page-I/O counters when the backend is paged.
+  PhaseStats engine_total;
+
+  uint64_t connections_active() const {
+    return connections_accepted - connections_closed;
+  }
+  double CoalesceFactor() const {
+    return batches_executed == 0
+               ? 0.0
+               : static_cast<double>(queries_executed) /
+                     static_cast<double>(batches_executed);
+  }
+
+  ServerStatsWire ToWire() const;
+};
+
+}  // namespace octopus::server
+
+#endif  // OCTOPUS_SERVER_METRICS_H_

@@ -1,0 +1,190 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// The OCTP wire protocol: length-prefixed binary frames exchanged between
+// the query server and its clients. Everything on the wire is
+// little-endian with explicit field widths (see docs/PROTOCOL.md for the
+// normative layout); encoding and decoding are symmetric free functions
+// over byte buffers, so the server, the client library, tests and fuzzers
+// all share one implementation and malformed input surfaces as a
+// `Status`, never as UB.
+#ifndef OCTOPUS_SERVER_PROTOCOL_H_
+#define OCTOPUS_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/aabb.h"
+#include "common/status.h"
+#include "engine/query_batch.h"
+#include "octopus/phase_stats.h"
+
+namespace octopus::server {
+
+/// "OCTP" — first field of the HELLO frame; anything else on a fresh
+/// connection is rejected as a non-protocol peer.
+inline constexpr uint32_t kProtocolMagic = 0x4F435450;
+
+/// Bumped on any incompatible frame-layout change; the server rejects
+/// mismatched clients in the handshake.
+inline constexpr uint16_t kProtocolVersion = 1;
+
+/// Every frame starts with this fixed-size header.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Hard cap on a single frame's payload. Frames announcing more are
+/// rejected as malformed before any allocation happens (a 4-byte length
+/// prefix must never let a peer request a 4 GB buffer).
+inline constexpr uint32_t kMaxFramePayloadBytes = 16u << 20;
+
+enum class FrameType : uint8_t {
+  kHello = 1,         ///< client -> server: magic, version
+  kWelcome = 2,       ///< server -> client: accepted handshake + backend info
+  kQueryBatch = 3,    ///< client -> server: request id + AABB queries
+  kResult = 4,        ///< server -> client: per-query results + batch stats
+  kStatsRequest = 5,  ///< client -> server: empty payload
+  kStats = 6,         ///< server -> client: server metrics snapshot
+  kError = 7,         ///< server -> client: typed error, optional request id
+};
+
+/// Typed error codes carried by kError frames.
+enum class ErrorCode : uint16_t {
+  kBadMagic = 1,         ///< first frame's magic was not "OCTP"
+  kVersionMismatch = 2,  ///< client protocol version unsupported
+  kMalformedFrame = 3,   ///< frame failed to parse (connection is closed)
+  kFrameTooLarge = 4,    ///< announced payload above kMaxFramePayloadBytes
+  kUnexpectedFrame = 5,  ///< frame type invalid in this session state
+  kOverloaded = 6,       ///< admission control rejected the request
+  kShuttingDown = 7,     ///< server is draining; request not accepted
+  kInternal = 8,         ///< server-side failure executing the request
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+/// Growable byte buffer frames are encoded into / decoded from.
+using Buffer = std::vector<uint8_t>;
+
+struct FrameHeader {
+  uint32_t payload_bytes = 0;
+  FrameType type = FrameType::kHello;
+};
+
+struct HelloFrame {
+  uint32_t magic = kProtocolMagic;
+  uint16_t version = kProtocolVersion;
+  uint16_t flags = 0;  ///< reserved, must be zero
+};
+
+/// Server self-description sent after a successful handshake.
+struct WelcomeFrame {
+  uint16_t version = kProtocolVersion;
+  uint8_t paged = 0;  ///< 1 = out-of-core OCT2 backend, 0 = in-memory
+  uint64_t num_vertices = 0;
+  uint32_t page_bytes = 0;  ///< 0 for the in-memory backend
+  /// Coalescing cap: batches above this execute alone, so clients that
+  /// care about latency should split requests at this size.
+  uint32_t max_batch_queries = 0;
+};
+
+/// Per-batch execution statistics attached to every RESULT frame: the
+/// engine's `PhaseStats` of the coalesced batch that served the request,
+/// plus how big that batch was. With a single active client the batch
+/// contains exactly the request's queries and the counters equal the
+/// in-process engine's; under coalescing they are batch-scoped.
+struct BatchStatsWire {
+  int64_t probe_nanos = 0;
+  int64_t walk_nanos = 0;
+  int64_t crawl_nanos = 0;
+  uint64_t queries = 0;
+  uint64_t probed_vertices = 0;
+  uint64_t walk_invocations = 0;
+  uint64_t walk_vertices = 0;
+  uint64_t crawl_edges = 0;
+  uint64_t result_vertices = 0;
+  uint64_t page_hits = 0;
+  uint64_t page_misses = 0;
+  uint64_t page_evictions = 0;
+  uint32_t batch_queries = 0;   ///< queries in the coalesced batch
+  uint32_t batch_requests = 0;  ///< client requests coalesced into it
+
+  static BatchStatsWire FromPhaseStats(const PhaseStats& stats,
+                                       uint32_t batch_queries,
+                                       uint32_t batch_requests);
+  PhaseStats ToPhaseStats() const;
+};
+
+/// Server metrics snapshot carried by the STATS frame.
+struct ServerStatsWire {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t frames_received = 0;
+  uint64_t malformed_frames = 0;
+  uint64_t queries_received = 0;
+  uint64_t queries_rejected = 0;  ///< admission-control rejections
+  uint64_t queries_executed = 0;
+  uint64_t batches_executed = 0;
+  uint64_t latency_p50_nanos = 0;  ///< request arrival -> response enqueue
+  uint64_t latency_p95_nanos = 0;
+  uint64_t latency_p99_nanos = 0;
+  uint64_t page_hits = 0;  ///< totals across every executed batch
+  uint64_t page_misses = 0;
+  uint64_t page_evictions = 0;
+
+  /// Mean queries per executed batch (0 when nothing executed yet).
+  double CoalesceFactor() const {
+    return batches_executed == 0
+               ? 0.0
+               : static_cast<double>(queries_executed) /
+                     static_cast<double>(batches_executed);
+  }
+};
+
+struct ErrorFrame {
+  ErrorCode code = ErrorCode::kInternal;
+  /// Request the error refers to; 0 for connection-level errors.
+  uint64_t request_id = 0;
+  std::string message;
+};
+
+// --- Encoding: appends one complete frame (header + payload) ---
+
+void AppendHello(Buffer* out, const HelloFrame& hello);
+void AppendWelcome(Buffer* out, const WelcomeFrame& welcome);
+void AppendQueryBatch(Buffer* out, uint64_t request_id,
+                      std::span<const AABB> boxes);
+/// `per_query` are the request's result slots, in request query order.
+void AppendResult(Buffer* out, uint64_t request_id,
+                  const BatchStatsWire& stats,
+                  std::span<const std::vector<VertexId>> per_query);
+void AppendStatsRequest(Buffer* out);
+void AppendStats(Buffer* out, const ServerStatsWire& stats);
+void AppendError(Buffer* out, const ErrorFrame& error);
+
+// --- Decoding ---
+
+/// Parses the fixed header from the first `kFrameHeaderBytes` of `data`
+/// (which must hold at least that many bytes). Rejects unknown frame
+/// types (InvalidArgument) and payloads above `kMaxFramePayloadBytes`
+/// (ResourceExhausted, so callers can answer FRAME_TOO_LARGE).
+Result<FrameHeader> ParseFrameHeader(std::span<const uint8_t> data);
+
+/// Exact RESULT payload size for a request of these result sets — lets
+/// the server check against `kMaxFramePayloadBytes` before encoding.
+size_t ResultPayloadBytes(
+    std::span<const std::vector<VertexId>> per_query);
+
+/// Each parser consumes exactly one frame's payload (not the header) and
+/// fails with InvalidArgument on any size/content mismatch.
+Status ParseHello(std::span<const uint8_t> payload, HelloFrame* out);
+Status ParseWelcome(std::span<const uint8_t> payload, WelcomeFrame* out);
+Status ParseQueryBatch(std::span<const uint8_t> payload,
+                       uint64_t* request_id, std::vector<AABB>* boxes);
+Status ParseResult(std::span<const uint8_t> payload, uint64_t* request_id,
+                   BatchStatsWire* stats,
+                   std::vector<std::vector<VertexId>>* per_query);
+Status ParseStats(std::span<const uint8_t> payload, ServerStatsWire* out);
+Status ParseError(std::span<const uint8_t> payload, ErrorFrame* out);
+
+}  // namespace octopus::server
+
+#endif  // OCTOPUS_SERVER_PROTOCOL_H_

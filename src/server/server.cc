@@ -1,0 +1,539 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace octopus::server {
+namespace {
+
+constexpr size_t kReadChunkBytes = 64 * 1024;
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+/// Per-connection state: socket, framing buffer, pending writes.
+struct QueryServer::Session {
+  uint64_t id = 0;
+  int fd = -1;
+  bool handshaken = false;
+  /// Set after a fatal protocol error: pending output (the error frame)
+  /// is flushed, further input is ignored, then the socket closes.
+  bool close_after_flush = false;
+  /// Peer sent EOF (or the read side failed). Frames already buffered
+  /// are still parsed and their responses delivered; the session closes
+  /// once nothing is pending for it.
+  bool read_closed = false;
+  Buffer in;           ///< received, not yet parsed
+  Buffer out;          ///< encoded, not yet sent
+  size_t out_offset = 0;  ///< bytes of `out` already sent
+
+  bool WantsWrite() const { return out_offset < out.size(); }
+};
+
+QueryServer::QueryServer(std::unique_ptr<QueryBackend> backend,
+                         ServerOptions options)
+    : backend_(std::move(backend)),
+      options_(std::move(options)),
+      scheduler_(options_.scheduler) {}
+
+QueryServer::~QueryServer() {
+  for (auto& [id, session] : sessions_) {
+    if (session->fd >= 0) close(session->fd);
+  }
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_fd_read_ >= 0) close(wake_fd_read_);
+  if (wake_fd_write_ >= 0) close(wake_fd_write_);
+}
+
+int64_t QueryServer::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status QueryServer::Start() {
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) return Errno("pipe");
+  wake_fd_read_ = pipe_fds[0];
+  wake_fd_write_ = pipe_fds[1];
+  if (!SetNonBlocking(wake_fd_read_) || !SetNonBlocking(wake_fd_write_)) {
+    return Errno("fcntl(wake pipe)");
+  }
+  return Listen();
+}
+
+Status QueryServer::Listen() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind " + options_.bind_address + ":" +
+                 std::to_string(options_.port));
+  }
+  if (listen(listen_fd_, options_.backlog) != 0) return Errno("listen");
+  if (!SetNonBlocking(listen_fd_)) return Errno("fcntl(listener)");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+void QueryServer::Stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_fd_write_ >= 0) {
+    const char byte = 1;
+    // Best effort: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] const ssize_t n = write(wake_fd_write_, &byte, 1);
+  }
+}
+
+Status QueryServer::Run() {
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> fd_session;  // session id per pollfd slot
+
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fd_session.clear();
+    fds.push_back({wake_fd_read_, POLLIN, 0});
+    fd_session.push_back(0);
+    const int64_t now = NowNanos();
+    const bool accepting = sessions_.size() < options_.max_connections &&
+                           now >= accept_retry_at_nanos_;
+    if (accepting) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      fd_session.push_back(0);
+    }
+    for (const auto& [id, session] : sessions_) {
+      short events = 0;
+      // Backpressure: stop reading (and thus admitting) from a session
+      // whose responses it is not consuming.
+      if (!session->close_after_flush && !session->read_closed &&
+          session->out.size() - session->out_offset <
+              options_.max_session_out_bytes) {
+        events |= POLLIN;
+      }
+      if (session->WantsWrite()) events |= POLLOUT;
+      fds.push_back({session->fd, events, 0});
+      fd_session.push_back(id);
+    }
+
+    int64_t due = scheduler_.NanosUntilDue(now);
+    if (!accepting && accept_retry_at_nanos_ > now) {
+      // Wake in time to resume accepting even if nothing else happens.
+      const int64_t retry_in = accept_retry_at_nanos_ - now;
+      due = due < 0 ? retry_in : std::min(due, retry_in);
+    }
+    int timeout_ms = -1;
+    if (due >= 0) {
+      // Round up so we never spin on a sub-millisecond remainder.
+      timeout_ms = static_cast<int>((due + 999'999) / 1'000'000);
+    }
+
+    const int ready = poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (fds[i].fd == wake_fd_read_) {
+        char buf[64];
+        while (read(wake_fd_read_, buf, sizeof(buf)) > 0) {
+        }
+      } else if (fds[i].fd == listen_fd_ && accepting) {
+        AcceptNew();
+      } else if (fd_session[i] != 0) {
+        auto it = sessions_.find(fd_session[i]);
+        if (it == sessions_.end()) continue;
+        Session* session = it->second.get();
+        if ((fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+            (fds[i].revents & POLLIN) == 0) {
+          closed_scratch_.push_back(session->id);
+          continue;
+        }
+        if ((fds[i].revents & POLLIN) != 0) ReadSession(session);
+      }
+    }
+    for (const uint64_t id : closed_scratch_) CloseSession(id);
+    closed_scratch_.clear();
+
+    // Coalescing point: execute every batch whose window has expired
+    // (or that hit the size trigger while sockets were drained).
+    ExecuteDueBatches(NowNanos());
+
+    // Opportunistic flush of everything with pending output; POLLOUT is
+    // only needed when the socket buffer pushes back.
+    for (auto& [id, session] : sessions_) {
+      if (session->WantsWrite() || session->close_after_flush) {
+        FlushSession(session.get());
+      }
+    }
+    for (const uint64_t id : closed_scratch_) CloseSession(id);
+    closed_scratch_.clear();
+  }
+
+  DrainAndClose();
+  return Status::OK();
+}
+
+void QueryServer::AcceptNew() {
+  while (sessions_.size() < options_.max_connections) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Per-connection failures (peer aborted before we accepted):
+      // skip that connection and keep accepting.
+      if (errno == ECONNABORTED || errno == ECONNRESET ||
+          errno == EPROTO) {
+        continue;
+      }
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        // Persistent failure (EMFILE/ENFILE/...): the pending
+        // connection stays in the backlog and the listener stays
+        // readable, so back off briefly instead of busy-spinning.
+        accept_retry_at_nanos_ = NowNanos() + 100'000'000;
+      }
+      return;
+    }
+    if (!SetNonBlocking(fd)) {
+      close(fd);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto session = std::make_unique<Session>();
+    session->id = next_session_id_++;
+    session->fd = fd;
+    metrics_.connections_accepted += 1;
+    sessions_.emplace(session->id, std::move(session));
+  }
+}
+
+void QueryServer::ReadSession(Session* session) {
+  while (true) {
+    const size_t old_size = session->in.size();
+    session->in.resize(old_size + kReadChunkBytes);
+    const ssize_t n =
+        recv(session->fd, session->in.data() + old_size, kReadChunkBytes, 0);
+    if (n > 0) {
+      session->in.resize(old_size + static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < kReadChunkBytes) break;
+      continue;
+    }
+    session->in.resize(old_size);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // EOF (or read error): no more input, but frames already buffered
+    // in this burst must still be parsed and answered — a peer may
+    // legitimately write its requests and half-close while reading.
+    session->read_closed = true;
+    break;
+  }
+
+  // Parse every complete frame accumulated so far.
+  size_t consumed = 0;
+  while (!session->close_after_flush &&
+         session->in.size() - consumed >= kFrameHeaderBytes) {
+    const std::span<const uint8_t> rest(session->in.data() + consumed,
+                                        session->in.size() - consumed);
+    auto header = ParseFrameHeader(rest);
+    if (!header.ok()) {
+      metrics_.malformed_frames += 1;
+      const ErrorCode code =
+          header.status().code() == Status::Code::kResourceExhausted
+              ? ErrorCode::kFrameTooLarge
+              : ErrorCode::kMalformedFrame;
+      SendError(session, code, 0, header.status().message(),
+                /*close_connection=*/true);
+      break;
+    }
+    const size_t frame_bytes =
+        kFrameHeaderBytes + header.Value().payload_bytes;
+    if (rest.size() < frame_bytes) break;  // incomplete frame
+    metrics_.frames_received += 1;
+    HandleFrame(session, header.Value().type,
+                rest.subspan(kFrameHeaderBytes,
+                             header.Value().payload_bytes));
+    consumed += frame_bytes;
+  }
+  if (consumed > 0) {
+    session->in.erase(session->in.begin(),
+                      session->in.begin() + static_cast<ptrdiff_t>(consumed));
+  }
+  // After EOF the session lives only to deliver what it is still owed;
+  // with nothing pending anywhere, close now (FlushSession handles the
+  // pending cases when they drain).
+  if (session->read_closed && !session->close_after_flush &&
+      !session->WantsWrite() && !scheduler_.HasPendingFor(session->id)) {
+    closed_scratch_.push_back(session->id);
+  }
+}
+
+void QueryServer::HandleFrame(Session* session, FrameType type,
+                              std::span<const uint8_t> payload) {
+  if (!session->handshaken) {
+    if (type != FrameType::kHello) {
+      SendError(session, ErrorCode::kUnexpectedFrame, 0,
+                "first frame must be HELLO", true);
+      return;
+    }
+    HelloFrame hello;
+    const Status st = ParseHello(payload, &hello);
+    if (!st.ok()) {
+      metrics_.malformed_frames += 1;
+      SendError(session, ErrorCode::kMalformedFrame, 0, st.message(), true);
+      return;
+    }
+    if (hello.magic != kProtocolMagic) {
+      SendError(session, ErrorCode::kBadMagic, 0,
+                "not an OCTP client", true);
+      return;
+    }
+    if (hello.flags != 0) {
+      // Reject now so the reserved field stays usable for future
+      // capability negotiation.
+      SendError(session, ErrorCode::kMalformedFrame, 0,
+                "HELLO reserved flags must be zero", true);
+      return;
+    }
+    if (hello.version != kProtocolVersion) {
+      SendError(session, ErrorCode::kVersionMismatch, 0,
+                "server speaks protocol version " +
+                    std::to_string(kProtocolVersion),
+                true);
+      return;
+    }
+    WelcomeFrame welcome;
+    welcome.paged = backend_->paged() ? 1 : 0;
+    welcome.num_vertices = backend_->num_vertices();
+    welcome.page_bytes = backend_->page_bytes();
+    welcome.max_batch_queries = static_cast<uint32_t>(
+        scheduler_.options().max_batch_queries);
+    AppendWelcome(&session->out, welcome);
+    session->handshaken = true;
+    return;
+  }
+
+  switch (type) {
+    case FrameType::kQueryBatch: {
+      PendingRequest request;
+      request.session_id = session->id;
+      const Status st =
+          ParseQueryBatch(payload, &request.request_id, &request.boxes);
+      if (!st.ok()) {
+        metrics_.malformed_frames += 1;
+        SendError(session, ErrorCode::kMalformedFrame, 0, st.message(),
+                  true);
+        return;
+      }
+      metrics_.queries_received += request.boxes.size();
+      request.arrival_nanos = NowNanos();
+      if (request.boxes.empty()) {
+        // Nothing to coalesce: answer an empty batch immediately.
+        AppendResult(&session->out, request.request_id, BatchStatsWire{},
+                     {});
+        metrics_.results_sent += 1;
+        metrics_.request_latency.Record(0);
+        return;
+      }
+      const size_t num_queries = request.boxes.size();
+      const uint64_t request_id = request.request_id;
+      if (!scheduler_.Enqueue(std::move(request))) {
+        metrics_.queries_rejected += num_queries;
+        SendError(session, ErrorCode::kOverloaded, request_id,
+                  "pending-query limit of " +
+                      std::to_string(
+                          scheduler_.options().max_pending_queries) +
+                      " reached; retry later",
+                  false);
+      }
+      return;
+    }
+    case FrameType::kStatsRequest:
+      if (!payload.empty()) {
+        metrics_.malformed_frames += 1;
+        SendError(session, ErrorCode::kMalformedFrame, 0,
+                  "STATS_REQUEST payload must be empty", true);
+        return;
+      }
+      AppendStats(&session->out, metrics_.ToWire());
+      return;
+    default:
+      SendError(session, ErrorCode::kUnexpectedFrame, 0,
+                "frame type not valid from a client in this state", true);
+      return;
+  }
+}
+
+void QueryServer::SendError(Session* session, ErrorCode code,
+                            uint64_t request_id, const std::string& message,
+                            bool close_connection) {
+  ErrorFrame error;
+  error.code = code;
+  error.request_id = request_id;
+  error.message = message;
+  AppendError(&session->out, error);
+  metrics_.errors_sent += 1;
+  if (close_connection) session->close_after_flush = true;
+}
+
+void QueryServer::DeliverResult(const CompletedRequest& done,
+                                int64_t done_at) {
+  auto it = sessions_.find(done.session_id);
+  if (it == sessions_.end()) return;  // client left mid-flight
+  Session* session = it->second.get();
+  if (ResultPayloadBytes(done.per_query) > kMaxFramePayloadBytes) {
+    // The result set cannot travel in one frame: answer with a typed,
+    // request-scoped error instead of desynchronizing the stream.
+    SendError(session, ErrorCode::kInternal, done.request_id,
+              "result set exceeds the " +
+                  std::to_string(kMaxFramePayloadBytes) +
+                  "-byte frame cap; split the query batch",
+              /*close_connection=*/false);
+  } else {
+    AppendResult(&session->out, done.request_id, done.stats,
+                 done.per_query);
+    metrics_.results_sent += 1;
+  }
+  metrics_.request_latency.Record(
+      static_cast<uint64_t>(done_at - done.arrival_nanos));
+}
+
+void QueryServer::ExecuteDueBatches(int64_t now_nanos) {
+  while (scheduler_.ShouldExecute(now_nanos)) {
+    completed_scratch_.clear();
+    scheduler_.ExecuteReady(backend_.get(), &completed_scratch_,
+                            &metrics_);
+    const int64_t done_at = NowNanos();
+    for (const CompletedRequest& done : completed_scratch_) {
+      DeliverResult(done, done_at);
+    }
+  }
+}
+
+void QueryServer::FlushSession(Session* session) {
+  // Compact the sent prefix once it grows past a chunk, so a client
+  // that drains responses slowly (buffer never fully empty) cannot
+  // accumulate already-sent bytes without bound.
+  if (session->out_offset >= kReadChunkBytes) {
+    session->out.erase(session->out.begin(),
+                       session->out.begin() +
+                           static_cast<ptrdiff_t>(session->out_offset));
+    session->out_offset = 0;
+  }
+  while (session->WantsWrite()) {
+    const ssize_t n = send(session->fd, session->out.data() +
+                               session->out_offset,
+                           session->out.size() - session->out_offset,
+                           MSG_NOSIGNAL);
+    if (n > 0) {
+      session->out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    closed_scratch_.push_back(session->id);
+    return;
+  }
+  session->out.clear();
+  session->out_offset = 0;
+  if (session->close_after_flush ||
+      (session->read_closed &&
+       !scheduler_.HasPendingFor(session->id))) {
+    closed_scratch_.push_back(session->id);
+  }
+}
+
+void QueryServer::CloseSession(uint64_t session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  scheduler_.DropSession(session_id);
+  close(it->second->fd);
+  sessions_.erase(it);
+  metrics_.connections_closed += 1;
+}
+
+void QueryServer::DrainAndClose() {
+  close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Execute everything still pending, ignoring the window — accepted
+  // requests get answers even across a shutdown.
+  while (scheduler_.HasPending()) {
+    completed_scratch_.clear();
+    scheduler_.ExecuteReady(backend_.get(), &completed_scratch_,
+                            &metrics_);
+    const int64_t done_at = NowNanos();
+    for (const CompletedRequest& done : completed_scratch_) {
+      DeliverResult(done, done_at);
+    }
+  }
+
+  // Bounded flush of buffered responses.
+  const int64_t deadline = NowNanos() + options_.drain_timeout_nanos;
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> fd_session;
+  while (NowNanos() < deadline) {
+    fds.clear();
+    fd_session.clear();
+    for (auto& [id, session] : sessions_) {
+      FlushSession(session.get());
+      if (session->WantsWrite()) {
+        fds.push_back({session->fd, POLLOUT, 0});
+        fd_session.push_back(id);
+      }
+    }
+    for (const uint64_t id : closed_scratch_) CloseSession(id);
+    closed_scratch_.clear();
+    if (fds.empty()) break;
+    const int64_t left_ms = (deadline - NowNanos()) / 1'000'000;
+    if (poll(fds.data(), fds.size(), static_cast<int>(left_ms) + 1) < 0 &&
+        errno != EINTR) {
+      break;
+    }
+  }
+
+  std::vector<uint64_t> all_ids;
+  all_ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) all_ids.push_back(id);
+  for (const uint64_t id : all_ids) CloseSession(id);
+}
+
+}  // namespace octopus::server

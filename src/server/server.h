@@ -1,0 +1,118 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// The network query service: a single-threaded, poll-based TCP server
+// speaking the OCTP protocol. Non-blocking sockets, per-connection
+// framing and write buffering, and a `BatchScheduler` at its core that
+// coalesces queries across connections into one engine batch per
+// window. Query-execution parallelism lives inside the backend's
+// `QueryEngine` thread pool, so the loop thread stays responsive-enough
+// while remaining the only thread touching sockets, sessions, scheduler
+// and metrics — no locks anywhere in the service path.
+//
+// Lifecycle: `Start` binds and listens (port 0 = ephemeral, then
+// `port()` reports the actual one), `Run` blocks in the event loop, and
+// `Stop` — safe from any thread or signal handler — triggers a graceful
+// shutdown: stop accepting, execute every pending batch, flush write
+// buffers (bounded by `drain_timeout_nanos`), close.
+#ifndef OCTOPUS_SERVER_SERVER_H_
+#define OCTOPUS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/backend.h"
+#include "server/batch_scheduler.h"
+#include "server/metrics.h"
+#include "server/protocol.h"
+
+namespace octopus::server {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = pick an ephemeral port
+  int backlog = 64;
+  size_t max_connections = 256;
+  SchedulerOptions scheduler;
+  /// Graceful-shutdown bound on flushing buffered responses.
+  int64_t drain_timeout_nanos = 2'000'000'000;
+  /// Backpressure watermark: a session whose unsent output exceeds this
+  /// is not read from (no new requests admitted) until it drains, so a
+  /// client that pipelines without reading cannot grow server memory
+  /// unboundedly.
+  size_t max_session_out_bytes = 64u << 20;
+};
+
+class QueryServer {
+ public:
+  QueryServer(std::unique_ptr<QueryBackend> backend, ServerOptions options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Creates the listener and the wake pipe. After OK, `port()` is the
+  /// bound port.
+  Status Start();
+
+  uint16_t port() const { return port_; }
+
+  /// The event loop; blocks the calling thread until `Stop`. Returns
+  /// non-OK only on unrecoverable loop errors (poll failure).
+  Status Run();
+
+  /// Requests a graceful shutdown; callable from any thread and from
+  /// signal handlers (one atomic store + one pipe write).
+  void Stop();
+
+  /// Loop-thread state; read it from other threads only after `Run`
+  /// has returned.
+  const ServerMetrics& metrics() const { return metrics_; }
+  QueryBackend* backend() { return backend_.get(); }
+
+ private:
+  struct Session;
+
+  int64_t NowNanos() const;
+  Status Listen();
+  void AcceptNew();
+  void ReadSession(Session* session);
+  void HandleFrame(Session* session, FrameType type,
+                   std::span<const uint8_t> payload);
+  void SendError(Session* session, ErrorCode code, uint64_t request_id,
+                 const std::string& message, bool close_connection);
+  /// Encodes one completed request into its session's write buffer (or
+  /// a request-scoped error when the result exceeds the frame cap).
+  void DeliverResult(const CompletedRequest& done, int64_t done_at);
+  void ExecuteDueBatches(int64_t now_nanos);
+  void FlushSession(Session* session);
+  void CloseSession(uint64_t session_id);
+  void DrainAndClose();
+
+  std::unique_ptr<QueryBackend> backend_;
+  ServerOptions options_;
+  ServerMetrics metrics_;
+  BatchScheduler scheduler_;
+
+  int listen_fd_ = -1;
+  int wake_fd_read_ = -1;
+  int wake_fd_write_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_requested_{false};
+
+  /// Accept is paused until this instant after an accept() failure
+  /// (e.g. EMFILE) so the loop does not busy-spin on a hot listener.
+  int64_t accept_retry_at_nanos_ = 0;
+
+  uint64_t next_session_id_ = 1;
+  std::map<uint64_t, std::unique_ptr<Session>> sessions_;
+  std::vector<CompletedRequest> completed_scratch_;
+  std::vector<uint64_t> closed_scratch_;
+};
+
+}  // namespace octopus::server
+
+#endif  // OCTOPUS_SERVER_SERVER_H_

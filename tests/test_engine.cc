@@ -132,6 +132,69 @@ TEST(QueryEngineTest, MoreThreadsThanQueries) {
   EXPECT_EQ(results.size(), 0u);
 }
 
+TEST(QueryEngineTest, BatchSizeEdgeCases) {
+  // Empty batch, single-query batch, and a batch larger than the shard
+  // count must all behave identically at 1 and 4 threads: the exact
+  // per-query-path results, correctly sized result vectors, and stats
+  // that account for exactly the executed queries. (Parity against the
+  // per-query path, not brute force: on a deformed mesh a box can
+  // contain mesh-disconnected vertex clusters, which the paper's crawl
+  // by design reports per reachable component — exactness on connected
+  // regions is covered by BatchMatchesBruteForceOnDeformedMesh.)
+  Octopus octopus;
+  const DeformedSetup setup = MakeDeformedSetup(&octopus);
+  QueryGenerator gen(setup.mesh);
+  Rng rng(33);
+
+  auto expected_for = [&](const std::vector<AABB>& queries) {
+    std::vector<std::vector<VertexId>> expected;
+    for (const AABB& q : queries) {
+      std::vector<VertexId> out;
+      octopus.RangeQuery(setup.mesh, q, &out);
+      expected.push_back(Sorted(out));
+    }
+    return expected;
+  };
+
+  const std::vector<AABB> one = gen.MakeQueries(&rng, 1, 0.01, 0.01);
+  std::vector<AABB> nine = gen.MakeQueries(&rng, 8, 0.001, 0.02);
+  nine.push_back(AABB(Vec3(5, 5, 5), Vec3(6, 6, 6)));  // miss
+  const auto expected_one = expected_for(one);
+  const auto expected_nine = expected_for(nine);
+
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    engine::QueryEngine eng(engine::QueryEngineOptions{.threads = threads});
+    engine::QueryBatchResult results;
+
+    // Empty batch: no results, no queries counted.
+    octopus.ResetStats();
+    eng.Execute(octopus, setup.mesh, std::vector<AABB>{}, &results);
+    EXPECT_EQ(results.size(), 0u);
+    EXPECT_EQ(results.TotalResults(), 0u);
+    EXPECT_EQ(octopus.stats().queries, 0u);
+
+    // Single-query batch: one shard does all the work, even on a wider
+    // pool.
+    octopus.ResetStats();
+    eng.Execute(octopus, setup.mesh, one, &results);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(Sorted(results.per_query[0]), expected_one[0]);
+    EXPECT_EQ(octopus.stats().queries, 1u);
+
+    // Batch larger than the shard count: every shard gets multiple
+    // queries and the contiguous split must cover all of them.
+    octopus.ResetStats();
+    eng.Execute(octopus, setup.mesh, nine, &results);
+    ASSERT_EQ(results.size(), nine.size());
+    for (size_t q = 0; q < nine.size(); ++q) {
+      EXPECT_EQ(Sorted(results.per_query[q]), expected_nine[q])
+          << "query " << q;
+    }
+    EXPECT_EQ(octopus.stats().queries, nine.size());
+  }
+}
+
 TEST(QueryEngineTest, BatchMatchesBruteForceOnDeformedMesh) {
   Octopus octopus;
   const DeformedSetup setup = MakeDeformedSetup(&octopus);

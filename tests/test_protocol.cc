@@ -1,0 +1,376 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Wire-protocol tests: every frame type must round-trip encode -> parse
+// bit-exactly, and every class of malformed input (truncation, size
+// lies, bad types, oversized payloads) must fail with a Status — never
+// crash, never read out of bounds.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace octopus::server {
+namespace {
+
+/// Splits an encoded buffer into (header, payload) and checks the
+/// announced length matches the encoded payload.
+struct SplitFrame {
+  FrameHeader header;
+  std::span<const uint8_t> payload;
+};
+
+SplitFrame Split(const Buffer& buffer) {
+  auto header = ParseFrameHeader(buffer);
+  EXPECT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(buffer.size(),
+            kFrameHeaderBytes + header.Value().payload_bytes);
+  return {header.Value(),
+          std::span<const uint8_t>(buffer).subspan(kFrameHeaderBytes)};
+}
+
+TEST(ProtocolTest, HelloRoundTrip) {
+  Buffer buffer;
+  HelloFrame hello;
+  hello.flags = 0x1234;
+  AppendHello(&buffer, hello);
+  const SplitFrame frame = Split(buffer);
+  EXPECT_EQ(frame.header.type, FrameType::kHello);
+
+  HelloFrame parsed;
+  ASSERT_TRUE(ParseHello(frame.payload, &parsed).ok());
+  EXPECT_EQ(parsed.magic, kProtocolMagic);
+  EXPECT_EQ(parsed.version, kProtocolVersion);
+  EXPECT_EQ(parsed.flags, 0x1234);
+}
+
+TEST(ProtocolTest, WelcomeRoundTrip) {
+  Buffer buffer;
+  WelcomeFrame welcome;
+  welcome.paged = 1;
+  welcome.num_vertices = 123456789012345ull;
+  welcome.page_bytes = 4096;
+  welcome.max_batch_queries = 1024;
+  AppendWelcome(&buffer, welcome);
+  const SplitFrame frame = Split(buffer);
+  EXPECT_EQ(frame.header.type, FrameType::kWelcome);
+
+  WelcomeFrame parsed;
+  ASSERT_TRUE(ParseWelcome(frame.payload, &parsed).ok());
+  EXPECT_EQ(parsed.version, kProtocolVersion);
+  EXPECT_EQ(parsed.paged, 1);
+  EXPECT_EQ(parsed.num_vertices, welcome.num_vertices);
+  EXPECT_EQ(parsed.page_bytes, welcome.page_bytes);
+  EXPECT_EQ(parsed.max_batch_queries, welcome.max_batch_queries);
+}
+
+TEST(ProtocolTest, QueryBatchRoundTripBitExact) {
+  std::vector<AABB> boxes;
+  boxes.push_back(AABB(Vec3(0.1f, -2.5f, 3e-8f), Vec3(1.0f, 2.0f, 3.0f)));
+  boxes.push_back(AABB(Vec3(-1e30f, 0.0f, 5.5f),
+                       Vec3(std::numeric_limits<float>::max(), 1.0f,
+                            6.25f)));
+  Buffer buffer;
+  AppendQueryBatch(&buffer, 42, boxes);
+  const SplitFrame frame = Split(buffer);
+  EXPECT_EQ(frame.header.type, FrameType::kQueryBatch);
+
+  uint64_t request_id = 0;
+  std::vector<AABB> parsed;
+  ASSERT_TRUE(ParseQueryBatch(frame.payload, &request_id, &parsed).ok());
+  EXPECT_EQ(request_id, 42u);
+  ASSERT_EQ(parsed.size(), boxes.size());
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    // Bit-exact: the query a client sends is the query the engine runs.
+    EXPECT_EQ(std::memcmp(&parsed[i], &boxes[i], sizeof(AABB)), 0)
+        << "box " << i;
+  }
+}
+
+TEST(ProtocolTest, EmptyQueryBatchRoundTrip) {
+  Buffer buffer;
+  AppendQueryBatch(&buffer, 7, {});
+  const SplitFrame frame = Split(buffer);
+  uint64_t request_id = 0;
+  std::vector<AABB> parsed = {AABB(Vec3(1, 1, 1), Vec3(2, 2, 2))};
+  ASSERT_TRUE(ParseQueryBatch(frame.payload, &request_id, &parsed).ok());
+  EXPECT_EQ(request_id, 7u);
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(ProtocolTest, ResultRoundTrip) {
+  BatchStatsWire stats;
+  stats.probe_nanos = 111;
+  stats.walk_nanos = 222;
+  stats.crawl_nanos = 333;
+  stats.queries = 3;
+  stats.probed_vertices = 44;
+  stats.walk_invocations = 5;
+  stats.walk_vertices = 66;
+  stats.crawl_edges = 777;
+  stats.result_vertices = 8;
+  stats.page_hits = 9;
+  stats.page_misses = 10;
+  stats.page_evictions = 11;
+  stats.batch_queries = 3;
+  stats.batch_requests = 2;
+  const std::vector<std::vector<VertexId>> per_query = {
+      {5, 1, 9}, {}, {1234567}};
+
+  Buffer buffer;
+  AppendResult(&buffer, 99, stats, per_query);
+  const SplitFrame frame = Split(buffer);
+  EXPECT_EQ(frame.header.type, FrameType::kResult);
+
+  uint64_t request_id = 0;
+  BatchStatsWire parsed_stats;
+  std::vector<std::vector<VertexId>> parsed;
+  ASSERT_TRUE(
+      ParseResult(frame.payload, &request_id, &parsed_stats, &parsed)
+          .ok());
+  EXPECT_EQ(request_id, 99u);
+  EXPECT_EQ(parsed, per_query);
+  const PhaseStats round = parsed_stats.ToPhaseStats();
+  EXPECT_EQ(round.probe_nanos, 111);
+  EXPECT_EQ(round.walk_nanos, 222);
+  EXPECT_EQ(round.crawl_nanos, 333);
+  EXPECT_EQ(round.queries, 3u);
+  EXPECT_EQ(round.probed_vertices, 44u);
+  EXPECT_EQ(round.walk_invocations, 5u);
+  EXPECT_EQ(round.walk_vertices, 66u);
+  EXPECT_EQ(round.crawl_edges, 777u);
+  EXPECT_EQ(round.result_vertices, 8u);
+  EXPECT_EQ(round.page_io.page_hits, 9u);
+  EXPECT_EQ(round.page_io.page_misses, 10u);
+  EXPECT_EQ(round.page_io.page_evictions, 11u);
+  EXPECT_EQ(parsed_stats.batch_queries, 3u);
+  EXPECT_EQ(parsed_stats.batch_requests, 2u);
+}
+
+TEST(ProtocolTest, BatchStatsFromPhaseStatsRoundTrip) {
+  PhaseStats stats;
+  stats.probe_nanos = 1;
+  stats.queries = 2;
+  stats.probed_vertices = 3;
+  stats.crawl_edges = 4;
+  stats.page_io.page_misses = 5;
+  const BatchStatsWire wire = BatchStatsWire::FromPhaseStats(stats, 7, 2);
+  EXPECT_EQ(wire.batch_queries, 7u);
+  EXPECT_EQ(wire.batch_requests, 2u);
+  const PhaseStats back = wire.ToPhaseStats();
+  EXPECT_EQ(back.probe_nanos, stats.probe_nanos);
+  EXPECT_EQ(back.queries, stats.queries);
+  EXPECT_EQ(back.probed_vertices, stats.probed_vertices);
+  EXPECT_EQ(back.crawl_edges, stats.crawl_edges);
+  EXPECT_EQ(back.page_io.page_misses, stats.page_io.page_misses);
+}
+
+TEST(ProtocolTest, StatsRoundTrip) {
+  ServerStatsWire stats;
+  stats.connections_accepted = 1;
+  stats.connections_active = 2;
+  stats.frames_received = 3;
+  stats.malformed_frames = 4;
+  stats.queries_received = 500;
+  stats.queries_rejected = 6;
+  stats.queries_executed = 494;
+  stats.batches_executed = 100;
+  stats.latency_p50_nanos = 1000;
+  stats.latency_p95_nanos = 2000;
+  stats.latency_p99_nanos = 3000;
+  stats.page_hits = 7;
+  stats.page_misses = 8;
+  stats.page_evictions = 9;
+
+  Buffer buffer;
+  AppendStats(&buffer, stats);
+  const SplitFrame frame = Split(buffer);
+  EXPECT_EQ(frame.header.type, FrameType::kStats);
+
+  ServerStatsWire parsed;
+  ASSERT_TRUE(ParseStats(frame.payload, &parsed).ok());
+  EXPECT_EQ(parsed.queries_received, 500u);
+  EXPECT_EQ(parsed.queries_executed, 494u);
+  EXPECT_EQ(parsed.batches_executed, 100u);
+  EXPECT_EQ(parsed.latency_p99_nanos, 3000u);
+  EXPECT_EQ(parsed.page_evictions, 9u);
+  EXPECT_DOUBLE_EQ(parsed.CoalesceFactor(), 4.94);
+}
+
+TEST(ProtocolTest, StatsRequestIsEmpty) {
+  Buffer buffer;
+  AppendStatsRequest(&buffer);
+  const SplitFrame frame = Split(buffer);
+  EXPECT_EQ(frame.header.type, FrameType::kStatsRequest);
+  EXPECT_EQ(frame.header.payload_bytes, 0u);
+}
+
+TEST(ProtocolTest, ErrorRoundTrip) {
+  Buffer buffer;
+  ErrorFrame error;
+  error.code = ErrorCode::kOverloaded;
+  error.request_id = 321;
+  error.message = "pending-query limit reached";
+  AppendError(&buffer, error);
+  const SplitFrame frame = Split(buffer);
+  EXPECT_EQ(frame.header.type, FrameType::kError);
+
+  ErrorFrame parsed;
+  ASSERT_TRUE(ParseError(frame.payload, &parsed).ok());
+  EXPECT_EQ(parsed.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(parsed.request_id, 321u);
+  EXPECT_EQ(parsed.message, error.message);
+  EXPECT_STREQ(ErrorCodeName(parsed.code), "OVERLOADED");
+}
+
+// --- Malformed input ---
+
+TEST(ProtocolTest, HeaderRejectsUnknownType) {
+  Buffer buffer;
+  AppendStatsRequest(&buffer);
+  buffer[4] = 0;  // below kHello
+  EXPECT_FALSE(ParseFrameHeader(buffer).ok());
+  buffer[4] = 200;  // above kError
+  EXPECT_FALSE(ParseFrameHeader(buffer).ok());
+}
+
+TEST(ProtocolTest, HeaderRejectsOversizedPayload) {
+  Buffer buffer(kFrameHeaderBytes, 0);
+  const uint32_t huge = kMaxFramePayloadBytes + 1;
+  std::memcpy(buffer.data(), &huge, sizeof(huge));
+  buffer[4] = static_cast<uint8_t>(FrameType::kQueryBatch);
+  EXPECT_FALSE(ParseFrameHeader(buffer).ok());
+}
+
+TEST(ProtocolTest, HeaderRejectsNonzeroReservedBytes) {
+  Buffer buffer;
+  AppendStatsRequest(&buffer);
+  buffer[5] = 1;  // flags byte
+  EXPECT_FALSE(ParseFrameHeader(buffer).ok());
+}
+
+TEST(ProtocolTest, HeaderRejectsShortBuffer) {
+  const Buffer buffer(kFrameHeaderBytes - 1, 0);
+  EXPECT_FALSE(ParseFrameHeader(buffer).ok());
+}
+
+TEST(ProtocolTest, QueryBatchRejectsCountMismatch) {
+  Buffer buffer;
+  const std::vector<AABB> boxes = {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))};
+  AppendQueryBatch(&buffer, 1, boxes);
+  // Lie about the count: claim 2 queries but carry bytes for 1.
+  buffer[kFrameHeaderBytes + 8] = 2;
+  uint64_t request_id = 0;
+  std::vector<AABB> parsed;
+  const std::span<const uint8_t> payload =
+      std::span<const uint8_t>(buffer).subspan(kFrameHeaderBytes);
+  EXPECT_FALSE(ParseQueryBatch(payload, &request_id, &parsed).ok());
+}
+
+TEST(ProtocolTest, QueryBatchRejectsTruncatedPayload) {
+  Buffer buffer;
+  const std::vector<AABB> boxes = {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))};
+  AppendQueryBatch(&buffer, 1, boxes);
+  const std::span<const uint8_t> payload =
+      std::span<const uint8_t>(buffer).subspan(kFrameHeaderBytes);
+  uint64_t request_id = 0;
+  std::vector<AABB> parsed;
+  // Every truncation point must fail cleanly.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(
+        ParseQueryBatch(payload.first(cut), &request_id, &parsed).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(ProtocolTest, ResultRejectsTruncatedIds) {
+  BatchStatsWire stats;
+  const std::vector<std::vector<VertexId>> per_query = {{1, 2, 3}};
+  Buffer buffer;
+  AppendResult(&buffer, 5, stats, per_query);
+  const std::span<const uint8_t> payload =
+      std::span<const uint8_t>(buffer).subspan(kFrameHeaderBytes);
+  uint64_t request_id = 0;
+  BatchStatsWire parsed_stats;
+  std::vector<std::vector<VertexId>> parsed;
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(ParseResult(payload.first(cut), &request_id,
+                             &parsed_stats, &parsed)
+                     .ok())
+        << "cut at " << cut;
+  }
+  // Trailing garbage must be rejected too.
+  Buffer extended(buffer);
+  extended.push_back(0);
+  EXPECT_FALSE(
+      ParseResult(std::span<const uint8_t>(extended)
+                      .subspan(kFrameHeaderBytes),
+                  &request_id, &parsed_stats, &parsed)
+          .ok());
+}
+
+TEST(ProtocolTest, ResultRejectsQueryCountLie) {
+  // A RESULT claiming 4 billion queries in a small payload must fail
+  // before allocating anything, not resize to the announced count.
+  BatchStatsWire stats;
+  const std::vector<std::vector<VertexId>> per_query = {{1, 2, 3}};
+  Buffer buffer;
+  AppendResult(&buffer, 5, stats, per_query);
+  const uint32_t huge = 0xFFFFFFFF;
+  std::memcpy(buffer.data() + kFrameHeaderBytes + 8, &huge, sizeof(huge));
+  uint64_t request_id = 0;
+  BatchStatsWire parsed_stats;
+  std::vector<std::vector<VertexId>> parsed;
+  EXPECT_FALSE(ParseResult(std::span<const uint8_t>(buffer)
+                               .subspan(kFrameHeaderBytes),
+                           &request_id, &parsed_stats, &parsed)
+                   .ok());
+}
+
+TEST(ProtocolTest, ErrorRejectsLengthLie) {
+  Buffer buffer;
+  ErrorFrame error;
+  error.code = ErrorCode::kInternal;
+  error.message = "boom";
+  AppendError(&buffer, error);
+  // Claim a longer message than the payload carries.
+  buffer[kFrameHeaderBytes + 12] = 200;
+  ErrorFrame parsed;
+  EXPECT_FALSE(ParseError(std::span<const uint8_t>(buffer)
+                              .subspan(kFrameHeaderBytes),
+                          &parsed)
+                   .ok());
+}
+
+TEST(ProtocolTest, ErrorRejectsUnknownCode) {
+  Buffer buffer;
+  ErrorFrame error;
+  error.code = ErrorCode::kInternal;
+  AppendError(&buffer, error);
+  buffer[kFrameHeaderBytes] = 99;  // no such code
+  ErrorFrame parsed;
+  EXPECT_FALSE(ParseError(std::span<const uint8_t>(buffer)
+                              .subspan(kFrameHeaderBytes),
+                          &parsed)
+                   .ok());
+}
+
+TEST(ProtocolTest, HelloRejectsWrongSize) {
+  Buffer buffer;
+  AppendHello(&buffer, HelloFrame{});
+  HelloFrame parsed;
+  const std::span<const uint8_t> payload =
+      std::span<const uint8_t>(buffer).subspan(kFrameHeaderBytes);
+  EXPECT_TRUE(ParseHello(payload, &parsed).ok());
+  EXPECT_FALSE(ParseHello(payload.first(7), &parsed).ok());
+  Buffer longer(buffer);
+  longer.push_back(0);
+  EXPECT_FALSE(ParseHello(std::span<const uint8_t>(longer)
+                              .subspan(kFrameHeaderBytes),
+                          &parsed)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace octopus::server

@@ -1,0 +1,706 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Loopback integration tests of the network query service: remote
+// execution must be bit-identical (results and non-I/O counters) to the
+// in-process engine on the fig6 workload, in-memory and paged; many
+// concurrent clients must each get exactly their own results; the batch
+// scheduler must coalesce across connections; malformed frames must be
+// rejected with typed errors; and admission control must answer
+// overload explicitly while accepted requests still complete across a
+// graceful shutdown.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/remote_client.h"
+#include "harness/bench_harness.h"
+#include "mesh/generators/datasets.h"
+#include "mesh/generators/grid_generator.h"
+#include "mesh/mesh_io.h"
+#include "octopus/query_executor.h"
+#include "server/backend.h"
+#include "server/batch_scheduler.h"
+#include "server/server.h"
+#include "sim/workload.h"
+#include "test_util.h"
+
+namespace octopus {
+namespace {
+
+using client::RemoteClient;
+using server::ErrorCode;
+using server::FrameType;
+using server::QueryBackend;
+using server::QueryServer;
+using server::ServerOptions;
+using testing::BruteForceRangeQuery;
+using testing::Sorted;
+
+TetraMesh MakeBox(int n) {
+  return GenerateBoxMesh(n, n, n, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))
+      .MoveValue();
+}
+
+/// Runs a server on an ephemeral loopback port in a background thread;
+/// stops and joins on destruction.
+class ServerFixture {
+ public:
+  ServerFixture(std::unique_ptr<QueryBackend> backend,
+                ServerOptions options = {}) {
+    options.bind_address = "127.0.0.1";
+    options.port = 0;
+    server_ = std::make_unique<QueryServer>(std::move(backend),
+                                            std::move(options));
+    const Status started = server_->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    thread_ = std::thread([this] {
+      const Status run = server_->Run();
+      EXPECT_TRUE(run.ok()) << run.ToString();
+    });
+  }
+
+  ~ServerFixture() { StopAndJoin(); }
+
+  void StopAndJoin() {
+    if (thread_.joinable()) {
+      server_->Stop();
+      thread_.join();
+    }
+  }
+
+  uint16_t port() const { return server_->port(); }
+  QueryServer& server() { return *server_; }
+
+ private:
+  std::unique_ptr<QueryServer> server_;
+  std::thread thread_;
+};
+
+std::unique_ptr<RemoteClient> MustConnect(uint16_t port) {
+  auto connected = RemoteClient::Connect("127.0.0.1", port);
+  EXPECT_TRUE(connected.ok()) << connected.status().ToString();
+  return connected.MoveValue();
+}
+
+/// The fig6 monitoring workload: per-step batches for every Fig. 5
+/// micro-benchmark spec on `mesh`.
+std::vector<std::vector<AABB>> Fig6StepBatches(const TetraMesh& mesh,
+                                               int steps) {
+  std::vector<std::vector<AABB>> batches;
+  const auto specs = NeuroscienceBenchmarks();
+  for (size_t b = 0; b < specs.size(); ++b) {
+    const auto& spec = specs[b];
+    const bench::StepWorkload workload = bench::MakeStepWorkload(
+        mesh, steps, spec.queries_per_step_min, spec.queries_per_step_max,
+        spec.selectivity_min, spec.selectivity_max,
+        /*seed=*/0xF16'0000 + b);
+    for (const auto& step : workload.per_step) batches.push_back(step);
+  }
+  return batches;
+}
+
+void ExpectNonIoCountersEqual(const PhaseStats& remote,
+                              const PhaseStats& local) {
+  EXPECT_EQ(remote.queries, local.queries);
+  EXPECT_EQ(remote.probed_vertices, local.probed_vertices);
+  EXPECT_EQ(remote.walk_invocations, local.walk_invocations);
+  EXPECT_EQ(remote.walk_vertices, local.walk_vertices);
+  EXPECT_EQ(remote.crawl_edges, local.crawl_edges);
+  EXPECT_EQ(remote.result_vertices, local.result_vertices);
+}
+
+// Remote execution of the fig6 workload over the in-memory backend must
+// return the exact result sets and non-I/O PhaseStats of the in-process
+// engine, batch by batch.
+TEST(ServerIntegrationTest, Fig6WorkloadParityInMemory) {
+  const TetraMesh mesh = MakeNeuroMesh(0, 0.3).MoveValue();
+  const auto batches = Fig6StepBatches(mesh, /*steps=*/2);
+
+  // In-process reference.
+  Octopus octopus;
+  octopus.Build(mesh);
+  engine::QueryEngine engine;
+
+  ServerFixture fixture(QueryBackend::FromMesh(mesh, /*threads=*/1));
+  auto remote = MustConnect(fixture.port());
+  EXPECT_EQ(remote->server_info().paged, 0);
+  EXPECT_EQ(remote->server_info().num_vertices, mesh.num_vertices());
+
+  for (size_t b = 0; b < batches.size(); ++b) {
+    SCOPED_TRACE("batch " + std::to_string(b));
+    octopus.ResetStats();
+    engine::QueryBatchResult expected;
+    engine.Execute(octopus, mesh, batches[b], &expected);
+
+    auto result = remote->ExecuteBatch(batches[b]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result.Value().results.size(), expected.size());
+    for (size_t q = 0; q < expected.size(); ++q) {
+      EXPECT_EQ(result.Value().results.per_query[q],
+                expected.per_query[q])
+          << "query " << q;
+    }
+    // A single connected client: the coalesced batch is exactly this
+    // request, so its stats must equal the in-process engine's.
+    ExpectNonIoCountersEqual(result.Value().stats.ToPhaseStats(),
+                             octopus.stats());
+    EXPECT_EQ(result.Value().stats.batch_queries, batches[b].size());
+    EXPECT_EQ(result.Value().stats.batch_requests, 1u);
+  }
+}
+
+// Same parity over the paged (--paged) backend: identical results and
+// non-I/O counters to the in-memory engine, plus real page I/O.
+TEST(ServerIntegrationTest, Fig6WorkloadParityPaged) {
+  const TetraMesh mesh = MakeNeuroMesh(0, 0.3).MoveValue();
+  const auto batches = Fig6StepBatches(mesh, /*steps=*/1);
+  const std::string path = ::testing::TempDir() + "/server_parity.oct2";
+  ASSERT_TRUE(SaveSnapshot(mesh, path,
+                           storage::SnapshotOptions{.page_bytes = 4096})
+                  .ok());
+
+  Octopus octopus;
+  octopus.Build(mesh);
+  engine::QueryEngine engine;
+
+  auto backend =
+      QueryBackend::OpenSnapshot(path, /*pool_bytes=*/64 * 4096,
+                                 /*threads=*/1);
+  ASSERT_TRUE(backend.ok()) << backend.status().ToString();
+  ServerFixture fixture(backend.MoveValue());
+  auto remote = MustConnect(fixture.port());
+  EXPECT_EQ(remote->server_info().paged, 1);
+  EXPECT_EQ(remote->server_info().page_bytes, 4096u);
+
+  uint64_t total_page_accesses = 0;
+  for (size_t b = 0; b < batches.size(); ++b) {
+    SCOPED_TRACE("batch " + std::to_string(b));
+    octopus.ResetStats();
+    engine::QueryBatchResult expected;
+    engine.Execute(octopus, mesh, batches[b], &expected);
+
+    auto result = remote->ExecuteBatch(batches[b]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    for (size_t q = 0; q < expected.size(); ++q) {
+      EXPECT_EQ(result.Value().results.per_query[q],
+                expected.per_query[q])
+          << "query " << q;
+    }
+    ExpectNonIoCountersEqual(result.Value().stats.ToPhaseStats(),
+                             octopus.stats());
+    total_page_accesses +=
+        result.Value().stats.page_hits + result.Value().stats.page_misses;
+  }
+  EXPECT_GT(total_page_accesses, 0u);
+  std::remove(path.c_str());
+}
+
+// Eight concurrent clients, each with its own workload: every client
+// must get exactly its own (brute-force-verified) results back, and the
+// server's counters must account for every query.
+TEST(ServerIntegrationTest, EightConcurrentClientsGetTheirOwnResults) {
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 5;
+  constexpr int kQueriesPerRequest = 10;
+
+  const TetraMesh mesh = MakeBox(8);
+  ServerOptions options;
+  options.scheduler.window_nanos = 2'000'000;
+  ServerFixture fixture(QueryBackend::FromMesh(mesh, 1), options);
+
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto connected = RemoteClient::Connect("127.0.0.1", fixture.port());
+      if (!connected.ok()) {
+        failures[c] = connected.status().ToString();
+        return;
+      }
+      QueryGenerator gen(mesh);
+      Rng rng(1000 + c);
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const std::vector<AABB> queries =
+            gen.MakeQueries(&rng, kQueriesPerRequest, 0.001, 0.02);
+        auto result = connected.Value()->ExecuteBatch(queries);
+        if (!result.ok()) {
+          failures[c] = result.status().ToString();
+          return;
+        }
+        for (size_t q = 0; q < queries.size(); ++q) {
+          if (Sorted(result.Value().results.per_query[q]) !=
+              BruteForceRangeQuery(mesh, queries[q])) {
+            failures[c] = "client " + std::to_string(c) +
+                          " got wrong results for query " +
+                          std::to_string(q);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+
+  auto stats_client = MustConnect(fixture.port());
+  auto stats = stats_client->FetchStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const uint64_t total =
+      uint64_t{kClients} * kRequestsPerClient * kQueriesPerRequest;
+  EXPECT_EQ(stats.Value().queries_received, total);
+  EXPECT_EQ(stats.Value().queries_executed, total);
+  EXPECT_EQ(stats.Value().queries_rejected, 0u);
+  EXPECT_GE(stats.Value().batches_executed, 1u);
+  EXPECT_LE(stats.Value().batches_executed,
+            uint64_t{kClients} * kRequestsPerClient);
+  EXPECT_GE(stats.Value().CoalesceFactor(),
+            static_cast<double>(kQueriesPerRequest));
+  EXPECT_LE(stats.Value().latency_p50_nanos,
+            stats.Value().latency_p95_nanos);
+  EXPECT_LE(stats.Value().latency_p95_nanos,
+            stats.Value().latency_p99_nanos);
+  EXPECT_EQ(stats.Value().connections_accepted,
+            uint64_t{kClients} + 1);
+}
+
+// Deterministic cross-client coalescing: with a size trigger of exactly
+// two requests' worth of queries and a long window, the second client's
+// request must execute in the same engine batch as the first's.
+TEST(ServerIntegrationTest, CoalescesAcrossConnections) {
+  const TetraMesh mesh = MakeBox(6);
+  ServerOptions options;
+  options.scheduler.window_nanos = 2'000'000'000;  // 2 s: size must win
+  options.scheduler.max_batch_queries = 8;
+  ServerFixture fixture(QueryBackend::FromMesh(mesh, 1), options);
+
+  auto client_a = MustConnect(fixture.port());
+  auto client_b = MustConnect(fixture.port());
+  QueryGenerator gen(mesh);
+  Rng rng(3);
+  const std::vector<AABB> queries_a = gen.MakeQueries(&rng, 4, 0.01, 0.02);
+  const std::vector<AABB> queries_b = gen.MakeQueries(&rng, 4, 0.01, 0.02);
+
+  // Client A's request parks in the scheduler (4 < 8 queries, window
+  // far away); client B's pushes the pending count to the size trigger.
+  Result<client::RemoteBatchResult> result_a =
+      Status::IOError("not run");
+  std::thread thread_a([&] {
+    result_a = client_a->ExecuteBatch(queries_a);
+  });
+  auto result_b = client_b->ExecuteBatch(queries_b);
+  thread_a.join();
+
+  ASSERT_TRUE(result_a.ok()) << result_a.status().ToString();
+  ASSERT_TRUE(result_b.ok()) << result_b.status().ToString();
+  // Both were served by one coalesced batch of both requests.
+  EXPECT_EQ(result_a.Value().stats.batch_requests, 2u);
+  EXPECT_EQ(result_a.Value().stats.batch_queries, 8u);
+  EXPECT_EQ(result_b.Value().stats.batch_requests, 2u);
+  for (size_t q = 0; q < queries_a.size(); ++q) {
+    EXPECT_EQ(Sorted(result_a.Value().results.per_query[q]),
+              BruteForceRangeQuery(mesh, queries_a[q]));
+  }
+  for (size_t q = 0; q < queries_b.size(); ++q) {
+    EXPECT_EQ(Sorted(result_b.Value().results.per_query[q]),
+              BruteForceRangeQuery(mesh, queries_b[q]));
+  }
+}
+
+// --- Malformed-frame rejection, at the raw socket level ---
+
+/// Connects a plain blocking socket to the loopback server.
+int RawConnect(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  return fd;
+}
+
+void SendRaw(int fd, const server::Buffer& bytes) {
+  ASSERT_EQ(send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+}
+
+/// Reads one frame; returns false on clean EOF before a full frame.
+bool ReadFrameRaw(int fd, FrameType* type, server::Buffer* payload) {
+  uint8_t header[server::kFrameHeaderBytes];
+  size_t have = 0;
+  while (have < sizeof(header)) {
+    const ssize_t n = recv(fd, header + have, sizeof(header) - have, 0);
+    if (n <= 0) return false;
+    have += static_cast<size_t>(n);
+  }
+  auto parsed = server::ParseFrameHeader(header);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  if (!parsed.ok()) return false;
+  *type = parsed.Value().type;
+  payload->resize(parsed.Value().payload_bytes);
+  have = 0;
+  while (have < payload->size()) {
+    const ssize_t n =
+        recv(fd, payload->data() + have, payload->size() - have, 0);
+    if (n <= 0) return false;
+    have += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Expects an ERROR frame with `code`, followed by connection close.
+void ExpectErrorThenClose(int fd, ErrorCode code) {
+  FrameType type;
+  server::Buffer payload;
+  ASSERT_TRUE(ReadFrameRaw(fd, &type, &payload));
+  ASSERT_EQ(type, FrameType::kError);
+  server::ErrorFrame error;
+  ASSERT_TRUE(server::ParseError(payload, &error).ok());
+  EXPECT_EQ(error.code, code) << server::ErrorCodeName(error.code);
+  // The server closes after flushing the error: next read is EOF.
+  uint8_t byte;
+  EXPECT_EQ(recv(fd, &byte, 1, 0), 0);
+}
+
+server::Buffer ValidHello() {
+  server::Buffer bytes;
+  server::AppendHello(&bytes, server::HelloFrame{});
+  return bytes;
+}
+
+TEST(ServerIntegrationTest, RejectsMalformedFrames) {
+  const TetraMesh mesh = MakeBox(4);
+  ServerFixture fixture(QueryBackend::FromMesh(mesh, 1));
+
+  {
+    SCOPED_TRACE("garbage bytes instead of a frame");
+    const int fd = RawConnect(fixture.port());
+    SendRaw(fd, server::Buffer(16, 'X'));
+    ExpectErrorThenClose(fd, ErrorCode::kMalformedFrame);
+    close(fd);
+  }
+  {
+    SCOPED_TRACE("oversized announced payload");
+    server::Buffer bytes(server::kFrameHeaderBytes, 0);
+    const uint32_t huge = server::kMaxFramePayloadBytes + 1;
+    std::memcpy(bytes.data(), &huge, sizeof(huge));
+    bytes[4] = static_cast<uint8_t>(FrameType::kHello);
+    const int fd = RawConnect(fixture.port());
+    SendRaw(fd, bytes);
+    ExpectErrorThenClose(fd, ErrorCode::kFrameTooLarge);
+    close(fd);
+  }
+  {
+    SCOPED_TRACE("HELLO with wrong magic");
+    server::Buffer bytes;
+    server::HelloFrame hello;
+    hello.magic = 0xDEADBEEF;
+    server::AppendHello(&bytes, hello);
+    const int fd = RawConnect(fixture.port());
+    SendRaw(fd, bytes);
+    ExpectErrorThenClose(fd, ErrorCode::kBadMagic);
+    close(fd);
+  }
+  {
+    SCOPED_TRACE("HELLO with unsupported version");
+    server::Buffer bytes;
+    server::HelloFrame hello;
+    hello.version = 999;
+    server::AppendHello(&bytes, hello);
+    const int fd = RawConnect(fixture.port());
+    SendRaw(fd, bytes);
+    ExpectErrorThenClose(fd, ErrorCode::kVersionMismatch);
+    close(fd);
+  }
+  {
+    SCOPED_TRACE("query before HELLO");
+    server::Buffer bytes;
+    server::AppendQueryBatch(&bytes, 1, {});
+    const int fd = RawConnect(fixture.port());
+    SendRaw(fd, bytes);
+    ExpectErrorThenClose(fd, ErrorCode::kUnexpectedFrame);
+    close(fd);
+  }
+  {
+    SCOPED_TRACE("QUERY_BATCH whose count lies about the payload");
+    server::Buffer bytes = ValidHello();
+    const std::vector<AABB> one = {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))};
+    server::Buffer query;
+    server::AppendQueryBatch(&query, 1, one);
+    query[server::kFrameHeaderBytes + 8] = 7;  // count field
+    bytes.insert(bytes.end(), query.begin(), query.end());
+    const int fd = RawConnect(fixture.port());
+    SendRaw(fd, bytes);
+    FrameType type;
+    server::Buffer payload;
+    ASSERT_TRUE(ReadFrameRaw(fd, &type, &payload));
+    EXPECT_EQ(type, FrameType::kWelcome);
+    ExpectErrorThenClose(fd, ErrorCode::kMalformedFrame);
+    close(fd);
+  }
+  {
+    SCOPED_TRACE("server-only frame type from a client");
+    server::Buffer bytes = ValidHello();
+    server::AppendStats(&bytes, server::ServerStatsWire{});
+    const int fd = RawConnect(fixture.port());
+    SendRaw(fd, bytes);
+    FrameType type;
+    server::Buffer payload;
+    ASSERT_TRUE(ReadFrameRaw(fd, &type, &payload));
+    EXPECT_EQ(type, FrameType::kWelcome);
+    ExpectErrorThenClose(fd, ErrorCode::kUnexpectedFrame);
+    close(fd);
+  }
+
+  // The server survived every abuse: a well-behaved client still works.
+  auto remote = MustConnect(fixture.port());
+  const std::vector<AABB> queries = {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))};
+  auto result = remote->ExecuteBatch(queries);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(Sorted(result.Value().results.per_query[0]),
+            BruteForceRangeQuery(mesh, queries[0]));
+
+  // Garbage, oversized and count-lie frames count as malformed (bad
+  // magic / version / unexpected type are protocol errors, not framing
+  // errors).
+  fixture.StopAndJoin();
+  EXPECT_GE(fixture.server().metrics().malformed_frames, 3u);
+}
+
+// Admission control: a full pending queue answers OVERLOADED without
+// dropping the connection or the already-accepted request — which still
+// completes, even across a graceful shutdown.
+TEST(ServerIntegrationTest, OverloadIsExplicitAndAcceptedWorkCompletes) {
+  const TetraMesh mesh = MakeBox(6);
+  ServerOptions options;
+  options.scheduler.window_nanos = 60'000'000'000;  // park requests
+  options.scheduler.max_batch_queries = 1000;
+  options.scheduler.max_pending_queries = 8;
+  ServerFixture fixture(QueryBackend::FromMesh(mesh, 1), options);
+
+  QueryGenerator gen(mesh);
+  Rng rng(9);
+  const std::vector<AABB> queries_a = gen.MakeQueries(&rng, 6, 0.01, 0.02);
+  const std::vector<AABB> queries_b = gen.MakeQueries(&rng, 6, 0.01, 0.02);
+
+  auto client_a = MustConnect(fixture.port());
+  auto client_b = MustConnect(fixture.port());
+
+  // A's 6 queries park in the scheduler (window is a minute out).
+  Result<client::RemoteBatchResult> result_a =
+      Status::IOError("not run");
+  std::thread thread_a([&] {
+    result_a = client_a->ExecuteBatch(queries_a);
+  });
+  // Wait until the server has actually admitted A's queries.
+  while (true) {
+    auto stats = client_b->FetchStats();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    if (stats.Value().queries_received >= queries_a.size()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // B's 6 would exceed the 8-query admission bound: explicit rejection.
+  auto result_b = client_b->ExecuteBatch(queries_b);
+  ASSERT_FALSE(result_b.ok());
+  EXPECT_EQ(result_b.status().code(),
+            Status::Code::kResourceExhausted)
+      << result_b.status().ToString();
+
+  // The rejected client's connection is still usable.
+  auto stats_after = client_b->FetchStats();
+  ASSERT_TRUE(stats_after.ok()) << stats_after.status().ToString();
+  EXPECT_EQ(stats_after.Value().queries_rejected, queries_b.size());
+
+  // Graceful shutdown executes A's parked request before closing.
+  fixture.StopAndJoin();
+  thread_a.join();
+  ASSERT_TRUE(result_a.ok()) << result_a.status().ToString();
+  for (size_t q = 0; q < queries_a.size(); ++q) {
+    EXPECT_EQ(Sorted(result_a.Value().results.per_query[q]),
+              BruteForceRangeQuery(mesh, queries_a[q]));
+  }
+}
+
+// A peer may write its requests and half-close (SHUT_WR) before
+// reading: frames buffered at EOF must still be parsed and answered,
+// and the session must stay alive until the response is delivered.
+TEST(ServerIntegrationTest, HalfClosedClientStillGetsItsResults) {
+  const TetraMesh mesh = MakeBox(6);
+  ServerFixture fixture(QueryBackend::FromMesh(mesh, 1));
+
+  const int fd = RawConnect(fixture.port());
+  server::Buffer bytes = ValidHello();
+  const std::vector<AABB> queries = {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))};
+  server::AppendQueryBatch(&bytes, 77, queries);
+  SendRaw(fd, bytes);
+  ASSERT_EQ(shutdown(fd, SHUT_WR), 0);
+
+  FrameType type;
+  server::Buffer payload;
+  ASSERT_TRUE(ReadFrameRaw(fd, &type, &payload));
+  EXPECT_EQ(type, FrameType::kWelcome);
+  ASSERT_TRUE(ReadFrameRaw(fd, &type, &payload));
+  ASSERT_EQ(type, FrameType::kResult);
+  uint64_t request_id = 0;
+  server::BatchStatsWire stats;
+  std::vector<std::vector<VertexId>> per_query;
+  ASSERT_TRUE(
+      server::ParseResult(payload, &request_id, &stats, &per_query).ok());
+  EXPECT_EQ(request_id, 77u);
+  ASSERT_EQ(per_query.size(), 1u);
+  EXPECT_EQ(Sorted(per_query[0]), BruteForceRangeQuery(mesh, queries[0]));
+  // After delivering everything it owed, the server closes its side.
+  uint8_t byte;
+  EXPECT_EQ(recv(fd, &byte, 1, 0), 0);
+  close(fd);
+}
+
+TEST(ServerIntegrationTest, EmptyBatchReturnsImmediately) {
+  const TetraMesh mesh = MakeBox(4);
+  ServerOptions options;
+  options.scheduler.window_nanos = 60'000'000'000;  // would park forever
+  ServerFixture fixture(QueryBackend::FromMesh(mesh, 1), options);
+  auto remote = MustConnect(fixture.port());
+  auto result = remote->ExecuteBatch({});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.Value().results.size(), 0u);
+  EXPECT_EQ(result.Value().stats.queries, 0u);
+}
+
+TEST(BatchSchedulerTest, CoalescesWholeRequestsUpToTheCap) {
+  auto backend = QueryBackend::FromMesh(MakeBox(4), 1);
+  server::SchedulerOptions options;
+  options.max_batch_queries = 5;
+  options.window_nanos = 1'000'000'000;
+  server::BatchScheduler scheduler(options);
+  server::ServerMetrics metrics;
+
+  const AABB box(Vec3(0, 0, 0), Vec3(1, 1, 1));
+  auto request = [&](uint64_t session, uint64_t id, size_t queries) {
+    server::PendingRequest r;
+    r.session_id = session;
+    r.request_id = id;
+    r.boxes.assign(queries, box);
+    r.arrival_nanos = 100;
+    return r;
+  };
+
+  // 3 + 2 fill the cap exactly; the third request waits for the next
+  // batch.
+  ASSERT_TRUE(scheduler.Enqueue(request(1, 1, 3)));
+  ASSERT_TRUE(scheduler.Enqueue(request(2, 2, 2)));
+  ASSERT_TRUE(scheduler.Enqueue(request(3, 3, 4)));
+  EXPECT_EQ(scheduler.pending_queries(), 9u);
+  // Size trigger reached: due immediately regardless of the window.
+  EXPECT_EQ(scheduler.NanosUntilDue(101), 0);
+
+  std::vector<server::CompletedRequest> completed;
+  scheduler.ExecuteReady(backend.get(), &completed, &metrics);
+  ASSERT_EQ(completed.size(), 2u);
+  EXPECT_EQ(completed[0].request_id, 1u);
+  EXPECT_EQ(completed[1].request_id, 2u);
+  EXPECT_EQ(completed[0].stats.batch_queries, 5u);
+  EXPECT_EQ(completed[0].stats.batch_requests, 2u);
+  EXPECT_EQ(completed[0].per_query.size(), 3u);
+  EXPECT_EQ(completed[1].per_query.size(), 2u);
+  EXPECT_EQ(metrics.batches_executed, 1u);
+  EXPECT_EQ(metrics.queries_executed, 5u);
+  EXPECT_EQ(scheduler.pending_queries(), 4u);
+
+  // Remaining request executes when its window expires.
+  EXPECT_GT(scheduler.NanosUntilDue(101), 0);
+  EXPECT_EQ(scheduler.NanosUntilDue(100 + 1'000'000'000), 0);
+  completed.clear();
+  scheduler.ExecuteReady(backend.get(), &completed, &metrics);
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0].request_id, 3u);
+  EXPECT_EQ(completed[0].stats.batch_requests, 1u);
+  EXPECT_FALSE(scheduler.HasPending());
+}
+
+TEST(BatchSchedulerTest, OversizedRequestExecutesAlone) {
+  auto backend = QueryBackend::FromMesh(MakeBox(4), 1);
+  server::SchedulerOptions options;
+  options.max_batch_queries = 2;
+  server::BatchScheduler scheduler(options);
+  server::ServerMetrics metrics;
+
+  server::PendingRequest big;
+  big.session_id = 1;
+  big.request_id = 1;
+  big.boxes.assign(7, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+  ASSERT_TRUE(scheduler.Enqueue(std::move(big)));
+  std::vector<server::CompletedRequest> completed;
+  scheduler.ExecuteReady(backend.get(), &completed, &metrics);
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0].per_query.size(), 7u);
+  EXPECT_EQ(completed[0].stats.batch_queries, 7u);
+}
+
+TEST(BatchSchedulerTest, AdmissionControlAndSessionDrop) {
+  server::SchedulerOptions options;
+  options.max_pending_queries = 10;
+  server::BatchScheduler scheduler(options);
+
+  auto request = [&](uint64_t session, size_t queries) {
+    server::PendingRequest r;
+    r.session_id = session;
+    r.request_id = session;
+    r.boxes.assign(queries, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)));
+    return r;
+  };
+  EXPECT_TRUE(scheduler.Enqueue(request(1, 6)));
+  EXPECT_FALSE(scheduler.Enqueue(request(2, 6)));  // 12 > 10
+  EXPECT_TRUE(scheduler.Enqueue(request(3, 4)));   // fits exactly
+  EXPECT_EQ(scheduler.pending_queries(), 10u);
+
+  scheduler.DropSession(1);
+  EXPECT_EQ(scheduler.pending_queries(), 4u);
+  EXPECT_TRUE(scheduler.Enqueue(request(2, 6)));  // freed capacity
+  EXPECT_EQ(scheduler.pending_queries(), 10u);
+
+  // An empty queue admits even a request above the bound by itself, so
+  // an oversized batch is served alone, never rejected forever.
+  scheduler.DropSession(2);
+  scheduler.DropSession(3);
+  ASSERT_FALSE(scheduler.HasPending());
+  EXPECT_TRUE(scheduler.Enqueue(request(4, 25)));
+  EXPECT_EQ(scheduler.pending_queries(), 25u);
+  EXPECT_FALSE(scheduler.Enqueue(request(5, 1)));  // bound applies again
+}
+
+TEST(LatencyHistogramTest, PercentilesAreOrderedAndBounded) {
+  server::LatencyHistogram histogram;
+  EXPECT_EQ(histogram.PercentileNanos(0.5), 0u);
+  for (uint64_t nanos : {100u, 200u, 300u, 400u, 50'000u}) {
+    histogram.Record(nanos);
+  }
+  EXPECT_EQ(histogram.count(), 5u);
+  const uint64_t p50 = histogram.PercentileNanos(0.50);
+  const uint64_t p95 = histogram.PercentileNanos(0.95);
+  const uint64_t p99 = histogram.PercentileNanos(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Log-bucketed: within 2x of the true value, capped at the max.
+  EXPECT_GE(p50, 100u);
+  EXPECT_LE(p50, 800u);
+  EXPECT_EQ(p99, 50'000u);
+}
+
+}  // namespace
+}  // namespace octopus

@@ -21,15 +21,23 @@
 //   octopus_cli bench <mesh> [--threads N] [--queries N] [--sel F]
 //       executes a batch of random range queries through the QueryEngine
 //       and prints throughput + phase breakdown
+//   octopus_cli serve <mesh|snapshot.oct2> [--port N] [--paged ...]
+//       runs the OCTP network query service until SIGINT/SIGTERM
+//   octopus_cli query --remote <host:port> <minx ... maxz>
+//       executes the range query on a remote octopus_cli serve
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "client/remote_client.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/timer.h"
+#include "common/version.h"
 #include "engine/query_engine.h"
 #include "mesh/export_obj.h"
 #include "mesh/generators/datasets.h"
@@ -37,6 +45,7 @@
 #include "mesh/mesh_stats.h"
 #include "octopus/paged_executor.h"
 #include "octopus/query_executor.h"
+#include "server/server.h"
 #include "sim/workload.h"
 
 namespace {
@@ -58,13 +67,22 @@ void PrintUsage(std::FILE* out) {
       "(default 4194304, min 2 pages)\n"
       "  octopus_cli snapshot save <mesh> <out.oct2> [--page-bytes N] "
       "[--layout original|hilbert]\n"
-      "  octopus_cli snapshot info <file.oct2>\n"
+      "  octopus_cli snapshot info <file.oct2> [--json]\n"
       "  octopus_cli export <mesh> <out.obj>\n"
       "  octopus_cli bench <mesh> [--threads N] [--queries N] [--sel F]\n"
       "      --threads N      query-execution threads for the batch "
       "(default 1)\n"
       "      --queries N      batch size (default 256)\n"
-      "      --sel F          query selectivity (default 0.001)\n");
+      "      --sel F          query selectivity (default 0.001)\n"
+      "  octopus_cli serve <mesh> [--port N] [--threads N] "
+      "[--window-us N] [--max-batch N] [--max-pending N]\n"
+      "              [--paged --pool-bytes N]\n"
+      "      runs the OCTP query service (port 0 = ephemeral, printed "
+      "on stdout); with --paged,\n"
+      "      <mesh> is an .oct2 snapshot served out of core\n"
+      "  octopus_cli query --remote <host:port> <minx> <miny> <minz> "
+      "<maxx> <maxy> <maxz>\n"
+      "  octopus_cli --version\n");
 }
 
 int Usage() {
@@ -154,7 +172,91 @@ void PrintPhaseBreakdown(const PhaseStats& stats) {
               stats.crawl_nanos * 1e-6, stats.crawl_edges);
 }
 
+/// Splits "host:port"; false on a missing/invalid port.
+bool ParseHostPort(const std::string& arg, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= arg.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(arg.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || value < 1 || value > 65535) return false;
+  *host = arg.substr(0, colon);
+  *port = static_cast<uint16_t>(value);
+  return true;
+}
+
+/// Up-front `--pool-bytes` validation against the snapshot's page size:
+/// the buffer pool must cover at least 2 pages, and a clear message here
+/// beats an opaque failure deep inside the buffer manager.
+Status ValidatePoolBytes(const std::string& snapshot_path,
+                         size_t pool_bytes) {
+  auto header = storage::ReadSnapshotHeader(snapshot_path);
+  if (!header.ok()) return header.status();
+  const size_t min_bytes = 2 * static_cast<size_t>(
+                                   header.Value().page_bytes);
+  if (pool_bytes < min_bytes) {
+    return Status::InvalidArgument(
+        "--pool-bytes " + std::to_string(pool_bytes) + " too small: " +
+        snapshot_path + " has " +
+        std::to_string(header.Value().page_bytes) +
+        "-byte pages and the buffer pool must cover at least 2 pages "
+        "(>= " +
+        std::to_string(min_bytes) + " bytes)");
+  }
+  return Status::OK();
+}
+
+void PrintRemoteBatchInfo(const client::RemoteBatchResult& r) {
+  PrintPhaseBreakdown(r.stats.ToPhaseStats());
+  std::printf("served in a coalesced batch of %u queries from %u "
+              "request(s)\n",
+              r.stats.batch_queries, r.stats.batch_requests);
+  if (r.stats.page_hits + r.stats.page_misses > 0) {
+    std::printf("page I/O: %llu hits, %llu misses, %llu evictions\n",
+                static_cast<unsigned long long>(r.stats.page_hits),
+                static_cast<unsigned long long>(r.stats.page_misses),
+                static_cast<unsigned long long>(r.stats.page_evictions));
+  }
+}
+
+int CmdQueryRemote(int argc, char** argv) {
+  // octopus_cli query --remote <host:port> <6 box coords>
+  if (argc < 10) return Usage();
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(argv[3], &host, &port)) return Usage();
+  const AABB box(Vec3(std::atof(argv[4]), std::atof(argv[5]),
+                      std::atof(argv[6])),
+                 Vec3(std::atof(argv[7]), std::atof(argv[8]),
+                      std::atof(argv[9])));
+  auto connected = client::RemoteClient::Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.status().ToString().c_str());
+    return 1;
+  }
+  client::RemoteClient& remote = *connected.Value();
+  const auto& info = remote.server_info();
+  auto result = remote.ExecuteBatch(std::span<const AABB>(&box, 1));
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu vertices inside query box (remote %s backend, %llu "
+              "vertices)\n",
+              result.Value().results.per_query[0].size(),
+              info.paged != 0 ? "out-of-core" : "in-memory",
+              static_cast<unsigned long long>(info.num_vertices));
+  PrintRemoteBatchInfo(result.Value());
+  return 0;
+}
+
 int CmdQuery(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[2], "--remote") == 0) {
+    return CmdQueryRemote(argc, argv);
+  }
   if (argc < 9) return Usage();
   bool paged = false;
   size_t pool_bytes = 4u << 20;
@@ -173,6 +275,11 @@ int CmdQuery(int argc, char** argv) {
                       std::atof(argv[8])));
 
   if (paged) {
+    const Status valid = ValidatePoolBytes(argv[2], pool_bytes);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+      return 1;
+    }
     PagedOctopus::Options options;
     options.pool.pool_bytes = pool_bytes;
     auto octo = PagedOctopus::Open(argv[2], options);
@@ -212,12 +319,54 @@ int CmdQuery(int argc, char** argv) {
 int CmdSnapshot(int argc, char** argv) {
   if (argc < 4) return Usage();
   if (std::strcmp(argv[2], "info") == 0) {
+    bool json = false;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        json = true;
+      } else {
+        return Usage();
+      }
+    }
     auto header = storage::ReadSnapshotHeader(argv[3]);
     if (!header.ok()) {
       std::fprintf(stderr, "%s\n", header.status().ToString().c_str());
       return 1;
     }
     const storage::SnapshotHeader& h = header.Value();
+    if (json) {
+      // Machine-readable header dump: one flat JSON object, keys
+      // stable. The path is the only caller-controlled string — escape
+      // it so the output stays parseable JSON for any filename.
+      std::string escaped_path;
+      for (const char* p = argv[3]; *p != '\0'; ++p) {
+        const unsigned char c = static_cast<unsigned char>(*p);
+        if (c == '"' || c == '\\') {
+          escaped_path += '\\';
+          escaped_path += *p;
+        } else if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          escaped_path += buf;
+        } else {
+          escaped_path += *p;
+        }
+      }
+      std::printf(
+          "{\"path\": \"%s\", \"layout\": \"%s\", \"page_bytes\": %u, "
+          "\"num_pages\": %llu, \"file_bytes\": %llu, "
+          "\"num_vertices\": %llu, \"num_adj_entries\": %llu, "
+          "\"num_surface_vertices\": %llu, \"num_tets\": %llu}\n",
+          escaped_path.c_str(),
+          storage::LayoutName(
+              static_cast<storage::SnapshotLayout>(h.layout)),
+          h.page_bytes, static_cast<unsigned long long>(h.num_pages),
+          static_cast<unsigned long long>(h.FileBytes()),
+          static_cast<unsigned long long>(h.num_vertices),
+          static_cast<unsigned long long>(h.num_adj_entries),
+          static_cast<unsigned long long>(h.num_surface_vertices),
+          static_cast<unsigned long long>(h.num_tets));
+      return 0;
+    }
     Table t(std::string("snapshot info: ") + argv[3]);
     t.SetHeader({"field", "value"});
     t.AddRow({"layout", storage::LayoutName(
@@ -329,6 +478,123 @@ int CmdBench(int argc, char** argv) {
   return 0;
 }
 
+// Lock-free atomic: a plain pointer read from a signal handler is UB.
+std::atomic<server::QueryServer*> g_server{nullptr};
+
+void HandleStopSignal(int) {
+  server::QueryServer* srv = g_server.load(std::memory_order_acquire);
+  if (srv != nullptr) srv->Stop();  // one atomic store + one pipe write
+}
+
+/// Strict positive-int parse for serve's capacity knobs: trailing
+/// garbage ("10k", "2.5") must be rejected, not silently truncated.
+bool ParsePositiveInt(const char* arg, long max, long* out) {
+  char* end = nullptr;
+  const long value = std::strtol(arg, &end, 10);
+  if (end == arg || *end != '\0' || value < 1 || value > max) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+int CmdServe(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  bool paged = false;
+  size_t pool_bytes = 4u << 20;
+  long threads = 1;
+  server::ServerOptions options;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paged") == 0) {
+      paged = true;
+    } else if (std::strcmp(argv[i], "--pool-bytes") == 0 && i + 1 < argc) {
+      if (!ParseByteCount(argv[++i], &pool_bytes)) return Usage();
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      // Strict parse: 0 means "ephemeral", so a garbage value must not
+      // silently become 0 (atoi would).
+      char* end = nullptr;
+      const long port = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || port < 0 || port > 65535) {
+        return Usage();
+      }
+      options.port = static_cast<uint16_t>(port);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      if (!ParsePositiveInt(argv[++i], 1024, &threads)) return Usage();
+    } else if (std::strcmp(argv[i], "--window-us") == 0 && i + 1 < argc) {
+      // Strict like --port: 0 is a meaningful window, so garbage must
+      // not silently become it.
+      char* end = nullptr;
+      const long long us = std::strtoll(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || us < 0) return Usage();
+      options.scheduler.window_nanos = us * 1000;
+    } else if (std::strcmp(argv[i], "--max-batch") == 0 && i + 1 < argc) {
+      long n = 0;
+      if (!ParsePositiveInt(argv[++i], 1 << 30, &n)) return Usage();
+      options.scheduler.max_batch_queries = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--max-pending") == 0 &&
+               i + 1 < argc) {
+      long n = 0;
+      if (!ParsePositiveInt(argv[++i], 1 << 30, &n)) return Usage();
+      options.scheduler.max_pending_queries = static_cast<size_t>(n);
+    } else {
+      return Usage();
+    }
+  }
+
+  std::unique_ptr<server::QueryBackend> backend;
+  if (paged) {
+    const Status valid = ValidatePoolBytes(argv[2], pool_bytes);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+      return 1;
+    }
+    auto opened = server::QueryBackend::OpenSnapshot(
+        argv[2], pool_bytes, static_cast<int>(threads));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    backend = opened.MoveValue();
+  } else {
+    auto opened = server::QueryBackend::OpenMeshFile(
+        argv[2], static_cast<int>(threads));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    backend = opened.MoveValue();
+  }
+
+  server::QueryServer srv(std::move(backend), options);
+  const Status started = srv.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  g_server.store(&srv, std::memory_order_release);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::printf("octopus_cli %s serving %s (%s, %ld engine thread(s)) on "
+              "port %u\n",
+              kVersionString, argv[2],
+              paged ? "out-of-core" : "in-memory", threads, srv.port());
+  std::fflush(stdout);
+  const Status run = srv.Run();
+  g_server.store(nullptr, std::memory_order_release);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.ToString().c_str());
+    return 1;
+  }
+  const server::ServerMetrics& m = srv.metrics();
+  std::printf("served %llu queries in %llu batches (coalesce factor "
+              "%.2f) over %llu connection(s)\n",
+              static_cast<unsigned long long>(m.queries_executed),
+              static_cast<unsigned long long>(m.batches_executed),
+              m.CoalesceFactor(),
+              static_cast<unsigned long long>(m.connections_accepted));
+  return 0;
+}
+
 int CmdExport(int argc, char** argv) {
   if (argc < 4) return Usage();
   auto mesh = LoadMesh(argv[2]);
@@ -355,11 +621,19 @@ int main(int argc, char** argv) {
     PrintUsage(stdout);
     return 0;
   }
+  if (std::strcmp(argv[1], "--version") == 0 ||
+      std::strcmp(argv[1], "version") == 0) {
+    std::printf("octopus_cli %s (OCTP protocol v%u, OCT1/OCT2 formats)\n",
+                octopus::kVersionString,
+                static_cast<unsigned>(octopus::server::kProtocolVersion));
+    return 0;
+  }
   if (std::strcmp(argv[1], "generate") == 0) return CmdGenerate(argc, argv);
   if (std::strcmp(argv[1], "info") == 0) return CmdInfo(argc, argv);
   if (std::strcmp(argv[1], "query") == 0) return CmdQuery(argc, argv);
   if (std::strcmp(argv[1], "snapshot") == 0) return CmdSnapshot(argc, argv);
   if (std::strcmp(argv[1], "export") == 0) return CmdExport(argc, argv);
   if (std::strcmp(argv[1], "bench") == 0) return CmdBench(argc, argv);
+  if (std::strcmp(argv[1], "serve") == 0) return CmdServe(argc, argv);
   return Usage();
 }
