@@ -21,7 +21,7 @@
 #include "mesh/generators/datasets.h"
 #include "mesh/mesh_io.h"
 #include "octopus/query_executor.h"
-#include "server/backend.h"
+#include "server/versioned_backend.h"
 #include "server/server.h"
 #include "sim/workload.h"
 #include "storage/snapshot.h"
@@ -48,9 +48,9 @@ struct BenchOutcome {
 /// post-run metrics plus a client-side parity verdict.
 BenchOutcome RunConfig(const BenchConfig& config, const TetraMesh& mesh,
                        const std::string& snapshot_path) {
-  std::unique_ptr<server::QueryBackend> backend;
+  std::unique_ptr<server::VersionedBackend> backend;
   if (config.paged) {
-    auto opened = server::QueryBackend::OpenSnapshot(
+    auto opened = server::VersionedBackend::OpenSnapshot(
         snapshot_path, /*pool_bytes=*/256 * 4096, /*threads=*/1);
     if (!opened.ok()) {
       std::fprintf(stderr, "open snapshot: %s\n",
@@ -59,7 +59,7 @@ BenchOutcome RunConfig(const BenchConfig& config, const TetraMesh& mesh,
     }
     backend = opened.MoveValue();
   } else {
-    backend = server::QueryBackend::FromMesh(mesh, /*threads=*/1);
+    backend = server::VersionedBackend::FromMesh(mesh, /*threads=*/1);
   }
 
   server::ServerOptions options;

@@ -175,6 +175,7 @@ Status RemoteClient::StatusFromError(const server::ErrorFrame& error) {
     case ErrorCode::kUnexpectedFrame:
       return Status::InvalidArgument(text);
     case ErrorCode::kShuttingDown:
+    case ErrorCode::kTimeout:
       return Status::ResourceExhausted(text);
     default:
       return Status::IOError(text);
@@ -217,7 +218,37 @@ Result<RemoteBatchResult> RemoteClient::ExecuteBatch(
     return Status::IOError("RESULT query count mismatch");
   }
   result.results.per_query = std::move(per_query);
+  result.results.epoch = result.stats.epoch;
   return result;
+}
+
+Result<server::EpochInfoWire> RemoteClient::Step(uint32_t steps) {
+  if (steps > server::kMaxStepsPerFrame) {
+    // Statically detectable: fail locally instead of letting the
+    // server reject the frame as malformed and close the connection.
+    return Status::InvalidArgument(
+        "steps exceeds the per-frame cap of " +
+        std::to_string(server::kMaxStepsPerFrame) +
+        "; send multiple STEP frames");
+  }
+  Buffer out;
+  server::AppendStep(&out, server::StepFrame{steps});
+  OCTOPUS_RETURN_NOT_OK(SendAll(out));
+  FrameType type;
+  Buffer payload;
+  OCTOPUS_RETURN_NOT_OK(ReadFrame(&type, &payload));
+  if (type == FrameType::kError) {
+    server::ErrorFrame error;
+    OCTOPUS_RETURN_NOT_OK(server::ParseError(payload, &error));
+    return StatusFromError(error);
+  }
+  if (type != FrameType::kEpochInfo) {
+    Close();
+    return Status::IOError("expected EPOCH_INFO frame");
+  }
+  server::EpochInfoWire info;
+  OCTOPUS_RETURN_NOT_OK(server::ParseEpochInfo(payload, &info));
+  return info;
 }
 
 Result<server::ServerStatsWire> RemoteClient::FetchStats() {

@@ -21,7 +21,10 @@ namespace octopus::client {
 
 /// Result of one remote batch: per-query result sets in request order
 /// plus the executing batch's stats (see `server::BatchStatsWire` for
-/// the coalescing caveat).
+/// the coalescing caveat). `results.epoch` (== `stats.epoch`) is the
+/// mesh epoch the whole batch executed against — epoch-consistent by
+/// construction, and bit-comparable to an in-process engine run at the
+/// same step of the same deformer trajectory.
 struct RemoteBatchResult {
   engine::QueryBatchResult results;
   server::BatchStatsWire stats;
@@ -58,6 +61,15 @@ class RemoteClient {
 
   /// Fetches the server's metrics snapshot.
   Result<server::ServerStatsWire> FetchStats();
+
+  /// Advances the server's simulation `steps` steps (requires a dynamic
+  /// server for steps > 0) and returns the resulting epoch. The
+  /// control-plane verb behind `octopus_cli step`.
+  Result<server::EpochInfoWire> Step(uint32_t steps);
+
+  /// Current epoch + deformer info without advancing anything (legal on
+  /// static servers too: epoch {0, 0}, dynamic = 0).
+  Result<server::EpochInfoWire> FetchEpochInfo() { return Step(0); }
 
   void Close();
 

@@ -7,8 +7,9 @@
 namespace octopus {
 
 /// Library version, bumped per PR milestone: 0.1 batched engine,
-/// 0.2 out-of-core storage, 0.3 network query service.
-inline constexpr const char kVersionString[] = "0.3.0";
+/// 0.2 out-of-core storage, 0.3 network query service, 0.4 epoch-
+/// versioned dynamic serving.
+inline constexpr const char kVersionString[] = "0.4.0";
 
 }  // namespace octopus
 

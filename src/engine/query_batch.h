@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/aabb.h"
+#include "engine/mesh_epoch.h"
 #include "mesh/types.h"
 
 namespace octopus::engine {
@@ -41,12 +42,18 @@ struct QueryBatch {
 /// produced it.
 struct QueryBatchResult {
   std::vector<std::vector<VertexId>> per_query;
+  /// The mesh epoch every query of this batch executed against. A batch
+  /// is epoch-consistent by construction: the executor pins one epoch
+  /// before the first query and never observes a concurrent step.
+  /// Stays {0, 0} on the static (non-versioned) execution paths.
+  EpochInfo epoch;
 
   /// Clears and resizes to `num_queries` empty result sets. Reuses slot
   /// capacity across batches.
   void Reset(size_t num_queries) {
     for (auto& slot : per_query) slot.clear();
     per_query.resize(num_queries);
+    epoch = EpochInfo{};
   }
 
   size_t size() const { return per_query.size(); }

@@ -63,6 +63,11 @@ class QueryEngine {
   void Execute(const PagedOctopus& index, std::span<const AABB> boxes,
                QueryBatchResult* out);
 
+  /// The worker pool for callers that drive executor cores directly
+  /// (the versioned backend pins an epoch first, then shards over it);
+  /// null when the engine is configured sequential.
+  ThreadPool* pool() { return pool_.threads() > 1 ? &pool_ : nullptr; }
+
  private:
   ThreadPool pool_;
 };

@@ -121,6 +121,12 @@ class Crawler {
     return Crawl(mesh.Graph(), box, starts, out);
   }
 
+  /// Current visited-mark epoch (kEpochArray mode). Exposed with the
+  /// setter below so tests can drive the counter to its wraparound
+  /// (2^32 crawls would otherwise be needed to reach the reset path).
+  uint32_t epoch() const { return epoch_; }
+  void set_epoch_for_testing(uint32_t epoch) { epoch_ = epoch; }
+
   /// Bytes of visited marks + queue.
   size_t ScratchBytes() const {
     return visit_epoch_.capacity() * sizeof(uint32_t) +

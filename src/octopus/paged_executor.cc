@@ -22,7 +22,8 @@ PagedOctopus::PagedOctopus(std::unique_ptr<storage::PagedMeshStore> store,
 }
 
 storage::PagedMeshAccessor& PagedOctopus::AccessorFor(
-    engine::ExecutionContext* context) const {
+    engine::ExecutionContext* context,
+    const storage::PositionOverlay* overlay) const {
   if (context->paged_accessor == nullptr ||
       &context->paged_accessor->store() != store_.get()) {
     context->paged_accessor = std::make_unique<storage::PagedMeshAccessor>(
@@ -30,6 +31,7 @@ storage::PagedMeshAccessor& PagedOctopus::AccessorFor(
   } else {
     context->paged_accessor->set_stats(&context->stats.page_io);
   }
+  context->paged_accessor->set_overlay(overlay);
   return *context->paged_accessor;
 }
 
@@ -37,17 +39,20 @@ void PagedOctopus::RangeQuery(const AABB& box,
                               std::vector<VertexId>* out) const {
   contexts_.Ensure(1);
   engine::ExecutionContext* context = contexts_.context(0);
-  ExecuteOctopusQuery(AccessorFor(context), surface_index_,
+  ExecuteOctopusQuery(AccessorFor(context, nullptr), surface_index_,
                       options_.executor, box, context, out);
   contexts_.MergeStats(1);
 }
 
-void PagedOctopus::RangeQueryBatch(std::span<const AABB> boxes,
-                                   engine::QueryBatchResult* out,
-                                   engine::ThreadPool* pool) const {
+void PagedOctopus::RangeQueryBatch(
+    std::span<const AABB> boxes, engine::QueryBatchResult* out,
+    engine::ThreadPool* pool,
+    const storage::PositionOverlay* overlay) const {
   ExecuteOctopusBatch(
-      [this](engine::ExecutionContext* context)
-          -> storage::PagedMeshAccessor& { return AccessorFor(context); },
+      [this, overlay](engine::ExecutionContext* context)
+          -> storage::PagedMeshAccessor& {
+        return AccessorFor(context, overlay);
+      },
       surface_index_, options_.executor, boxes, out, pool, &contexts_);
 }
 

@@ -56,9 +56,17 @@ class PagedOctopus {
   /// Batch path, sharded across `pool` when given (null = sequential).
   /// Per-query results are independent of the thread count and equal to
   /// the in-memory results on the same (layout-permuted) mesh.
+  ///
+  /// `overlay` pins the batch to a position epoch: every shard's
+  /// accessor reads displaced-position delta pages from it instead of
+  /// the base snapshot (see storage/delta_overlay.h). Null = the base
+  /// snapshot's own positions (epoch 0). The caller keeps the overlay
+  /// alive for the duration of the batch.
   void RangeQueryBatch(std::span<const AABB> boxes,
                        engine::QueryBatchResult* out,
-                       engine::ThreadPool* pool = nullptr) const;
+                       engine::ThreadPool* pool = nullptr,
+                       const storage::PositionOverlay* overlay =
+                           nullptr) const;
 
   /// Surface index + buffer pool frames actually allocated + per-context
   /// scratch: everything resident, honestly counted — the number the
@@ -76,9 +84,11 @@ class PagedOctopus {
                const Options& options);
 
   /// Returns the context's paged accessor, creating or rebinding it to
-  /// this store on first use (contexts are reused across executors).
+  /// this store on first use (contexts are reused across executors),
+  /// pinned to `overlay` (may be null = base positions).
   storage::PagedMeshAccessor& AccessorFor(
-      engine::ExecutionContext* context) const;
+      engine::ExecutionContext* context,
+      const storage::PositionOverlay* overlay) const;
 
   Options options_;
   std::unique_ptr<storage::PagedMeshStore> store_;

@@ -5,6 +5,7 @@
 #ifndef OCTOPUS_OCTOPUS_PHASE_STATS_H_
 #define OCTOPUS_OCTOPUS_PHASE_STATS_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 
@@ -29,6 +30,13 @@ struct PhaseStats {
   size_t walk_vertices = 0;     ///< vertices expanded during walks
   size_t crawl_edges = 0;       ///< adjacency entries inspected
   size_t result_vertices = 0;
+  /// Staleness of the spatial structures when these queries ran:
+  /// simulation steps advanced since the surface index was built (the
+  /// index is never rebuilt on deformation — the paper's point — so
+  /// this is the epoch step of a versioned backend, 0 for a static
+  /// mesh). Merged as a max: the most-stale state the merged span
+  /// executed against.
+  size_t stale_steps = 0;
   /// Page-I/O counters of out-of-core execution (all zero when queries
   /// run over the in-memory accessor). Merged in shard order like every
   /// other counter; see `storage::PageIOStats` for the determinism
@@ -48,6 +56,7 @@ struct PhaseStats {
     walk_vertices += other.walk_vertices;
     crawl_edges += other.crawl_edges;
     result_vertices += other.result_vertices;
+    stale_steps = std::max(stale_steps, other.stale_steps);
     page_io.Merge(other.page_io);
   }
 

@@ -31,7 +31,7 @@ bool BatchScheduler::ShouldExecute(int64_t now_nanos) const {
   return !pending_.empty() && NanosUntilDue(now_nanos) == 0;
 }
 
-void BatchScheduler::ExecuteReady(QueryBackend* backend,
+void BatchScheduler::ExecuteReady(VersionedBackend* backend,
                                   std::vector<CompletedRequest>* completed,
                                   ServerMetrics* metrics) {
   if (pending_.empty()) return;
@@ -65,7 +65,7 @@ void BatchScheduler::ExecuteReady(QueryBackend* backend,
 
   const BatchStatsWire wire = BatchStatsWire::FromPhaseStats(
       batch_stats, static_cast<uint32_t>(batch_queries),
-      static_cast<uint32_t>(take));
+      static_cast<uint32_t>(take), batch_results_.epoch);
 
   // Demultiplex: each request gets its contiguous slice of the batch.
   size_t offset = 0;

@@ -21,9 +21,9 @@
 
 #include "common/aabb.h"
 #include "engine/query_batch.h"
-#include "server/backend.h"
 #include "server/metrics.h"
 #include "server/protocol.h"
+#include "server/versioned_backend.h"
 
 namespace octopus::server {
 
@@ -87,11 +87,13 @@ class BatchScheduler {
   bool ShouldExecute(int64_t now_nanos) const;
 
   /// Packs pending requests (FIFO, whole requests, up to the size cap)
-  /// into one batch, executes it on `backend`, and appends one
-  /// `CompletedRequest` per packed request to `completed`. Updates
-  /// `metrics` (batch/query counters + engine totals). Call in a loop
-  /// while `ShouldExecute` — one call executes exactly one batch.
-  void ExecuteReady(QueryBackend* backend,
+  /// into one batch, executes it on `backend` (against the epoch the
+  /// backend pins for the batch — every stamped RESULT of the batch
+  /// carries that one epoch), and appends one `CompletedRequest` per
+  /// packed request to `completed`. Updates `metrics` (batch/query
+  /// counters + engine totals). Call in a loop while `ShouldExecute` —
+  /// one call executes exactly one batch.
+  void ExecuteReady(VersionedBackend* backend,
                     std::vector<CompletedRequest>* completed,
                     ServerMetrics* metrics);
 

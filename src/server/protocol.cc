@@ -132,16 +132,22 @@ void PutBatchStats(Buffer* out, const BatchStatsWire& s) {
   PutU64(out, s.page_evictions);
   PutU32(out, s.batch_queries);
   PutU32(out, s.batch_requests);
+  PutU64(out, s.epoch.epoch);
+  PutU32(out, s.epoch.step);
+  PutU32(out, 0);  // reserved
 }
 
 bool ReadBatchStats(Reader* r, BatchStatsWire* s) {
+  uint32_t reserved = 0;
   return r->I64(&s->probe_nanos) && r->I64(&s->walk_nanos) &&
          r->I64(&s->crawl_nanos) && r->U64(&s->queries) &&
          r->U64(&s->probed_vertices) && r->U64(&s->walk_invocations) &&
          r->U64(&s->walk_vertices) && r->U64(&s->crawl_edges) &&
          r->U64(&s->result_vertices) && r->U64(&s->page_hits) &&
          r->U64(&s->page_misses) && r->U64(&s->page_evictions) &&
-         r->U32(&s->batch_queries) && r->U32(&s->batch_requests);
+         r->U32(&s->batch_queries) && r->U32(&s->batch_requests) &&
+         r->U64(&s->epoch.epoch) && r->U32(&s->epoch.step) &&
+         r->U32(&reserved);
 }
 
 }  // namespace
@@ -156,14 +162,17 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kOverloaded: return "OVERLOADED";
     case ErrorCode::kShuttingDown: return "SHUTTING_DOWN";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kTimeout: return "TIMEOUT";
   }
   return "UNKNOWN";
 }
 
 BatchStatsWire BatchStatsWire::FromPhaseStats(const PhaseStats& stats,
                                               uint32_t batch_queries,
-                                              uint32_t batch_requests) {
+                                              uint32_t batch_requests,
+                                              engine::EpochInfo epoch) {
   BatchStatsWire w;
+  w.epoch = epoch;
   w.probe_nanos = stats.probe_nanos;
   w.walk_nanos = stats.walk_nanos;
   w.crawl_nanos = stats.crawl_nanos;
@@ -195,6 +204,7 @@ PhaseStats BatchStatsWire::ToPhaseStats() const {
   s.page_io.page_hits = page_hits;
   s.page_io.page_misses = page_misses;
   s.page_io.page_evictions = page_evictions;
+  s.stale_steps = epoch.step;
   return s;
 }
 
@@ -210,7 +220,7 @@ void AppendWelcome(Buffer* out, const WelcomeFrame& welcome) {
   const size_t h = BeginFrame(out, FrameType::kWelcome);
   PutU16(out, welcome.version);
   out->push_back(welcome.paged);
-  out->push_back(0);  // reserved
+  out->push_back(welcome.dynamic);
   PutU64(out, welcome.num_vertices);
   PutU32(out, welcome.page_bytes);
   PutU32(out, welcome.max_batch_queries);
@@ -236,7 +246,7 @@ void AppendQueryBatch(Buffer* out, uint64_t request_id,
 
 size_t ResultPayloadBytes(
     std::span<const std::vector<VertexId>> per_query) {
-  size_t bytes = 16 + 104;  // id + count + reserved + batch-stats block
+  size_t bytes = 16 + 120;  // id + count + reserved + batch-stats block
   for (const std::vector<VertexId>& result : per_query) {
     bytes += 4 + result.size() * sizeof(VertexId);
   }
@@ -279,6 +289,25 @@ void AppendStats(Buffer* out, const ServerStatsWire& stats) {
   PutU64(out, stats.page_hits);
   PutU64(out, stats.page_misses);
   PutU64(out, stats.page_evictions);
+  PutU64(out, stats.steps_applied);
+  EndFrame(out, h);
+}
+
+void AppendStep(Buffer* out, const StepFrame& step) {
+  const size_t h = BeginFrame(out, FrameType::kStep);
+  PutU32(out, step.steps);
+  PutU32(out, 0);  // reserved
+  EndFrame(out, h);
+}
+
+void AppendEpochInfo(Buffer* out, const EpochInfoWire& info) {
+  const size_t h = BeginFrame(out, FrameType::kEpochInfo);
+  PutU64(out, info.epoch);
+  PutU32(out, info.step);
+  out->push_back(info.dynamic);
+  out->push_back(info.deformer_kind);
+  PutU16(out, 0);  // reserved
+  PutU64(out, info.last_step_pages_rewritten);
   EndFrame(out, h);
 }
 
@@ -315,7 +344,7 @@ Result<FrameHeader> ParseFrameHeader(std::span<const uint8_t> data) {
         "-byte cap");
   }
   if (type < static_cast<uint8_t>(FrameType::kHello) ||
-      type > static_cast<uint8_t>(FrameType::kError)) {
+      type > static_cast<uint8_t>(FrameType::kEpochInfo)) {
     return Malformed("unknown frame type");
   }
   if (flags != 0) return Malformed("nonzero reserved flags");
@@ -341,6 +370,7 @@ Status ParseWelcome(std::span<const uint8_t> payload, WelcomeFrame* out) {
     return Malformed("WELCOME payload size mismatch");
   }
   out->paged = static_cast<uint8_t>(packed & 0xFF);
+  out->dynamic = static_cast<uint8_t>(packed >> 8);
   return Status::OK();
 }
 
@@ -410,9 +440,37 @@ Status ParseStats(std::span<const uint8_t> payload, ServerStatsWire* out) {
       !r.U64(&out->batches_executed) || !r.U64(&out->latency_p50_nanos) ||
       !r.U64(&out->latency_p95_nanos) || !r.U64(&out->latency_p99_nanos) ||
       !r.U64(&out->page_hits) || !r.U64(&out->page_misses) ||
-      !r.U64(&out->page_evictions) || !r.Done()) {
+      !r.U64(&out->page_evictions) || !r.U64(&out->steps_applied) ||
+      !r.Done()) {
     return Malformed("STATS payload size mismatch");
   }
+  return Status::OK();
+}
+
+Status ParseStep(std::span<const uint8_t> payload, StepFrame* out) {
+  Reader r(payload);
+  uint32_t reserved = 0;
+  if (!r.U32(&out->steps) || !r.U32(&reserved) || !r.Done()) {
+    return Malformed("STEP payload must be exactly 8 bytes");
+  }
+  if (out->steps > kMaxStepsPerFrame) {
+    return Malformed("STEP count exceeds the per-frame cap");
+  }
+  return Status::OK();
+}
+
+Status ParseEpochInfo(std::span<const uint8_t> payload,
+                      EpochInfoWire* out) {
+  Reader r(payload);
+  uint16_t packed = 0;
+  uint16_t reserved = 0;
+  if (!r.U64(&out->epoch) || !r.U32(&out->step) || !r.U16(&packed) ||
+      !r.U16(&reserved) || !r.U64(&out->last_step_pages_rewritten) ||
+      !r.Done()) {
+    return Malformed("EPOCH_INFO payload size mismatch");
+  }
+  out->dynamic = static_cast<uint8_t>(packed & 0xFF);
+  out->deformer_kind = static_cast<uint8_t>(packed >> 8);
   return Status::OK();
 }
 
@@ -427,7 +485,7 @@ Status ParseError(std::span<const uint8_t> payload, ErrorFrame* out) {
     return Malformed("ERROR payload size mismatch");
   }
   if (code < static_cast<uint16_t>(ErrorCode::kBadMagic) ||
-      code > static_cast<uint16_t>(ErrorCode::kInternal)) {
+      code > static_cast<uint16_t>(ErrorCode::kTimeout)) {
     return Malformed("ERROR unknown code");
   }
   out->code = static_cast<ErrorCode>(code);

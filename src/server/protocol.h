@@ -16,6 +16,7 @@
 
 #include "common/aabb.h"
 #include "common/status.h"
+#include "engine/mesh_epoch.h"
 #include "engine/query_batch.h"
 #include "octopus/phase_stats.h"
 
@@ -26,8 +27,10 @@ namespace octopus::server {
 inline constexpr uint32_t kProtocolMagic = 0x4F435450;
 
 /// Bumped on any incompatible frame-layout change; the server rejects
-/// mismatched clients in the handshake.
-inline constexpr uint16_t kProtocolVersion = 1;
+/// mismatched clients in the handshake. v2: epoch-stamped RESULTs
+/// (120-byte batch-stats block), STEP/EPOCH_INFO frames, TIMEOUT error,
+/// `steps_applied` in STATS.
+inline constexpr uint16_t kProtocolVersion = 2;
 
 /// Every frame starts with this fixed-size header.
 inline constexpr size_t kFrameHeaderBytes = 8;
@@ -45,6 +48,8 @@ enum class FrameType : uint8_t {
   kStatsRequest = 5,  ///< client -> server: empty payload
   kStats = 6,         ///< server -> client: server metrics snapshot
   kError = 7,         ///< server -> client: typed error, optional request id
+  kStep = 8,          ///< client -> server: advance the simulation N steps
+  kEpochInfo = 9,     ///< server -> client: current epoch + deformer info
 };
 
 /// Typed error codes carried by kError frames.
@@ -57,6 +62,7 @@ enum class ErrorCode : uint16_t {
   kOverloaded = 6,       ///< admission control rejected the request
   kShuttingDown = 7,     ///< server is draining; request not accepted
   kInternal = 8,         ///< server-side failure executing the request
+  kTimeout = 9,          ///< session idle/handshake deadline expired
 };
 
 const char* ErrorCodeName(ErrorCode code);
@@ -78,7 +84,8 @@ struct HelloFrame {
 /// Server self-description sent after a successful handshake.
 struct WelcomeFrame {
   uint16_t version = kProtocolVersion;
-  uint8_t paged = 0;  ///< 1 = out-of-core OCT2 backend, 0 = in-memory
+  uint8_t paged = 0;    ///< 1 = out-of-core OCT2 backend, 0 = in-memory
+  uint8_t dynamic = 0;  ///< 1 = a deformer is bound; STEP advances it
   uint64_t num_vertices = 0;
   uint32_t page_bytes = 0;  ///< 0 for the in-memory backend
   /// Coalescing cap: batches above this execute alone, so clients that
@@ -106,11 +113,41 @@ struct BatchStatsWire {
   uint64_t page_evictions = 0;
   uint32_t batch_queries = 0;   ///< queries in the coalesced batch
   uint32_t batch_requests = 0;  ///< client requests coalesced into it
+  /// Mesh epoch the batch executed against (epoch-stamped RESULTs): the
+  /// whole coalesced batch ran on this one pinned state, so every
+  /// result in it is epoch-consistent. `epoch.step` doubles as the
+  /// index staleness in simulation steps (the index is built at step 0
+  /// and never maintained). {0, 0} on a static backend.
+  engine::EpochInfo epoch;
 
   static BatchStatsWire FromPhaseStats(const PhaseStats& stats,
                                        uint32_t batch_queries,
-                                       uint32_t batch_requests);
+                                       uint32_t batch_requests,
+                                       engine::EpochInfo epoch);
   PhaseStats ToPhaseStats() const;
+};
+
+/// Cap on STEP's `steps` field: steps apply inline on the server's
+/// event loop, so one frame must not be able to monopolize it with an
+/// unbounded amount of O(V) work. Larger values are rejected as
+/// malformed; advance further with multiple frames.
+inline constexpr uint32_t kMaxStepsPerFrame = 1024;
+
+/// STEP payload: advance the bound deformer `steps` times (0 = just
+/// report the current epoch — legal on static servers too).
+struct StepFrame {
+  uint32_t steps = 0;
+};
+
+/// EPOCH_INFO payload: the answer to every STEP.
+struct EpochInfoWire {
+  uint64_t epoch = 0;
+  uint32_t step = 0;
+  uint8_t dynamic = 0;        ///< 1 = a deformer is bound
+  uint8_t deformer_kind = 0;  ///< DeformerKind wire value
+  /// Position pages rewritten by the last applied step (paged backends;
+  /// 0 in-memory or before the first step) — the OCT2 delta-page cost.
+  uint64_t last_step_pages_rewritten = 0;
 };
 
 /// Server metrics snapshot carried by the STATS frame.
@@ -129,6 +166,7 @@ struct ServerStatsWire {
   uint64_t page_hits = 0;  ///< totals across every executed batch
   uint64_t page_misses = 0;
   uint64_t page_evictions = 0;
+  uint64_t steps_applied = 0;  ///< simulation steps the backend applied
 
   /// Mean queries per executed batch (0 when nothing executed yet).
   double CoalesceFactor() const {
@@ -159,6 +197,8 @@ void AppendResult(Buffer* out, uint64_t request_id,
 void AppendStatsRequest(Buffer* out);
 void AppendStats(Buffer* out, const ServerStatsWire& stats);
 void AppendError(Buffer* out, const ErrorFrame& error);
+void AppendStep(Buffer* out, const StepFrame& step);
+void AppendEpochInfo(Buffer* out, const EpochInfoWire& info);
 
 // --- Decoding ---
 
@@ -184,6 +224,8 @@ Status ParseResult(std::span<const uint8_t> payload, uint64_t* request_id,
                    std::vector<std::vector<VertexId>>* per_query);
 Status ParseStats(std::span<const uint8_t> payload, ServerStatsWire* out);
 Status ParseError(std::span<const uint8_t> payload, ErrorFrame* out);
+Status ParseStep(std::span<const uint8_t> payload, StepFrame* out);
+Status ParseEpochInfo(std::span<const uint8_t> payload, EpochInfoWire* out);
 
 }  // namespace octopus::server
 

@@ -36,6 +36,9 @@ struct QueryServer::Session {
   uint64_t id = 0;
   int fd = -1;
   bool handshaken = false;
+  /// Last instant the peer delivered bytes (accept time initially);
+  /// drives the idle/handshake timeout.
+  int64_t last_activity_nanos = 0;
   /// Set after a fatal protocol error: pending output (the error frame)
   /// is flushed, further input is ignored, then the socket closes.
   bool close_after_flush = false;
@@ -50,7 +53,7 @@ struct QueryServer::Session {
   bool WantsWrite() const { return out_offset < out.size(); }
 };
 
-QueryServer::QueryServer(std::unique_ptr<QueryBackend> backend,
+QueryServer::QueryServer(std::unique_ptr<VersionedBackend> backend,
                          ServerOptions options)
     : backend_(std::move(backend)),
       options_(std::move(options)),
@@ -128,11 +131,14 @@ Status QueryServer::Run() {
   std::vector<uint64_t> fd_session;  // session id per pollfd slot
 
   while (!stop_requested_.load(std::memory_order_acquire)) {
+    const int64_t now = NowNanos();
+    // Condemn idle sessions BEFORE building the poll set, so their
+    // TIMEOUT error frames register for writing in this very round.
+    const int64_t idle_in = EnforceIdleDeadlines(now);
     fds.clear();
     fd_session.clear();
     fds.push_back({wake_fd_read_, POLLIN, 0});
     fd_session.push_back(0);
-    const int64_t now = NowNanos();
     const bool accepting = sessions_.size() < options_.max_connections &&
                            now >= accept_retry_at_nanos_;
     if (accepting) {
@@ -159,6 +165,7 @@ Status QueryServer::Run() {
       const int64_t retry_in = accept_retry_at_nanos_ - now;
       due = due < 0 ? retry_in : std::min(due, retry_in);
     }
+    if (idle_in >= 0) due = due < 0 ? idle_in : std::min(due, idle_in);
     int timeout_ms = -1;
     if (due >= 0) {
       // Round up so we never spin on a sub-millisecond remainder.
@@ -241,12 +248,14 @@ void QueryServer::AcceptNew() {
     auto session = std::make_unique<Session>();
     session->id = next_session_id_++;
     session->fd = fd;
+    session->last_activity_nanos = NowNanos();
     metrics_.connections_accepted += 1;
     sessions_.emplace(session->id, std::move(session));
   }
 }
 
 void QueryServer::ReadSession(Session* session) {
+  session->last_activity_nanos = NowNanos();
   while (true) {
     const size_t old_size = session->in.size();
     session->in.resize(old_size + kReadChunkBytes);
@@ -342,6 +351,7 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
     }
     WelcomeFrame welcome;
     welcome.paged = backend_->paged() ? 1 : 0;
+    welcome.dynamic = backend_->dynamic() ? 1 : 0;
     welcome.num_vertices = backend_->num_vertices();
     welcome.page_bytes = backend_->page_bytes();
     welcome.max_batch_queries = static_cast<uint32_t>(
@@ -366,9 +376,12 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
       metrics_.queries_received += request.boxes.size();
       request.arrival_nanos = NowNanos();
       if (request.boxes.empty()) {
-        // Nothing to coalesce: answer an empty batch immediately.
-        AppendResult(&session->out, request.request_id, BatchStatsWire{},
-                     {});
+        // Nothing to coalesce: answer an empty batch immediately —
+        // still epoch-stamped (every RESULT carries the epoch, even a
+        // trivially consistent one).
+        BatchStatsWire empty;
+        empty.epoch = backend_->CurrentEpoch();
+        AppendResult(&session->out, request.request_id, empty, {});
         metrics_.results_sent += 1;
         metrics_.request_latency.Record(0);
         return;
@@ -386,15 +399,52 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
       }
       return;
     }
-    case FrameType::kStatsRequest:
+    case FrameType::kStatsRequest: {
       if (!payload.empty()) {
         metrics_.malformed_frames += 1;
         SendError(session, ErrorCode::kMalformedFrame, 0,
                   "STATS_REQUEST payload must be empty", true);
         return;
       }
-      AppendStats(&session->out, metrics_.ToWire());
+      ServerStatsWire wire = metrics_.ToWire();
+      // Steps may be applied by a stepper thread, bypassing the loop's
+      // counters; the backend's epoch is the authoritative count.
+      wire.steps_applied = backend_->CurrentEpoch().step;
+      AppendStats(&session->out, wire);
       return;
+    }
+    case FrameType::kStep: {
+      StepFrame step;
+      const Status st = ParseStep(payload, &step);
+      if (!st.ok()) {
+        metrics_.malformed_frames += 1;
+        SendError(session, ErrorCode::kMalformedFrame, 0, st.message(),
+                  true);
+        return;
+      }
+      if (step.steps > 0 && !backend_->dynamic()) {
+        SendError(session, ErrorCode::kUnexpectedFrame, 0,
+                  "STEP with steps > 0 requires a bound deformer "
+                  "(serve --deform)",
+                  true);
+        return;
+      }
+      // Applied inline on the loop thread: a control-plane verb, cheap
+      // relative to the batches it interleaves with (steps normally
+      // come from the --step-every stepper thread instead).
+      for (uint32_t i = 0; i < step.steps; ++i) backend_->AdvanceStep();
+      EpochInfoWire info;
+      const engine::EpochInfo current = backend_->CurrentEpoch();
+      info.epoch = current.epoch;
+      info.step = current.step;
+      info.dynamic = backend_->dynamic() ? 1 : 0;
+      info.deformer_kind =
+          static_cast<uint8_t>(backend_->deformer_kind());
+      info.last_step_pages_rewritten =
+          backend_->last_step_pages_rewritten();
+      AppendEpochInfo(&session->out, info);
+      return;
+    }
     default:
       SendError(session, ErrorCode::kUnexpectedFrame, 0,
                 "frame type not valid from a client in this state", true);
@@ -446,6 +496,31 @@ void QueryServer::ExecuteDueBatches(int64_t now_nanos) {
       DeliverResult(done, done_at);
     }
   }
+}
+
+int64_t QueryServer::EnforceIdleDeadlines(int64_t now_nanos) {
+  if (options_.idle_timeout_nanos <= 0) return -1;
+  int64_t next_in = -1;
+  for (auto& [id, session] : sessions_) {
+    // A session already condemned, half-closed, or waiting on a result
+    // we owe it is not idling at our expense.
+    if (session->close_after_flush || session->read_closed ||
+        scheduler_.HasPendingFor(id)) {
+      continue;
+    }
+    const int64_t deadline =
+        session->last_activity_nanos + options_.idle_timeout_nanos;
+    if (deadline <= now_nanos) {
+      SendError(session.get(), ErrorCode::kTimeout, 0,
+                session->handshaken
+                    ? "idle timeout: no frames received"
+                    : "handshake timeout: no HELLO received",
+                /*close_connection=*/true);
+    } else if (next_in < 0 || deadline - now_nanos < next_in) {
+      next_in = deadline - now_nanos;
+    }
+  }
+  return next_in;
 }
 
 void QueryServer::FlushSession(Session* session) {
@@ -504,6 +579,19 @@ void QueryServer::DrainAndClose() {
     for (const CompletedRequest& done : completed_scratch_) {
       DeliverResult(done, done_at);
     }
+  }
+
+  // Typed goodbye: every surviving session learns WHY the connection is
+  // about to close (after any results it is owed, which are already in
+  // its buffer) instead of observing a silent EOF. Frames a peer sends
+  // from here on are never read, exactly as before.
+  for (auto& [id, session] : sessions_) {
+    if (session->close_after_flush) continue;  // already condemned, typed
+    ErrorFrame error;
+    error.code = ErrorCode::kShuttingDown;
+    error.message = "server is shutting down";
+    AppendError(&session->out, error);
+    metrics_.errors_sent += 1;
   }
 
   // Bounded flush of buffered responses.

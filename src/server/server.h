@@ -24,10 +24,10 @@
 #include <vector>
 
 #include "common/status.h"
-#include "server/backend.h"
 #include "server/batch_scheduler.h"
 #include "server/metrics.h"
 #include "server/protocol.h"
+#include "server/versioned_backend.h"
 
 namespace octopus::server {
 
@@ -44,11 +44,19 @@ struct ServerOptions {
   /// client that pipelines without reading cannot grow server memory
   /// unboundedly.
   size_t max_session_out_bytes = 64u << 20;
+  /// Idle/handshake timeout: a session that has not delivered a single
+  /// byte for this long — including one that never sent its HELLO — is
+  /// answered with ERROR(TIMEOUT) and closed, so silent connections
+  /// cannot pin `max_connections` slots forever. Sessions with a
+  /// request pending in the scheduler are exempt (they are waiting on
+  /// us, not the reverse). 0 disables.
+  int64_t idle_timeout_nanos = 300'000'000'000;  // 5 min
 };
 
 class QueryServer {
  public:
-  QueryServer(std::unique_ptr<QueryBackend> backend, ServerOptions options);
+  QueryServer(std::unique_ptr<VersionedBackend> backend,
+              ServerOptions options);
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
@@ -71,7 +79,10 @@ class QueryServer {
   /// Loop-thread state; read it from other threads only after `Run`
   /// has returned.
   const ServerMetrics& metrics() const { return metrics_; }
-  QueryBackend* backend() { return backend_.get(); }
+  /// The backend. `AdvanceStep`/`CurrentEpoch` on it are safe from a
+  /// stepper thread while the loop runs (see VersionedBackend's thread
+  /// model); everything else is loop-thread state.
+  VersionedBackend* backend() { return backend_.get(); }
 
  private:
   struct Session;
@@ -88,11 +99,14 @@ class QueryServer {
   /// a request-scoped error when the result exceeds the frame cap).
   void DeliverResult(const CompletedRequest& done, int64_t done_at);
   void ExecuteDueBatches(int64_t now_nanos);
+  /// Closes sessions silent past the idle deadline (typed TIMEOUT
+  /// error); returns nanos until the next session times out (-1: none).
+  int64_t EnforceIdleDeadlines(int64_t now_nanos);
   void FlushSession(Session* session);
   void CloseSession(uint64_t session_id);
   void DrainAndClose();
 
-  std::unique_ptr<QueryBackend> backend_;
+  std::unique_ptr<VersionedBackend> backend_;
   ServerOptions options_;
   ServerMetrics metrics_;
   BatchScheduler scheduler_;

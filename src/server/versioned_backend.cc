@@ -1,0 +1,212 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "server/versioned_backend.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <span>
+#include <utility>
+
+#include "mesh/mesh_io.h"
+#include "storage/file_util.h"
+
+namespace octopus::server {
+
+namespace {
+
+/// Sequentially reads a snapshot's positions section (the simulation
+/// side's working copy — one bulk read at bind time, not routed through
+/// the query pool).
+Status ReadAllPositions(const std::string& path,
+                        const storage::SnapshotHeader& h,
+                        std::vector<Vec3>* out) {
+  storage::FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  out->resize(h.num_vertices);
+  const size_t per_page = h.PositionsPerPage();
+  uint64_t done = 0;
+  for (uint64_t page = h.positions_start_page; done < h.num_vertices;
+       ++page) {
+    const size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(per_page, h.num_vertices - done));
+    if (std::fseek(f.get(), static_cast<long>(page * h.page_bytes),
+                   SEEK_SET) != 0 ||
+        std::fread(out->data() + done, sizeof(Vec3), chunk, f.get()) !=
+            chunk) {
+      return Status::Corruption("truncated positions section in " + path);
+    }
+    done += chunk;
+  }
+  return Status::OK();
+}
+
+/// Mean edge length through the paged store (amplitude default when the
+/// spec left it unresolved): a bounded vertex sample read through a
+/// throwaway accessor.
+float EstimateMeanEdgeLengthPaged(const storage::PagedMeshStore& store,
+                                  std::span<const Vec3> positions) {
+  storage::PageIOStats scratch_stats;
+  storage::PagedMeshAccessor accessor(&store, &scratch_stats);
+  const size_t v_count = store.num_vertices();
+  const size_t stride = std::max<size_t>(1, v_count / 1024);
+  double total = 0.0;
+  size_t edges = 0;
+  for (size_t v = 0; v < v_count; v += stride) {
+    const Vec3 p = positions[v];
+    for (VertexId n : accessor.neighbors(static_cast<VertexId>(v))) {
+      total += Distance(p, positions[n]);
+      ++edges;
+    }
+  }
+  return edges == 0 ? 0.0f : static_cast<float>(total / edges);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<VersionedBackend>> VersionedBackend::OpenMeshFile(
+    const std::string& path, int threads) {
+  auto mesh = LoadMesh(path);
+  if (!mesh.ok()) return mesh.status();
+  return FromMesh(mesh.MoveValue(), threads);
+}
+
+std::unique_ptr<VersionedBackend> VersionedBackend::FromMesh(TetraMesh mesh,
+                                                             int threads) {
+  std::unique_ptr<VersionedBackend> backend(new VersionedBackend(threads));
+  backend->num_vertices_ = mesh.num_vertices();
+  backend->mesh_ = std::make_unique<VersionedMesh>(std::move(mesh));
+  // The one-time build the paper prices: after this the index is never
+  // maintained, however many steps the mesh advances.
+  backend->surface_index_.Build(backend->mesh_->base());
+  backend->contexts_.set_num_vertices(backend->num_vertices_);
+  return backend;
+}
+
+Result<std::unique_ptr<VersionedBackend>> VersionedBackend::OpenSnapshot(
+    const std::string& path, size_t pool_bytes, int threads) {
+  PagedOctopus::Options options;
+  options.pool.pool_bytes = pool_bytes;
+  auto paged = PagedOctopus::Open(path, options);
+  if (!paged.ok()) return paged.status();
+  std::unique_ptr<VersionedBackend> backend(new VersionedBackend(threads));
+  backend->paged_ = paged.MoveValue();
+  backend->snapshot_path_ = path;
+  backend->num_vertices_ =
+      backend->paged_->store().header().num_vertices;
+  backend->page_bytes_ = backend->paged_->store().header().page_bytes;
+  return backend;
+}
+
+Status VersionedBackend::BindDeformer(const DeformerSpec& spec) {
+  if (dynamic()) {
+    return Status::InvalidArgument("a deformer is already bound");
+  }
+  if (mesh_ != nullptr) {
+    OCTOPUS_RETURN_NOT_OK(mesh_->BindDeformer(spec));
+    dynamic_.store(true, std::memory_order_release);
+    return Status::OK();
+  }
+
+  // Paged path: materialize the simulation-side position state (the
+  // black-box solver's working copy), bind the deformer to it, and
+  // publish epoch 0 with an empty overlay (the base file IS epoch 0).
+  const storage::SnapshotHeader& header = paged_->store().header();
+  std::vector<Vec3> positions;
+  OCTOPUS_RETURN_NOT_OK(
+      ReadAllPositions(snapshot_path_, header, &positions));
+  DeformerSpec resolved = spec;
+  auto deformer = MakeDeformerResolving(
+      &resolved, EstimateMeanEdgeLengthPaged(paged_->store(), positions));
+  if (!deformer.ok()) return deformer.status();
+
+  auto epoch0 = std::make_shared<PagedEpoch>();
+  epoch0->info = engine::EpochInfo{0, 0};
+  paged_prev_positions_ = positions;
+  paged_sim_mesh_ =
+      std::make_unique<TetraMesh>(std::move(positions), std::vector<Tet>{});
+  paged_deformer_ = deformer.MoveValue();
+  paged_deformer_->Bind(*paged_sim_mesh_);
+  paged_spec_ = resolved;
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    paged_current_ = std::move(epoch0);
+  }
+  dynamic_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+DeformerKind VersionedBackend::deformer_kind() const {
+  if (!dynamic()) return DeformerKind::kNone;
+  return mesh_ != nullptr ? mesh_->deformer_kind() : paged_spec_.kind;
+}
+
+engine::EpochInfo VersionedBackend::AdvanceStep() {
+  assert(dynamic() && "AdvanceStep requires a bound deformer");
+  if (mesh_ != nullptr) return mesh_->AdvanceStep();
+
+  std::lock_guard<std::mutex> step_lock(step_mu_);
+  const std::shared_ptr<const PagedEpoch> prev = PinPaged();
+  auto next = std::make_shared<PagedEpoch>();
+  next->info.epoch = prev->info.epoch + 1;
+  next->info.step = prev->info.step + 1;
+  // SIMULATE: O(V) deformation of the live array, outside any lock the
+  // query path takes.
+  paged_deformer_->ApplyStep(static_cast<int>(next->info.step),
+                             paged_sim_mesh_.get());
+  // Delta pages: rewrite only position pages whose bytes changed;
+  // unchanged pages are shared with the previous epoch (or stay in the
+  // base file). Adjacency and surface pages are never touched.
+  size_t rewritten = 0;
+  next->overlay = storage::PositionOverlay::BuildNext(
+      paged_->store().header(), prev->overlay.get(),
+      paged_prev_positions_, paged_sim_mesh_->positions(), &rewritten);
+  paged_prev_positions_ = paged_sim_mesh_->positions();
+  last_step_pages_rewritten_.store(rewritten, std::memory_order_release);
+  const engine::EpochInfo info = next->info;
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    paged_current_ = std::move(next);
+  }
+  return info;
+}
+
+engine::EpochInfo VersionedBackend::CurrentEpoch() const {
+  if (mesh_ != nullptr) return mesh_->CurrentEpoch();
+  const std::shared_ptr<const PagedEpoch> pin = PinPaged();
+  return pin != nullptr ? pin->info : engine::EpochInfo{};
+}
+
+void VersionedBackend::Execute(std::span<const AABB> boxes,
+                               engine::QueryBatchResult* out,
+                               PhaseStats* batch_stats) {
+  if (paged_ != nullptr) {
+    // Pin the epoch for the whole batch: the overlay (and the buffers
+    // behind it) stay alive and immutable even if a step publishes a
+    // successor mid-batch.
+    const std::shared_ptr<const PagedEpoch> pin = PinPaged();
+    paged_->ResetStats();
+    paged_->RangeQueryBatch(boxes, out, engine_.pool(),
+                            pin != nullptr ? pin->overlay.get() : nullptr);
+    *batch_stats = paged_->stats();
+    if (pin != nullptr) {
+      out->epoch = pin->info;
+      batch_stats->stale_steps = pin->info.step;
+    }
+    return;
+  }
+
+  // In-memory: pin the position epoch (null = static mesh, read the
+  // base), run the batch over a graph view of exactly those positions.
+  const std::shared_ptr<const PositionEpoch> pin = mesh_->Pin();
+  const MeshGraphView graph = mesh_->PinnedGraph(pin.get());
+  contexts_.ResetStats();
+  ExecuteOctopusBatch(graph, surface_index_, octopus_options_, boxes, out,
+                      engine_.pool(), &contexts_);
+  *batch_stats = contexts_.stats();
+  if (pin != nullptr) {
+    out->epoch = pin->info;
+    batch_stats->stale_steps = pin->info.step;
+  }
+}
+
+}  // namespace octopus::server

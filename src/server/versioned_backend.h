@@ -1,0 +1,150 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// The server's query backend, now epoch-versioned: one OCTOPUS executor
+// — in-memory mesh or paged OCT2 snapshot — plus, optionally, a bound
+// deformer that `AdvanceStep` drives. Every step publishes a fresh
+// position epoch copy-on-write (in-memory: a position-buffer swap;
+// paged: an OCT2 delta-page overlay that rewrites only
+// displaced-position pages), while the surface index built at load time
+// is never touched — the paper's stale-index claim, finally serving a
+// mesh that actually moves.
+//
+// Thread model: `Execute` belongs to the event-loop thread;
+// `AdvanceStep` may run on a dedicated stepper thread concurrently with
+// it. Queries pin the current epoch in O(1) and never block on (or get
+// torn by) an in-flight step; `AdvanceStep` itself is serialized.
+#ifndef OCTOPUS_SERVER_VERSIONED_BACKEND_H_
+#define OCTOPUS_SERVER_VERSIONED_BACKEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/mesh_epoch.h"
+#include "engine/query_engine.h"
+#include "mesh/tetra_mesh.h"
+#include "octopus/paged_executor.h"
+#include "octopus/query_executor.h"
+#include "sim/deformer_spec.h"
+#include "sim/versioned_mesh.h"
+#include "storage/delta_overlay.h"
+
+namespace octopus::server {
+
+/// \brief Executes query batches for the server, over either backing
+/// store, against an epoch-versioned position state.
+///
+/// `Execute` is single-threaded (the event loop is the only caller;
+/// internal query parallelism comes from the engine's thread pool).
+/// `AdvanceStep` / `CurrentEpoch` are safe from one other thread
+/// concurrently with `Execute`.
+class VersionedBackend {
+ public:
+  /// In-memory backend over an OCT1 mesh file (loads + builds the
+  /// surface index).
+  static Result<std::unique_ptr<VersionedBackend>> OpenMeshFile(
+      const std::string& path, int threads);
+
+  /// In-memory backend over an already-built mesh (tests, benches).
+  static std::unique_ptr<VersionedBackend> FromMesh(TetraMesh mesh,
+                                                    int threads);
+
+  /// Out-of-core backend over an OCT2 snapshot with a byte-capped pool.
+  static Result<std::unique_ptr<VersionedBackend>> OpenSnapshot(
+      const std::string& path, size_t pool_bytes, int threads);
+
+  /// Binds the spec'd deformer, making the backend dynamic: epoch 0 (the
+  /// state the index was built from) is published and `AdvanceStep`
+  /// becomes available. An unresolved amplitude (0) is derived from the
+  /// mesh. Call before serving; at most once.
+  Status BindDeformer(const DeformerSpec& spec);
+
+  bool dynamic() const { return dynamic_.load(std::memory_order_acquire); }
+  DeformerKind deformer_kind() const;
+
+  /// SIMULATE phase: advances the bound deformer one step and publishes
+  /// the new positions as a fresh epoch (copy-on-write; on the paged
+  /// backend only displaced-position delta pages are rewritten).
+  /// Requires `dynamic()`. Serialized internally; safe concurrently
+  /// with `Execute`.
+  engine::EpochInfo AdvanceStep();
+
+  engine::EpochInfo CurrentEpoch() const;
+
+  /// Position pages rewritten by the most recent step (paged backends;
+  /// always 0 in-memory).
+  uint64_t last_step_pages_rewritten() const {
+    return last_step_pages_rewritten_.load(std::memory_order_acquire);
+  }
+
+  /// Executes one coalesced batch against the pinned current epoch.
+  /// `batch_stats` receives exactly this batch's stats (the counters
+  /// are reset per batch, so the delta is deterministic and, for a
+  /// single-request batch, identical to an in-process run of the same
+  /// queries at the same step), with `stale_steps` set to the epoch's
+  /// step; `out->epoch` is the epoch it ran on.
+  void Execute(std::span<const AABB> boxes, engine::QueryBatchResult* out,
+               PhaseStats* batch_stats);
+
+  bool paged() const { return paged_ != nullptr; }
+  uint64_t num_vertices() const { return num_vertices_; }
+  /// Snapshot page size; 0 for the in-memory backend.
+  uint32_t page_bytes() const { return page_bytes_; }
+  int threads() const { return engine_.threads(); }
+
+ private:
+  explicit VersionedBackend(int threads)
+      : engine_(engine::QueryEngineOptions{.threads = threads}) {}
+
+  /// One published paged epoch: just the identity and the delta
+  /// overlay — deliberately NOT the position array, so a pinned epoch
+  /// costs its rewritten pages, never O(V) (the whole point of delta
+  /// pages). The diff base for the next step lives once, in
+  /// `paged_prev_positions_`.
+  struct PagedEpoch {
+    engine::EpochInfo info;
+    std::shared_ptr<const storage::PositionOverlay> overlay;
+  };
+
+  std::shared_ptr<const PagedEpoch> PinPaged() const {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    return paged_current_;
+  }
+
+  engine::QueryEngine engine_;
+  // Exactly one of the two backends is set.
+  // In-memory: the versioned mesh owns connectivity, live positions and
+  // the deformer; the executor state (stale surface index + per-shard
+  // contexts) is built once at load and shared by every epoch.
+  std::unique_ptr<VersionedMesh> mesh_;
+  OctopusOptions octopus_options_;
+  SurfaceIndex surface_index_;
+  mutable engine::ContextPool contexts_;
+  // Paged: the stale snapshot executor plus the live simulation
+  // positions the bound deformer advances (the monitoring side reads
+  // through the pool + overlay; this array is the simulation black box).
+  std::unique_ptr<PagedOctopus> paged_;
+  std::string snapshot_path_;
+  DeformerSpec paged_spec_;
+  std::unique_ptr<Deformer> paged_deformer_;
+  std::unique_ptr<TetraMesh> paged_sim_mesh_;  // positions only, no tets
+  /// The previous step's positions — the delta diff base. Owned by the
+  /// stepper (guarded by step_mu_); queries never read it.
+  std::vector<Vec3> paged_prev_positions_;
+  std::mutex step_mu_;             // serializes AdvanceStep (paged path)
+  mutable std::mutex publish_mu_;  // guards only the epoch-pointer swap
+  std::shared_ptr<const PagedEpoch> paged_current_;
+
+  std::atomic<bool> dynamic_{false};
+  std::atomic<uint64_t> last_step_pages_rewritten_{0};
+  uint64_t num_vertices_ = 0;
+  uint32_t page_bytes_ = 0;
+};
+
+}  // namespace octopus::server
+
+#endif  // OCTOPUS_SERVER_VERSIONED_BACKEND_H_

@@ -1,0 +1,74 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "sim/deformer_spec.h"
+
+#include "sim/plasticity_deformer.h"
+#include "sim/random_deformer.h"
+#include "sim/wave_deformer.h"
+
+namespace octopus {
+
+const char* DeformerKindName(DeformerKind kind) {
+  switch (kind) {
+    case DeformerKind::kNone: return "none";
+    case DeformerKind::kRandom: return "random";
+    case DeformerKind::kWave: return "wave";
+    case DeformerKind::kPlasticity: return "plasticity";
+  }
+  return "unknown";
+}
+
+bool ParseDeformerKind(const std::string& name, DeformerKind* out) {
+  if (name == "random") {
+    *out = DeformerKind::kRandom;
+  } else if (name == "wave") {
+    *out = DeformerKind::kWave;
+  } else if (name == "plasticity") {
+    *out = DeformerKind::kPlasticity;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Result<std::unique_ptr<Deformer>> MakeDeformer(const DeformerSpec& spec) {
+  if (spec.amplitude <= 0.0f) {
+    return Status::InvalidArgument(
+        "deformer amplitude must be resolved (> 0) before MakeDeformer");
+  }
+  switch (spec.kind) {
+    case DeformerKind::kRandom:
+      return std::unique_ptr<Deformer>(
+          std::make_unique<RandomDeformer>(spec.amplitude, spec.seed));
+    case DeformerKind::kWave:
+      // Amplitude maps to the translation bound; strain stays a small
+      // fixed fraction so the affine map preserves element validity.
+      return std::unique_ptr<Deformer>(std::make_unique<WaveDeformer>(
+          /*strain_amplitude=*/0.01f, spec.amplitude, spec.seed));
+    case DeformerKind::kPlasticity:
+      return std::unique_ptr<Deformer>(std::make_unique<PlasticityDeformer>(
+          spec.amplitude, /*num_harmonics=*/4, spec.seed));
+    case DeformerKind::kNone:
+      break;
+  }
+  return Status::InvalidArgument("no deformer kind bound");
+}
+
+Result<std::unique_ptr<Deformer>> MakeDeformerResolving(
+    DeformerSpec* spec, float mean_edge_length) {
+  if (spec->amplitude <= 0.0f) {
+    spec->amplitude = DefaultAmplitude(mean_edge_length);
+    if (spec->amplitude <= 0.0f) {
+      return Status::InvalidArgument(
+          "cannot derive a deformation amplitude from this mesh");
+    }
+  }
+  return MakeDeformer(*spec);
+}
+
+float DefaultAmplitude(float mean_edge_length) {
+  // Well below half an edge: RandomDeformer moves each vertex by up to
+  // 2x amplitude between consecutive steps.
+  return 0.2f * mean_edge_length;
+}
+
+}  // namespace octopus

@@ -1,0 +1,48 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "sim/versioned_mesh.h"
+
+#include <utility>
+
+namespace octopus {
+
+Status VersionedMesh::BindDeformer(const DeformerSpec& spec) {
+  if (deformer_ != nullptr) {
+    return Status::InvalidArgument("a deformer is already bound");
+  }
+  DeformerSpec resolved = spec;
+  auto deformer =
+      MakeDeformerResolving(&resolved, EstimateMeanEdgeLength(mesh_));
+  if (!deformer.ok()) return deformer.status();
+  deformer_ = deformer.MoveValue();
+  deformer_->Bind(mesh_);
+  spec_ = resolved;
+
+  auto epoch0 = std::make_shared<PositionEpoch>();
+  epoch0->info = engine::EpochInfo{0, 0};
+  epoch0->positions = mesh_.positions();
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    published_ = std::move(epoch0);
+  }
+  return Status::OK();
+}
+
+engine::EpochInfo VersionedMesh::AdvanceStep() {
+  std::lock_guard<std::mutex> step_lock(step_mu_);
+  // SIMULATE: O(V) in-place deformation of the live mesh. Queries never
+  // see this array (they pin published buffers), so no lock is held.
+  const engine::EpochInfo last = CurrentEpoch();
+  auto next = std::make_shared<PositionEpoch>();
+  next->info.epoch = last.epoch + 1;
+  next->info.step = last.step + 1;
+  deformer_->ApplyStep(static_cast<int>(next->info.step), &mesh_);
+  next->positions = mesh_.positions();
+  const engine::EpochInfo info = next->info;
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    published_ = std::move(next);
+  }
+  return info;
+}
+
+}  // namespace octopus

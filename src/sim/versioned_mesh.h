@@ -1,0 +1,101 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// The epoch-versioned in-memory mesh: one live simulation state plus a
+// chain of immutable published position buffers. The simulation side
+// (`AdvanceStep`) deforms the live mesh in place — exactly the paper's
+// Fig. 1(e) SIMULATE phase — then *publishes* the new positions as a
+// fresh `PositionEpoch` with a copy-on-write pointer swap. The query
+// side (`Pin`) grabs the current epoch in O(1) and executes entirely
+// against it: queries never block on an in-flight step (the swap is a
+// pointer assignment; the O(V) deformation happens outside any lock) and
+// are never torn by one (a pinned buffer is immutable forever).
+//
+// Connectivity never changes under deformation, so every epoch shares
+// the base mesh's CSR adjacency; only positions are versioned. The
+// surface index built at load time is shared too — and *stale*, which is
+// the paper's central claim: OCTOPUS needs no maintenance on
+// deformation.
+#ifndef OCTOPUS_SIM_VERSIONED_MESH_H_
+#define OCTOPUS_SIM_VERSIONED_MESH_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/mesh_epoch.h"
+#include "mesh/graph_view.h"
+#include "mesh/tetra_mesh.h"
+#include "sim/deformer.h"
+#include "sim/deformer_spec.h"
+
+namespace octopus {
+
+/// \brief One published, immutable position state.
+struct PositionEpoch {
+  engine::EpochInfo info;
+  std::vector<Vec3> positions;
+};
+
+/// \brief A mesh whose positions advance in epochs.
+///
+/// Thread model: `AdvanceStep` is called by one stepper at a time (a
+/// dedicated thread or the event loop — it is internally serialized but
+/// not meant to be contended); `Pin`, `CurrentEpoch` and `PinnedGraph`
+/// are safe from any thread concurrently with a step. The publication
+/// mutex guards only the pointer swap, never the deformation work.
+class VersionedMesh {
+ public:
+  explicit VersionedMesh(TetraMesh mesh) : mesh_(std::move(mesh)) {}
+
+  /// Base connectivity (+ the step-0 positions the index was built on).
+  const TetraMesh& base() const { return mesh_; }
+
+  /// Binds the spec'd deformer and publishes epoch 0 (a copy of the
+  /// current positions), so queries stop reading the live-mutated
+  /// array. An unresolved amplitude (0) is derived from the mesh.
+  /// At most one deformer per mesh; rebinding is an error.
+  Status BindDeformer(const DeformerSpec& spec);
+
+  bool dynamic() const { return deformer_ != nullptr; }
+  DeformerKind deformer_kind() const { return spec_.kind; }
+  /// The bound spec with `amplitude` resolved (for logging/parity).
+  const DeformerSpec& spec() const { return spec_; }
+
+  /// SIMULATE phase: advances the live mesh one step and publishes the
+  /// result as a new epoch. Requires a bound deformer. Returns the
+  /// published epoch's identity.
+  engine::EpochInfo AdvanceStep();
+
+  /// Pins the current epoch. Null until a deformer is bound (the mesh
+  /// is static; read `base()` directly — that is the zero-overhead
+  /// static path). Never null afterwards.
+  std::shared_ptr<const PositionEpoch> Pin() const {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    return published_;
+  }
+
+  engine::EpochInfo CurrentEpoch() const {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    return published_ ? published_->info : engine::EpochInfo{};
+  }
+
+  /// Graph view over a pinned epoch's positions and the shared
+  /// adjacency; with a null pin, the base mesh's own view.
+  MeshGraphView PinnedGraph(const PositionEpoch* pin) const {
+    MeshGraphView graph = mesh_.Graph();
+    if (pin != nullptr) graph.positions = pin->positions;
+    return graph;
+  }
+
+ private:
+  TetraMesh mesh_;  // live simulation state; positions mutate per step
+  DeformerSpec spec_;
+  std::unique_ptr<Deformer> deformer_;
+  std::mutex step_mu_;  // serializes AdvanceStep
+  mutable std::mutex publish_mu_;  // guards only the pointer swap
+  std::shared_ptr<const PositionEpoch> published_;
+};
+
+}  // namespace octopus
+
+#endif  // OCTOPUS_SIM_VERSIONED_MESH_H_

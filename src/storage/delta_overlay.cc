@@ -1,0 +1,57 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "storage/delta_overlay.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace octopus::storage {
+
+size_t PositionOverlay::resident_bytes() const {
+  size_t bytes = 0;
+  for (const auto& page : pages_) {
+    if (page != nullptr) bytes += page->size();
+  }
+  return bytes;
+}
+
+std::shared_ptr<const PositionOverlay> PositionOverlay::BuildNext(
+    const SnapshotHeader& header, const PositionOverlay* prev,
+    std::span<const Vec3> old_positions,
+    std::span<const Vec3> new_positions, size_t* pages_rewritten) {
+  assert(old_positions.size() == header.num_vertices &&
+         new_positions.size() == header.num_vertices &&
+         "position arrays must match the snapshot");
+  const size_t per_page = header.PositionsPerPage();
+  const uint64_t num_pages =
+      PagesForEntries(header.num_vertices, sizeof(Vec3), header.page_bytes);
+
+  auto overlay = std::make_shared<PositionOverlay>();
+  overlay->pages_.resize(num_pages);
+  size_t rewritten = 0;
+  for (uint64_t page = 0; page < num_pages; ++page) {
+    const size_t begin = page * per_page;
+    const size_t count =
+        std::min<size_t>(per_page, header.num_vertices - begin);
+    const bool changed =
+        std::memcmp(old_positions.data() + begin,
+                    new_positions.data() + begin, count * sizeof(Vec3)) != 0;
+    if (!changed) {
+      // Share the previous epoch's bytes (null = base file still valid).
+      if (prev != nullptr && page < prev->pages_.size()) {
+        overlay->pages_[page] = prev->pages_[page];
+      }
+      continue;
+    }
+    // Serialize exactly like the OCT2 writer: packed entries, zero tail.
+    auto bytes = std::make_shared<PageBytes>(header.page_bytes);
+    std::memcpy(bytes->data(), new_positions.data() + begin,
+                count * sizeof(Vec3));
+    overlay->pages_[page] = std::move(bytes);
+    ++rewritten;
+  }
+  if (pages_rewritten != nullptr) *pages_rewritten = rewritten;
+  return overlay;
+}
+
+}  // namespace octopus::storage

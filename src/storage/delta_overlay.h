@@ -1,0 +1,71 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// OCT2 delta pages: the out-of-core face of mesh dynamism. A snapshot
+// file is the frozen state of one simulation step; advancing an epoch
+// must not rewrite it — adjacency, CSR offsets and the surface list are
+// untouched by deformation, and only the *position* pages whose content
+// actually changed need fresh bytes. A `PositionOverlay` is the
+// immutable set of those rewritten pages for one epoch: readers check it
+// before the buffer pool, epochs share unchanged pages structurally
+// (copy-on-write), and the base file stays the step-0 source of truth.
+#ifndef OCTOPUS_STORAGE_DELTA_OVERLAY_H_
+#define OCTOPUS_STORAGE_DELTA_OVERLAY_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/vec3.h"
+#include "storage/snapshot.h"
+
+namespace octopus::storage {
+
+/// \brief Immutable per-epoch overlay of rewritten position pages.
+///
+/// Entry `i` covers absolute page `positions_start_page + i`; a null
+/// entry means "read the base snapshot (or, transitively, nothing ever
+/// rewrote this page)". Page content is byte-identical to what an OCT2
+/// writer would emit for the same positions (entries never straddle a
+/// page, zero-padded tail), so overlay reads and base reads are
+/// interchangeable.
+class PositionOverlay {
+ public:
+  using PageBytes = std::vector<std::byte>;
+
+  /// Bytes of position page `index` (relative to the positions
+  /// section), or null when the page was never rewritten.
+  const std::byte* Lookup(uint64_t index) const {
+    return index < pages_.size() && pages_[index] != nullptr
+               ? pages_[index]->data()
+               : nullptr;
+  }
+
+  /// Pages this overlay holds fresh bytes for (shared or owned).
+  size_t resident_pages() const {
+    size_t n = 0;
+    for (const auto& page : pages_) n += page != nullptr ? 1 : 0;
+    return n;
+  }
+
+  size_t resident_bytes() const;
+
+  /// Derives the next epoch's overlay: compares `old_positions` (the
+  /// previous epoch's state, which `prev` is consistent with) against
+  /// `new_positions` page by page, serializes fresh bytes for changed
+  /// pages and shares `prev`'s entries for unchanged ones. Returns the
+  /// overlay plus, via `pages_rewritten`, how many pages got fresh
+  /// bytes this step — the delta the paper's out-of-core story prices.
+  /// `prev` may be null (first step). Position counts must match the
+  /// header's `num_vertices`.
+  static std::shared_ptr<const PositionOverlay> BuildNext(
+      const SnapshotHeader& header, const PositionOverlay* prev,
+      std::span<const Vec3> old_positions,
+      std::span<const Vec3> new_positions, size_t* pages_rewritten);
+
+ private:
+  std::vector<std::shared_ptr<const PageBytes>> pages_;
+};
+
+}  // namespace octopus::storage
+
+#endif  // OCTOPUS_STORAGE_DELTA_OVERLAY_H_

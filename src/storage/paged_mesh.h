@@ -8,6 +8,7 @@
 #ifndef OCTOPUS_STORAGE_PAGED_MESH_H_
 #define OCTOPUS_STORAGE_PAGED_MESH_H_
 
+#include <cstring>
 #include <memory>
 #include <span>
 #include <string>
@@ -17,6 +18,7 @@
 #include "common/vec3.h"
 #include "mesh/types.h"
 #include "storage/buffer_manager.h"
+#include "storage/delta_overlay.h"
 #include "storage/snapshot.h"
 
 namespace octopus::storage {
@@ -83,11 +85,29 @@ class PagedMeshAccessor {
   const PagedMeshStore& store() const { return *store_; }
   void set_stats(PageIOStats* stats) { stats_ = stats; }
 
+  /// Epoch-pinned position reads: while set, position pages present in
+  /// `overlay` are served from its (memory-resident) delta bytes instead
+  /// of the base snapshot — the epoch the caller pinned. The overlay
+  /// must outlive the reads (callers pin the epoch's shared_ptr for the
+  /// whole batch). Null = base snapshot (epoch 0). Adjacency always
+  /// reads the base file: connectivity never deforms.
+  void set_overlay(const PositionOverlay* overlay) { overlay_ = overlay; }
+
   size_t num_vertices() const { return store_->num_vertices(); }
 
   Vec3 position(VertexId v) {
     const SnapshotHeader& h = store_->header();
     const size_t per_page = h.PositionsPerPage();
+    if (overlay_ != nullptr) {
+      if (const std::byte* page = overlay_->Lookup(v / per_page)) {
+        // A delta page is resident by construction: count it as a pool
+        // hit so hits + misses still equal accesses.
+        Vec3 p;
+        std::memcpy(&p, page + (v % per_page) * sizeof(Vec3), sizeof(Vec3));
+        ++stats_->page_hits;
+        return p;
+      }
+    }
     Vec3 p;
     store_->buffer_manager()->CopyOut(
         static_cast<PageId>(h.positions_start_page + v / per_page),
@@ -111,6 +131,7 @@ class PagedMeshAccessor {
 
   const PagedMeshStore* store_;
   PageIOStats* stats_;
+  const PositionOverlay* overlay_ = nullptr;
   std::vector<VertexId> scratch_;  // neighbors() copy-out target
 };
 

@@ -1,0 +1,430 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// The dynamic dimension, end to end: epoch-versioned backends serving
+// queries while a deformer advances the mesh. Copy-on-write epoch
+// semantics (pinned buffers never change), OCT2 delta pages (a step
+// rewrites only displaced-position pages), K-step epoch parity between
+// remote execution and the in-process engine on the same deformer
+// trajectory — for both backends and 1/4 threads — and torn-read
+// freedom under a stepper thread racing query execution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/remote_client.h"
+#include "engine/query_engine.h"
+#include "mesh/generators/grid_generator.h"
+#include "mesh/mesh_io.h"
+#include "octopus/query_executor.h"
+#include "server/server.h"
+#include "server/versioned_backend.h"
+#include "sim/deformer_spec.h"
+#include "sim/random_deformer.h"
+#include "sim/versioned_mesh.h"
+#include "sim/workload.h"
+#include "storage/delta_overlay.h"
+#include "test_util.h"
+
+namespace octopus {
+namespace {
+
+using client::RemoteClient;
+using server::QueryServer;
+using server::ServerOptions;
+using server::VersionedBackend;
+using testing::BruteForceRangeQuery;
+using testing::Sorted;
+
+TetraMesh MakeBox(int n) {
+  return GenerateBoxMesh(n, n, n, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))
+      .MoveValue();
+}
+
+/// A spec both sides of a parity check can reconstruct bit-identically
+/// (explicit amplitude: nobody measures the mesh).
+DeformerSpec ParitySpec(DeformerKind kind) {
+  DeformerSpec spec;
+  spec.kind = kind;
+  spec.amplitude = 0.02f;  // box meshes have ~1/n edges; safe for n <= 10
+  spec.seed = 2026;
+  return spec;
+}
+
+class ServerFixture {
+ public:
+  explicit ServerFixture(std::unique_ptr<VersionedBackend> backend,
+                         ServerOptions options = {}) {
+    options.bind_address = "127.0.0.1";
+    options.port = 0;
+    server_ = std::make_unique<QueryServer>(std::move(backend),
+                                            std::move(options));
+    const Status started = server_->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    thread_ = std::thread([this] {
+      const Status run = server_->Run();
+      EXPECT_TRUE(run.ok()) << run.ToString();
+    });
+  }
+
+  ~ServerFixture() { StopAndJoin(); }
+
+  void StopAndJoin() {
+    if (thread_.joinable()) {
+      server_->Stop();
+      thread_.join();
+    }
+  }
+
+  uint16_t port() const { return server_->port(); }
+  QueryServer& server() { return *server_; }
+
+ private:
+  std::unique_ptr<QueryServer> server_;
+  std::thread thread_;
+};
+
+std::unique_ptr<RemoteClient> MustConnect(uint16_t port) {
+  auto connected = RemoteClient::Connect("127.0.0.1", port);
+  EXPECT_TRUE(connected.ok()) << connected.status().ToString();
+  return connected.MoveValue();
+}
+
+// --- Copy-on-write epoch semantics ---
+
+TEST(VersionedMeshTest, PinnedEpochsAreImmutableAcrossSteps) {
+  VersionedMesh versioned(MakeBox(5));
+  EXPECT_FALSE(versioned.dynamic());
+  EXPECT_EQ(versioned.Pin(), nullptr);  // static: zero-overhead path
+
+  ASSERT_TRUE(
+      versioned.BindDeformer(ParitySpec(DeformerKind::kRandom)).ok());
+  ASSERT_TRUE(versioned.dynamic());
+  const auto pin0 = versioned.Pin();
+  ASSERT_NE(pin0, nullptr);
+  EXPECT_EQ(pin0->info, (engine::EpochInfo{0, 0}));
+  const std::vector<Vec3> epoch0_positions = pin0->positions;
+
+  const engine::EpochInfo info1 = versioned.AdvanceStep();
+  EXPECT_EQ(info1, (engine::EpochInfo{1, 1}));
+  EXPECT_EQ(versioned.CurrentEpoch(), info1);
+
+  // The buffer pinned before the step is bit-identical afterwards:
+  // copy-on-write, not in-place mutation.
+  ASSERT_EQ(pin0->positions.size(), epoch0_positions.size());
+  for (size_t v = 0; v < epoch0_positions.size(); ++v) {
+    EXPECT_EQ(pin0->positions[v].x, epoch0_positions[v].x);
+    EXPECT_EQ(pin0->positions[v].y, epoch0_positions[v].y);
+    EXPECT_EQ(pin0->positions[v].z, epoch0_positions[v].z);
+  }
+
+  // The new epoch actually moved (a random deformer displaces ~all).
+  const auto pin1 = versioned.Pin();
+  ASSERT_EQ(pin1->info.epoch, 1u);
+  size_t moved = 0;
+  for (size_t v = 0; v < pin1->positions.size(); ++v) {
+    if (pin1->positions[v].x != epoch0_positions[v].x) ++moved;
+  }
+  EXPECT_GT(moved, pin1->positions.size() / 2);
+
+  // Rebinding is refused.
+  EXPECT_FALSE(
+      versioned.BindDeformer(ParitySpec(DeformerKind::kWave)).ok());
+}
+
+// --- OCT2 delta pages ---
+
+TEST(DeltaOverlayTest, StepRewritesOnlyDisplacedPositionPages) {
+  const TetraMesh mesh = MakeBox(6);
+  const std::string path = ::testing::TempDir() + "/overlay.oct2";
+  ASSERT_TRUE(SaveSnapshot(mesh, path,
+                           storage::SnapshotOptions{.page_bytes = 256})
+                  .ok());
+  auto header = storage::ReadSnapshotHeader(path);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  const storage::SnapshotHeader& h = header.Value();
+  const size_t per_page = h.PositionsPerPage();
+  const uint64_t position_pages = storage::PagesForEntries(
+      h.num_vertices, sizeof(Vec3), h.page_bytes);
+  ASSERT_GT(position_pages, 2u);
+
+  // Step 1: displace exactly one vertex -> exactly one page rewritten.
+  std::vector<Vec3> old_positions = mesh.positions();
+  std::vector<Vec3> new_positions = old_positions;
+  const size_t victim = per_page + 1;  // lives in position page 1
+  new_positions[victim] += Vec3(0.5f, 0, 0);
+  size_t rewritten = 0;
+  auto overlay1 = storage::PositionOverlay::BuildNext(
+      h, nullptr, old_positions, new_positions, &rewritten);
+  EXPECT_EQ(rewritten, 1u);
+  EXPECT_EQ(overlay1->resident_pages(), 1u);
+  EXPECT_EQ(overlay1->Lookup(0), nullptr);
+  ASSERT_NE(overlay1->Lookup(1), nullptr);
+  // The rewritten page carries the OCT2 serialization of the new state.
+  Vec3 read_back;
+  std::memcpy(&read_back,
+              overlay1->Lookup(1) + (victim % per_page) * sizeof(Vec3),
+              sizeof(Vec3));
+  EXPECT_EQ(read_back.x, new_positions[victim].x);
+
+  // Step 2: displace a vertex of page 0 -> page 1's bytes are shared
+  // with epoch 1 (structural copy-on-write), page 0 is fresh.
+  std::vector<Vec3> step2 = new_positions;
+  step2[0] += Vec3(0, 0.25f, 0);
+  auto overlay2 = storage::PositionOverlay::BuildNext(
+      h, overlay1.get(), new_positions, step2, &rewritten);
+  EXPECT_EQ(rewritten, 1u);
+  EXPECT_EQ(overlay2->resident_pages(), 2u);
+  EXPECT_EQ(overlay2->Lookup(1), overlay1->Lookup(1));  // shared bytes
+  ASSERT_NE(overlay2->Lookup(0), nullptr);
+  std::remove(path.c_str());
+}
+
+// --- K-step epoch parity: remote vs in-process, both backends ---
+
+/// In-process reference: the stale index is built at step 0 and the
+/// same deformer trajectory advances the mesh in place.
+struct InProcessReference {
+  explicit InProcessReference(const TetraMesh& base, int threads)
+      : mesh(base), engine(engine::QueryEngineOptions{.threads = threads}) {
+    octopus.Build(mesh);
+    auto deformer_result = MakeDeformer(ParitySpec(DeformerKind::kRandom));
+    deformer = deformer_result.MoveValue();
+    deformer->Bind(mesh);
+  }
+
+  void StepTo(uint32_t step) {
+    while (current_step < step) {
+      ++current_step;
+      deformer->ApplyStep(static_cast<int>(current_step), &mesh);
+    }
+  }
+
+  TetraMesh mesh;
+  Octopus octopus;
+  engine::QueryEngine engine;
+  std::unique_ptr<Deformer> deformer;
+  uint32_t current_step = 0;
+};
+
+void RunEpochParity(bool paged, int threads) {
+  constexpr int kSteps = 4;
+  const TetraMesh mesh = MakeBox(7);
+  const DeformerSpec spec = ParitySpec(DeformerKind::kRandom);
+
+  std::unique_ptr<VersionedBackend> backend;
+  std::string path;
+  if (paged) {
+    path = ::testing::TempDir() + "/dynamic_parity_" +
+           std::to_string(threads) + ".oct2";
+    ASSERT_TRUE(SaveSnapshot(mesh, path,
+                             storage::SnapshotOptions{.page_bytes = 1024})
+                    .ok());
+    auto opened =
+        VersionedBackend::OpenSnapshot(path, /*pool_bytes=*/64 * 1024,
+                                       threads);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    backend = opened.MoveValue();
+  } else {
+    backend = VersionedBackend::FromMesh(mesh, threads);
+  }
+  ASSERT_TRUE(backend->BindDeformer(spec).ok());
+
+  ServerFixture fixture(std::move(backend));
+  auto remote = MustConnect(fixture.port());
+  EXPECT_EQ(remote->server_info().dynamic, 1);
+
+  InProcessReference reference(mesh, /*threads=*/1);
+  QueryGenerator gen(mesh);
+  Rng rng(0xD1'4A11C + threads);
+
+  for (uint32_t step = 0; step <= kSteps; ++step) {
+    SCOPED_TRACE("step " + std::to_string(step));
+    if (step > 0) {
+      auto info = remote->Step(1);
+      ASSERT_TRUE(info.ok()) << info.status().ToString();
+      EXPECT_EQ(info.Value().step, step);
+      EXPECT_EQ(info.Value().epoch, step);
+      EXPECT_EQ(info.Value().dynamic, 1);
+      EXPECT_EQ(info.Value().deformer_kind,
+                static_cast<uint8_t>(DeformerKind::kRandom));
+      if (paged) {
+        // A random deformer displaces every page's worth of positions.
+        EXPECT_GT(info.Value().last_step_pages_rewritten, 0u);
+      } else {
+        EXPECT_EQ(info.Value().last_step_pages_rewritten, 0u);
+      }
+      reference.StepTo(step);
+    }
+
+    const std::vector<AABB> queries = gen.MakeQueries(&rng, 12, 0.005,
+                                                      0.03);
+    reference.octopus.ResetStats();
+    engine::QueryBatchResult expected;
+    reference.engine.Execute(reference.octopus, reference.mesh, queries,
+                             &expected);
+
+    auto result = remote->ExecuteBatch(queries);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // Epoch-stamped: the batch ran at exactly this step.
+    EXPECT_EQ(result.Value().stats.epoch,
+              (engine::EpochInfo{step, step}));
+    EXPECT_EQ(result.Value().results.epoch.step, step);
+    ASSERT_EQ(result.Value().results.size(), expected.size());
+    for (size_t q = 0; q < expected.size(); ++q) {
+      // Bit-identical to the in-process engine on the same trajectory.
+      // (Brute force is only a valid oracle on the undeformed mesh: a
+      // deformed query region can be graph-disconnected, and the crawl
+      // — per the paper — returns the component of its starts.)
+      EXPECT_EQ(result.Value().results.per_query[q],
+                expected.per_query[q])
+          << "query " << q;
+      if (step == 0) {
+        EXPECT_EQ(Sorted(result.Value().results.per_query[q]),
+                  BruteForceRangeQuery(reference.mesh, queries[q]))
+            << "query " << q;
+      }
+    }
+    // Non-I/O counters match the in-process engine too; the epoch step
+    // is reported as the index staleness.
+    const PhaseStats remote_stats =
+        result.Value().stats.ToPhaseStats();
+    EXPECT_EQ(remote_stats.queries, reference.octopus.stats().queries);
+    EXPECT_EQ(remote_stats.probed_vertices,
+              reference.octopus.stats().probed_vertices);
+    EXPECT_EQ(remote_stats.walk_invocations,
+              reference.octopus.stats().walk_invocations);
+    EXPECT_EQ(remote_stats.crawl_edges,
+              reference.octopus.stats().crawl_edges);
+    EXPECT_EQ(remote_stats.result_vertices,
+              reference.octopus.stats().result_vertices);
+    EXPECT_EQ(remote_stats.stale_steps, step);
+  }
+
+  // STATS reports the authoritative step count.
+  auto stats = remote->FetchStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.Value().steps_applied, static_cast<uint64_t>(kSteps));
+
+  // Even an empty batch (fast path, no scheduler) is epoch-stamped.
+  auto empty = remote->ExecuteBatch({});
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_EQ(empty.Value().stats.epoch,
+            (engine::EpochInfo{kSteps, kSteps}));
+
+  // Over-cap step counts fail locally without killing the connection.
+  auto over = remote->Step(server::kMaxStepsPerFrame + 1);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), Status::Code::kInvalidArgument);
+  ASSERT_TRUE(remote->FetchEpochInfo().ok());
+
+  fixture.StopAndJoin();
+  if (!path.empty()) std::remove(path.c_str());
+}
+
+TEST(DynamicServingTest, EpochParityInMemory1Thread) {
+  RunEpochParity(/*paged=*/false, /*threads=*/1);
+}
+
+TEST(DynamicServingTest, EpochParityInMemory4Threads) {
+  RunEpochParity(/*paged=*/false, /*threads=*/4);
+}
+
+TEST(DynamicServingTest, EpochParityPaged1Thread) {
+  RunEpochParity(/*paged=*/true, /*threads=*/1);
+}
+
+TEST(DynamicServingTest, EpochParityPaged4Threads) {
+  RunEpochParity(/*paged=*/true, /*threads=*/4);
+}
+
+// --- STEP frame semantics on a static server ---
+
+TEST(DynamicServingTest, StepOnStaticServerReportsEpochZeroAndRejects) {
+  ServerFixture fixture(VersionedBackend::FromMesh(MakeBox(4), 1));
+  auto remote = MustConnect(fixture.port());
+  EXPECT_EQ(remote->server_info().dynamic, 0);
+
+  // steps = 0 is a pure epoch query, legal everywhere.
+  auto info = remote->FetchEpochInfo();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.Value().epoch, 0u);
+  EXPECT_EQ(info.Value().step, 0u);
+  EXPECT_EQ(info.Value().dynamic, 0);
+
+  // steps > 0 without a deformer is a protocol error (typed, closing).
+  auto advanced = remote->Step(1);
+  ASSERT_FALSE(advanced.ok());
+  EXPECT_EQ(advanced.status().code(), Status::Code::kInvalidArgument)
+      << advanced.status().ToString();
+}
+
+// --- Queries race an in-flight stepper without blocking or tearing ---
+
+TEST(DynamicServingTest, ConcurrentStepsNeverTearQueryResults) {
+  constexpr int kQueryRounds = 40;
+  const TetraMesh base = MakeBox(6);
+  const DeformerSpec spec = ParitySpec(DeformerKind::kRandom);
+  auto backend = VersionedBackend::FromMesh(base, /*threads=*/1);
+  ASSERT_TRUE(backend->BindDeformer(spec).ok());
+
+  // Stepper thread: advance as fast as it can while queries execute.
+  std::atomic<bool> stop{false};
+  std::thread stepper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      backend->AdvanceStep();
+    }
+  });
+
+  // RandomDeformer is stateless per step (the step index is mixed into
+  // the RNG), so the reference can jump straight to any stamped step
+  // and replay it through the same stale-index engine. A torn batch —
+  // some queries at step s, some at s+1, or half-updated positions —
+  // would match the reference at NO single step.
+  TetraMesh reference = base;
+  RandomDeformer reference_deformer(spec.amplitude, spec.seed);
+  reference_deformer.Bind(reference);
+  Octopus reference_octopus;
+  reference_octopus.Build(base);  // stale, like the backend's
+  engine::QueryEngine reference_engine;
+
+  QueryGenerator gen(base);
+  Rng rng(77);
+  uint32_t max_step_seen = 0;
+  bool failed = false;
+  for (int round = 0; round < kQueryRounds && !failed; ++round) {
+    const std::vector<AABB> queries = gen.MakeQueries(&rng, 4, 0.01,
+                                                      0.05);
+    engine::QueryBatchResult out;
+    PhaseStats stats;
+    backend->Execute(queries, &out, &stats);
+    const uint32_t step = out.epoch.step;
+    max_step_seen = std::max(max_step_seen, step);
+    if (step > 0) {
+      reference_deformer.ApplyStep(static_cast<int>(step), &reference);
+    }
+    engine::QueryBatchResult expected;
+    reference_engine.Execute(reference_octopus,
+                             step == 0 ? base : reference, queries,
+                             &expected);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(out.per_query[q], expected.per_query[q])
+          << "round " << round << " query " << q << " at step " << step;
+      failed |= out.per_query[q] != expected.per_query[q];
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  stepper.join();
+  EXPECT_FALSE(failed);
+  // The stepper really ran concurrently with the queries.
+  EXPECT_GT(backend->CurrentEpoch().step, 0u);
+  EXPECT_GT(max_step_seen, 0u);
+}
+
+}  // namespace
+}  // namespace octopus

@@ -197,6 +197,49 @@ TEST(CrawlerTest, ReusableAcrossQueriesViaEpochs) {
   }
 }
 
+TEST(CrawlerTest, EpochCounterWraparoundResetsVisitedMarks) {
+  // The visited array is never cleared between queries; a per-query
+  // epoch stamp makes clearing O(1) — until the uint32 counter wraps,
+  // where stale marks from 2^32 crawls ago could alias the fresh epoch.
+  // Force the counter to the wrap boundary and verify the reset path
+  // produces correct results on, across, and after the wrap.
+  const TetraMesh mesh = MakeBox(6);
+  const AABB q(Vec3(0.25f, 0.25f, 0.25f), Vec3(0.75f, 0.75f, 0.75f));
+  const auto expected = BruteForceRangeQuery(mesh, q);
+  ASSERT_FALSE(expected.empty());
+  const std::vector<VertexId> starts = {expected.front()};
+
+  Crawler crawler;
+  crawler.EnsureSize(mesh.num_vertices());
+  // Stamp every reachable vertex with the maximum epoch value — the
+  // exact value stale marks would hold right before the wrap.
+  crawler.set_epoch_for_testing(0xFFFFFFFEu);
+  std::vector<VertexId> got;
+  crawler.Crawl(mesh, q, starts, &got);
+  EXPECT_EQ(crawler.epoch(), 0xFFFFFFFFu);
+  EXPECT_EQ(Sorted(got), expected);
+
+  // This crawl increments 0xFFFFFFFF -> 0: the wrap path must reset all
+  // marks (which currently hold the pre-wrap epoch) and restart at 1;
+  // without the reset, no vertex stamped 0xFFFFFFFF could alias, but a
+  // mark equal to the *new* epoch from eons ago would be skipped.
+  got.clear();
+  crawler.Crawl(mesh, q, starts, &got);
+  EXPECT_EQ(crawler.epoch(), 1u);
+  EXPECT_EQ(Sorted(got), expected);
+
+  // And the post-wrap epoch sequence keeps deduplicating correctly: a
+  // different query must not see leftover marks from the wrap reset.
+  const AABB q2(Vec3(0.0f, 0.0f, 0.0f), Vec3(0.5f, 0.5f, 0.5f));
+  const auto expected2 = BruteForceRangeQuery(mesh, q2);
+  ASSERT_FALSE(expected2.empty());
+  const std::vector<VertexId> starts2 = {expected2.front()};
+  got.clear();
+  crawler.Crawl(mesh, q2, starts2, &got);
+  EXPECT_EQ(crawler.epoch(), 2u);
+  EXPECT_EQ(Sorted(got), expected2);
+}
+
 TEST(CrawlerTest, CrawlDependsOnResultSizeNotMeshSize) {
   // The scaling claim in one assertion: the same query on a mesh 8x the
   // size touches a similar number of vertices.

@@ -115,6 +115,7 @@ TEST(ProtocolTest, ResultRoundTrip) {
   stats.page_evictions = 11;
   stats.batch_queries = 3;
   stats.batch_requests = 2;
+  stats.epoch = engine::EpochInfo{42, 7};
   const std::vector<std::vector<VertexId>> per_query = {
       {5, 1, 9}, {}, {1234567}};
 
@@ -146,6 +147,53 @@ TEST(ProtocolTest, ResultRoundTrip) {
   EXPECT_EQ(round.page_io.page_evictions, 11u);
   EXPECT_EQ(parsed_stats.batch_queries, 3u);
   EXPECT_EQ(parsed_stats.batch_requests, 2u);
+  // Epoch-stamped RESULT: the id round-trips and doubles as staleness.
+  EXPECT_EQ(parsed_stats.epoch, (engine::EpochInfo{42, 7}));
+  EXPECT_EQ(round.stale_steps, 7u);
+}
+
+TEST(ProtocolTest, StepRoundTrip) {
+  Buffer buffer;
+  AppendStep(&buffer, StepFrame{5});
+  const SplitFrame frame = Split(buffer);
+  EXPECT_EQ(frame.header.type, FrameType::kStep);
+  StepFrame parsed;
+  ASSERT_TRUE(ParseStep(frame.payload, &parsed).ok());
+  EXPECT_EQ(parsed.steps, 5u);
+  // Truncated payload must fail, never read past the end.
+  EXPECT_FALSE(
+      ParseStep(frame.payload.subspan(0, 4), &parsed).ok());
+  // Steps execute inline on the event loop: a count above the cap is
+  // rejected at parse time, before any work happens.
+  Buffer capped;
+  AppendStep(&capped, StepFrame{kMaxStepsPerFrame});
+  ASSERT_TRUE(
+      ParseStep(Split(capped).payload, &parsed).ok());
+  Buffer over;
+  AppendStep(&over, StepFrame{kMaxStepsPerFrame + 1});
+  EXPECT_FALSE(ParseStep(Split(over).payload, &parsed).ok());
+}
+
+TEST(ProtocolTest, EpochInfoRoundTrip) {
+  EpochInfoWire info;
+  info.epoch = 987654321098ull;
+  info.step = 4242;
+  info.dynamic = 1;
+  info.deformer_kind = 3;
+  info.last_step_pages_rewritten = 77;
+  Buffer buffer;
+  AppendEpochInfo(&buffer, info);
+  const SplitFrame frame = Split(buffer);
+  EXPECT_EQ(frame.header.type, FrameType::kEpochInfo);
+  EpochInfoWire parsed;
+  ASSERT_TRUE(ParseEpochInfo(frame.payload, &parsed).ok());
+  EXPECT_EQ(parsed.epoch, info.epoch);
+  EXPECT_EQ(parsed.step, info.step);
+  EXPECT_EQ(parsed.dynamic, 1);
+  EXPECT_EQ(parsed.deformer_kind, 3);
+  EXPECT_EQ(parsed.last_step_pages_rewritten, 77u);
+  EXPECT_FALSE(
+      ParseEpochInfo(frame.payload.subspan(0, 12), &parsed).ok());
 }
 
 TEST(ProtocolTest, BatchStatsFromPhaseStatsRoundTrip) {
@@ -155,15 +203,20 @@ TEST(ProtocolTest, BatchStatsFromPhaseStatsRoundTrip) {
   stats.probed_vertices = 3;
   stats.crawl_edges = 4;
   stats.page_io.page_misses = 5;
-  const BatchStatsWire wire = BatchStatsWire::FromPhaseStats(stats, 7, 2);
+  const BatchStatsWire wire = BatchStatsWire::FromPhaseStats(
+      stats, 7, 2, engine::EpochInfo{12, 3});
   EXPECT_EQ(wire.batch_queries, 7u);
   EXPECT_EQ(wire.batch_requests, 2u);
+  EXPECT_EQ(wire.epoch.epoch, 12u);
+  EXPECT_EQ(wire.epoch.step, 3u);
   const PhaseStats back = wire.ToPhaseStats();
   EXPECT_EQ(back.probe_nanos, stats.probe_nanos);
   EXPECT_EQ(back.queries, stats.queries);
   EXPECT_EQ(back.probed_vertices, stats.probed_vertices);
   EXPECT_EQ(back.crawl_edges, stats.crawl_edges);
   EXPECT_EQ(back.page_io.page_misses, stats.page_io.page_misses);
+  // The epoch step doubles as the index-staleness counter.
+  EXPECT_EQ(back.stale_steps, 3u);
 }
 
 TEST(ProtocolTest, StatsRoundTrip) {
@@ -231,7 +284,7 @@ TEST(ProtocolTest, HeaderRejectsUnknownType) {
   AppendStatsRequest(&buffer);
   buffer[4] = 0;  // below kHello
   EXPECT_FALSE(ParseFrameHeader(buffer).ok());
-  buffer[4] = 200;  // above kError
+  buffer[4] = 200;  // above kEpochInfo
   EXPECT_FALSE(ParseFrameHeader(buffer).ok());
 }
 

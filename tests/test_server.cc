@@ -27,7 +27,7 @@
 #include "mesh/generators/grid_generator.h"
 #include "mesh/mesh_io.h"
 #include "octopus/query_executor.h"
-#include "server/backend.h"
+#include "server/versioned_backend.h"
 #include "server/batch_scheduler.h"
 #include "server/server.h"
 #include "sim/workload.h"
@@ -39,7 +39,7 @@ namespace {
 using client::RemoteClient;
 using server::ErrorCode;
 using server::FrameType;
-using server::QueryBackend;
+using server::VersionedBackend;
 using server::QueryServer;
 using server::ServerOptions;
 using testing::BruteForceRangeQuery;
@@ -54,7 +54,7 @@ TetraMesh MakeBox(int n) {
 /// stops and joins on destruction.
 class ServerFixture {
  public:
-  ServerFixture(std::unique_ptr<QueryBackend> backend,
+  ServerFixture(std::unique_ptr<VersionedBackend> backend,
                 ServerOptions options = {}) {
     options.bind_address = "127.0.0.1";
     options.port = 0;
@@ -130,7 +130,7 @@ TEST(ServerIntegrationTest, Fig6WorkloadParityInMemory) {
   octopus.Build(mesh);
   engine::QueryEngine engine;
 
-  ServerFixture fixture(QueryBackend::FromMesh(mesh, /*threads=*/1));
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, /*threads=*/1));
   auto remote = MustConnect(fixture.port());
   EXPECT_EQ(remote->server_info().paged, 0);
   EXPECT_EQ(remote->server_info().num_vertices, mesh.num_vertices());
@@ -173,7 +173,7 @@ TEST(ServerIntegrationTest, Fig6WorkloadParityPaged) {
   engine::QueryEngine engine;
 
   auto backend =
-      QueryBackend::OpenSnapshot(path, /*pool_bytes=*/64 * 4096,
+      VersionedBackend::OpenSnapshot(path, /*pool_bytes=*/64 * 4096,
                                  /*threads=*/1);
   ASSERT_TRUE(backend.ok()) << backend.status().ToString();
   ServerFixture fixture(backend.MoveValue());
@@ -215,7 +215,7 @@ TEST(ServerIntegrationTest, EightConcurrentClientsGetTheirOwnResults) {
   const TetraMesh mesh = MakeBox(8);
   ServerOptions options;
   options.scheduler.window_nanos = 2'000'000;
-  ServerFixture fixture(QueryBackend::FromMesh(mesh, 1), options);
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1), options);
 
   std::vector<std::string> failures(kClients);
   std::vector<std::thread> threads;
@@ -282,7 +282,7 @@ TEST(ServerIntegrationTest, CoalescesAcrossConnections) {
   ServerOptions options;
   options.scheduler.window_nanos = 2'000'000'000;  // 2 s: size must win
   options.scheduler.max_batch_queries = 8;
-  ServerFixture fixture(QueryBackend::FromMesh(mesh, 1), options);
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1), options);
 
   auto client_a = MustConnect(fixture.port());
   auto client_b = MustConnect(fixture.port());
@@ -384,7 +384,7 @@ server::Buffer ValidHello() {
 
 TEST(ServerIntegrationTest, RejectsMalformedFrames) {
   const TetraMesh mesh = MakeBox(4);
-  ServerFixture fixture(QueryBackend::FromMesh(mesh, 1));
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1));
 
   {
     SCOPED_TRACE("garbage bytes instead of a frame");
@@ -490,7 +490,7 @@ TEST(ServerIntegrationTest, OverloadIsExplicitAndAcceptedWorkCompletes) {
   options.scheduler.window_nanos = 60'000'000'000;  // park requests
   options.scheduler.max_batch_queries = 1000;
   options.scheduler.max_pending_queries = 8;
-  ServerFixture fixture(QueryBackend::FromMesh(mesh, 1), options);
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1), options);
 
   QueryGenerator gen(mesh);
   Rng rng(9);
@@ -541,7 +541,7 @@ TEST(ServerIntegrationTest, OverloadIsExplicitAndAcceptedWorkCompletes) {
 // and the session must stay alive until the response is delivered.
 TEST(ServerIntegrationTest, HalfClosedClientStillGetsItsResults) {
   const TetraMesh mesh = MakeBox(6);
-  ServerFixture fixture(QueryBackend::FromMesh(mesh, 1));
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1));
 
   const int fd = RawConnect(fixture.port());
   server::Buffer bytes = ValidHello();
@@ -570,11 +570,87 @@ TEST(ServerIntegrationTest, HalfClosedClientStillGetsItsResults) {
   close(fd);
 }
 
+// Silent connections must not pin max_connections slots forever: a
+// session that never sends its HELLO (and one that handshakes, then
+// goes mute) is answered with a typed TIMEOUT error and closed once the
+// idle deadline passes — while a client with a request parked in the
+// scheduler is exempt (the server owes IT an answer).
+TEST(ServerIntegrationTest, IdleSessionsTimeOutWithTypedError) {
+  const TetraMesh mesh = MakeBox(4);
+  ServerOptions options;
+  options.idle_timeout_nanos = 100'000'000;  // 100 ms
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1), options);
+
+  // Never sends a byte: handshake timeout.
+  const int silent_fd = RawConnect(fixture.port());
+  // Handshakes, then goes mute: idle timeout.
+  const int mute_fd = RawConnect(fixture.port());
+  SendRaw(mute_fd, ValidHello());
+  FrameType type;
+  server::Buffer payload;
+  ASSERT_TRUE(ReadFrameRaw(mute_fd, &type, &payload));
+  EXPECT_EQ(type, FrameType::kWelcome);
+
+  ExpectErrorThenClose(silent_fd, ErrorCode::kTimeout);
+  ExpectErrorThenClose(mute_fd, ErrorCode::kTimeout);
+  close(silent_fd);
+  close(mute_fd);
+
+  // A session waiting on its own parked request survives deadlines far
+  // longer than the timeout: the pending work exempts it.
+  ServerOptions parked;
+  parked.idle_timeout_nanos = 100'000'000;
+  parked.scheduler.window_nanos = 400'000'000;  // 4x the idle timeout
+  ServerFixture parked_fixture(VersionedBackend::FromMesh(mesh, 1),
+                               parked);
+  auto client = MustConnect(parked_fixture.port());
+  const std::vector<AABB> queries = {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))};
+  auto result = client->ExecuteBatch(queries);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(Sorted(result.Value().results.per_query[0]),
+            BruteForceRangeQuery(mesh, queries[0]));
+}
+
+// Graceful drain announces itself: instead of a silent EOF, every
+// surviving session receives ERROR(SHUTTING_DOWN) after the results it
+// is owed.
+TEST(ServerIntegrationTest, DrainEmitsTypedShuttingDown) {
+  const TetraMesh mesh = MakeBox(4);
+  auto fixture = std::make_unique<ServerFixture>(
+      VersionedBackend::FromMesh(mesh, 1));
+
+  const int fd = RawConnect(fixture->port());
+  server::Buffer bytes = ValidHello();
+  const std::vector<AABB> queries = {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))};
+  server::AppendQueryBatch(&bytes, 5, queries);
+  SendRaw(fd, bytes);
+  FrameType type;
+  server::Buffer payload;
+  ASSERT_TRUE(ReadFrameRaw(fd, &type, &payload));
+  EXPECT_EQ(type, FrameType::kWelcome);
+  ASSERT_TRUE(ReadFrameRaw(fd, &type, &payload));
+  ASSERT_EQ(type, FrameType::kResult);
+
+  // Stop the server while the connection is alive and fully served.
+  fixture->StopAndJoin();
+
+  // The drain delivered a typed goodbye, then closed.
+  ASSERT_TRUE(ReadFrameRaw(fd, &type, &payload));
+  ASSERT_EQ(type, FrameType::kError);
+  server::ErrorFrame error;
+  ASSERT_TRUE(server::ParseError(payload, &error).ok());
+  EXPECT_EQ(error.code, ErrorCode::kShuttingDown)
+      << server::ErrorCodeName(error.code);
+  uint8_t byte;
+  EXPECT_EQ(recv(fd, &byte, 1, 0), 0);
+  close(fd);
+}
+
 TEST(ServerIntegrationTest, EmptyBatchReturnsImmediately) {
   const TetraMesh mesh = MakeBox(4);
   ServerOptions options;
   options.scheduler.window_nanos = 60'000'000'000;  // would park forever
-  ServerFixture fixture(QueryBackend::FromMesh(mesh, 1), options);
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1), options);
   auto remote = MustConnect(fixture.port());
   auto result = remote->ExecuteBatch({});
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -583,7 +659,7 @@ TEST(ServerIntegrationTest, EmptyBatchReturnsImmediately) {
 }
 
 TEST(BatchSchedulerTest, CoalescesWholeRequestsUpToTheCap) {
-  auto backend = QueryBackend::FromMesh(MakeBox(4), 1);
+  auto backend = VersionedBackend::FromMesh(MakeBox(4), 1);
   server::SchedulerOptions options;
   options.max_batch_queries = 5;
   options.window_nanos = 1'000'000'000;
@@ -634,7 +710,7 @@ TEST(BatchSchedulerTest, CoalescesWholeRequestsUpToTheCap) {
 }
 
 TEST(BatchSchedulerTest, OversizedRequestExecutesAlone) {
-  auto backend = QueryBackend::FromMesh(MakeBox(4), 1);
+  auto backend = VersionedBackend::FromMesh(MakeBox(4), 1);
   server::SchedulerOptions options;
   options.max_batch_queries = 2;
   server::BatchScheduler scheduler(options);

@@ -22,15 +22,23 @@
 //       executes a batch of random range queries through the QueryEngine
 //       and prints throughput + phase breakdown
 //   octopus_cli serve <mesh|snapshot.oct2> [--port N] [--paged ...]
-//       runs the OCTP network query service until SIGINT/SIGTERM
+//              [--deform <kind> --step-every <ms>]
+//       runs the OCTP network query service until SIGINT/SIGTERM;
+//       with --deform the mesh advances epoch by epoch while serving
 //   octopus_cli query --remote <host:port> <minx ... maxz>
 //       executes the range query on a remote octopus_cli serve
+//   octopus_cli step <host:port> [n]
+//       advances a dynamic server n steps (default 1; 0 = just report
+//       the current epoch)
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "client/remote_client.h"
@@ -46,6 +54,7 @@
 #include "octopus/paged_executor.h"
 #include "octopus/query_executor.h"
 #include "server/server.h"
+#include "sim/deformer_spec.h"
 #include "sim/workload.h"
 
 namespace {
@@ -76,12 +85,24 @@ void PrintUsage(std::FILE* out) {
       "      --sel F          query selectivity (default 0.001)\n"
       "  octopus_cli serve <mesh> [--port N] [--threads N] "
       "[--window-us N] [--max-batch N] [--max-pending N]\n"
-      "              [--paged --pool-bytes N]\n"
+      "              [--paged --pool-bytes N] [--deform "
+      "<random|wave|plasticity>]\n"
+      "              [--step-every MS] [--amplitude F] [--seed N] "
+      "[--idle-timeout-s N]\n"
       "      runs the OCTP query service (port 0 = ephemeral, printed "
       "on stdout); with --paged,\n"
-      "      <mesh> is an .oct2 snapshot served out of core\n"
+      "      <mesh> is an .oct2 snapshot served out of core. --deform "
+      "binds a simulation\n"
+      "      deformer (epoch-versioned serving); --step-every advances "
+      "it every MS milliseconds\n"
+      "      on a stepper thread, concurrently with queries. "
+      "--amplitude 0 (default) derives a\n"
+      "      safe bound from the mesh\n"
       "  octopus_cli query --remote <host:port> <minx> <miny> <minz> "
       "<maxx> <maxy> <maxz>\n"
+      "  octopus_cli step <host:port> [n]\n"
+      "      advances a dynamic server n steps (default 1; 0 = report "
+      "the current epoch)\n"
       "  octopus_cli --version\n");
 }
 
@@ -212,8 +233,10 @@ Status ValidatePoolBytes(const std::string& snapshot_path,
 void PrintRemoteBatchInfo(const client::RemoteBatchResult& r) {
   PrintPhaseBreakdown(r.stats.ToPhaseStats());
   std::printf("served in a coalesced batch of %u queries from %u "
-              "request(s)\n",
-              r.stats.batch_queries, r.stats.batch_requests);
+              "request(s) at epoch %llu (step %u)\n",
+              r.stats.batch_queries, r.stats.batch_requests,
+              static_cast<unsigned long long>(r.stats.epoch.epoch),
+              r.stats.epoch.step);
   if (r.stats.page_hits + r.stats.page_misses > 0) {
     std::printf("page I/O: %llu hits, %llu misses, %llu evictions\n",
                 static_cast<unsigned long long>(r.stats.page_hits),
@@ -503,12 +526,42 @@ int CmdServe(int argc, char** argv) {
   bool paged = false;
   size_t pool_bytes = 4u << 20;
   long threads = 1;
+  DeformerSpec deform;
+  long step_every_ms = 0;
   server::ServerOptions options;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--paged") == 0) {
       paged = true;
     } else if (std::strcmp(argv[i], "--pool-bytes") == 0 && i + 1 < argc) {
       if (!ParseByteCount(argv[++i], &pool_bytes)) return Usage();
+    } else if (std::strcmp(argv[i], "--deform") == 0 && i + 1 < argc) {
+      if (!ParseDeformerKind(argv[++i], &deform.kind)) return Usage();
+    } else if (std::strcmp(argv[i], "--step-every") == 0 && i + 1 < argc) {
+      if (!ParsePositiveInt(argv[++i], 3'600'000, &step_every_ms)) {
+        return Usage();
+      }
+    } else if (std::strcmp(argv[i], "--amplitude") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      deform.amplitude = std::strtof(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || deform.amplitude < 0.0f) {
+        return Usage();
+      }
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long long seed = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') return Usage();
+      deform.seed = seed;
+    } else if (std::strcmp(argv[i], "--idle-timeout-s") == 0 &&
+               i + 1 < argc) {
+      // Strict parse allowing 0 ("disable the timeout"), so garbage
+      // must not silently become it.
+      char* end = nullptr;
+      const long seconds = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || seconds < 0 ||
+          seconds > 86'400) {
+        return Usage();
+      }
+      options.idle_timeout_nanos = seconds * 1'000'000'000ll;
     } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       // Strict parse: 0 means "ephemeral", so a garbage value must not
       // silently become 0 (atoi would).
@@ -541,14 +594,19 @@ int CmdServe(int argc, char** argv) {
     }
   }
 
-  std::unique_ptr<server::QueryBackend> backend;
+  if (step_every_ms > 0 && deform.kind == DeformerKind::kNone) {
+    std::fprintf(stderr, "--step-every requires --deform\n");
+    return 2;
+  }
+
+  std::unique_ptr<server::VersionedBackend> backend;
   if (paged) {
     const Status valid = ValidatePoolBytes(argv[2], pool_bytes);
     if (!valid.ok()) {
       std::fprintf(stderr, "%s\n", valid.ToString().c_str());
       return 1;
     }
-    auto opened = server::QueryBackend::OpenSnapshot(
+    auto opened = server::VersionedBackend::OpenSnapshot(
         argv[2], pool_bytes, static_cast<int>(threads));
     if (!opened.ok()) {
       std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
@@ -556,13 +614,20 @@ int CmdServe(int argc, char** argv) {
     }
     backend = opened.MoveValue();
   } else {
-    auto opened = server::QueryBackend::OpenMeshFile(
+    auto opened = server::VersionedBackend::OpenMeshFile(
         argv[2], static_cast<int>(threads));
     if (!opened.ok()) {
       std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
       return 1;
     }
     backend = opened.MoveValue();
+  }
+  if (deform.kind != DeformerKind::kNone) {
+    const Status bound = backend->BindDeformer(deform);
+    if (!bound.ok()) {
+      std::fprintf(stderr, "%s\n", bound.ToString().c_str());
+      return 1;
+    }
   }
 
   server::QueryServer srv(std::move(backend), options);
@@ -574,12 +639,42 @@ int CmdServe(int argc, char** argv) {
   g_server.store(&srv, std::memory_order_release);
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
-  std::printf("octopus_cli %s serving %s (%s, %ld engine thread(s)) on "
-              "port %u\n",
+  std::printf("octopus_cli %s serving %s (%s, %ld engine thread(s)%s%s) "
+              "on port %u\n",
               kVersionString, argv[2],
-              paged ? "out-of-core" : "in-memory", threads, srv.port());
+              paged ? "out-of-core" : "in-memory", threads,
+              deform.kind != DeformerKind::kNone ? ", deformer " : "",
+              deform.kind != DeformerKind::kNone
+                  ? DeformerKindName(deform.kind)
+                  : "",
+              srv.port());
   std::fflush(stdout);
+
+  // The SIMULATE side: a stepper thread advancing the epoch while the
+  // loop serves queries — the paper's Fig. 1(e) timeline, live.
+  std::atomic<bool> stepper_stop{false};
+  std::thread stepper;
+  if (step_every_ms > 0) {
+    stepper = std::thread([&srv, &stepper_stop, step_every_ms] {
+      while (!stepper_stop.load(std::memory_order_acquire)) {
+        // Sleep in short slices so shutdown never waits out a long
+        // step interval before the join below can complete.
+        for (long slept = 0;
+             slept < step_every_ms &&
+             !stepper_stop.load(std::memory_order_acquire);
+             slept += 50) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              std::min<long>(50, step_every_ms - slept)));
+        }
+        if (stepper_stop.load(std::memory_order_acquire)) break;
+        srv.backend()->AdvanceStep();
+      }
+    });
+  }
+
   const Status run = srv.Run();
+  stepper_stop.store(true, std::memory_order_release);
+  if (stepper.joinable()) stepper.join();
   g_server.store(nullptr, std::memory_order_release);
   if (!run.ok()) {
     std::fprintf(stderr, "%s\n", run.ToString().c_str());
@@ -587,11 +682,54 @@ int CmdServe(int argc, char** argv) {
   }
   const server::ServerMetrics& m = srv.metrics();
   std::printf("served %llu queries in %llu batches (coalesce factor "
-              "%.2f) over %llu connection(s)\n",
+              "%.2f) over %llu connection(s), %u simulation step(s) "
+              "applied\n",
               static_cast<unsigned long long>(m.queries_executed),
               static_cast<unsigned long long>(m.batches_executed),
               m.CoalesceFactor(),
-              static_cast<unsigned long long>(m.connections_accepted));
+              static_cast<unsigned long long>(m.connections_accepted),
+              srv.backend()->CurrentEpoch().step);
+  return 0;
+}
+
+int CmdStep(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(argv[2], &host, &port)) return Usage();
+  long steps = 1;
+  if (argc > 3) {
+    char* end = nullptr;
+    steps = std::strtol(argv[3], &end, 10);
+    if (end == argv[3] || *end != '\0' || steps < 0 ||
+        steps > static_cast<long>(server::kMaxStepsPerFrame)) {
+      return Usage();
+    }
+  }
+  auto connected = client::RemoteClient::Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.status().ToString().c_str());
+    return 1;
+  }
+  auto info = connected.Value()->Step(static_cast<uint32_t>(steps));
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("epoch %llu, step %u (%s%s)",
+              static_cast<unsigned long long>(info.Value().epoch),
+              info.Value().step,
+              info.Value().dynamic != 0 ? "deformer " : "static mesh",
+              info.Value().dynamic != 0
+                  ? DeformerKindName(static_cast<DeformerKind>(
+                        info.Value().deformer_kind))
+                  : "");
+  if (info.Value().last_step_pages_rewritten > 0) {
+    std::printf(", %llu position page(s) rewritten by the last step",
+                static_cast<unsigned long long>(
+                    info.Value().last_step_pages_rewritten));
+  }
+  std::printf("\n");
   return 0;
 }
 
@@ -635,5 +773,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "export") == 0) return CmdExport(argc, argv);
   if (std::strcmp(argv[1], "bench") == 0) return CmdBench(argc, argv);
   if (std::strcmp(argv[1], "serve") == 0) return CmdServe(argc, argv);
+  if (std::strcmp(argv[1], "step") == 0) return CmdStep(argc, argv);
   return Usage();
 }
