@@ -166,6 +166,12 @@ Status RemoteClient::StatusFromError(const server::ErrorFrame& error) {
     // stream stays framed, so keep the connection.
     return Status::IOError(text);
   }
+  if (error.code == ErrorCode::kEpochGone) {
+    // Request-scoped: the epoch fell out of the bounded history (or was
+    // never pinned); current-epoch queries on this connection still
+    // work.
+    return Status::NotFound(text);
+  }
   Close();
   switch (error.code) {
     case ErrorCode::kBadMagic:
@@ -183,10 +189,10 @@ Status RemoteClient::StatusFromError(const server::ErrorFrame& error) {
 }
 
 Result<RemoteBatchResult> RemoteClient::ExecuteBatch(
-    std::span<const AABB> boxes) {
+    std::span<const AABB> boxes, uint64_t epoch) {
   const uint64_t request_id = next_request_id_++;
   Buffer out;
-  server::AppendQueryBatch(&out, request_id, boxes);
+  server::AppendQueryBatch(&out, request_id, boxes, epoch);
   OCTOPUS_RETURN_NOT_OK(SendAll(out));
 
   // Responses to a blocking client arrive in request order; skip
@@ -222,18 +228,9 @@ Result<RemoteBatchResult> RemoteClient::ExecuteBatch(
   return result;
 }
 
-Result<server::EpochInfoWire> RemoteClient::Step(uint32_t steps) {
-  if (steps > server::kMaxStepsPerFrame) {
-    // Statically detectable: fail locally instead of letting the
-    // server reject the frame as malformed and close the connection.
-    return Status::InvalidArgument(
-        "steps exceeds the per-frame cap of " +
-        std::to_string(server::kMaxStepsPerFrame) +
-        "; send multiple STEP frames");
-  }
-  Buffer out;
-  server::AppendStep(&out, server::StepFrame{steps});
-  OCTOPUS_RETURN_NOT_OK(SendAll(out));
+Result<server::EpochInfoWire> RemoteClient::RoundTripEpochInfo(
+    const Buffer& request) {
+  OCTOPUS_RETURN_NOT_OK(SendAll(request));
   FrameType type;
   Buffer payload;
   OCTOPUS_RETURN_NOT_OK(ReadFrame(&type, &payload));
@@ -249,6 +246,32 @@ Result<server::EpochInfoWire> RemoteClient::Step(uint32_t steps) {
   server::EpochInfoWire info;
   OCTOPUS_RETURN_NOT_OK(server::ParseEpochInfo(payload, &info));
   return info;
+}
+
+Result<server::EpochInfoWire> RemoteClient::Step(uint32_t steps) {
+  if (steps > server::kMaxStepsPerFrame) {
+    // Statically detectable: fail locally instead of letting the
+    // server reject the frame as malformed and close the connection.
+    return Status::InvalidArgument(
+        "steps exceeds the per-frame cap of " +
+        std::to_string(server::kMaxStepsPerFrame) +
+        "; send multiple STEP frames");
+  }
+  Buffer out;
+  server::AppendStep(&out, server::StepFrame{steps});
+  return RoundTripEpochInfo(out);
+}
+
+Result<server::EpochInfoWire> RemoteClient::PinEpoch(uint64_t epoch) {
+  Buffer out;
+  server::AppendPinEpoch(&out, server::PinEpochFrame{epoch});
+  return RoundTripEpochInfo(out);
+}
+
+Result<server::EpochInfoWire> RemoteClient::UnpinEpoch(uint64_t epoch) {
+  Buffer out;
+  server::AppendUnpinEpoch(&out, server::PinEpochFrame{epoch});
+  return RoundTripEpochInfo(out);
 }
 
 Result<server::ServerStatsWire> RemoteClient::FetchStats() {

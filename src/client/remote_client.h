@@ -53,11 +53,26 @@ class RemoteClient {
   /// What the server reported in its WELCOME frame.
   const server::WelcomeFrame& server_info() const { return welcome_; }
 
-  /// Executes `boxes` remotely; blocks until the RESULT arrives. An
-  /// OVERLOADED rejection surfaces as `ResourceExhausted` (the
-  /// connection stays usable); other error frames and transport
-  /// failures surface as their mapped Status and poison the connection.
-  Result<RemoteBatchResult> ExecuteBatch(std::span<const AABB> boxes);
+  /// Executes `boxes` remotely; blocks until the RESULT arrives.
+  /// `epoch` 0 (the default) runs against the server's current epoch;
+  /// any other value runs against that exact historical epoch — the
+  /// repeatable-read path, which requires the epoch to still be in the
+  /// server's bounded history (pin it to be sure). An OVERLOADED
+  /// rejection surfaces as `ResourceExhausted`, an EPOCH_GONE as
+  /// `NotFound` (the connection stays usable in both cases); other
+  /// error frames and transport failures surface as their mapped
+  /// Status and poison the connection.
+  Result<RemoteBatchResult> ExecuteBatch(std::span<const AABB> boxes,
+                                         uint64_t epoch = 0);
+
+  /// Pins an epoch (0 = current) against history eviction until
+  /// `UnpinEpoch` or disconnect; returns the pinned epoch's identity —
+  /// the id to pass to `ExecuteBatch` for repeatable reads across
+  /// steps. EPOCH_GONE (`NotFound`) when it was already evicted.
+  Result<server::EpochInfoWire> PinEpoch(uint64_t epoch = 0);
+  /// Releases one pin taken by this session; answers the server's
+  /// current epoch. `NotFound` when this session holds no such pin.
+  Result<server::EpochInfoWire> UnpinEpoch(uint64_t epoch);
 
   /// Fetches the server's metrics snapshot.
   Result<server::ServerStatsWire> FetchStats();
@@ -77,6 +92,10 @@ class RemoteClient {
   explicit RemoteClient(int fd) : fd_(fd) {}
 
   Status SendAll(const server::Buffer& data);
+  /// Sends one encoded frame and reads the EPOCH_INFO answer (the
+  /// shared shape of STEP, PIN_EPOCH and UNPIN_EPOCH).
+  Result<server::EpochInfoWire> RoundTripEpochInfo(
+      const server::Buffer& request);
   /// Reads exactly one frame (header + payload) into `payload`/`type`.
   Status ReadFrame(server::FrameType* type, server::Buffer* payload);
   /// Maps an ERROR frame to a Status (and closes unless it is a

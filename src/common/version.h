@@ -8,8 +8,9 @@ namespace octopus {
 
 /// Library version, bumped per PR milestone: 0.1 batched engine,
 /// 0.2 out-of-core storage, 0.3 network query service, 0.4 epoch-
-/// versioned dynamic serving.
-inline constexpr const char kVersionString[] = "0.4.0";
+/// versioned dynamic serving, 0.5 bounded epoch history with
+/// disk-spilled overlays and pinned repeatable reads.
+inline constexpr const char kVersionString[] = "0.5.0";
 
 }  // namespace octopus
 

@@ -1,0 +1,357 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "server/epoch_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace octopus::server {
+
+Status EpochRetentionOptions::Validate() const {
+  if (retention_epochs < 1) {
+    return Status::InvalidArgument(
+        "retention-epochs must be at least 1 epoch (the current epoch "
+        "cannot be spilled)");
+  }
+  if (retention_bytes < 1) {
+    return Status::InvalidArgument(
+        "retention-bytes must be at least 1 byte");
+  }
+  if (history_epochs < retention_epochs) {
+    return Status::InvalidArgument(
+        "history-epochs (" + std::to_string(history_epochs) +
+        ") must cover the retention window (" +
+        std::to_string(retention_epochs) + " epochs)");
+  }
+  return Status::OK();
+}
+
+EpochStore::EpochStore(uint32_t page_bytes, EpochRetentionOptions options)
+    : page_bytes_(page_bytes), options_(std::move(options)) {}
+
+EpochStore::~EpochStore() = default;
+
+Status EpochStore::Init() {
+  OCTOPUS_RETURN_NOT_OK(options_.Validate());
+  if (!options_.spill_path.empty()) {
+    auto spill = storage::EpochSpillFile::Create(
+        options_.spill_path, page_bytes_, options_.spill_pool_bytes);
+    if (!spill.ok()) return spill.status();
+    spill_ = spill.MoveValue();
+  }
+  return Status::OK();
+}
+
+void EpochStore::Publish(PinnedEpochState state) {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert((ring_.empty() || state.info.epoch > ring_.back().info.epoch) &&
+         "epoch ids must be strictly increasing");
+  Entry entry;
+  entry.info = state.info;
+  entry.overlay = std::move(state.overlay);
+  entry.positions = std::move(state.positions);
+  entry.resident =
+      entry.overlay != nullptr ? entry.overlay->resident_bytes()
+      : entry.positions != nullptr
+          ? entry.positions->positions.size() * sizeof(Vec3)
+          : 0;
+  ring_.push_back(std::move(entry));
+  EnforceRetention(lock);
+}
+
+std::optional<PinnedEpochState> EpochStore::PinNewest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) return std::nullopt;
+  const Entry& newest = ring_.back();
+  return PinnedEpochState{newest.info, newest.overlay, newest.positions};
+}
+
+engine::EpochInfo EpochStore::CurrentInfo() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.empty() ? engine::EpochInfo{} : ring_.back().info;
+}
+
+Result<PinnedEpochState> EpochStore::PinEpoch(
+    engine::EpochId id, storage::PageIOStats* reload_stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* found = FindLocked(id)) {
+    Entry& entry = *found;
+    if (!entry.spilled || entry.overlay != nullptr ||
+        entry.spill_first == storage::kInvalidPageId) {
+      // Resident, sidecar-backed overlay, or the overlay-less initial
+      // epoch (the base snapshot is its state): hand it out as-is.
+      return PinnedEpochState{entry.info, entry.overlay, entry.positions};
+    }
+    // Spilled in-memory epoch: rematerialize the position array from
+    // the sidecar, transiently — it is NOT cached back, so memory stays
+    // O(window) between historical queries. (The reload runs under the
+    // ring mutex, briefly delaying a concurrent step; at monitoring
+    // batch rates that is noise, and it keeps publication trivially
+    // atomic.)
+    auto reloaded = std::make_shared<PositionEpoch>();
+    reloaded->info = entry.info;
+    reloaded->positions.resize(entry.spill_count);
+    const Status read = spill_->ReadPositions(
+        entry.spill_first, entry.spill_count, reloaded->positions.data(),
+        reload_stats);
+    if (!read.ok()) return read;
+    return PinnedEpochState{entry.info, nullptr, std::move(reloaded)};
+  }
+  return Status::NotFound(
+      "epoch " + std::to_string(id) +
+      " is gone: evicted from the bounded history (or never published)");
+}
+
+Result<engine::EpochInfo> EpochStore::AddPin(engine::EpochId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* entry = FindLocked(id)) {
+    ++entry->pins;
+    return entry->info;
+  }
+  return Status::NotFound("epoch " + std::to_string(id) +
+                          " is gone: nothing to pin");
+}
+
+Result<engine::EpochInfo> EpochStore::AddPinNewest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.empty()) {
+    return Status::NotFound("no epoch has been published yet");
+  }
+  ++ring_.back().pins;
+  return ring_.back().info;
+}
+
+Status EpochStore::ReleasePin(engine::EpochId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Entry* entry = FindLocked(id);
+  if (entry == nullptr) {
+    return Status::NotFound("epoch " + std::to_string(id) +
+                            " is gone: nothing to unpin");
+  }
+  if (entry->pins == 0) {
+    return Status::NotFound("epoch " + std::to_string(id) +
+                            " is not pinned");
+  }
+  --entry->pins;
+  // Re-enforce immediately: an unpinned epoch past the history cap
+  // becomes EPOCH_GONE now, not at the next step.
+  EnforceRetention(lock);
+  return Status::OK();
+}
+
+size_t EpochStore::ResidentBytesLocked() const {
+  size_t bytes = 0;
+  for (const Entry& entry : ring_) bytes += entry.resident;
+  return bytes;
+}
+
+EpochStore::Entry* EpochStore::FindLocked(engine::EpochId id) {
+  // Epoch ids are ascending (eviction leaves holes but never reorders),
+  // so the ring is binary-searchable — keeps lookups cheap even at the
+  // CLI's largest accepted history caps.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), id,
+      [](const Entry& entry, engine::EpochId target) {
+        return entry.info.epoch < target;
+      });
+  return it != ring_.end() && it->info.epoch == id ? &*it : nullptr;
+}
+
+void EpochStore::SpillOne(std::unique_lock<std::mutex>& lock,
+                          engine::EpochId id) {
+  // Snapshot the state to write under the lock; the entry stays
+  // resident (and queryable) while the I/O runs.
+  std::shared_ptr<const storage::PositionOverlay> overlay;
+  std::shared_ptr<const PositionEpoch> positions;
+  {
+    Entry* entry = FindLocked(id);
+    if (entry == nullptr || entry->spilled || entry->spilling) return;
+    entry->spilling = true;
+    overlay = entry->overlay;
+    positions = entry->positions;
+  }
+
+  lock.unlock();
+  // The sidecar append runs with the ring unlocked: a concurrent
+  // current-epoch pin never waits out an fwrite. spill_io_mu_ keeps
+  // two retention passes (stepper's Publish vs event loop's
+  // ReleasePin) from interleaving appends.
+  bool ok = true;
+  std::vector<storage::PageId> overlay_ids;
+  storage::PageId first = storage::kInvalidPageId;
+  {
+    std::lock_guard<std::mutex> io_lock(spill_io_mu_);
+    if (overlay != nullptr) {
+      // Paged: append every memory-resident page (zero-padded to the
+      // writer's page size). The spilled_id carry-over keeps this
+      // total for overlays that already have sidecar-backed entries;
+      // note that pages *structurally shared in memory* between
+      // consecutive epochs are still appended once per spilled epoch —
+      // cross-epoch sidecar dedup (pointer->page map) is the ROADMAP'd
+      // compaction work, and the duplication costs disk, never
+      // correctness.
+      overlay_ids.assign(overlay->num_page_slots(),
+                         storage::kInvalidPageId);
+      for (uint64_t page = 0; ok && page < overlay_ids.size(); ++page) {
+        if (const std::byte* bytes = overlay->Lookup(page)) {
+          // Resident pages store entry bytes only; AppendPage zero-pads
+          // them back to the writer's full page size.
+          auto appended = spill_->AppendPage(std::span<const std::byte>(
+              bytes, overlay->resident_page_bytes(page)));
+          ok = appended.ok();
+          if (ok) overlay_ids[page] = appended.Value();
+        } else {
+          overlay_ids[page] = overlay->spilled_id(page);
+        }
+      }
+    } else {
+      auto appended = spill_->AppendPositions(positions->positions);
+      ok = appended.ok();
+      if (ok) first = appended.Value();
+    }
+    ok = ok && spill_->Sync().ok();
+  }
+  lock.lock();
+
+  Entry* entry = FindLocked(id);
+  if (entry == nullptr) return;  // evicted meanwhile; pages orphaned
+  entry->spilling = false;
+  if (!ok) {
+    // Marked rather than retried: a sidecar that failed once (disk
+    // full, I/O error) would livelock the retention loop. The picker
+    // treats the entry as unspillable — evicted if unpinned, resident
+    // pin-memory otherwise.
+    entry->spill_failed = true;
+    return;
+  }
+  if (overlay != nullptr) {
+    // Swap in the disk-backed twin. Readers still holding the resident
+    // overlay drain naturally — copy-on-write all the way down.
+    entry->overlay = storage::PositionOverlay::SpilledTwin(
+        *overlay, std::move(overlay_ids), spill_->pool());
+  } else {
+    entry->spill_first = first;
+    entry->spill_count = positions->positions.size();
+    entry->positions.reset();
+  }
+  entry->spilled = true;
+  entry->resident = 0;
+}
+
+void EpochStore::EnforceRetention(std::unique_lock<std::mutex>& lock) {
+  // Spill pass, oldest first. An epoch leaves the resident window when
+  // more than `retention_epochs` epochs are resident behind it, or the
+  // resident bytes exceed the cap; the newest epoch is always exempt
+  // (the hot path must never pay sidecar I/O). Without a sidecar the
+  // epoch is evicted instead — unless pinned, in which case it stays
+  // resident (the documented memory cost of pinning without spill).
+  // The scan restarts after every spill, because the ring may change
+  // while the spill's disk I/O runs with the lock released.
+  for (;;) {
+    engine::EpochId to_spill = 0;
+    bool found = false;
+    size_t resident_count = 0;
+    for (const Entry& entry : ring_) {
+      resident_count += entry.spilled || entry.spilling ? 0 : 1;
+    }
+    // One O(ring) bytes sum per scan, maintained incrementally below —
+    // never recomputed per entry (a byte-cap spill storm would turn
+    // that quadratic).
+    size_t resident_bytes = ResidentBytesLocked();
+    for (size_t i = 0; i + 1 < ring_.size(); ++i) {
+      Entry& entry = ring_[i];
+      if (entry.spilled || entry.spilling) continue;
+      const bool over_count = resident_count > options_.retention_epochs;
+      const bool over_bytes = resident_bytes > options_.retention_bytes;
+      if (!over_count && !over_bytes) break;
+      if (entry.overlay == nullptr && entry.positions == nullptr) {
+        // The overlay-less initial epoch: its state is the base
+        // snapshot (or the static mesh); nothing resident to move.
+        entry.spilled = true;
+        entry.resident = 0;
+        --resident_count;
+        continue;
+      }
+      if (spill_ == nullptr || entry.spill_failed) {
+        if (entry.pins > 0) {
+          // Pinned and unspillable: stays resident, exempt — and
+          // leaves the window accounting, so it cannot force younger,
+          // in-window epochs out (pin-memory, not a window slot).
+          --resident_count;
+          resident_bytes -= entry.resident;
+          continue;
+        }
+        resident_bytes -= entry.resident;
+        ring_.erase(ring_.begin() + static_cast<ptrdiff_t>(i));
+        ++evicted_;
+        --resident_count;
+        --i;
+        continue;
+      }
+      to_spill = entry.info.epoch;
+      found = true;
+      break;
+    }
+    if (!found) break;
+    SpillOne(lock, to_spill);
+  }
+  // Evict pass: drop the oldest unpinned epochs past the history cap.
+  // Pins are exempt *on top of* the cap (they never steal a history
+  // slot from a younger epoch): the ring holds at most history_epochs
+  // unpinned entries plus every pinned one, and snaps back as pins
+  // release — an epoch whose last pin goes away past the cap is evicted
+  // by that very release.
+  size_t pinned = 0;
+  for (const Entry& entry : ring_) pinned += entry.pins > 0 ? 1 : 0;
+  const size_t cap = options_.history_epochs + pinned;
+  size_t excess = ring_.size() > cap ? ring_.size() - cap : 0;
+  for (auto it = ring_.begin(); excess > 0 && it + 1 != ring_.end();) {
+    if (it->pins == 0) {
+      it = ring_.erase(it);
+      ++evicted_;
+      --excess;
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t EpochStore::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ResidentBytesLocked();
+}
+
+size_t EpochStore::resident_epochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const Entry& entry : ring_) n += entry.spilled ? 0 : 1;
+  return n;
+}
+
+size_t EpochStore::spilled_epochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const Entry& entry : ring_) n += entry.spilled ? 1 : 0;
+  return n;
+}
+
+uint64_t EpochStore::epochs_evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+uint64_t EpochStore::spill_pages_written() const {
+  // The appender mutates the sidecar's page counter under spill_io_mu_
+  // with the ring mutex deliberately released, so THIS is the lock
+  // that synchronizes reads of it — mu_ would be a false friend.
+  std::lock_guard<std::mutex> lock(spill_io_mu_);
+  return spill_ != nullptr ? spill_->pages_written() : 0;
+}
+
+uint64_t EpochStore::spill_bytes_written() const {
+  std::lock_guard<std::mutex> lock(spill_io_mu_);
+  return spill_ != nullptr ? spill_->bytes_written() : 0;
+}
+
+}  // namespace octopus::server

@@ -1,0 +1,185 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// The epoch retention layer: a bounded ring of recently published mesh
+// epochs. PR 4 made epochs fire-and-forget — each step's state was
+// reachable only until the next step replaced it, and a long run kept
+// no queryable history. The store turns "stale but live" into "stale,
+// live, *and* repeatable": the newest epochs stay memory-resident
+// (count- and byte-capped retention window), older epochs are spilled
+// to an on-disk `.oct2d` sidecar and transparently reloaded through a
+// byte-capped BufferManager when queried, and epochs past the history
+// cap are evicted entirely — unless a session pinned them, which exempts
+// them from eviction (never from spilling: pins cost disk, not memory)
+// until the pin is released or the session dies. Querying an
+// evicted-and-unpinned epoch is a typed EPOCH_GONE error, not silence.
+//
+// Thread model: `Publish` belongs to the stepper (one at a time);
+// `PinNewest` / `PinEpoch` / `AddPin` / `ReleasePin` are safe from any
+// thread concurrently with it. One mutex guards the ring, so the newest
+// epoch is published atomically — a concurrent pin observes either the
+// whole previous epoch or the whole next one, never a half-updated mix
+// (the invariant the dynamic-serving tests stress under TSan).
+#ifndef OCTOPUS_SERVER_EPOCH_STORE_H_
+#define OCTOPUS_SERVER_EPOCH_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "engine/mesh_epoch.h"
+#include "sim/versioned_mesh.h"
+#include "storage/delta_overlay.h"
+#include "storage/epoch_spill.h"
+
+namespace octopus::server {
+
+/// \brief Knobs of the retention window and spill sidecar.
+struct EpochRetentionOptions {
+  /// Epochs kept memory-resident, newest first. The serving hot path
+  /// (current-epoch queries) never touches the sidecar. Must be >= 1.
+  size_t retention_epochs = 8;
+  /// Byte cap on resident overlay/position memory: when the resident
+  /// epochs' bytes exceed it, the oldest are spilled early even inside
+  /// the count window (the newest epoch is always exempt). Must be >= 1.
+  size_t retention_bytes = 256u << 20;
+  /// Total ring capacity, resident + spilled; older epochs are evicted
+  /// (EPOCH_GONE) unless pinned. Must be >= retention_epochs.
+  size_t history_epochs = 64;
+  /// Spill sidecar path (`.oct2d`). Empty = spilling disabled: epochs
+  /// leaving the retention window are evicted directly, and pinned
+  /// epochs stay resident (pins then cost memory, not disk).
+  std::string spill_path;
+  /// Byte cap of the sidecar's reload pool (>= 2 pages).
+  size_t spill_pool_bytes = 1u << 20;
+
+  /// Rejects windows that cannot hold a single epoch and inconsistent
+  /// caps — the validation `octopus_cli serve` applies up front.
+  Status Validate() const;
+};
+
+/// \brief What a query pins: one epoch's identity plus its position
+/// state — a delta overlay (paged backend) or a full position buffer
+/// (in-memory backend). Plain value; the shared_ptrs keep the state
+/// alive and immutable for the duration of the batch.
+struct PinnedEpochState {
+  engine::EpochInfo info;
+  std::shared_ptr<const storage::PositionOverlay> overlay;
+  std::shared_ptr<const PositionEpoch> positions;
+};
+
+class EpochStore {
+ public:
+  /// `page_bytes` sizes the spill sidecar's pages (the snapshot's page
+  /// size on the paged backend; a default for in-memory).
+  EpochStore(uint32_t page_bytes, EpochRetentionOptions options);
+  ~EpochStore();
+
+  EpochStore(const EpochStore&) = delete;
+  EpochStore& operator=(const EpochStore&) = delete;
+
+  /// Validates the options and creates the spill sidecar (when a path
+  /// is configured). Call once before the first `Publish`.
+  Status Init();
+
+  /// Publishes `state` as the new newest epoch (its `info.epoch` must
+  /// be strictly larger than the current newest), then enforces
+  /// retention: spills resident epochs past the window (or byte cap)
+  /// and evicts unpinned epochs past the history cap.
+  void Publish(PinnedEpochState state);
+
+  /// The newest epoch; nullopt before the first `Publish`.
+  std::optional<PinnedEpochState> PinNewest() const;
+  engine::EpochInfo CurrentInfo() const;
+
+  /// Pins epoch `id` for one batch: resident state is returned as-is;
+  /// a spilled paged epoch returns its sidecar-backed overlay (reads
+  /// price page I/O into the executing contexts' stats); a spilled
+  /// in-memory epoch is rematerialized transiently from the sidecar,
+  /// with the reload I/O counted into `reload_stats`. NotFound = the
+  /// epoch was evicted (or never existed): the EPOCH_GONE case.
+  Result<PinnedEpochState> PinEpoch(engine::EpochId id,
+                                    storage::PageIOStats* reload_stats);
+
+  /// Session-pin accounting: a pinned epoch is exempt from eviction
+  /// until every pin is released. Returns the pinned epoch's identity;
+  /// NotFound when it is already gone.
+  Result<engine::EpochInfo> AddPin(engine::EpochId id);
+  /// Pins whatever is current — resolved and pinned in ONE critical
+  /// section, so "pin current" can never lose a race with a concurrent
+  /// publish evicting the epoch it just read. NotFound only before the
+  /// first publish.
+  Result<engine::EpochInfo> AddPinNewest();
+  /// Releases one pin and re-enforces retention (an unpinned epoch past
+  /// the window is evicted immediately, not at the next step). NotFound
+  /// when the epoch is unknown.
+  Status ReleasePin(engine::EpochId id);
+
+  // --- Observability (tests, bench, STATS) ---
+  /// Resident overlay/position bytes attributable to stored epochs
+  /// (per-epoch sum; structurally shared pages count once per epoch
+  /// sharing them, an upper bound). The O(window) quantity.
+  size_t resident_bytes() const;
+  size_t resident_epochs() const;
+  size_t spilled_epochs() const;
+  uint64_t epochs_evicted() const;
+  uint64_t spill_pages_written() const;
+  uint64_t spill_bytes_written() const;
+
+  const EpochRetentionOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    engine::EpochInfo info;
+    std::shared_ptr<const storage::PositionOverlay> overlay;
+    std::shared_ptr<const PositionEpoch> positions;
+    /// In-memory spill record: first sidecar page of the packed
+    /// position array (kInvalidPageId while resident) and its length.
+    storage::PageId spill_first = storage::kInvalidPageId;
+    size_t spill_count = 0;
+    uint32_t pins = 0;
+    bool spilled = false;
+    /// A spill's disk I/O is in flight for this entry (the ring mutex
+    /// is released around it); the entry stays resident and queryable
+    /// until the twin is installed.
+    bool spilling = false;
+    /// The sidecar refused this entry once; treat it as unspillable
+    /// (evict if unpinned) instead of retrying forever.
+    bool spill_failed = false;
+    size_t resident = 0;  ///< bytes this entry holds in memory
+  };
+
+  /// Spills or evicts until the window/byte/history caps hold. Takes
+  /// the held `mu_` lock and RELEASES it around each spill's disk I/O,
+  /// so concurrent pins never wait out an fwrite — publication stays
+  /// the O(1) pointer work the serving path was promised.
+  void EnforceRetention(std::unique_lock<std::mutex>& lock);
+  /// Writes one entry's state to the sidecar: snapshots it under the
+  /// lock, appends + syncs unlocked (serialized by `spill_io_mu_`),
+  /// then relocks and installs the disk-backed twin — unless the entry
+  /// was evicted meanwhile (its orphaned sidecar pages are the cost of
+  /// not blocking queries).
+  void SpillOne(std::unique_lock<std::mutex>& lock, engine::EpochId id);
+  Entry* FindLocked(engine::EpochId id);
+  size_t ResidentBytesLocked() const;
+
+  const uint32_t page_bytes_;
+  const EpochRetentionOptions options_;
+  std::unique_ptr<storage::EpochSpillFile> spill_;
+  /// Serializes sidecar appends across concurrent retention passes
+  /// (Publish on the stepper vs ReleasePin on the event loop) and
+  /// guards reads of the sidecar's append counters. Never held
+  /// together with a *blocked* `mu_`: acquired only while `mu_` is
+  /// released.
+  mutable std::mutex spill_io_mu_;
+
+  mutable std::mutex mu_;
+  std::deque<Entry> ring_;  ///< ascending epoch ids; back() is newest
+  uint64_t evicted_ = 0;
+};
+
+}  // namespace octopus::server
+
+#endif  // OCTOPUS_SERVER_EPOCH_STORE_H_

@@ -163,6 +163,7 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kShuttingDown: return "SHUTTING_DOWN";
     case ErrorCode::kInternal: return "INTERNAL";
     case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kEpochGone: return "EPOCH_GONE";
   }
   return "UNKNOWN";
 }
@@ -228,11 +229,12 @@ void AppendWelcome(Buffer* out, const WelcomeFrame& welcome) {
 }
 
 void AppendQueryBatch(Buffer* out, uint64_t request_id,
-                      std::span<const AABB> boxes) {
+                      std::span<const AABB> boxes, uint64_t epoch) {
   const size_t h = BeginFrame(out, FrameType::kQueryBatch);
   PutU64(out, request_id);
   PutU32(out, static_cast<uint32_t>(boxes.size()));
   PutU32(out, 0);  // reserved
+  PutU64(out, epoch);  // 0 = current (v3)
   for (const AABB& box : boxes) {
     PutF32(out, box.min.x);
     PutF32(out, box.min.y);
@@ -311,6 +313,18 @@ void AppendEpochInfo(Buffer* out, const EpochInfoWire& info) {
   EndFrame(out, h);
 }
 
+void AppendPinEpoch(Buffer* out, const PinEpochFrame& pin) {
+  const size_t h = BeginFrame(out, FrameType::kPinEpoch);
+  PutU64(out, pin.epoch);
+  EndFrame(out, h);
+}
+
+void AppendUnpinEpoch(Buffer* out, const PinEpochFrame& unpin) {
+  const size_t h = BeginFrame(out, FrameType::kUnpinEpoch);
+  PutU64(out, unpin.epoch);
+  EndFrame(out, h);
+}
+
 void AppendError(Buffer* out, const ErrorFrame& error) {
   const size_t h = BeginFrame(out, FrameType::kError);
   PutU16(out, static_cast<uint16_t>(error.code));
@@ -344,7 +358,7 @@ Result<FrameHeader> ParseFrameHeader(std::span<const uint8_t> data) {
         "-byte cap");
   }
   if (type < static_cast<uint8_t>(FrameType::kHello) ||
-      type > static_cast<uint8_t>(FrameType::kEpochInfo)) {
+      type > static_cast<uint8_t>(FrameType::kUnpinEpoch)) {
     return Malformed("unknown frame type");
   }
   if (flags != 0) return Malformed("nonzero reserved flags");
@@ -375,11 +389,13 @@ Status ParseWelcome(std::span<const uint8_t> payload, WelcomeFrame* out) {
 }
 
 Status ParseQueryBatch(std::span<const uint8_t> payload,
-                       uint64_t* request_id, std::vector<AABB>* boxes) {
+                       uint64_t* request_id, std::vector<AABB>* boxes,
+                       uint64_t* epoch) {
   Reader r(payload);
   uint32_t count = 0;
   uint32_t reserved = 0;
-  if (!r.U64(request_id) || !r.U32(&count) || !r.U32(&reserved)) {
+  if (!r.U64(request_id) || !r.U32(&count) || !r.U32(&reserved) ||
+      !r.U64(epoch)) {
     return Malformed("QUERY_BATCH header truncated");
   }
   if (r.remaining() != static_cast<size_t>(count) * 24) {
@@ -474,6 +490,15 @@ Status ParseEpochInfo(std::span<const uint8_t> payload,
   return Status::OK();
 }
 
+Status ParsePinEpoch(std::span<const uint8_t> payload,
+                     PinEpochFrame* out) {
+  Reader r(payload);
+  if (!r.U64(&out->epoch) || !r.Done()) {
+    return Malformed("PIN/UNPIN_EPOCH payload must be exactly 8 bytes");
+  }
+  return Status::OK();
+}
+
 Status ParseError(std::span<const uint8_t> payload, ErrorFrame* out) {
   Reader r(payload);
   uint16_t code = 0;
@@ -485,7 +510,7 @@ Status ParseError(std::span<const uint8_t> payload, ErrorFrame* out) {
     return Malformed("ERROR payload size mismatch");
   }
   if (code < static_cast<uint16_t>(ErrorCode::kBadMagic) ||
-      code > static_cast<uint16_t>(ErrorCode::kTimeout)) {
+      code > static_cast<uint16_t>(ErrorCode::kEpochGone)) {
     return Malformed("ERROR unknown code");
   }
   out->code = static_cast<ErrorCode>(code);

@@ -29,8 +29,12 @@ inline constexpr uint32_t kProtocolMagic = 0x4F435450;
 /// Bumped on any incompatible frame-layout change; the server rejects
 /// mismatched clients in the handshake. v2: epoch-stamped RESULTs
 /// (120-byte batch-stats block), STEP/EPOCH_INFO frames, TIMEOUT error,
-/// `steps_applied` in STATS.
-inline constexpr uint16_t kProtocolVersion = 2;
+/// `steps_applied` in STATS. v3: `epoch` field on QUERY_BATCH (0 =
+/// current; the fixed header grew 16 → 24 bytes before the boxes),
+/// PIN_EPOCH/UNPIN_EPOCH frames with per-session pin accounting, and
+/// the EPOCH_GONE error for history evicted from the bounded epoch
+/// ring.
+inline constexpr uint16_t kProtocolVersion = 3;
 
 /// Every frame starts with this fixed-size header.
 inline constexpr size_t kFrameHeaderBytes = 8;
@@ -50,6 +54,8 @@ enum class FrameType : uint8_t {
   kError = 7,         ///< server -> client: typed error, optional request id
   kStep = 8,          ///< client -> server: advance the simulation N steps
   kEpochInfo = 9,     ///< server -> client: current epoch + deformer info
+  kPinEpoch = 10,     ///< client -> server: exempt an epoch from eviction
+  kUnpinEpoch = 11,   ///< client -> server: release one pin
 };
 
 /// Typed error codes carried by kError frames.
@@ -63,6 +69,10 @@ enum class ErrorCode : uint16_t {
   kShuttingDown = 7,     ///< server is draining; request not accepted
   kInternal = 8,         ///< server-side failure executing the request
   kTimeout = 9,          ///< session idle/handshake deadline expired
+  /// The requested epoch was evicted from the bounded history (or never
+  /// existed). Request-scoped: the connection stays usable — re-query
+  /// the current epoch, or pin earlier next time.
+  kEpochGone = 10,
 };
 
 const char* ErrorCodeName(ErrorCode code);
@@ -139,7 +149,19 @@ struct StepFrame {
   uint32_t steps = 0;
 };
 
-/// EPOCH_INFO payload: the answer to every STEP.
+/// PIN_EPOCH / UNPIN_EPOCH payload: the epoch to (un)pin. For PIN, 0 =
+/// pin whatever is current (the answer reports the real id). Pins are
+/// per-session counters: an epoch stays exempt from history eviction
+/// until every pin is released or the pinning session dies. PIN is
+/// answered with EPOCH_INFO carrying the pinned epoch's identity;
+/// UNPIN with the *current* epoch (the released one may be evicted by
+/// the release itself). Both answer ERROR(EPOCH_GONE) when the named
+/// epoch is not in the ring / not pinned by this session.
+struct PinEpochFrame {
+  uint64_t epoch = 0;
+};
+
+/// EPOCH_INFO payload: the answer to every STEP and PIN/UNPIN_EPOCH.
 struct EpochInfoWire {
   uint64_t epoch = 0;
   uint32_t step = 0;
@@ -188,8 +210,11 @@ struct ErrorFrame {
 
 void AppendHello(Buffer* out, const HelloFrame& hello);
 void AppendWelcome(Buffer* out, const WelcomeFrame& welcome);
+/// `epoch` selects the mesh state to execute against: 0 = the server's
+/// current epoch (the default every latency-path client wants), any
+/// other value = that exact historical epoch (EPOCH_GONE if evicted).
 void AppendQueryBatch(Buffer* out, uint64_t request_id,
-                      std::span<const AABB> boxes);
+                      std::span<const AABB> boxes, uint64_t epoch = 0);
 /// `per_query` are the request's result slots, in request query order.
 void AppendResult(Buffer* out, uint64_t request_id,
                   const BatchStatsWire& stats,
@@ -199,6 +224,8 @@ void AppendStats(Buffer* out, const ServerStatsWire& stats);
 void AppendError(Buffer* out, const ErrorFrame& error);
 void AppendStep(Buffer* out, const StepFrame& step);
 void AppendEpochInfo(Buffer* out, const EpochInfoWire& info);
+void AppendPinEpoch(Buffer* out, const PinEpochFrame& pin);
+void AppendUnpinEpoch(Buffer* out, const PinEpochFrame& unpin);
 
 // --- Decoding ---
 
@@ -218,7 +245,8 @@ size_t ResultPayloadBytes(
 Status ParseHello(std::span<const uint8_t> payload, HelloFrame* out);
 Status ParseWelcome(std::span<const uint8_t> payload, WelcomeFrame* out);
 Status ParseQueryBatch(std::span<const uint8_t> payload,
-                       uint64_t* request_id, std::vector<AABB>* boxes);
+                       uint64_t* request_id, std::vector<AABB>* boxes,
+                       uint64_t* epoch);
 Status ParseResult(std::span<const uint8_t> payload, uint64_t* request_id,
                    BatchStatsWire* stats,
                    std::vector<std::vector<VertexId>>* per_query);
@@ -226,6 +254,9 @@ Status ParseStats(std::span<const uint8_t> payload, ServerStatsWire* out);
 Status ParseError(std::span<const uint8_t> payload, ErrorFrame* out);
 Status ParseStep(std::span<const uint8_t> payload, StepFrame* out);
 Status ParseEpochInfo(std::span<const uint8_t> payload, EpochInfoWire* out);
+/// Parses either PIN_EPOCH or UNPIN_EPOCH (identical payloads; the
+/// frame type in the header distinguishes them).
+Status ParsePinEpoch(std::span<const uint8_t> payload, PinEpochFrame* out);
 
 }  // namespace octopus::server
 

@@ -36,9 +36,17 @@ struct QueryServer::Session {
   uint64_t id = 0;
   int fd = -1;
   bool handshaken = false;
-  /// Last instant the peer delivered bytes (accept time initially);
-  /// drives the idle/handshake timeout.
+  /// Last instant the session demonstrably made progress — the peer
+  /// delivered bytes (accept time initially), a queued request of its
+  /// was dispatched, or an inline verb (STEP, PIN, historical query)
+  /// finished executing; drives the idle/handshake timeout. Advancing
+  /// it at dispatch, not only at receipt, keeps a session that waited
+  /// out a slow coalescing window from being condemned the moment its
+  /// result is delivered.
   int64_t last_activity_nanos = 0;
+  /// Epochs this session pinned (id -> pin count); every remaining pin
+  /// is released when the session closes, however it dies.
+  std::map<uint64_t, uint32_t> pinned_epochs;
   /// Set after a fatal protocol error: pending output (the error frame)
   /// is flushed, further input is ignored, then the socket closes.
   bool close_after_flush = false;
@@ -365,8 +373,9 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
     case FrameType::kQueryBatch: {
       PendingRequest request;
       request.session_id = session->id;
-      const Status st =
-          ParseQueryBatch(payload, &request.request_id, &request.boxes);
+      uint64_t epoch = 0;
+      const Status st = ParseQueryBatch(payload, &request.request_id,
+                                        &request.boxes, &epoch);
       if (!st.ok()) {
         metrics_.malformed_frames += 1;
         SendError(session, ErrorCode::kMalformedFrame, 0, st.message(),
@@ -375,6 +384,31 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
       }
       metrics_.queries_received += request.boxes.size();
       request.arrival_nanos = NowNanos();
+      if (epoch != 0) {
+        // Historical epoch: executed inline, bypassing the coalescing
+        // scheduler — a batch is epoch-consistent, so queries against
+        // different epochs can never share a sweep. Pinned repeatable
+        // reads are a control-plane workload; the latency-sensitive
+        // hot path (epoch 0 = current) still coalesces. Inline is not
+        // unbounded, though: the scheduler's exact admission rule
+        // applies — counting the live backlog, with the empty-queue
+        // exemption — so stamping an epoch on a request is not a way
+        // around OVERLOADED backpressure.
+        if (scheduler_.HasPending() &&
+            scheduler_.pending_queries() + request.boxes.size() >
+                scheduler_.options().max_pending_queries) {
+          metrics_.queries_rejected += request.boxes.size();
+          SendError(session, ErrorCode::kOverloaded, request.request_id,
+                    "pending-query limit of " +
+                        std::to_string(
+                            scheduler_.options().max_pending_queries) +
+                        " reached; retry later",
+                    /*close_connection=*/false);
+          return;
+        }
+        ExecuteHistorical(session, request, epoch);
+        return;
+      }
       if (request.boxes.empty()) {
         // Nothing to coalesce: answer an empty batch immediately —
         // still epoch-stamped (every RESULT carries the epoch, even a
@@ -433,16 +467,54 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
       // relative to the batches it interleaves with (steps normally
       // come from the --step-every stepper thread instead).
       for (uint32_t i = 0; i < step.steps; ++i) backend_->AdvanceStep();
-      EpochInfoWire info;
-      const engine::EpochInfo current = backend_->CurrentEpoch();
-      info.epoch = current.epoch;
-      info.step = current.step;
-      info.dynamic = backend_->dynamic() ? 1 : 0;
-      info.deformer_kind =
-          static_cast<uint8_t>(backend_->deformer_kind());
-      info.last_step_pages_rewritten =
-          backend_->last_step_pages_rewritten();
-      AppendEpochInfo(&session->out, info);
+      // The steps themselves were this session's activity: a large
+      // STEP must not eat into its own idle budget.
+      session->last_activity_nanos = NowNanos();
+      AppendCurrentEpochInfo(session, backend_->CurrentEpoch());
+      return;
+    }
+    case FrameType::kPinEpoch:
+    case FrameType::kUnpinEpoch: {
+      PinEpochFrame pin;
+      const Status st = ParsePinEpoch(payload, &pin);
+      if (!st.ok()) {
+        metrics_.malformed_frames += 1;
+        SendError(session, ErrorCode::kMalformedFrame, 0, st.message(),
+                  true);
+        return;
+      }
+      if (type == FrameType::kPinEpoch) {
+        auto pinned = backend_->PinEpoch(pin.epoch);
+        if (!pinned.ok()) {
+          SendError(session, ErrorCode::kEpochGone, 0,
+                    pinned.status().message(),
+                    /*close_connection=*/false);
+          return;
+        }
+        session->pinned_epochs[pinned.Value().epoch] += 1;
+        AppendCurrentEpochInfo(session, pinned.Value());
+        return;
+      }
+      // UNPIN: only pins this session actually holds may be released —
+      // one session must not be able to strip another's exemptions.
+      auto it = session->pinned_epochs.find(pin.epoch);
+      if (it == session->pinned_epochs.end()) {
+        SendError(session, ErrorCode::kEpochGone, 0,
+                  "epoch " + std::to_string(pin.epoch) +
+                      " is not pinned by this session",
+                  /*close_connection=*/false);
+        return;
+      }
+      const Status unpinned = backend_->UnpinEpoch(pin.epoch);
+      if (--it->second == 0) session->pinned_epochs.erase(it);
+      if (!unpinned.ok()) {
+        SendError(session, ErrorCode::kEpochGone, 0,
+                  unpinned.message(), /*close_connection=*/false);
+        return;
+      }
+      // Answered with the *current* epoch (the released one may have
+      // been evicted by the release itself).
+      AppendCurrentEpochInfo(session, backend_->CurrentEpoch());
       return;
     }
     default:
@@ -450,6 +522,47 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
                 "frame type not valid from a client in this state", true);
       return;
   }
+}
+
+void QueryServer::AppendCurrentEpochInfo(Session* session,
+                                         engine::EpochInfo epoch) {
+  EpochInfoWire info;
+  info.epoch = epoch.epoch;
+  info.step = epoch.step;
+  info.dynamic = backend_->dynamic() ? 1 : 0;
+  info.deformer_kind = static_cast<uint8_t>(backend_->deformer_kind());
+  info.last_step_pages_rewritten = backend_->last_step_pages_rewritten();
+  AppendEpochInfo(&session->out, info);
+}
+
+void QueryServer::ExecuteHistorical(Session* session,
+                                    const PendingRequest& request,
+                                    uint64_t epoch) {
+  engine::QueryBatchResult results;
+  PhaseStats stats;
+  const Status st = backend_->ExecuteAt(epoch, request.boxes, &results,
+                                        &stats);
+  if (!st.ok()) {
+    session->last_activity_nanos = NowNanos();
+    metrics_.queries_rejected += request.boxes.size();
+    SendError(session, ErrorCode::kEpochGone, request.request_id,
+              st.message(), /*close_connection=*/false);
+    return;
+  }
+  metrics_.batches_executed += 1;
+  metrics_.queries_executed += request.boxes.size();
+  metrics_.engine_total.Merge(stats);
+  // Package as a completed request and reuse the one delivery tail
+  // (frame-cap handling, counters, latency, activity refresh).
+  CompletedRequest done;
+  done.session_id = request.session_id;
+  done.request_id = request.request_id;
+  done.arrival_nanos = request.arrival_nanos;
+  done.stats = BatchStatsWire::FromPhaseStats(
+      stats, static_cast<uint32_t>(request.boxes.size()), 1,
+      results.epoch);
+  done.per_query = std::move(results.per_query);
+  DeliverResult(done, NowNanos());
 }
 
 void QueryServer::SendError(Session* session, ErrorCode code,
@@ -469,6 +582,11 @@ void QueryServer::DeliverResult(const CompletedRequest& done,
   auto it = sessions_.find(done.session_id);
   if (it == sessions_.end()) return;  // client left mid-flight
   Session* session = it->second.get();
+  // Dispatch counts as activity: a request that waited out a slow
+  // coalescing window must not leave its session condemnable the
+  // instant the pending-exemption lapses (the idle clock restarts at
+  // delivery, not at the long-gone receive).
+  session->last_activity_nanos = done_at;
   if (ResultPayloadBytes(done.per_query) > kMaxFramePayloadBytes) {
     // The result set cannot travel in one frame: answer with a typed,
     // request-scoped error instead of desynchronizing the stream.
@@ -560,6 +678,14 @@ void QueryServer::CloseSession(uint64_t session_id) {
   auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return;
   scheduler_.DropSession(session_id);
+  // A dead session's pins die with it: release every count so the
+  // epochs it was holding become evictable again.
+  for (const auto& [epoch, count] : it->second->pinned_epochs) {
+    for (uint32_t i = 0; i < count; ++i) {
+      // Best effort — the epoch may already be gone for other reasons.
+      (void)backend_->UnpinEpoch(epoch);
+    }
+  }
   close(it->second->fd);
   sessions_.erase(it);
   metrics_.connections_closed += 1;

@@ -95,6 +95,15 @@ class QueryServer {
                    std::span<const uint8_t> payload);
   void SendError(Session* session, ErrorCode code, uint64_t request_id,
                  const std::string& message, bool close_connection);
+  /// Encodes an EPOCH_INFO answer for `epoch` with the backend's
+  /// dynamic/deformer metadata (the reply to STEP, PIN and UNPIN).
+  void AppendCurrentEpochInfo(Session* session, engine::EpochInfo epoch);
+  /// Executes a QUERY_BATCH aimed at a historical epoch inline (no
+  /// cross-request coalescing: batches are epoch-consistent, so only
+  /// same-epoch queries could ever share a sweep) and answers RESULT or
+  /// a request-scoped EPOCH_GONE.
+  void ExecuteHistorical(Session* session, const PendingRequest& request,
+                         uint64_t epoch);
   /// Encodes one completed request into its session's write buffer (or
   /// a request-scoped error when the result exceeds the frame cap).
   void DeliverResult(const CompletedRequest& done, int64_t done_at);

@@ -9,6 +9,7 @@
 
 #include "mesh/mesh_io.h"
 #include "storage/file_util.h"
+#include "storage/page.h"
 
 namespace octopus::server {
 
@@ -97,19 +98,43 @@ Result<std::unique_ptr<VersionedBackend>> VersionedBackend::OpenSnapshot(
   return backend;
 }
 
+Status VersionedBackend::ConfigureRetention(
+    const EpochRetentionOptions& options) {
+  if (store_ != nullptr) {
+    return Status::InvalidArgument(
+        "retention must be configured before the deformer is bound");
+  }
+  OCTOPUS_RETURN_NOT_OK(options.Validate());
+  retention_options_ = options;
+  return Status::OK();
+}
+
 Status VersionedBackend::BindDeformer(const DeformerSpec& spec) {
   if (dynamic()) {
     return Status::InvalidArgument("a deformer is already bound");
   }
+  // The sidecar pages with the snapshot's geometry on the paged
+  // backend; in-memory picks the default (positions are packed into
+  // whatever page size the sidecar uses — it only talks to itself).
+  const uint32_t spill_page_bytes =
+      page_bytes_ != 0 ? page_bytes_
+                       : static_cast<uint32_t>(storage::kDefaultPageBytes);
+  auto store =
+      std::make_unique<EpochStore>(spill_page_bytes, retention_options_);
+  OCTOPUS_RETURN_NOT_OK(store->Init());
+
   if (mesh_ != nullptr) {
     OCTOPUS_RETURN_NOT_OK(mesh_->BindDeformer(spec));
+    store->Publish(
+        PinnedEpochState{engine::EpochInfo{0, 0}, nullptr, mesh_->Pin()});
+    store_ = std::move(store);
     dynamic_.store(true, std::memory_order_release);
     return Status::OK();
   }
 
   // Paged path: materialize the simulation-side position state (the
   // black-box solver's working copy), bind the deformer to it, and
-  // publish epoch 0 with an empty overlay (the base file IS epoch 0).
+  // publish epoch 0 with no overlay (the base file IS epoch 0).
   const storage::SnapshotHeader& header = paged_->store().header();
   std::vector<Vec3> positions;
   OCTOPUS_RETURN_NOT_OK(
@@ -119,18 +144,15 @@ Status VersionedBackend::BindDeformer(const DeformerSpec& spec) {
       &resolved, EstimateMeanEdgeLengthPaged(paged_->store(), positions));
   if (!deformer.ok()) return deformer.status();
 
-  auto epoch0 = std::make_shared<PagedEpoch>();
-  epoch0->info = engine::EpochInfo{0, 0};
   paged_prev_positions_ = positions;
   paged_sim_mesh_ =
       std::make_unique<TetraMesh>(std::move(positions), std::vector<Tet>{});
   paged_deformer_ = deformer.MoveValue();
   paged_deformer_->Bind(*paged_sim_mesh_);
   paged_spec_ = resolved;
-  {
-    std::lock_guard<std::mutex> lock(publish_mu_);
-    paged_current_ = std::move(epoch0);
-  }
+  store->Publish(
+      PinnedEpochState{engine::EpochInfo{0, 0}, nullptr, nullptr});
+  store_ = std::move(store);
   dynamic_.store(true, std::memory_order_release);
   return Status::OK();
 }
@@ -142,71 +164,130 @@ DeformerKind VersionedBackend::deformer_kind() const {
 
 engine::EpochInfo VersionedBackend::AdvanceStep() {
   assert(dynamic() && "AdvanceStep requires a bound deformer");
-  if (mesh_ != nullptr) return mesh_->AdvanceStep();
-
   std::lock_guard<std::mutex> step_lock(step_mu_);
-  const std::shared_ptr<const PagedEpoch> prev = PinPaged();
-  auto next = std::make_shared<PagedEpoch>();
-  next->info.epoch = prev->info.epoch + 1;
-  next->info.step = prev->info.step + 1;
+
+  if (mesh_ != nullptr) {
+    const engine::EpochInfo info = mesh_->AdvanceStep();
+    // Mirror the publication into the history store; the store is what
+    // queries (current and historical) actually read, so this is the
+    // externally visible publication point — one atomic swap inside.
+    store_->Publish(PinnedEpochState{info, nullptr, mesh_->Pin()});
+    return info;
+  }
+
+  const std::optional<PinnedEpochState> prev = store_->PinNewest();
+  engine::EpochInfo info;
+  info.epoch = prev->info.epoch + 1;
+  info.step = prev->info.step + 1;
   // SIMULATE: O(V) deformation of the live array, outside any lock the
   // query path takes.
-  paged_deformer_->ApplyStep(static_cast<int>(next->info.step),
+  paged_deformer_->ApplyStep(static_cast<int>(info.step),
                              paged_sim_mesh_.get());
   // Delta pages: rewrite only position pages whose bytes changed;
   // unchanged pages are shared with the previous epoch (or stay in the
   // base file). Adjacency and surface pages are never touched.
   size_t rewritten = 0;
-  next->overlay = storage::PositionOverlay::BuildNext(
-      paged_->store().header(), prev->overlay.get(),
-      paged_prev_positions_, paged_sim_mesh_->positions(), &rewritten);
+  std::shared_ptr<const storage::PositionOverlay> overlay =
+      storage::PositionOverlay::BuildNext(
+          paged_->store().header(), prev->overlay.get(),
+          paged_prev_positions_, paged_sim_mesh_->positions(), &rewritten);
   paged_prev_positions_ = paged_sim_mesh_->positions();
   last_step_pages_rewritten_.store(rewritten, std::memory_order_release);
-  const engine::EpochInfo info = next->info;
-  {
-    std::lock_guard<std::mutex> lock(publish_mu_);
-    paged_current_ = std::move(next);
-  }
+  store_->Publish(PinnedEpochState{info, std::move(overlay), nullptr});
   return info;
 }
 
 engine::EpochInfo VersionedBackend::CurrentEpoch() const {
-  if (mesh_ != nullptr) return mesh_->CurrentEpoch();
-  const std::shared_ptr<const PagedEpoch> pin = PinPaged();
-  return pin != nullptr ? pin->info : engine::EpochInfo{};
+  return store_ != nullptr ? store_->CurrentInfo() : engine::EpochInfo{};
+}
+
+void VersionedBackend::ExecutePinned(const PinnedEpochState* pin,
+                                     std::span<const AABB> boxes,
+                                     engine::QueryBatchResult* out,
+                                     PhaseStats* batch_stats) {
+  if (paged_ != nullptr) {
+    paged_->ResetStats();
+    paged_->RangeQueryBatch(boxes, out, engine_.pool(),
+                            pin != nullptr ? pin->overlay.get() : nullptr);
+    *batch_stats = paged_->stats();
+  } else {
+    const MeshGraphView graph = mesh_->PinnedGraph(
+        pin != nullptr ? pin->positions.get() : nullptr);
+    contexts_.ResetStats();
+    ExecuteOctopusBatch(graph, surface_index_, octopus_options_, boxes,
+                        out, engine_.pool(), &contexts_);
+    *batch_stats = contexts_.stats();
+  }
+  if (pin != nullptr) {
+    out->epoch = pin->info;
+    batch_stats->stale_steps = pin->info.step;
+  }
 }
 
 void VersionedBackend::Execute(std::span<const AABB> boxes,
                                engine::QueryBatchResult* out,
                                PhaseStats* batch_stats) {
-  if (paged_ != nullptr) {
-    // Pin the epoch for the whole batch: the overlay (and the buffers
-    // behind it) stay alive and immutable even if a step publishes a
-    // successor mid-batch.
-    const std::shared_ptr<const PagedEpoch> pin = PinPaged();
-    paged_->ResetStats();
-    paged_->RangeQueryBatch(boxes, out, engine_.pool(),
-                            pin != nullptr ? pin->overlay.get() : nullptr);
-    *batch_stats = paged_->stats();
-    if (pin != nullptr) {
-      out->epoch = pin->info;
-      batch_stats->stale_steps = pin->info.step;
-    }
+  // Pin the epoch for the whole batch: the position state (and the
+  // buffers behind it) stays alive and immutable even if a step
+  // publishes a successor mid-batch.
+  if (store_ != nullptr) {
+    const std::optional<PinnedEpochState> pin = store_->PinNewest();
+    ExecutePinned(pin.has_value() ? &*pin : nullptr, boxes, out,
+                  batch_stats);
     return;
   }
+  ExecutePinned(nullptr, boxes, out, batch_stats);
+}
 
-  // In-memory: pin the position epoch (null = static mesh, read the
-  // base), run the batch over a graph view of exactly those positions.
-  const std::shared_ptr<const PositionEpoch> pin = mesh_->Pin();
-  const MeshGraphView graph = mesh_->PinnedGraph(pin.get());
-  contexts_.ResetStats();
-  ExecuteOctopusBatch(graph, surface_index_, octopus_options_, boxes, out,
-                      engine_.pool(), &contexts_);
-  *batch_stats = contexts_.stats();
-  if (pin != nullptr) {
-    out->epoch = pin->info;
-    batch_stats->stale_steps = pin->info.step;
+Status VersionedBackend::ExecuteAt(engine::EpochId wire_epoch,
+                                   std::span<const AABB> boxes,
+                                   engine::QueryBatchResult* out,
+                                   PhaseStats* batch_stats) {
+  if (wire_epoch == 0) {
+    // The wire's "epoch 0" means "whatever is current" — the only way
+    // to address the initial epoch explicitly is while it is current.
+    Execute(boxes, out, batch_stats);
+    return Status::OK();
   }
+  if (store_ == nullptr) {
+    return Status::NotFound(
+        "epoch " + std::to_string(wire_epoch) +
+        " is gone: a static server has only its load-time state");
+  }
+  storage::PageIOStats reload_io;
+  auto pinned = store_->PinEpoch(wire_epoch, &reload_io);
+  if (!pinned.ok()) return pinned.status();
+  ExecutePinned(&pinned.Value(), boxes, out, batch_stats);
+  // Price the in-memory rematerialization (paged reloads already landed
+  // in the executing contexts' counters via the sidecar pool).
+  batch_stats->page_io.Merge(reload_io);
+  return Status::OK();
+}
+
+Result<engine::EpochInfo> VersionedBackend::PinEpoch(
+    engine::EpochId wire_epoch) {
+  if (store_ == nullptr) {
+    // Static backends have exactly one, never-evicted state: pinning
+    // "current" is a harmless no-op so clients can run one code path.
+    if (wire_epoch == 0) return engine::EpochInfo{};
+    return Status::NotFound(
+        "epoch " + std::to_string(wire_epoch) +
+        " is gone: a static server has only its load-time state");
+  }
+  // "Pin current" resolves and pins atomically in the store: reading
+  // the current id here and pinning it in a second call could lose a
+  // race with a stepper publish evicting that very epoch.
+  return wire_epoch == 0 ? store_->AddPinNewest()
+                         : store_->AddPin(wire_epoch);
+}
+
+Status VersionedBackend::UnpinEpoch(engine::EpochId epoch) {
+  if (store_ == nullptr) {
+    if (epoch == 0) return Status::OK();  // the static no-op pin
+    return Status::NotFound("epoch " + std::to_string(epoch) +
+                            " was never pinned on this static server");
+  }
+  return store_->ReleasePin(epoch);
 }
 
 }  // namespace octopus::server

@@ -1,17 +1,21 @@
 // Copyright 2026 The OCTOPUS Reproduction Authors
-// The server's query backend, now epoch-versioned: one OCTOPUS executor
-// — in-memory mesh or paged OCT2 snapshot — plus, optionally, a bound
-// deformer that `AdvanceStep` drives. Every step publishes a fresh
-// position epoch copy-on-write (in-memory: a position-buffer swap;
-// paged: an OCT2 delta-page overlay that rewrites only
-// displaced-position pages), while the surface index built at load time
-// is never touched — the paper's stale-index claim, finally serving a
-// mesh that actually moves.
+// The server's query backend, epoch-versioned with bounded history: one
+// OCTOPUS executor — in-memory mesh or paged OCT2 snapshot — plus,
+// optionally, a bound deformer that `AdvanceStep` drives. Every step
+// publishes a fresh position epoch copy-on-write (in-memory: a
+// position-buffer swap; paged: an OCT2 delta-page overlay that rewrites
+// only displaced-position pages) into an `EpochStore`: recent epochs
+// stay resident, older ones spill to a `.oct2d` sidecar and remain
+// queryable (`ExecuteAt`), and epochs past the history cap are evicted
+// unless pinned. The surface index built at load time is never touched —
+// the paper's stale-index claim, serving a mesh that moves *and*
+// remembers where it has been.
 //
-// Thread model: `Execute` belongs to the event-loop thread;
-// `AdvanceStep` may run on a dedicated stepper thread concurrently with
-// it. Queries pin the current epoch in O(1) and never block on (or get
-// torn by) an in-flight step; `AdvanceStep` itself is serialized.
+// Thread model: `Execute`/`ExecuteAt`/`PinEpoch`/`UnpinEpoch` belong to
+// the event-loop thread; `AdvanceStep` may run on a dedicated stepper
+// thread concurrently with them. Queries pin an epoch in O(1) and never
+// block on (or get torn by) an in-flight step; `AdvanceStep` itself is
+// serialized.
 #ifndef OCTOPUS_SERVER_VERSIONED_BACKEND_H_
 #define OCTOPUS_SERVER_VERSIONED_BACKEND_H_
 
@@ -29,6 +33,7 @@
 #include "mesh/tetra_mesh.h"
 #include "octopus/paged_executor.h"
 #include "octopus/query_executor.h"
+#include "server/epoch_store.h"
 #include "sim/deformer_spec.h"
 #include "sim/versioned_mesh.h"
 #include "storage/delta_overlay.h"
@@ -36,12 +41,13 @@
 namespace octopus::server {
 
 /// \brief Executes query batches for the server, over either backing
-/// store, against an epoch-versioned position state.
+/// store, against an epoch-versioned position state with a bounded,
+/// spillable history.
 ///
-/// `Execute` is single-threaded (the event loop is the only caller;
-/// internal query parallelism comes from the engine's thread pool).
-/// `AdvanceStep` / `CurrentEpoch` are safe from one other thread
-/// concurrently with `Execute`.
+/// `Execute`/`ExecuteAt` are single-threaded (the event loop is the only
+/// caller; internal query parallelism comes from the engine's thread
+/// pool). `AdvanceStep` / `CurrentEpoch` are safe from one other thread
+/// concurrently with them.
 class VersionedBackend {
  public:
   /// In-memory backend over an OCT1 mesh file (loads + builds the
@@ -57,10 +63,16 @@ class VersionedBackend {
   static Result<std::unique_ptr<VersionedBackend>> OpenSnapshot(
       const std::string& path, size_t pool_bytes, int threads);
 
-  /// Binds the spec'd deformer, making the backend dynamic: epoch 0 (the
-  /// state the index was built from) is published and `AdvanceStep`
-  /// becomes available. An unresolved amplitude (0) is derived from the
-  /// mesh. Call before serving; at most once.
+  /// Overrides the epoch retention/spill knobs. Call before
+  /// `BindDeformer` (which creates the store); afterwards it is an
+  /// error. The defaults keep 8 epochs resident with no spill sidecar.
+  Status ConfigureRetention(const EpochRetentionOptions& options);
+
+  /// Binds the spec'd deformer, making the backend dynamic: the epoch
+  /// store is created, epoch 0 (the state the index was built from) is
+  /// published and `AdvanceStep` becomes available. An unresolved
+  /// amplitude (0) is derived from the mesh. Call before serving; at
+  /// most once.
   Status BindDeformer(const DeformerSpec& spec);
 
   bool dynamic() const { return dynamic_.load(std::memory_order_acquire); }
@@ -68,9 +80,10 @@ class VersionedBackend {
 
   /// SIMULATE phase: advances the bound deformer one step and publishes
   /// the new positions as a fresh epoch (copy-on-write; on the paged
-  /// backend only displaced-position delta pages are rewritten).
-  /// Requires `dynamic()`. Serialized internally; safe concurrently
-  /// with `Execute`.
+  /// backend only displaced-position delta pages are rewritten), then
+  /// lets the store enforce retention (spill + evict). Requires
+  /// `dynamic()`. Serialized internally; safe concurrently with
+  /// `Execute`.
   engine::EpochInfo AdvanceStep();
 
   engine::EpochInfo CurrentEpoch() const;
@@ -90,6 +103,25 @@ class VersionedBackend {
   void Execute(std::span<const AABB> boxes, engine::QueryBatchResult* out,
                PhaseStats* batch_stats);
 
+  /// Executes against a historical epoch: `wire_epoch` 0 selects the
+  /// current epoch (== `Execute`), any other value the epoch with that
+  /// id. Spilled epochs are served through the sidecar (the reload I/O
+  /// lands in `batch_stats->page_io`). NotFound = the epoch was evicted
+  /// or never existed — the server answers EPOCH_GONE.
+  Status ExecuteAt(engine::EpochId wire_epoch, std::span<const AABB> boxes,
+                   engine::QueryBatchResult* out, PhaseStats* batch_stats);
+
+  /// Pins an epoch against eviction (`wire_epoch` 0 = current) and
+  /// returns its identity; NotFound when it is already gone. The server
+  /// keeps per-session counts and releases pins when the session dies.
+  Result<engine::EpochInfo> PinEpoch(engine::EpochId wire_epoch);
+  /// Releases one pin; NotFound for an unknown/unpinned epoch.
+  Status UnpinEpoch(engine::EpochId epoch);
+
+  /// The retention layer; null until a deformer is bound (static
+  /// backends have exactly one epoch and nothing to retain).
+  const EpochStore* epoch_store() const { return store_.get(); }
+
   bool paged() const { return paged_ != nullptr; }
   uint64_t num_vertices() const { return num_vertices_; }
   /// Snapshot page size; 0 for the in-memory backend.
@@ -100,20 +132,12 @@ class VersionedBackend {
   explicit VersionedBackend(int threads)
       : engine_(engine::QueryEngineOptions{.threads = threads}) {}
 
-  /// One published paged epoch: just the identity and the delta
-  /// overlay — deliberately NOT the position array, so a pinned epoch
-  /// costs its rewritten pages, never O(V) (the whole point of delta
-  /// pages). The diff base for the next step lives once, in
-  /// `paged_prev_positions_`.
-  struct PagedEpoch {
-    engine::EpochInfo info;
-    std::shared_ptr<const storage::PositionOverlay> overlay;
-  };
-
-  std::shared_ptr<const PagedEpoch> PinPaged() const {
-    std::lock_guard<std::mutex> lock(publish_mu_);
-    return paged_current_;
-  }
+  /// Runs `boxes` against one pinned epoch state (current or
+  /// historical) on whichever executor this backend owns.
+  void ExecutePinned(const PinnedEpochState* pin,
+                     std::span<const AABB> boxes,
+                     engine::QueryBatchResult* out,
+                     PhaseStats* batch_stats);
 
   engine::QueryEngine engine_;
   // Exactly one of the two backends is set.
@@ -135,9 +159,14 @@ class VersionedBackend {
   /// The previous step's positions — the delta diff base. Owned by the
   /// stepper (guarded by step_mu_); queries never read it.
   std::vector<Vec3> paged_prev_positions_;
-  std::mutex step_mu_;             // serializes AdvanceStep (paged path)
-  mutable std::mutex publish_mu_;  // guards only the epoch-pointer swap
-  std::shared_ptr<const PagedEpoch> paged_current_;
+  std::mutex step_mu_;  // serializes AdvanceStep (both backends)
+
+  /// Epoch history: publication, retention, spill, pins. The store's
+  /// single mutex makes every publication one atomic swap as observed
+  /// by concurrent pins — an epoch's info and its position state are
+  /// always seen together.
+  EpochRetentionOptions retention_options_;
+  std::unique_ptr<EpochStore> store_;
 
   std::atomic<bool> dynamic_{false};
   std::atomic<uint64_t> last_step_pages_rewritten_{0};

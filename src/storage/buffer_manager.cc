@@ -110,9 +110,14 @@ size_t BufferManager::TryAcquireFrame(PageIOStats* stats) {
   return victim;
 }
 
+void BufferManager::ExtendTo(uint64_t num_pages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  num_pages_ = std::max(num_pages_, num_pages);
+}
+
 const std::byte* BufferManager::Pin(PageId page, PageIOStats* stats) {
-  assert(page < num_pages_ && "page out of range");
   std::unique_lock<std::mutex> lock(mu_);
+  assert(page < num_pages_ && "page out of range");
   for (;;) {
     auto it = page_to_frame_.find(page);
     if (it != page_to_frame_.end()) {

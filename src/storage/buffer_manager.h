@@ -54,6 +54,12 @@ class BufferManager {
       const std::string& path, size_t page_bytes, uint64_t num_pages,
       const Options& options);
 
+  /// Raises the readable page count (monotonic): a growing file — the
+  /// epoch spill sidecar — appends pages and then extends the pool so
+  /// they become pinnable. The writer must have flushed the new pages
+  /// before calling. Never shrinks.
+  void ExtendTo(uint64_t num_pages);
+
   ~BufferManager();
 
   BufferManager(const BufferManager&) = delete;
@@ -107,7 +113,7 @@ class BufferManager {
 
   const Options options_;
   const size_t page_bytes_;
-  const uint64_t num_pages_;
+  uint64_t num_pages_;  // guarded by mu_ (grows via ExtendTo)
   const size_t max_frames_;
 
   mutable std::mutex mu_;

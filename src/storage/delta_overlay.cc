@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <utility>
 
 namespace octopus::storage {
 
@@ -13,6 +14,25 @@ size_t PositionOverlay::resident_bytes() const {
     if (page != nullptr) bytes += page->size();
   }
   return bytes;
+}
+
+bool PositionOverlay::ReadBytes(uint64_t index, size_t offset, size_t len,
+                                void* dst, PageIOStats* stats) const {
+  if (index < pages_.size() && pages_[index] != nullptr) {
+    const PageBytes& page = *pages_[index];
+    assert(offset + len <= page.size() &&
+           "read past the page's entry bytes");
+    std::memcpy(dst, page.data() + offset, len);
+    // A resident delta page is memory by construction: count it as a
+    // pool hit so hits + misses still equal accesses.
+    ++stats->page_hits;
+    return true;
+  }
+  if (index < spilled_.size() && spilled_[index] != kInvalidPageId) {
+    spill_pool_->CopyOut(spilled_[index], offset, len, dst, stats);
+    return true;
+  }
+  return false;
 }
 
 std::shared_ptr<const PositionOverlay> PositionOverlay::BuildNext(
@@ -31,26 +51,53 @@ std::shared_ptr<const PositionOverlay> PositionOverlay::BuildNext(
   size_t rewritten = 0;
   for (uint64_t page = 0; page < num_pages; ++page) {
     const size_t begin = page * per_page;
+    // The tail page holds fewer entries; compare (and store) only the
+    // real entry bytes — the zero pad the OCT2 writer emits past them
+    // is implicit, never garbage, so an unchanged tail page is never
+    // spuriously rewritten.
     const size_t count =
         std::min<size_t>(per_page, header.num_vertices - begin);
     const bool changed =
         std::memcmp(old_positions.data() + begin,
                     new_positions.data() + begin, count * sizeof(Vec3)) != 0;
     if (!changed) {
-      // Share the previous epoch's bytes (null = base file still valid).
-      if (prev != nullptr && page < prev->pages_.size()) {
+      // Share the previous epoch's bytes — resident or spilled — (no
+      // entry at all = base file still valid).
+      if (prev != nullptr && page < prev->pages_.size() &&
+          prev->pages_[page] != nullptr) {
         overlay->pages_[page] = prev->pages_[page];
+      } else if (prev != nullptr && page < prev->spilled_.size() &&
+                 prev->spilled_[page] != kInvalidPageId) {
+        if (overlay->spilled_.empty()) {
+          overlay->spilled_.assign(num_pages, kInvalidPageId);
+          overlay->spill_pool_ = prev->spill_pool_;
+        }
+        overlay->spilled_[page] = prev->spilled_[page];
       }
       continue;
     }
-    // Serialize exactly like the OCT2 writer: packed entries, zero tail.
-    auto bytes = std::make_shared<PageBytes>(header.page_bytes);
+    // Serialize exactly like the OCT2 writer: packed entries (the zero
+    // tail materializes only when the page is spilled to disk).
+    auto bytes = std::make_shared<PageBytes>(count * sizeof(Vec3));
     std::memcpy(bytes->data(), new_positions.data() + begin,
                 count * sizeof(Vec3));
     overlay->pages_[page] = std::move(bytes);
     ++rewritten;
   }
   if (pages_rewritten != nullptr) *pages_rewritten = rewritten;
+  return overlay;
+}
+
+std::shared_ptr<const PositionOverlay> PositionOverlay::SpilledTwin(
+    [[maybe_unused]] const PositionOverlay& src,
+    std::vector<PageId> sidecar_ids, std::shared_ptr<BufferManager> pool) {
+  assert(sidecar_ids.size() ==
+             std::max(src.pages_.size(), src.spilled_.size()) &&
+         "one sidecar id slot per overlay page");
+  auto overlay = std::make_shared<PositionOverlay>();
+  overlay->pages_.resize(sidecar_ids.size());  // all null: nothing resident
+  overlay->spilled_ = std::move(sidecar_ids);
+  overlay->spill_pool_ = std::move(pool);
   return overlay;
 }
 

@@ -7,47 +7,96 @@
 // immutable set of those rewritten pages for one epoch: readers check it
 // before the buffer pool, epochs share unchanged pages structurally
 // (copy-on-write), and the base file stays the step-0 source of truth.
+//
+// An overlay's pages live in one of two places: in memory (the hot,
+// recent epochs) or in an on-disk spill sidecar reached through a
+// `BufferManager` (epochs past the retention window — see
+// storage/epoch_spill.h). Readers go through `ReadBytes`, which hides
+// the distinction; spilled reads are priced into the caller's
+// `PageIOStats` exactly like base-snapshot reads.
 #ifndef OCTOPUS_STORAGE_DELTA_OVERLAY_H_
 #define OCTOPUS_STORAGE_DELTA_OVERLAY_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "common/vec3.h"
+#include "storage/buffer_manager.h"
+#include "storage/page.h"
 #include "storage/snapshot.h"
 
 namespace octopus::storage {
 
 /// \brief Immutable per-epoch overlay of rewritten position pages.
 ///
-/// Entry `i` covers absolute page `positions_start_page + i`; a null
-/// entry means "read the base snapshot (or, transitively, nothing ever
-/// rewrote this page)". Page content is byte-identical to what an OCT2
-/// writer would emit for the same positions (entries never straddle a
-/// page, zero-padded tail), so overlay reads and base reads are
-/// interchangeable.
+/// Entry `i` covers absolute page `positions_start_page + i`; an entry
+/// with no bytes (memory or spilled) means "read the base snapshot (or,
+/// transitively, nothing ever rewrote this page)". Page content is
+/// byte-identical to what an OCT2 writer would emit for the same
+/// positions (entries never straddle a page, zero-padded tail), so
+/// overlay reads and base reads are interchangeable. Resident pages
+/// store only their entry bytes (the zero pad is implicit), so
+/// `resident_bytes` counts actual data, not page capacity.
 class PositionOverlay {
  public:
   using PageBytes = std::vector<std::byte>;
 
-  /// Bytes of position page `index` (relative to the positions
-  /// section), or null when the page was never rewritten.
+  /// Bytes of *memory-resident* position page `index` (relative to the
+  /// positions section), or null when the page is not resident here
+  /// (never rewritten, or spilled to disk — use `ReadBytes`).
   const std::byte* Lookup(uint64_t index) const {
     return index < pages_.size() && pages_[index] != nullptr
                ? pages_[index]->data()
                : nullptr;
   }
 
-  /// Pages this overlay holds fresh bytes for (shared or owned).
+  /// Copies `len` bytes at `offset` within overlay page `index` into
+  /// `dst`. Returns false when the overlay has no bytes for that page
+  /// (caller reads the base snapshot). Resident pages count a pool hit;
+  /// spilled pages read through the sidecar's buffer pool and count
+  /// hits/misses/evictions there — spill reload I/O is priced, not
+  /// hidden. `offset + len` must stay within the page's entry bytes.
+  bool ReadBytes(uint64_t index, size_t offset, size_t len, void* dst,
+                 PageIOStats* stats) const;
+
+  /// Pages this overlay holds fresh bytes for in memory (shared or
+  /// owned); spilled pages are not resident.
   size_t resident_pages() const {
     size_t n = 0;
     for (const auto& page : pages_) n += page != nullptr ? 1 : 0;
     return n;
   }
 
+  /// Entry bytes actually held in memory (tail pages count their real
+  /// content, not the page capacity they would occupy on disk).
   size_t resident_bytes() const;
+
+  /// Pages served from the spill sidecar instead of memory.
+  size_t spilled_pages() const {
+    size_t n = 0;
+    for (const PageId id : spilled_) n += id != kInvalidPageId ? 1 : 0;
+    return n;
+  }
+
+  /// Number of overlay page slots (== position pages of the snapshot).
+  size_t num_page_slots() const {
+    return std::max(pages_.size(), spilled_.size());
+  }
+
+  /// Sidecar page id of `index` when spilled, else `kInvalidPageId`.
+  PageId spilled_id(uint64_t index) const {
+    return index < spilled_.size() ? spilled_[index] : kInvalidPageId;
+  }
+
+  /// Entry bytes of memory-resident page `index` (0 when not resident).
+  size_t resident_page_bytes(uint64_t index) const {
+    return index < pages_.size() && pages_[index] != nullptr
+               ? pages_[index]->size()
+               : 0;
+  }
 
   /// Derives the next epoch's overlay: compares `old_positions` (the
   /// previous epoch's state, which `prev` is consistent with) against
@@ -55,15 +104,32 @@ class PositionOverlay {
   /// pages and shares `prev`'s entries for unchanged ones. Returns the
   /// overlay plus, via `pages_rewritten`, how many pages got fresh
   /// bytes this step — the delta the paper's out-of-core story prices.
-  /// `prev` may be null (first step). Position counts must match the
-  /// header's `num_vertices`.
+  /// `prev` may be null (first step) and may itself be partially
+  /// spilled (unchanged spilled pages stay spilled in the result).
+  /// Position counts must match the header's `num_vertices`.
   static std::shared_ptr<const PositionOverlay> BuildNext(
       const SnapshotHeader& header, const PositionOverlay* prev,
       std::span<const Vec3> old_positions,
       std::span<const Vec3> new_positions, size_t* pages_rewritten);
 
+  /// Builds the disk-backed twin of `src`: every page `src` covers is
+  /// recorded as spilled at the caller-provided sidecar page id
+  /// (`sidecar_ids[i]` for overlay page `i`, `kInvalidPageId` where
+  /// `src` has no bytes), served through `pool` on read. The twin holds
+  /// no resident bytes — callers swap it in for `src` and let readers
+  /// still holding `src` drain naturally (copy-on-write, like the
+  /// overlays themselves).
+  static std::shared_ptr<const PositionOverlay> SpilledTwin(
+      const PositionOverlay& src, std::vector<PageId> sidecar_ids,
+      std::shared_ptr<BufferManager> pool);
+
  private:
   std::vector<std::shared_ptr<const PageBytes>> pages_;
+  /// Sidecar page id per overlay page (`kInvalidPageId` = not spilled).
+  /// Empty for fully resident overlays.
+  std::vector<PageId> spilled_;
+  /// Read pool over the spill sidecar; set iff any page is spilled.
+  std::shared_ptr<BufferManager> spill_pool_;
 };
 
 }  // namespace octopus::storage

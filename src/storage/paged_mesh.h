@@ -98,17 +98,15 @@ class PagedMeshAccessor {
   Vec3 position(VertexId v) {
     const SnapshotHeader& h = store_->header();
     const size_t per_page = h.PositionsPerPage();
-    if (overlay_ != nullptr) {
-      if (const std::byte* page = overlay_->Lookup(v / per_page)) {
-        // A delta page is resident by construction: count it as a pool
-        // hit so hits + misses still equal accesses.
-        Vec3 p;
-        std::memcpy(&p, page + (v % per_page) * sizeof(Vec3), sizeof(Vec3));
-        ++stats_->page_hits;
-        return p;
-      }
-    }
     Vec3 p;
+    // Overlay first: a rewritten page serves from memory (counted as a
+    // pool hit) or, past the retention window, from the spill sidecar's
+    // pool (real, priced page I/O). No overlay entry = base snapshot.
+    if (overlay_ != nullptr &&
+        overlay_->ReadBytes(v / per_page, (v % per_page) * sizeof(Vec3),
+                            sizeof(Vec3), &p, stats_)) {
+      return p;
+    }
     store_->buffer_manager()->CopyOut(
         static_cast<PageId>(h.positions_start_page + v / per_page),
         (v % per_page) * sizeof(Vec3), sizeof(Vec3), &p, stats_);

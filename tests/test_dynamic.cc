@@ -8,6 +8,10 @@
 // freedom under a stepper thread racing query execution.
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -341,6 +345,198 @@ TEST(DynamicServingTest, EpochParityPaged1Thread) {
 
 TEST(DynamicServingTest, EpochParityPaged4Threads) {
   RunEpochParity(/*paged=*/true, /*threads=*/4);
+}
+
+// --- Pinned repeatable reads over the wire (OCTP v3) ---
+
+/// The acceptance path end to end: pin an epoch, step far past the
+/// retention window (the pinned epoch spills to the .oct2d sidecar),
+/// re-query it by id — bit-identical to the answer captured while it
+/// was current. Unpinned history past the cap is EPOCH_GONE (typed,
+/// connection survives), and unpinning the epoch makes it evictable.
+void RunRepeatableRead(bool paged) {
+  constexpr uint32_t kWindow = 2;
+  constexpr uint32_t kHistory = 3;
+  constexpr uint32_t kSteps = 10;  // K >> W
+  const TetraMesh mesh = MakeBox(6);
+  const DeformerSpec spec = ParitySpec(DeformerKind::kRandom);
+
+  std::unique_ptr<VersionedBackend> backend;
+  std::string path;
+  if (paged) {
+    path = ::testing::TempDir() + "/repeatable.oct2";
+    ASSERT_TRUE(SaveSnapshot(mesh, path,
+                             storage::SnapshotOptions{.page_bytes = 1024})
+                    .ok());
+    auto opened =
+        VersionedBackend::OpenSnapshot(path, /*pool_bytes=*/64 * 1024, 1);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    backend = opened.MoveValue();
+  } else {
+    backend = VersionedBackend::FromMesh(mesh, 1);
+  }
+  server::EpochRetentionOptions retention;
+  retention.retention_epochs = kWindow;
+  retention.history_epochs = kHistory;
+  retention.spill_path = ::testing::TempDir() + "/repeatable_" +
+                         (paged ? "p" : "m") + ".oct2d";
+  ASSERT_TRUE(backend->ConfigureRetention(retention).ok());
+  ASSERT_TRUE(backend->BindDeformer(spec).ok());
+  VersionedBackend* raw_backend = backend.get();
+
+  ServerFixture fixture(std::move(backend));
+  auto remote = MustConnect(fixture.port());
+
+  // Advance to epoch 1 and pin it ("pin what I'm seeing": field 0).
+  ASSERT_TRUE(remote->Step(1).ok());
+  auto pinned = remote->PinEpoch(0);
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  EXPECT_EQ(pinned.Value().epoch, 1u);
+  EXPECT_EQ(pinned.Value().step, 1u);
+
+  QueryGenerator gen(mesh);
+  Rng rng(0x9E9);
+  const std::vector<AABB> queries = gen.MakeQueries(&rng, 10, 0.005,
+                                                    0.04);
+  auto live = remote->ExecuteBatch(queries);  // epoch 1 is current
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  ASSERT_EQ(live.Value().stats.epoch, (engine::EpochInfo{1, 1}));
+
+  // Step far past the retention window: epoch 1 leaves memory.
+  for (uint32_t s = 1; s < kSteps; ++s) {
+    ASSERT_TRUE(remote->Step(1).ok());
+  }
+  const server::EpochStore* store = raw_backend->epoch_store();
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->resident_epochs(), kWindow);
+  EXPECT_GT(store->spill_pages_written(), 0u);
+
+  // Repeatable read: the pinned epoch answers bit-identically to its
+  // live-epoch answer, spill + reload notwithstanding.
+  auto replay = remote->ExecuteBatch(queries, /*epoch=*/1);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay.Value().stats.epoch, (engine::EpochInfo{1, 1}));
+  EXPECT_EQ(replay.Value().results.epoch.step, 1u);
+  ASSERT_EQ(replay.Value().results.size(), queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(replay.Value().results.per_query[q],
+              live.Value().results.per_query[q])
+        << "query " << q;
+  }
+
+  // An unpinned epoch past the history cap is a typed EPOCH_GONE; the
+  // connection survives and current-epoch queries still work.
+  auto gone = remote->ExecuteBatch(queries, /*epoch=*/2);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), Status::Code::kNotFound)
+      << gone.status().ToString();
+  auto still_alive = remote->ExecuteBatch(queries);
+  ASSERT_TRUE(still_alive.ok()) << still_alive.status().ToString();
+  EXPECT_EQ(still_alive.Value().stats.epoch.step, kSteps);
+
+  // Pinning an evicted epoch is EPOCH_GONE too.
+  auto pin_gone = remote->PinEpoch(3);
+  ASSERT_FALSE(pin_gone.ok());
+  EXPECT_EQ(pin_gone.status().code(), Status::Code::kNotFound);
+  // Unpinning an epoch this session never pinned is refused.
+  auto not_ours = remote->UnpinEpoch(kSteps);
+  ASSERT_FALSE(not_ours.ok());
+  EXPECT_EQ(not_ours.status().code(), Status::Code::kNotFound);
+
+  // Releasing the pin evicts the (far out of window) epoch immediately.
+  auto released = remote->UnpinEpoch(1);
+  ASSERT_TRUE(released.ok()) << released.status().ToString();
+  auto after_release = remote->ExecuteBatch(queries, /*epoch=*/1);
+  ASSERT_FALSE(after_release.ok());
+  EXPECT_EQ(after_release.status().code(), Status::Code::kNotFound);
+
+  // A dying session releases its pins: pin from a second connection,
+  // drop it, and watch the epoch become evictable at the next step.
+  {
+    auto doomed = MustConnect(fixture.port());
+    auto pin2 = doomed->PinEpoch(0);
+    ASSERT_TRUE(pin2.ok()) << pin2.status().ToString();
+    EXPECT_EQ(pin2.Value().epoch, kSteps);
+  }  // disconnect releases the pin server-side
+  for (uint32_t s = 0; s < kHistory + kWindow + 1; ++s) {
+    ASSERT_TRUE(remote->Step(1).ok());
+  }
+  auto dead_pin = remote->ExecuteBatch(queries, /*epoch=*/kSteps);
+  ASSERT_FALSE(dead_pin.ok());
+  EXPECT_EQ(dead_pin.status().code(), Status::Code::kNotFound)
+      << "a dead session's pin must not keep its epoch alive";
+
+  fixture.StopAndJoin();
+  if (!path.empty()) std::remove(path.c_str());
+}
+
+TEST(DynamicServingTest, PinnedRepeatableReadsInMemory) {
+  RunRepeatableRead(/*paged=*/false);
+}
+
+TEST(DynamicServingTest, PinnedRepeatableReadsPaged) {
+  RunRepeatableRead(/*paged=*/true);
+}
+
+// A v2 peer (the epoch-less QUERY_BATCH layout) is rejected in the
+// handshake with a typed version error — its frames are never
+// misparsed against the v3 layout.
+TEST(DynamicServingTest, V2PeerGetsTypedVersionError) {
+  ServerFixture fixture(VersionedBackend::FromMesh(MakeBox(4), 1));
+  // Hand-roll a v2 HELLO through a raw socket: RemoteClient always
+  // speaks the current version.
+  server::Buffer hello;
+  server::HelloFrame old_peer;
+  old_peer.version = 2;
+  server::AppendHello(&hello, old_peer);
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(fixture.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(send(fd, hello.data(), hello.size(), 0),
+            static_cast<ssize_t>(hello.size()));
+  uint8_t header[server::kFrameHeaderBytes];
+  size_t have = 0;
+  while (have < sizeof(header)) {
+    const ssize_t n = recv(fd, header + have, sizeof(header) - have, 0);
+    ASSERT_GT(n, 0);
+    have += static_cast<size_t>(n);
+  }
+  auto parsed = server::ParseFrameHeader(header);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.Value().type, server::FrameType::kError);
+  server::Buffer payload(parsed.Value().payload_bytes);
+  have = 0;
+  while (have < payload.size()) {
+    const ssize_t n =
+        recv(fd, payload.data() + have, payload.size() - have, 0);
+    ASSERT_GT(n, 0);
+    have += static_cast<size_t>(n);
+  }
+  server::ErrorFrame error;
+  ASSERT_TRUE(server::ParseError(payload, &error).ok());
+  EXPECT_EQ(error.code, server::ErrorCode::kVersionMismatch)
+      << server::ErrorCodeName(error.code);
+  close(fd);
+}
+
+// Pins on a static server: pinning "current" is a harmless no-op (one
+// client code path for both server kinds); naming a historical epoch is
+// EPOCH_GONE — a static server has only its load-time state.
+TEST(DynamicServingTest, StaticServerPinsAreNoOpsAndHistoryIsGone) {
+  ServerFixture fixture(VersionedBackend::FromMesh(MakeBox(4), 1));
+  auto remote = MustConnect(fixture.port());
+  auto pinned = remote->PinEpoch(0);
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  EXPECT_EQ(pinned.Value().epoch, 0u);
+  auto gone = remote->ExecuteBatch(
+      std::vector<AABB>{AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))}, /*epoch=*/5);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), Status::Code::kNotFound);
 }
 
 // --- STEP frame semantics on a static server ---

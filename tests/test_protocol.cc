@@ -77,9 +77,12 @@ TEST(ProtocolTest, QueryBatchRoundTripBitExact) {
   EXPECT_EQ(frame.header.type, FrameType::kQueryBatch);
 
   uint64_t request_id = 0;
+  uint64_t epoch = 99;
   std::vector<AABB> parsed;
-  ASSERT_TRUE(ParseQueryBatch(frame.payload, &request_id, &parsed).ok());
+  ASSERT_TRUE(
+      ParseQueryBatch(frame.payload, &request_id, &parsed, &epoch).ok());
   EXPECT_EQ(request_id, 42u);
+  EXPECT_EQ(epoch, 0u);  // default: the server's current epoch
   ASSERT_EQ(parsed.size(), boxes.size());
   for (size_t i = 0; i < boxes.size(); ++i) {
     // Bit-exact: the query a client sends is the query the engine runs.
@@ -88,13 +91,31 @@ TEST(ProtocolTest, QueryBatchRoundTripBitExact) {
   }
 }
 
+TEST(ProtocolTest, QueryBatchCarriesHistoricalEpoch) {
+  // v3: a repeatable-read client targets an exact past epoch.
+  const std::vector<AABB> boxes = {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))};
+  Buffer buffer;
+  AppendQueryBatch(&buffer, 8, boxes, /*epoch=*/987654321098ull);
+  const SplitFrame frame = Split(buffer);
+  uint64_t request_id = 0;
+  uint64_t epoch = 0;
+  std::vector<AABB> parsed;
+  ASSERT_TRUE(
+      ParseQueryBatch(frame.payload, &request_id, &parsed, &epoch).ok());
+  EXPECT_EQ(request_id, 8u);
+  EXPECT_EQ(epoch, 987654321098ull);
+  ASSERT_EQ(parsed.size(), 1u);
+}
+
 TEST(ProtocolTest, EmptyQueryBatchRoundTrip) {
   Buffer buffer;
   AppendQueryBatch(&buffer, 7, {});
   const SplitFrame frame = Split(buffer);
   uint64_t request_id = 0;
+  uint64_t epoch = 0;
   std::vector<AABB> parsed = {AABB(Vec3(1, 1, 1), Vec3(2, 2, 2))};
-  ASSERT_TRUE(ParseQueryBatch(frame.payload, &request_id, &parsed).ok());
+  ASSERT_TRUE(
+      ParseQueryBatch(frame.payload, &request_id, &parsed, &epoch).ok());
   EXPECT_EQ(request_id, 7u);
   EXPECT_TRUE(parsed.empty());
 }
@@ -172,6 +193,61 @@ TEST(ProtocolTest, StepRoundTrip) {
   Buffer over;
   AppendStep(&over, StepFrame{kMaxStepsPerFrame + 1});
   EXPECT_FALSE(ParseStep(Split(over).payload, &parsed).ok());
+}
+
+TEST(ProtocolTest, PinAndUnpinEpochRoundTrip) {
+  for (const bool unpin : {false, true}) {
+    SCOPED_TRACE(unpin ? "UNPIN_EPOCH" : "PIN_EPOCH");
+    Buffer buffer;
+    const PinEpochFrame request{123456789012345ull};
+    if (unpin) {
+      AppendUnpinEpoch(&buffer, request);
+    } else {
+      AppendPinEpoch(&buffer, request);
+    }
+    const SplitFrame frame = Split(buffer);
+    EXPECT_EQ(frame.header.type,
+              unpin ? FrameType::kUnpinEpoch : FrameType::kPinEpoch);
+    EXPECT_EQ(frame.header.payload_bytes, 8u);
+    PinEpochFrame parsed;
+    ASSERT_TRUE(ParsePinEpoch(frame.payload, &parsed).ok());
+    EXPECT_EQ(parsed.epoch, request.epoch);
+    // Every truncation point must fail cleanly, never read past the
+    // end; trailing bytes are rejected too.
+    for (size_t cut = 0; cut < frame.payload.size(); ++cut) {
+      EXPECT_FALSE(ParsePinEpoch(frame.payload.first(cut), &parsed).ok())
+          << "cut at " << cut;
+    }
+    Buffer longer(buffer);
+    longer.push_back(0);
+    EXPECT_FALSE(ParsePinEpoch(std::span<const uint8_t>(longer)
+                                   .subspan(kFrameHeaderBytes),
+                               &parsed)
+                     .ok());
+  }
+}
+
+TEST(ProtocolTest, EpochGoneErrorRoundTrip) {
+  Buffer buffer;
+  ErrorFrame error;
+  error.code = ErrorCode::kEpochGone;
+  error.request_id = 77;
+  error.message = "epoch 3 is gone: evicted from the bounded history";
+  AppendError(&buffer, error);
+  ErrorFrame parsed;
+  ASSERT_TRUE(ParseError(std::span<const uint8_t>(buffer)
+                             .subspan(kFrameHeaderBytes),
+                         &parsed)
+                  .ok());
+  EXPECT_EQ(parsed.code, ErrorCode::kEpochGone);
+  EXPECT_EQ(parsed.request_id, 77u);
+  EXPECT_STREQ(ErrorCodeName(parsed.code), "EPOCH_GONE");
+  // One past the newest code is still unknown.
+  buffer[kFrameHeaderBytes] = 11;
+  EXPECT_FALSE(ParseError(std::span<const uint8_t>(buffer)
+                              .subspan(kFrameHeaderBytes),
+                          &parsed)
+                   .ok());
 }
 
 TEST(ProtocolTest, EpochInfoRoundTrip) {
@@ -284,7 +360,14 @@ TEST(ProtocolTest, HeaderRejectsUnknownType) {
   AppendStatsRequest(&buffer);
   buffer[4] = 0;  // below kHello
   EXPECT_FALSE(ParseFrameHeader(buffer).ok());
-  buffer[4] = 200;  // above kEpochInfo
+  buffer[4] = 200;  // far above the known range
+  EXPECT_FALSE(ParseFrameHeader(buffer).ok());
+  // The v3 frames are inside the range; one past them is not.
+  buffer[4] = static_cast<uint8_t>(FrameType::kPinEpoch);
+  EXPECT_TRUE(ParseFrameHeader(buffer).ok());
+  buffer[4] = static_cast<uint8_t>(FrameType::kUnpinEpoch);
+  EXPECT_TRUE(ParseFrameHeader(buffer).ok());
+  buffer[4] = static_cast<uint8_t>(FrameType::kUnpinEpoch) + 1;
   EXPECT_FALSE(ParseFrameHeader(buffer).ok());
 }
 
@@ -315,10 +398,12 @@ TEST(ProtocolTest, QueryBatchRejectsCountMismatch) {
   // Lie about the count: claim 2 queries but carry bytes for 1.
   buffer[kFrameHeaderBytes + 8] = 2;
   uint64_t request_id = 0;
+  uint64_t epoch = 0;
   std::vector<AABB> parsed;
   const std::span<const uint8_t> payload =
       std::span<const uint8_t>(buffer).subspan(kFrameHeaderBytes);
-  EXPECT_FALSE(ParseQueryBatch(payload, &request_id, &parsed).ok());
+  EXPECT_FALSE(
+      ParseQueryBatch(payload, &request_id, &parsed, &epoch).ok());
 }
 
 TEST(ProtocolTest, QueryBatchRejectsTruncatedPayload) {
@@ -328,11 +413,14 @@ TEST(ProtocolTest, QueryBatchRejectsTruncatedPayload) {
   const std::span<const uint8_t> payload =
       std::span<const uint8_t>(buffer).subspan(kFrameHeaderBytes);
   uint64_t request_id = 0;
+  uint64_t epoch = 0;
   std::vector<AABB> parsed;
-  // Every truncation point must fail cleanly.
+  // Every truncation point must fail cleanly — including cuts through
+  // the v3 epoch field.
   for (size_t cut = 0; cut < payload.size(); ++cut) {
-    EXPECT_FALSE(
-        ParseQueryBatch(payload.first(cut), &request_id, &parsed).ok())
+    EXPECT_FALSE(ParseQueryBatch(payload.first(cut), &request_id,
+                                 &parsed, &epoch)
+                     .ok())
         << "cut at " << cut;
   }
 }

@@ -611,6 +611,36 @@ TEST(ServerIntegrationTest, IdleSessionsTimeOutWithTypedError) {
             BruteForceRangeQuery(mesh, queries[0]));
 }
 
+// Regression: a session whose request waited out a coalescing window
+// LONGER than the idle timeout must not be condemned the moment its
+// result is delivered. `last_activity_nanos` used to advance only on
+// received frames, so the pending-exemption lapsed at dispatch with the
+// activity clock still pointing at the long-gone receive — the next
+// loop iteration sent ERROR(TIMEOUT) and closed, right after a
+// perfectly served request. Activity now also advances at dispatch.
+TEST(ServerIntegrationTest, SlowCoalescingWindowDoesNotCondemnSession) {
+  const TetraMesh mesh = MakeBox(4);
+  ServerOptions options;
+  options.idle_timeout_nanos = 100'000'000;        // 100 ms
+  options.scheduler.window_nanos = 300'000'000;    // 3x the idle timeout
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1), options);
+  auto client = MustConnect(fixture.port());
+  const std::vector<AABB> queries = {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))};
+
+  // First request parks for the full 300 ms window, then executes.
+  auto first = client->ExecuteBatch(queries);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // With the bug, the session is already condemned: the second request
+  // would be answered by the buffered ERROR(TIMEOUT) + close instead of
+  // a RESULT. With the fix, the idle clock restarted at delivery and
+  // the session has a full timeout of headroom.
+  auto second = client->ExecuteBatch(queries);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(Sorted(second.Value().results.per_query[0]),
+            BruteForceRangeQuery(mesh, queries[0]));
+}
+
 // Graceful drain announces itself: instead of a silent EOF, every
 // surviving session receives ERROR(SHUTTING_DOWN) after the results it
 // is owed.

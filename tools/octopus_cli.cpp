@@ -30,6 +30,8 @@
 //   octopus_cli step <host:port> [n]
 //       advances a dynamic server n steps (default 1; 0 = just report
 //       the current epoch)
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -89,6 +91,8 @@ void PrintUsage(std::FILE* out) {
       "<random|wave|plasticity>]\n"
       "              [--step-every MS] [--amplitude F] [--seed N] "
       "[--idle-timeout-s N]\n"
+      "              [--retention-epochs N] [--retention-bytes N] "
+      "[--history-epochs N] [--spill-path P]\n"
       "      runs the OCTP query service (port 0 = ephemeral, printed "
       "on stdout); with --paged,\n"
       "      <mesh> is an .oct2 snapshot served out of core. --deform "
@@ -97,9 +101,20 @@ void PrintUsage(std::FILE* out) {
       "it every MS milliseconds\n"
       "      on a stepper thread, concurrently with queries. "
       "--amplitude 0 (default) derives a\n"
-      "      safe bound from the mesh\n"
+      "      safe bound from the mesh. --retention-epochs/-bytes cap "
+      "the memory-resident epoch\n"
+      "      window (>= 1 epoch); --history-epochs caps total queryable "
+      "history; older epochs\n"
+      "      spill to --spill-path (default <input>.<pid>.oct2d) and "
+      "reload "
+      "on demand\n"
       "  octopus_cli query --remote <host:port> <minx> <miny> <minz> "
       "<maxx> <maxy> <maxz>\n"
+      "              [--epoch N] [--pin]\n"
+      "      --epoch N       execute against historical epoch N "
+      "(0 = current); EPOCH_GONE if evicted\n"
+      "      --pin           pin the target epoch first (released on "
+      "disconnect) and print its id\n"
       "  octopus_cli step <host:port> [n]\n"
       "      advances a dynamic server n steps (default 1; 0 = report "
       "the current epoch)\n"
@@ -246,7 +261,8 @@ void PrintRemoteBatchInfo(const client::RemoteBatchResult& r) {
 }
 
 int CmdQueryRemote(int argc, char** argv) {
-  // octopus_cli query --remote <host:port> <6 box coords>
+  // octopus_cli query --remote <host:port> <6 box coords> [--epoch N]
+  //             [--pin]
   if (argc < 10) return Usage();
   std::string host;
   uint16_t port = 0;
@@ -255,6 +271,19 @@ int CmdQueryRemote(int argc, char** argv) {
                       std::atof(argv[6])),
                  Vec3(std::atof(argv[7]), std::atof(argv[8]),
                       std::atof(argv[9])));
+  unsigned long long epoch = 0;
+  bool pin = false;
+  for (int i = 10; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--epoch") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      epoch = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0') return Usage();
+    } else if (std::strcmp(argv[i], "--pin") == 0) {
+      pin = true;
+    } else {
+      return Usage();
+    }
+  }
   auto connected = client::RemoteClient::Connect(host, port);
   if (!connected.ok()) {
     std::fprintf(stderr, "%s\n", connected.status().ToString().c_str());
@@ -262,7 +291,21 @@ int CmdQueryRemote(int argc, char** argv) {
   }
   client::RemoteClient& remote = *connected.Value();
   const auto& info = remote.server_info();
-  auto result = remote.ExecuteBatch(std::span<const AABB>(&box, 1));
+  if (pin) {
+    // Demonstrates the repeatable-read flow; a pin is per-session, so
+    // it releases when this process disconnects. Long-lived monitoring
+    // clients hold theirs across batches.
+    auto pinned = remote.PinEpoch(epoch);
+    if (!pinned.ok()) {
+      std::fprintf(stderr, "%s\n", pinned.status().ToString().c_str());
+      return 1;
+    }
+    epoch = pinned.Value().epoch;
+    std::printf("pinned epoch %llu (step %u; released on disconnect)\n",
+                static_cast<unsigned long long>(pinned.Value().epoch),
+                pinned.Value().step);
+  }
+  auto result = remote.ExecuteBatch(std::span<const AABB>(&box, 1), epoch);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -529,11 +572,56 @@ int CmdServe(int argc, char** argv) {
   DeformerSpec deform;
   long step_every_ms = 0;
   server::ServerOptions options;
+  server::EpochRetentionOptions retention;
+  bool retention_flag_seen = false;
+  retention.spill_path.clear();  // resolved to <input>.<pid>.oct2d below
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--paged") == 0) {
       paged = true;
     } else if (std::strcmp(argv[i], "--pool-bytes") == 0 && i + 1 < argc) {
       if (!ParseByteCount(argv[++i], &pool_bytes)) return Usage();
+    } else if (std::strcmp(argv[i], "--retention-epochs") == 0 &&
+               i + 1 < argc) {
+      long n = 0;
+      if (!ParsePositiveInt(argv[++i], 1 << 20, &n)) {
+        // Typed message, not a bare usage dump: "0" here silently
+        // meaning "unbounded" (or worse, crashing later) is exactly the
+        // class of bug this PR sweeps.
+        std::fprintf(stderr,
+                     "--retention-epochs must be at least 1 epoch "
+                     "(got \"%s\")\n",
+                     argv[i]);
+        return 2;
+      }
+      retention.retention_epochs = static_cast<size_t>(n);
+      retention_flag_seen = true;
+    } else if (std::strcmp(argv[i], "--retention-bytes") == 0 &&
+               i + 1 < argc) {
+      size_t bytes = 0;
+      if (!ParseByteCount(argv[++i], &bytes)) {
+        std::fprintf(stderr,
+                     "--retention-bytes must be a positive byte count "
+                     "(got \"%s\")\n",
+                     argv[i]);
+        return 2;
+      }
+      retention.retention_bytes = bytes;
+      retention_flag_seen = true;
+    } else if (std::strcmp(argv[i], "--history-epochs") == 0 &&
+               i + 1 < argc) {
+      long n = 0;
+      if (!ParsePositiveInt(argv[++i], 1 << 20, &n)) {
+        std::fprintf(stderr,
+                     "--history-epochs must be at least 1 epoch "
+                     "(got \"%s\")\n",
+                     argv[i]);
+        return 2;
+      }
+      retention.history_epochs = static_cast<size_t>(n);
+      retention_flag_seen = true;
+    } else if (std::strcmp(argv[i], "--spill-path") == 0 && i + 1 < argc) {
+      retention.spill_path = argv[++i];
+      retention_flag_seen = true;
     } else if (std::strcmp(argv[i], "--deform") == 0 && i + 1 < argc) {
       if (!ParseDeformerKind(argv[++i], &deform.kind)) return Usage();
     } else if (std::strcmp(argv[i], "--step-every") == 0 && i + 1 < argc) {
@@ -622,7 +710,24 @@ int CmdServe(int argc, char** argv) {
     }
     backend = opened.MoveValue();
   }
+  if (retention_flag_seen && deform.kind == DeformerKind::kNone) {
+    std::fprintf(stderr,
+                 "--retention-*/--history-epochs/--spill-path require "
+                 "--deform (a static server has no epoch history)\n");
+    return 2;
+  }
   if (deform.kind != DeformerKind::kNone) {
+    if (retention.spill_path.empty()) {
+      // Per-instance default: two servers over the same input must not
+      // truncate each other's live sidecar (Create opens "w+b").
+      retention.spill_path = std::string(argv[2]) + "." +
+                             std::to_string(getpid()) + ".oct2d";
+    }
+    const Status configured = backend->ConfigureRetention(retention);
+    if (!configured.ok()) {
+      std::fprintf(stderr, "%s\n", configured.ToString().c_str());
+      return 2;
+    }
     const Status bound = backend->BindDeformer(deform);
     if (!bound.ok()) {
       std::fprintf(stderr, "%s\n", bound.ToString().c_str());
