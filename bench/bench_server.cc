@@ -223,6 +223,13 @@ int main() {
                static_cast<int64_t>(m.engine_total.page_io.page_hits));
     json.Field("page_misses",
                static_cast<int64_t>(m.engine_total.page_io.page_misses));
+    json.Field("lease_hits",
+               static_cast<int64_t>(m.engine_total.page_io.lease_hits));
+    json.Field("pages_leased",
+               static_cast<int64_t>(m.engine_total.page_io.pages_leased));
+    json.Field(
+        "pages_distinct",
+        static_cast<int64_t>(m.engine_total.page_io.pages_distinct));
     json.Field("parity_ok",
                static_cast<int64_t>(outcome.parity_ok ? 1 : 0));
     json.EndObject();

@@ -14,9 +14,12 @@
 
 namespace octopus::engine {
 
-/// Monotonic identifier of one published position state. Epoch 0 is the
-/// load-time state (the one the stale index was built from); every
-/// `AdvanceStep` publishes a fresh, strictly larger id.
+/// Monotonic identifier of one published position state. Published ids
+/// start at 1 — epoch 1 is the load-time state (the one the stale index
+/// was built from) — and every `AdvanceStep` publishes a fresh, strictly
+/// larger id. Id 0 is never published: the wire protocol uses it as the
+/// "whatever is current" sentinel, and a default `EpochInfo{}` (epoch 0)
+/// marks a static backend's unversioned state.
 using EpochId = uint64_t;
 
 /// \brief Identity of the mesh state a batch executed against.

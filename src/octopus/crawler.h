@@ -91,9 +91,19 @@ class Crawler {
     }
 
     // BFS; queue_ doubles as the FIFO with a moving head index.
+    constexpr size_t kPrefetchAhead = 8;
     for (size_t head = 0; head < queue_.size(); ++head) {
       const VertexId v = queue_[head];
-      for (VertexId n : mesh.neighbors(v)) {
+      const std::span<const VertexId> ns = mesh.neighbors(v);
+      for (size_t i = 0; i < ns.size(); ++i) {
+        // Look ahead within the neighbor run: in memory a cache-line
+        // prefetch, out of core a lease of the next position page before
+        // the frontier demands it (Hilbert layout keeps runs page-local,
+        // so this is the paper's sequential-crawl advantage made real).
+        if (i + kPrefetchAhead < ns.size()) {
+          mesh.PrefetchPosition(ns[i + kPrefetchAhead]);
+        }
+        const VertexId n = ns[i];
         ++stats.edges_traversed;
         if (!MarkVisited(n)) continue;
         ++stats.vertices_touched;

@@ -23,7 +23,7 @@ PagedOctopus::PagedOctopus(std::unique_ptr<storage::PagedMeshStore> store,
 
 storage::PagedMeshAccessor& PagedOctopus::AccessorFor(
     engine::ExecutionContext* context,
-    const storage::PositionOverlay* overlay) const {
+    const storage::PositionOverlay* overlay, size_t shards) const {
   if (context->paged_accessor == nullptr ||
       &context->paged_accessor->store() != store_.get()) {
     context->paged_accessor = std::make_unique<storage::PagedMeshAccessor>(
@@ -31,7 +31,9 @@ storage::PagedMeshAccessor& PagedOctopus::AccessorFor(
   } else {
     context->paged_accessor->set_stats(&context->stats.page_io);
   }
-  context->paged_accessor->set_overlay(overlay);
+  // Opens the batch scope: binds the overlay and sizes the lease budget
+  // so `shards` concurrent accessors can never exhaust the shared pool.
+  context->paged_accessor->BeginBatch(overlay, shards);
   return *context->paged_accessor;
 }
 
@@ -39,8 +41,10 @@ void PagedOctopus::RangeQuery(const AABB& box,
                               std::vector<VertexId>* out) const {
   contexts_.Ensure(1);
   engine::ExecutionContext* context = contexts_.context(0);
-  ExecuteOctopusQuery(AccessorFor(context, nullptr), surface_index_,
-                      options_.executor, box, context, out);
+  storage::PagedMeshAccessor& accessor = AccessorFor(context, nullptr, 1);
+  ExecuteOctopusQuery(accessor, surface_index_, options_.executor, box,
+                      context, out);
+  accessor.EndBatch();
   contexts_.MergeStats(1);
 }
 
@@ -48,10 +52,11 @@ void PagedOctopus::RangeQueryBatch(
     std::span<const AABB> boxes, engine::QueryBatchResult* out,
     engine::ThreadPool* pool,
     const storage::PositionOverlay* overlay) const {
+  const size_t shards_hint = pool != nullptr ? pool->threads() : 1;
   ExecuteOctopusBatch(
-      [this, overlay](engine::ExecutionContext* context)
+      [this, overlay, shards_hint](engine::ExecutionContext* context)
           -> storage::PagedMeshAccessor& {
-        return AccessorFor(context, overlay);
+        return AccessorFor(context, overlay, shards_hint);
       },
       surface_index_, options_.executor, boxes, out, pool, &contexts_);
 }
@@ -59,7 +64,7 @@ void PagedOctopus::RangeQueryBatch(
 size_t PagedOctopus::FootprintBytes() const {
   return surface_index_.FootprintBytes() +
          store_->buffer_manager()->AllocatedBytes() +
-         contexts_.ScratchBytes();
+         store_->ResidentBytes() + contexts_.ScratchBytes();
 }
 
 }  // namespace octopus

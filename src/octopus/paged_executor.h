@@ -85,10 +85,11 @@ class PagedOctopus {
 
   /// Returns the context's paged accessor, creating or rebinding it to
   /// this store on first use (contexts are reused across executors),
-  /// pinned to `overlay` (may be null = base positions).
+  /// with a batch begun against `overlay` (may be null = base positions)
+  /// and a lease budget sized for `shards` concurrent accessors.
   storage::PagedMeshAccessor& AccessorFor(
       engine::ExecutionContext* context,
-      const storage::PositionOverlay* overlay) const;
+      const storage::PositionOverlay* overlay, size_t shards) const;
 
   Options options_;
   std::unique_ptr<storage::PagedMeshStore> store_;

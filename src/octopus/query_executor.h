@@ -91,15 +91,22 @@ void ExecuteOctopusQuery(Accessor& mesh, const SurfaceIndex& surface_index,
   size_t probed = 0;
   constexpr size_t kPrefetchAhead = 16;
   for (size_t i = 0; i < surface.size(); i += stride) {
-    // The probe is a strided gather through the position array; software
-    // prefetch hides most of the per-entry miss latency (in memory; the
-    // paged accessor's prefetch is a no-op).
+    // The probe is a strided gather through the probe-order positions;
+    // software prefetch hides most of the per-entry miss latency. The
+    // probe-specific read path matters out of core: the paged accessor
+    // serves undeformed probe positions from index-resident data, so
+    // probing costs page accesses only for overlay-covered (deformed)
+    // pages.
     if (i + kPrefetchAhead * stride < surface.size()) {
-      mesh.PrefetchPosition(surface[i + kPrefetchAhead * stride]);
+      const size_t ahead = i + kPrefetchAhead * stride;
+      if constexpr (requires { mesh.PrefetchProbePosition(ahead,
+                                                          surface[ahead]); }) {
+        mesh.PrefetchProbePosition(ahead, surface[ahead]);
+      }
     }
     const VertexId v = surface[i];
     ++probed;
-    const float d2 = box.SquaredDistanceTo(mesh.position(v));
+    const float d2 = box.SquaredDistanceTo(mesh.ProbePosition(i, v));
     if (d2 == 0.0f) {
       start_scratch->push_back(v);
     } else if (start_scratch->empty() && d2 < closest_d2) {
@@ -172,6 +179,12 @@ void ExecuteOctopusBatch(const MakeAccessor& make_accessor,
     for (size_t q = begin; q < end; ++q) {
       ExecuteOctopusQuery(accessor, surface_index, options, boxes[q],
                           context, &out->per_query[q]);
+    }
+    // Batch-scoped leases (paged accessors) are released before the
+    // shard retires: deterministic counters, and an idle accessor holds
+    // no pool resources between batches.
+    if constexpr (requires { accessor.EndBatch(); }) {
+      accessor.EndBatch();
     }
   };
 

@@ -51,6 +51,9 @@ ServerStatsWire ServerMetrics::ToWire() const {
   w.page_hits = engine_total.page_io.page_hits;
   w.page_misses = engine_total.page_io.page_misses;
   w.page_evictions = engine_total.page_io.page_evictions;
+  w.lease_hits = engine_total.page_io.lease_hits;
+  w.pages_leased = engine_total.page_io.pages_leased;
+  w.pages_distinct = engine_total.page_io.pages_distinct;
   return w;
 }
 

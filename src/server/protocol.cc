@@ -130,6 +130,9 @@ void PutBatchStats(Buffer* out, const BatchStatsWire& s) {
   PutU64(out, s.page_hits);
   PutU64(out, s.page_misses);
   PutU64(out, s.page_evictions);
+  PutU64(out, s.lease_hits);
+  PutU64(out, s.pages_leased);
+  PutU64(out, s.pages_distinct);
   PutU32(out, s.batch_queries);
   PutU32(out, s.batch_requests);
   PutU64(out, s.epoch.epoch);
@@ -145,6 +148,8 @@ bool ReadBatchStats(Reader* r, BatchStatsWire* s) {
          r->U64(&s->walk_vertices) && r->U64(&s->crawl_edges) &&
          r->U64(&s->result_vertices) && r->U64(&s->page_hits) &&
          r->U64(&s->page_misses) && r->U64(&s->page_evictions) &&
+         r->U64(&s->lease_hits) && r->U64(&s->pages_leased) &&
+         r->U64(&s->pages_distinct) &&
          r->U32(&s->batch_queries) && r->U32(&s->batch_requests) &&
          r->U64(&s->epoch.epoch) && r->U32(&s->epoch.step) &&
          r->U32(&reserved);
@@ -186,6 +191,9 @@ BatchStatsWire BatchStatsWire::FromPhaseStats(const PhaseStats& stats,
   w.page_hits = stats.page_io.page_hits;
   w.page_misses = stats.page_io.page_misses;
   w.page_evictions = stats.page_io.page_evictions;
+  w.lease_hits = stats.page_io.lease_hits;
+  w.pages_leased = stats.page_io.pages_leased;
+  w.pages_distinct = stats.page_io.pages_distinct;
   w.batch_queries = batch_queries;
   w.batch_requests = batch_requests;
   return w;
@@ -205,6 +213,9 @@ PhaseStats BatchStatsWire::ToPhaseStats() const {
   s.page_io.page_hits = page_hits;
   s.page_io.page_misses = page_misses;
   s.page_io.page_evictions = page_evictions;
+  s.page_io.lease_hits = lease_hits;
+  s.page_io.pages_leased = pages_leased;
+  s.page_io.pages_distinct = pages_distinct;
   s.stale_steps = epoch.step;
   return s;
 }
@@ -248,7 +259,7 @@ void AppendQueryBatch(Buffer* out, uint64_t request_id,
 
 size_t ResultPayloadBytes(
     std::span<const std::vector<VertexId>> per_query) {
-  size_t bytes = 16 + 120;  // id + count + reserved + batch-stats block
+  size_t bytes = 16 + 144;  // id + count + reserved + batch-stats block
   for (const std::vector<VertexId>& result : per_query) {
     bytes += 4 + result.size() * sizeof(VertexId);
   }
@@ -291,6 +302,9 @@ void AppendStats(Buffer* out, const ServerStatsWire& stats) {
   PutU64(out, stats.page_hits);
   PutU64(out, stats.page_misses);
   PutU64(out, stats.page_evictions);
+  PutU64(out, stats.lease_hits);
+  PutU64(out, stats.pages_leased);
+  PutU64(out, stats.pages_distinct);
   PutU64(out, stats.steps_applied);
   EndFrame(out, h);
 }
@@ -456,8 +470,9 @@ Status ParseStats(std::span<const uint8_t> payload, ServerStatsWire* out) {
       !r.U64(&out->batches_executed) || !r.U64(&out->latency_p50_nanos) ||
       !r.U64(&out->latency_p95_nanos) || !r.U64(&out->latency_p99_nanos) ||
       !r.U64(&out->page_hits) || !r.U64(&out->page_misses) ||
-      !r.U64(&out->page_evictions) || !r.U64(&out->steps_applied) ||
-      !r.Done()) {
+      !r.U64(&out->page_evictions) || !r.U64(&out->lease_hits) ||
+      !r.U64(&out->pages_leased) || !r.U64(&out->pages_distinct) ||
+      !r.U64(&out->steps_applied) || !r.Done()) {
     return Malformed("STATS payload size mismatch");
   }
   return Status::OK();

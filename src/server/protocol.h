@@ -33,8 +33,12 @@ inline constexpr uint32_t kProtocolMagic = 0x4F435450;
 /// current; the fixed header grew 16 → 24 bytes before the boxes),
 /// PIN_EPOCH/UNPIN_EPOCH frames with per-session pin accounting, and
 /// the EPOCH_GONE error for history evicted from the bounded epoch
-/// ring.
-inline constexpr uint16_t kProtocolVersion = 3;
+/// ring. v4: lease counters (`lease_hits`/`pages_leased`/
+/// `pages_distinct`) in the batch-stats block (120 → 144 bytes) and in
+/// STATS (120 → 144 bytes); published epoch ids start at 1 so the
+/// initial state stays addressable after supersession (0 remains the
+/// "current" sentinel on the wire).
+inline constexpr uint16_t kProtocolVersion = 4;
 
 /// Every frame starts with this fixed-size header.
 inline constexpr size_t kFrameHeaderBytes = 8;
@@ -121,6 +125,14 @@ struct BatchStatsWire {
   uint64_t page_hits = 0;
   uint64_t page_misses = 0;
   uint64_t page_evictions = 0;
+  /// Lease counters (v4): under the leased-page discipline
+  /// `page_hits + page_misses` prices a page once per batch (at lease
+  /// acquisition), `lease_hits` counts the free re-reads through held
+  /// leases, and `pages_distinct` is the exact distinct-page count the
+  /// priced accesses approximate.
+  uint64_t lease_hits = 0;
+  uint64_t pages_leased = 0;
+  uint64_t pages_distinct = 0;
   uint32_t batch_queries = 0;   ///< queries in the coalesced batch
   uint32_t batch_requests = 0;  ///< client requests coalesced into it
   /// Mesh epoch the batch executed against (epoch-stamped RESULTs): the
@@ -188,6 +200,9 @@ struct ServerStatsWire {
   uint64_t page_hits = 0;  ///< totals across every executed batch
   uint64_t page_misses = 0;
   uint64_t page_evictions = 0;
+  uint64_t lease_hits = 0;  ///< v4: reads served by held leases
+  uint64_t pages_leased = 0;
+  uint64_t pages_distinct = 0;
   uint64_t steps_applied = 0;  ///< simulation steps the backend applied
 
   /// Mean queries per executed batch (0 when nothing executed yet).

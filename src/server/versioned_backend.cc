@@ -126,7 +126,7 @@ Status VersionedBackend::BindDeformer(const DeformerSpec& spec) {
   if (mesh_ != nullptr) {
     OCTOPUS_RETURN_NOT_OK(mesh_->BindDeformer(spec));
     store->Publish(
-        PinnedEpochState{engine::EpochInfo{0, 0}, nullptr, mesh_->Pin()});
+        PinnedEpochState{engine::EpochInfo{1, 0}, nullptr, mesh_->Pin()});
     store_ = std::move(store);
     dynamic_.store(true, std::memory_order_release);
     return Status::OK();
@@ -134,7 +134,8 @@ Status VersionedBackend::BindDeformer(const DeformerSpec& spec) {
 
   // Paged path: materialize the simulation-side position state (the
   // black-box solver's working copy), bind the deformer to it, and
-  // publish epoch 0 with no overlay (the base file IS epoch 0).
+  // publish epoch 1 with no overlay (the base file IS the initial
+  // state; id 0 stays the wire's "current" sentinel).
   const storage::SnapshotHeader& header = paged_->store().header();
   std::vector<Vec3> positions;
   OCTOPUS_RETURN_NOT_OK(
@@ -151,7 +152,7 @@ Status VersionedBackend::BindDeformer(const DeformerSpec& spec) {
   paged_deformer_->Bind(*paged_sim_mesh_);
   paged_spec_ = resolved;
   store->Publish(
-      PinnedEpochState{engine::EpochInfo{0, 0}, nullptr, nullptr});
+      PinnedEpochState{engine::EpochInfo{1, 0}, nullptr, nullptr});
   store_ = std::move(store);
   dynamic_.store(true, std::memory_order_release);
   return Status::OK();
@@ -244,8 +245,9 @@ Status VersionedBackend::ExecuteAt(engine::EpochId wire_epoch,
                                    engine::QueryBatchResult* out,
                                    PhaseStats* batch_stats) {
   if (wire_epoch == 0) {
-    // The wire's "epoch 0" means "whatever is current" — the only way
-    // to address the initial epoch explicitly is while it is current.
+    // The wire's "epoch 0" means "whatever is current". The initial
+    // state stays addressable as epoch 1 (published ids start at 1, so
+    // the sentinel never shadows a real epoch).
     Execute(boxes, out, batch_stats);
     return Status::OK();
   }

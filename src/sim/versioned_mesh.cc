@@ -17,8 +17,11 @@ Status VersionedMesh::BindDeformer(const DeformerSpec& spec) {
   deformer_->Bind(mesh_);
   spec_ = resolved;
 
+  // Epoch ids start at 1: the wire reserves 0 for "whatever is
+  // current", so id 1 keeps the initial (step-0) state addressable even
+  // after later steps supersede it.
   auto epoch0 = std::make_shared<PositionEpoch>();
-  epoch0->info = engine::EpochInfo{0, 0};
+  epoch0->info = engine::EpochInfo{1, 0};
   epoch0->positions = mesh_.positions();
   {
     std::lock_guard<std::mutex> lock(publish_mu_);

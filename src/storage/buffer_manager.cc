@@ -165,6 +165,38 @@ const std::byte* BufferManager::Pin(PageId page, PageIOStats* stats) {
   }
 }
 
+const std::byte* BufferManager::TryPin(PageId page, PageIOStats* stats) {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(page < num_pages_ && "page out of range");
+  auto it = page_to_frame_.find(page);
+  if (it != page_to_frame_.end()) {
+    Frame& frame = frames_[it->second];
+    ++frame.pins;
+    frame.lru_tick = ++tick_;
+    frame.referenced = true;
+    ++stats->page_hits;
+    ++totals_.page_hits;
+    return frame.data.get();
+  }
+  const size_t index = TryAcquireFrame(stats);
+  if (index == max_frames_) return nullptr;  // every frame pinned
+  Frame& frame = frames_[index];
+  if (std::fseek(file_, static_cast<long>(page * page_bytes_), SEEK_SET) !=
+          0 ||
+      std::fread(frame.data.get(), 1, page_bytes_, file_) != page_bytes_) {
+    assert(false && "snapshot page read failed");
+    std::memset(frame.data.get(), 0, page_bytes_);
+  }
+  frame.page = page;
+  frame.pins = 1;
+  frame.lru_tick = ++tick_;
+  frame.referenced = true;
+  page_to_frame_[page] = index;
+  ++stats->page_misses;
+  ++totals_.page_misses;
+  return frame.data.get();
+}
+
 void BufferManager::Unpin(PageId page) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = page_to_frame_.find(page);
@@ -177,6 +209,31 @@ void BufferManager::Unpin(PageId page) {
 void BufferManager::CopyOut(PageId page, size_t offset, size_t len,
                             void* dst, PageIOStats* stats) {
   assert(offset + len <= page_bytes_);
+  {
+    // Hit fast path: one lock acquisition and one map lookup instead of
+    // the Pin/Unpin pair's two of each; the memcpy runs outside the
+    // mutex, under the pin. The frame is re-addressed by index after
+    // relocking (the frames_ vector may have grown and relocated; the
+    // index and the heap page buffer are stable, pinned frames are
+    // never evicted or repurposed).
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = page_to_frame_.find(page);
+    if (it != page_to_frame_.end()) {
+      const size_t index = it->second;
+      Frame& frame = frames_[index];
+      ++frame.pins;
+      frame.lru_tick = ++tick_;
+      frame.referenced = true;
+      ++stats->page_hits;
+      ++totals_.page_hits;
+      const std::byte* data = frame.data.get();
+      lock.unlock();
+      std::memcpy(dst, data + offset, len);
+      lock.lock();
+      if (--frames_[index].pins == 0) frame_freed_.notify_one();
+      return;
+    }
+  }
   const std::byte* data = Pin(page, stats);
   std::memcpy(dst, data + offset, len);
   Unpin(page);

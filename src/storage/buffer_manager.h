@@ -82,6 +82,16 @@ class BufferManager {
   /// threads. Asserts on out-of-range pages (programming error).
   const std::byte* Pin(PageId page, PageIOStats* stats);
 
+  /// Non-blocking `Pin`: returns null — and counts nothing — when the
+  /// page is not resident and no frame can be acquired (every frame
+  /// pinned). On success the caller holds a pin exactly as with `Pin`.
+  /// This is the only way leases are acquired (paged_mesh.h): a lease
+  /// holder must never block inside the pool, so a constrained pool
+  /// degrades accessors to the transient-pin path instead of
+  /// deadlocking — the 2-page-pool-serves-any-thread-count guarantee
+  /// survives leasing.
+  const std::byte* TryPin(PageId page, PageIOStats* stats);
+
   /// Releases one pin on `page` (which must be pinned).
   void Unpin(PageId page);
 

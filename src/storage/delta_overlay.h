@@ -53,6 +53,15 @@ class PositionOverlay {
                : nullptr;
   }
 
+  /// True when the overlay holds bytes for page `index` at all —
+  /// resident or spilled. The inline hot-path test: probe and position
+  /// reads check this before paying an out-of-line overlay read, so
+  /// pages the simulation never rewrote cost two loads, not a call.
+  bool Covers(uint64_t index) const {
+    return (index < pages_.size() && pages_[index] != nullptr) ||
+           (index < spilled_.size() && spilled_[index] != kInvalidPageId);
+  }
+
   /// Copies `len` bytes at `offset` within overlay page `index` into
   /// `dst`. Returns false when the overlay has no bytes for that page
   /// (caller reads the base snapshot). Resident pages count a pool hit;
@@ -90,6 +99,12 @@ class PositionOverlay {
   PageId spilled_id(uint64_t index) const {
     return index < spilled_.size() ? spilled_[index] : kInvalidPageId;
   }
+
+  /// The sidecar's read pool (null while nothing is spilled) — exposed
+  /// so `PagedMeshAccessor` can lease spilled delta pages through the
+  /// same mechanism as base-snapshot pages instead of paying a
+  /// `CopyOut` pin round trip per read.
+  BufferManager* spill_pool() const { return spill_pool_.get(); }
 
   /// Entry bytes of memory-resident page `index` (0 when not resident).
   size_t resident_page_bytes(uint64_t index) const {

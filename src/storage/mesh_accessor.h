@@ -16,11 +16,16 @@
 //
 // Accessor contract:
 //  * `position(v)` returns the vertex position (by value or reference).
+//  * `ProbePosition(rank, v)` is the surface probe's read: `v` is the
+//    `rank`-th vertex of the probe order. Must return the same value as
+//    `position(v)`; the split lets the paged accessor serve undeformed
+//    probe reads from index-resident data instead of page I/O.
 //  * `neighbors(v)` returns a span that remains valid until the NEXT
 //    `neighbors` call on the same accessor; `position` calls never
 //    invalidate it. Callers must not hold a span across `neighbors`
 //    calls (the crawler and directed walk naturally comply).
-//  * `PrefetchPosition(v)` is a best-effort latency hint, free to no-op.
+//  * `PrefetchPosition(v)` is a best-effort latency hint, free to no-op
+//    (the paged accessor leases the page ahead of demand).
 //  * Accessors are single-threaded handles; concurrent shards each use
 //    their own (the backing store may be shared).
 #ifndef OCTOPUS_STORAGE_MESH_ACCESSOR_H_
@@ -38,9 +43,10 @@ namespace octopus::storage {
 
 /// Concept every mesh accessor implementation must satisfy.
 template <typename A>
-concept MeshAccessor = requires(A& a, VertexId v) {
+concept MeshAccessor = requires(A& a, VertexId v, size_t rank) {
   { a.num_vertices() } -> std::convertible_to<size_t>;
   { a.position(v) } -> std::convertible_to<Vec3>;
+  { a.ProbePosition(rank, v) } -> std::convertible_to<Vec3>;
   { a.neighbors(v) } -> std::convertible_to<std::span<const VertexId>>;
   a.PrefetchPosition(v);
 };
@@ -60,12 +66,21 @@ class InMemoryMeshAccessor {
 
   const Vec3& position(VertexId v) const { return graph_.position(v); }
 
+  /// In memory the probe reads the position array like everything else.
+  const Vec3& ProbePosition(size_t, VertexId v) const {
+    return position(v);
+  }
+
   std::span<const VertexId> neighbors(VertexId v) const {
     return graph_.neighbors(v);
   }
 
   void PrefetchPosition(VertexId v) const {
     __builtin_prefetch(graph_.positions.data() + v);
+  }
+
+  void PrefetchProbePosition(size_t, VertexId v) const {
+    PrefetchPosition(v);
   }
 
  private:

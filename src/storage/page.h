@@ -30,10 +30,21 @@ inline constexpr size_t kDefaultPageBytes = 4096;
 /// themselves are deterministic for single-threaded execution; with a
 /// shared buffer pool and multiple threads the hit/miss split depends on
 /// interleaving (the totals still balance: hits + misses = accesses).
+///
+/// With leased page references (see storage/paged_mesh.h) a page is
+/// priced into hits/misses once when its lease is acquired; every later
+/// read through the held lease counts only `lease_hits`. `PageAccesses()`
+/// therefore approximates *distinct pages touched* per batch instead of
+/// raw read calls; `pages_distinct` records the exact per-shard distinct
+/// count (summed over shards on merge, so overlapping shards may count a
+/// page once each).
 struct PageIOStats {
   size_t page_hits = 0;       ///< accesses served from the buffer pool
   size_t page_misses = 0;     ///< accesses that had to read from disk
   size_t page_evictions = 0;  ///< resident pages dropped to make room
+  size_t lease_hits = 0;      ///< reads served from an already-held lease
+  size_t pages_leased = 0;    ///< lease acquisitions (first touch per batch)
+  size_t pages_distinct = 0;  ///< distinct pages touched (0 if leasing off)
 
   void Reset() { *this = PageIOStats{}; }
 
@@ -41,6 +52,9 @@ struct PageIOStats {
     page_hits += other.page_hits;
     page_misses += other.page_misses;
     page_evictions += other.page_evictions;
+    lease_hits += other.lease_hits;
+    pages_leased += other.pages_leased;
+    pages_distinct += other.pages_distinct;
   }
 
   size_t PageAccesses() const { return page_hits + page_misses; }

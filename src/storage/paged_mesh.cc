@@ -2,6 +2,7 @@
 #include "storage/paged_mesh.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdio>
 
 #include "storage/file_util.h"
@@ -36,6 +37,37 @@ Status ReadU32Section(std::FILE* f, const SnapshotHeader& h,
   return Status::OK();
 }
 
+/// Gathers the base positions of the surface vertices with one forward
+/// pass over the positions section (the id list is ascending, so each
+/// page is read at most once, through a single page-sized buffer).
+Status GatherSurfacePositions(std::FILE* f, const SnapshotHeader& h,
+                              const std::vector<VertexId>& surface,
+                              std::vector<Vec3>* out) {
+  out->clear();
+  out->reserve(surface.size());
+  const size_t per_page = h.PositionsPerPage();
+  std::vector<Vec3> page(per_page);
+  uint64_t loaded = ~0ull;
+  for (VertexId v : surface) {
+    const uint64_t index = v / per_page;
+    if (index != loaded) {
+      const uint64_t begin = index * per_page;
+      const size_t chunk = static_cast<size_t>(
+          std::min<uint64_t>(per_page, h.num_vertices - begin));
+      if (std::fseek(f,
+                     static_cast<long>((h.positions_start_page + index) *
+                                       h.page_bytes),
+                     SEEK_SET) != 0 ||
+          std::fread(page.data(), sizeof(Vec3), chunk, f) != chunk) {
+        return Status::Corruption("truncated positions section");
+      }
+      loaded = index;
+    }
+    out->push_back(page[v % per_page]);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<std::unique_ptr<PagedMeshStore>> PagedMeshStore::Open(
@@ -49,49 +81,413 @@ Result<std::unique_ptr<PagedMeshStore>> PagedMeshStore::Open(
   std::vector<VertexId> surface;
   OCTOPUS_RETURN_NOT_OK(ReadU32Section(f.get(), h, h.surface_start_page,
                                        h.num_surface_vertices, &surface));
-  for (VertexId v : surface) {
-    if (v >= h.num_vertices) {
-      return Status::Corruption("surface vertex out of range in " + path);
+  for (size_t i = 0; i < surface.size(); ++i) {
+    if (surface[i] >= h.num_vertices ||
+        (i > 0 && surface[i] <= surface[i - 1])) {
+      return Status::Corruption(
+          "surface vertex list not strictly ascending in-range in " + path);
     }
   }
+  std::vector<Vec3> surface_positions;
+  OCTOPUS_RETURN_NOT_OK(
+      GatherSurfacePositions(f.get(), h, surface, &surface_positions));
 
   auto buffer =
       BufferManager::Open(path, h.page_bytes, h.num_pages, options);
   if (!buffer.ok()) return buffer.status();
-  return std::unique_ptr<PagedMeshStore>(new PagedMeshStore(
-      h, std::move(surface), buffer.MoveValue()));
+  return std::unique_ptr<PagedMeshStore>(
+      new PagedMeshStore(h, std::move(surface),
+                         std::move(surface_positions), buffer.MoveValue()));
+}
+
+void PagedMeshAccessor::ConfigureLeases(size_t shards) {
+  // Per-shard frame budget: with `shards` accessors sharing the pool(s),
+  // each may hold at most (frames/shards - 2) lease pins, leaving two
+  // frames of per-shard headroom for transient pins. Lease pins alone
+  // can then never exhaust the pool, which is what makes "never block
+  // while leasing" a liveness guarantee and not just a policy.
+  size_t frames = store_->buffer_manager()->max_frames();
+  if (overlay_ != nullptr && overlay_->spill_pool() != nullptr) {
+    frames = std::min(frames, overlay_->spill_pool()->max_frames());
+  }
+  const size_t per_shard = frames / std::max<size_t>(shards, 1);
+  lease_cap_ =
+      per_shard > 2 ? std::min(kDefaultLeaseCap, per_shard - 2) : 0;
+  zero_copy_ = lease_cap_ >= kMinLeasesForZeroCopy;
+  if (lease_cap_ > 0 && slots_.empty()) {
+    size_t n = 8;
+    while (n < 2 * kDefaultLeaseCap) n <<= 1;
+    slots_.assign(n, Lease{});
+    slot_mask_ = n - 1;
+  }
+}
+
+void PagedMeshAccessor::BeginBatch(const PositionOverlay* overlay,
+                                   size_t shards) {
+  EndBatch();
+  overlay_ = overlay;
+  ConfigureLeases(shards);
+  if (overlay_ != nullptr) PatchProbePositions();
+}
+
+void PagedMeshAccessor::PatchProbePositions() {
+  const std::vector<Vec3>& base = store_->surface_positions();
+  const std::vector<VertexId>& ids = store_->surface_vertices();
+  const size_t per_page = store_->header().PositionsPerPage();
+
+  // Revert last batch's patches (the previous overlay's pages need not
+  // be this one's) before applying the new delta.
+  if (!patched_probe_.empty()) {
+    for (const uint32_t r : patched_ranks_) patched_probe_[r] = base[r];
+  }
+  patched_ranks_.clear();
+
+  bool patched = false;
+  const size_t num_slots = overlay_->num_page_slots();
+  for (uint64_t p = 0; p < num_slots; ++p) {
+    const std::byte* resident = overlay_->Lookup(p);
+    const PageId spilled =
+        resident != nullptr ? kInvalidPageId : overlay_->spilled_id(p);
+    if (resident == nullptr && spilled == kInvalidPageId) continue;
+    // Surface ids ascend, so a page's surface vertices occupy one
+    // contiguous rank range.
+    const auto lo = std::lower_bound(ids.begin(), ids.end(),
+                                     static_cast<VertexId>(p * per_page));
+    const auto hi =
+        std::lower_bound(lo, ids.end(),
+                         static_cast<VertexId>((p + 1) * per_page));
+    if (lo == hi) continue;
+    if (!patched) {
+      if (patched_probe_.empty()) {
+        patched_probe_.assign(base.begin(), base.end());
+      }
+      patched = true;
+    }
+    if (resident != nullptr) {
+      // Price the page once per batch, exactly as the crawl's first
+      // touch through `ReadOverlay` would; further reads (probe or
+      // crawl) of its bytes are then free re-reads.
+      if (lease_cap_ == 0) {
+        ++stats_->page_hits;
+      } else {
+        if (overlay_touched_.size() < num_slots) {
+          overlay_touched_.resize(num_slots, 0);
+        }
+        if (overlay_touched_[p] == 0) {
+          overlay_touched_[p] = 1;
+          ++stats_->page_hits;
+          ++stats_->pages_leased;
+          ++stats_->pages_distinct;
+        }
+      }
+    }
+    for (auto it = lo; it != hi; ++it) {
+      const uint32_t rank = static_cast<uint32_t>(it - ids.begin());
+      const VertexId v = *it;
+      const size_t offset = (v - p * per_page) * sizeof(Vec3);
+      if (resident != nullptr) {
+        std::memcpy(&patched_probe_[rank], resident + offset,
+                    sizeof(Vec3));
+      } else {
+        ReadPooled(overlay_->spill_pool(), kTagSpill, spilled, offset,
+                   sizeof(Vec3), &patched_probe_[rank]);
+      }
+      patched_ranks_.push_back(rank);
+    }
+  }
+  probe_positions_ =
+      patched ? patched_probe_.data() : base.data();
+}
+
+void PagedMeshAccessor::EndBatch() {
+  span_pool_ = nullptr;
+  span_page_ = kInvalidPageId;
+  ReleaseLeases(false);
+  degraded_ = false;
+  last_prefetch_page_ = ~0ull;
+  probe_positions_ = store_->surface_positions().data();
+  distinct_.clear();
+  std::fill(overlay_touched_.begin(), overlay_touched_.end(),
+            static_cast<uint8_t>(0));
+}
+
+PagedMeshAccessor::Lease* PagedMeshAccessor::FindLease(BufferManager* pool,
+                                                       PageId page) {
+  if (count_ == 0) return nullptr;
+  size_t i = HashSlot(pool, page);
+  while (slots_[i].data != nullptr) {
+    if (slots_[i].pool == pool && slots_[i].page == page) {
+      return &slots_[i];
+    }
+    i = (i + 1) & slot_mask_;
+  }
+  return nullptr;
+}
+
+const std::byte* PagedMeshAccessor::AcquireLease(BufferManager* pool,
+                                                 uint8_t tag, PageId page,
+                                                 bool speculative) {
+  const std::byte* data = pool->TryPin(page, stats_);
+  if (data == nullptr) {
+    // Pool pressure (every frame pinned). Degrade to transient pins for
+    // the rest of the batch rather than ever blocking while holding
+    // leases; a speculative prefetch is simply dropped.
+    if (!speculative) {
+      degraded_ = true;
+      ReleaseLeases(true);
+    }
+    return nullptr;
+  }
+  ++stats_->pages_leased;
+  NoteDistinct(tag, page);
+  InsertLease(pool, page, data);
+  return data;
+}
+
+void PagedMeshAccessor::InsertLease(BufferManager* pool, PageId page,
+                                    const std::byte* data) {
+  if (count_ == lease_cap_) RevokeLRU();
+  size_t i = HashSlot(pool, page);
+  while (slots_[i].data != nullptr) i = (i + 1) & slot_mask_;
+  slots_[i] = Lease{data, pool, page, ++tick_};
+  ++count_;
+  mru_ = &slots_[i];
+}
+
+void PagedMeshAccessor::RevokeLRU() {
+  // Revocation (and the backward-shift erase below) can move or drop any
+  // slot; both MRU caches may alias one — reset them.
+  mru_ = nullptr;
+  pos_mru_index_ = ~0ull;
+  pos_mru_data_ = nullptr;
+  size_t victim = slots_.size();
+  uint64_t oldest = ~0ull;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Lease& l = slots_[i];
+    if (l.data == nullptr) continue;
+    if (HasSpan() && l.pool == span_pool_ && l.page == span_page_) {
+      continue;  // the outstanding span's page is revocation-protected
+    }
+    if (l.tick < oldest) {
+      oldest = l.tick;
+      victim = i;
+    }
+  }
+  assert(victim != slots_.size() &&
+         "lease cap must exceed the (single) protected span");
+  slots_[victim].pool->Unpin(slots_[victim].page);
+  EraseSlot(victim);
+  --count_;
+}
+
+void PagedMeshAccessor::EraseSlot(size_t hole) {
+  // Linear-probing backward shift: pull displaced entries over the hole
+  // so probe chains stay unbroken.
+  size_t j = hole;
+  for (;;) {
+    j = (j + 1) & slot_mask_;
+    if (slots_[j].data == nullptr) break;
+    const size_t home = HashSlot(slots_[j].pool, slots_[j].page);
+    if (((j - home) & slot_mask_) >= ((j - hole) & slot_mask_)) {
+      slots_[hole] = slots_[j];
+      hole = j;
+    }
+  }
+  slots_[hole] = Lease{};
+}
+
+void PagedMeshAccessor::ReleaseLeases(bool keep_span) {
+  mru_ = nullptr;
+  pos_mru_index_ = ~0ull;
+  pos_mru_data_ = nullptr;
+  if (count_ == 0) return;
+  Lease saved{};
+  for (Lease& l : slots_) {
+    if (l.data == nullptr) continue;
+    if (keep_span && HasSpan() && l.pool == span_pool_ &&
+        l.page == span_page_) {
+      saved = l;  // keep this pin; the caller's span aliases its frame
+    } else {
+      l.pool->Unpin(l.page);
+    }
+    l = Lease{};
+  }
+  count_ = 0;
+  if (saved.data != nullptr) InsertLease(saved.pool, saved.page, saved.data);
+}
+
+void PagedMeshAccessor::ReadPooled(BufferManager* pool, uint8_t tag,
+                                   PageId page, size_t offset, size_t len,
+                                   void* dst) {
+  if (lease_cap_ != 0 && !degraded_) {
+    if (Lease* l = mru_; l != nullptr && l->page == page &&
+                         l->pool == pool) {
+      l->tick = ++tick_;
+      ++stats_->lease_hits;
+      std::memcpy(dst, l->data + offset, len);
+      return;
+    }
+    if (Lease* l = FindLease(pool, page)) {
+      l->tick = ++tick_;
+      ++stats_->lease_hits;
+      mru_ = l;
+      std::memcpy(dst, l->data + offset, len);
+      return;
+    }
+    if (const std::byte* data = AcquireLease(pool, tag, page, false)) {
+      std::memcpy(dst, data + offset, len);
+      return;
+    }
+  }
+  TransientRead(pool, tag, page, offset, len, dst);
+}
+
+void PagedMeshAccessor::TransientRead(BufferManager* pool, uint8_t tag,
+                                      PageId page, size_t offset,
+                                      size_t len, void* dst) {
+  if (lease_cap_ == 0) {
+    // Leasing disabled (tiny pool): the pre-lease behavior exactly.
+    pool->CopyOut(page, offset, len, dst, stats_);
+    return;
+  }
+  NoteDistinct(tag, page);
+  if (const std::byte* data = pool->TryPin(page, stats_)) {
+    std::memcpy(dst, data + offset, len);
+    pool->Unpin(page);
+    return;
+  }
+  // Must block for a frame — never while holding leases (blocked
+  // threads pinning frames could starve each other on a tiny pool). At
+  // most the zero-copy span's pin survives: zero-copy implies a
+  // per-shard budget of >= kMinLeasesForZeroCopy + 2 frames, so span
+  // pins total strictly fewer than the pool's frames and some running
+  // thread always holds a releasable pin — progress is guaranteed.
+  ReleaseLeases(true);
+  pool->CopyOut(page, offset, len, dst, stats_);
+}
+
+bool PagedMeshAccessor::ReadOverlay(uint64_t index, size_t offset,
+                                    size_t len, void* dst) {
+  if (const std::byte* resident = overlay_->Lookup(index)) {
+    if (lease_cap_ == 0) {
+      // Pre-lease pricing: every resident-delta read is a pool hit.
+      ++stats_->page_hits;
+    } else {
+      if (overlay_touched_.size() < overlay_->num_page_slots()) {
+        overlay_touched_.resize(overlay_->num_page_slots(), 0);
+      }
+      if (overlay_touched_[index] == 0) {
+        overlay_touched_[index] = 1;
+        ++stats_->page_hits;
+        ++stats_->pages_leased;
+        ++stats_->pages_distinct;
+      } else {
+        ++stats_->lease_hits;
+      }
+      // Resident delta bytes are stable for the batch: position()'s MRU
+      // may serve this page directly from them.
+      pos_mru_index_ = index;
+      pos_mru_data_ = resident;
+    }
+    std::memcpy(dst, resident + offset, len);
+    return true;
+  }
+  const PageId spilled = overlay_->spilled_id(index);
+  if (spilled != kInvalidPageId) {
+    ReadPooled(overlay_->spill_pool(), kTagSpill, spilled, offset, len,
+               dst);
+    return true;
+  }
+  return false;
+}
+
+void PagedMeshAccessor::PrefetchPosition(VertexId v) {
+  if (lease_cap_ == 0 || degraded_) return;
+  const SnapshotHeader& h = store_->header();
+  const uint64_t page_index = pos_div_.Div(v);
+  if (page_index == last_prefetch_page_) return;
+  last_prefetch_page_ = page_index;
+  if (overlay_ != nullptr &&
+      (overlay_->Lookup(page_index) != nullptr ||
+       overlay_->spilled_id(page_index) != kInvalidPageId)) {
+    return;  // resident delta is already memory; spills are not speculated
+  }
+  if (count_ >= lease_cap_) return;  // never revoke for speculation
+  BufferManager* pool = store_->buffer_manager();
+  const PageId page =
+      static_cast<PageId>(h.positions_start_page + page_index);
+  if (FindLease(pool, page) != nullptr) return;
+  AcquireLease(pool, kTagBase, page, /*speculative=*/true);
 }
 
 uint32_t PagedMeshAccessor::ReadU32(uint64_t section_start_page,
                                     uint64_t index) {
-  const SnapshotHeader& h = store_->header();
-  const size_t per_page = h.U32PerPage();
+  // Section entry counts fit 32 bits (CSR offsets are u32), so the
+  // reciprocal divide is exact.
+  const uint32_t n = static_cast<uint32_t>(index);
+  const uint32_t page_index = u32_div_.Div(n);
   uint32_t value = 0;
-  store_->buffer_manager()->CopyOut(
-      static_cast<PageId>(section_start_page + index / per_page),
-      (index % per_page) * sizeof(uint32_t), sizeof(uint32_t), &value,
-      stats_);
+  ReadPooled(store_->buffer_manager(), kTagBase,
+             static_cast<PageId>(section_start_page + page_index),
+             (n - page_index * u32_div_.divisor()) * sizeof(uint32_t),
+             sizeof(uint32_t), &value);
   return value;
 }
 
 std::span<const VertexId> PagedMeshAccessor::neighbors(VertexId v) {
   const SnapshotHeader& h = store_->header();
   const size_t per_page = h.U32PerPage();
+  // This call invalidates the previous span (accessor contract), so its
+  // lease loses revocation protection up front.
+  span_pool_ = nullptr;
+  span_page_ = kInvalidPageId;
 
   // CSR offsets for v and v+1; one page access when they share a page
   // (the common case), two otherwise.
   uint32_t range[2];
-  if (v / per_page == (v + 1) / per_page) {
-    store_->buffer_manager()->CopyOut(
-        static_cast<PageId>(h.adj_offsets_start_page + v / per_page),
-        (v % per_page) * sizeof(uint32_t), 2 * sizeof(uint32_t), range,
-        stats_);
+  const uint32_t offsets_page = u32_div_.Div(v);
+  if (offsets_page == u32_div_.Div(v + 1)) {
+    ReadPooled(store_->buffer_manager(), kTagBase,
+               static_cast<PageId>(h.adj_offsets_start_page + offsets_page),
+               (v - offsets_page * u32_div_.divisor()) * sizeof(uint32_t),
+               2 * sizeof(uint32_t), range);
   } else {
     range[0] = ReadU32(h.adj_offsets_start_page, v);
     range[1] = ReadU32(h.adj_offsets_start_page, v + 1);
   }
 
   const size_t degree = range[1] - range[0];
+  if (zero_copy_ && !degraded_ && degree != 0) {
+    const uint32_t entry = range[0];
+    const uint32_t entry_page = u32_div_.Div(entry);
+    const size_t within = entry - entry_page * u32_div_.divisor();
+    if (within + degree <= per_page) {
+      // The whole run lives on one adjacency page: hand out a span
+      // aliasing the leased frame bytes directly — no memcpy. The
+      // lease is revocation-protected until the next neighbors() call
+      // (position() calls never invalidate the span).
+      BufferManager* pool = store_->buffer_manager();
+      const PageId page =
+          static_cast<PageId>(h.adj_start_page + entry_page);
+      const std::byte* data = nullptr;
+      if (Lease* l = FindLease(pool, page)) {
+        l->tick = ++tick_;
+        ++stats_->lease_hits;
+        mru_ = l;
+        data = l->data;
+      } else {
+        data = AcquireLease(pool, kTagBase, page, false);
+      }
+      if (data != nullptr) {
+        span_pool_ = pool;
+        span_page_ = page;
+        return {reinterpret_cast<const VertexId*>(
+                    data + within * sizeof(uint32_t)),
+                degree};
+      }
+    }
+  }
+
   scratch_.resize(degree);
   // Copy the neighbor list page chunk by page chunk (a list rarely spans
   // more than one adjacency page).
@@ -100,10 +496,10 @@ std::span<const VertexId> PagedMeshAccessor::neighbors(VertexId v) {
     const uint64_t entry = range[0] + done;
     const size_t within = entry % per_page;
     const size_t chunk = std::min(degree - done, per_page - within);
-    store_->buffer_manager()->CopyOut(
-        static_cast<PageId>(h.adj_start_page + entry / per_page),
-        within * sizeof(uint32_t), chunk * sizeof(uint32_t),
-        scratch_.data() + done, stats_);
+    ReadPooled(store_->buffer_manager(), kTagBase,
+               static_cast<PageId>(h.adj_start_page + entry / per_page),
+               within * sizeof(uint32_t), chunk * sizeof(uint32_t),
+               scratch_.data() + done);
     done += chunk;
   }
   return scratch_;

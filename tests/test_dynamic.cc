@@ -111,11 +111,11 @@ TEST(VersionedMeshTest, PinnedEpochsAreImmutableAcrossSteps) {
   ASSERT_TRUE(versioned.dynamic());
   const auto pin0 = versioned.Pin();
   ASSERT_NE(pin0, nullptr);
-  EXPECT_EQ(pin0->info, (engine::EpochInfo{0, 0}));
+  EXPECT_EQ(pin0->info, (engine::EpochInfo{1, 0}));
   const std::vector<Vec3> epoch0_positions = pin0->positions;
 
   const engine::EpochInfo info1 = versioned.AdvanceStep();
-  EXPECT_EQ(info1, (engine::EpochInfo{1, 1}));
+  EXPECT_EQ(info1, (engine::EpochInfo{2, 1}));
   EXPECT_EQ(versioned.CurrentEpoch(), info1);
 
   // The buffer pinned before the step is bit-identical afterwards:
@@ -129,7 +129,7 @@ TEST(VersionedMeshTest, PinnedEpochsAreImmutableAcrossSteps) {
 
   // The new epoch actually moved (a random deformer displaces ~all).
   const auto pin1 = versioned.Pin();
-  ASSERT_EQ(pin1->info.epoch, 1u);
+  ASSERT_EQ(pin1->info.epoch, 2u);
   size_t moved = 0;
   for (size_t v = 0; v < pin1->positions.size(); ++v) {
     if (pin1->positions[v].x != epoch0_positions[v].x) ++moved;
@@ -253,7 +253,7 @@ void RunEpochParity(bool paged, int threads) {
       auto info = remote->Step(1);
       ASSERT_TRUE(info.ok()) << info.status().ToString();
       EXPECT_EQ(info.Value().step, step);
-      EXPECT_EQ(info.Value().epoch, step);
+      EXPECT_EQ(info.Value().epoch, step + 1);  // ids start at 1
       EXPECT_EQ(info.Value().dynamic, 1);
       EXPECT_EQ(info.Value().deformer_kind,
                 static_cast<uint8_t>(DeformerKind::kRandom));
@@ -277,7 +277,7 @@ void RunEpochParity(bool paged, int threads) {
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     // Epoch-stamped: the batch ran at exactly this step.
     EXPECT_EQ(result.Value().stats.epoch,
-              (engine::EpochInfo{step, step}));
+              (engine::EpochInfo{step + 1, step}));
     EXPECT_EQ(result.Value().results.epoch.step, step);
     ASSERT_EQ(result.Value().results.size(), expected.size());
     for (size_t q = 0; q < expected.size(); ++q) {
@@ -319,7 +319,7 @@ void RunEpochParity(bool paged, int threads) {
   auto empty = remote->ExecuteBatch({});
   ASSERT_TRUE(empty.ok()) << empty.status().ToString();
   EXPECT_EQ(empty.Value().stats.epoch,
-            (engine::EpochInfo{kSteps, kSteps}));
+            (engine::EpochInfo{kSteps + 1, kSteps}));
 
   // Over-cap step counts fail locally without killing the connection.
   auto over = remote->Step(server::kMaxStepsPerFrame + 1);
@@ -387,22 +387,23 @@ void RunRepeatableRead(bool paged) {
   ServerFixture fixture(std::move(backend));
   auto remote = MustConnect(fixture.port());
 
-  // Advance to epoch 1 and pin it ("pin what I'm seeing": field 0).
+  // Advance one step (epoch 2: ids start at 1 for the initial state)
+  // and pin it ("pin what I'm seeing": field 0).
   ASSERT_TRUE(remote->Step(1).ok());
   auto pinned = remote->PinEpoch(0);
   ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
-  EXPECT_EQ(pinned.Value().epoch, 1u);
+  EXPECT_EQ(pinned.Value().epoch, 2u);
   EXPECT_EQ(pinned.Value().step, 1u);
 
   QueryGenerator gen(mesh);
   Rng rng(0x9E9);
   const std::vector<AABB> queries = gen.MakeQueries(&rng, 10, 0.005,
                                                     0.04);
-  auto live = remote->ExecuteBatch(queries);  // epoch 1 is current
+  auto live = remote->ExecuteBatch(queries);  // epoch 2 is current
   ASSERT_TRUE(live.ok()) << live.status().ToString();
-  ASSERT_EQ(live.Value().stats.epoch, (engine::EpochInfo{1, 1}));
+  ASSERT_EQ(live.Value().stats.epoch, (engine::EpochInfo{2, 1}));
 
-  // Step far past the retention window: epoch 1 leaves memory.
+  // Step far past the retention window: epoch 2 leaves memory.
   for (uint32_t s = 1; s < kSteps; ++s) {
     ASSERT_TRUE(remote->Step(1).ok());
   }
@@ -413,9 +414,9 @@ void RunRepeatableRead(bool paged) {
 
   // Repeatable read: the pinned epoch answers bit-identically to its
   // live-epoch answer, spill + reload notwithstanding.
-  auto replay = remote->ExecuteBatch(queries, /*epoch=*/1);
+  auto replay = remote->ExecuteBatch(queries, /*epoch=*/2);
   ASSERT_TRUE(replay.ok()) << replay.status().ToString();
-  EXPECT_EQ(replay.Value().stats.epoch, (engine::EpochInfo{1, 1}));
+  EXPECT_EQ(replay.Value().stats.epoch, (engine::EpochInfo{2, 1}));
   EXPECT_EQ(replay.Value().results.epoch.step, 1u);
   ASSERT_EQ(replay.Value().results.size(), queries.size());
   for (size_t q = 0; q < queries.size(); ++q) {
@@ -426,7 +427,7 @@ void RunRepeatableRead(bool paged) {
 
   // An unpinned epoch past the history cap is a typed EPOCH_GONE; the
   // connection survives and current-epoch queries still work.
-  auto gone = remote->ExecuteBatch(queries, /*epoch=*/2);
+  auto gone = remote->ExecuteBatch(queries, /*epoch=*/3);
   ASSERT_FALSE(gone.ok());
   EXPECT_EQ(gone.status().code(), Status::Code::kNotFound)
       << gone.status().ToString();
@@ -435,7 +436,7 @@ void RunRepeatableRead(bool paged) {
   EXPECT_EQ(still_alive.Value().stats.epoch.step, kSteps);
 
   // Pinning an evicted epoch is EPOCH_GONE too.
-  auto pin_gone = remote->PinEpoch(3);
+  auto pin_gone = remote->PinEpoch(4);
   ASSERT_FALSE(pin_gone.ok());
   EXPECT_EQ(pin_gone.status().code(), Status::Code::kNotFound);
   // Unpinning an epoch this session never pinned is refused.
@@ -444,9 +445,9 @@ void RunRepeatableRead(bool paged) {
   EXPECT_EQ(not_ours.status().code(), Status::Code::kNotFound);
 
   // Releasing the pin evicts the (far out of window) epoch immediately.
-  auto released = remote->UnpinEpoch(1);
+  auto released = remote->UnpinEpoch(2);
   ASSERT_TRUE(released.ok()) << released.status().ToString();
-  auto after_release = remote->ExecuteBatch(queries, /*epoch=*/1);
+  auto after_release = remote->ExecuteBatch(queries, /*epoch=*/2);
   ASSERT_FALSE(after_release.ok());
   EXPECT_EQ(after_release.status().code(), Status::Code::kNotFound);
 
@@ -456,12 +457,12 @@ void RunRepeatableRead(bool paged) {
     auto doomed = MustConnect(fixture.port());
     auto pin2 = doomed->PinEpoch(0);
     ASSERT_TRUE(pin2.ok()) << pin2.status().ToString();
-    EXPECT_EQ(pin2.Value().epoch, kSteps);
+    EXPECT_EQ(pin2.Value().epoch, kSteps + 1);
   }  // disconnect releases the pin server-side
   for (uint32_t s = 0; s < kHistory + kWindow + 1; ++s) {
     ASSERT_TRUE(remote->Step(1).ok());
   }
-  auto dead_pin = remote->ExecuteBatch(queries, /*epoch=*/kSteps);
+  auto dead_pin = remote->ExecuteBatch(queries, /*epoch=*/kSteps + 1);
   ASSERT_FALSE(dead_pin.ok());
   EXPECT_EQ(dead_pin.status().code(), Status::Code::kNotFound)
       << "a dead session's pin must not keep its epoch alive";

@@ -459,15 +459,16 @@ void RunBoundedMemoryHistory(bool paged) {
   Rng rng(0xEB0C);
   const std::vector<AABB> queries = gen.MakeQueries(&rng, 8, 0.01, 0.05);
 
-  // Baseline: the answer at epoch 1, captured while epoch 1 is current.
+  // Baseline: the answer at step 1 (epoch 2 — ids start at 1), captured
+  // while it is current.
   backend->AdvanceStep();
-  auto pinned = backend->PinEpoch(0);  // 0 = pin current (epoch 1)
+  auto pinned = backend->PinEpoch(0);  // 0 = pin current (epoch 2)
   ASSERT_TRUE(pinned.ok());
-  ASSERT_EQ(pinned.Value().epoch, 1u);
+  ASSERT_EQ(pinned.Value().epoch, 2u);
   engine::QueryBatchResult baseline;
   PhaseStats baseline_stats;
   backend->Execute(queries, &baseline, &baseline_stats);
-  ASSERT_EQ(baseline.epoch.epoch, 1u);
+  ASSERT_EQ(baseline.epoch.epoch, 2u);
 
   // One full-overlay epoch's worth of memory, measured empirically.
   const size_t one_epoch_bytes =
@@ -492,9 +493,9 @@ void RunBoundedMemoryHistory(bool paged) {
   engine::QueryBatchResult historical;
   PhaseStats historical_stats;
   ASSERT_TRUE(backend
-                  ->ExecuteAt(1, queries, &historical, &historical_stats)
+                  ->ExecuteAt(2, queries, &historical, &historical_stats)
                   .ok());
-  EXPECT_EQ(historical.epoch.epoch, 1u);
+  EXPECT_EQ(historical.epoch.epoch, 2u);
   ASSERT_EQ(historical.size(), baseline.size());
   for (size_t q = 0; q < baseline.size(); ++q) {
     EXPECT_EQ(historical.per_query[q], baseline.per_query[q])
@@ -507,10 +508,10 @@ void RunBoundedMemoryHistory(bool paged) {
   // epoch once the history cap tightens is covered in test_dynamic's
   // wire test; here just verify release works and the epoch (still
   // inside history_epochs) remains queryable.
-  ASSERT_TRUE(backend->UnpinEpoch(1).ok());
+  ASSERT_TRUE(backend->UnpinEpoch(2).ok());
   engine::QueryBatchResult again;
   PhaseStats again_stats;
-  ASSERT_TRUE(backend->ExecuteAt(1, queries, &again, &again_stats).ok());
+  ASSERT_TRUE(backend->ExecuteAt(2, queries, &again, &again_stats).ok());
   EXPECT_EQ(again.per_query, historical.per_query);
 
   // A never-published epoch is typed NotFound (the wire's EPOCH_GONE).
@@ -568,15 +569,16 @@ TEST(EpochHistoryTest, PublicationIsAtomicUnderConcurrentPins) {
     engine::QueryBatchResult out;
     PhaseStats stats;
     backend->Execute(queries, &out, &stats);
-    // Whole-epoch observation: the stamp's two halves agree, the id
-    // never runs backwards, and the stats carry the same staleness.
-    EXPECT_EQ(out.epoch.epoch, out.epoch.step);
+    // Whole-epoch observation: the stamp's two halves agree (ids start
+    // at 1, so epoch = step + 1), the id never runs backwards, and the
+    // stats carry the same staleness.
+    EXPECT_EQ(out.epoch.epoch, out.epoch.step + 1);
     EXPECT_GE(out.epoch.epoch, last_epoch);
     EXPECT_EQ(stats.stale_steps, out.epoch.step);
     last_epoch = out.epoch.epoch;
 
     const engine::EpochInfo current = backend->CurrentEpoch();
-    EXPECT_EQ(current.epoch, current.step);
+    EXPECT_EQ(current.epoch, current.step + 1);
     EXPECT_GE(current.epoch, last_epoch);
   }
   stop.store(true, std::memory_order_release);

@@ -1,0 +1,296 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Leased page references, end to end: TryPin's non-blocking contract,
+// paged-vs-in-memory result parity with leasing active (static and
+// dynamic, 1 and 4 threads), the tiny-pool/many-thread liveness
+// guarantee under the lease discipline, and the counter semantics that
+// make "page accesses" approximate distinct-pages-touched per batch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/thread_pool.h"
+#include "mesh/generators/grid_generator.h"
+#include "mesh/mesh_io.h"
+#include "octopus/paged_executor.h"
+#include "octopus/query_executor.h"
+#include "server/versioned_backend.h"
+#include "sim/workload.h"
+#include "storage/buffer_manager.h"
+#include "storage/paged_mesh.h"
+#include "storage/snapshot.h"
+#include "test_util.h"
+
+namespace octopus {
+namespace {
+
+using server::VersionedBackend;
+using storage::BufferManager;
+using storage::PagedMeshAccessor;
+using storage::PagedMeshStore;
+using storage::PageIOStats;
+using storage::SnapshotLayout;
+using storage::SnapshotOptions;
+using testing::BruteForceRangeQuery;
+using testing::Sorted;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TetraMesh MakeBox(int n) {
+  return GenerateBoxMesh(n, n, n, AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)))
+      .MoveValue();
+}
+
+// ---------- TryPin: the only way leases are acquired ----------
+
+TEST(TryPinTest, NonBlockingAndCountsNothingOnFailure) {
+  const TetraMesh mesh = MakeBox(6);
+  const std::string path = TempPath("trypin.oct2");
+  ASSERT_TRUE(SaveSnapshot(mesh, path,
+                           SnapshotOptions{.page_bytes = 256}).ok());
+  auto header = storage::ReadSnapshotHeader(path);
+  ASSERT_TRUE(header.ok());
+  const size_t page_bytes = header.Value().page_bytes;
+  const auto num_pages =
+      static_cast<storage::PageId>(header.Value().num_pages);
+  ASSERT_GT(num_pages, 3u);
+
+  auto opened = BufferManager::Open(
+      path, page_bytes, num_pages,
+      BufferManager::Options{.pool_bytes = 2 * page_bytes});
+  ASSERT_TRUE(opened.ok());
+  BufferManager* pool = opened.Value().get();
+
+  // Fill both frames with ordinary pins.
+  PageIOStats stats;
+  ASSERT_NE(pool->Pin(0, &stats), nullptr);
+  ASSERT_NE(pool->Pin(1, &stats), nullptr);
+  const PageIOStats full = stats;
+
+  // Non-resident page, no free frame: TryPin must return null
+  // immediately and leave every counter untouched — Pin would block.
+  EXPECT_EQ(pool->TryPin(2, &stats), nullptr);
+  EXPECT_EQ(stats.page_hits, full.page_hits);
+  EXPECT_EQ(stats.page_misses, full.page_misses);
+  EXPECT_EQ(stats.page_evictions, full.page_evictions);
+
+  // A resident page is a hit even with the pool full (it adds a pin to
+  // an existing frame, not a frame).
+  const std::byte* resident = pool->TryPin(1, &stats);
+  ASSERT_NE(resident, nullptr);
+  EXPECT_EQ(stats.page_hits, full.page_hits + 1);
+  pool->Unpin(1);
+
+  // Freeing a frame lets TryPin load: priced as a miss, like Pin.
+  pool->Unpin(0);
+  const std::byte* loaded = pool->TryPin(2, &stats);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(stats.page_misses, full.page_misses + 1);
+  pool->Unpin(2);
+  pool->Unpin(1);
+  std::remove(path.c_str());
+}
+
+// ---------- Static parity: leases change costs, never results ----------
+
+/// The paged executor (leases active under a generous pool) must return
+/// bit-identical per-query vertex lists to the in-memory executor on the
+/// same mesh, at 1 and 4 threads.
+TEST(LeaseParityTest, StaticPagedMatchesInMemory1And4Threads) {
+  const TetraMesh mesh = MakeBox(9);
+  const std::string path = TempPath("lease_parity.oct2");
+  ASSERT_TRUE(SaveSnapshot(mesh, path,
+                           SnapshotOptions{.page_bytes = 512}).ok());
+  auto header = storage::ReadSnapshotHeader(path);
+  ASSERT_TRUE(header.ok());
+
+  Octopus reference;
+  reference.Build(mesh);
+
+  // A pool large enough that leases and zero-copy spans engage.
+  PagedOctopus::Options options;
+  options.pool.pool_bytes =
+      std::max<size_t>(header.Value().FileBytes() / 2, 64 * 512);
+  auto paged = PagedOctopus::Open(path, options);
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+
+  QueryGenerator gen(mesh);
+  Rng rng(0x1EA5E);
+  const std::vector<AABB> queries = gen.MakeQueries(&rng, 24, 0.001, 0.02);
+
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    engine::ThreadPool pool(threads);
+    engine::ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+
+    engine::QueryBatchResult expected;
+    reference.RangeQueryBatch(mesh, queries, &expected, pool_ptr);
+    engine::QueryBatchResult results;
+    paged.Value()->RangeQueryBatch(queries, &results, pool_ptr);
+
+    ASSERT_EQ(results.size(), expected.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(results.per_query[q], expected.per_query[q])
+          << "query " << q;
+      EXPECT_EQ(Sorted(results.per_query[q]),
+                BruteForceRangeQuery(mesh, queries[q]))
+          << "query " << q;
+    }
+  }
+  // The workload actually exercised the lease path.
+  EXPECT_GT(paged.Value()->stats().page_io.pages_leased, 0u);
+  EXPECT_GT(paged.Value()->stats().page_io.lease_hits, 0u);
+  std::remove(path.c_str());
+}
+
+// ---------- Dynamic parity: leases + overlays, in-memory oracle ----------
+
+/// Both backend kinds advance the same deformer trajectory; at every
+/// step the paged backend (leases + delta overlays) must answer
+/// bit-identically to the in-memory one.
+void RunDynamicLeaseParity(int threads) {
+  const TetraMesh mesh = MakeBox(7);
+  const std::string path = TempPath("lease_dynparity.oct2");
+  ASSERT_TRUE(SaveSnapshot(mesh, path,
+                           SnapshotOptions{.page_bytes = 1024}).ok());
+
+  DeformerSpec spec;
+  spec.kind = DeformerKind::kRandom;
+  spec.amplitude = 0.02f;
+  spec.seed = 77;
+
+  auto in_memory = VersionedBackend::FromMesh(mesh, threads);
+  ASSERT_TRUE(in_memory->BindDeformer(spec).ok());
+  auto opened =
+      VersionedBackend::OpenSnapshot(path, /*pool_bytes=*/256 * 1024,
+                                     threads);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto paged = opened.MoveValue();
+  ASSERT_TRUE(paged->BindDeformer(spec).ok());
+
+  QueryGenerator gen(mesh);
+  Rng rng(0xD1A + threads);
+  for (uint32_t step = 0; step <= 4; ++step) {
+    SCOPED_TRACE("step " + std::to_string(step));
+    if (step > 0) {
+      in_memory->AdvanceStep();
+      paged->AdvanceStep();
+    }
+    const std::vector<AABB> queries = gen.MakeQueries(&rng, 10, 0.005,
+                                                      0.03);
+    engine::QueryBatchResult expected;
+    PhaseStats expected_stats;
+    in_memory->Execute(queries, &expected, &expected_stats);
+    engine::QueryBatchResult results;
+    PhaseStats stats;
+    paged->Execute(queries, &results, &stats);
+
+    EXPECT_EQ(results.epoch, expected.epoch);
+    ASSERT_EQ(results.size(), expected.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(results.per_query[q], expected.per_query[q])
+          << "query " << q;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LeaseParityTest, DynamicPagedMatchesInMemory1Thread) {
+  RunDynamicLeaseParity(1);
+}
+
+TEST(LeaseParityTest, DynamicPagedMatchesInMemory4Threads) {
+  RunDynamicLeaseParity(4);
+}
+
+// ---------- Liveness: constrained pools degrade, never deadlock ----------
+
+/// Many threads on pools from degenerate (2 pages: lease cap 0, exact
+/// legacy behavior) to barely-roomy must all finish with exact results
+/// and never exceed the byte cap — the lease discipline's headroom rules
+/// are what make this safe.
+TEST(LeaseStressTest, TinyPoolsManyThreadsNoDeadlockCapRespected) {
+  const TetraMesh mesh = MakeBox(8);
+  const std::string path = TempPath("lease_stress.oct2");
+  ASSERT_TRUE(SaveSnapshot(mesh, path,
+                           SnapshotOptions{.page_bytes = 512}).ok());
+
+  QueryGenerator gen(mesh);
+  Rng rng(11);
+  const std::vector<AABB> queries = gen.MakeQueries(&rng, 16, 0.001, 0.02);
+
+  for (const size_t pool_pages : {size_t{2}, size_t{8}, size_t{48}}) {
+    SCOPED_TRACE("pool pages " + std::to_string(pool_pages));
+    PagedOctopus::Options options;
+    options.pool.pool_bytes = pool_pages * 512;
+    auto paged = PagedOctopus::Open(path, options);
+    ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+
+    engine::ThreadPool pool(8);
+    engine::QueryBatchResult results;
+    paged.Value()->RangeQueryBatch(queries, &results, &pool);
+
+    ASSERT_EQ(results.size(), queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(Sorted(results.per_query[q]),
+                BruteForceRangeQuery(mesh, queries[q]))
+          << "query " << q;
+    }
+    EXPECT_LE(
+        paged.Value()->store().buffer_manager()->AllocatedBytes(),
+        pool_pages * 512);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------- Counter semantics: accesses ≈ distinct pages ----------
+
+/// On a Hilbert-clustered snapshot with a warm pool, a batch's priced
+/// page accesses (hits + misses) must track the distinct pages it
+/// touched — the whole point of leasing: repeated reads of a mapped
+/// page are free (`lease_hits`), not re-priced.
+TEST(LeaseCounterTest, PageAccessesApproximateDistinctPages) {
+  const TetraMesh mesh = MakeBox(10);
+  const std::string path = TempPath("lease_counters.oct2");
+  ASSERT_TRUE(
+      SaveSnapshot(mesh, path,
+                   SnapshotOptions{.page_bytes = 512,
+                                   .layout = SnapshotLayout::kHilbert})
+          .ok());
+  auto header = storage::ReadSnapshotHeader(path);
+  ASSERT_TRUE(header.ok());
+
+  // Pool covers the snapshot: no capacity-driven lease churn.
+  PagedOctopus::Options options;
+  options.pool.pool_bytes = header.Value().FileBytes() + 4 * 512;
+  auto paged = PagedOctopus::Open(path, options);
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+
+  QueryGenerator gen(mesh);
+  Rng rng(0xC0);
+  const std::vector<AABB> queries = gen.MakeQueries(&rng, 12, 0.002, 0.02);
+
+  engine::QueryBatchResult results;
+  paged.Value()->RangeQueryBatch(queries, &results);  // cold run
+  paged.Value()->ResetStats();
+  paged.Value()->RangeQueryBatch(queries, &results);  // measured, warm
+
+  const PageIOStats& io = paged.Value()->stats().page_io;
+  ASSERT_GT(io.pages_distinct, 0u);
+  EXPECT_GT(io.lease_hits, 0u);
+  EXPECT_GT(io.pages_leased, 0u);
+  // The acceptance bound: priced accesses within 2x of exact distinct.
+  EXPECT_LE(io.PageAccesses(), 2 * io.pages_distinct)
+      << "hits=" << io.page_hits << " misses=" << io.page_misses
+      << " distinct=" << io.pages_distinct;
+  // And re-reads vastly outnumber priced accesses on a crawl workload.
+  EXPECT_GT(io.lease_hits, io.PageAccesses());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace octopus

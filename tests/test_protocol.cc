@@ -134,6 +134,9 @@ TEST(ProtocolTest, ResultRoundTrip) {
   stats.page_hits = 9;
   stats.page_misses = 10;
   stats.page_evictions = 11;
+  stats.lease_hits = 1200;
+  stats.pages_leased = 13;
+  stats.pages_distinct = 14;
   stats.batch_queries = 3;
   stats.batch_requests = 2;
   stats.epoch = engine::EpochInfo{42, 7};
@@ -166,6 +169,10 @@ TEST(ProtocolTest, ResultRoundTrip) {
   EXPECT_EQ(round.page_io.page_hits, 9u);
   EXPECT_EQ(round.page_io.page_misses, 10u);
   EXPECT_EQ(round.page_io.page_evictions, 11u);
+  // v4 lease counters round-trip through the grown stats block.
+  EXPECT_EQ(round.page_io.lease_hits, 1200u);
+  EXPECT_EQ(round.page_io.pages_leased, 13u);
+  EXPECT_EQ(round.page_io.pages_distinct, 14u);
   EXPECT_EQ(parsed_stats.batch_queries, 3u);
   EXPECT_EQ(parsed_stats.batch_requests, 2u);
   // Epoch-stamped RESULT: the id round-trips and doubles as staleness.
@@ -279,6 +286,9 @@ TEST(ProtocolTest, BatchStatsFromPhaseStatsRoundTrip) {
   stats.probed_vertices = 3;
   stats.crawl_edges = 4;
   stats.page_io.page_misses = 5;
+  stats.page_io.lease_hits = 60;
+  stats.page_io.pages_leased = 7;
+  stats.page_io.pages_distinct = 8;
   const BatchStatsWire wire = BatchStatsWire::FromPhaseStats(
       stats, 7, 2, engine::EpochInfo{12, 3});
   EXPECT_EQ(wire.batch_queries, 7u);
@@ -291,6 +301,9 @@ TEST(ProtocolTest, BatchStatsFromPhaseStatsRoundTrip) {
   EXPECT_EQ(back.probed_vertices, stats.probed_vertices);
   EXPECT_EQ(back.crawl_edges, stats.crawl_edges);
   EXPECT_EQ(back.page_io.page_misses, stats.page_io.page_misses);
+  EXPECT_EQ(back.page_io.lease_hits, stats.page_io.lease_hits);
+  EXPECT_EQ(back.page_io.pages_leased, stats.page_io.pages_leased);
+  EXPECT_EQ(back.page_io.pages_distinct, stats.page_io.pages_distinct);
   // The epoch step doubles as the index-staleness counter.
   EXPECT_EQ(back.stale_steps, 3u);
 }
@@ -311,6 +324,10 @@ TEST(ProtocolTest, StatsRoundTrip) {
   stats.page_hits = 7;
   stats.page_misses = 8;
   stats.page_evictions = 9;
+  stats.lease_hits = 10;
+  stats.pages_leased = 11;
+  stats.pages_distinct = 12;
+  stats.steps_applied = 13;
 
   Buffer buffer;
   AppendStats(&buffer, stats);
@@ -324,6 +341,10 @@ TEST(ProtocolTest, StatsRoundTrip) {
   EXPECT_EQ(parsed.batches_executed, 100u);
   EXPECT_EQ(parsed.latency_p99_nanos, 3000u);
   EXPECT_EQ(parsed.page_evictions, 9u);
+  EXPECT_EQ(parsed.lease_hits, 10u);
+  EXPECT_EQ(parsed.pages_leased, 11u);
+  EXPECT_EQ(parsed.pages_distinct, 12u);
+  EXPECT_EQ(parsed.steps_applied, 13u);
   EXPECT_DOUBLE_EQ(parsed.CoalesceFactor(), 4.94);
 }
 

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Perf smoke over bench_dynamic's summary record.
+
+Reads BENCH_dynamic.json and enforces the lease-economy guarantees:
+
+  * `access_over_distinct` — priced page accesses per distinct page
+    touched. Deterministic (pure counters), so the bound is tight: the
+    lease layer must keep a batch's accesses within 2x of the distinct
+    pages it crawls. A regression here means pages are being re-priced
+    per read again (the pin tax is back).
+  * `paged_over_in_memory_warm` — warm-pool paged wall clock over
+    in-memory wall clock. Wall-clock on a shared CI runner is noisy, so
+    the bound is deliberately loose; it exists to catch the paged path
+    falling off a cliff (an accidental per-read pin round trip shows up
+    as >3x immediately), not to police single-digit percentages.
+
+Usage: check_perf_smoke.py [path-to-BENCH_dynamic.json]
+"""
+
+import json
+import sys
+
+MAX_ACCESS_OVER_DISTINCT = 2.0
+MAX_PAGED_OVER_IN_MEMORY = 3.0
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_dynamic.json"
+    with open(path) as f:
+        records = json.load(f)
+    summaries = [r for r in records if r.get("name") == "dynamic_summary"]
+    if len(summaries) != 1:
+        print(f"FAIL: expected one dynamic_summary record in {path}, "
+              f"found {len(summaries)}")
+        return 1
+    s = summaries[0]
+
+    failures = []
+    access = s.get("access_over_distinct")
+    if access is None or access > MAX_ACCESS_OVER_DISTINCT:
+        failures.append(
+            f"access_over_distinct = {access} "
+            f"(bound {MAX_ACCESS_OVER_DISTINCT}): page accesses are no "
+            f"longer tracking distinct pages touched")
+    slowdown = s.get("paged_over_in_memory_warm")
+    if slowdown is None or slowdown > MAX_PAGED_OVER_IN_MEMORY:
+        failures.append(
+            f"paged_over_in_memory_warm = {slowdown} "
+            f"(bound {MAX_PAGED_OVER_IN_MEMORY}): warm-pool paged "
+            f"execution fell off a cliff vs in-memory")
+
+    def fmt(v):
+        return f"{v:.3f}" if isinstance(v, (int, float)) else str(v)
+
+    print(f"perf smoke ({path}):")
+    print(f"  access_over_distinct      = {fmt(access)} "
+          f"(bound {MAX_ACCESS_OVER_DISTINCT})")
+    print(f"  paged_over_in_memory_warm = {fmt(slowdown)} "
+          f"(bound {MAX_PAGED_OVER_IN_MEMORY})")
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    if not failures:
+        print("OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
