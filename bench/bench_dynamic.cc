@@ -33,6 +33,10 @@ using namespace octopus;
 struct StepRecord {
   uint32_t step = 0;
   double wall_seconds = 0.0;
+  int64_t probe_nanos = 0;
+  int64_t walk_nanos = 0;
+  int64_t crawl_nanos = 0;
+  int64_t merge_nanos = 0;
   uint64_t walk_invocations = 0;
   uint64_t walk_vertices = 0;
   uint64_t crawl_edges = 0;
@@ -89,6 +93,10 @@ RunSummary RunBackend(server::VersionedBackend* backend,
     StepRecord record;
     record.wall_seconds = wall.ElapsedSeconds();
     record.step = static_cast<uint32_t>(step);
+    record.probe_nanos = stats.probe_nanos;
+    record.walk_nanos = stats.walk_nanos;
+    record.crawl_nanos = stats.crawl_nanos;
+    record.merge_nanos = stats.merge_nanos;
     record.walk_invocations = stats.walk_invocations;
     record.walk_vertices = stats.walk_vertices;
     record.crawl_edges = stats.crawl_edges;
@@ -229,6 +237,17 @@ int main() {
       json.Field("queries_per_sec",
                  r.wall_seconds > 0 ? kQueriesPerStep / r.wall_seconds
                                     : 0.0);
+      // Per-phase split of the step's batch (merge = batch-end stats
+      // and context merging — the phase the flight recorder also
+      // reports per request).
+      json.Field("probe_seconds",
+                 static_cast<double>(r.probe_nanos) / 1e9);
+      json.Field("walk_seconds",
+                 static_cast<double>(r.walk_nanos) / 1e9);
+      json.Field("crawl_seconds",
+                 static_cast<double>(r.crawl_nanos) / 1e9);
+      json.Field("merge_seconds",
+                 static_cast<double>(r.merge_nanos) / 1e9);
       json.Field("walk_invocations",
                  static_cast<int64_t>(r.walk_invocations));
       json.Field("walk_vertices",

@@ -295,4 +295,25 @@ Result<server::ServerStatsWire> RemoteClient::FetchStats() {
   return stats;
 }
 
+Result<server::TraceDumpWire> RemoteClient::FetchTraceDump() {
+  Buffer out;
+  server::AppendTraceDumpRequest(&out);
+  OCTOPUS_RETURN_NOT_OK(SendAll(out));
+  FrameType type;
+  Buffer payload;
+  OCTOPUS_RETURN_NOT_OK(ReadFrame(&type, &payload));
+  if (type == FrameType::kError) {
+    server::ErrorFrame error;
+    OCTOPUS_RETURN_NOT_OK(server::ParseError(payload, &error));
+    return StatusFromError(error);
+  }
+  if (type != FrameType::kTraceDump) {
+    Close();
+    return Status::IOError("expected TRACE_DUMP frame");
+  }
+  server::TraceDumpWire dump;
+  OCTOPUS_RETURN_NOT_OK(server::ParseTraceDump(payload, &dump));
+  return dump;
+}
+
 }  // namespace octopus::client

@@ -77,6 +77,11 @@ class RemoteClient {
   /// Fetches the server's metrics snapshot.
   Result<server::ServerStatsWire> FetchStats();
 
+  /// Fetches the server's flight-recorder ring (oldest record first).
+  /// An empty dump is a valid answer — the server may be running with
+  /// tracing disabled (`serve --trace-ring 0`).
+  Result<server::TraceDumpWire> FetchTraceDump();
+
   /// Advances the server's simulation `steps` steps (requires a dynamic
   /// server for steps > 0) and returns the resulting epoch. The
   /// control-plane verb behind `octopus_cli step`.

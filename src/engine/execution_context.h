@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/timer.h"
 #include "mesh/types.h"
 #include "octopus/crawler.h"
 #include "octopus/phase_stats.h"
@@ -85,12 +86,17 @@ class ContextPool {
   ExecutionContext* context(size_t i) { return contexts_[i].get(); }
 
   /// Folds contexts `[0, shards)` into the aggregate, in shard order,
-  /// and resets their local stats.
+  /// and resets their local stats. The fold itself is the batch's merge
+  /// phase; its wall clock lands in the aggregate's `merge_nanos` (the
+  /// one phase timer no context can hold — it runs after the contexts
+  /// retire).
   void MergeStats(size_t shards) {
+    Timer timer;
     for (size_t i = 0; i < shards; ++i) {
       stats_.Merge(contexts_[i]->stats);
       contexts_[i]->stats.Reset();
     }
+    stats_.merge_nanos += timer.ElapsedNanos();
   }
 
   const PhaseStats& stats() const { return stats_; }

@@ -1,0 +1,220 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "obs/http_endpoint.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace octopus::obs {
+namespace {
+
+/// A scrape request is one short line + a few headers; anything larger
+/// is not a scraper.
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+/// Concurrent scraper connections; a poll-loop guest stays tiny.
+constexpr size_t kMaxConns = 8;
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string WrapResponse(const char* status_line, const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out.append(status_line);
+  out.append(
+      "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8"
+      "\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n");
+  out.append(body);
+  return out;
+}
+
+}  // namespace
+
+HttpTextEndpoint::~HttpTextEndpoint() { CloseAll(); }
+
+Status HttpTextEndpoint::Listen(const std::string& bind_address,
+                                uint16_t port, int backlog) {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket(metrics)");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad metrics bind address: " +
+                                   bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind(metrics) " + bind_address + ":" +
+                 std::to_string(port));
+  }
+  if (listen(listen_fd_, backlog) != 0) return Errno("listen(metrics)");
+  if (!SetNonBlocking(listen_fd_)) return Errno("fcntl(metrics listener)");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return Errno("getsockname(metrics)");
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+void HttpTextEndpoint::CollectPollFds(std::vector<pollfd>* fds) const {
+  if (listen_fd_ >= 0 && conns_.size() < kMaxConns) {
+    fds->push_back({listen_fd_, POLLIN, 0});
+  }
+  for (const Conn& conn : conns_) {
+    fds->push_back(
+        {conn.fd, static_cast<short>(conn.responding ? POLLOUT : POLLIN),
+         0});
+  }
+}
+
+bool HttpTextEndpoint::OwnsFd(int fd) const {
+  if (fd < 0) return false;
+  if (fd == listen_fd_) return true;
+  return std::any_of(conns_.begin(), conns_.end(),
+                     [fd](const Conn& c) { return c.fd == fd; });
+}
+
+void HttpTextEndpoint::OnReady(int fd, short revents,
+                               const Handler& handler) {
+  if (fd == listen_fd_) {
+    AcceptNew();
+    return;
+  }
+  auto it = std::find_if(conns_.begin(), conns_.end(),
+                         [fd](const Conn& c) { return c.fd == fd; });
+  if (it == conns_.end()) return;
+  Advance(&*it, revents, handler);
+  if (it->fd < 0) conns_.erase(it);
+}
+
+void HttpTextEndpoint::AcceptNew() {
+  while (conns_.size() < kMaxConns) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a per-connection failure: poll again later
+    }
+    if (!SetNonBlocking(fd)) {
+      close(fd);
+      continue;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Conn conn;
+    conn.fd = fd;
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void HttpTextEndpoint::Advance(Conn* conn, short revents,
+                               const Handler& handler) {
+  if ((revents & (POLLERR | POLLNVAL)) != 0 ||
+      ((revents & POLLHUP) != 0 && !conn->responding)) {
+    close(conn->fd);
+    conn->fd = -1;
+    return;
+  }
+  if (!conn->responding && (revents & POLLIN) != 0) {
+    char buf[2048];
+    while (true) {
+      const ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->in.append(buf, static_cast<size_t>(n));
+        if (conn->in.size() > kMaxRequestBytes) {
+          conn->out = WrapResponse("400 Bad Request",
+                                   "request too large\n");
+          conn->responding = true;
+          break;
+        }
+        if (conn->in.find("\r\n\r\n") != std::string::npos) {
+          BuildResponse(conn, handler);
+          break;
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      // EOF before a complete request: nothing to answer.
+      close(conn->fd);
+      conn->fd = -1;
+      return;
+    }
+  }
+  while (conn->responding && conn->out_offset < conn->out.size()) {
+    const ssize_t n =
+        send(conn->fd, conn->out.data() + conn->out_offset,
+             conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    break;  // peer went away mid-response
+  }
+  if (conn->responding) {
+    close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+void HttpTextEndpoint::BuildResponse(Conn* conn, const Handler& handler) {
+  conn->responding = true;
+  // Request line: METHOD SP PATH SP VERSION.
+  const size_t line_end = conn->in.find("\r\n");
+  const std::string line = conn->in.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    conn->out = WrapResponse("400 Bad Request", "malformed request line\n");
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  if (method != "GET") {
+    conn->out = WrapResponse("405 Method Not Allowed", "GET only\n");
+    return;
+  }
+  const std::string body = handler(path);
+  if (body.empty()) {
+    conn->out = WrapResponse("404 Not Found", "try /metrics\n");
+    return;
+  }
+  conn->out = WrapResponse("200 OK", body);
+}
+
+void HttpTextEndpoint::CloseAll() {
+  for (Conn& conn : conns_) {
+    if (conn.fd >= 0) close(conn.fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace octopus::obs

@@ -1,0 +1,81 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// A deliberately tiny HTTP/1.0 GET responder for text endpoints
+// (/metrics), designed to live INSIDE an existing poll loop rather than
+// own a thread: the loop asks it for pollfds each round and hands back
+// the ready ones. Non-blocking throughout, bounded per-connection
+// buffers, `Connection: close` semantics — a scraper, not a web server.
+#ifndef OCTOPUS_OBS_HTTP_ENDPOINT_H_
+#define OCTOPUS_OBS_HTTP_ENDPOINT_H_
+
+#include <poll.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace octopus::obs {
+
+/// \brief Poll-loop-embedded HTTP/1.0 GET handler.
+///
+/// Single-threaded by construction: every method runs on the owning
+/// loop's thread. The render callback runs synchronously inside
+/// `OnReady`, so it may freely read loop-thread state (the single-writer
+/// metrics) without locks.
+class HttpTextEndpoint {
+ public:
+  /// `handler(path)` returns the response body for a GET of `path`, or
+  /// an empty string for 404.
+  using Handler = std::function<std::string(const std::string& path)>;
+
+  HttpTextEndpoint() = default;
+  ~HttpTextEndpoint();
+
+  HttpTextEndpoint(const HttpTextEndpoint&) = delete;
+  HttpTextEndpoint& operator=(const HttpTextEndpoint&) = delete;
+
+  /// Binds and listens (port 0 = ephemeral; see `port()`).
+  Status Listen(const std::string& bind_address, uint16_t port,
+                int backlog = 8);
+
+  bool listening() const { return listen_fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+  /// Appends the listener and every live connection to `fds` with the
+  /// events each currently wants.
+  void CollectPollFds(std::vector<pollfd>* fds) const;
+
+  /// True if `fd` is the listener or one of this endpoint's connections.
+  bool OwnsFd(int fd) const;
+
+  /// Advances whichever connection (or the listener) `fd` is. Call for
+  /// each ready fd this endpoint owns.
+  void OnReady(int fd, short revents, const Handler& handler);
+
+  /// Closes the listener and every connection.
+  void CloseAll();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;       ///< request bytes until the blank line
+    std::string out;      ///< full response once the request parsed
+    size_t out_offset = 0;
+    bool responding = false;  ///< request parsed, writing the response
+  };
+
+  void AcceptNew();
+  void Advance(Conn* conn, short revents, const Handler& handler);
+  /// Parses the buffered request head and builds `conn->out`.
+  void BuildResponse(Conn* conn, const Handler& handler);
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::vector<Conn> conns_;
+};
+
+}  // namespace octopus::obs
+
+#endif  // OCTOPUS_OBS_HTTP_ENDPOINT_H_

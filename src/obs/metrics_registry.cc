@@ -1,0 +1,80 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "obs/metrics_registry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace octopus::obs {
+
+namespace {
+
+/// %.17g round-trips every double; trims to a compact form for the
+/// common integral values.
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::Header(const std::string& name,
+                             const std::string& help, const char* type) {
+  text_.append("# HELP ").append(name).append(" ").append(help).append(
+      "\n");
+  text_.append("# TYPE ").append(name).append(" ").append(type).append(
+      "\n");
+}
+
+void MetricsRegistry::AddCounter(const std::string& name,
+                                 const std::string& help, uint64_t value) {
+  Header(name, help, "counter");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
+  text_.append(name).append(buf);
+}
+
+void MetricsRegistry::AddCounterSeconds(const std::string& name,
+                                        const std::string& help,
+                                        double seconds) {
+  Header(name, help, "counter");
+  text_.append(name).append(" ").append(FormatDouble(seconds)).append("\n");
+}
+
+void MetricsRegistry::AddGauge(const std::string& name,
+                               const std::string& help, double value) {
+  Header(name, help, "gauge");
+  text_.append(name).append(" ").append(FormatDouble(value)).append("\n");
+}
+
+void MetricsRegistry::AddLog2NanosHistogram(
+    const std::string& name, const std::string& help,
+    std::span<const uint64_t> bucket_counts, uint64_t count,
+    double sum_seconds) {
+  Header(name, help, "histogram");
+  // Elide the empty tail: every bucket past the last occupied one would
+  // repeat the same cumulative value `+Inf` already carries.
+  size_t last = bucket_counts.size();
+  while (last > 0 && bucket_counts[last - 1] == 0) --last;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < last; ++i) {
+    cumulative += bucket_counts[i];
+    // Bucket i spans nanos in [2^i, 2^(i+1)-1] (bucket 0 from 0), so
+    // its inclusive upper bound is (2^(i+1)-1) ns.
+    const double le_seconds =
+        static_cast<double>((uint64_t{2} << i) - 1) / 1e9;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "{le=\"%.17g\"} %" PRIu64 "\n",
+                  le_seconds, cumulative);
+    text_.append(name).append("_bucket").append(buf);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{le=\"+Inf\"} %" PRIu64 "\n", count);
+  text_.append(name).append("_bucket").append(buf);
+  text_.append(name).append("_sum ").append(FormatDouble(sum_seconds))
+      .append("\n");
+  std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", count);
+  text_.append(name).append("_count").append(buf);
+}
+
+}  // namespace octopus::obs

@@ -1,0 +1,65 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Typed metric registry with a Prometheus text-exposition writer
+// (format 0.0.4: `# HELP` / `# TYPE` comment pairs, one sample line per
+// series, histograms as cumulative `_bucket{le="..."}` series plus
+// `_sum`/`_count`).
+//
+// Usage model is build-render-discard: the scrape handler constructs a
+// fresh registry, adds every metric from the live single-writer
+// sources (`ServerMetrics`, `EpochStore`, `BufferManager`, ...), and
+// renders it. No retained state means no second writer and no staleness
+// — the scrape sees exactly the counters of the moment it was served,
+// the same values an OCTP STATS frame would carry (parity-tested in
+// tests/test_obs.cc).
+#ifndef OCTOPUS_OBS_METRICS_REGISTRY_H_
+#define OCTOPUS_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace octopus::obs {
+
+/// \brief Append-only collection of typed metrics rendering to
+/// Prometheus text exposition. Metric names must match
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` (validated by tools/check_metrics.py in
+/// CI; the registry itself trusts its callers).
+class MetricsRegistry {
+ public:
+  /// Monotone counter. By convention the name ends in `_total`.
+  void AddCounter(const std::string& name, const std::string& help,
+                  uint64_t value);
+
+  /// Monotone time counter in seconds (Prometheus base unit). By
+  /// convention the name ends in `_seconds_total`.
+  void AddCounterSeconds(const std::string& name, const std::string& help,
+                         double seconds);
+
+  /// Point-in-time value.
+  void AddGauge(const std::string& name, const std::string& help,
+                double value);
+
+  /// Histogram over the repo's log2-nanosecond bucketing (see
+  /// `server::LatencyHistogram`): `bucket_counts[i]` holds samples with
+  /// `floor(log2(nanos)) == i` (bucket 0 also takes 0 ns). Rendered as
+  /// cumulative `_bucket` series with `le` upper bounds in seconds
+  /// (`(2^(i+1) - 1) ns`), trailing empty buckets elided, plus the
+  /// implicit `+Inf` bucket, `_sum` and `_count`.
+  void AddLog2NanosHistogram(const std::string& name,
+                             const std::string& help,
+                             std::span<const uint64_t> bucket_counts,
+                             uint64_t count, double sum_seconds);
+
+  /// The accumulated exposition text.
+  const std::string& ExpositionText() const { return text_; }
+
+ private:
+  void Header(const std::string& name, const std::string& help,
+              const char* type);
+
+  std::string text_;
+};
+
+}  // namespace octopus::obs
+
+#endif  // OCTOPUS_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,95 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace octopus::obs {
+
+uint64_t FlightRecorder::RecordSlow(const QueryTraceRecord& record) {
+  QueryTraceRecord stamped = record;
+  stamped.trace_id = ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(stamped);
+  } else {
+    ring_[next_] = stamped;
+    next_ = (next_ + 1) % capacity_;
+  }
+  return stamped.trace_id;
+}
+
+void FlightRecorder::Snapshot(std::vector<QueryTraceRecord>* out) const {
+  out->clear();
+  out->reserve(ring_.size());
+  // Once wrapped, `next_` points at the oldest record.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out->push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+}
+
+namespace {
+
+/// One complete ("X") trace event. Chrome's timestamps are microseconds;
+/// fractional values keep nanosecond resolution.
+void AppendEvent(std::string* out, bool* first, const char* name,
+                 uint64_t tid, int64_t ts_nanos, int64_t dur_nanos,
+                 const std::string& args_json) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,"
+                "\"tid\":%" PRIu64 ",\"ts\":%.3f,\"dur\":%.3f",
+                *first ? "" : ",\n", name, tid,
+                static_cast<double>(ts_nanos) / 1e3,
+                static_cast<double>(dur_nanos) / 1e3);
+  *first = false;
+  out->append(buf);
+  if (!args_json.empty()) {
+    out->append(",\"args\":");
+    out->append(args_json);
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<QueryTraceRecord>& records) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const QueryTraceRecord& r : records) {
+    char args[256];
+    std::snprintf(args, sizeof(args),
+                  "{\"trace_id\":%" PRIu64 ",\"request_id\":%" PRIu64
+                  ",\"epoch\":%" PRIu64 ",\"step\":%u,\"queries\":%u,"
+                  "\"batch_queries\":%u,\"batch_requests\":%u,"
+                  "\"page_accesses\":%" PRIu64 ",\"lease_hits\":%" PRIu64
+                  ",\"result_vertices\":%" PRIu64 "}",
+                  r.trace_id, r.request_id, r.epoch, r.epoch_step,
+                  r.queries, r.batch_queries, r.batch_requests,
+                  r.page_accesses, r.lease_hits, r.result_vertices);
+    AppendEvent(&out, &first, "request", r.session_id, r.arrival_nanos,
+                r.total_nanos, args);
+    // Children laid end to end under the request span: the queue wait,
+    // then the engine phases (batch-scoped — coalesced requests show
+    // identical engine spans), then serialization.
+    int64_t cursor = r.arrival_nanos;
+    const struct {
+      const char* name;
+      int64_t dur;
+    } phases[] = {
+        {"queue", r.queue_wait_nanos}, {"probe", r.probe_nanos},
+        {"walk", r.walk_nanos},        {"crawl", r.crawl_nanos},
+        {"merge", r.merge_nanos},      {"serialize", r.serialize_nanos},
+    };
+    for (const auto& phase : phases) {
+      if (phase.dur > 0) {
+        AppendEvent(&out, &first, phase.name, r.session_id, cursor,
+                    phase.dur, "");
+      }
+      cursor += phase.dur;
+    }
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+}  // namespace octopus::obs

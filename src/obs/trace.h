@@ -1,0 +1,115 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Flight recorder: a fixed-size ring of per-request trace records kept
+// by the query server. One record per executed request (the unit that
+// has an arrival time and a response frame) capturing where its wall
+// clock went — queue wait under the coalescing window, the engine's
+// per-phase split (probe / walk / crawl / merge), serialization — plus
+// the epoch it ran against and its page/lease economy.
+//
+// Single-writer like `ServerMetrics`: only the event-loop thread
+// records and snapshots, so there is no synchronization. The ring is
+// bounded; once full, each new record overwrites the oldest.
+//
+// Tracing is zero-cost when disabled, twice over:
+//   * compile time: building with -DOCTOPUS_TRACING_ENABLED=0 turns
+//     `Record` into an inlined constant-false branch (no ring, no
+//     stores);
+//   * run time: a ring of capacity 0 (serve --trace-ring 0) makes
+//     `enabled()` false and `Record` a single predictable branch —
+//     this is the knob bench_server prices (see check_perf_smoke.py).
+#ifndef OCTOPUS_OBS_TRACE_H_
+#define OCTOPUS_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef OCTOPUS_TRACING_ENABLED
+#define OCTOPUS_TRACING_ENABLED 1
+#endif
+
+namespace octopus::obs {
+
+/// \brief One executed request's timing breakdown. All nanosecond
+/// fields are on the server's monotonic clock; phase nanos are summed
+/// over the coalesced batch the request rode in (the engine executes
+/// whole batches — see `BatchStatsWire` for the shared-cost caveat).
+struct QueryTraceRecord {
+  uint64_t trace_id = 0;    ///< monotone 1-based sequence number
+  uint64_t session_id = 0;
+  uint64_t request_id = 0;
+  uint64_t epoch = 0;       ///< epoch the batch executed against
+  uint32_t epoch_step = 0;  ///< simulation step of that epoch
+  uint32_t queries = 0;     ///< queries in THIS request
+  uint32_t batch_queries = 0;   ///< queries in the coalesced batch
+  uint32_t batch_requests = 0;  ///< requests coalesced into the batch
+  int64_t arrival_nanos = 0;    ///< request frame fully parsed
+  int64_t queue_wait_nanos = 0;  ///< arrival -> batch dispatch
+  int64_t probe_nanos = 0;       ///< surface-probe phase (batch)
+  int64_t walk_nanos = 0;        ///< directed-walk phase (batch)
+  int64_t crawl_nanos = 0;       ///< crawl phase (batch)
+  int64_t merge_nanos = 0;       ///< batch-end stats/context merge
+  int64_t serialize_nanos = 0;   ///< RESULT frame encoding
+  int64_t total_nanos = 0;       ///< arrival -> response enqueued
+  uint64_t page_accesses = 0;    ///< priced page accesses (batch)
+  uint64_t lease_hits = 0;       ///< free re-reads via held leases
+  uint64_t result_vertices = 0;  ///< vertices returned to THIS request
+
+  friend bool operator==(const QueryTraceRecord&,
+                         const QueryTraceRecord&) = default;
+};
+
+/// \brief Bounded single-writer ring of `QueryTraceRecord`s.
+class FlightRecorder {
+ public:
+  /// `capacity` slots; 0 disables recording entirely.
+  explicit FlightRecorder(size_t capacity) : capacity_(capacity) {}
+
+  bool enabled() const {
+#if OCTOPUS_TRACING_ENABLED
+    return capacity_ != 0;
+#else
+    return false;
+#endif
+  }
+
+  /// Appends a record (overwriting the oldest once full), assigning and
+  /// returning its trace id. Returns 0 without touching anything when
+  /// tracing is disabled.
+  uint64_t Record(const QueryTraceRecord& record) {
+#if OCTOPUS_TRACING_ENABLED
+    if (capacity_ == 0) return 0;
+    return RecordSlow(record);
+#else
+    (void)record;
+    return 0;
+#endif
+  }
+
+  size_t capacity() const { return capacity_; }
+  /// Lifetime records written (>= size of the ring once wrapped).
+  uint64_t total_recorded() const { return total_; }
+  size_t size() const { return ring_.size(); }
+
+  /// Copies the ring into `*out`, oldest record first.
+  void Snapshot(std::vector<QueryTraceRecord>* out) const;
+
+ private:
+  uint64_t RecordSlow(const QueryTraceRecord& record);
+
+  size_t capacity_;
+  std::vector<QueryTraceRecord> ring_;  // grown lazily up to capacity_
+  size_t next_ = 0;                     // overwrite cursor once full
+  uint64_t total_ = 0;
+};
+
+/// Renders records as Chrome trace-event JSON (one "request" span per
+/// record on its session's track, with queue/probe/walk/crawl/merge/
+/// serialize child spans laid end to end). Load via chrome://tracing,
+/// Perfetto, or speedscope.
+std::string ChromeTraceJson(const std::vector<QueryTraceRecord>& records);
+
+}  // namespace octopus::obs
+
+#endif  // OCTOPUS_OBS_TRACE_H_

@@ -24,6 +24,12 @@ struct PhaseStats {
   int64_t probe_nanos = 0;
   int64_t walk_nanos = 0;
   int64_t crawl_nanos = 0;
+  /// Batch-end fold of per-context stats into the aggregate (the merge
+  /// phase of a sharded batch). Timed on the calling thread by
+  /// `engine::ContextPool::MergeStats`, so it lands in the aggregate —
+  /// not in any context-local instance — and is zero for single-query
+  /// paths that never fold.
+  int64_t merge_nanos = 0;
   size_t queries = 0;
   size_t probed_vertices = 0;   ///< surface vertices inspected
   size_t walk_invocations = 0;  ///< queries that needed a directed walk
@@ -50,6 +56,7 @@ struct PhaseStats {
     probe_nanos += other.probe_nanos;
     walk_nanos += other.walk_nanos;
     crawl_nanos += other.crawl_nanos;
+    merge_nanos += other.merge_nanos;
     queries += other.queries;
     probed_vertices += other.probed_vertices;
     walk_invocations += other.walk_invocations;
@@ -61,7 +68,7 @@ struct PhaseStats {
   }
 
   int64_t TotalNanos() const {
-    return probe_nanos + walk_nanos + crawl_nanos;
+    return probe_nanos + walk_nanos + crawl_nanos + merge_nanos;
   }
 };
 

@@ -33,7 +33,8 @@ bool BatchScheduler::ShouldExecute(int64_t now_nanos) const {
 
 void BatchScheduler::ExecuteReady(VersionedBackend* backend,
                                   std::vector<CompletedRequest>* completed,
-                                  ServerMetrics* metrics) {
+                                  ServerMetrics* metrics,
+                                  int64_t dispatch_nanos) {
   if (pending_.empty()) return;
 
   // Pack whole requests FIFO until the size cap. Always take at least
@@ -75,6 +76,7 @@ void BatchScheduler::ExecuteReady(VersionedBackend* backend,
     done.session_id = request.session_id;
     done.request_id = request.request_id;
     done.arrival_nanos = request.arrival_nanos;
+    done.dispatch_nanos = dispatch_nanos;
     done.stats = wire;
     done.per_query.reserve(request.boxes.size());
     for (size_t q = 0; q < request.boxes.size(); ++q) {

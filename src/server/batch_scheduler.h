@@ -58,6 +58,10 @@ struct CompletedRequest {
   uint64_t session_id = 0;
   uint64_t request_id = 0;
   int64_t arrival_nanos = 0;
+  /// When the batch holding this request started executing — the
+  /// request's queue wait is `dispatch_nanos - arrival_nanos` (0 for
+  /// inline paths that never queued).
+  int64_t dispatch_nanos = 0;
   BatchStatsWire stats;  ///< stats of the coalesced batch that served it
   /// The request's slice of the batch results, in request query order.
   std::vector<std::vector<VertexId>> per_query;
@@ -92,10 +96,12 @@ class BatchScheduler {
   /// carries that one epoch), and appends one `CompletedRequest` per
   /// packed request to `completed`. Updates `metrics` (batch/query
   /// counters + engine totals). Call in a loop while `ShouldExecute` —
-  /// one call executes exactly one batch.
+  /// one call executes exactly one batch. `dispatch_nanos` (the loop's
+  /// clock at the call) is stamped onto every completed request so the
+  /// flight recorder can attribute queue wait.
   void ExecuteReady(VersionedBackend* backend,
                     std::vector<CompletedRequest>* completed,
-                    ServerMetrics* metrics);
+                    ServerMetrics* metrics, int64_t dispatch_nanos = 0);
 
   /// Drops every pending request of a disconnected session so its
   /// queries are not executed for nobody.

@@ -12,6 +12,10 @@ void LatencyHistogram::Record(uint64_t nanos) {
   buckets_[bucket < kBuckets ? bucket : kBuckets - 1] += 1;
   ++count_;
   if (nanos > max_nanos_) max_nanos_ = nanos;
+  // Saturating sum: one u64-max sample must not wrap the total.
+  sum_nanos_ = sum_nanos_ + nanos < sum_nanos_
+                   ? ~uint64_t{0}
+                   : sum_nanos_ + nanos;
 }
 
 uint64_t LatencyHistogram::PercentileNanos(double p) const {
@@ -28,6 +32,10 @@ uint64_t LatencyHistogram::PercentileNanos(double p) const {
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[i];
     if (seen >= rank) {
+      // The last bucket is open-ended (everything >= 2^62 ns clamps
+      // into it), so its nominal bound would underestimate; report the
+      // observed max instead.
+      if (i == kBuckets - 1) return max_nanos_;
       const uint64_t upper = (uint64_t{2} << i) - 1;  // bucket upper bound
       return upper < max_nanos_ ? upper : max_nanos_;
     }

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "octopus/phase_stats.h"
 #include "server/protocol.h"
@@ -28,6 +29,12 @@ class LatencyHistogram {
 
   uint64_t count() const { return count_; }
   uint64_t max_nanos() const { return max_nanos_; }
+  /// Sum of every recorded sample, saturating at uint64 max (a u64-max
+  /// sample must not wrap the sum back to small values).
+  uint64_t sum_nanos() const { return sum_nanos_; }
+  /// The raw per-bucket counts (bucket i = floor(log2(nanos)) == i),
+  /// for Prometheus exposition.
+  std::span<const uint64_t> bucket_counts() const { return buckets_; }
 
   /// Upper bound of the bucket holding the `p`-quantile sample
   /// (p in [0, 1]); 0 when empty.
@@ -37,6 +44,7 @@ class LatencyHistogram {
   std::array<uint64_t, kBuckets> buckets_ = {};
   uint64_t count_ = 0;
   uint64_t max_nanos_ = 0;
+  uint64_t sum_nanos_ = 0;
 };
 
 /// \brief All server counters, single-writer (the event loop).
@@ -51,14 +59,30 @@ struct ServerMetrics {
   uint64_t batches_executed = 0;
   uint64_t results_sent = 0;
   uint64_t errors_sent = 0;
+  /// Requests whose end-to-end time crossed the slow-query threshold
+  /// (0 when the threshold is disabled).
+  uint64_t slow_queries = 0;
+  /// Total wall clock spent encoding RESULT frames.
+  int64_t serialize_nanos_total = 0;
   /// Request arrival (frame fully parsed) to response enqueue.
   LatencyHistogram request_latency;
+  /// Event-loop stall: wall clock from a poll() wakeup to the loop
+  /// re-entering poll(), recorded while sessions exist. On the
+  /// single-threaded front end this is exactly how long a freshly
+  /// readable session can wait before the loop looks at it — the
+  /// 8-client regression, as a histogram.
+  LatencyHistogram loop_stall;
   /// Engine stats accumulated across every executed batch, including
   /// page-I/O counters when the backend is paged.
   PhaseStats engine_total;
 
+  /// Saturating: a double-counted close must read as 0 active
+  /// connections, not wrap to 2^64 - k (counters are self-checked in
+  /// the STATS tests).
   uint64_t connections_active() const {
-    return connections_accepted - connections_closed;
+    return connections_closed > connections_accepted
+               ? 0
+               : connections_accepted - connections_closed;
   }
   double CoalesceFactor() const {
     return batches_executed == 0

@@ -121,6 +121,7 @@ void PutBatchStats(Buffer* out, const BatchStatsWire& s) {
   PutI64(out, s.probe_nanos);
   PutI64(out, s.walk_nanos);
   PutI64(out, s.crawl_nanos);
+  PutI64(out, s.merge_nanos);  // v5
   PutU64(out, s.queries);
   PutU64(out, s.probed_vertices);
   PutU64(out, s.walk_invocations);
@@ -143,7 +144,8 @@ void PutBatchStats(Buffer* out, const BatchStatsWire& s) {
 bool ReadBatchStats(Reader* r, BatchStatsWire* s) {
   uint32_t reserved = 0;
   return r->I64(&s->probe_nanos) && r->I64(&s->walk_nanos) &&
-         r->I64(&s->crawl_nanos) && r->U64(&s->queries) &&
+         r->I64(&s->crawl_nanos) && r->I64(&s->merge_nanos) &&
+         r->U64(&s->queries) &&
          r->U64(&s->probed_vertices) && r->U64(&s->walk_invocations) &&
          r->U64(&s->walk_vertices) && r->U64(&s->crawl_edges) &&
          r->U64(&s->result_vertices) && r->U64(&s->page_hits) &&
@@ -182,6 +184,7 @@ BatchStatsWire BatchStatsWire::FromPhaseStats(const PhaseStats& stats,
   w.probe_nanos = stats.probe_nanos;
   w.walk_nanos = stats.walk_nanos;
   w.crawl_nanos = stats.crawl_nanos;
+  w.merge_nanos = stats.merge_nanos;
   w.queries = stats.queries;
   w.probed_vertices = stats.probed_vertices;
   w.walk_invocations = stats.walk_invocations;
@@ -204,6 +207,7 @@ PhaseStats BatchStatsWire::ToPhaseStats() const {
   s.probe_nanos = probe_nanos;
   s.walk_nanos = walk_nanos;
   s.crawl_nanos = crawl_nanos;
+  s.merge_nanos = merge_nanos;
   s.queries = queries;
   s.probed_vertices = probed_vertices;
   s.walk_invocations = walk_invocations;
@@ -259,7 +263,7 @@ void AppendQueryBatch(Buffer* out, uint64_t request_id,
 
 size_t ResultPayloadBytes(
     std::span<const std::vector<VertexId>> per_query) {
-  size_t bytes = 16 + 144;  // id + count + reserved + batch-stats block
+  size_t bytes = 16 + 152;  // id + count + reserved + batch-stats block
   for (const std::vector<VertexId>& result : per_query) {
     bytes += 4 + result.size() * sizeof(VertexId);
   }
@@ -339,6 +343,40 @@ void AppendUnpinEpoch(Buffer* out, const PinEpochFrame& unpin) {
   EndFrame(out, h);
 }
 
+void AppendTraceDumpRequest(Buffer* out) {
+  const size_t h = BeginFrame(out, FrameType::kTraceDumpRequest);
+  EndFrame(out, h);
+}
+
+void AppendTraceDump(Buffer* out, const TraceDumpWire& dump) {
+  const size_t h = BeginFrame(out, FrameType::kTraceDump);
+  PutU64(out, dump.total_recorded);
+  PutU32(out, static_cast<uint32_t>(dump.records.size()));
+  PutU32(out, 0);  // reserved
+  for (const obs::QueryTraceRecord& r : dump.records) {
+    PutU64(out, r.trace_id);
+    PutU64(out, r.session_id);
+    PutU64(out, r.request_id);
+    PutU64(out, r.epoch);
+    PutU32(out, r.epoch_step);
+    PutU32(out, r.queries);
+    PutU32(out, r.batch_queries);
+    PutU32(out, r.batch_requests);
+    PutI64(out, r.arrival_nanos);
+    PutI64(out, r.queue_wait_nanos);
+    PutI64(out, r.probe_nanos);
+    PutI64(out, r.walk_nanos);
+    PutI64(out, r.crawl_nanos);
+    PutI64(out, r.merge_nanos);
+    PutI64(out, r.serialize_nanos);
+    PutI64(out, r.total_nanos);
+    PutU64(out, r.page_accesses);
+    PutU64(out, r.lease_hits);
+    PutU64(out, r.result_vertices);
+  }
+  EndFrame(out, h);
+}
+
 void AppendError(Buffer* out, const ErrorFrame& error) {
   const size_t h = BeginFrame(out, FrameType::kError);
   PutU16(out, static_cast<uint16_t>(error.code));
@@ -372,7 +410,7 @@ Result<FrameHeader> ParseFrameHeader(std::span<const uint8_t> data) {
         "-byte cap");
   }
   if (type < static_cast<uint8_t>(FrameType::kHello) ||
-      type > static_cast<uint8_t>(FrameType::kUnpinEpoch)) {
+      type > static_cast<uint8_t>(FrameType::kTraceDump)) {
     return Malformed("unknown frame type");
   }
   if (flags != 0) return Malformed("nonzero reserved flags");
@@ -511,6 +549,43 @@ Status ParsePinEpoch(std::span<const uint8_t> payload,
   if (!r.U64(&out->epoch) || !r.Done()) {
     return Malformed("PIN/UNPIN_EPOCH payload must be exactly 8 bytes");
   }
+  return Status::OK();
+}
+
+Status ParseTraceDump(std::span<const uint8_t> payload,
+                      TraceDumpWire* out) {
+  Reader r(payload);
+  uint32_t count = 0;
+  uint32_t reserved = 0;
+  if (!r.U64(&out->total_recorded) || !r.U32(&count) || !r.U32(&reserved)) {
+    return Malformed("TRACE_DUMP header truncated");
+  }
+  if (reserved != 0) {
+    return Malformed("TRACE_DUMP nonzero reserved field");
+  }
+  if (r.remaining() != static_cast<size_t>(count) * kTraceRecordBytes) {
+    return Malformed(
+        "TRACE_DUMP record count disagrees with payload size");
+  }
+  out->records.clear();
+  out->records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    obs::QueryTraceRecord rec;
+    if (!r.U64(&rec.trace_id) || !r.U64(&rec.session_id) ||
+        !r.U64(&rec.request_id) || !r.U64(&rec.epoch) ||
+        !r.U32(&rec.epoch_step) || !r.U32(&rec.queries) ||
+        !r.U32(&rec.batch_queries) || !r.U32(&rec.batch_requests) ||
+        !r.I64(&rec.arrival_nanos) || !r.I64(&rec.queue_wait_nanos) ||
+        !r.I64(&rec.probe_nanos) || !r.I64(&rec.walk_nanos) ||
+        !r.I64(&rec.crawl_nanos) || !r.I64(&rec.merge_nanos) ||
+        !r.I64(&rec.serialize_nanos) || !r.I64(&rec.total_nanos) ||
+        !r.U64(&rec.page_accesses) || !r.U64(&rec.lease_hits) ||
+        !r.U64(&rec.result_vertices)) {
+      return Malformed("TRACE_DUMP truncated record");
+    }
+    out->records.push_back(rec);
+  }
+  if (!r.Done()) return Malformed("TRACE_DUMP trailing bytes");
   return Status::OK();
 }
 

@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "engine/mesh_epoch.h"
 #include "engine/query_batch.h"
+#include "obs/trace.h"
 #include "octopus/phase_stats.h"
 
 namespace octopus::server {
@@ -37,8 +38,10 @@ inline constexpr uint32_t kProtocolMagic = 0x4F435450;
 /// `pages_distinct`) in the batch-stats block (120 → 144 bytes) and in
 /// STATS (120 → 144 bytes); published epoch ids start at 1 so the
 /// initial state stays addressable after supersession (0 remains the
-/// "current" sentinel on the wire).
-inline constexpr uint16_t kProtocolVersion = 4;
+/// "current" sentinel on the wire). v5: `merge_nanos` in the batch-stats
+/// block (144 → 152 bytes) and the TRACE_DUMP_REQUEST/TRACE_DUMP frames
+/// exporting the server's flight-recorder ring.
+inline constexpr uint16_t kProtocolVersion = 5;
 
 /// Every frame starts with this fixed-size header.
 inline constexpr size_t kFrameHeaderBytes = 8;
@@ -60,6 +63,8 @@ enum class FrameType : uint8_t {
   kEpochInfo = 9,     ///< server -> client: current epoch + deformer info
   kPinEpoch = 10,     ///< client -> server: exempt an epoch from eviction
   kUnpinEpoch = 11,   ///< client -> server: release one pin
+  kTraceDumpRequest = 12,  ///< client -> server: empty payload (v5)
+  kTraceDump = 13,    ///< server -> client: flight-recorder ring (v5)
 };
 
 /// Typed error codes carried by kError frames.
@@ -116,6 +121,10 @@ struct BatchStatsWire {
   int64_t probe_nanos = 0;
   int64_t walk_nanos = 0;
   int64_t crawl_nanos = 0;
+  /// Batch-end fold of per-shard stats into the aggregate (v5). Tiny
+  /// next to the probe/walk/crawl phases, but it is the one cost the
+  /// sharded execution model adds over a sequential sweep.
+  int64_t merge_nanos = 0;
   uint64_t queries = 0;
   uint64_t probed_vertices = 0;
   uint64_t walk_invocations = 0;
@@ -221,6 +230,18 @@ struct ErrorFrame {
   std::string message;
 };
 
+/// TRACE_DUMP payload (v5): the server's flight-recorder ring, oldest
+/// record first. `total_recorded` is the lifetime record count, so a
+/// client can report "last N of M". Empty (count 0) when tracing is
+/// disabled on the server — a valid answer, not an error.
+struct TraceDumpWire {
+  uint64_t total_recorded = 0;
+  std::vector<obs::QueryTraceRecord> records;
+};
+
+/// Fixed wire size of one `obs::QueryTraceRecord`.
+inline constexpr size_t kTraceRecordBytes = 136;
+
 // --- Encoding: appends one complete frame (header + payload) ---
 
 void AppendHello(Buffer* out, const HelloFrame& hello);
@@ -241,6 +262,8 @@ void AppendStep(Buffer* out, const StepFrame& step);
 void AppendEpochInfo(Buffer* out, const EpochInfoWire& info);
 void AppendPinEpoch(Buffer* out, const PinEpochFrame& pin);
 void AppendUnpinEpoch(Buffer* out, const PinEpochFrame& unpin);
+void AppendTraceDumpRequest(Buffer* out);
+void AppendTraceDump(Buffer* out, const TraceDumpWire& dump);
 
 // --- Decoding ---
 
@@ -272,6 +295,7 @@ Status ParseEpochInfo(std::span<const uint8_t> payload, EpochInfoWire* out);
 /// Parses either PIN_EPOCH or UNPIN_EPOCH (identical payloads; the
 /// frame type in the header distinguishes them).
 Status ParsePinEpoch(std::span<const uint8_t> payload, PinEpochFrame* out);
+Status ParseTraceDump(std::span<const uint8_t> payload, TraceDumpWire* out);
 
 }  // namespace octopus::server
 

@@ -12,8 +12,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <utility>
+
+#include "common/timer.h"
+#include "obs/metrics_registry.h"
 
 namespace octopus::server {
 namespace {
@@ -65,7 +69,8 @@ QueryServer::QueryServer(std::unique_ptr<VersionedBackend> backend,
                          ServerOptions options)
     : backend_(std::move(backend)),
       options_(std::move(options)),
-      scheduler_(options_.scheduler) {}
+      scheduler_(options_.scheduler),
+      recorder_(options_.trace_ring_slots) {}
 
 QueryServer::~QueryServer() {
   for (auto& [id, session] : sessions_) {
@@ -90,7 +95,13 @@ Status QueryServer::Start() {
   if (!SetNonBlocking(wake_fd_read_) || !SetNonBlocking(wake_fd_write_)) {
     return Errno("fcntl(wake pipe)");
   }
-  return Listen();
+  const Status listened = Listen();
+  if (!listened.ok()) return listened;
+  if (options_.metrics_port >= 0) {
+    return metrics_http_.Listen(options_.bind_address,
+                                static_cast<uint16_t>(options_.metrics_port));
+  }
+  return Status::OK();
 }
 
 Status QueryServer::Listen() {
@@ -137,6 +148,12 @@ void QueryServer::Stop() {
 Status QueryServer::Run() {
   std::vector<pollfd> fds;
   std::vector<uint64_t> fd_session;  // session id per pollfd slot
+  const obs::HttpTextEndpoint::Handler metrics_handler =
+      [this](const std::string& path) {
+        return path == "/metrics" ? RenderMetricsText() : std::string();
+      };
+  // Instant the last poll() returned; -1 before the first wakeup.
+  int64_t last_wake_nanos = -1;
 
   while (!stop_requested_.load(std::memory_order_acquire)) {
     const int64_t now = NowNanos();
@@ -166,6 +183,10 @@ Status QueryServer::Run() {
       fds.push_back({session->fd, events, 0});
       fd_session.push_back(id);
     }
+    if (metrics_http_.listening()) {
+      metrics_http_.CollectPollFds(&fds);
+      fd_session.resize(fds.size(), 0);  // not sessions; owned by the endpoint
+    }
 
     int64_t due = scheduler_.NanosUntilDue(now);
     if (!accepting && accept_retry_at_nanos_ > now) {
@@ -180,7 +201,15 @@ Status QueryServer::Run() {
       timeout_ms = static_cast<int>((due + 999'999) / 1'000'000);
     }
 
+    // Loop-stall sample: how long the previous wakeup kept the loop
+    // away from poll(). Recorded only while sessions exist — with no
+    // one connected a slow iteration stalls nobody.
+    if (last_wake_nanos >= 0 && !sessions_.empty()) {
+      metrics_.loop_stall.Record(
+          static_cast<uint64_t>(NowNanos() - last_wake_nanos));
+    }
     const int ready = poll(fds.data(), fds.size(), timeout_ms);
+    last_wake_nanos = NowNanos();
     if (ready < 0) {
       if (errno == EINTR) continue;
       return Errno("poll");
@@ -194,6 +223,8 @@ Status QueryServer::Run() {
         }
       } else if (fds[i].fd == listen_fd_ && accepting) {
         AcceptNew();
+      } else if (metrics_http_.OwnsFd(fds[i].fd)) {
+        metrics_http_.OnReady(fds[i].fd, fds[i].revents, metrics_handler);
       } else if (fd_session[i] != 0) {
         auto it = sessions_.find(fd_session[i]);
         if (it == sessions_.end()) continue;
@@ -517,6 +548,29 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
       AppendCurrentEpochInfo(session, backend_->CurrentEpoch());
       return;
     }
+    case FrameType::kTraceDumpRequest: {
+      if (!payload.empty()) {
+        metrics_.malformed_frames += 1;
+        SendError(session, ErrorCode::kMalformedFrame, 0,
+                  "TRACE_DUMP_REQUEST payload must be empty", true);
+        return;
+      }
+      TraceDumpWire dump;
+      dump.total_recorded = recorder_.total_recorded();
+      recorder_.Snapshot(&dump.records);
+      // An absurdly large ring must not produce an unsendable frame:
+      // keep the newest records that fit under the payload cap
+      // (`total_recorded` still reports the lifetime count).
+      const size_t max_records =
+          (kMaxFramePayloadBytes - 16) / kTraceRecordBytes;
+      if (dump.records.size() > max_records) {
+        dump.records.erase(
+            dump.records.begin(),
+            dump.records.end() - static_cast<ptrdiff_t>(max_records));
+      }
+      AppendTraceDump(&session->out, dump);
+      return;
+    }
     default:
       SendError(session, ErrorCode::kUnexpectedFrame, 0,
                 "frame type not valid from a client in this state", true);
@@ -558,6 +612,8 @@ void QueryServer::ExecuteHistorical(Session* session,
   done.session_id = request.session_id;
   done.request_id = request.request_id;
   done.arrival_nanos = request.arrival_nanos;
+  // Inline execution: never queued, so queue wait is by definition 0.
+  done.dispatch_nanos = request.arrival_nanos;
   done.stats = BatchStatsWire::FromPhaseStats(
       stats, static_cast<uint32_t>(request.boxes.size()), 1,
       results.epoch);
@@ -587,6 +643,7 @@ void QueryServer::DeliverResult(const CompletedRequest& done,
   // instant the pending-exemption lapses (the idle clock restarts at
   // delivery, not at the long-gone receive).
   session->last_activity_nanos = done_at;
+  int64_t serialize_nanos = 0;
   if (ResultPayloadBytes(done.per_query) > kMaxFramePayloadBytes) {
     // The result set cannot travel in one frame: answer with a typed,
     // request-scoped error instead of desynchronizing the stream.
@@ -596,19 +653,221 @@ void QueryServer::DeliverResult(const CompletedRequest& done,
                   "-byte frame cap; split the query batch",
               /*close_connection=*/false);
   } else {
+    Timer timer;
     AppendResult(&session->out, done.request_id, done.stats,
                  done.per_query);
+    serialize_nanos = timer.ElapsedNanos();
     metrics_.results_sent += 1;
   }
+  metrics_.serialize_nanos_total += serialize_nanos;
   metrics_.request_latency.Record(
       static_cast<uint64_t>(done_at - done.arrival_nanos));
+
+  // Flight recorder + slow-query promotion. The record is built only
+  // when someone will consume it; with tracing off and no threshold
+  // this is one predictable branch per delivery.
+  const int64_t total_nanos =
+      done_at - done.arrival_nanos + serialize_nanos;
+  const bool slow = options_.slow_query_nanos > 0 &&
+                    total_nanos >= options_.slow_query_nanos;
+  if (recorder_.enabled() || slow) {
+    obs::QueryTraceRecord rec;
+    rec.session_id = done.session_id;
+    rec.request_id = done.request_id;
+    rec.epoch = done.stats.epoch.epoch;
+    rec.epoch_step = done.stats.epoch.step;
+    rec.queries = static_cast<uint32_t>(done.per_query.size());
+    rec.batch_queries = done.stats.batch_queries;
+    rec.batch_requests = done.stats.batch_requests;
+    rec.arrival_nanos = done.arrival_nanos;
+    rec.queue_wait_nanos =
+        done.dispatch_nanos > done.arrival_nanos
+            ? done.dispatch_nanos - done.arrival_nanos
+            : 0;
+    rec.probe_nanos = done.stats.probe_nanos;
+    rec.walk_nanos = done.stats.walk_nanos;
+    rec.crawl_nanos = done.stats.crawl_nanos;
+    rec.merge_nanos = done.stats.merge_nanos;
+    rec.serialize_nanos = serialize_nanos;
+    rec.total_nanos = total_nanos;
+    rec.page_accesses = done.stats.page_hits + done.stats.page_misses;
+    rec.lease_hits = done.stats.lease_hits;
+    uint64_t vertices = 0;
+    for (const auto& q : done.per_query) vertices += q.size();
+    rec.result_vertices = vertices;
+    rec.trace_id = recorder_.Record(rec);
+    if (slow) {
+      metrics_.slow_queries += 1;
+      // One structured line per slow request (key=value, greppable;
+      // format documented in docs/OBSERVABILITY.md).
+      std::fprintf(
+          stderr,
+          "slow_query trace_id=%llu session=%llu request=%llu "
+          "epoch=%llu step=%u queries=%u batch_queries=%u "
+          "batch_requests=%u queue_wait_ms=%.3f probe_ms=%.3f "
+          "walk_ms=%.3f crawl_ms=%.3f merge_ms=%.3f serialize_ms=%.3f "
+          "total_ms=%.3f page_accesses=%llu lease_hits=%llu "
+          "result_vertices=%llu\n",
+          static_cast<unsigned long long>(rec.trace_id),
+          static_cast<unsigned long long>(rec.session_id),
+          static_cast<unsigned long long>(rec.request_id),
+          static_cast<unsigned long long>(rec.epoch), rec.epoch_step,
+          rec.queries, rec.batch_queries, rec.batch_requests,
+          rec.queue_wait_nanos / 1e6, rec.probe_nanos / 1e6,
+          rec.walk_nanos / 1e6, rec.crawl_nanos / 1e6,
+          rec.merge_nanos / 1e6, rec.serialize_nanos / 1e6,
+          rec.total_nanos / 1e6,
+          static_cast<unsigned long long>(rec.page_accesses),
+          static_cast<unsigned long long>(rec.lease_hits),
+          static_cast<unsigned long long>(rec.result_vertices));
+    }
+  }
+}
+
+std::string QueryServer::RenderMetricsText() const {
+  obs::MetricsRegistry reg;
+  constexpr double kNano = 1e-9;
+  const ServerMetrics& m = metrics_;
+
+  reg.AddCounter("octopus_connections_accepted_total",
+                 "TCP connections accepted.", m.connections_accepted);
+  reg.AddCounter("octopus_connections_closed_total",
+                 "TCP connections closed.", m.connections_closed);
+  reg.AddGauge("octopus_connections_active", "Currently open sessions.",
+               static_cast<double>(m.connections_active()));
+  reg.AddCounter("octopus_frames_received_total",
+                 "Complete OCTP frames parsed.", m.frames_received);
+  reg.AddCounter("octopus_malformed_frames_total",
+                 "Frames rejected as malformed.", m.malformed_frames);
+  reg.AddCounter("octopus_queries_received_total",
+                 "Range queries received in QUERY_BATCH frames.",
+                 m.queries_received);
+  reg.AddCounter("octopus_queries_rejected_total",
+                 "Queries rejected (admission control or EPOCH_GONE).",
+                 m.queries_rejected);
+  reg.AddCounter("octopus_queries_executed_total",
+                 "Queries executed by the engine.", m.queries_executed);
+  reg.AddCounter("octopus_batches_executed_total",
+                 "Coalesced engine batches executed.", m.batches_executed);
+  reg.AddCounter("octopus_results_sent_total", "RESULT frames enqueued.",
+                 m.results_sent);
+  reg.AddCounter("octopus_errors_sent_total", "ERROR frames enqueued.",
+                 m.errors_sent);
+  reg.AddCounter("octopus_slow_queries_total",
+                 "Requests over the --slow-query-ms threshold.",
+                 m.slow_queries);
+  reg.AddCounterSeconds("octopus_serialize_seconds_total",
+                        "Wall clock spent encoding RESULT frames.",
+                        static_cast<double>(m.serialize_nanos_total) * kNano);
+  reg.AddLog2NanosHistogram(
+      "octopus_request_latency_seconds",
+      "Request arrival to response enqueue.",
+      m.request_latency.bucket_counts(), m.request_latency.count(),
+      static_cast<double>(m.request_latency.sum_nanos()) * kNano);
+  reg.AddLog2NanosHistogram(
+      "octopus_loop_stall_seconds",
+      "Event-loop busy time per wakeup while sessions exist.",
+      m.loop_stall.bucket_counts(), m.loop_stall.count(),
+      static_cast<double>(m.loop_stall.sum_nanos()) * kNano);
+
+  reg.AddCounterSeconds("octopus_engine_probe_seconds_total",
+                        "Surface-probe phase wall clock.",
+                        static_cast<double>(m.engine_total.probe_nanos) *
+                            kNano);
+  reg.AddCounterSeconds("octopus_engine_walk_seconds_total",
+                        "Directed-walk phase wall clock.",
+                        static_cast<double>(m.engine_total.walk_nanos) *
+                            kNano);
+  reg.AddCounterSeconds("octopus_engine_crawl_seconds_total",
+                        "Crawl phase wall clock.",
+                        static_cast<double>(m.engine_total.crawl_nanos) *
+                            kNano);
+  reg.AddCounterSeconds("octopus_engine_merge_seconds_total",
+                        "Batch-end stats-merge wall clock.",
+                        static_cast<double>(m.engine_total.merge_nanos) *
+                            kNano);
+  const storage::PageIOStats& io = m.engine_total.page_io;
+  reg.AddCounter("octopus_page_hits_total",
+                 "Priced page accesses served by the pool.", io.page_hits);
+  reg.AddCounter("octopus_page_misses_total",
+                 "Priced page accesses that read from disk.",
+                 io.page_misses);
+  reg.AddCounter("octopus_page_evictions_total",
+                 "Pages evicted during query execution.",
+                 io.page_evictions);
+  reg.AddCounter("octopus_lease_hits_total",
+                 "Reads served free through a held lease.", io.lease_hits);
+  reg.AddCounter("octopus_pages_leased_total",
+                 "Lease acquisitions (first touch per batch).",
+                 io.pages_leased);
+  reg.AddCounter("octopus_pages_distinct_total",
+                 "Distinct pages touched across batches.",
+                 io.pages_distinct);
+  reg.AddCounter("octopus_lease_revocations_total",
+                 "Leases dropped before batch end (pool pressure).",
+                 io.lease_revocations);
+
+  const engine::EpochInfo current = backend_->CurrentEpoch();
+  reg.AddGauge("octopus_current_epoch", "Newest published epoch id.",
+               static_cast<double>(current.epoch));
+  reg.AddCounter("octopus_steps_applied_total",
+                 "Simulation steps applied by the backend.", current.step);
+  if (const EpochStore* store = backend_->epoch_store()) {
+    reg.AddGauge("octopus_epoch_resident_epochs",
+                 "Epochs held memory-resident.",
+                 static_cast<double>(store->resident_epochs()));
+    reg.AddGauge("octopus_epoch_spilled_epochs",
+                 "Epochs living only in the spill sidecar.",
+                 static_cast<double>(store->spilled_epochs()));
+    reg.AddGauge("octopus_epoch_resident_bytes",
+                 "Bytes of resident epoch position state.",
+                 static_cast<double>(store->resident_bytes()));
+    reg.AddCounter("octopus_epochs_evicted_total",
+                   "Epochs evicted past the history cap.",
+                   store->epochs_evicted());
+    reg.AddCounter("octopus_epoch_spill_pages_written_total",
+                   "Pages appended to the spill sidecar.",
+                   store->spill_pages_written());
+    reg.AddCounter("octopus_epoch_spill_bytes_written_total",
+                   "Bytes appended to the spill sidecar.",
+                   store->spill_bytes_written());
+  }
+  if (const storage::BufferManager* pool = backend_->buffer_manager()) {
+    reg.AddGauge("octopus_buffer_pool_cap_bytes",
+                 "Configured buffer-pool byte cap.",
+                 static_cast<double>(pool->PoolCapBytes()));
+    reg.AddGauge("octopus_buffer_pool_resident_bytes",
+                 "Frame bytes actually allocated (high-water).",
+                 static_cast<double>(pool->AllocatedBytes()));
+    reg.AddCounter("octopus_buffer_pool_evictions_total",
+                   "Pool-wide evictions across every consumer.",
+                   pool->TotalStats().page_evictions);
+  }
+
+  uint64_t pins = 0;
+  for (const auto& [id, session] : sessions_) {
+    for (const auto& [epoch, count] : session->pinned_epochs) {
+      pins += count;
+    }
+  }
+  reg.AddGauge("octopus_sessions_pinned_epochs",
+               "Outstanding session epoch pins.",
+               static_cast<double>(pins));
+
+  reg.AddCounter("octopus_trace_records_total",
+                 "Flight-recorder records written (lifetime).",
+                 recorder_.total_recorded());
+  reg.AddGauge("octopus_trace_ring_records",
+               "Records currently held in the flight-recorder ring.",
+               static_cast<double>(recorder_.size()));
+  return reg.ExpositionText();
 }
 
 void QueryServer::ExecuteDueBatches(int64_t now_nanos) {
   while (scheduler_.ShouldExecute(now_nanos)) {
     completed_scratch_.clear();
     scheduler_.ExecuteReady(backend_.get(), &completed_scratch_,
-                            &metrics_);
+                            &metrics_, NowNanos());
     const int64_t done_at = NowNanos();
     for (const CompletedRequest& done : completed_scratch_) {
       DeliverResult(done, done_at);
@@ -700,7 +959,7 @@ void QueryServer::DrainAndClose() {
   while (scheduler_.HasPending()) {
     completed_scratch_.clear();
     scheduler_.ExecuteReady(backend_.get(), &completed_scratch_,
-                            &metrics_);
+                            &metrics_, NowNanos());
     const int64_t done_at = NowNanos();
     for (const CompletedRequest& done : completed_scratch_) {
       DeliverResult(done, done_at);

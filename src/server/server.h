@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/http_endpoint.h"
+#include "obs/trace.h"
 #include "server/batch_scheduler.h"
 #include "server/metrics.h"
 #include "server/protocol.h"
@@ -51,6 +53,19 @@ struct ServerOptions {
   /// request pending in the scheduler are exempt (they are waiting on
   /// us, not the reverse). 0 disables.
   int64_t idle_timeout_nanos = 300'000'000'000;  // 5 min
+  /// Prometheus /metrics HTTP port on `bind_address`: -1 disables the
+  /// endpoint, 0 binds an ephemeral port (read it back via
+  /// `metrics_port()`). Served by the same event loop — OCTP STATS
+  /// stays the authoritative snapshot; /metrics renders the same
+  /// single-writer counters for scrapers.
+  int metrics_port = -1;
+  /// Flight-recorder ring capacity in records; 0 disables tracing
+  /// entirely (one predictable branch per request — see obs/trace.h).
+  size_t trace_ring_slots = 1024;
+  /// Requests whose arrival -> response-enqueue wall clock reaches this
+  /// are counted and logged as structured slow-query lines on stderr.
+  /// 0 disables.
+  int64_t slow_query_nanos = 0;
 };
 
 class QueryServer {
@@ -76,9 +91,17 @@ class QueryServer {
   /// signal handlers (one atomic store + one pipe write).
   void Stop();
 
+  /// Bound /metrics port; 0 while the endpoint is disabled.
+  uint16_t metrics_port() const { return metrics_http_.port(); }
+
   /// Loop-thread state; read it from other threads only after `Run`
   /// has returned.
   const ServerMetrics& metrics() const { return metrics_; }
+  /// The flight-recorder ring (loop-thread state, same caveat).
+  const obs::FlightRecorder& recorder() const { return recorder_; }
+  /// Renders the Prometheus exposition /metrics serves — public so
+  /// tests can assert STATS parity without an HTTP round trip.
+  std::string RenderMetricsText() const;
   /// The backend. `AdvanceStep`/`CurrentEpoch` on it are safe from a
   /// stepper thread while the loop runs (see VersionedBackend's thread
   /// model); everything else is loop-thread state.
@@ -119,6 +142,8 @@ class QueryServer {
   ServerOptions options_;
   ServerMetrics metrics_;
   BatchScheduler scheduler_;
+  obs::FlightRecorder recorder_;
+  obs::HttpTextEndpoint metrics_http_;
 
   int listen_fd_ = -1;
   int wake_fd_read_ = -1;

@@ -123,6 +123,11 @@ class VersionedBackend {
   const EpochStore* epoch_store() const { return store_.get(); }
 
   bool paged() const { return paged_ != nullptr; }
+  /// The paged backend's buffer pool (resident bytes, pin counts, I/O
+  /// totals for /metrics); null for the in-memory backend.
+  storage::BufferManager* buffer_manager() const {
+    return paged_ ? paged_->store().buffer_manager() : nullptr;
+  }
   uint64_t num_vertices() const { return num_vertices_; }
   /// Snapshot page size; 0 for the in-memory backend.
   uint32_t page_bytes() const { return page_bytes_; }

@@ -45,6 +45,11 @@ struct PageIOStats {
   size_t lease_hits = 0;      ///< reads served from an already-held lease
   size_t pages_leased = 0;    ///< lease acquisitions (first touch per batch)
   size_t pages_distinct = 0;  ///< distinct pages touched (0 if leasing off)
+  /// Leases dropped before batch end: LRU revocation under the per-
+  /// accessor lease cap, or a wholesale release when pool pressure
+  /// degrades the accessor to transient pins. Not on the wire — an
+  /// operator-facing pressure signal (/metrics), not a result property.
+  size_t lease_revocations = 0;
 
   void Reset() { *this = PageIOStats{}; }
 
@@ -55,6 +60,7 @@ struct PageIOStats {
     lease_hits += other.lease_hits;
     pages_leased += other.pages_leased;
     pages_distinct += other.pages_distinct;
+    lease_revocations += other.lease_revocations;
   }
 
   size_t PageAccesses() const { return page_hits + page_misses; }

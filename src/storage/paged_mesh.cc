@@ -234,7 +234,11 @@ const std::byte* PagedMeshAccessor::AcquireLease(BufferManager* pool,
     // leases; a speculative prefetch is simply dropped.
     if (!speculative) {
       degraded_ = true;
+      stats_->lease_revocations += count_;
       ReleaseLeases(true);
+      // Leases that survived the release (the protected span's) were
+      // not revoked after all.
+      stats_->lease_revocations -= count_;
     }
     return nullptr;
   }
@@ -255,6 +259,7 @@ void PagedMeshAccessor::InsertLease(BufferManager* pool, PageId page,
 }
 
 void PagedMeshAccessor::RevokeLRU() {
+  ++stats_->lease_revocations;
   // Revocation (and the backward-shift erase below) can move or drop any
   // slot; both MRU caches may alias one — reset them.
   mru_ = nullptr;

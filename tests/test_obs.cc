@@ -1,0 +1,290 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Unit tests of the observability layer: latency-histogram edge cases
+// (0 ns, u64-max, percentile ordering, saturating sum), the derived
+// connections-active gauge, flight-recorder ring semantics (disabled,
+// wraparound, oldest-first snapshots), the Prometheus exposition
+// writer, and the Chrome trace-event rendering. The live /metrics <->
+// OCTP STATS parity runs in test_server.cc against a real server.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "server/metrics.h"
+
+namespace octopus {
+namespace {
+
+using obs::FlightRecorder;
+using obs::MetricsRegistry;
+using obs::QueryTraceRecord;
+using server::LatencyHistogram;
+using server::ServerMetrics;
+
+constexpr uint64_t kU64Max = std::numeric_limits<uint64_t>::max();
+
+TEST(LatencyHistogramTest, ZeroNanosLandsInTheFirstBucket) {
+  LatencyHistogram h;
+  h.Record(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max_nanos(), 0u);
+  EXPECT_EQ(h.sum_nanos(), 0u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  // Every percentile of an all-zero population is zero, not garbage.
+  EXPECT_EQ(h.PercentileNanos(0.50), 0u);
+  EXPECT_EQ(h.PercentileNanos(0.99), 0u);
+  EXPECT_EQ(h.PercentileNanos(1.0), 0u);
+}
+
+TEST(LatencyHistogramTest, U64MaxLandsInTheTopBucket) {
+  LatencyHistogram h;
+  h.Record(kU64Max);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max_nanos(), kU64Max);
+  // floor(log2(u64-max)) == 63: the top bucket, no out-of-range write.
+  EXPECT_EQ(h.bucket_counts().back(), 1u);
+  // The bucket upper bound would overflow; percentiles clamp to the
+  // observed max instead.
+  EXPECT_EQ(h.PercentileNanos(0.99), kU64Max);
+}
+
+TEST(LatencyHistogramTest, SumSaturatesInsteadOfWrapping) {
+  LatencyHistogram h;
+  h.Record(kU64Max);
+  EXPECT_EQ(h.sum_nanos(), kU64Max);
+  h.Record(1);  // would wrap to 0
+  EXPECT_EQ(h.sum_nanos(), kU64Max);
+  h.Record(kU64Max);  // and stays pinned
+  EXPECT_EQ(h.sum_nanos(), kU64Max);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotoneOverMixedSamples) {
+  LatencyHistogram h;
+  // 0, then a spread over five decades, then the extremes.
+  for (uint64_t nanos : {uint64_t{0}, uint64_t{17}, uint64_t{900},
+                         uint64_t{35'000}, uint64_t{2'000'000},
+                         uint64_t{750'000'000}, kU64Max}) {
+    h.Record(nanos);
+  }
+  const uint64_t p50 = h.PercentileNanos(0.50);
+  const uint64_t p95 = h.PercentileNanos(0.95);
+  const uint64_t p99 = h.PercentileNanos(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max_nanos());
+}
+
+TEST(ServerMetricsTest, ConnectionsActiveSaturatesAtZero) {
+  ServerMetrics metrics;
+  metrics.connections_accepted = 3;
+  metrics.connections_closed = 3;
+  EXPECT_EQ(metrics.connections_active(), 0u);
+  // A double-close accounting bug must read as 0, not 2^64 - 1.
+  metrics.connections_closed = 4;
+  EXPECT_EQ(metrics.connections_active(), 0u);
+  EXPECT_EQ(metrics.ToWire().connections_active, 0u);
+  metrics.connections_accepted = 7;
+  EXPECT_EQ(metrics.connections_active(), 3u);
+}
+
+QueryTraceRecord MakeRecord(uint32_t queries) {
+  QueryTraceRecord rec;
+  rec.session_id = 5;
+  rec.request_id = 70 + queries;
+  rec.queries = queries;
+  rec.arrival_nanos = 1'000 * queries;
+  rec.total_nanos = 100;
+  return rec;
+}
+
+TEST(FlightRecorderTest, DisabledRingRecordsNothing) {
+  FlightRecorder recorder(0);
+  EXPECT_FALSE(recorder.enabled());
+  EXPECT_EQ(recorder.Record(MakeRecord(1)), 0u);
+  EXPECT_EQ(recorder.total_recorded(), 0u);
+  EXPECT_EQ(recorder.size(), 0u);
+  std::vector<QueryTraceRecord> snapshot;
+  recorder.Snapshot(&snapshot);
+  EXPECT_TRUE(snapshot.empty());
+}
+
+TEST(FlightRecorderTest, AssignsMonotone1BasedTraceIds) {
+  FlightRecorder recorder(8);
+  ASSERT_TRUE(recorder.enabled());
+  EXPECT_EQ(recorder.Record(MakeRecord(1)), 1u);
+  EXPECT_EQ(recorder.Record(MakeRecord(2)), 2u);
+  EXPECT_EQ(recorder.Record(MakeRecord(3)), 3u);
+  std::vector<QueryTraceRecord> snapshot;
+  recorder.Snapshot(&snapshot);
+  ASSERT_EQ(snapshot.size(), 3u);
+  // The ring stamps the id into the stored copy.
+  EXPECT_EQ(snapshot[0].trace_id, 1u);
+  EXPECT_EQ(snapshot[2].trace_id, 3u);
+  EXPECT_EQ(snapshot[1].queries, 2u);
+}
+
+TEST(FlightRecorderTest, WrapsOverwritingOldestAndSnapshotsInOrder) {
+  constexpr size_t kSlots = 4;
+  constexpr uint32_t kWrites = 11;  // wraps the ring 2.75 times
+  FlightRecorder recorder(kSlots);
+  for (uint32_t i = 1; i <= kWrites; ++i) {
+    recorder.Record(MakeRecord(i));
+  }
+  EXPECT_EQ(recorder.total_recorded(), uint64_t{kWrites});
+  EXPECT_EQ(recorder.size(), kSlots);
+  EXPECT_EQ(recorder.capacity(), kSlots);
+  std::vector<QueryTraceRecord> snapshot;
+  recorder.Snapshot(&snapshot);
+  ASSERT_EQ(snapshot.size(), kSlots);
+  // The survivors are exactly the newest kSlots records, oldest first.
+  for (size_t i = 0; i < kSlots; ++i) {
+    EXPECT_EQ(snapshot[i].trace_id, kWrites - kSlots + 1 + i) << i;
+    EXPECT_EQ(snapshot[i].queries, kWrites - kSlots + 1 + i) << i;
+  }
+}
+
+TEST(MetricsRegistryTest, RendersCountersGaugesAndHelpTypePairs) {
+  MetricsRegistry reg;
+  reg.AddCounter("octopus_widgets_total", "Widgets made.", 42);
+  reg.AddCounterSeconds("octopus_busy_seconds_total", "Busy time.", 1.5);
+  reg.AddGauge("octopus_temperature", "Now.", -3.25);
+  const std::string& text = reg.ExpositionText();
+  EXPECT_NE(text.find("# HELP octopus_widgets_total Widgets made.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE octopus_widgets_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\noctopus_widgets_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE octopus_busy_seconds_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\noctopus_busy_seconds_total 1.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE octopus_temperature gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\noctopus_temperature -3.25\n"), std::string::npos);
+}
+
+/// The le bound of log2 bucket `i`, rendered exactly as the registry
+/// renders it ((2^(i+1) - 1) ns in seconds, %.17g).
+std::string LeBound(int i) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g",
+                static_cast<double>((uint64_t{2} << i) - 1) / 1e9);
+  return buf;
+}
+
+TEST(MetricsRegistryTest, RendersLog2HistogramCumulativelyInSeconds) {
+  LatencyHistogram h;
+  h.Record(1);      // bucket 0: le 1 ns
+  h.Record(1);      // bucket 0 again
+  h.Record(3);      // bucket 1: le 3 ns
+  h.Record(1'500);  // bucket 10: le 2047 ns
+  MetricsRegistry reg;
+  reg.AddLog2NanosHistogram(
+      "octopus_lat_seconds", "Latency.", h.bucket_counts(), h.count(),
+      static_cast<double>(h.sum_nanos()) / 1e9);
+  const std::string& text = reg.ExpositionText();
+  EXPECT_NE(text.find("# TYPE octopus_lat_seconds histogram\n"),
+            std::string::npos);
+  // Cumulative counts at each occupied bound, in base seconds.
+  EXPECT_NE(text.find("octopus_lat_seconds_bucket{le=\"" + LeBound(0) +
+                      "\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("octopus_lat_seconds_bucket{le=\"" + LeBound(1) +
+                      "\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("octopus_lat_seconds_bucket{le=\"" + LeBound(10) +
+                      "\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("octopus_lat_seconds_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("octopus_lat_seconds_count 4\n"), std::string::npos);
+  char sum[64];
+  std::snprintf(sum, sizeof(sum), "%.17g", 1505.0 / 1e9);
+  EXPECT_NE(text.find("octopus_lat_seconds_sum " + std::string(sum) +
+                      "\n"),
+            std::string::npos);
+  // The empty tail between bucket 10 and +Inf is elided.
+  EXPECT_EQ(text.find("le=\"" + LeBound(11) + "\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EmptyHistogramRendersOnlyInfSumCount) {
+  LatencyHistogram h;
+  MetricsRegistry reg;
+  reg.AddLog2NanosHistogram("octopus_idle_seconds", "Never sampled.",
+                            h.bucket_counts(), h.count(), 0.0);
+  const std::string& text = reg.ExpositionText();
+  EXPECT_NE(text.find("octopus_idle_seconds_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("octopus_idle_seconds_count 0\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("le=\"" + LeBound(0) + "\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, RendersEveryPhaseSpanEndToEnd) {
+  QueryTraceRecord rec;
+  rec.trace_id = 9;
+  rec.session_id = 3;
+  rec.request_id = 77;
+  rec.epoch = 5;
+  rec.epoch_step = 2;
+  rec.queries = 4;
+  rec.batch_queries = 8;
+  rec.batch_requests = 2;
+  rec.arrival_nanos = 1'000'000;
+  rec.queue_wait_nanos = 1'000;
+  rec.probe_nanos = 2'000;
+  rec.walk_nanos = 3'000;
+  rec.crawl_nanos = 4'000;
+  rec.merge_nanos = 500;
+  rec.serialize_nanos = 250;
+  rec.total_nanos = 11'000;
+  rec.page_accesses = 12;
+  rec.lease_hits = 6;
+  rec.result_vertices = 345;
+
+  const std::string json = obs::ChromeTraceJson({rec});
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // The parent span sits on the session's track at the arrival time
+  // (microsecond timestamps), annotated with the record's counters.
+  EXPECT_NE(json.find("\"name\":\"request\",\"ph\":\"X\",\"pid\":1,"
+                      "\"tid\":3,\"ts\":1000.000,\"dur\":11.000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"result_vertices\":345"), std::string::npos);
+  // All six child phases appear; queue starts at arrival, probe right
+  // after it — laid end to end.
+  for (const char* name : {"\"queue\"", "\"probe\"", "\"walk\"",
+                           "\"crawl\"", "\"merge\"", "\"serialize\""}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(json.find("\"name\":\"queue\",\"ph\":\"X\",\"pid\":1,"
+                      "\"tid\":3,\"ts\":1000.000,\"dur\":1.000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"probe\",\"ph\":\"X\",\"pid\":1,"
+                      "\"tid\":3,\"ts\":1001.000,\"dur\":2.000"),
+            std::string::npos);
+}
+
+TEST(ChromeTraceTest, ElidesZeroDurationSpansAndEmptyInput) {
+  QueryTraceRecord rec;
+  rec.session_id = 1;
+  rec.total_nanos = 100;
+  rec.probe_nanos = 100;  // the only non-zero phase
+  const std::string json = obs::ChromeTraceJson({rec});
+  EXPECT_NE(json.find("\"probe\""), std::string::npos);
+  for (const char* name : {"\"queue\"", "\"walk\"", "\"crawl\"",
+                           "\"merge\"", "\"serialize\""}) {
+    EXPECT_EQ(json.find(name), std::string::npos) << name;
+  }
+  const std::string empty = obs::ChromeTraceJson({});
+  EXPECT_NE(empty.find("\"traceEvents\":[\n\n]}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace octopus

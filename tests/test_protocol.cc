@@ -374,6 +374,129 @@ TEST(ProtocolTest, ErrorRoundTrip) {
   EXPECT_STREQ(ErrorCodeName(parsed.code), "OVERLOADED");
 }
 
+obs::QueryTraceRecord MakeTraceRecord(uint64_t seed) {
+  obs::QueryTraceRecord rec;
+  rec.trace_id = seed;
+  rec.session_id = seed * 3 + 1;
+  rec.request_id = seed * 7 + 2;
+  rec.epoch = 1'000'000'000'000ull + seed;
+  rec.epoch_step = static_cast<uint32_t>(seed + 10);
+  rec.queries = static_cast<uint32_t>(seed + 1);
+  rec.batch_queries = static_cast<uint32_t>(seed + 4);
+  rec.batch_requests = static_cast<uint32_t>(seed % 3 + 1);
+  rec.arrival_nanos = static_cast<int64_t>(seed) * 1'000'000;
+  rec.queue_wait_nanos = 111 + static_cast<int64_t>(seed);
+  rec.probe_nanos = 222;
+  rec.walk_nanos = 333;
+  rec.crawl_nanos = 444;
+  rec.merge_nanos = 55;
+  rec.serialize_nanos = 66;
+  rec.total_nanos = 1231 + static_cast<int64_t>(seed);
+  rec.page_accesses = 77 + seed;
+  rec.lease_hits = 88;
+  rec.result_vertices = 99 + seed;
+  return rec;
+}
+
+TEST(ProtocolTest, TraceDumpRequestIsEmpty) {
+  Buffer buffer;
+  AppendTraceDumpRequest(&buffer);
+  const SplitFrame frame = Split(buffer);
+  EXPECT_EQ(frame.header.type, FrameType::kTraceDumpRequest);
+  EXPECT_EQ(frame.header.payload_bytes, 0u);
+}
+
+TEST(ProtocolTest, TraceDumpRoundTripBitExact) {
+  TraceDumpWire dump;
+  dump.total_recorded = 12345;
+  dump.records.push_back(MakeTraceRecord(1));
+  dump.records.push_back(MakeTraceRecord(2));
+  dump.records.push_back(MakeTraceRecord(3));
+
+  Buffer buffer;
+  AppendTraceDump(&buffer, dump);
+  const SplitFrame frame = Split(buffer);
+  EXPECT_EQ(frame.header.type, FrameType::kTraceDump);
+  // Fixed-size records: the payload length is fully determined.
+  EXPECT_EQ(frame.header.payload_bytes, 16u + 3 * kTraceRecordBytes);
+
+  TraceDumpWire parsed;
+  ASSERT_TRUE(ParseTraceDump(frame.payload, &parsed).ok());
+  EXPECT_EQ(parsed.total_recorded, 12345u);
+  ASSERT_EQ(parsed.records.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    // Defaulted operator== over every field: bit-exact round trip.
+    EXPECT_EQ(parsed.records[i], dump.records[i]) << "record " << i;
+  }
+}
+
+TEST(ProtocolTest, EmptyTraceDumpRoundTrip) {
+  // Tracing disabled on the server: a dump with zero records (and a
+  // lifetime count of zero) is a valid answer, not an error.
+  TraceDumpWire dump;
+  Buffer buffer;
+  AppendTraceDump(&buffer, dump);
+  TraceDumpWire parsed;
+  parsed.records.push_back(MakeTraceRecord(9));
+  ASSERT_TRUE(ParseTraceDump(Split(buffer).payload, &parsed).ok());
+  EXPECT_EQ(parsed.total_recorded, 0u);
+  EXPECT_TRUE(parsed.records.empty());
+}
+
+TEST(ProtocolTest, TraceDumpRejectsTruncatedPayload) {
+  TraceDumpWire dump;
+  dump.total_recorded = 2;
+  dump.records.push_back(MakeTraceRecord(1));
+  dump.records.push_back(MakeTraceRecord(2));
+  Buffer buffer;
+  AppendTraceDump(&buffer, dump);
+  const std::span<const uint8_t> payload =
+      std::span<const uint8_t>(buffer).subspan(kFrameHeaderBytes);
+  TraceDumpWire parsed;
+  // Every truncation point — through the header fields and through
+  // every record byte — must fail cleanly, never read past the end.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(ParseTraceDump(payload.first(cut), &parsed).ok())
+        << "cut at " << cut;
+  }
+  // Trailing garbage must be rejected too.
+  Buffer extended(buffer);
+  extended.push_back(0);
+  EXPECT_FALSE(ParseTraceDump(std::span<const uint8_t>(extended)
+                                  .subspan(kFrameHeaderBytes),
+                              &parsed)
+                   .ok());
+}
+
+TEST(ProtocolTest, TraceDumpRejectsCountLie) {
+  // A dump claiming 4 billion records in a small payload must fail
+  // before allocating anything.
+  TraceDumpWire dump;
+  dump.records.push_back(MakeTraceRecord(1));
+  Buffer buffer;
+  AppendTraceDump(&buffer, dump);
+  const uint32_t huge = 0xFFFFFFFF;
+  std::memcpy(buffer.data() + kFrameHeaderBytes + 8, &huge, sizeof(huge));
+  TraceDumpWire parsed;
+  EXPECT_FALSE(ParseTraceDump(std::span<const uint8_t>(buffer)
+                                  .subspan(kFrameHeaderBytes),
+                              &parsed)
+                   .ok());
+}
+
+TEST(ProtocolTest, TraceDumpRejectsNonzeroReserved) {
+  TraceDumpWire dump;
+  dump.records.push_back(MakeTraceRecord(1));
+  Buffer buffer;
+  AppendTraceDump(&buffer, dump);
+  buffer[kFrameHeaderBytes + 12] = 1;  // reserved u32 after the count
+  TraceDumpWire parsed;
+  EXPECT_FALSE(ParseTraceDump(std::span<const uint8_t>(buffer)
+                                  .subspan(kFrameHeaderBytes),
+                              &parsed)
+                   .ok());
+}
+
 // --- Malformed input ---
 
 TEST(ProtocolTest, HeaderRejectsUnknownType) {
@@ -383,12 +506,17 @@ TEST(ProtocolTest, HeaderRejectsUnknownType) {
   EXPECT_FALSE(ParseFrameHeader(buffer).ok());
   buffer[4] = 200;  // far above the known range
   EXPECT_FALSE(ParseFrameHeader(buffer).ok());
-  // The v3 frames are inside the range; one past them is not.
+  // The v3 frames are inside the range.
   buffer[4] = static_cast<uint8_t>(FrameType::kPinEpoch);
   EXPECT_TRUE(ParseFrameHeader(buffer).ok());
   buffer[4] = static_cast<uint8_t>(FrameType::kUnpinEpoch);
   EXPECT_TRUE(ParseFrameHeader(buffer).ok());
-  buffer[4] = static_cast<uint8_t>(FrameType::kUnpinEpoch) + 1;
+  // The v5 trace frames are the newest; one past them is not.
+  buffer[4] = static_cast<uint8_t>(FrameType::kTraceDumpRequest);
+  EXPECT_TRUE(ParseFrameHeader(buffer).ok());
+  buffer[4] = static_cast<uint8_t>(FrameType::kTraceDump);
+  EXPECT_TRUE(ParseFrameHeader(buffer).ok());
+  buffer[4] = static_cast<uint8_t>(FrameType::kTraceDump) + 1;
   EXPECT_FALSE(ParseFrameHeader(buffer).ok());
 }
 

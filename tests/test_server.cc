@@ -23,6 +23,7 @@
 
 #include "client/remote_client.h"
 #include "harness/bench_harness.h"
+#include "obs/trace.h"
 #include "mesh/generators/datasets.h"
 #include "mesh/generators/grid_generator.h"
 #include "mesh/mesh_io.h"
@@ -272,6 +273,17 @@ TEST(ServerIntegrationTest, EightConcurrentClientsGetTheirOwnResults) {
             stats.Value().latency_p99_nanos);
   EXPECT_EQ(stats.Value().connections_accepted,
             uint64_t{kClients} + 1);
+
+  // Counter self-checks: the accept/close pair can never underflow the
+  // derived active gauge, and every executed query was received first.
+  fixture.StopAndJoin();
+  const server::ServerMetrics& metrics = fixture.server().metrics();
+  EXPECT_GE(metrics.connections_accepted, metrics.connections_closed);
+  EXPECT_EQ(metrics.connections_active(), 0u);  // all drained
+  EXPECT_LE(metrics.queries_executed,
+            metrics.queries_received - metrics.queries_rejected);
+  EXPECT_GE(metrics.results_sent,
+            uint64_t{kClients} * kRequestsPerClient);
 }
 
 // Deterministic cross-client coalescing: with a size trigger of exactly
@@ -420,6 +432,19 @@ TEST(ServerIntegrationTest, RejectsMalformedFrames) {
     server::Buffer bytes;
     server::HelloFrame hello;
     hello.version = 999;
+    server::AppendHello(&bytes, hello);
+    const int fd = RawConnect(fixture.port());
+    SendRaw(fd, bytes);
+    ExpectErrorThenClose(fd, ErrorCode::kVersionMismatch);
+    close(fd);
+  }
+  {
+    // A previous-generation peer (v4: no trace frames, 144-byte batch
+    // stats) must be turned away at the handshake, not mid-stream.
+    SCOPED_TRACE("HELLO from a v4 peer");
+    server::Buffer bytes;
+    server::HelloFrame hello;
+    hello.version = server::kProtocolVersion - 1;
     server::AppendHello(&bytes, hello);
     const int fd = RawConnect(fixture.port());
     SendRaw(fd, bytes);
@@ -788,6 +813,219 @@ TEST(BatchSchedulerTest, AdmissionControlAndSessionDrop) {
   EXPECT_TRUE(scheduler.Enqueue(request(4, 25)));
   EXPECT_EQ(scheduler.pending_queries(), 25u);
   EXPECT_FALSE(scheduler.Enqueue(request(5, 1)));  // bound applies again
+}
+
+// --- Observability: /metrics endpoint and flight-recorder dumps ---
+
+/// One blocking HTTP/1.0 GET against the server's metrics port;
+/// returns the full response (status line + headers + body).
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = RawConnect(port);
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+/// Extracts the value of sample line `name <value>` from exposition
+/// text; -1 when the metric is absent.
+double MetricValue(const std::string& text, const std::string& name) {
+  size_t pos = 0;
+  const std::string prefix = name + " ";
+  while (pos < text.size()) {
+    const size_t end = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, end == std::string::npos ? end : end - pos);
+    if (line.compare(0, prefix.size(), prefix) == 0) {
+      return std::stod(line.substr(prefix.size()));
+    }
+    if (end == std::string::npos) break;
+    pos = end + 1;
+  }
+  return -1.0;
+}
+
+// The tentpole parity requirement: counters scraped over HTTP must be
+// exactly the numbers the authoritative OCTP STATS frame reports —
+// same single-writer state, two read paths.
+TEST(ServerIntegrationTest, MetricsEndpointMatchesOctpStats) {
+  const TetraMesh mesh = MakeBox(6);
+  ServerOptions options;
+  options.metrics_port = 0;  // ephemeral
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1), options);
+  const uint16_t metrics_port = fixture.server().metrics_port();
+  ASSERT_NE(metrics_port, 0);
+
+  auto remote = MustConnect(fixture.port());
+  QueryGenerator gen(mesh);
+  Rng rng(21);
+  for (int r = 0; r < 3; ++r) {
+    auto result =
+        remote->ExecuteBatch(gen.MakeQueries(&rng, 5, 0.01, 0.05));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+
+  // STATS first: after its reply no further OCTP frames arrive, so the
+  // scrape that follows must observe the identical counters.
+  auto stats = remote->FetchStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  const std::string response = HttpGet(metrics_port, "/metrics");
+  ASSERT_NE(response.find("HTTP/1.0 200"), std::string::npos)
+      << response.substr(0, 64);
+  ASSERT_NE(response.find("text/plain"), std::string::npos);
+  const size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = response.substr(body_at + 4);
+
+  const auto& wire = stats.Value();
+  EXPECT_EQ(MetricValue(body, "octopus_connections_accepted_total"),
+            static_cast<double>(wire.connections_accepted));
+  EXPECT_EQ(MetricValue(body, "octopus_connections_active"),
+            static_cast<double>(wire.connections_active));
+  EXPECT_EQ(MetricValue(body, "octopus_frames_received_total"),
+            static_cast<double>(wire.frames_received));
+  EXPECT_EQ(MetricValue(body, "octopus_malformed_frames_total"),
+            static_cast<double>(wire.malformed_frames));
+  EXPECT_EQ(MetricValue(body, "octopus_queries_received_total"),
+            static_cast<double>(wire.queries_received));
+  EXPECT_EQ(MetricValue(body, "octopus_queries_rejected_total"),
+            static_cast<double>(wire.queries_rejected));
+  EXPECT_EQ(MetricValue(body, "octopus_queries_executed_total"),
+            static_cast<double>(wire.queries_executed));
+  EXPECT_EQ(MetricValue(body, "octopus_batches_executed_total"),
+            static_cast<double>(wire.batches_executed));
+  EXPECT_EQ(MetricValue(body, "octopus_page_hits_total"),
+            static_cast<double>(wire.page_hits));
+  EXPECT_EQ(MetricValue(body, "octopus_page_misses_total"),
+            static_cast<double>(wire.page_misses));
+  EXPECT_EQ(MetricValue(body, "octopus_lease_hits_total"),
+            static_cast<double>(wire.lease_hits));
+  EXPECT_EQ(MetricValue(body, "octopus_steps_applied_total"),
+            static_cast<double>(wire.steps_applied));
+  // Histogram plumbing: every executed request is in the histogram.
+  EXPECT_EQ(MetricValue(body, "octopus_request_latency_seconds_count"),
+            3.0);
+  // Tracing is on by default: the ring saw every request too.
+  EXPECT_EQ(MetricValue(body, "octopus_trace_records_total"), 3.0);
+
+  // A second scrape must be monotone in every counter it repeats.
+  auto again = remote->ExecuteBatch(gen.MakeQueries(&rng, 2, 0.01, 0.05));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  const std::string response2 = HttpGet(metrics_port, "/metrics");
+  const std::string body2 =
+      response2.substr(response2.find("\r\n\r\n") + 4);
+  for (const char* counter :
+       {"octopus_queries_received_total", "octopus_frames_received_total",
+        "octopus_results_sent_total", "octopus_trace_records_total"}) {
+    EXPECT_GE(MetricValue(body2, counter), MetricValue(body, counter))
+        << counter;
+  }
+  EXPECT_EQ(MetricValue(body2, "octopus_queries_received_total"),
+            MetricValue(body, "octopus_queries_received_total") + 2);
+
+  // Unknown paths 404; the OCTP plane is untouched by scrapes.
+  const std::string missing = HttpGet(metrics_port, "/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos)
+      << missing.substr(0, 64);
+  auto final_stats = remote->FetchStats();
+  ASSERT_TRUE(final_stats.ok()) << final_stats.status().ToString();
+  EXPECT_EQ(final_stats.Value().queries_received,
+            wire.queries_received + 2);
+}
+
+// TRACE_DUMP end to end: executed requests must appear in the ring
+// with non-zero phase spans, and the CLI's Chrome-trace rendering of
+// the dump must carry those spans.
+TEST(ServerIntegrationTest, TraceDumpCapturesPhaseTimings) {
+  const TetraMesh mesh = MakeBox(6);
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1));
+  auto remote = MustConnect(fixture.port());
+
+  // A whole-mesh box guarantees probe, walk/crawl work and a non-empty
+  // result set to serialize.
+  const std::vector<AABB> queries = {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1)),
+                                     AABB(Vec3(0, 0, 0),
+                                          Vec3(0.5f, 0.5f, 0.5f))};
+  auto result = remote->ExecuteBatch(queries);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  auto dump = remote->FetchTraceDump();
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  EXPECT_EQ(dump.Value().total_recorded, 1u);
+  ASSERT_EQ(dump.Value().records.size(), 1u);
+  const obs::QueryTraceRecord& rec = dump.Value().records[0];
+  EXPECT_EQ(rec.trace_id, 1u);
+  EXPECT_EQ(rec.queries, queries.size());
+  EXPECT_EQ(rec.batch_queries, queries.size());
+  EXPECT_EQ(rec.batch_requests, 1u);
+  EXPECT_GT(rec.probe_nanos, 0);
+  EXPECT_GT(rec.crawl_nanos, 0);
+  EXPECT_GT(rec.serialize_nanos, 0);
+  EXPECT_GT(rec.total_nanos, 0);
+  EXPECT_GE(rec.queue_wait_nanos, 0);
+  EXPECT_GT(rec.result_vertices, 0u);
+  // The trace's wall clock is at least the sum of its engine phases.
+  EXPECT_GE(rec.total_nanos, rec.probe_nanos + rec.walk_nanos +
+                                 rec.crawl_nanos + rec.serialize_nanos);
+
+  // A second request lands behind the first, ids strictly ordered.
+  ASSERT_TRUE(remote->ExecuteBatch(queries).ok());
+  auto dump2 = remote->FetchTraceDump();
+  ASSERT_TRUE(dump2.ok()) << dump2.status().ToString();
+  ASSERT_EQ(dump2.Value().records.size(), 2u);
+  EXPECT_EQ(dump2.Value().records[0].trace_id, 1u);
+  EXPECT_EQ(dump2.Value().records[1].trace_id, 2u);
+  EXPECT_GE(dump2.Value().records[1].arrival_nanos,
+            dump2.Value().records[0].arrival_nanos);
+
+  // The Chrome rendering of the live dump carries the spans proved
+  // non-zero above (zero-duration spans are elided by design — the
+  // full phase-name set is unit-tested in test_obs.cc).
+  const std::string json = obs::ChromeTraceJson(dump2.Value().records);
+  for (const char* name : {"\"request\"", "\"probe\"", "\"crawl\"",
+                           "\"serialize\"", "\"traceEvents\""}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+}
+
+// serve --trace-ring 0: the dump answers empty instead of erroring,
+// and the query path is unaffected.
+TEST(ServerIntegrationTest, DisabledTracingAnswersEmptyDump) {
+  const TetraMesh mesh = MakeBox(4);
+  ServerOptions options;
+  options.trace_ring_slots = 0;
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1), options);
+  auto remote = MustConnect(fixture.port());
+  const std::vector<AABB> queries = {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))};
+  ASSERT_TRUE(remote->ExecuteBatch(queries).ok());
+  auto dump = remote->FetchTraceDump();
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  EXPECT_EQ(dump.Value().total_recorded, 0u);
+  EXPECT_TRUE(dump.Value().records.empty());
+}
+
+// --slow-query-ms: a threshold of one nanosecond classifies every
+// request as slow; the counter must say so.
+TEST(ServerIntegrationTest, SlowQueryThresholdCountsRequests) {
+  const TetraMesh mesh = MakeBox(4);
+  ServerOptions options;
+  options.slow_query_nanos = 1;
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1), options);
+  auto remote = MustConnect(fixture.port());
+  const std::vector<AABB> queries = {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))};
+  ASSERT_TRUE(remote->ExecuteBatch(queries).ok());
+  ASSERT_TRUE(remote->ExecuteBatch(queries).ok());
+  fixture.StopAndJoin();
+  EXPECT_EQ(fixture.server().metrics().slow_queries, 2u);
 }
 
 TEST(LatencyHistogramTest, PercentilesAreOrderedAndBounded) {

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus /metrics scrape from the OCTOPUS server.
+
+Checks performed on one exposition file:
+
+  * every sample line parses as `name{labels} value` with a legal
+    metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`) and a finite value;
+  * every sample is preceded by `# HELP` and `# TYPE` comments for its
+    family, and the declared type is one of counter/gauge/histogram;
+  * counter families end in `_total` (or the histogram-generated
+    `_sum`/`_count`/`_bucket` suffixes);
+  * histogram families are internally consistent: `_bucket` cumulative
+    counts are non-decreasing, the `+Inf` bucket equals `_count`;
+  * the required metric set for the query server is present (the names
+    `docs/OBSERVABILITY.md` documents).
+
+Given a second scrape taken later from the same server, additionally
+checks that every counter present in both is monotone non-decreasing.
+
+Usage: check_metrics.py scrape.txt [later_scrape.txt]
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>\S+)$")
+
+REQUIRED = [
+    "octopus_connections_accepted_total",
+    "octopus_connections_closed_total",
+    "octopus_connections_active",
+    "octopus_frames_received_total",
+    "octopus_malformed_frames_total",
+    "octopus_queries_received_total",
+    "octopus_queries_rejected_total",
+    "octopus_queries_executed_total",
+    "octopus_batches_executed_total",
+    "octopus_results_sent_total",
+    "octopus_errors_sent_total",
+    "octopus_slow_queries_total",
+    "octopus_serialize_seconds_total",
+    "octopus_request_latency_seconds",
+    "octopus_loop_stall_seconds",
+    "octopus_engine_probe_seconds_total",
+    "octopus_engine_walk_seconds_total",
+    "octopus_engine_crawl_seconds_total",
+    "octopus_engine_merge_seconds_total",
+    "octopus_page_hits_total",
+    "octopus_page_misses_total",
+    "octopus_page_evictions_total",
+    "octopus_lease_hits_total",
+    "octopus_pages_leased_total",
+    "octopus_pages_distinct_total",
+    "octopus_lease_revocations_total",
+    "octopus_current_epoch",
+    "octopus_steps_applied_total",
+    "octopus_sessions_pinned_epochs",
+    "octopus_trace_records_total",
+    "octopus_trace_ring_records",
+]
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(name: str, types: dict) -> str:
+    """Maps a sample name to its declared family (histograms declare
+    the bare name but emit suffixed samples)."""
+    if name in types:
+        return name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+
+def parse(path: str, failures: list):
+    """Returns ({sample_key: value}, {family: type})."""
+    samples = {}
+    types = {}
+    helps = set()
+    with open(path) as f:
+        lines = f.read().splitlines()
+    for i, line in enumerate(lines, 1):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not NAME_RE.match(parts[2]):
+                failures.append(f"{path}:{i}: malformed HELP: {line!r}")
+                continue
+            helps.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if (len(parts) != 4 or not NAME_RE.match(parts[2])
+                    or parts[3] not in ("counter", "gauge", "histogram")):
+                failures.append(f"{path}:{i}: malformed TYPE: {line!r}")
+                continue
+            if parts[2] not in helps:
+                failures.append(f"{path}:{i}: TYPE for {parts[2]} "
+                                f"without a preceding HELP")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            failures.append(f"{path}:{i}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            failures.append(f"{path}:{i}: bad value: {line!r}")
+            continue
+        if not math.isfinite(value):
+            failures.append(f"{path}:{i}: non-finite value: {line!r}")
+            continue
+        family = family_of(name, types)
+        if family not in types:
+            failures.append(f"{path}:{i}: sample {name} has no TYPE")
+            continue
+        if (types[family] == "counter" and family == name
+                and not name.endswith("_total")):
+            failures.append(f"{path}:{i}: counter {name} does not end "
+                            f"in _total")
+        if value < 0 and types[family] != "gauge":
+            failures.append(f"{path}:{i}: negative non-gauge: {line!r}")
+        samples[name + (m.group("labels") or "")] = value
+    return samples, types
+
+
+def check_histograms(path, samples, types, failures):
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = []  # (le, cumulative) in exposition order
+        for key, value in samples.items():
+            if key.startswith(family + "_bucket{le=\""):
+                le = key[len(family) + 12:key.rindex("\"")]
+                buckets.append((le, value))
+        count = samples.get(family + "_count")
+        if count is None or samples.get(family + "_sum") is None:
+            failures.append(f"{path}: histogram {family} missing "
+                            f"_sum/_count")
+            continue
+        if not buckets or buckets[-1][0] != "+Inf":
+            failures.append(f"{path}: histogram {family} missing the "
+                            f"+Inf bucket")
+            continue
+        if buckets[-1][1] != count:
+            failures.append(f"{path}: histogram {family}: +Inf bucket "
+                            f"{buckets[-1][1]} != _count {count}")
+        cumulative = [v for _, v in buckets]
+        if cumulative != sorted(cumulative):
+            failures.append(f"{path}: histogram {family}: bucket counts "
+                            f"are not cumulative")
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    failures = []
+    samples, types = parse(sys.argv[1], failures)
+    check_histograms(sys.argv[1], samples, types, failures)
+    for name in REQUIRED:
+        if name not in types:
+            failures.append(f"{sys.argv[1]}: required metric {name} "
+                            f"is missing")
+
+    if len(sys.argv) > 2:
+        later, later_types = parse(sys.argv[2], failures)
+        check_histograms(sys.argv[2], later, later_types, failures)
+        for key, value in samples.items():
+            family = family_of(key.split("{")[0], types)
+            if types.get(family) == "gauge":
+                continue
+            if key in later and later[key] < value:
+                failures.append(
+                    f"counter {key} went backwards between scrapes: "
+                    f"{value} -> {later[key]}")
+
+    print(f"check_metrics: {len(samples)} samples, "
+          f"{len(types)} families, "
+          f"{len([t for t in types.values() if t == 'histogram'])} "
+          f"histograms")
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    if not failures:
+        print("OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

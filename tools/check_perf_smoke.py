@@ -14,7 +14,17 @@ Reads BENCH_dynamic.json and enforces the lease-economy guarantees:
     falling off a cliff (an accidental per-read pin round trip shows up
     as >3x immediately), not to police single-digit percentages.
 
-Usage: check_perf_smoke.py [path-to-BENCH_dynamic.json]
+When also given BENCH_server.json, additionally enforces:
+
+  * `tracing_overhead` — warm paged loopback wall clock with the
+    flight-recorder ring on over the same run with it off (best-of-3
+    interleaved single-client runs, from bench_server's server_summary
+    record). Tracing is
+    one 136-byte record append per request behind a predictable branch;
+    it must stay within 5% of free or it is not a flight recorder any
+    more.
+
+Usage: check_perf_smoke.py [BENCH_dynamic.json] [BENCH_server.json]
 """
 
 import json
@@ -22,10 +32,30 @@ import sys
 
 MAX_ACCESS_OVER_DISTINCT = 2.0
 MAX_PAGED_OVER_IN_MEMORY = 3.0
+MAX_TRACING_OVERHEAD = 1.05
+
+
+def check_server(path: str, failures: list) -> None:
+    with open(path) as f:
+        records = json.load(f)
+    summaries = [r for r in records if r.get("name") == "server_summary"]
+    if len(summaries) != 1:
+        failures.append(f"expected one server_summary record in {path}, "
+                        f"found {len(summaries)}")
+        return
+    overhead = summaries[0].get("tracing_overhead")
+    print(f"  tracing_overhead          = "
+          f"{overhead if overhead is None else format(overhead, '.3f')} "
+          f"(bound {MAX_TRACING_OVERHEAD})")
+    if overhead is None or overhead > MAX_TRACING_OVERHEAD:
+        failures.append(
+            f"tracing_overhead = {overhead} (bound {MAX_TRACING_OVERHEAD}):"
+            f" the flight-recorder ring is no longer effectively free")
 
 
 def main() -> int:
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_dynamic.json"
+    server_path = sys.argv[2] if len(sys.argv) > 2 else None
     with open(path) as f:
         records = json.load(f)
     summaries = [r for r in records if r.get("name") == "dynamic_summary"]
@@ -57,6 +87,8 @@ def main() -> int:
           f"(bound {MAX_ACCESS_OVER_DISTINCT})")
     print(f"  paged_over_in_memory_warm = {fmt(slowdown)} "
           f"(bound {MAX_PAGED_OVER_IN_MEMORY})")
+    if server_path is not None:
+        check_server(server_path, failures)
     for msg in failures:
         print(f"FAIL: {msg}")
     if not failures:

@@ -30,6 +30,9 @@
 //   octopus_cli step <host:port> [n]
 //       advances a dynamic server n steps (default 1; 0 = just report
 //       the current epoch)
+//   octopus_cli trace dump <host:port> [--out FILE]
+//       exports a serving instance's flight-recorder ring as Chrome
+//       trace-event JSON (chrome://tracing, Perfetto, speedscope)
 #include <unistd.h>
 
 #include <algorithm>
@@ -53,6 +56,7 @@
 #include "mesh/generators/datasets.h"
 #include "mesh/mesh_io.h"
 #include "mesh/mesh_stats.h"
+#include "obs/trace.h"
 #include "octopus/paged_executor.h"
 #include "octopus/query_executor.h"
 #include "server/server.h"
@@ -93,6 +97,8 @@ void PrintUsage(std::FILE* out) {
       "[--idle-timeout-s N]\n"
       "              [--retention-epochs N] [--retention-bytes N] "
       "[--history-epochs N] [--spill-path P]\n"
+      "              [--metrics-port N] [--trace-ring N] "
+      "[--slow-query-ms N]\n"
       "      runs the OCTP query service (port 0 = ephemeral, printed "
       "on stdout); with --paged,\n"
       "      <mesh> is an .oct2 snapshot served out of core. --deform "
@@ -107,7 +113,14 @@ void PrintUsage(std::FILE* out) {
       "history; older epochs\n"
       "      spill to --spill-path (default <input>.<pid>.oct2d) and "
       "reload "
-      "on demand\n"
+      "on demand.\n"
+      "      --metrics-port N serves Prometheus text exposition at "
+      "http://<bind>:N/metrics\n"
+      "      (0 = ephemeral, printed on stdout); --trace-ring N sizes "
+      "the flight-recorder\n"
+      "      ring in records (default 1024, 0 = tracing off); "
+      "--slow-query-ms N logs requests\n"
+      "      slower than N ms as structured stderr lines (0 = off)\n"
       "  octopus_cli query --remote <host:port> <minx> <miny> <minz> "
       "<maxx> <maxy> <maxz>\n"
       "              [--epoch N] [--pin]\n"
@@ -118,6 +131,11 @@ void PrintUsage(std::FILE* out) {
       "  octopus_cli step <host:port> [n]\n"
       "      advances a dynamic server n steps (default 1; 0 = report "
       "the current epoch)\n"
+      "  octopus_cli trace dump <host:port> [--out FILE]\n"
+      "      exports the server's flight-recorder ring as Chrome "
+      "trace-event JSON\n"
+      "      (stdout by default; load in chrome://tracing, Perfetto or "
+      "speedscope)\n"
       "  octopus_cli --version\n");
 }
 
@@ -677,6 +695,34 @@ int CmdServe(int argc, char** argv) {
       long n = 0;
       if (!ParsePositiveInt(argv[++i], 1 << 30, &n)) return Usage();
       options.scheduler.max_pending_queries = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--metrics-port") == 0 &&
+               i + 1 < argc) {
+      // Like --port: 0 means "ephemeral", so strict parse.
+      char* end = nullptr;
+      const long port = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || port < 0 || port > 65535) {
+        return Usage();
+      }
+      options.metrics_port = static_cast<int>(port);
+    } else if (std::strcmp(argv[i], "--trace-ring") == 0 && i + 1 < argc) {
+      // 0 is the "tracing off" knob, so strict parse again. Cap at 2^20
+      // records (136 MiB of ring) — far past useful, well short of silly.
+      char* end = nullptr;
+      const long slots = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || slots < 0 ||
+          slots > (1 << 20)) {
+        return Usage();
+      }
+      options.trace_ring_slots = static_cast<size_t>(slots);
+    } else if (std::strcmp(argv[i], "--slow-query-ms") == 0 &&
+               i + 1 < argc) {
+      char* end = nullptr;
+      const long long ms = std::strtoll(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || ms < 0 ||
+          ms > 3'600'000) {
+        return Usage();
+      }
+      options.slow_query_nanos = ms * 1'000'000;
     } else {
       return Usage();
     }
@@ -753,6 +799,10 @@ int CmdServe(int argc, char** argv) {
                   ? DeformerKindName(deform.kind)
                   : "",
               srv.port());
+  if (options.metrics_port >= 0) {
+    std::printf("metrics: http://%s:%u/metrics\n",
+                options.bind_address.c_str(), srv.metrics_port());
+  }
   std::fflush(stdout);
 
   // The SIMULATE side: a stepper thread advancing the epoch while the
@@ -838,6 +888,58 @@ int CmdStep(int argc, char** argv) {
   return 0;
 }
 
+int CmdTrace(int argc, char** argv) {
+  // octopus_cli trace dump <host:port> [--out FILE]
+  if (argc < 4 || std::strcmp(argv[2], "dump") != 0) return Usage();
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(argv[3], &host, &port)) return Usage();
+  const char* out_path = nullptr;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  auto connected = client::RemoteClient::Connect(host, port);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.status().ToString().c_str());
+    return 1;
+  }
+  auto dump = connected.Value()->FetchTraceDump();
+  if (!dump.ok()) {
+    std::fprintf(stderr, "%s\n", dump.status().ToString().c_str());
+    return 1;
+  }
+  const std::string json = obs::ChromeTraceJson(dump.Value().records);
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "wb");
+    if (f == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), f) != json.size() ||
+        std::fclose(f) != 0) {
+      if (f != nullptr) std::fclose(f);
+      std::fprintf(stderr, "failed to write %s\n", out_path);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "wrote %zu trace record(s) (of %llu recorded) to %s\n",
+                 dump.Value().records.size(),
+                 static_cast<unsigned long long>(
+                     dump.Value().total_recorded),
+                 out_path);
+  } else {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    std::fputc('\n', stdout);
+  }
+  if (dump.Value().records.empty()) {
+    std::fprintf(stderr,
+                 "note: the server returned no trace records (tracing "
+                 "may be disabled: serve --trace-ring 0)\n");
+  }
+  return 0;
+}
+
 int CmdExport(int argc, char** argv) {
   if (argc < 4) return Usage();
   auto mesh = LoadMesh(argv[2]);
@@ -879,5 +981,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "bench") == 0) return CmdBench(argc, argv);
   if (std::strcmp(argv[1], "serve") == 0) return CmdServe(argc, argv);
   if (std::strcmp(argv[1], "step") == 0) return CmdStep(argc, argv);
+  if (std::strcmp(argv[1], "trace") == 0) return CmdTrace(argc, argv);
   return Usage();
 }
