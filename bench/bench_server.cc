@@ -41,12 +41,17 @@ struct BenchConfig {
   /// configs run with tracing OFF so their numbers stay comparable to
   /// pre-observability baselines; the `_traced` config prices the ring.
   size_t trace_ring = 0;
+  /// Event-journal ring slots; 0 = journal disabled. Priced together
+  /// with tracing in the `_traced` config and the overhead ratio, so
+  /// check_perf_smoke.py's 1.05x bound covers both observability paths.
+  size_t journal_slots = 0;
 };
 
 struct BenchOutcome {
   double wall_seconds = 0.0;
   server::ServerMetrics metrics;
   uint64_t trace_records = 0;
+  uint64_t journal_events = 0;
   bool parity_ok = true;
 };
 
@@ -72,6 +77,9 @@ BenchOutcome RunConfig(const BenchConfig& config, const TetraMesh& mesh,
   options.bind_address = "127.0.0.1";
   options.port = 0;
   options.trace_ring_slots = config.trace_ring;
+  // Declared before `srv` (journal must outlive the server using it).
+  obs::EventJournal journal(config.journal_slots);
+  if (journal.enabled()) options.journal = &journal;
   server::QueryServer srv(std::move(backend), options);
   const Status started = srv.Start();
   if (!started.ok()) {
@@ -146,6 +154,7 @@ BenchOutcome RunConfig(const BenchConfig& config, const TetraMesh& mesh,
   server_thread.join();
   outcome.metrics = srv.metrics();
   outcome.trace_records = srv.recorder().total_recorded();
+  outcome.journal_events = journal.total_emitted();
   for (const char ok : client_ok) outcome.parity_ok &= (ok != 0);
   return outcome;
 }
@@ -181,7 +190,7 @@ int main() {
       {"loopback_4clients", 4, 16, 16, false, 0},
       {"loopback_8clients", 8, 8, 16, false, 0},
       {"loopback_8clients_paged", 8, 8, 16, true, 0},
-      {"loopback_8clients_paged_traced", 8, 8, 16, true, 1024},
+      {"loopback_8clients_paged_traced", 8, 8, 16, true, 1024, 1024},
   };
 
   Table table("bench_server — loopback service throughput");
@@ -267,6 +276,10 @@ int main() {
     json.Field("trace_ring", static_cast<int64_t>(config.trace_ring));
     json.Field("trace_records",
                static_cast<int64_t>(outcome.trace_records));
+    json.Field("journal_slots",
+               static_cast<int64_t>(config.journal_slots));
+    json.Field("journal_events",
+               static_cast<int64_t>(outcome.journal_events));
     json.Field("parity_ok",
                static_cast<int64_t>(outcome.parity_ok ? 1 : 0));
     json.EndObject();
@@ -284,6 +297,7 @@ int main() {
     BenchConfig on_config = off_config;
     on_config.name = "overhead_paged_traced";
     on_config.trace_ring = 1024;
+    on_config.journal_slots = 1024;
     double best_off = 0.0;
     double best_on = 0.0;
     for (int round = 0; round < 3; ++round) {

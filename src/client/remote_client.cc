@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -21,6 +22,18 @@ using server::FrameType;
 
 Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+int64_t SteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t WallNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -115,13 +128,17 @@ Status RemoteClient::SendAll(const Buffer& data) {
   return Status::OK();
 }
 
-Status RemoteClient::ReadFrame(FrameType* type, Buffer* payload) {
+Status RemoteClient::ReadFrame(FrameType* type, Buffer* payload,
+                               int64_t* first_byte_nanos) {
   if (fd_ < 0) return Status::IOError("connection closed");
   uint8_t header[server::kFrameHeaderBytes];
   size_t have = 0;
   while (have < sizeof(header)) {
     const ssize_t n = recv(fd_, header + have, sizeof(header) - have, 0);
     if (n > 0) {
+      if (have == 0 && first_byte_nanos != nullptr) {
+        *first_byte_nanos = SteadyNanos();
+      }
       have += static_cast<size_t>(n);
       continue;
     }
@@ -191,15 +208,22 @@ Status RemoteClient::StatusFromError(const server::ErrorFrame& error) {
 Result<RemoteBatchResult> RemoteClient::ExecuteBatch(
     std::span<const AABB> boxes, uint64_t epoch) {
   const uint64_t request_id = next_request_id_++;
+  const uint64_t span_id = record_spans_ ? next_span_id_++ : 0;
+  const int64_t start_wall = record_spans_ ? WallNanos() : 0;
+  const int64_t call_start = record_spans_ ? SteadyNanos() : 0;
   Buffer out;
-  server::AppendQueryBatch(&out, request_id, boxes, epoch);
+  server::AppendQueryBatch(&out, request_id, boxes, epoch, span_id);
   OCTOPUS_RETURN_NOT_OK(SendAll(out));
+  const int64_t sent_at = record_spans_ ? SteadyNanos() : 0;
 
   // Responses to a blocking client arrive in request order; skip
   // nothing, but verify the id actually matches.
   FrameType type;
   Buffer payload;
-  OCTOPUS_RETURN_NOT_OK(ReadFrame(&type, &payload));
+  int64_t first_byte_at = 0;
+  OCTOPUS_RETURN_NOT_OK(
+      ReadFrame(&type, &payload,
+                record_spans_ ? &first_byte_at : nullptr));
   if (type == FrameType::kError) {
     server::ErrorFrame error;
     OCTOPUS_RETURN_NOT_OK(server::ParseError(payload, &error));
@@ -225,6 +249,24 @@ Result<RemoteBatchResult> RemoteClient::ExecuteBatch(
   }
   result.results.per_query = std::move(per_query);
   result.results.epoch = result.stats.epoch;
+  if (record_spans_) {
+    const int64_t done_at = SteadyNanos();
+    // A response so small the kernel delivered it whole can make the
+    // first-byte stamp and the completion stamp collapse; the split is
+    // then simply zero receive time, never negative.
+    if (first_byte_at < sent_at) first_byte_at = sent_at;
+    obs::ClientCallSpan span;
+    span.span_id = span_id;
+    span.request_id = request_id;
+    span.server_trace_id = result.stats.trace_id;
+    span.start_unix_nanos = start_wall;
+    span.send_nanos = sent_at - call_start;
+    span.wait_nanos = first_byte_at - sent_at;
+    span.recv_nanos = done_at - first_byte_at;
+    span.queries = boxes.size();
+    span.epoch = epoch;
+    spans_.push_back(span);
+  }
   return result;
 }
 

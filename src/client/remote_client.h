@@ -15,6 +15,7 @@
 #include "common/aabb.h"
 #include "common/status.h"
 #include "engine/query_batch.h"
+#include "obs/trace.h"
 #include "server/protocol.h"
 
 namespace octopus::client {
@@ -74,6 +75,17 @@ class RemoteClient {
   /// current epoch. `NotFound` when this session holds no such pin.
   Result<server::EpochInfoWire> UnpinEpoch(uint64_t epoch);
 
+  /// Enables per-call span recording: every subsequent successful
+  /// `ExecuteBatch` assigns a span id, sends it in the QUERY_BATCH (v6,
+  /// so the server's slow-query log can quote it), times the call's
+  /// send / wait / receive split and keeps an `obs::ClientCallSpan`
+  /// carrying the server's echoed trace id — the client half of
+  /// `octopus_cli trace dump --merge-client`.
+  void set_record_spans(bool on) { record_spans_ = on; }
+  bool record_spans() const { return record_spans_; }
+  /// Spans recorded so far, in call order.
+  const std::vector<obs::ClientCallSpan>& spans() const { return spans_; }
+
   /// Fetches the server's metrics snapshot.
   Result<server::ServerStatsWire> FetchStats();
 
@@ -102,7 +114,10 @@ class RemoteClient {
   Result<server::EpochInfoWire> RoundTripEpochInfo(
       const server::Buffer& request);
   /// Reads exactly one frame (header + payload) into `payload`/`type`.
-  Status ReadFrame(server::FrameType* type, server::Buffer* payload);
+  /// When `first_byte_nanos` is non-null, it receives the monotonic
+  /// instant the first response byte arrived (the wait/receive split).
+  Status ReadFrame(server::FrameType* type, server::Buffer* payload,
+                   int64_t* first_byte_nanos = nullptr);
   /// Maps an ERROR frame to a Status (and closes unless it is a
   /// request-scoped overload rejection).
   Status StatusFromError(const server::ErrorFrame& error);
@@ -110,6 +125,9 @@ class RemoteClient {
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
   server::WelcomeFrame welcome_;
+  bool record_spans_ = false;
+  uint64_t next_span_id_ = 1;
+  std::vector<obs::ClientCallSpan> spans_;
 };
 
 }  // namespace octopus::client

@@ -1,0 +1,127 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "obs/event_journal.h"
+
+#include <ctime>
+
+namespace octopus::obs {
+namespace {
+
+int64_t WallNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kStepApplied: return "step_applied";
+    case EventKind::kEpochPublished: return "epoch_published";
+    case EventKind::kEpochSpilled: return "epoch_spilled";
+    case EventKind::kEpochReloaded: return "epoch_reloaded";
+    case EventKind::kEpochEvicted: return "epoch_evicted";
+    case EventKind::kEpochPinned: return "epoch_pinned";
+    case EventKind::kEpochUnpinned: return "epoch_unpinned";
+    case EventKind::kSessionOpened: return "session_opened";
+    case EventKind::kSessionClosed: return "session_closed";
+    case EventKind::kOverloadRejected: return "overload_rejected";
+    case EventKind::kDrainBegan: return "drain_began";
+    case EventKind::kDrainEnded: return "drain_ended";
+  }
+  return "unknown";
+}
+
+std::string JournalEventJson(const JournalEvent& event) {
+  std::string out = "{\"seq\":";
+  out += std::to_string(event.seq);
+  out += ",\"unix_nanos\":";
+  out += std::to_string(event.unix_nanos);
+  out += ",\"kind\":\"";
+  out += EventKindName(event.kind);
+  out += "\",\"epoch\":";
+  out += std::to_string(event.epoch);
+  out += ",\"session\":";
+  out += std::to_string(event.session);
+  out += ",\"a\":";
+  out += std::to_string(event.a);
+  out += ",\"b\":";
+  out += std::to_string(event.b);
+  out += "}";
+  return out;
+}
+
+uint64_t EventJournal::total_emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+size_t EventJournal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void EventJournal::EmitSlow(EventKind kind, uint64_t epoch, uint64_t session,
+                            uint64_t a, uint64_t b) {
+  JournalEvent event;
+  event.unix_nanos = WallNanos();
+  event.kind = kind;
+  event.epoch = epoch;
+  event.session = session;
+  event.a = a;
+  event.b = b;
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = ++total_;
+  if (capacity_ != 0) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(event);
+    } else {
+      ring_[next_] = event;
+      next_ = (next_ + 1) % capacity_;
+    }
+  }
+  if (sink_ != nullptr) {
+    const std::string line = JournalEventJson(event);
+    std::fwrite(line.data(), 1, line.size(), sink_);
+    std::fputc('\n', sink_);
+    std::fflush(sink_);
+  }
+}
+
+void EventJournal::Snapshot(std::vector<JournalEvent>* out) const {
+  out->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  out->reserve(ring_.size());
+  // Oldest first: the overwrite cursor points at the oldest slot once
+  // the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out->push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+}
+
+std::string EventJournal::RenderJson(size_t max_events) const {
+  std::vector<JournalEvent> events;
+  Snapshot(&events);
+  uint64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total = total_;
+  }
+  size_t first = 0;
+  if (max_events != 0 && events.size() > max_events) {
+    first = events.size() - max_events;  // keep the newest
+  }
+  std::string out = "{\"total\":";
+  out += std::to_string(total);
+  out += ",\"capacity\":";
+  out += std::to_string(capacity_);
+  out += ",\"events\":[";
+  for (size_t i = first; i < events.size(); ++i) {
+    if (i != first) out += ",";
+    out += JournalEventJson(events[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace octopus::obs

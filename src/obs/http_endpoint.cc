@@ -15,12 +15,6 @@
 namespace octopus::obs {
 namespace {
 
-/// A scrape request is one short line + a few headers; anything larger
-/// is not a scraper.
-constexpr size_t kMaxRequestBytes = 8 * 1024;
-/// Concurrent scraper connections; a poll-loop guest stays tiny.
-constexpr size_t kMaxConns = 8;
-
 Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
 }
@@ -30,18 +24,42 @@ bool SetNonBlocking(int fd) {
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
-std::string WrapResponse(const char* status_line, const std::string& body) {
+std::string WrapResponse(const HttpTextEndpoint::Response& response) {
   std::string out = "HTTP/1.0 ";
-  out.append(status_line);
-  out.append(
-      "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8"
-      "\r\nContent-Length: " +
-      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n");
-  out.append(body);
+  out.append(std::to_string(response.status));
+  out.push_back(' ');
+  out.append(HttpTextEndpoint::StatusReason(response.status));
+  out.append("\r\nContent-Type: " + response.content_type +
+             "\r\nContent-Length: " + std::to_string(response.body.size()) +
+             "\r\nConnection: close\r\n\r\n");
+  out.append(response.body);
   return out;
 }
 
+HttpTextEndpoint::Response PlainText(int status, std::string body) {
+  HttpTextEndpoint::Response response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
 }  // namespace
+
+HttpTextEndpoint::Response HttpTextEndpoint::NotFound() {
+  return PlainText(404,
+                   "try /metrics /healthz /readyz /epochs /journal\n");
+}
+
+const char* HttpTextEndpoint::StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+  }
+  return "Unknown";
+}
 
 HttpTextEndpoint::~HttpTextEndpoint() { CloseAll(); }
 
@@ -142,8 +160,7 @@ void HttpTextEndpoint::Advance(Conn* conn, short revents,
       if (n > 0) {
         conn->in.append(buf, static_cast<size_t>(n));
         if (conn->in.size() > kMaxRequestBytes) {
-          conn->out = WrapResponse("400 Bad Request",
-                                   "request too large\n");
+          conn->out = WrapResponse(PlainText(400, "request too large\n"));
           conn->responding = true;
           break;
         }
@@ -187,7 +204,7 @@ void HttpTextEndpoint::BuildResponse(Conn* conn, const Handler& handler) {
   const size_t sp1 = line.find(' ');
   const size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
   if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    conn->out = WrapResponse("400 Bad Request", "malformed request line\n");
+    conn->out = WrapResponse(PlainText(400, "malformed request line\n"));
     return;
   }
   const std::string method = line.substr(0, sp1);
@@ -195,15 +212,10 @@ void HttpTextEndpoint::BuildResponse(Conn* conn, const Handler& handler) {
   const size_t query = path.find('?');
   if (query != std::string::npos) path.resize(query);
   if (method != "GET") {
-    conn->out = WrapResponse("405 Method Not Allowed", "GET only\n");
+    conn->out = WrapResponse(PlainText(405, "GET only\n"));
     return;
   }
-  const std::string body = handler(path);
-  if (body.empty()) {
-    conn->out = WrapResponse("404 Not Found", "try /metrics\n");
-    return;
-  }
-  conn->out = WrapResponse("200 OK", body);
+  conn->out = WrapResponse(handler(path));
 }
 
 void HttpTextEndpoint::CloseAll() {

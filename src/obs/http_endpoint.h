@@ -1,9 +1,12 @@
 // Copyright 2026 The OCTOPUS Reproduction Authors
-// A deliberately tiny HTTP/1.0 GET responder for text endpoints
-// (/metrics), designed to live INSIDE an existing poll loop rather than
-// own a thread: the loop asks it for pollfds each round and hands back
-// the ready ones. Non-blocking throughout, bounded per-connection
-// buffers, `Connection: close` semantics — a scraper, not a web server.
+// A deliberately tiny HTTP/1.0 GET responder for text/JSON introspection
+// endpoints (/metrics, /healthz, /readyz, /epochs, /journal), designed
+// to live INSIDE an existing poll loop rather than own a thread: the
+// loop asks it for pollfds each round and hands back the ready ones.
+// Requests are routed by path through a handler that picks the status,
+// Content-Type and body per route. Non-blocking throughout, bounded
+// per-connection buffers, `Connection: close` semantics — a scraper,
+// not a web server.
 #ifndef OCTOPUS_OBS_HTTP_ENDPOINT_H_
 #define OCTOPUS_OBS_HTTP_ENDPOINT_H_
 
@@ -26,9 +29,32 @@ namespace octopus::obs {
 /// metrics) without locks.
 class HttpTextEndpoint {
  public:
-  /// `handler(path)` returns the response body for a GET of `path`, or
-  /// an empty string for 404.
-  using Handler = std::function<std::string(const std::string& path)>;
+  /// \brief One route's answer: status + media type + body. The
+  /// endpoint writes the status line and headers; handlers never
+  /// hand-assemble HTTP.
+  struct Response {
+    int status = 200;  ///< 200/404/405/503/... (see `StatusReason`)
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  /// `handler(path)` returns the full response for a GET of `path`
+  /// (query string already stripped). Unknown paths should answer
+  /// `NotFound()`. Non-GET methods never reach the handler (405).
+  using Handler = std::function<Response(const std::string& path)>;
+
+  /// Canonical 404 for paths the handler does not route.
+  static Response NotFound();
+  /// The reason phrase for a status code ("OK", "Not Found", ...).
+  static const char* StatusReason(int status);
+
+  /// A request head is one short line + a few headers; anything larger
+  /// is answered 400 and closed.
+  static constexpr size_t kMaxRequestBytes = 8 * 1024;
+  /// Concurrent scraper connections; a poll-loop guest stays tiny. At
+  /// the cap the listener is simply not polled — excess connections
+  /// wait in the accept queue until a slot frees.
+  static constexpr size_t kMaxConns = 8;
 
   HttpTextEndpoint() = default;
   ~HttpTextEndpoint();

@@ -3,6 +3,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 
 namespace octopus::obs {
 
@@ -31,14 +32,14 @@ namespace {
 
 /// One complete ("X") trace event. Chrome's timestamps are microseconds;
 /// fractional values keep nanosecond resolution.
-void AppendEvent(std::string* out, bool* first, const char* name,
-                 uint64_t tid, int64_t ts_nanos, int64_t dur_nanos,
-                 const std::string& args_json) {
+void AppendEventPid(std::string* out, bool* first, const char* name,
+                    uint64_t pid, uint64_t tid, int64_t ts_nanos,
+                    int64_t dur_nanos, const std::string& args_json) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,"
-                "\"tid\":%" PRIu64 ",\"ts\":%.3f,\"dur\":%.3f",
-                *first ? "" : ",\n", name, tid,
+                "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%" PRIu64
+                ",\"tid\":%" PRIu64 ",\"ts\":%.3f,\"dur\":%.3f",
+                *first ? "" : ",\n", name, pid, tid,
                 static_cast<double>(ts_nanos) / 1e3,
                 static_cast<double>(dur_nanos) / 1e3);
   *first = false;
@@ -50,42 +51,192 @@ void AppendEvent(std::string* out, bool* first, const char* name,
   out->push_back('}');
 }
 
+void AppendEvent(std::string* out, bool* first, const char* name,
+                 uint64_t tid, int64_t ts_nanos, int64_t dur_nanos,
+                 const std::string& args_json) {
+  AppendEventPid(out, first, name, 1, tid, ts_nanos, dur_nanos, args_json);
+}
+
+/// Chrome "M" metadata event naming a pid's track.
+void AppendProcessName(std::string* out, bool* first, uint64_t pid,
+                       const char* name) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%" PRIu64
+                ",\"args\":{\"name\":\"%s\"}}",
+                *first ? "" : ",\n", pid, name);
+  *first = false;
+  out->append(buf);
+}
+
+/// Lays the server record's phase children end to end from `start` on
+/// (pid, record.session_id), eliding zero-duration phases.
+void AppendServerPhases(std::string* out, bool* first, uint64_t pid,
+                        const QueryTraceRecord& r, int64_t start) {
+  int64_t cursor = start;
+  const struct {
+    const char* name;
+    int64_t dur;
+  } phases[] = {
+      {"queue", r.queue_wait_nanos}, {"probe", r.probe_nanos},
+      {"walk", r.walk_nanos},        {"crawl", r.crawl_nanos},
+      {"merge", r.merge_nanos},      {"serialize", r.serialize_nanos},
+  };
+  for (const auto& phase : phases) {
+    if (phase.dur > 0) {
+      AppendEventPid(out, first, phase.name, pid, r.session_id, cursor,
+                     phase.dur, "");
+    }
+    cursor += phase.dur;
+  }
+}
+
+std::string ServerRequestArgs(const QueryTraceRecord& r) {
+  char args[256];
+  std::snprintf(args, sizeof(args),
+                "{\"trace_id\":%" PRIu64 ",\"request_id\":%" PRIu64
+                ",\"epoch\":%" PRIu64 ",\"step\":%u,\"queries\":%u,"
+                "\"batch_queries\":%u,\"batch_requests\":%u,"
+                "\"page_accesses\":%" PRIu64 ",\"lease_hits\":%" PRIu64
+                ",\"result_vertices\":%" PRIu64 "}",
+                r.trace_id, r.request_id, r.epoch, r.epoch_step, r.queries,
+                r.batch_queries, r.batch_requests, r.page_accesses,
+                r.lease_hits, r.result_vertices);
+  return args;
+}
+
 }  // namespace
 
 std::string ChromeTraceJson(const std::vector<QueryTraceRecord>& records) {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
   for (const QueryTraceRecord& r : records) {
-    char args[256];
-    std::snprintf(args, sizeof(args),
-                  "{\"trace_id\":%" PRIu64 ",\"request_id\":%" PRIu64
-                  ",\"epoch\":%" PRIu64 ",\"step\":%u,\"queries\":%u,"
-                  "\"batch_queries\":%u,\"batch_requests\":%u,"
-                  "\"page_accesses\":%" PRIu64 ",\"lease_hits\":%" PRIu64
-                  ",\"result_vertices\":%" PRIu64 "}",
-                  r.trace_id, r.request_id, r.epoch, r.epoch_step,
-                  r.queries, r.batch_queries, r.batch_requests,
-                  r.page_accesses, r.lease_hits, r.result_vertices);
     AppendEvent(&out, &first, "request", r.session_id, r.arrival_nanos,
-                r.total_nanos, args);
+                r.total_nanos, ServerRequestArgs(r));
     // Children laid end to end under the request span: the queue wait,
     // then the engine phases (batch-scoped — coalesced requests show
     // identical engine spans), then serialization.
-    int64_t cursor = r.arrival_nanos;
+    AppendServerPhases(&out, &first, 1, r, r.arrival_nanos);
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+std::string ClientCallSpanJson(const ClientCallSpan& span) {
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "{\"span_id\":%" PRIu64 ",\"request_id\":%" PRIu64
+                ",\"server_trace_id\":%" PRIu64
+                ",\"start_unix_nanos\":%" PRIi64 ",\"send_nanos\":%" PRIi64
+                ",\"wait_nanos\":%" PRIi64 ",\"recv_nanos\":%" PRIi64
+                ",\"queries\":%" PRIu64 ",\"epoch\":%" PRIu64 "}",
+                span.span_id, span.request_id, span.server_trace_id,
+                span.start_unix_nanos, span.send_nanos, span.wait_nanos,
+                span.recv_nanos, span.queries, span.epoch);
+  return buf;
+}
+
+namespace {
+
+/// Finds `"key":` in `line` and parses the number after it. Returns
+/// `fallback` when the key is absent — optional fields stay optional.
+int64_t JsonField(const std::string& line, const char* key,
+                  int64_t fallback) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return fallback;
+  return std::strtoll(line.c_str() + at + needle.size(), nullptr, 10);
+}
+
+}  // namespace
+
+bool ParseClientCallSpanJson(const std::string& line, ClientCallSpan* out) {
+  const int64_t span_id = JsonField(line, "span_id", 0);
+  if (span_id <= 0) return false;
+  out->span_id = static_cast<uint64_t>(span_id);
+  out->request_id =
+      static_cast<uint64_t>(JsonField(line, "request_id", 0));
+  out->server_trace_id =
+      static_cast<uint64_t>(JsonField(line, "server_trace_id", 0));
+  out->start_unix_nanos = JsonField(line, "start_unix_nanos", 0);
+  out->send_nanos = JsonField(line, "send_nanos", 0);
+  out->wait_nanos = JsonField(line, "wait_nanos", 0);
+  out->recv_nanos = JsonField(line, "recv_nanos", 0);
+  out->queries = static_cast<uint64_t>(JsonField(line, "queries", 0));
+  out->epoch = static_cast<uint64_t>(JsonField(line, "epoch", 0));
+  return true;
+}
+
+std::string MergedChromeTraceJson(
+    const std::vector<QueryTraceRecord>& server_records,
+    const std::vector<ClientCallSpan>& client_spans) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  AppendProcessName(&out, &first, 1, "client");
+  AppendProcessName(&out, &first, 2, "server");
+
+  // Rebase to the earliest client call so timestamps stay readable.
+  int64_t base = 0;
+  for (const ClientCallSpan& span : client_spans) {
+    if (base == 0 || span.start_unix_nanos < base) {
+      base = span.start_unix_nanos;
+    }
+  }
+
+  for (const ClientCallSpan& span : client_spans) {
+    const int64_t ts = span.start_unix_nanos - base;
+    const int64_t total = span.send_nanos + span.wait_nanos + span.recv_nanos;
+
+    // The matching server record, if the dump still holds it.
+    const QueryTraceRecord* rec = nullptr;
+    if (span.server_trace_id != 0) {
+      for (const QueryTraceRecord& r : server_records) {
+        if (r.trace_id == span.server_trace_id) {
+          rec = &r;
+          break;
+        }
+      }
+    }
+    // Wire time: what the client waited beyond the server's own wall.
+    const int64_t slack =
+        rec == nullptr ? 0 : span.wait_nanos - rec->total_nanos;
+
+    char args[256];
+    std::snprintf(args, sizeof(args),
+                  "{\"span_id\":%" PRIu64 ",\"request_id\":%" PRIu64
+                  ",\"server_trace_id\":%" PRIu64 ",\"queries\":%" PRIu64
+                  ",\"epoch\":%" PRIu64 ",\"wire_nanos\":%" PRIi64 "}",
+                  span.span_id, span.request_id, span.server_trace_id,
+                  span.queries, span.epoch, slack > 0 ? slack : 0);
+    AppendEventPid(&out, &first, "call", 1, 1, ts, total, args);
+    int64_t cursor = ts;
     const struct {
       const char* name;
       int64_t dur;
     } phases[] = {
-        {"queue", r.queue_wait_nanos}, {"probe", r.probe_nanos},
-        {"walk", r.walk_nanos},        {"crawl", r.crawl_nanos},
-        {"merge", r.merge_nanos},      {"serialize", r.serialize_nanos},
+        {"send", span.send_nanos},
+        {"wait", span.wait_nanos},
+        {"receive", span.recv_nanos},
     };
     for (const auto& phase : phases) {
       if (phase.dur > 0) {
-        AppendEvent(&out, &first, phase.name, r.session_id, cursor,
-                    phase.dur, "");
+        AppendEventPid(&out, &first, phase.name, 1, 1, cursor, phase.dur,
+                       "");
       }
       cursor += phase.dur;
+    }
+
+    if (rec != nullptr) {
+      // Center the server's wall inside the wait window: the symmetric
+      // leftover on each side is the one-way wire time. Clock skew can
+      // make the server span longer than the wait — clamp to its start.
+      const int64_t wait_start = ts + span.send_nanos;
+      const int64_t server_start =
+          wait_start + (slack > 0 ? slack / 2 : 0);
+      AppendEventPid(&out, &first, "request", 2, rec->session_id,
+                     server_start, rec->total_nanos,
+                     ServerRequestArgs(*rec));
+      AppendServerPhases(&out, &first, 2, *rec, server_start);
     }
   }
   out.append("\n]}\n");

@@ -87,6 +87,20 @@ class FlightRecorder {
 #endif
   }
 
+  /// The trace id the NEXT `Record` call will assign (0 when tracing is
+  /// disabled). Lets a caller put the id on the wire before the record
+  /// is complete — the server serializes a RESULT (which must carry the
+  /// id) before it knows the serialization cost the record captures.
+  /// Single-writer: valid only until someone else records, which on the
+  /// owning loop thread is never between a Reserve and its Record.
+  uint64_t ReserveId() const {
+#if OCTOPUS_TRACING_ENABLED
+    return capacity_ == 0 ? 0 : total_ + 1;
+#else
+    return 0;
+#endif
+  }
+
   size_t capacity() const { return capacity_; }
   /// Lifetime records written (>= size of the ring once wrapped).
   uint64_t total_recorded() const { return total_; }
@@ -109,6 +123,50 @@ class FlightRecorder {
 /// serialize child spans laid end to end). Load via chrome://tracing,
 /// Perfetto, or speedscope.
 std::string ChromeTraceJson(const std::vector<QueryTraceRecord>& records);
+
+/// \brief One client-side remote call, as timed by `RemoteClient`: the
+/// wall the caller saw, split into send (encode + write), wait (write
+/// complete -> first response byte) and receive (first byte -> frame
+/// complete). `server_trace_id` is the id echoed in the RESULT's
+/// batch-stats block (v6), 0 when the server ran untraced — the join
+/// key against a later TRACE_DUMP.
+struct ClientCallSpan {
+  uint64_t span_id = 0;    ///< monotone 1-based, per client connection
+  uint64_t request_id = 0;
+  uint64_t server_trace_id = 0;
+  int64_t start_unix_nanos = 0;  ///< wall clock at call entry
+  int64_t send_nanos = 0;
+  int64_t wait_nanos = 0;
+  int64_t recv_nanos = 0;
+  uint64_t queries = 0;
+  uint64_t epoch = 0;  ///< epoch requested (0 = current)
+
+  friend bool operator==(const ClientCallSpan&,
+                         const ClientCallSpan&) = default;
+};
+
+/// Renders one span as a single-line JSON object (no trailing newline)
+/// — the `--span-log` JSONL line format.
+std::string ClientCallSpanJson(const ClientCallSpan& span);
+
+/// Parses a `ClientCallSpanJson` line back (flat object, numeric
+/// fields only; unknown keys ignored). Returns false on anything that
+/// does not carry a span_id — blank lines and comments included — so a
+/// reader can skip junk without dying.
+bool ParseClientCallSpanJson(const std::string& line, ClientCallSpan* out);
+
+/// Renders one merged Chrome trace from both sides of the wire: client
+/// call spans (pid 1, with send/wait/receive children) on the client's
+/// wall clock, and each server record whose `trace_id` matches a span's
+/// `server_trace_id` (pid 2, with the usual phase children) placed
+/// inside that span's wait window, centered under a symmetric-network
+/// assumption — the gap on each side of the server span is the one-way
+/// wire time. Server records matching no client span are omitted (they
+/// belong to other clients); timestamps are rebased so the first client
+/// span starts at 0.
+std::string MergedChromeTraceJson(
+    const std::vector<QueryTraceRecord>& server_records,
+    const std::vector<ClientCallSpan>& client_spans);
 
 }  // namespace octopus::obs
 

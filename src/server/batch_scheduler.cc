@@ -77,6 +77,7 @@ void BatchScheduler::ExecuteReady(VersionedBackend* backend,
     done.request_id = request.request_id;
     done.arrival_nanos = request.arrival_nanos;
     done.dispatch_nanos = dispatch_nanos;
+    done.client_span_id = request.client_span_id;
     done.stats = wire;
     done.per_query.reserve(request.boxes.size());
     for (size_t q = 0; q < request.boxes.size(); ++q) {

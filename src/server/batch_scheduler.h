@@ -51,6 +51,9 @@ struct PendingRequest {
   uint64_t request_id = 0;
   std::vector<AABB> boxes;
   int64_t arrival_nanos = 0;  ///< event-loop monotonic clock
+  /// Client-propagated span id (v6); 0 = the client sent none. Carried
+  /// through execution into the slow-query log, never interpreted.
+  uint64_t client_span_id = 0;
 };
 
 /// One executed request, ready to encode as a RESULT frame.
@@ -65,6 +68,7 @@ struct CompletedRequest {
   BatchStatsWire stats;  ///< stats of the coalesced batch that served it
   /// The request's slice of the batch results, in request query order.
   std::vector<std::vector<VertexId>> per_query;
+  uint64_t client_span_id = 0;  ///< propagated from the request (v6)
 };
 
 class BatchScheduler {

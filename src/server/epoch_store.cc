@@ -3,10 +3,20 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <utility>
 #include <vector>
 
 namespace octopus::server {
+namespace {
+
+int64_t SteadyNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Status EpochRetentionOptions::Validate() const {
   if (retention_epochs < 1) {
@@ -57,6 +67,11 @@ void EpochStore::Publish(PinnedEpochState state) {
           ? entry.positions->positions.size() * sizeof(Vec3)
           : 0;
   ring_.push_back(std::move(entry));
+  last_publish_nanos_.store(SteadyNanos(), std::memory_order_release);
+  if (journal_ != nullptr) {
+    journal_->Emit(obs::EventKind::kEpochPublished, state.info.epoch, 0,
+                   state.info.step, ResidentBytesLocked());
+  }
   EnforceRetention(lock);
 }
 
@@ -96,6 +111,10 @@ Result<PinnedEpochState> EpochStore::PinEpoch(
         entry.spill_first, entry.spill_count, reloaded->positions.data(),
         reload_stats);
     if (!read.ok()) return read;
+    if (journal_ != nullptr) {
+      journal_->Emit(obs::EventKind::kEpochReloaded, id, 0,
+                     entry.spill_count);
+    }
     return PinnedEpochState{entry.info, nullptr, std::move(reloaded)};
   }
   return Status::NotFound(
@@ -180,8 +199,14 @@ void EpochStore::SpillOne(std::unique_lock<std::mutex>& lock,
   bool ok = true;
   std::vector<storage::PageId> overlay_ids;
   storage::PageId first = storage::kInvalidPageId;
+  uint64_t pages_before = 0;
+  uint64_t bytes_before = 0;
+  uint64_t pages_after = 0;
+  uint64_t bytes_after = 0;
   {
     std::lock_guard<std::mutex> io_lock(spill_io_mu_);
+    pages_before = spill_->pages_written();
+    bytes_before = spill_->bytes_written();
     if (overlay != nullptr) {
       // Paged: append every memory-resident page (zero-padded to the
       // writer's page size). The spilled_id carry-over keeps this
@@ -211,6 +236,8 @@ void EpochStore::SpillOne(std::unique_lock<std::mutex>& lock,
       if (ok) first = appended.Value();
     }
     ok = ok && spill_->Sync().ok();
+    pages_after = spill_->pages_written();
+    bytes_after = spill_->bytes_written();
   }
   lock.lock();
 
@@ -237,6 +264,10 @@ void EpochStore::SpillOne(std::unique_lock<std::mutex>& lock,
   }
   entry->spilled = true;
   entry->resident = 0;
+  if (journal_ != nullptr) {
+    journal_->Emit(obs::EventKind::kEpochSpilled, id, 0,
+                   pages_after - pages_before, bytes_after - bytes_before);
+  }
 }
 
 void EpochStore::EnforceRetention(std::unique_lock<std::mutex>& lock) {
@@ -283,6 +314,10 @@ void EpochStore::EnforceRetention(std::unique_lock<std::mutex>& lock) {
           continue;
         }
         resident_bytes -= entry.resident;
+        if (journal_ != nullptr) {
+          journal_->Emit(obs::EventKind::kEpochEvicted, entry.info.epoch,
+                         0, entry.info.step, entry.spilled ? 1 : 0);
+        }
         ring_.erase(ring_.begin() + static_cast<ptrdiff_t>(i));
         ++evicted_;
         --resident_count;
@@ -308,6 +343,10 @@ void EpochStore::EnforceRetention(std::unique_lock<std::mutex>& lock) {
   size_t excess = ring_.size() > cap ? ring_.size() - cap : 0;
   for (auto it = ring_.begin(); excess > 0 && it + 1 != ring_.end();) {
     if (it->pins == 0) {
+      if (journal_ != nullptr) {
+        journal_->Emit(obs::EventKind::kEpochEvicted, it->info.epoch, 0,
+                       it->info.step, it->spilled ? 1 : 0);
+      }
       it = ring_.erase(it);
       ++evicted_;
       --excess;
@@ -352,6 +391,42 @@ uint64_t EpochStore::spill_pages_written() const {
 uint64_t EpochStore::spill_bytes_written() const {
   std::lock_guard<std::mutex> lock(spill_io_mu_);
   return spill_ != nullptr ? spill_->bytes_written() : 0;
+}
+
+size_t EpochStore::spill_failed_epochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const Entry& entry : ring_) n += entry.spill_failed ? 1 : 0;
+  return n;
+}
+
+EpochStoreView EpochStore::View() const {
+  EpochStoreView view;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    view.entries.reserve(ring_.size());
+    for (const Entry& entry : ring_) {
+      EpochEntryView e;
+      e.info = entry.info;
+      e.resident = !entry.spilled;
+      e.spilled = entry.spilled;
+      e.spill_failed = entry.spill_failed;
+      e.pins = entry.pins;
+      e.resident_bytes = entry.resident;
+      view.entries.push_back(e);
+    }
+    view.resident_bytes = ResidentBytesLocked();
+    view.evicted_total = evicted_;
+    view.spill_enabled = spill_ != nullptr;
+  }
+  // Sidecar counters live under the spill-I/O lock (the appender runs
+  // with `mu_` released); never nest the two.
+  {
+    std::lock_guard<std::mutex> io_lock(spill_io_mu_);
+    view.spill_pages_written = spill_ != nullptr ? spill_->pages_written() : 0;
+    view.spill_bytes_written = spill_ != nullptr ? spill_->bytes_written() : 0;
+  }
+  return view;
 }
 
 }  // namespace octopus::server

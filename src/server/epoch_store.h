@@ -21,15 +21,18 @@
 #ifndef OCTOPUS_SERVER_EPOCH_STORE_H_
 #define OCTOPUS_SERVER_EPOCH_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/mesh_epoch.h"
+#include "obs/event_journal.h"
 #include "sim/versioned_mesh.h"
 #include "storage/delta_overlay.h"
 #include "storage/epoch_spill.h"
@@ -70,6 +73,31 @@ struct PinnedEpochState {
   std::shared_ptr<const PositionEpoch> positions;
 };
 
+/// \brief One ring entry as the `/epochs` introspection endpoint sees
+/// it — identity, placement (resident/spilled), pins and memory cost.
+struct EpochEntryView {
+  engine::EpochInfo info;
+  bool resident = false;
+  bool spilled = false;
+  bool spill_failed = false;
+  uint32_t pins = 0;
+  uint64_t resident_bytes = 0;
+};
+
+/// \brief A consistent point-in-time view of the whole retention ring
+/// plus the sidecar's append totals. The ring part is one `mu_`
+/// critical section (entries are mutually consistent); the sidecar
+/// counters are read separately under the spill-I/O lock and may be a
+/// beat ahead of the ring during an in-flight spill.
+struct EpochStoreView {
+  std::vector<EpochEntryView> entries;  ///< ascending epoch id
+  uint64_t resident_bytes = 0;
+  uint64_t evicted_total = 0;
+  bool spill_enabled = false;
+  uint64_t spill_pages_written = 0;
+  uint64_t spill_bytes_written = 0;
+};
+
 class EpochStore {
  public:
   /// `page_bytes` sizes the spill sidecar's pages (the snapshot's page
@@ -83,6 +111,11 @@ class EpochStore {
   /// Validates the options and creates the spill sidecar (when a path
   /// is configured). Call once before the first `Publish`.
   Status Init();
+
+  /// Points epoch-lifecycle events (published/spilled/reloaded/evicted)
+  /// at `journal` (non-owning; null detaches). Call before the stepper
+  /// starts — the pointer itself is unsynchronized.
+  void AttachJournal(obs::EventJournal* journal) { journal_ = journal; }
 
   /// Publishes `state` as the new newest epoch (its `info.epoch` must
   /// be strictly larger than the current newest), then enforces
@@ -127,6 +160,20 @@ class EpochStore {
   uint64_t epochs_evicted() const;
   uint64_t spill_pages_written() const;
   uint64_t spill_bytes_written() const;
+
+  /// Entries whose spill failed (disk full / I/O error): they survive
+  /// only as pinned memory, so a nonzero count means the sidecar is
+  /// unhealthy — the `/readyz` signal.
+  size_t spill_failed_epochs() const;
+  /// Monotonic timestamp of the most recent `Publish` (0 before the
+  /// first): `now - last` is the epoch-publication lag `/readyz`
+  /// reports on a server whose stepper should be running.
+  int64_t last_publish_steady_nanos() const {
+    return last_publish_nanos_.load(std::memory_order_acquire);
+  }
+
+  /// The `/epochs` snapshot: every ring entry plus sidecar totals.
+  EpochStoreView View() const;
 
   const EpochRetentionOptions& options() const { return options_; }
 
@@ -178,6 +225,12 @@ class EpochStore {
   mutable std::mutex mu_;
   std::deque<Entry> ring_;  ///< ascending epoch ids; back() is newest
   uint64_t evicted_ = 0;
+
+  /// Lifecycle event sink; null = silent. The journal is internally
+  /// synchronized and its lock is a leaf, so emitting under `mu_` is
+  /// deadlock-free.
+  obs::EventJournal* journal_ = nullptr;
+  std::atomic<int64_t> last_publish_nanos_{0};
 };
 
 }  // namespace octopus::server

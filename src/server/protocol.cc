@@ -139,6 +139,7 @@ void PutBatchStats(Buffer* out, const BatchStatsWire& s) {
   PutU64(out, s.epoch.epoch);
   PutU32(out, s.epoch.step);
   PutU32(out, 0);  // reserved
+  PutU64(out, s.trace_id);  // v6
 }
 
 bool ReadBatchStats(Reader* r, BatchStatsWire* s) {
@@ -154,7 +155,7 @@ bool ReadBatchStats(Reader* r, BatchStatsWire* s) {
          r->U64(&s->pages_distinct) &&
          r->U32(&s->batch_queries) && r->U32(&s->batch_requests) &&
          r->U64(&s->epoch.epoch) && r->U32(&s->epoch.step) &&
-         r->U32(&reserved);
+         r->U32(&reserved) && r->U64(&s->trace_id);
 }
 
 }  // namespace
@@ -244,12 +245,14 @@ void AppendWelcome(Buffer* out, const WelcomeFrame& welcome) {
 }
 
 void AppendQueryBatch(Buffer* out, uint64_t request_id,
-                      std::span<const AABB> boxes, uint64_t epoch) {
+                      std::span<const AABB> boxes, uint64_t epoch,
+                      uint64_t client_span_id) {
   const size_t h = BeginFrame(out, FrameType::kQueryBatch);
   PutU64(out, request_id);
   PutU32(out, static_cast<uint32_t>(boxes.size()));
   PutU32(out, 0);  // reserved
   PutU64(out, epoch);  // 0 = current (v3)
+  PutU64(out, client_span_id);  // 0 = no client span (v6)
   for (const AABB& box : boxes) {
     PutF32(out, box.min.x);
     PutF32(out, box.min.y);
@@ -263,7 +266,7 @@ void AppendQueryBatch(Buffer* out, uint64_t request_id,
 
 size_t ResultPayloadBytes(
     std::span<const std::vector<VertexId>> per_query) {
-  size_t bytes = 16 + 152;  // id + count + reserved + batch-stats block
+  size_t bytes = 16 + 160;  // id + count + reserved + batch-stats block
   for (const std::vector<VertexId>& result : per_query) {
     bytes += 4 + result.size() * sizeof(VertexId);
   }
@@ -442,12 +445,12 @@ Status ParseWelcome(std::span<const uint8_t> payload, WelcomeFrame* out) {
 
 Status ParseQueryBatch(std::span<const uint8_t> payload,
                        uint64_t* request_id, std::vector<AABB>* boxes,
-                       uint64_t* epoch) {
+                       uint64_t* epoch, uint64_t* client_span_id) {
   Reader r(payload);
   uint32_t count = 0;
   uint32_t reserved = 0;
   if (!r.U64(request_id) || !r.U32(&count) || !r.U32(&reserved) ||
-      !r.U64(epoch)) {
+      !r.U64(epoch) || !r.U64(client_span_id)) {
     return Malformed("QUERY_BATCH header truncated");
   }
   if (r.remaining() != static_cast<size_t>(count) * 24) {

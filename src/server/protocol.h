@@ -40,8 +40,14 @@ inline constexpr uint32_t kProtocolMagic = 0x4F435450;
 /// initial state stays addressable after supersession (0 remains the
 /// "current" sentinel on the wire). v5: `merge_nanos` in the batch-stats
 /// block (144 → 152 bytes) and the TRACE_DUMP_REQUEST/TRACE_DUMP frames
-/// exporting the server's flight-recorder ring.
-inline constexpr uint16_t kProtocolVersion = 5;
+/// exporting the server's flight-recorder ring. v6: trace-context
+/// propagation — QUERY_BATCH carries an optional `client_span_id` (the
+/// fixed header grew 24 → 32 bytes before the boxes; 0 = no client
+/// span) and the batch-stats block echoes the server's flight-recorder
+/// `trace_id` (152 → 160 bytes; 0 = tracing disabled), so a client can
+/// join its own send/wait/receive timings with the server-side record
+/// of the same request.
+inline constexpr uint16_t kProtocolVersion = 6;
 
 /// Every frame starts with this fixed-size header.
 inline constexpr size_t kFrameHeaderBytes = 8;
@@ -144,6 +150,11 @@ struct BatchStatsWire {
   uint64_t pages_distinct = 0;
   uint32_t batch_queries = 0;   ///< queries in the coalesced batch
   uint32_t batch_requests = 0;  ///< client requests coalesced into it
+  /// v6: the flight-recorder trace id the server assigned THIS request
+  /// (not the batch — coalesced requests get distinct records). 0 when
+  /// server-side tracing is disabled; clients use it to join their own
+  /// per-call spans with a later TRACE_DUMP.
+  uint64_t trace_id = 0;
   /// Mesh epoch the batch executed against (epoch-stamped RESULTs): the
   /// whole coalesced batch ran on this one pinned state, so every
   /// result in it is epoch-consistent. `epoch.step` doubles as the
@@ -249,8 +260,12 @@ void AppendWelcome(Buffer* out, const WelcomeFrame& welcome);
 /// `epoch` selects the mesh state to execute against: 0 = the server's
 /// current epoch (the default every latency-path client wants), any
 /// other value = that exact historical epoch (EPOCH_GONE if evicted).
+/// `client_span_id` (v6) is the caller's span identity for this
+/// request, or 0 for none; the server carries it into its slow-query
+/// log so client and server logs correlate line-for-line.
 void AppendQueryBatch(Buffer* out, uint64_t request_id,
-                      std::span<const AABB> boxes, uint64_t epoch = 0);
+                      std::span<const AABB> boxes, uint64_t epoch = 0,
+                      uint64_t client_span_id = 0);
 /// `per_query` are the request's result slots, in request query order.
 void AppendResult(Buffer* out, uint64_t request_id,
                   const BatchStatsWire& stats,
@@ -284,7 +299,7 @@ Status ParseHello(std::span<const uint8_t> payload, HelloFrame* out);
 Status ParseWelcome(std::span<const uint8_t> payload, WelcomeFrame* out);
 Status ParseQueryBatch(std::span<const uint8_t> payload,
                        uint64_t* request_id, std::vector<AABB>* boxes,
-                       uint64_t* epoch);
+                       uint64_t* epoch, uint64_t* client_span_id);
 Status ParseResult(std::span<const uint8_t> payload, uint64_t* request_id,
                    BatchStatsWire* stats,
                    std::vector<std::vector<VertexId>>* per_query);

@@ -70,7 +70,13 @@ QueryServer::QueryServer(std::unique_ptr<VersionedBackend> backend,
     : backend_(std::move(backend)),
       options_(std::move(options)),
       scheduler_(options_.scheduler),
-      recorder_(options_.trace_ring_slots) {}
+      recorder_(options_.trace_ring_slots) {
+  // Step/epoch lifecycle events come from the backend and its epoch
+  // store; point them at the same journal the server emits into.
+  if (options_.journal != nullptr) {
+    backend_->AttachJournal(options_.journal);
+  }
+}
 
 QueryServer::~QueryServer() {
   for (auto& [id, session] : sessions_) {
@@ -149,9 +155,7 @@ Status QueryServer::Run() {
   std::vector<pollfd> fds;
   std::vector<uint64_t> fd_session;  // session id per pollfd slot
   const obs::HttpTextEndpoint::Handler metrics_handler =
-      [this](const std::string& path) {
-        return path == "/metrics" ? RenderMetricsText() : std::string();
-      };
+      [this](const std::string& path) { return RouteHttp(path); };
   // Instant the last poll() returned; -1 before the first wakeup.
   int64_t last_wake_nanos = -1;
 
@@ -289,7 +293,9 @@ void QueryServer::AcceptNew() {
     session->fd = fd;
     session->last_activity_nanos = NowNanos();
     metrics_.connections_accepted += 1;
-    sessions_.emplace(session->id, std::move(session));
+    const uint64_t id = session->id;
+    sessions_.emplace(id, std::move(session));
+    Journal(obs::EventKind::kSessionOpened, 0, id, sessions_.size());
   }
 }
 
@@ -405,8 +411,9 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
       PendingRequest request;
       request.session_id = session->id;
       uint64_t epoch = 0;
-      const Status st = ParseQueryBatch(payload, &request.request_id,
-                                        &request.boxes, &epoch);
+      const Status st =
+          ParseQueryBatch(payload, &request.request_id, &request.boxes,
+                          &epoch, &request.client_span_id);
       if (!st.ok()) {
         metrics_.malformed_frames += 1;
         SendError(session, ErrorCode::kMalformedFrame, 0, st.message(),
@@ -429,6 +436,8 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
             scheduler_.pending_queries() + request.boxes.size() >
                 scheduler_.options().max_pending_queries) {
           metrics_.queries_rejected += request.boxes.size();
+          Journal(obs::EventKind::kOverloadRejected, 0, session->id,
+                  request.request_id, request.boxes.size());
           SendError(session, ErrorCode::kOverloaded, request.request_id,
                     "pending-query limit of " +
                         std::to_string(
@@ -455,6 +464,8 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
       const uint64_t request_id = request.request_id;
       if (!scheduler_.Enqueue(std::move(request))) {
         metrics_.queries_rejected += num_queries;
+        Journal(obs::EventKind::kOverloadRejected, 0, session->id,
+                request_id, num_queries);
         SendError(session, ErrorCode::kOverloaded, request_id,
                   "pending-query limit of " +
                       std::to_string(
@@ -522,7 +533,10 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
                     /*close_connection=*/false);
           return;
         }
-        session->pinned_epochs[pinned.Value().epoch] += 1;
+        const uint32_t count =
+            (session->pinned_epochs[pinned.Value().epoch] += 1);
+        Journal(obs::EventKind::kEpochPinned, pinned.Value().epoch,
+                session->id, count);
         AppendCurrentEpochInfo(session, pinned.Value());
         return;
       }
@@ -537,7 +551,9 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
         return;
       }
       const Status unpinned = backend_->UnpinEpoch(pin.epoch);
-      if (--it->second == 0) session->pinned_epochs.erase(it);
+      const uint32_t left = --it->second;
+      Journal(obs::EventKind::kEpochUnpinned, pin.epoch, session->id, left);
+      if (left == 0) session->pinned_epochs.erase(it);
       if (!unpinned.ok()) {
         SendError(session, ErrorCode::kEpochGone, 0,
                   unpinned.message(), /*close_connection=*/false);
@@ -612,6 +628,7 @@ void QueryServer::ExecuteHistorical(Session* session,
   done.session_id = request.session_id;
   done.request_id = request.request_id;
   done.arrival_nanos = request.arrival_nanos;
+  done.client_span_id = request.client_span_id;
   // Inline execution: never queued, so queue wait is by definition 0.
   done.dispatch_nanos = request.arrival_nanos;
   done.stats = BatchStatsWire::FromPhaseStats(
@@ -643,6 +660,13 @@ void QueryServer::DeliverResult(const CompletedRequest& done,
   // instant the pending-exemption lapses (the idle clock restarts at
   // delivery, not at the long-gone receive).
   session->last_activity_nanos = done_at;
+  // The trace id this delivery WILL record under (0 = tracing off),
+  // reserved up front so the RESULT frame can carry it while the
+  // record itself still prices the serialization it is part of.
+  // Nothing else records between here and the Record below — the loop
+  // thread is the recorder's only writer.
+  BatchStatsWire stats = done.stats;
+  stats.trace_id = recorder_.ReserveId();
   int64_t serialize_nanos = 0;
   if (ResultPayloadBytes(done.per_query) > kMaxFramePayloadBytes) {
     // The result set cannot travel in one frame: answer with a typed,
@@ -654,8 +678,7 @@ void QueryServer::DeliverResult(const CompletedRequest& done,
               /*close_connection=*/false);
   } else {
     Timer timer;
-    AppendResult(&session->out, done.request_id, done.stats,
-                 done.per_query);
+    AppendResult(&session->out, done.request_id, stats, done.per_query);
     serialize_nanos = timer.ElapsedNanos();
     metrics_.results_sent += 1;
   }
@@ -702,13 +725,14 @@ void QueryServer::DeliverResult(const CompletedRequest& done,
       // format documented in docs/OBSERVABILITY.md).
       std::fprintf(
           stderr,
-          "slow_query trace_id=%llu session=%llu request=%llu "
-          "epoch=%llu step=%u queries=%u batch_queries=%u "
+          "slow_query trace_id=%llu client_span=%llu session=%llu "
+          "request=%llu epoch=%llu step=%u queries=%u batch_queries=%u "
           "batch_requests=%u queue_wait_ms=%.3f probe_ms=%.3f "
           "walk_ms=%.3f crawl_ms=%.3f merge_ms=%.3f serialize_ms=%.3f "
           "total_ms=%.3f page_accesses=%llu lease_hits=%llu "
           "result_vertices=%llu\n",
           static_cast<unsigned long long>(rec.trace_id),
+          static_cast<unsigned long long>(done.client_span_id),
           static_cast<unsigned long long>(rec.session_id),
           static_cast<unsigned long long>(rec.request_id),
           static_cast<unsigned long long>(rec.epoch), rec.epoch_step,
@@ -860,7 +884,143 @@ std::string QueryServer::RenderMetricsText() const {
   reg.AddGauge("octopus_trace_ring_records",
                "Records currently held in the flight-recorder ring.",
                static_cast<double>(recorder_.size()));
+  if (const obs::EventJournal* journal = options_.journal) {
+    reg.AddCounter("octopus_journal_events_total",
+                   "Lifecycle events emitted into the journal (lifetime).",
+                   journal->total_emitted());
+    reg.AddGauge("octopus_journal_ring_events",
+                 "Events currently held in the journal ring.",
+                 static_cast<double>(journal->size()));
+  }
   return reg.ExpositionText();
+}
+
+std::string QueryServer::RenderEpochsJson() const {
+  std::string out;
+  char buf[256];
+  const engine::EpochInfo current = backend_->CurrentEpoch();
+  const EpochStore* store = backend_->epoch_store();
+  std::snprintf(buf, sizeof(buf),
+                "{\"dynamic\":%s,\"current_epoch\":%llu,\"current_step\":%u",
+                store != nullptr ? "true" : "false",
+                static_cast<unsigned long long>(current.epoch),
+                current.step);
+  out += buf;
+  if (store == nullptr) {
+    // Static backend: exactly one implicit epoch, nothing retained.
+    out += ",\"entries\":[]}";
+    return out;
+  }
+  const EpochStoreView view = store->View();
+  uint64_t spill_failed = 0;
+  for (const EpochEntryView& entry : view.entries) {
+    if (entry.spill_failed) ++spill_failed;
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"resident_bytes\":%llu,\"evicted_total\":%llu,"
+      "\"spill\":{\"enabled\":%s,\"pages_written\":%llu,"
+      "\"bytes_written\":%llu,\"failed_epochs\":%llu},\"entries\":[",
+      static_cast<unsigned long long>(view.resident_bytes),
+      static_cast<unsigned long long>(view.evicted_total),
+      view.spill_enabled ? "true" : "false",
+      static_cast<unsigned long long>(view.spill_pages_written),
+      static_cast<unsigned long long>(view.spill_bytes_written),
+      static_cast<unsigned long long>(spill_failed));
+  out += buf;
+  for (size_t i = 0; i < view.entries.size(); ++i) {
+    const EpochEntryView& entry = view.entries[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"epoch\":%llu,\"step\":%u,\"resident\":%s,\"spilled\":%s,"
+        "\"spill_failed\":%s,\"pins\":%u,\"resident_bytes\":%llu}",
+        i == 0 ? "" : ",",
+        static_cast<unsigned long long>(entry.info.epoch), entry.info.step,
+        entry.resident ? "true" : "false", entry.spilled ? "true" : "false",
+        entry.spill_failed ? "true" : "false", entry.pins,
+        static_cast<unsigned long long>(entry.resident_bytes));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string QueryServer::RenderJournalJson() const {
+  if (options_.journal == nullptr) {
+    return "{\"total\":0,\"capacity\":0,\"events\":[]}";
+  }
+  return options_.journal->RenderJson();
+}
+
+obs::HttpTextEndpoint::Response QueryServer::ReadyzResponse() const {
+  // Liveness is /healthz; THIS endpoint answers "should traffic be
+  // routed here": 503 when the stepper has stopped publishing (lag over
+  // the configured bound) or the spill sidecar is failing epochs.
+  bool ready = true;
+  const char* reason = "";
+  int64_t lag_nanos = -1;
+  uint64_t spill_failed = 0;
+  if (const EpochStore* store = backend_->epoch_store()) {
+    spill_failed = store->spill_failed_epochs();
+    const int64_t last = store->last_publish_steady_nanos();
+    if (last > 0) lag_nanos = NowNanos() - last;
+    if (spill_failed > 0) {
+      ready = false;
+      reason = "spill sidecar failing";
+    } else if (options_.ready_max_publish_lag_nanos > 0 && lag_nanos >= 0 &&
+               lag_nanos > options_.ready_max_publish_lag_nanos) {
+      ready = false;
+      reason = "epoch publication stalled";
+    }
+  }
+  char buf[320];
+  char lag[32];
+  if (lag_nanos >= 0) {
+    std::snprintf(lag, sizeof(lag), "%.3f",
+                  static_cast<double>(lag_nanos) / 1e9);
+  } else {
+    std::snprintf(lag, sizeof(lag), "null");
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"ready\":%s,\"dynamic\":%s,\"publish_lag_seconds\":%s,"
+      "\"max_publish_lag_seconds\":%.3f,\"spill_failed_epochs\":%llu,"
+      "\"reason\":\"%s\"}\n",
+      ready ? "true" : "false", backend_->dynamic() ? "true" : "false", lag,
+      static_cast<double>(options_.ready_max_publish_lag_nanos) / 1e9,
+      static_cast<unsigned long long>(spill_failed), reason);
+  obs::HttpTextEndpoint::Response response;
+  response.status = ready ? 200 : 503;
+  response.content_type = "application/json; charset=utf-8";
+  response.body = buf;
+  return response;
+}
+
+obs::HttpTextEndpoint::Response QueryServer::RouteHttp(
+    const std::string& path) const {
+  obs::HttpTextEndpoint::Response response;
+  if (path == "/metrics") {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = RenderMetricsText();
+    return response;
+  }
+  if (path == "/healthz") {
+    // Pure liveness: the loop thread is alive enough to answer.
+    response.body = "ok\n";
+    return response;
+  }
+  if (path == "/readyz") return ReadyzResponse();
+  if (path == "/epochs") {
+    response.content_type = "application/json; charset=utf-8";
+    response.body = RenderEpochsJson();
+    return response;
+  }
+  if (path == "/journal") {
+    response.content_type = "application/json; charset=utf-8";
+    response.body = RenderJournalJson();
+    return response;
+  }
+  return obs::HttpTextEndpoint::NotFound();
 }
 
 void QueryServer::ExecuteDueBatches(int64_t now_nanos) {
@@ -939,20 +1099,25 @@ void QueryServer::CloseSession(uint64_t session_id) {
   scheduler_.DropSession(session_id);
   // A dead session's pins die with it: release every count so the
   // epochs it was holding become evictable again.
+  uint64_t pins_released = 0;
   for (const auto& [epoch, count] : it->second->pinned_epochs) {
     for (uint32_t i = 0; i < count; ++i) {
       // Best effort — the epoch may already be gone for other reasons.
       (void)backend_->UnpinEpoch(epoch);
+      ++pins_released;
     }
   }
   close(it->second->fd);
   sessions_.erase(it);
   metrics_.connections_closed += 1;
+  Journal(obs::EventKind::kSessionClosed, 0, session_id, sessions_.size(),
+          pins_released);
 }
 
 void QueryServer::DrainAndClose() {
   close(listen_fd_);
   listen_fd_ = -1;
+  Journal(obs::EventKind::kDrainBegan, 0, 0, sessions_.size());
 
   // Execute everything still pending, ignoring the window — accepted
   // requests get answers even across a shutdown.
@@ -1003,6 +1168,13 @@ void QueryServer::DrainAndClose() {
     }
   }
 
+  // Whatever is left did not drain in time: count the sessions whose
+  // buffered output we are about to drop as force-closed.
+  uint64_t forced = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (session->WantsWrite()) ++forced;
+  }
+  Journal(obs::EventKind::kDrainEnded, 0, 0, sessions_.size(), forced);
   std::vector<uint64_t> all_ids;
   all_ids.reserve(sessions_.size());
   for (const auto& [id, session] : sessions_) all_ids.push_back(id);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/event_journal.h"
 #include "obs/http_endpoint.h"
 #include "obs/trace.h"
 #include "server/batch_scheduler.h"
@@ -53,12 +54,22 @@ struct ServerOptions {
   /// request pending in the scheduler are exempt (they are waiting on
   /// us, not the reverse). 0 disables.
   int64_t idle_timeout_nanos = 300'000'000'000;  // 5 min
-  /// Prometheus /metrics HTTP port on `bind_address`: -1 disables the
-  /// endpoint, 0 binds an ephemeral port (read it back via
-  /// `metrics_port()`). Served by the same event loop — OCTP STATS
-  /// stays the authoritative snapshot; /metrics renders the same
-  /// single-writer counters for scrapers.
+  /// Introspection HTTP port on `bind_address` (/metrics, /healthz,
+  /// /readyz, /epochs, /journal): -1 disables the endpoint, 0 binds an
+  /// ephemeral port (read it back via `metrics_port()`). Served by the
+  /// same event loop — OCTP STATS stays the authoritative snapshot;
+  /// /metrics renders the same single-writer counters for scrapers.
   int metrics_port = -1;
+  /// Lifecycle event journal (non-owning; may be null). The server
+  /// emits session/overload/drain events into it, forwards it to the
+  /// backend for step/epoch events at construction, serves it at
+  /// /journal and counts it in /metrics. The caller keeps it alive for
+  /// the server's lifetime.
+  obs::EventJournal* journal = nullptr;
+  /// /readyz flips to 503 when the newest epoch publication is older
+  /// than this (a stepper that stopped stepping); 0 disables the lag
+  /// check. Only meaningful on dynamic backends.
+  int64_t ready_max_publish_lag_nanos = 0;
   /// Flight-recorder ring capacity in records; 0 disables tracing
   /// entirely (one predictable branch per request — see obs/trace.h).
   size_t trace_ring_slots = 1024;
@@ -102,6 +113,17 @@ class QueryServer {
   /// Renders the Prometheus exposition /metrics serves — public so
   /// tests can assert STATS parity without an HTTP round trip.
   std::string RenderMetricsText() const;
+  /// Renders the JSON /epochs serves (retention-ring view; a static
+  /// backend reports "dynamic": false with no entries) — public for
+  /// the same reason.
+  std::string RenderEpochsJson() const;
+  /// Renders the JSON /journal serves ({"total","capacity","events"}),
+  /// empty-events when no journal is attached.
+  std::string RenderJournalJson() const;
+  /// The /readyz answer: 200 + JSON when ready, 503 + JSON when the
+  /// epoch-publication lag is over the bound or the spill sidecar has
+  /// failing epochs.
+  obs::HttpTextEndpoint::Response ReadyzResponse() const;
   /// The backend. `AdvanceStep`/`CurrentEpoch` on it are safe from a
   /// stepper thread while the loop runs (see VersionedBackend's thread
   /// model); everything else is loop-thread state.
@@ -137,6 +159,15 @@ class QueryServer {
   void FlushSession(Session* session);
   void CloseSession(uint64_t session_id);
   void DrainAndClose();
+  /// Path-routed introspection handler behind `metrics_http_`.
+  obs::HttpTextEndpoint::Response RouteHttp(const std::string& path) const;
+  /// Emits into the attached journal (no-op when none is attached).
+  void Journal(obs::EventKind kind, uint64_t epoch = 0,
+               uint64_t session = 0, uint64_t a = 0, uint64_t b = 0) {
+    if (options_.journal != nullptr) {
+      options_.journal->Emit(kind, epoch, session, a, b);
+    }
+  }
 
   std::unique_ptr<VersionedBackend> backend_;
   ServerOptions options_;

@@ -122,6 +122,7 @@ Status VersionedBackend::BindDeformer(const DeformerSpec& spec) {
   auto store =
       std::make_unique<EpochStore>(spill_page_bytes, retention_options_);
   OCTOPUS_RETURN_NOT_OK(store->Init());
+  store->AttachJournal(journal_);
 
   if (mesh_ != nullptr) {
     OCTOPUS_RETURN_NOT_OK(mesh_->BindDeformer(spec));
@@ -169,6 +170,9 @@ engine::EpochInfo VersionedBackend::AdvanceStep() {
 
   if (mesh_ != nullptr) {
     const engine::EpochInfo info = mesh_->AdvanceStep();
+    if (journal_ != nullptr) {
+      journal_->Emit(obs::EventKind::kStepApplied, 0, 0, info.step, 0);
+    }
     // Mirror the publication into the history store; the store is what
     // queries (current and historical) actually read, so this is the
     // externally visible publication point — one atomic swap inside.
@@ -194,6 +198,10 @@ engine::EpochInfo VersionedBackend::AdvanceStep() {
           paged_prev_positions_, paged_sim_mesh_->positions(), &rewritten);
   paged_prev_positions_ = paged_sim_mesh_->positions();
   last_step_pages_rewritten_.store(rewritten, std::memory_order_release);
+  if (journal_ != nullptr) {
+    journal_->Emit(obs::EventKind::kStepApplied, 0, 0, info.step,
+                   rewritten);
+  }
   store_->Publish(PinnedEpochState{info, std::move(overlay), nullptr});
   return info;
 }

@@ -75,6 +75,16 @@ class VersionedBackend {
   /// most once.
   Status BindDeformer(const DeformerSpec& spec);
 
+  /// Points lifecycle events (step applied here; epoch lifecycle in the
+  /// store) at `journal` (non-owning; null detaches). Call before the
+  /// stepper starts. Attach before `BindDeformer` to also journal the
+  /// initial epoch's publication; attaching later is forwarded to an
+  /// already-created store.
+  void AttachJournal(obs::EventJournal* journal) {
+    journal_ = journal;
+    if (store_ != nullptr) store_->AttachJournal(journal);
+  }
+
   bool dynamic() const { return dynamic_.load(std::memory_order_acquire); }
   DeformerKind deformer_kind() const;
 
@@ -172,6 +182,7 @@ class VersionedBackend {
   /// always seen together.
   EpochRetentionOptions retention_options_;
   std::unique_ptr<EpochStore> store_;
+  obs::EventJournal* journal_ = nullptr;  ///< lifecycle event sink
 
   std::atomic<bool> dynamic_{false};
   std::atomic<uint64_t> last_step_pages_rewritten_{0};

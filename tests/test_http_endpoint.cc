@@ -1,0 +1,240 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Edge-case tests of the poll-loop-embedded HTTP responder, driven
+// directly (CollectPollFds + poll + OnReady) without a QueryServer:
+// request heads arriving one byte at a time, oversized requests (400),
+// non-GET methods (405), query-string stripping, a slow reader that
+// forces the response out through repeated POLLOUT rounds, and the
+// kMaxConns admission cap (listener unpolled at the cap, queued
+// connections served once a slot frees). The routed endpoints
+// themselves (/metrics, /healthz, ...) are covered in test_server.cc
+// against a live server.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/http_endpoint.h"
+
+namespace octopus {
+namespace {
+
+using obs::HttpTextEndpoint;
+
+/// Routes /ok to a small 200 and /big to a multi-megabyte body (large
+/// enough to overflow any socket send buffer, forcing POLLOUT rounds);
+/// records the last path seen so tests can assert on query stripping.
+class EndpointFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    handler_ = [this](const std::string& path) {
+      last_path_ = path;
+      if (path == "/ok") {
+        HttpTextEndpoint::Response response;
+        response.body = "fine\n";
+        return response;
+      }
+      if (path == "/big") {
+        HttpTextEndpoint::Response response;
+        response.body.assign(8 * 1024 * 1024, 'x');
+        return response;
+      }
+      return HttpTextEndpoint::NotFound();
+    };
+    ASSERT_TRUE(endpoint_.Listen("127.0.0.1", 0).ok());
+  }
+
+  /// One poll round over everything the endpoint wants watched.
+  void Pump(int timeout_ms = 20) {
+    std::vector<pollfd> fds;
+    endpoint_.CollectPollFds(&fds);
+    if (fds.empty()) return;
+    const int n = poll(fds.data(), fds.size(), timeout_ms);
+    if (n <= 0) return;
+    for (const pollfd& p : fds) {
+      if (p.revents != 0) endpoint_.OnReady(p.fd, p.revents, handler_);
+    }
+  }
+
+  /// A connected blocking client socket (optionally with a tiny receive
+  /// buffer, to model a slow reader).
+  int Connect(int rcvbuf_bytes = 0) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    if (rcvbuf_bytes > 0) {
+      setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(endpoint_.port());
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+              0)
+        << std::strerror(errno);
+    return fd;
+  }
+
+  void SendAll(int fd, const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0) << std::strerror(errno);
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  /// Pumps the endpoint while draining `fd` until EOF (the endpoint
+  /// closes after each response). Empty string on timeout.
+  std::string ReadResponse(int fd, int max_rounds = 20000) {
+    std::string got;
+    char buf[4096];
+    for (int round = 0; round < max_rounds; ++round) {
+      Pump(1);
+      const ssize_t n = recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+      if (n > 0) {
+        got.append(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) return got;  // EOF: response complete
+      if (errno != EAGAIN && errno != EWOULDBLOCK) return got;
+    }
+    ADD_FAILURE() << "response never completed; got " << got.size()
+                  << " bytes";
+    return got;
+  }
+
+  HttpTextEndpoint endpoint_;
+  HttpTextEndpoint::Handler handler_;
+  std::string last_path_;
+};
+
+TEST_F(EndpointFixture, AssemblesARequestArrivingOneWriteAtATime) {
+  const int fd = Connect();
+  // The head trickles in over five sends with pumps between — the
+  // endpoint must buffer across POLLIN rounds, not expect one recv.
+  for (const char* piece :
+       {"GE", "T /o", "k HTT", "P/1.0\r\n", "\r\n"}) {
+    SendAll(fd, piece);
+    Pump();
+  }
+  const std::string response = ReadResponse(fd);
+  EXPECT_NE(response.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain; charset=utf-8\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\nfine\n"), std::string::npos);
+  close(fd);
+}
+
+TEST_F(EndpointFixture, OversizedRequestHeadIsRejectedWith400) {
+  const int fd = Connect();
+  // Never send the terminating blank line; pad headers until the head
+  // crosses kMaxRequestBytes.
+  std::string request = "GET /ok HTTP/1.0\r\n";
+  while (request.size() <= HttpTextEndpoint::kMaxRequestBytes) {
+    request += "X-Pad: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n";
+  }
+  SendAll(fd, request);
+  const std::string response = ReadResponse(fd);
+  EXPECT_NE(response.find("HTTP/1.0 400 Bad Request\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("request too large\n"), std::string::npos);
+  close(fd);
+}
+
+TEST_F(EndpointFixture, NonGetMethodIsRejectedWith405) {
+  const int fd = Connect();
+  SendAll(fd, "POST /ok HTTP/1.0\r\n\r\n");
+  const std::string response = ReadResponse(fd);
+  EXPECT_NE(response.find("HTTP/1.0 405 Method Not Allowed\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("GET only\n"), std::string::npos);
+  // The handler is never consulted for a non-GET.
+  EXPECT_TRUE(last_path_.empty());
+  close(fd);
+}
+
+TEST_F(EndpointFixture, MalformedRequestLineIsRejectedWith400) {
+  const int fd = Connect();
+  SendAll(fd, "NONSENSE\r\n\r\n");
+  const std::string response = ReadResponse(fd);
+  EXPECT_NE(response.find("HTTP/1.0 400 Bad Request\r\n"),
+            std::string::npos);
+  close(fd);
+}
+
+TEST_F(EndpointFixture, QueryStringIsStrippedBeforeRouting) {
+  const int fd = Connect();
+  SendAll(fd, "GET /ok?debug=1&x=2 HTTP/1.0\r\n\r\n");
+  const std::string response = ReadResponse(fd);
+  EXPECT_NE(response.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_EQ(last_path_, "/ok");
+  close(fd);
+}
+
+TEST_F(EndpointFixture, SlowReaderDrainsLargeResponseViaPollout) {
+  // A 4 KiB client receive buffer against an 8 MiB body: the server's
+  // send() must hit EAGAIN and finish over many POLLOUT rounds while
+  // the client drains between pumps (ReadResponse interleaves the two).
+  const int fd = Connect(/*rcvbuf_bytes=*/4096);
+  SendAll(fd, "GET /big HTTP/1.0\r\n\r\n");
+  const std::string response = ReadResponse(fd, /*max_rounds=*/200000);
+  EXPECT_NE(response.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 8388608\r\n"),
+            std::string::npos);
+  const size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = response.substr(body_at + 4);
+  EXPECT_EQ(body.size(), 8u * 1024 * 1024);
+  EXPECT_EQ(body.find_first_not_of('x'), std::string::npos);
+  close(fd);
+}
+
+TEST_F(EndpointFixture, ListenerIsUnpolledAtTheConnCapAndRecovers) {
+  // Fill every slot with idle connections (no request sent).
+  std::vector<int> idle;
+  for (size_t i = 0; i < HttpTextEndpoint::kMaxConns; ++i) {
+    idle.push_back(Connect());
+  }
+  for (int round = 0; round < 1000; ++round) {
+    std::vector<pollfd> fds;
+    endpoint_.CollectPollFds(&fds);
+    if (fds.size() == HttpTextEndpoint::kMaxConns) break;
+    Pump();
+  }
+  // At the cap the poll set is exactly the connections — the listener
+  // is left out, so new arrivals wait in the kernel accept queue.
+  std::vector<pollfd> fds;
+  endpoint_.CollectPollFds(&fds);
+  ASSERT_EQ(fds.size(), HttpTextEndpoint::kMaxConns);
+
+  // A ninth client connects (the backlog takes it) and asks away —
+  // but gets no answer while the cap holds.
+  const int ninth = Connect();
+  SendAll(ninth, "GET /ok HTTP/1.0\r\n\r\n");
+  for (int round = 0; round < 50; ++round) Pump(1);
+  char buf[256];
+  ssize_t n = recv(ninth, buf, sizeof(buf), MSG_DONTWAIT);
+  EXPECT_LT(n, 0);
+  EXPECT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK);
+
+  // Freeing one slot lets the listener back into the poll set; the
+  // queued ninth connection is then accepted and served.
+  close(idle[0]);
+  const std::string response = ReadResponse(ninth);
+  EXPECT_NE(response.find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(response.find("fine\n"), std::string::npos);
+  close(ninth);
+  for (size_t i = 1; i < idle.size(); ++i) close(idle[i]);
+}
+
+}  // namespace
+}  // namespace octopus

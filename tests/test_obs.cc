@@ -3,8 +3,11 @@
 // (0 ns, u64-max, percentile ordering, saturating sum), the derived
 // connections-active gauge, flight-recorder ring semantics (disabled,
 // wraparound, oldest-first snapshots), the Prometheus exposition
-// writer, and the Chrome trace-event rendering. The live /metrics <->
-// OCTP STATS parity runs in test_server.cc against a real server.
+// writer, the Chrome trace-event rendering (server-only and merged
+// client+server), client call-span JSONL round trips, and the lifecycle
+// event journal (ring wrap, seq monotonicity, JSONL sink, disabled
+// no-op). The live /metrics <-> OCTP STATS parity runs in
+// test_server.cc against a real server.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -13,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/event_journal.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "server/metrics.h"
@@ -284,6 +288,195 @@ TEST(ChromeTraceTest, ElidesZeroDurationSpansAndEmptyInput) {
   }
   const std::string empty = obs::ChromeTraceJson({});
   EXPECT_NE(empty.find("\"traceEvents\":[\n\n]}"), std::string::npos);
+}
+
+TEST(ClientCallSpanTest, JsonRoundTripsEveryField) {
+  obs::ClientCallSpan span;
+  span.span_id = 7;
+  span.request_id = 42;
+  span.server_trace_id = 1234567890123456789ull;
+  span.start_unix_nanos = 1'700'000'000'000'000'000;
+  span.send_nanos = 1'500;
+  span.wait_nanos = 250'000;
+  span.recv_nanos = 3'200;
+  span.queries = 16;
+  span.epoch = 5;
+  const std::string line = obs::ClientCallSpanJson(span);
+  obs::ClientCallSpan parsed;
+  ASSERT_TRUE(obs::ParseClientCallSpanJson(line, &parsed));
+  EXPECT_EQ(parsed, span);
+}
+
+TEST(ClientCallSpanTest, ParserRejectsJunkAndToleratesMissingFields) {
+  obs::ClientCallSpan out;
+  EXPECT_FALSE(obs::ParseClientCallSpanJson("", &out));
+  EXPECT_FALSE(obs::ParseClientCallSpanJson("# comment line", &out));
+  EXPECT_FALSE(obs::ParseClientCallSpanJson("{\"span_id\":0}", &out));
+  // A minimal line parses; absent fields default to zero.
+  ASSERT_TRUE(obs::ParseClientCallSpanJson("{\"span_id\":3}", &out));
+  EXPECT_EQ(out.span_id, 3u);
+  EXPECT_EQ(out.server_trace_id, 0u);
+  EXPECT_EQ(out.wait_nanos, 0);
+}
+
+TEST(MergedChromeTraceTest, NestsMatchedServerRecordInWaitWindow) {
+  obs::ClientCallSpan span;
+  span.span_id = 1;
+  span.request_id = 11;
+  span.server_trace_id = 9;
+  span.start_unix_nanos = 1'000'000'000;  // rebased to ts 0
+  span.send_nanos = 2'000;
+  span.wait_nanos = 10'000;
+  span.recv_nanos = 1'000;
+  span.queries = 4;
+
+  QueryTraceRecord rec;
+  rec.trace_id = 9;
+  rec.session_id = 3;
+  rec.request_id = 11;
+  rec.total_nanos = 6'000;
+  rec.probe_nanos = 6'000;
+
+  const std::string json = obs::MergedChromeTraceJson({rec}, {span});
+  // Client call span at the rebased origin on pid 1.
+  EXPECT_NE(json.find("\"name\":\"call\",\"ph\":\"X\",\"pid\":1,"
+                      "\"tid\":1,\"ts\":0.000,\"dur\":13.000"),
+            std::string::npos);
+  // wait window is [2000, 12000) ns; slack = 10000 - 6000 = 4000, so
+  // the server span starts at 2000 + 2000 = 4000 ns = 4 us on pid 2.
+  EXPECT_NE(json.find("\"name\":\"request\",\"ph\":\"X\",\"pid\":2,"
+                      "\"tid\":3,\"ts\":4.000,\"dur\":6.000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"wire_nanos\":4000"), std::string::npos);
+  // Both process tracks are named.
+  EXPECT_NE(json.find("\"args\":{\"name\":\"client\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"server\"}"), std::string::npos);
+}
+
+TEST(MergedChromeTraceTest, OmitsUnmatchedServerRecords) {
+  obs::ClientCallSpan span;
+  span.span_id = 1;
+  span.server_trace_id = 0;  // server ran untraced
+  span.start_unix_nanos = 500;
+  span.send_nanos = 100;
+  span.wait_nanos = 100;
+  span.recv_nanos = 100;
+  QueryTraceRecord stranger;  // some other client's request
+  stranger.trace_id = 77;
+  stranger.session_id = 8;
+  stranger.total_nanos = 50;
+  const std::string json = obs::MergedChromeTraceJson({stranger}, {span});
+  EXPECT_NE(json.find("\"name\":\"call\""), std::string::npos);
+  EXPECT_EQ(json.find("\"name\":\"request\""), std::string::npos);
+  EXPECT_EQ(json.find("\"trace_id\":77"), std::string::npos);
+}
+
+using obs::EventJournal;
+using obs::EventKind;
+using obs::JournalEvent;
+
+TEST(EventJournalTest, DisabledJournalIsANoOp) {
+  EventJournal journal;  // no ring, no sink
+  EXPECT_FALSE(journal.enabled());
+  journal.Emit(EventKind::kStepApplied, 0, 0, 1, 2);
+  EXPECT_EQ(journal.total_emitted(), 0u);
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.RenderJson(),
+            "{\"total\":0,\"capacity\":0,\"events\":[]}");
+}
+
+TEST(EventJournalTest, StampsMonotoneSeqAndWallClock) {
+  EventJournal journal(8);
+  ASSERT_TRUE(journal.enabled());
+  journal.Emit(EventKind::kSessionOpened, 0, 5, 1);
+  journal.Emit(EventKind::kEpochPinned, 3, 5, 1);
+  journal.Emit(EventKind::kSessionClosed, 0, 5, 0, 1);
+  std::vector<JournalEvent> events;
+  journal.Snapshot(&events);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_EQ(events[2].seq, 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kSessionOpened);
+  EXPECT_EQ(events[1].epoch, 3u);
+  EXPECT_EQ(events[1].session, 5u);
+  EXPECT_EQ(events[2].b, 1u);
+  EXPECT_GT(events[0].unix_nanos, 0);
+  EXPECT_LE(events[0].unix_nanos, events[2].unix_nanos);
+}
+
+TEST(EventJournalTest, WrapsOverwritingOldestAndSnapshotsInOrder) {
+  constexpr size_t kSlots = 4;
+  constexpr uint64_t kWrites = 11;  // wraps the ring 2.75 times
+  EventJournal journal(kSlots);
+  for (uint64_t i = 1; i <= kWrites; ++i) {
+    journal.Emit(EventKind::kStepApplied, 0, 0, i);
+  }
+  EXPECT_EQ(journal.total_emitted(), kWrites);
+  EXPECT_EQ(journal.size(), kSlots);
+  EXPECT_EQ(journal.capacity(), kSlots);
+  std::vector<JournalEvent> events;
+  journal.Snapshot(&events);
+  ASSERT_EQ(events.size(), kSlots);
+  // The survivors are the newest kSlots events, oldest first, and seq
+  // reflects lifetime position — not ring position.
+  for (size_t i = 0; i < kSlots; ++i) {
+    EXPECT_EQ(events[i].seq, kWrites - kSlots + 1 + i) << i;
+    EXPECT_EQ(events[i].a, kWrites - kSlots + 1 + i) << i;
+  }
+}
+
+TEST(EventJournalTest, RenderJsonCapsToNewestEvents) {
+  EventJournal journal(8);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    journal.Emit(EventKind::kEpochPublished, i, 0, i * 10);
+  }
+  const std::string full = journal.RenderJson();
+  EXPECT_NE(full.find("\"total\":5,\"capacity\":8"), std::string::npos);
+  EXPECT_NE(full.find("\"seq\":1,"), std::string::npos);
+  EXPECT_NE(full.find("\"kind\":\"epoch_published\""), std::string::npos);
+  const std::string capped = journal.RenderJson(/*max_events=*/2);
+  // Only the two newest survive the cap; total still reports lifetime.
+  EXPECT_NE(capped.find("\"total\":5"), std::string::npos);
+  EXPECT_EQ(capped.find("\"seq\":3,"), std::string::npos);
+  EXPECT_NE(capped.find("\"seq\":4,"), std::string::npos);
+  EXPECT_NE(capped.find("\"seq\":5,"), std::string::npos);
+}
+
+TEST(EventJournalTest, SinkGetsOneJsonLinePerEventEvenWithoutRing) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  {
+    EventJournal journal(/*capacity=*/0, sink);
+    ASSERT_TRUE(journal.enabled());  // sink alone enables it
+    journal.Emit(EventKind::kEpochSpilled, 7, 0, 12, 49'152);
+    journal.Emit(EventKind::kDrainBegan, 0, 0, 3);
+    EXPECT_EQ(journal.total_emitted(), 2u);
+    EXPECT_EQ(journal.size(), 0u);  // no ring
+  }
+  std::rewind(sink);
+  char line[512];
+  ASSERT_NE(std::fgets(line, sizeof(line), sink), nullptr);
+  std::string first(line);
+  EXPECT_NE(first.find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(first.find("\"kind\":\"epoch_spilled\""), std::string::npos);
+  EXPECT_NE(first.find("\"epoch\":7"), std::string::npos);
+  EXPECT_NE(first.find("\"a\":12"), std::string::npos);
+  EXPECT_NE(first.find("\"b\":49152"), std::string::npos);
+  ASSERT_NE(std::fgets(line, sizeof(line), sink), nullptr);
+  EXPECT_NE(std::string(line).find("\"kind\":\"drain_began\""),
+            std::string::npos);
+  EXPECT_EQ(std::fgets(line, sizeof(line), sink), nullptr);
+  std::fclose(sink);
+}
+
+TEST(EventJournalTest, KindNamesAreWireStable) {
+  EXPECT_STREQ(obs::EventKindName(EventKind::kStepApplied),
+               "step_applied");
+  EXPECT_STREQ(obs::EventKindName(EventKind::kOverloadRejected),
+               "overload_rejected");
+  EXPECT_STREQ(obs::EventKindName(EventKind::kDrainEnded), "drain_ended");
+  EXPECT_STREQ(obs::EventKindName(static_cast<EventKind>(200)), "unknown");
 }
 
 }  // namespace

@@ -78,11 +78,14 @@ TEST(ProtocolTest, QueryBatchRoundTripBitExact) {
 
   uint64_t request_id = 0;
   uint64_t epoch = 99;
+  uint64_t span = 99;
   std::vector<AABB> parsed;
-  ASSERT_TRUE(
-      ParseQueryBatch(frame.payload, &request_id, &parsed, &epoch).ok());
+  ASSERT_TRUE(ParseQueryBatch(frame.payload, &request_id, &parsed, &epoch,
+                              &span)
+                  .ok());
   EXPECT_EQ(request_id, 42u);
   EXPECT_EQ(epoch, 0u);  // default: the server's current epoch
+  EXPECT_EQ(span, 0u);   // default: no client span (v6)
   ASSERT_EQ(parsed.size(), boxes.size());
   for (size_t i = 0; i < boxes.size(); ++i) {
     // Bit-exact: the query a client sends is the query the engine runs.
@@ -99,12 +102,34 @@ TEST(ProtocolTest, QueryBatchCarriesHistoricalEpoch) {
   const SplitFrame frame = Split(buffer);
   uint64_t request_id = 0;
   uint64_t epoch = 0;
+  uint64_t span = 0;
   std::vector<AABB> parsed;
-  ASSERT_TRUE(
-      ParseQueryBatch(frame.payload, &request_id, &parsed, &epoch).ok());
+  ASSERT_TRUE(ParseQueryBatch(frame.payload, &request_id, &parsed, &epoch,
+                              &span)
+                  .ok());
   EXPECT_EQ(request_id, 8u);
   EXPECT_EQ(epoch, 987654321098ull);
   ASSERT_EQ(parsed.size(), 1u);
+}
+
+TEST(ProtocolTest, QueryBatchCarriesClientSpanId) {
+  // v6: the client's span id travels with the request so the server's
+  // slow-query log (and a merged trace) can name the caller's span.
+  const std::vector<AABB> boxes = {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))};
+  Buffer buffer;
+  AppendQueryBatch(&buffer, 9, boxes, /*epoch=*/5,
+                   /*client_span_id=*/0xfeedface12345678ull);
+  const SplitFrame frame = Split(buffer);
+  uint64_t request_id = 0;
+  uint64_t epoch = 0;
+  uint64_t span = 0;
+  std::vector<AABB> parsed;
+  ASSERT_TRUE(ParseQueryBatch(frame.payload, &request_id, &parsed, &epoch,
+                              &span)
+                  .ok());
+  EXPECT_EQ(request_id, 9u);
+  EXPECT_EQ(epoch, 5u);
+  EXPECT_EQ(span, 0xfeedface12345678ull);
 }
 
 TEST(ProtocolTest, EmptyQueryBatchRoundTrip) {
@@ -113,9 +138,11 @@ TEST(ProtocolTest, EmptyQueryBatchRoundTrip) {
   const SplitFrame frame = Split(buffer);
   uint64_t request_id = 0;
   uint64_t epoch = 0;
+  uint64_t span = 0;
   std::vector<AABB> parsed = {AABB(Vec3(1, 1, 1), Vec3(2, 2, 2))};
-  ASSERT_TRUE(
-      ParseQueryBatch(frame.payload, &request_id, &parsed, &epoch).ok());
+  ASSERT_TRUE(ParseQueryBatch(frame.payload, &request_id, &parsed, &epoch,
+                              &span)
+                  .ok());
   EXPECT_EQ(request_id, 7u);
   EXPECT_TRUE(parsed.empty());
 }
@@ -140,6 +167,7 @@ TEST(ProtocolTest, ResultRoundTrip) {
   stats.batch_queries = 3;
   stats.batch_requests = 2;
   stats.epoch = engine::EpochInfo{42, 7};
+  stats.trace_id = 0xabcdef0123456789ull;
   const std::vector<std::vector<VertexId>> per_query = {
       {5, 1, 9}, {}, {1234567}};
 
@@ -178,6 +206,8 @@ TEST(ProtocolTest, ResultRoundTrip) {
   // Epoch-stamped RESULT: the id round-trips and doubles as staleness.
   EXPECT_EQ(parsed_stats.epoch, (engine::EpochInfo{42, 7}));
   EXPECT_EQ(round.stale_steps, 7u);
+  // v6: the server's flight-recorder id rides in the stats block.
+  EXPECT_EQ(parsed_stats.trace_id, 0xabcdef0123456789ull);
 }
 
 TEST(ProtocolTest, StepRoundTrip) {
@@ -548,11 +578,12 @@ TEST(ProtocolTest, QueryBatchRejectsCountMismatch) {
   buffer[kFrameHeaderBytes + 8] = 2;
   uint64_t request_id = 0;
   uint64_t epoch = 0;
+  uint64_t span = 0;
   std::vector<AABB> parsed;
   const std::span<const uint8_t> payload =
       std::span<const uint8_t>(buffer).subspan(kFrameHeaderBytes);
   EXPECT_FALSE(
-      ParseQueryBatch(payload, &request_id, &parsed, &epoch).ok());
+      ParseQueryBatch(payload, &request_id, &parsed, &epoch, &span).ok());
 }
 
 TEST(ProtocolTest, QueryBatchRejectsTruncatedPayload) {
@@ -563,12 +594,13 @@ TEST(ProtocolTest, QueryBatchRejectsTruncatedPayload) {
       std::span<const uint8_t>(buffer).subspan(kFrameHeaderBytes);
   uint64_t request_id = 0;
   uint64_t epoch = 0;
+  uint64_t span = 0;
   std::vector<AABB> parsed;
   // Every truncation point must fail cleanly — including cuts through
-  // the v3 epoch field.
+  // the v3 epoch and v6 client-span fields.
   for (size_t cut = 0; cut < payload.size(); ++cut) {
     EXPECT_FALSE(ParseQueryBatch(payload.first(cut), &request_id,
-                                 &parsed, &epoch)
+                                 &parsed, &epoch, &span)
                      .ok())
         << "cut at " << cut;
   }

@@ -23,7 +23,10 @@
 
 #include "client/remote_client.h"
 #include "harness/bench_harness.h"
+#include "obs/event_journal.h"
 #include "obs/trace.h"
+#include "server/epoch_store.h"
+#include "sim/deformer_spec.h"
 #include "mesh/generators/datasets.h"
 #include "mesh/generators/grid_generator.h"
 #include "mesh/mesh_io.h"
@@ -1026,6 +1029,264 @@ TEST(ServerIntegrationTest, SlowQueryThresholdCountsRequests) {
   ASSERT_TRUE(remote->ExecuteBatch(queries).ok());
   fixture.StopAndJoin();
   EXPECT_EQ(fixture.server().metrics().slow_queries, 2u);
+}
+
+/// A retention-configured dynamic backend whose epochs spill and evict
+/// within a few steps (window 2, history 4, sidecar under TempDir).
+std::unique_ptr<VersionedBackend> MakeDeformingBackend(
+    const TetraMesh& mesh, const std::string& spill_name) {
+  auto backend = VersionedBackend::FromMesh(mesh, 1);
+  server::EpochRetentionOptions retention;
+  retention.retention_epochs = 2;
+  retention.history_epochs = 4;
+  retention.spill_path = ::testing::TempDir() + "/" + spill_name;
+  EXPECT_TRUE(backend->ConfigureRetention(retention).ok());
+  DeformerSpec spec;
+  spec.kind = DeformerKind::kRandom;
+  spec.amplitude = 0.02f;
+  spec.seed = 2026;
+  EXPECT_TRUE(backend->BindDeformer(spec).ok());
+  return backend;
+}
+
+// The tentpole acceptance bar: driving pin / step / unpin over OCTP
+// against a spilling backend must produce an ordered lifecycle stream,
+// and /journal must serve exactly what the ring holds.
+TEST(ServerIntegrationTest, JournalRecordsLifecycleAndServesIt) {
+  const TetraMesh mesh = MakeBox(6);
+  obs::EventJournal journal(128);
+  ServerOptions options;
+  options.metrics_port = 0;
+  options.journal = &journal;
+  ServerFixture fixture(MakeDeformingBackend(mesh, "journal_life.oct2d"),
+                        options);
+  const uint16_t metrics_port = fixture.server().metrics_port();
+  ASSERT_NE(metrics_port, 0);
+
+  {
+    auto remote = MustConnect(fixture.port());
+    auto pinned = remote->PinEpoch(0);  // pin the initial epoch
+    ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+    EXPECT_EQ(pinned.Value().epoch, 1u);
+    // Eight steps push unpinned epochs out of the window (spill) and
+    // past the history cap (evict); the pin itself stays resident.
+    for (int s = 0; s < 8; ++s) {
+      ASSERT_TRUE(remote->Step(1).ok());
+    }
+    ASSERT_TRUE(remote->UnpinEpoch(1).ok());
+
+    // Quiescent (every OCTP call above is synchronous): the endpoint
+    // must serve the ring verbatim.
+    const std::string response = HttpGet(metrics_port, "/journal");
+    ASSERT_NE(response.find("HTTP/1.0 200"), std::string::npos)
+        << response.substr(0, 64);
+    ASSERT_NE(response.find("Content-Type: application/json"),
+              std::string::npos);
+    const std::string body = response.substr(response.find("\r\n\r\n") + 4);
+    EXPECT_EQ(body, journal.RenderJson());
+
+    // The lifecycle reads in causal order: the session opened before it
+    // pinned, pins precede steps, a step precedes its publication, and
+    // spill precedes the eviction of the spilled epoch.
+    size_t at = 0;
+    for (const char* kind :
+         {"\"kind\":\"session_opened\"", "\"kind\":\"epoch_pinned\"",
+          "\"kind\":\"step_applied\"", "\"kind\":\"epoch_published\"",
+          "\"kind\":\"epoch_spilled\"", "\"kind\":\"epoch_evicted\"",
+          "\"kind\":\"epoch_unpinned\""}) {
+      const size_t found = body.find(kind, at);
+      ASSERT_NE(found, std::string::npos) << kind << " after " << at;
+      at = found;
+    }
+
+    // /metrics counts the same journal.
+    const std::string metrics = HttpGet(metrics_port, "/metrics");
+    const std::string metrics_body =
+        metrics.substr(metrics.find("\r\n\r\n") + 4);
+    EXPECT_EQ(MetricValue(metrics_body, "octopus_journal_events_total"),
+              static_cast<double>(journal.total_emitted()));
+    EXPECT_EQ(MetricValue(metrics_body, "octopus_journal_ring_events"),
+              static_cast<double>(journal.size()));
+  }
+  fixture.StopAndJoin();
+
+  // The close and the drain made the journal too, with seq gapless.
+  std::vector<obs::JournalEvent> events;
+  journal.Snapshot(&events);
+  ASSERT_FALSE(events.empty());
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1) << i;
+  }
+  bool saw_closed = false, saw_drain_began = false, saw_drain_ended = false;
+  for (const obs::JournalEvent& event : events) {
+    saw_closed |= event.kind == obs::EventKind::kSessionClosed;
+    saw_drain_began |= event.kind == obs::EventKind::kDrainBegan;
+    saw_drain_ended |= event.kind == obs::EventKind::kDrainEnded;
+  }
+  EXPECT_TRUE(saw_closed);
+  EXPECT_TRUE(saw_drain_began);
+  EXPECT_TRUE(saw_drain_ended);
+}
+
+// /epochs must be counter-equal with the EpochStore's own view at a
+// quiescent point — same retention ring, two read paths.
+TEST(ServerIntegrationTest, EpochsEndpointMatchesTheStoreView) {
+  const TetraMesh mesh = MakeBox(6);
+  auto backend = MakeDeformingBackend(mesh, "epochs_endpoint.oct2d");
+  VersionedBackend* raw = backend.get();
+  ServerOptions options;
+  options.metrics_port = 0;
+  ServerFixture fixture(std::move(backend), options);
+  auto remote = MustConnect(fixture.port());
+  for (int s = 0; s < 6; ++s) {
+    ASSERT_TRUE(remote->Step(1).ok());
+  }
+
+  const std::string response =
+      HttpGet(fixture.server().metrics_port(), "/epochs");
+  ASSERT_NE(response.find("HTTP/1.0 200"), std::string::npos)
+      << response.substr(0, 64);
+  const std::string body = response.substr(response.find("\r\n\r\n") + 4);
+
+  const server::EpochStoreView view = raw->epoch_store()->View();
+  EXPECT_GT(view.evicted_total, 0u);  // the workload actually churned
+  EXPECT_GT(view.spill_pages_written, 0u);
+  EXPECT_NE(body.find("\"dynamic\":true"), std::string::npos);
+  EXPECT_NE(body.find("\"current_epoch\":7"), std::string::npos);
+  EXPECT_NE(body.find("\"current_step\":6"), std::string::npos);
+  EXPECT_NE(body.find("\"resident_bytes\":" +
+                      std::to_string(view.resident_bytes)),
+            std::string::npos);
+  EXPECT_NE(body.find("\"evicted_total\":" +
+                      std::to_string(view.evicted_total)),
+            std::string::npos);
+  EXPECT_NE(body.find("\"enabled\":true"), std::string::npos);
+  EXPECT_NE(body.find("\"pages_written\":" +
+                      std::to_string(view.spill_pages_written)),
+            std::string::npos);
+  EXPECT_NE(body.find("\"bytes_written\":" +
+                      std::to_string(view.spill_bytes_written)),
+            std::string::npos);
+  // One JSON entry per retained epoch, no more, no fewer.
+  size_t entry_count = 0;
+  for (size_t at = body.find("{\"epoch\":"); at != std::string::npos;
+       at = body.find("{\"epoch\":", at + 1)) {
+    ++entry_count;
+  }
+  EXPECT_EQ(entry_count, view.entries.size());
+}
+
+// A static backend still answers /epochs (one implicit epoch) and
+// /readyz (always ready — nothing can stall).
+TEST(ServerIntegrationTest, StaticBackendIntrospectionEndpoints) {
+  const TetraMesh mesh = MakeBox(4);
+  ServerOptions options;
+  options.metrics_port = 0;
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1), options);
+  const uint16_t metrics_port = fixture.server().metrics_port();
+
+  const std::string health = HttpGet(metrics_port, "/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos);
+
+  const std::string epochs = HttpGet(metrics_port, "/epochs");
+  EXPECT_NE(epochs.find("\"dynamic\":false"), std::string::npos);
+  EXPECT_NE(epochs.find("\"entries\":[]"), std::string::npos);
+
+  const std::string ready = HttpGet(metrics_port, "/readyz");
+  EXPECT_NE(ready.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(ready.find("\"ready\":true"), std::string::npos);
+  EXPECT_NE(ready.find("\"publish_lag_seconds\":null"), std::string::npos);
+
+  // No journal configured: the endpoint answers an empty document.
+  const std::string journal = HttpGet(metrics_port, "/journal");
+  EXPECT_NE(journal.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(journal.find("{\"total\":0,\"capacity\":0,\"events\":[]}"),
+            std::string::npos);
+
+  // Unknown paths get the route hint.
+  const std::string missing = HttpGet(metrics_port, "/epoch");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos);
+  EXPECT_NE(missing.find("try /metrics /healthz /readyz /epochs /journal"),
+            std::string::npos);
+}
+
+// --ready-lag-ms: a 1 ns bound is stale by the time any scrape lands,
+// so /readyz must answer 503 with the stall reason.
+TEST(ServerIntegrationTest, ReadyzFlips503WhenPublicationStalls) {
+  const TetraMesh mesh = MakeBox(4);
+  ServerOptions options;
+  options.metrics_port = 0;
+  options.ready_max_publish_lag_nanos = 1;
+  ServerFixture fixture(MakeDeformingBackend(mesh, "readyz_lag.oct2d"),
+                        options);
+  const std::string ready =
+      HttpGet(fixture.server().metrics_port(), "/readyz");
+  EXPECT_NE(ready.find("HTTP/1.0 503 Service Unavailable"),
+            std::string::npos)
+      << ready.substr(0, 64);
+  EXPECT_NE(ready.find("\"ready\":false"), std::string::npos);
+  EXPECT_NE(ready.find("epoch publication stalled"), std::string::npos);
+}
+
+// v6 trace propagation end to end: the RESULT's stats block carries the
+// server's flight-recorder id, the client span records it, and the two
+// sides merge into one nested Chrome trace.
+TEST(ServerIntegrationTest, ResultCarriesTraceIdAndClientSpansRecordIt) {
+  const TetraMesh mesh = MakeBox(4);
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1));
+  auto remote = MustConnect(fixture.port());
+  remote->set_record_spans(true);
+  const std::vector<AABB> queries = {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))};
+
+  auto first = remote->ExecuteBatch(queries);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first.Value().stats.trace_id, 1u);
+  auto second = remote->ExecuteBatch(queries);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second.Value().stats.trace_id, 2u);
+
+  ASSERT_EQ(remote->spans().size(), 2u);
+  const obs::ClientCallSpan& span = remote->spans()[0];
+  EXPECT_EQ(span.span_id, 1u);
+  EXPECT_EQ(span.server_trace_id, 1u);
+  EXPECT_EQ(span.queries, queries.size());
+  EXPECT_GT(span.start_unix_nanos, 0);
+  EXPECT_GE(span.send_nanos, 0);
+  EXPECT_GE(span.wait_nanos, 0);
+  EXPECT_GE(span.recv_nanos, 0);
+  EXPECT_GT(span.send_nanos + span.wait_nanos + span.recv_nanos, 0);
+  EXPECT_EQ(remote->spans()[1].span_id, 2u);
+  EXPECT_EQ(remote->spans()[1].server_trace_id, 2u);
+
+  // The merged rendering joins on those ids: both client call spans and
+  // both matched server request spans appear.
+  auto dump = remote->FetchTraceDump();
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  const std::string merged =
+      obs::MergedChromeTraceJson(dump.Value().records, remote->spans());
+  EXPECT_NE(merged.find("\"name\":\"call\""), std::string::npos);
+  EXPECT_NE(merged.find("\"name\":\"request\",\"ph\":\"X\",\"pid\":2"),
+            std::string::npos);
+  EXPECT_NE(merged.find("\"server_trace_id\":2"), std::string::npos);
+}
+
+// An untraced server echoes trace_id 0 — the client must not invent a
+// join key where none exists.
+TEST(ServerIntegrationTest, UntracedServerEchoesZeroTraceId) {
+  const TetraMesh mesh = MakeBox(4);
+  ServerOptions options;
+  options.trace_ring_slots = 0;
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1), options);
+  auto remote = MustConnect(fixture.port());
+  remote->set_record_spans(true);
+  const std::vector<AABB> queries = {AABB(Vec3(0, 0, 0), Vec3(1, 1, 1))};
+  auto result = remote->ExecuteBatch(queries);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.Value().stats.trace_id, 0u);
+  ASSERT_EQ(remote->spans().size(), 1u);
+  EXPECT_EQ(remote->spans()[0].server_trace_id, 0u);
+  EXPECT_EQ(remote->spans()[0].span_id, 1u);
 }
 
 TEST(LatencyHistogramTest, PercentilesAreOrderedAndBounded) {

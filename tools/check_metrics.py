@@ -17,9 +17,24 @@ Checks performed on one exposition file:
 Given a second scrape taken later from the same server, additionally
 checks that every counter present in both is monotone non-decreasing.
 
+Saved bodies of the JSON introspection endpoints are validated too:
+
+  * --healthz FILE  — must be exactly "ok\n";
+  * --readyz FILE   — well-formed readiness document, ready == true
+    (the CI server is healthy by construction);
+  * --epochs FILE   — retention-ring document: entries ascend by epoch,
+    per-entry resident bytes sum to the store total, spill counters
+    present when spill is enabled;
+  * --journal FILE  — event-journal document: known kinds only, seq
+    strictly increasing, ring bounded by capacity. Passing --journal
+    also adds the two journal metrics to the required /metrics set.
+
 Usage: check_metrics.py scrape.txt [later_scrape.txt]
+           [--healthz F] [--readyz F] [--epochs F] [--journal F]
 """
 
+import argparse
+import json
 import math
 import re
 import sys
@@ -65,6 +80,17 @@ REQUIRED = [
 ]
 
 HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+JOURNAL_METRICS = [
+    "octopus_journal_events_total",
+    "octopus_journal_ring_events",
+]
+
+EVENT_KINDS = {
+    "step_applied", "epoch_published", "epoch_spilled", "epoch_reloaded",
+    "epoch_evicted", "epoch_pinned", "epoch_unpinned", "session_opened",
+    "session_closed", "overload_rejected", "drain_began", "drain_ended",
+}
 
 
 def family_of(name: str, types: dict) -> str:
@@ -162,21 +188,154 @@ def check_histograms(path, samples, types, failures):
                             f"are not cumulative")
 
 
+def load_json(path: str, failures: list):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        failures.append(f"{path}: not valid JSON: {e}")
+        return None
+
+
+def is_uint(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool) \
+        and value >= 0
+
+
+def check_healthz(path: str, failures: list):
+    try:
+        with open(path) as f:
+            body = f.read()
+    except OSError as e:
+        failures.append(f"{path}: {e}")
+        return
+    if body != "ok\n":
+        failures.append(f"{path}: /healthz body is {body!r}, not 'ok\\n'")
+
+
+def check_readyz(path: str, failures: list):
+    doc = load_json(path, failures)
+    if doc is None:
+        return
+    for key, kinds in (("ready", bool), ("dynamic", bool),
+                       ("max_publish_lag_seconds", (int, float)),
+                       ("spill_failed_epochs", int),
+                       ("reason", str)):
+        if not isinstance(doc.get(key), kinds):
+            failures.append(f"{path}: /readyz field {key} missing or "
+                            f"mistyped: {doc.get(key)!r}")
+    lag = doc.get("publish_lag_seconds")
+    if lag is not None and not isinstance(lag, (int, float)):
+        failures.append(f"{path}: publish_lag_seconds must be a number "
+                        f"or null, got {lag!r}")
+    if doc.get("ready") is not True:
+        failures.append(f"{path}: server reports not ready "
+                        f"(reason: {doc.get('reason')!r})")
+
+
+def check_epochs(path: str, failures: list):
+    doc = load_json(path, failures)
+    if doc is None:
+        return
+    if not isinstance(doc.get("dynamic"), bool) \
+            or not is_uint(doc.get("current_epoch")) \
+            or not is_uint(doc.get("current_step")) \
+            or not isinstance(doc.get("entries"), list):
+        failures.append(f"{path}: /epochs missing dynamic/current_epoch/"
+                        f"current_step/entries")
+        return
+    if not doc["dynamic"]:
+        if doc["entries"]:
+            failures.append(f"{path}: static backend reports retention "
+                            f"entries")
+        return
+    spill = doc.get("spill")
+    if not isinstance(spill, dict) or not isinstance(
+            spill.get("enabled"), bool):
+        failures.append(f"{path}: /epochs spill block missing")
+        spill = {}
+    if spill.get("enabled") and not (
+            is_uint(spill.get("pages_written"))
+            and is_uint(spill.get("bytes_written"))):
+        failures.append(f"{path}: spill enabled but counters missing")
+    last_epoch = -1
+    resident_sum = 0
+    for i, entry in enumerate(doc["entries"]):
+        for key in ("epoch", "step", "pins", "resident_bytes"):
+            if not is_uint(entry.get(key)):
+                failures.append(f"{path}: entry {i} field {key} missing "
+                                f"or mistyped")
+        for key in ("resident", "spilled", "spill_failed"):
+            if not isinstance(entry.get(key), bool):
+                failures.append(f"{path}: entry {i} field {key} missing "
+                                f"or mistyped")
+        if entry.get("epoch", 0) <= last_epoch:
+            failures.append(f"{path}: entries not ascending at index {i}")
+        last_epoch = entry.get("epoch", last_epoch)
+        resident_sum += entry.get("resident_bytes", 0)
+    if is_uint(doc.get("resident_bytes")) \
+            and resident_sum != doc["resident_bytes"]:
+        failures.append(
+            f"{path}: per-entry resident bytes sum to {resident_sum}, "
+            f"header says {doc['resident_bytes']}")
+
+
+def check_journal(path: str, failures: list):
+    doc = load_json(path, failures)
+    if doc is None:
+        return
+    if not is_uint(doc.get("total")) or not is_uint(doc.get("capacity")) \
+            or not isinstance(doc.get("events"), list):
+        failures.append(f"{path}: /journal missing total/capacity/events")
+        return
+    events = doc["events"]
+    if doc["capacity"] and len(events) > doc["capacity"]:
+        failures.append(f"{path}: {len(events)} events exceed the ring "
+                        f"capacity {doc['capacity']}")
+    if doc["total"] < len(events):
+        failures.append(f"{path}: total {doc['total']} below the "
+                        f"{len(events)} events held")
+    prev_seq = 0
+    for i, event in enumerate(events):
+        for key in ("seq", "epoch", "session", "a", "b"):
+            if not is_uint(event.get(key)):
+                failures.append(f"{path}: event {i} field {key} missing "
+                                f"or mistyped")
+        if not isinstance(event.get("unix_nanos"), int):
+            failures.append(f"{path}: event {i} unix_nanos mistyped")
+        if event.get("kind") not in EVENT_KINDS:
+            failures.append(f"{path}: event {i} has unknown kind "
+                            f"{event.get('kind')!r}")
+        if event.get("seq", 0) <= prev_seq:
+            failures.append(f"{path}: event seq not increasing at "
+                            f"index {i}")
+        prev_seq = event.get("seq", prev_seq)
+
+
 def main() -> int:
-    if len(sys.argv) < 2:
-        print(__doc__)
-        return 2
+    parser = argparse.ArgumentParser(
+        description="Validate OCTOPUS introspection endpoint bodies.")
+    parser.add_argument("scrape", help="/metrics exposition text")
+    parser.add_argument("later_scrape", nargs="?",
+                        help="a later scrape for monotonicity checks")
+    parser.add_argument("--healthz", help="saved /healthz body")
+    parser.add_argument("--readyz", help="saved /readyz body")
+    parser.add_argument("--epochs", help="saved /epochs body")
+    parser.add_argument("--journal", help="saved /journal body")
+    args = parser.parse_args()
+
     failures = []
-    samples, types = parse(sys.argv[1], failures)
-    check_histograms(sys.argv[1], samples, types, failures)
-    for name in REQUIRED:
+    samples, types = parse(args.scrape, failures)
+    check_histograms(args.scrape, samples, types, failures)
+    required = REQUIRED + (JOURNAL_METRICS if args.journal else [])
+    for name in required:
         if name not in types:
-            failures.append(f"{sys.argv[1]}: required metric {name} "
+            failures.append(f"{args.scrape}: required metric {name} "
                             f"is missing")
 
-    if len(sys.argv) > 2:
-        later, later_types = parse(sys.argv[2], failures)
-        check_histograms(sys.argv[2], later, later_types, failures)
+    if args.later_scrape:
+        later, later_types = parse(args.later_scrape, failures)
+        check_histograms(args.later_scrape, later, later_types, failures)
         for key, value in samples.items():
             family = family_of(key.split("{")[0], types)
             if types.get(family) == "gauge":
@@ -185,6 +344,15 @@ def main() -> int:
                 failures.append(
                     f"counter {key} went backwards between scrapes: "
                     f"{value} -> {later[key]}")
+
+    if args.healthz:
+        check_healthz(args.healthz, failures)
+    if args.readyz:
+        check_readyz(args.readyz, failures)
+    if args.epochs:
+        check_epochs(args.epochs, failures)
+    if args.journal:
+        check_journal(args.journal, failures)
 
     print(f"check_metrics: {len(samples)} samples, "
           f"{len(types)} families, "

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validates a merged client+server Chrome trace from `octopus_cli
+trace dump --merge-client`.
+
+Checks that the file is well-formed trace-event JSON and that the merge
+respected its own geometry:
+
+  * both process tracks are named (pid 1 "client", pid 2 "server");
+  * every client "call" span (pid 1) contains its send/wait/receive
+    children, laid end to end without overlap;
+  * every server "request" span (pid 2) joins a call span via
+    args.trace_id == the call's args.server_trace_id, and sits inside
+    that call's wait window (when clock skew makes the server span
+    longer than the wait, it must at least start with it);
+  * server phase children (queue/probe/walk/crawl/merge/serialize) nest
+    inside a request span on their tid;
+  * at least `--require-matched` client/server pairs matched (default
+    1) — the round trip actually joined the two sides.
+
+Usage: check_trace_merge.py merged.json [--require-matched N]
+"""
+
+import argparse
+import json
+import sys
+
+EPS_US = 1.0  # one microsecond of float slack on span geometry
+
+CLIENT_PHASES = ("send", "wait", "receive")
+SERVER_PHASES = ("queue", "probe", "walk", "crawl", "merge", "serialize")
+
+
+def span_end(event) -> float:
+    return event["ts"] + event.get("dur", 0.0)
+
+
+def contains(outer, inner, eps=EPS_US) -> bool:
+    return (inner["ts"] >= outer["ts"] - eps
+            and span_end(inner) <= span_end(outer) + eps)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate a merged client+server Chrome trace.")
+    parser.add_argument("trace", help="merged Chrome trace JSON")
+    parser.add_argument("--require-matched", type=int, default=1,
+                        help="minimum client/server joined pairs")
+    args = parser.parse_args()
+
+    failures = []
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: {args.trace}: not valid JSON: {e}")
+        return 1
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"FAIL: {args.trace}: no traceEvents")
+        return 1
+
+    track_names = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            track_names[event.get("pid")] = event["args"]["name"]
+    if track_names.get(1) != "client" or track_names.get(2) != "server":
+        failures.append(f"process tracks not named client/server: "
+                        f"{track_names}")
+
+    spans = [e for e in events if e.get("ph") == "X"]
+    calls = [e for e in spans if e.get("pid") == 1
+             and e.get("name") == "call"]
+    requests = [e for e in spans if e.get("pid") == 2
+                and e.get("name") == "request"]
+    if not calls:
+        failures.append("no client call spans")
+
+    # Client children nest inside their call, end to end, in order.
+    client_children = [e for e in spans if e.get("pid") == 1
+                       and e.get("name") in CLIENT_PHASES]
+    for child in client_children:
+        if not any(contains(call, child) for call in calls):
+            failures.append(f"client {child['name']} span at ts "
+                            f"{child['ts']} outside every call span")
+    for call in calls:
+        inside = sorted((c for c in client_children if contains(call, c)),
+                        key=lambda c: c["ts"])
+        cursor = call["ts"]
+        for child in inside:
+            if child["ts"] < cursor - EPS_US:
+                failures.append(f"call at ts {call['ts']}: child "
+                                f"{child['name']} overlaps its "
+                                f"predecessor")
+            cursor = max(cursor, span_end(child))
+
+    # Server requests join a call and sit inside its wait window.
+    matched = 0
+    calls_by_trace = {}
+    for call in calls:
+        trace_id = (call.get("args") or {}).get("server_trace_id", 0)
+        if trace_id:
+            calls_by_trace[trace_id] = call
+    waits = [e for e in spans if e.get("pid") == 1
+             and e.get("name") == "wait"]
+    for request in requests:
+        trace_id = (request.get("args") or {}).get("trace_id", 0)
+        call = calls_by_trace.get(trace_id)
+        if call is None:
+            failures.append(f"server request trace_id {trace_id} matches "
+                            f"no client call (unmatched records should "
+                            f"have been omitted)")
+            continue
+        matched += 1
+        wait = next((w for w in waits if contains(call, w)), None)
+        window = wait if wait is not None else call
+        if request.get("dur", 0.0) <= window.get("dur", 0.0) + EPS_US:
+            if not contains(window, request):
+                failures.append(
+                    f"request trace_id {trace_id} at ts {request['ts']} "
+                    f"escapes its wait window [{window['ts']}, "
+                    f"{span_end(window)}]")
+        elif abs(request["ts"] - window["ts"]) > EPS_US:
+            # Clock skew: the merge clamps an oversized span to the
+            # window's start rather than centering it.
+            failures.append(
+                f"oversized request trace_id {trace_id} not clamped to "
+                f"its wait window start")
+
+    # Server phase children nest inside a request on their tid.
+    for child in (e for e in spans if e.get("pid") == 2
+                  and e.get("name") in SERVER_PHASES):
+        if not any(r.get("tid") == child.get("tid")
+                   and contains(r, child) for r in requests):
+            failures.append(f"server {child['name']} span at ts "
+                            f"{child['ts']} outside every request span "
+                            f"on tid {child.get('tid')}")
+
+    if matched < args.require_matched:
+        failures.append(f"only {matched} client/server pairs matched; "
+                        f"required {args.require_matched}")
+
+    print(f"check_trace_merge: {len(calls)} calls, {len(requests)} "
+          f"server requests, {matched} matched")
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    if not failures:
+        print("OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,8 +31,11 @@
 //       advances a dynamic server n steps (default 1; 0 = just report
 //       the current epoch)
 //   octopus_cli trace dump <host:port> [--out FILE]
+//              [--merge-client SPANLOG]
 //       exports a serving instance's flight-recorder ring as Chrome
-//       trace-event JSON (chrome://tracing, Perfetto, speedscope)
+//       trace-event JSON (chrome://tracing, Perfetto, speedscope);
+//       --merge-client folds a query --span-log file into one
+//       two-process client+server trace
 #include <unistd.h>
 
 #include <algorithm>
@@ -56,6 +59,7 @@
 #include "mesh/generators/datasets.h"
 #include "mesh/mesh_io.h"
 #include "mesh/mesh_stats.h"
+#include "obs/event_journal.h"
 #include "obs/trace.h"
 #include "octopus/paged_executor.h"
 #include "octopus/query_executor.h"
@@ -99,6 +103,8 @@ void PrintUsage(std::FILE* out) {
       "[--history-epochs N] [--spill-path P]\n"
       "              [--metrics-port N] [--trace-ring N] "
       "[--slow-query-ms N]\n"
+      "              [--journal N] [--journal-jsonl PATH|stderr] "
+      "[--ready-lag-ms N]\n"
       "      runs the OCTP query service (port 0 = ephemeral, printed "
       "on stdout); with --paged,\n"
       "      <mesh> is an .oct2 snapshot served out of core. --deform "
@@ -114,28 +120,40 @@ void PrintUsage(std::FILE* out) {
       "      spill to --spill-path (default <input>.<pid>.oct2d) and "
       "reload "
       "on demand.\n"
-      "      --metrics-port N serves Prometheus text exposition at "
-      "http://<bind>:N/metrics\n"
-      "      (0 = ephemeral, printed on stdout); --trace-ring N sizes "
-      "the flight-recorder\n"
-      "      ring in records (default 1024, 0 = tracing off); "
-      "--slow-query-ms N logs requests\n"
-      "      slower than N ms as structured stderr lines (0 = off)\n"
+      "      --metrics-port N serves the introspection endpoints "
+      "(/metrics, /healthz, /readyz,\n"
+      "      /epochs, /journal) at http://<bind>:N (0 = ephemeral, "
+      "printed on stdout);\n"
+      "      --trace-ring N sizes the flight-recorder ring in records "
+      "(default 1024, 0 = tracing\n"
+      "      off); --slow-query-ms N logs requests slower than N ms as "
+      "structured stderr lines\n"
+      "      (0 = off); --journal N keeps the last N lifecycle events "
+      "for /journal (0 = off);\n"
+      "      --journal-jsonl tails every event to a file (or stderr); "
+      "--ready-lag-ms N makes\n"
+      "      /readyz answer 503 once no epoch published for N ms "
+      "(0 = no lag check)\n"
       "  octopus_cli query --remote <host:port> <minx> <miny> <minz> "
       "<maxx> <maxy> <maxz>\n"
-      "              [--epoch N] [--pin]\n"
+      "              [--epoch N] [--pin] [--span-log FILE]\n"
       "      --epoch N       execute against historical epoch N "
       "(0 = current); EPOCH_GONE if evicted\n"
       "      --pin           pin the target epoch first (released on "
       "disconnect) and print its id\n"
+      "      --span-log FILE append the call's client-side span (JSONL) "
+      "for trace dump --merge-client\n"
       "  octopus_cli step <host:port> [n]\n"
       "      advances a dynamic server n steps (default 1; 0 = report "
       "the current epoch)\n"
-      "  octopus_cli trace dump <host:port> [--out FILE]\n"
+      "  octopus_cli trace dump <host:port> [--out FILE] "
+      "[--merge-client SPANLOG]\n"
       "      exports the server's flight-recorder ring as Chrome "
       "trace-event JSON\n"
       "      (stdout by default; load in chrome://tracing, Perfetto or "
-      "speedscope)\n"
+      "speedscope);\n"
+      "      --merge-client folds a --span-log file into one two-process "
+      "client+server trace\n"
       "  octopus_cli --version\n");
 }
 
@@ -291,6 +309,7 @@ int CmdQueryRemote(int argc, char** argv) {
                       std::atof(argv[9])));
   unsigned long long epoch = 0;
   bool pin = false;
+  const char* span_log = nullptr;
   for (int i = 10; i < argc; ++i) {
     if (std::strcmp(argv[i], "--epoch") == 0 && i + 1 < argc) {
       char* end = nullptr;
@@ -298,6 +317,8 @@ int CmdQueryRemote(int argc, char** argv) {
       if (end == argv[i] || *end != '\0') return Usage();
     } else if (std::strcmp(argv[i], "--pin") == 0) {
       pin = true;
+    } else if (std::strcmp(argv[i], "--span-log") == 0 && i + 1 < argc) {
+      span_log = argv[++i];
     } else {
       return Usage();
     }
@@ -308,6 +329,7 @@ int CmdQueryRemote(int argc, char** argv) {
     return 1;
   }
   client::RemoteClient& remote = *connected.Value();
+  if (span_log != nullptr) remote.set_record_spans(true);
   const auto& info = remote.server_info();
   if (pin) {
     // Demonstrates the repeatable-read flow; a pin is per-session, so
@@ -334,6 +356,24 @@ int CmdQueryRemote(int argc, char** argv) {
               info.paged != 0 ? "out-of-core" : "in-memory",
               static_cast<unsigned long long>(info.num_vertices));
   PrintRemoteBatchInfo(result.Value());
+  if (span_log != nullptr) {
+    // Appended, not truncated: one growing JSONL file accumulates the
+    // client half of `trace dump --merge-client` across invocations.
+    std::FILE* f = std::fopen(span_log, "ab");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open --span-log %s\n", span_log);
+      return 1;
+    }
+    for (const obs::ClientCallSpan& span : remote.spans()) {
+      const std::string line = obs::ClientCallSpanJson(span);
+      std::fwrite(line.data(), 1, line.size(), f);
+      std::fputc('\n', f);
+    }
+    if (std::fclose(f) != 0) {
+      std::fprintf(stderr, "failed to write --span-log %s\n", span_log);
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -591,6 +631,8 @@ int CmdServe(int argc, char** argv) {
   long step_every_ms = 0;
   server::ServerOptions options;
   server::EpochRetentionOptions retention;
+  size_t journal_slots = 0;
+  const char* journal_jsonl = nullptr;
   bool retention_flag_seen = false;
   retention.spill_path.clear();  // resolved to <input>.<pid>.oct2d below
   for (int i = 3; i < argc; ++i) {
@@ -723,6 +765,28 @@ int CmdServe(int argc, char** argv) {
         return Usage();
       }
       options.slow_query_nanos = ms * 1'000'000;
+    } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+      // 0 disables the ring (a JSONL sink alone still enables the
+      // journal). Cap mirrors --trace-ring.
+      char* end = nullptr;
+      const long slots = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || slots < 0 ||
+          slots > (1 << 20)) {
+        return Usage();
+      }
+      journal_slots = static_cast<size_t>(slots);
+    } else if (std::strcmp(argv[i], "--journal-jsonl") == 0 &&
+               i + 1 < argc) {
+      journal_jsonl = argv[++i];
+    } else if (std::strcmp(argv[i], "--ready-lag-ms") == 0 &&
+               i + 1 < argc) {
+      char* end = nullptr;
+      const long long ms = std::strtoll(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || ms < 0 ||
+          ms > 86'400'000) {
+        return Usage();
+      }
+      options.ready_max_publish_lag_nanos = ms * 1'000'000;
     } else {
       return Usage();
     }
@@ -762,6 +826,27 @@ int CmdServe(int argc, char** argv) {
                  "--deform (a static server has no epoch history)\n");
     return 2;
   }
+  // The journal outlives the server (declared before `srv` below) and
+  // attaches BEFORE BindDeformer so the initial epoch's publication is
+  // its first epoch event.
+  std::FILE* journal_sink = nullptr;
+  if (journal_jsonl != nullptr) {
+    if (std::strcmp(journal_jsonl, "stderr") == 0) {
+      journal_sink = stderr;
+    } else {
+      journal_sink = std::fopen(journal_jsonl, "ab");
+      if (journal_sink == nullptr) {
+        std::fprintf(stderr, "cannot open --journal-jsonl %s\n",
+                     journal_jsonl);
+        return 2;
+      }
+    }
+  }
+  obs::EventJournal journal(journal_slots, journal_sink);
+  if (journal.enabled()) {
+    backend->AttachJournal(&journal);
+    options.journal = &journal;
+  }
   if (deform.kind != DeformerKind::kNone) {
     if (retention.spill_path.empty()) {
       // Per-instance default: two servers over the same input must not
@@ -800,8 +885,14 @@ int CmdServe(int argc, char** argv) {
                   : "",
               srv.port());
   if (options.metrics_port >= 0) {
-    std::printf("metrics: http://%s:%u/metrics\n",
+    std::printf("introspection: http://%s:%u{/metrics,/healthz,/readyz,"
+                "/epochs,/journal}\n",
                 options.bind_address.c_str(), srv.metrics_port());
+  }
+  if (journal.enabled()) {
+    std::printf("journal: %zu ring slot(s)%s%s\n", journal.capacity(),
+                journal_jsonl != nullptr ? ", jsonl to " : "",
+                journal_jsonl != nullptr ? journal_jsonl : "");
   }
   std::fflush(stdout);
 
@@ -831,6 +922,10 @@ int CmdServe(int argc, char** argv) {
   stepper_stop.store(true, std::memory_order_release);
   if (stepper.joinable()) stepper.join();
   g_server.store(nullptr, std::memory_order_release);
+  // Every emitter is quiet now (loop drained, stepper joined).
+  if (journal_sink != nullptr && journal_sink != stderr) {
+    std::fclose(journal_sink);
+  }
   if (!run.ok()) {
     std::fprintf(stderr, "%s\n", run.ToString().c_str());
     return 1;
@@ -890,16 +985,44 @@ int CmdStep(int argc, char** argv) {
 
 int CmdTrace(int argc, char** argv) {
   // octopus_cli trace dump <host:port> [--out FILE]
+  //             [--merge-client SPANLOG]
   if (argc < 4 || std::strcmp(argv[2], "dump") != 0) return Usage();
   std::string host;
   uint16_t port = 0;
   if (!ParseHostPort(argv[3], &host, &port)) return Usage();
   const char* out_path = nullptr;
+  const char* merge_client = nullptr;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--merge-client") == 0 &&
+               i + 1 < argc) {
+      merge_client = argv[++i];
     } else {
       return Usage();
+    }
+  }
+  std::vector<obs::ClientCallSpan> spans;
+  if (merge_client != nullptr) {
+    std::FILE* f = std::fopen(merge_client, "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open --merge-client %s\n",
+                   merge_client);
+      return 1;
+    }
+    char line[1024];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      obs::ClientCallSpan span;
+      if (obs::ParseClientCallSpanJson(line, &span)) {
+        spans.push_back(span);
+      }
+    }
+    std::fclose(f);
+    if (spans.empty()) {
+      std::fprintf(stderr, "no client spans in %s (run query --remote "
+                   "... --span-log first)\n",
+                   merge_client);
+      return 1;
     }
   }
   auto connected = client::RemoteClient::Connect(host, port);
@@ -912,7 +1035,10 @@ int CmdTrace(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", dump.status().ToString().c_str());
     return 1;
   }
-  const std::string json = obs::ChromeTraceJson(dump.Value().records);
+  const std::string json =
+      merge_client != nullptr
+          ? obs::MergedChromeTraceJson(dump.Value().records, spans)
+          : obs::ChromeTraceJson(dump.Value().records);
   if (out_path != nullptr) {
     std::FILE* f = std::fopen(out_path, "wb");
     if (f == nullptr ||
