@@ -45,6 +45,9 @@ struct BenchConfig {
   /// with tracing in the `_traced` config and the overhead ratio, so
   /// check_perf_smoke.py's 1.05x bound covers both observability paths.
   size_t journal_slots = 0;
+  /// Epoll threads serving connections (sessions sharded by fd);
+  /// 1 reproduces the old single-loop front end.
+  int io_threads = 1;
 };
 
 struct BenchOutcome {
@@ -53,6 +56,10 @@ struct BenchOutcome {
   uint64_t trace_records = 0;
   uint64_t journal_events = 0;
   bool parity_ok = true;
+  /// Per-client fairness: slowest client's wall over the fastest's.
+  /// fd-sharded I/O threads must not starve some connections — a ratio
+  /// far above ~2 on idle hardware means one shard sat unserved.
+  double fairness = 1.0;
 };
 
 /// Drives one config against a fresh server; returns the server's
@@ -77,6 +84,7 @@ BenchOutcome RunConfig(const BenchConfig& config, const TetraMesh& mesh,
   options.bind_address = "127.0.0.1";
   options.port = 0;
   options.trace_ring_slots = config.trace_ring;
+  options.io_threads = config.io_threads;
   // Declared before `srv` (journal must outlive the server using it).
   obs::EventJournal journal(config.journal_slots);
   if (journal.enabled()) options.journal = &journal;
@@ -113,9 +121,12 @@ BenchOutcome RunConfig(const BenchConfig& config, const TetraMesh& mesh,
   // char, not bool: vector<bool> is bit-packed and concurrent writes
   // from client threads would race on shared bytes.
   std::vector<char> client_ok(static_cast<size_t>(config.clients), 1);
+  std::vector<double> client_wall(static_cast<size_t>(config.clients),
+                                  0.0);
   Timer wall;
   for (int c = 0; c < config.clients; ++c) {
     clients.emplace_back([&, c] {
+      Timer client_timer;
       auto connected =
           client::RemoteClient::Connect("127.0.0.1", srv.port());
       if (!connected.ok()) {
@@ -145,6 +156,7 @@ BenchOutcome RunConfig(const BenchConfig& config, const TetraMesh& mesh,
           }
         }
       }
+      client_wall[c] = client_timer.ElapsedSeconds();
     });
   }
   for (auto& t : clients) t.join();
@@ -152,10 +164,18 @@ BenchOutcome RunConfig(const BenchConfig& config, const TetraMesh& mesh,
 
   srv.Stop();
   server_thread.join();
-  outcome.metrics = srv.metrics();
+  outcome.metrics = srv.MetricsSnapshot();
   outcome.trace_records = srv.recorder().total_recorded();
   outcome.journal_events = journal.total_emitted();
   for (const char ok : client_ok) outcome.parity_ok &= (ok != 0);
+  double fastest = 0.0;
+  double slowest = 0.0;
+  for (const double seconds : client_wall) {
+    if (seconds <= 0.0) continue;  // failed client; parity flags it
+    if (fastest == 0.0 || seconds < fastest) fastest = seconds;
+    if (seconds > slowest) slowest = seconds;
+  }
+  if (fastest > 0.0) outcome.fairness = slowest / fastest;
   return outcome;
 }
 
@@ -189,15 +209,19 @@ int main() {
       {"loopback_1client", 1, 32, 16, false, 0},
       {"loopback_4clients", 4, 16, 16, false, 0},
       {"loopback_8clients", 8, 8, 16, false, 0},
+      {"loopback_16clients_io4", 16, 4, 16, false, 0, 0, 4},
+      {"loopback_32clients_io4", 32, 2, 16, false, 0, 0, 4},
       {"loopback_8clients_paged", 8, 8, 16, true, 0},
       {"loopback_8clients_paged_traced", 8, 8, 16, true, 1024, 1024},
   };
 
   Table table("bench_server — loopback service throughput");
-  table.SetHeader({"config", "queries", "queries/s", "p50 [us]",
-                   "p95 [us]", "p99 [us]", "coalesce", "parity"});
+  table.SetHeader({"config", "io", "queries", "queries/s", "p50 [us]",
+                   "p95 [us]", "p99 [us]", "coalesce", "fair",
+                   "parity"});
   bench::JsonWriter json;
   bool all_parity_ok = true;
+  bool p99_bounded = true;
   for (const BenchConfig& config : configs) {
     const BenchOutcome outcome = RunConfig(config, mesh, snapshot_path);
     const server::ServerMetrics& m = outcome.metrics;
@@ -212,11 +236,21 @@ int main() {
     const double p99 =
         static_cast<double>(m.request_latency.PercentileNanos(0.99)) / 1e3;
     all_parity_ok &= outcome.parity_ok;
+    // Sanity bound, asserted on every machine: no request's latency can
+    // exceed the whole run's wall clock.
+    if (p99 > outcome.wall_seconds * 1e6) {
+      std::fprintf(stderr, "%s: p99 %.0fus exceeds the run's %.0fus wall\n",
+                   config.name.c_str(), p99,
+                   outcome.wall_seconds * 1e6);
+      p99_bounded = false;
+    }
 
-    table.AddRow({config.name, Table::Count(m.queries_executed),
+    table.AddRow({config.name, Table::Count(config.io_threads),
+                  Table::Count(m.queries_executed),
                   Table::Num(qps, 0), Table::Num(p50, 0),
                   Table::Num(p95, 0), Table::Num(p99, 0),
                   Table::Num(m.CoalesceFactor(), 2),
+                  Table::Num(outcome.fairness, 2),
                   outcome.parity_ok ? "ok" : "MISMATCH"});
 
     json.BeginObject();
@@ -227,6 +261,8 @@ int main() {
     json.Field("queries_per_request",
                static_cast<int64_t>(config.queries_per_request));
     json.Field("paged", static_cast<int64_t>(config.paged ? 1 : 0));
+    json.Field("io_threads", static_cast<int64_t>(config.io_threads));
+    json.Field("client_fairness", outcome.fairness);
     json.Field("queries_executed",
                static_cast<int64_t>(m.queries_executed));
     json.Field("batches_executed",
@@ -310,15 +346,63 @@ int main() {
                            : std::min(best_on, on.wall_seconds);
     }
     const double overhead = best_off > 0 ? best_on / best_off : 0.0;
+
+    // I/O-thread scaling: the same 16-client in-memory load through one
+    // epoll thread and through four. Recorded on every machine; the
+    // monotonicity assertion (four threads must not LOSE throughput)
+    // only fires with >= 4 hardware threads — on the 1-core CI runner
+    // extra threads are pure scheduling overhead and the ratio is
+    // noise, not signal.
+    BenchConfig io1{"scaling_16clients_io1", 16, 4, 16, false, 0, 0, 1};
+    BenchConfig io4 = io1;
+    io4.name = "scaling_16clients_io4";
+    io4.io_threads = 4;
+    double best_io1 = 0.0;
+    double best_io4 = 0.0;
+    uint64_t scaling_queries = 0;
+    for (int round = 0; round < 2; ++round) {
+      const BenchOutcome out1 = RunConfig(io1, mesh, snapshot_path);
+      const BenchOutcome out4 = RunConfig(io4, mesh, snapshot_path);
+      all_parity_ok &= out1.parity_ok && out4.parity_ok;
+      scaling_queries = out1.metrics.queries_executed;
+      best_io1 = round == 0 ? out1.wall_seconds
+                            : std::min(best_io1, out1.wall_seconds);
+      best_io4 = round == 0 ? out4.wall_seconds
+                            : std::min(best_io4, out4.wall_seconds);
+    }
+    const double qps_io1 =
+        best_io1 > 0 ? static_cast<double>(scaling_queries) / best_io1
+                     : 0.0;
+    const double qps_io4 =
+        best_io4 > 0 ? static_cast<double>(scaling_queries) / best_io4
+                     : 0.0;
+    const double scaling = qps_io1 > 0 ? qps_io4 / qps_io1 : 0.0;
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw >= 4 && scaling < 0.9) {
+      std::fprintf(stderr,
+                   "io-thread scaling regressed: %.0f q/s with 4 "
+                   "threads vs %.0f with 1 (%.2fx) on %u cores\n",
+                   qps_io4, qps_io1, scaling, hw);
+      p99_bounded = false;  // folded into the failing exit code
+    }
+
     json.BeginObject();
     json.Field("name", std::string("server_summary"));
     json.Field("untraced_wall_seconds", best_off);
     json.Field("traced_wall_seconds", best_on);
     json.Field("tracing_overhead", overhead);
+    json.Field("hw_concurrency", static_cast<int64_t>(hw));
+    json.Field("scaling_qps_io1", qps_io1);
+    json.Field("scaling_qps_io4", qps_io4);
+    json.Field("io_thread_scaling", scaling);
     json.EndObject();
     std::printf("\nTracing overhead (warm paged, best of 2): %.3fx "
                 "(%.4fs traced / %.4fs untraced)\n",
                 overhead, best_on, best_off);
+    std::printf("I/O-thread scaling (16 clients, 4 vs 1 threads): %.2fx "
+                "on %u hardware threads%s\n",
+                scaling, hw,
+                hw >= 4 ? "" : " (not asserted below 4)");
   }
   table.Print();
   std::printf(
@@ -335,5 +419,5 @@ int main() {
   }
   std::printf("\nwrote BENCH_server.json (%zu records)\n",
               json.num_objects());
-  return all_parity_ok ? 0 : 1;
+  return all_parity_ok && p99_bounded ? 0 : 1;
 }

@@ -47,27 +47,30 @@ void MetricsRegistry::AddGauge(const std::string& name,
   text_.append(name).append(" ").append(FormatDouble(value)).append("\n");
 }
 
-void MetricsRegistry::AddLog2NanosHistogram(
+void MetricsRegistry::AddNanosHistogram(
     const std::string& name, const std::string& help,
-    std::span<const uint64_t> bucket_counts, uint64_t count,
-    double sum_seconds) {
+    std::span<const uint64_t> bucket_counts,
+    std::span<const uint64_t> upper_bounds_nanos, double sum_seconds) {
   Header(name, help, "histogram");
-  // Elide the empty tail: every bucket past the last occupied one would
-  // repeat the same cumulative value `+Inf` already carries.
-  size_t last = bucket_counts.size();
-  while (last > 0 && bucket_counts[last - 1] == 0) --last;
+  // Empty buckets are elided entirely: a zero-count bucket's cumulative
+  // series line would repeat its predecessor's value, and counts never
+  // decrease, so a later scrape's bucket keys are always a superset of
+  // an earlier one's (tools/check_metrics.py relies on this).
   uint64_t cumulative = 0;
-  for (size_t i = 0; i < last; ++i) {
+  const size_t n = bucket_counts.size() < upper_bounds_nanos.size()
+                       ? bucket_counts.size()
+                       : upper_bounds_nanos.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (bucket_counts[i] == 0) continue;
     cumulative += bucket_counts[i];
-    // Bucket i spans nanos in [2^i, 2^(i+1)-1] (bucket 0 from 0), so
-    // its inclusive upper bound is (2^(i+1)-1) ns.
     const double le_seconds =
-        static_cast<double>((uint64_t{2} << i) - 1) / 1e9;
+        static_cast<double>(upper_bounds_nanos[i]) / 1e9;
     char buf[96];
     std::snprintf(buf, sizeof(buf), "{le=\"%.17g\"} %" PRIu64 "\n",
                   le_seconds, cumulative);
     text_.append(name).append("_bucket").append(buf);
   }
+  const uint64_t count = cumulative;
   char buf[64];
   std::snprintf(buf, sizeof(buf), "{le=\"+Inf\"} %" PRIu64 "\n", count);
   text_.append(name).append("_bucket").append(buf);

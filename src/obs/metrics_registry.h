@@ -39,16 +39,19 @@ class MetricsRegistry {
   void AddGauge(const std::string& name, const std::string& help,
                 double value);
 
-  /// Histogram over the repo's log2-nanosecond bucketing (see
-  /// `server::LatencyHistogram`): `bucket_counts[i]` holds samples with
-  /// `floor(log2(nanos)) == i` (bucket 0 also takes 0 ns). Rendered as
-  /// cumulative `_bucket` series with `le` upper bounds in seconds
-  /// (`(2^(i+1) - 1) ns`), trailing empty buckets elided, plus the
-  /// implicit `+Inf` bucket, `_sum` and `_count`.
-  void AddLog2NanosHistogram(const std::string& name,
-                             const std::string& help,
-                             std::span<const uint64_t> bucket_counts,
-                             uint64_t count, double sum_seconds);
+  /// Histogram over explicit nanosecond buckets: `bucket_counts[i]`
+  /// holds samples whose value is <= `upper_bounds_nanos[i]` and above
+  /// the previous bound (the repo's `server::LatencyHistogram` supplies
+  /// its log-linear bounds via `BucketUpperBounds()`). Rendered as
+  /// cumulative `_bucket` series with `le` in seconds, empty buckets
+  /// elided (a zero-count bucket repeats the cumulative value of its
+  /// predecessor, so eliding it loses nothing and keeps the ~1000-line
+  /// worst case off the scrape), plus the implicit `+Inf` bucket,
+  /// `_sum` and `_count` (both totals derived from `bucket_counts`).
+  void AddNanosHistogram(const std::string& name, const std::string& help,
+                         std::span<const uint64_t> bucket_counts,
+                         std::span<const uint64_t> upper_bounds_nanos,
+                         double sum_seconds);
 
   /// The accumulated exposition text.
   const std::string& ExpositionText() const { return text_; }

@@ -6,9 +6,12 @@
 // per-phase split (probe / walk / crawl / merge), serialization — plus
 // the epoch it ran against and its page/lease economy.
 //
-// Single-writer like `ServerMetrics`: only the event-loop thread
-// records and snapshots, so there is no synchronization. The ring is
-// bounded; once full, each new record overwrites the oldest.
+// Thread model since the multi-threaded front end: the serialization
+// thread is the sole `Record` / `ReserveId` caller (which keeps trace
+// ids sequential with result delivery), while TRACE_DUMP handlers on
+// I/O threads call `Snapshot`/`size` concurrently — the ring is guarded
+// by a mutex and `total_recorded` is an atomic. The ring is bounded;
+// once full, each new record overwrites the oldest.
 //
 // Tracing is zero-cost when disabled, twice over:
 //   * compile time: building with -DOCTOPUS_TRACING_ENABLED=0 turns
@@ -20,8 +23,10 @@
 #ifndef OCTOPUS_OBS_TRACE_H_
 #define OCTOPUS_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -91,11 +96,13 @@ class FlightRecorder {
   /// disabled). Lets a caller put the id on the wire before the record
   /// is complete — the server serializes a RESULT (which must carry the
   /// id) before it knows the serialization cost the record captures.
-  /// Single-writer: valid only until someone else records, which on the
-  /// owning loop thread is never between a Reserve and its Record.
+  /// Valid only until someone else records, which never happens between
+  /// a Reserve and its Record: the serialization thread is the only
+  /// caller of either.
   uint64_t ReserveId() const {
 #if OCTOPUS_TRACING_ENABLED
-    return capacity_ == 0 ? 0 : total_ + 1;
+    return capacity_ == 0 ? 0
+                          : total_.load(std::memory_order_relaxed) + 1;
 #else
     return 0;
 #endif
@@ -103,8 +110,10 @@ class FlightRecorder {
 
   size_t capacity() const { return capacity_; }
   /// Lifetime records written (>= size of the ring once wrapped).
-  uint64_t total_recorded() const { return total_; }
-  size_t size() const { return ring_.size(); }
+  uint64_t total_recorded() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  size_t size() const;
 
   /// Copies the ring into `*out`, oldest record first.
   void Snapshot(std::vector<QueryTraceRecord>* out) const;
@@ -113,9 +122,10 @@ class FlightRecorder {
   uint64_t RecordSlow(const QueryTraceRecord& record);
 
   size_t capacity_;
+  mutable std::mutex mu_;               // guards ring_ and next_
   std::vector<QueryTraceRecord> ring_;  // grown lazily up to capacity_
   size_t next_ = 0;                     // overwrite cursor once full
-  uint64_t total_ = 0;
+  std::atomic<uint64_t> total_{0};
 };
 
 /// Renders records as Chrome trace-event JSON (one "request" span per

@@ -62,7 +62,7 @@ void BatchScheduler::ExecuteReady(VersionedBackend* backend,
 
   metrics->batches_executed += 1;
   metrics->queries_executed += batch_queries;
-  metrics->engine_total.Merge(batch_stats);
+  metrics->MergeEngine(batch_stats);
 
   const BatchStatsWire wire = BatchStatsWire::FromPhaseStats(
       batch_stats, static_cast<uint32_t>(batch_queries),

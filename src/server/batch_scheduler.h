@@ -9,9 +9,11 @@
 // clients share one probe->walk->crawl sweep per window instead of one
 // per request.
 //
-// Driven entirely by the server's event loop (no threads of its own):
-// the loop asks `NanosUntilDue` to size its poll timeout and calls
-// `ExecuteReady` whenever the scheduler says a batch is due.
+// No threads of its own: the server's scheduler thread drives it under
+// one mutex, asking `NanosUntilDue` to size its condition-variable wait
+// and calling `ExecuteReady` whenever a batch is due. Admission
+// (`Enqueue`, from the I/O threads) synchronizes on that same mutex, so
+// the scheduler never needs internal locking.
 #ifndef OCTOPUS_SERVER_BATCH_SCHEDULER_H_
 #define OCTOPUS_SERVER_BATCH_SCHEDULER_H_
 

@@ -1,0 +1,50 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+#include "server/io_pipeline.h"
+
+namespace octopus::server {
+
+size_t OutFrame::WireBytes() const {
+  size_t total = bytes.size();
+  for (const std::vector<VertexId>& v : vecs) {
+    total += v.size() * sizeof(VertexId);
+  }
+  return total;
+}
+
+int BuildFrameIov(const OutFrame& frame, size_t offset, struct iovec* iov,
+                  int max_iov) {
+  int n = 0;
+  // Appends one wire segment, consuming `offset` across segments so the
+  // first iovec starts exactly at the first unsent byte.
+  const auto add = [&](const uint8_t* base, size_t len) {
+    if (len == 0 || n >= max_iov) return;
+    if (offset >= len) {
+      offset -= len;
+      return;
+    }
+    iov[n].iov_base = const_cast<uint8_t*>(base) + offset;
+    iov[n].iov_len = len - offset;
+    offset = 0;
+    ++n;
+  };
+  if (frame.vecs.empty()) {
+    add(frame.bytes.data(), frame.bytes.size());
+    return n;
+  }
+  // Meta buffer layout: [.. fixed .. count_0 count_1 .. count_{n-1}];
+  // wire layout interleaves: [.. fixed .. count_0] vec_0 [count_1]
+  // vec_1 ... — each count word is owed its query's ids right after it.
+  const size_t through_count0 = kResultMetaBytesBeforeCounts + 4;
+  add(frame.bytes.data(), through_count0);
+  for (size_t i = 0; i < frame.vecs.size(); ++i) {
+    const std::vector<VertexId>& v = frame.vecs[i];
+    add(reinterpret_cast<const uint8_t*>(v.data()),
+        v.size() * sizeof(VertexId));
+    if (i + 1 < frame.vecs.size()) {
+      add(frame.bytes.data() + through_count0 + 4 * i, 4);
+    }
+  }
+  return n;
+}
+
+}  // namespace octopus::server

@@ -1,0 +1,54 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Outbound-frame representation for the threaded server front end.
+//
+// A RESULT frame's payload is dominated by the per-query vertex-id
+// vectors the engine already produced; copying them into a contiguous
+// frame buffer (what `AppendResult` does) doubles the memory traffic of
+// every response. `OutFrame` instead keeps the frame's fixed bytes
+// (header + request id + stats block + per-query count words, from
+// `AppendResultMeta`) in one small buffer and carries the result
+// vectors by move. `BuildFrameIov` lays the wire image over both —
+// meta prefix, vec 0, count word 1, vec 1, ... — as an iovec for a
+// single gathering `sendmsg`, so result bytes go from engine output to
+// socket without an intermediate copy.
+//
+// Inline replies (WELCOME, STATS, ERROR, ...) are byte-only `OutFrame`s
+// with `vecs` empty; the same flush path handles both.
+#ifndef OCTOPUS_SERVER_IO_PIPELINE_H_
+#define OCTOPUS_SERVER_IO_PIPELINE_H_
+
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace octopus::server {
+
+/// \brief One outbound frame: framed fixed bytes plus (for zero-copy
+/// RESULTs) the per-query vertex vectors still in engine form.
+struct OutFrame {
+  /// Complete frame bytes when `vecs` is empty; otherwise an
+  /// `AppendResultMeta` buffer whose header already announces the full
+  /// payload length, with the count words contiguous at the tail.
+  Buffer bytes;
+  /// Per-query result vectors, spliced onto the wire after their count
+  /// words. Must be empty or match the meta buffer's query count.
+  std::vector<std::vector<VertexId>> vecs;
+
+  /// Total bytes this frame puts on the wire.
+  size_t WireBytes() const;
+};
+
+/// Fills `iov` with the unsent part of `frame`'s wire image, starting
+/// `offset` bytes in, up to `max_iov` entries. Returns the number of
+/// entries written; fewer than the frame's remaining segments when the
+/// cap hits (the caller just flushes again). The iovecs point into
+/// `frame` — valid only while the frame is alive and unmodified.
+int BuildFrameIov(const OutFrame& frame, size_t offset, struct iovec* iov,
+                  int max_iov);
+
+}  // namespace octopus::server
+
+#endif  // OCTOPUS_SERVER_IO_PIPELINE_H_

@@ -6,62 +6,188 @@
 
 namespace octopus::server {
 
+int LatencyHistogram::BucketIndex(uint64_t nanos) {
+  if (nanos < kSubBuckets) return static_cast<int>(nanos);
+  const int octave = std::bit_width(nanos) - 1;  // floor(log2), >= 4
+  const int sub = static_cast<int>(
+      (nanos >> (octave - kFirstOctave)) & (kSubBuckets - 1));
+  const int index =
+      kSubBuckets + (octave - kFirstOctave) * kSubBuckets + sub;
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+uint64_t LatencyHistogram::BucketUpperNanos(int index) {
+  if (index < kSubBuckets) return static_cast<uint64_t>(index);
+  if (index >= kBuckets - 1) return ~uint64_t{0};  // open-ended top
+  const int octave = kFirstOctave + (index - kSubBuckets) / kSubBuckets;
+  const int sub = (index - kSubBuckets) % kSubBuckets;
+  const uint64_t base = uint64_t{1} << octave;
+  const uint64_t width = uint64_t{1} << (octave - kFirstOctave);
+  return base + static_cast<uint64_t>(sub + 1) * width - 1;
+}
+
+std::vector<uint64_t> LatencyHistogram::BucketUpperBounds() {
+  std::vector<uint64_t> bounds(kBuckets);
+  for (int i = 0; i < kBuckets; ++i) bounds[i] = BucketUpperNanos(i);
+  return bounds;
+}
+
 void LatencyHistogram::Record(uint64_t nanos) {
-  const int bucket =
-      nanos == 0 ? 0 : std::bit_width(nanos) - 1;  // floor(log2)
-  buckets_[bucket < kBuckets ? bucket : kBuckets - 1] += 1;
-  ++count_;
-  if (nanos > max_nanos_) max_nanos_ = nanos;
+  buckets_[BucketIndex(nanos)].fetch_add(1, std::memory_order_relaxed);
+  // CAS-max: lossless under concurrent writers.
+  uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_nanos_.compare_exchange_weak(seen, nanos,
+                                           std::memory_order_relaxed)) {
+  }
   // Saturating sum: one u64-max sample must not wrap the total.
-  sum_nanos_ = sum_nanos_ + nanos < sum_nanos_
-                   ? ~uint64_t{0}
-                   : sum_nanos_ + nanos;
+  uint64_t sum = sum_nanos_.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t next = sum + nanos < sum ? ~uint64_t{0} : sum + nanos;
+    if (sum_nanos_.compare_exchange_weak(sum, next,
+                                         std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  const uint64_t other_max = other.max_nanos();
+  while (other_max > seen &&
+         !max_nanos_.compare_exchange_weak(seen, other_max,
+                                           std::memory_order_relaxed)) {
+  }
+  uint64_t sum = sum_nanos_.load(std::memory_order_relaxed);
+  const uint64_t add = other.sum_nanos();
+  for (;;) {
+    const uint64_t next = sum + add < sum ? ~uint64_t{0} : sum + add;
+    if (sum_nanos_.compare_exchange_weak(sum, next,
+                                         std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+uint64_t LatencyHistogram::count() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<uint64_t> LatencyHistogram::bucket_counts() const {
+  std::vector<uint64_t> counts(kBuckets);
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void LatencyHistogram::CopyFrom(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+  max_nanos_.store(other.max_nanos(), std::memory_order_relaxed);
+  sum_nanos_.store(other.sum_nanos(), std::memory_order_relaxed);
 }
 
 uint64_t LatencyHistogram::PercentileNanos(double p) const {
-  if (count_ == 0) return 0;
+  const std::vector<uint64_t> counts = bucket_counts();
+  uint64_t n = 0;
+  for (uint64_t c : counts) n += c;
+  if (n == 0) return 0;
   if (p < 0.0) p = 0.0;
   if (p > 1.0) p = 1.0;
   // Rank of the quantile sample, 1-based (nearest-rank definition:
   // ceil(p * n), clamped to [1, n]).
-  uint64_t rank = static_cast<uint64_t>(
-      std::ceil(p * static_cast<double>(count_)));
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(p * static_cast<double>(n)));
   if (rank < 1) rank = 1;
-  if (rank > count_) rank = count_;
+  if (rank > n) rank = n;
+  const uint64_t observed_max = max_nanos();
   uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i];
+    seen += counts[i];
     if (seen >= rank) {
-      // The last bucket is open-ended (everything >= 2^62 ns clamps
-      // into it), so its nominal bound would underestimate; report the
-      // observed max instead.
-      if (i == kBuckets - 1) return max_nanos_;
-      const uint64_t upper = (uint64_t{2} << i) - 1;  // bucket upper bound
-      return upper < max_nanos_ ? upper : max_nanos_;
+      // A bucket's nominal bound can overshoot the samples inside it
+      // (and the top bucket is open-ended); report no more than the
+      // observed max.
+      const uint64_t upper = BucketUpperNanos(i);
+      return upper < observed_max ? upper : observed_max;
     }
   }
-  return max_nanos_;
+  return observed_max;
+}
+
+void ServerMetrics::CopyFrom(const ServerMetrics& other) {
+  connections_accepted.store(
+      other.connections_accepted.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  connections_closed.store(
+      other.connections_closed.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  frames_received.store(
+      other.frames_received.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  malformed_frames.store(
+      other.malformed_frames.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  queries_received.store(
+      other.queries_received.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  queries_rejected.store(
+      other.queries_rejected.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  queries_executed.store(
+      other.queries_executed.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  batches_executed.store(
+      other.batches_executed.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  results_sent.store(other.results_sent.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  errors_sent.store(other.errors_sent.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  slow_queries.store(other.slow_queries.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  serialize_nanos_total.store(
+      other.serialize_nanos_total.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  request_latency = other.request_latency;
+  loop_stall = other.loop_stall;
+  const PhaseStats engine = other.EngineTotal();
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  engine_total = engine;
 }
 
 ServerStatsWire ServerMetrics::ToWire() const {
   ServerStatsWire w;
-  w.connections_accepted = connections_accepted;
+  w.connections_accepted =
+      connections_accepted.load(std::memory_order_relaxed);
   w.connections_active = connections_active();
-  w.frames_received = frames_received;
-  w.malformed_frames = malformed_frames;
-  w.queries_received = queries_received;
-  w.queries_rejected = queries_rejected;
-  w.queries_executed = queries_executed;
-  w.batches_executed = batches_executed;
+  w.frames_received = frames_received.load(std::memory_order_relaxed);
+  w.malformed_frames = malformed_frames.load(std::memory_order_relaxed);
+  w.queries_received = queries_received.load(std::memory_order_relaxed);
+  w.queries_rejected = queries_rejected.load(std::memory_order_relaxed);
+  w.queries_executed = queries_executed.load(std::memory_order_relaxed);
+  w.batches_executed = batches_executed.load(std::memory_order_relaxed);
   w.latency_p50_nanos = request_latency.PercentileNanos(0.50);
   w.latency_p95_nanos = request_latency.PercentileNanos(0.95);
   w.latency_p99_nanos = request_latency.PercentileNanos(0.99);
-  w.page_hits = engine_total.page_io.page_hits;
-  w.page_misses = engine_total.page_io.page_misses;
-  w.page_evictions = engine_total.page_io.page_evictions;
-  w.lease_hits = engine_total.page_io.lease_hits;
-  w.pages_leased = engine_total.page_io.pages_leased;
-  w.pages_distinct = engine_total.page_io.pages_distinct;
+  const PhaseStats engine = EngineTotal();
+  w.page_hits = engine.page_io.page_hits;
+  w.page_misses = engine.page_io.page_misses;
+  w.page_evictions = engine.page_io.page_evictions;
+  w.lease_hits = engine.page_io.lease_hits;
+  w.pages_leased = engine.page_io.pages_leased;
+  w.pages_distinct = engine.page_io.pages_distinct;
   return w;
 }
 

@@ -1,97 +1,175 @@
 // Copyright 2026 The OCTOPUS Reproduction Authors
-// Server-side observability: plain counters plus a log-bucketed latency
-// histogram. Owned and mutated exclusively by the server's event-loop
-// thread (single-writer, no atomics); readers either ask over the wire
-// (STATS frame) or inspect the server object after `Run` returns.
+// Server-side observability: counters plus a log-linear-bucketed latency
+// histogram. Since the multi-threaded front end, every counter is an
+// atomic written from whichever pipeline stage owns the event (I/O
+// threads, the scheduler thread, the serialization thread) and read
+// lock-free by STATS / /metrics scrapers on other threads; the engine
+// phase totals — a struct, not a word — are guarded by a small mutex
+// (`MergeEngine` / `EngineTotal`). Plain field reads remain valid once
+// the server has quiesced (after `Run` returns), which is how the tests
+// and benches consume them.
 #ifndef OCTOPUS_SERVER_METRICS_H_
 #define OCTOPUS_SERVER_METRICS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
-#include <span>
+#include <mutex>
+#include <vector>
 
 #include "octopus/phase_stats.h"
 #include "server/protocol.h"
 
 namespace octopus::server {
 
-/// \brief Power-of-two-bucketed latency histogram.
+/// \brief Log-linear-bucketed latency histogram (16 sub-buckets per
+/// octave), thread-safe for concurrent `Record` via relaxed atomics.
 ///
-/// Bucket i counts samples with floor(log2(nanos)) == i (bucket 0 also
-/// takes 0 ns). Percentile lookups return the upper bound of the bucket
-/// the rank falls into — at most 2x off, which is plenty to distinguish
-/// "microseconds" from "milliseconds" without storing samples.
+/// Nanos below 16 get one exact bucket each (indices 0..15); above
+/// that, each power-of-two octave [2^o, 2^(o+1)) splits into 16 linear
+/// sub-buckets, so percentile lookups resolve to ~6% instead of the 2x
+/// a pure log2 bucketing gives (which collapsed p50/p95/p99 to one
+/// value in BENCH_server.json). `PercentileNanos` keeps the
+/// max-reporting semantics: it returns the rank's bucket upper bound
+/// clamped to the observed max.
 class LatencyHistogram {
  public:
-  static constexpr int kBuckets = 63;
+  static constexpr int kSubBuckets = 16;    ///< linear slices per octave
+  static constexpr int kFirstOctave = 4;    ///< 2^4 = first split octave
+  static constexpr int kOctaves = 64 - kFirstOctave;
+  static constexpr int kBuckets = kSubBuckets + kOctaves * kSubBuckets;
 
+  LatencyHistogram() = default;
+  /// Copy = relaxed-load snapshot of the source (exact at quiescence,
+  /// approximately consistent while writers are live).
+  LatencyHistogram(const LatencyHistogram& other) { CopyFrom(other); }
+  LatencyHistogram& operator=(const LatencyHistogram& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  /// Thread-safe; relaxed atomics (counters, no ordering needed).
   void Record(uint64_t nanos);
 
-  uint64_t count() const { return count_; }
-  uint64_t max_nanos() const { return max_nanos_; }
+  /// Adds `other`'s samples into this histogram (per-thread shard
+  /// merge-on-scrape; `other` may have live writers).
+  void Merge(const LatencyHistogram& other);
+
+  /// Total samples = sum of the bucket counts. Deriving it instead of
+  /// keeping a second counter keeps the Prometheus invariant
+  /// `+Inf bucket == _count` exact even under concurrent writers.
+  uint64_t count() const;
+  uint64_t max_nanos() const {
+    return max_nanos_.load(std::memory_order_relaxed);
+  }
   /// Sum of every recorded sample, saturating at uint64 max (a u64-max
   /// sample must not wrap the sum back to small values).
-  uint64_t sum_nanos() const { return sum_nanos_; }
-  /// The raw per-bucket counts (bucket i = floor(log2(nanos)) == i),
-  /// for Prometheus exposition.
-  std::span<const uint64_t> bucket_counts() const { return buckets_; }
+  uint64_t sum_nanos() const {
+    return sum_nanos_.load(std::memory_order_relaxed);
+  }
+  /// Relaxed-load snapshot of the per-bucket counts.
+  std::vector<uint64_t> bucket_counts() const;
+
+  /// Inclusive upper bound (in nanos) of bucket `index`; the top bucket
+  /// is open-ended and reports uint64 max.
+  static uint64_t BucketUpperNanos(int index);
+  /// All `kBuckets` upper bounds, for Prometheus exposition.
+  static std::vector<uint64_t> BucketUpperBounds();
 
   /// Upper bound of the bucket holding the `p`-quantile sample
-  /// (p in [0, 1]); 0 when empty.
+  /// (p in [0, 1]), clamped to the observed max; 0 when empty.
   uint64_t PercentileNanos(double p) const;
 
  private:
-  std::array<uint64_t, kBuckets> buckets_ = {};
-  uint64_t count_ = 0;
-  uint64_t max_nanos_ = 0;
-  uint64_t sum_nanos_ = 0;
+  static int BucketIndex(uint64_t nanos);
+  void CopyFrom(const LatencyHistogram& other);
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> max_nanos_{0};
+  std::atomic<uint64_t> sum_nanos_{0};
 };
 
-/// \brief All server counters, single-writer (the event loop).
+/// \brief All server counters. Atomics: each counter has exactly one
+/// logical writer stage but is read concurrently by STATS handlers on
+/// I/O threads and the /metrics scraper on the main thread. Copying
+/// takes a relaxed-load snapshot (what `QueryServer::MetricsSnapshot`
+/// hands to benches).
 struct ServerMetrics {
-  uint64_t connections_accepted = 0;
-  uint64_t connections_closed = 0;
-  uint64_t frames_received = 0;
-  uint64_t malformed_frames = 0;
-  uint64_t queries_received = 0;
-  uint64_t queries_rejected = 0;
-  uint64_t queries_executed = 0;
-  uint64_t batches_executed = 0;
-  uint64_t results_sent = 0;
-  uint64_t errors_sent = 0;
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_closed{0};
+  std::atomic<uint64_t> frames_received{0};
+  std::atomic<uint64_t> malformed_frames{0};
+  std::atomic<uint64_t> queries_received{0};
+  std::atomic<uint64_t> queries_rejected{0};
+  std::atomic<uint64_t> queries_executed{0};
+  std::atomic<uint64_t> batches_executed{0};
+  std::atomic<uint64_t> results_sent{0};
+  std::atomic<uint64_t> errors_sent{0};
   /// Requests whose end-to-end time crossed the slow-query threshold
   /// (0 when the threshold is disabled).
-  uint64_t slow_queries = 0;
+  std::atomic<uint64_t> slow_queries{0};
   /// Total wall clock spent encoding RESULT frames.
-  int64_t serialize_nanos_total = 0;
-  /// Request arrival (frame fully parsed) to response enqueue.
+  std::atomic<int64_t> serialize_nanos_total{0};
+  /// Request arrival (frame fully parsed) to response enqueue; recorded
+  /// by the serialization thread (and I/O threads for inline replies).
   LatencyHistogram request_latency;
-  /// Event-loop stall: wall clock from a poll() wakeup to the loop
-  /// re-entering poll(), recorded while sessions exist. On the
-  /// single-threaded front end this is exactly how long a freshly
-  /// readable session can wait before the loop looks at it — the
-  /// 8-client regression, as a histogram.
+  /// Event-loop stall: wall clock from an epoll wakeup to the loop
+  /// re-entering epoll, recorded while the thread owns sessions. The
+  /// live server keeps one shard per I/O thread and merges them into
+  /// this field only in snapshots/scrapes; on the quiesced object this
+  /// holds the merged total.
   LatencyHistogram loop_stall;
-  /// Engine stats accumulated across every executed batch, including
-  /// page-I/O counters when the backend is paged.
+  /// Engine stats accumulated across every executed batch (scheduler
+  /// thread, in execution order — deterministic), including page-I/O
+  /// counters when the backend is paged. Guarded by `engine_mu_`: use
+  /// `MergeEngine`/`EngineTotal` while other threads are live; direct
+  /// field reads are fine once the server has quiesced.
   PhaseStats engine_total;
+
+  ServerMetrics() = default;
+  ServerMetrics(const ServerMetrics& other) { CopyFrom(other); }
+  ServerMetrics& operator=(const ServerMetrics& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  /// Folds one executed batch's stats into `engine_total` (thread-safe).
+  void MergeEngine(const PhaseStats& stats) {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    engine_total.Merge(stats);
+  }
+  /// Consistent copy of `engine_total` (thread-safe).
+  PhaseStats EngineTotal() const {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    return engine_total;
+  }
 
   /// Saturating: a double-counted close must read as 0 active
   /// connections, not wrap to 2^64 - k (counters are self-checked in
   /// the STATS tests).
   uint64_t connections_active() const {
-    return connections_closed > connections_accepted
-               ? 0
-               : connections_accepted - connections_closed;
+    const uint64_t accepted =
+        connections_accepted.load(std::memory_order_relaxed);
+    const uint64_t closed =
+        connections_closed.load(std::memory_order_relaxed);
+    return closed > accepted ? 0 : accepted - closed;
   }
   double CoalesceFactor() const {
-    return batches_executed == 0
+    const uint64_t batches =
+        batches_executed.load(std::memory_order_relaxed);
+    return batches == 0
                ? 0.0
-               : static_cast<double>(queries_executed) /
-                     static_cast<double>(batches_executed);
+               : static_cast<double>(
+                     queries_executed.load(std::memory_order_relaxed)) /
+                     static_cast<double>(batches);
   }
 
   ServerStatsWire ToWire() const;
+
+ private:
+  void CopyFrom(const ServerMetrics& other);
+
+  mutable std::mutex engine_mu_;
 };
 
 }  // namespace octopus::server

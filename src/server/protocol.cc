@@ -288,6 +288,26 @@ void AppendResult(Buffer* out, uint64_t request_id,
   EndFrame(out, h);
 }
 
+void AppendResultMeta(Buffer* out, uint64_t request_id,
+                      const BatchStatsWire& stats,
+                      std::span<const std::vector<VertexId>> per_query) {
+  const size_t h = BeginFrame(out, FrameType::kResult);
+  PutU64(out, request_id);
+  PutU32(out, static_cast<uint32_t>(per_query.size()));
+  PutU32(out, 0);  // reserved
+  PutBatchStats(out, stats);
+  for (const std::vector<VertexId>& result : per_query) {
+    PutU32(out, static_cast<uint32_t>(result.size()));
+  }
+  // Not EndFrame: the header must announce the FULL payload, including
+  // the vertex ids the writer gathers in from the result vectors.
+  const auto len = static_cast<uint32_t>(ResultPayloadBytes(per_query));
+  (*out)[h + 0] = static_cast<uint8_t>(len);
+  (*out)[h + 1] = static_cast<uint8_t>(len >> 8);
+  (*out)[h + 2] = static_cast<uint8_t>(len >> 16);
+  (*out)[h + 3] = static_cast<uint8_t>(len >> 24);
+}
+
 void AppendStatsRequest(Buffer* out) {
   const size_t h = BeginFrame(out, FrameType::kStatsRequest);
   EndFrame(out, h);

@@ -270,6 +270,22 @@ void AppendQueryBatch(Buffer* out, uint64_t request_id,
 void AppendResult(Buffer* out, uint64_t request_id,
                   const BatchStatsWire& stats,
                   std::span<const std::vector<VertexId>> per_query);
+/// Zero-copy variant of `AppendResult`: encodes only the frame's fixed
+/// bytes — header, request id, query count, reserved word, batch-stats
+/// block, then the n per-query count words contiguously — and patches
+/// the header's payload length to the FULL `ResultPayloadBytes`. The
+/// writer owes the wire query i's vertex ids immediately after count
+/// word i (gathered via iovec; see server/io_pipeline.h), which is what
+/// lets RESULT vectors go out without ever being memcpy'd into a frame
+/// buffer.
+void AppendResultMeta(Buffer* out, uint64_t request_id,
+                      const BatchStatsWire& stats,
+                      std::span<const std::vector<VertexId>> per_query);
+/// Bytes of a RESULT frame from its header through the batch-stats
+/// block — the offset of the first per-query count word in an
+/// `AppendResultMeta` buffer.
+inline constexpr size_t kResultMetaBytesBeforeCounts =
+    kFrameHeaderBytes + 16 + 160;
 void AppendStatsRequest(Buffer* out);
 void AppendStats(Buffer* out, const ServerStatsWire& stats);
 void AppendError(Buffer* out, const ErrorFrame& error);

@@ -6,10 +6,13 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <bit>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -23,6 +26,16 @@ namespace octopus::server {
 namespace {
 
 constexpr size_t kReadChunkBytes = 64 * 1024;
+/// iovec budget per sendmsg: plenty for one large zero-copy RESULT
+/// (2 segments per query) plus a run of small inline frames.
+constexpr int kMaxIov = 64;
+
+/// Zero-copy RESULT encoding splices raw `std::vector<VertexId>` bytes
+/// onto the wire, which is only the wire format (little-endian u32 ids)
+/// when the host matches. Anything else falls back to the copying
+/// `AppendResult` — same bytes, one extra memcpy.
+constexpr bool kZeroCopyResults =
+    std::endian::native == std::endian::little && sizeof(VertexId) == 4;
 
 Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
@@ -35,18 +48,21 @@ bool SetNonBlocking(int fd) {
 
 }  // namespace
 
-/// Per-connection state: socket, framing buffer, pending writes.
+/// Per-connection state. A session lives its whole life on the one I/O
+/// thread its fd hashed to, so none of this needs locking — the only
+/// cross-thread references are the id-keyed `owner_` map and frames
+/// arriving through the owning thread's inbox.
 struct QueryServer::Session {
   uint64_t id = 0;
   int fd = -1;
   bool handshaken = false;
   /// Last instant the session demonstrably made progress — the peer
-  /// delivered bytes (accept time initially), a queued request of its
-  /// was dispatched, or an inline verb (STEP, PIN, historical query)
-  /// finished executing; drives the idle/handshake timeout. Advancing
-  /// it at dispatch, not only at receipt, keeps a session that waited
-  /// out a slow coalescing window from being condemned the moment its
-  /// result is delivered.
+  /// delivered bytes (accept time initially), a pipelined request of
+  /// its completed, or an inline verb (STEP, PIN) finished executing;
+  /// drives the idle/handshake timeout. Advancing it at completion,
+  /// not only at receipt, keeps a session that waited out a slow
+  /// coalescing window from being condemned the moment its result is
+  /// delivered.
   int64_t last_activity_nanos = 0;
   /// Epochs this session pinned (id -> pin count); every remaining pin
   /// is released when the session closes, however it dies.
@@ -58,11 +74,70 @@ struct QueryServer::Session {
   /// are still parsed and their responses delivered; the session closes
   /// once nothing is pending for it.
   bool read_closed = false;
-  Buffer in;           ///< received, not yet parsed
-  Buffer out;          ///< encoded, not yet sent
-  size_t out_offset = 0;  ///< bytes of `out` already sent
+  /// Requests of this session in flight through the scheduler /
+  /// serializer pipeline (the threaded replacement for the old loop's
+  /// `HasPendingFor`): exempts the session from the idle deadline and
+  /// keeps a half-closed session alive until it has been answered.
+  uint32_t inflight = 0;
+  Buffer in;                ///< received, not yet parsed
+  std::deque<OutFrame> out; ///< encoded frames, not yet fully sent
+  size_t out_offset = 0;    ///< bytes of `out.front()` already sent
+  size_t out_bytes = 0;     ///< unsent wire bytes across `out`
+  /// Interest set currently armed in epoll (EPOLL_CTL_MOD only on
+  /// change — interest churns far slower than wakeups).
+  uint32_t epoll_events = 0;
 
-  bool WantsWrite() const { return out_offset < out.size(); }
+  bool WantsWrite() const { return out_bytes > 0; }
+  void Push(OutFrame frame) {
+    out_bytes += frame.WireBytes();
+    out.push_back(std::move(frame));
+  }
+};
+
+/// One I/O thread's world: an epoll instance, the sessions sharded to
+/// it, and an eventfd-signalled inbox through which the main thread
+/// hands it new connections and the serializer hands it finished
+/// frames.
+struct QueryServer::IoThread {
+  struct Msg {
+    enum class Kind : uint8_t { kNewSession, kFrame, kDrain };
+    Kind kind = Kind::kNewSession;
+    int fd = -1;              ///< kNewSession: the accepted socket
+    uint64_t session_id = 0;  ///< kNewSession / kFrame
+    OutFrame frame;           ///< kFrame: pre-framed outbound bytes
+    /// kFrame: this frame answers a pipelined request — decrement
+    /// `inflight` and refresh the idle clock on arrival.
+    bool completes_request = false;
+  };
+
+  int epoll_fd = -1;
+  int event_fd = -1;
+  std::thread thread;
+  std::mutex inbox_mu;
+  std::deque<Msg> inbox;  // guarded by inbox_mu
+  /// This thread's loop-stall shard; merged into snapshots/scrapes on
+  /// demand (never into the live `ServerMetrics` — that would double
+  /// count across scrapes).
+  LatencyHistogram stall;
+  std::map<uint64_t, std::unique_ptr<Session>> sessions;
+  std::unordered_map<int, Session*> by_fd;
+  /// Sessions condemned while iterating; closed in a second phase so
+  /// nothing erases from `sessions` mid-walk.
+  std::vector<uint64_t> closed_scratch;
+
+  void Post(Msg msg) {
+    {
+      std::lock_guard<std::mutex> lock(inbox_mu);
+      inbox.push_back(std::move(msg));
+    }
+    Signal();
+  }
+  void Signal() {
+    const uint64_t one = 1;
+    // Best effort: a saturated eventfd counter is already a wakeup.
+    [[maybe_unused]] const ssize_t n =
+        write(event_fd, &one, sizeof(one));
+  }
 };
 
 QueryServer::QueryServer(std::unique_ptr<VersionedBackend> backend,
@@ -79,8 +154,12 @@ QueryServer::QueryServer(std::unique_ptr<VersionedBackend> backend,
 }
 
 QueryServer::~QueryServer() {
-  for (auto& [id, session] : sessions_) {
-    if (session->fd >= 0) close(session->fd);
+  for (auto& io : io_) {
+    for (auto& [id, session] : io->sessions) {
+      if (session->fd >= 0) close(session->fd);
+    }
+    if (io->epoll_fd >= 0) close(io->epoll_fd);
+    if (io->event_fd >= 0) close(io->event_fd);
   }
   if (listen_fd_ >= 0) close(listen_fd_);
   if (wake_fd_read_ >= 0) close(wake_fd_read_);
@@ -91,6 +170,10 @@ int64_t QueryServer::NowNanos() const {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+size_t QueryServer::ResolvedIoThreads() const {
+  return static_cast<size_t>(std::clamp(options_.io_threads, 1, 64));
 }
 
 Status QueryServer::Start() {
@@ -144,6 +227,10 @@ Status QueryServer::Listen() {
 
 void QueryServer::Stop() {
   stop_requested_.store(true, std::memory_order_release);
+  WakeMain();
+}
+
+void QueryServer::WakeMain() {
   if (wake_fd_write_ >= 0) {
     const char byte = 1;
     // Best effort: a full pipe already guarantees a pending wakeup.
@@ -152,73 +239,64 @@ void QueryServer::Stop() {
 }
 
 Status QueryServer::Run() {
-  std::vector<pollfd> fds;
-  std::vector<uint64_t> fd_session;  // session id per pollfd slot
+  // Build every I/O thread's epoll/eventfd before anything starts, so
+  // a resource failure aborts cleanly with no threads to unwind.
+  const size_t n_io = ResolvedIoThreads();
+  for (size_t i = 0; i < n_io; ++i) {
+    auto io = std::make_unique<IoThread>();
+    io->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    if (io->epoll_fd < 0) return Errno("epoll_create1");
+    io->event_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (io->event_fd < 0) {
+      io_.push_back(std::move(io));  // dtor closes the epoll fd
+      return Errno("eventfd");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = io->event_fd;
+    if (epoll_ctl(io->epoll_fd, EPOLL_CTL_ADD, io->event_fd, &ev) != 0) {
+      io_.push_back(std::move(io));
+      return Errno("epoll_ctl(eventfd)");
+    }
+    io_.push_back(std::move(io));
+  }
+  sched_thread_ = std::thread([this] { SchedulerLoop(); });
+  ser_thread_ = std::thread([this] { SerializerLoop(); });
+  for (size_t i = 0; i < io_.size(); ++i) {
+    io_[i]->thread = std::thread([this, i] { IoLoop(i); });
+  }
+
+  // The main thread's remaining job: accept, introspection HTTP, and
+  // the wake pipe. Sessions and batches belong to the other stages.
   const obs::HttpTextEndpoint::Handler metrics_handler =
       [this](const std::string& path) { return RouteHttp(path); };
-  // Instant the last poll() returned; -1 before the first wakeup.
-  int64_t last_wake_nanos = -1;
-
+  std::vector<pollfd> fds;
+  Status status = Status::OK();
   while (!stop_requested_.load(std::memory_order_acquire)) {
     const int64_t now = NowNanos();
-    // Condemn idle sessions BEFORE building the poll set, so their
-    // TIMEOUT error frames register for writing in this very round.
-    const int64_t idle_in = EnforceIdleDeadlines(now);
     fds.clear();
-    fd_session.clear();
     fds.push_back({wake_fd_read_, POLLIN, 0});
-    fd_session.push_back(0);
-    const bool accepting = sessions_.size() < options_.max_connections &&
-                           now >= accept_retry_at_nanos_;
-    if (accepting) {
-      fds.push_back({listen_fd_, POLLIN, 0});
-      fd_session.push_back(0);
-    }
-    for (const auto& [id, session] : sessions_) {
-      short events = 0;
-      // Backpressure: stop reading (and thus admitting) from a session
-      // whose responses it is not consuming.
-      if (!session->close_after_flush && !session->read_closed &&
-          session->out.size() - session->out_offset <
-              options_.max_session_out_bytes) {
-        events |= POLLIN;
-      }
-      if (session->WantsWrite()) events |= POLLOUT;
-      fds.push_back({session->fd, events, 0});
-      fd_session.push_back(id);
-    }
-    if (metrics_http_.listening()) {
-      metrics_http_.CollectPollFds(&fds);
-      fd_session.resize(fds.size(), 0);  // not sessions; owned by the endpoint
-    }
+    const bool accepting =
+        active_sessions_.load(std::memory_order_relaxed) <
+            options_.max_connections &&
+        now >= accept_retry_at_nanos_;
+    if (accepting) fds.push_back({listen_fd_, POLLIN, 0});
+    if (metrics_http_.listening()) metrics_http_.CollectPollFds(&fds);
 
-    int64_t due = scheduler_.NanosUntilDue(now);
+    int timeout_ms = -1;
     if (!accepting && accept_retry_at_nanos_ > now) {
       // Wake in time to resume accepting even if nothing else happens.
-      const int64_t retry_in = accept_retry_at_nanos_ - now;
-      due = due < 0 ? retry_in : std::min(due, retry_in);
-    }
-    if (idle_in >= 0) due = due < 0 ? idle_in : std::min(due, idle_in);
-    int timeout_ms = -1;
-    if (due >= 0) {
-      // Round up so we never spin on a sub-millisecond remainder.
-      timeout_ms = static_cast<int>((due + 999'999) / 1'000'000);
-    }
-
-    // Loop-stall sample: how long the previous wakeup kept the loop
-    // away from poll(). Recorded only while sessions exist — with no
-    // one connected a slow iteration stalls nobody.
-    if (last_wake_nanos >= 0 && !sessions_.empty()) {
-      metrics_.loop_stall.Record(
-          static_cast<uint64_t>(NowNanos() - last_wake_nanos));
+      // (At the connection cap there is no deadline: the I/O thread
+      // that closes a session wakes us through the pipe.)
+      timeout_ms = static_cast<int>(
+          (accept_retry_at_nanos_ - now + 999'999) / 1'000'000);
     }
     const int ready = poll(fds.data(), fds.size(), timeout_ms);
-    last_wake_nanos = NowNanos();
     if (ready < 0) {
       if (errno == EINTR) continue;
-      return Errno("poll");
+      status = Errno("poll");
+      break;
     }
-
     for (size_t i = 0; i < fds.size(); ++i) {
       if (fds[i].revents == 0) continue;
       if (fds[i].fd == wake_fd_read_) {
@@ -229,42 +307,17 @@ Status QueryServer::Run() {
         AcceptNew();
       } else if (metrics_http_.OwnsFd(fds[i].fd)) {
         metrics_http_.OnReady(fds[i].fd, fds[i].revents, metrics_handler);
-      } else if (fd_session[i] != 0) {
-        auto it = sessions_.find(fd_session[i]);
-        if (it == sessions_.end()) continue;
-        Session* session = it->second.get();
-        if ((fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
-            (fds[i].revents & POLLIN) == 0) {
-          closed_scratch_.push_back(session->id);
-          continue;
-        }
-        if ((fds[i].revents & POLLIN) != 0) ReadSession(session);
       }
     }
-    for (const uint64_t id : closed_scratch_) CloseSession(id);
-    closed_scratch_.clear();
-
-    // Coalescing point: execute every batch whose window has expired
-    // (or that hit the size trigger while sockets were drained).
-    ExecuteDueBatches(NowNanos());
-
-    // Opportunistic flush of everything with pending output; POLLOUT is
-    // only needed when the socket buffer pushes back.
-    for (auto& [id, session] : sessions_) {
-      if (session->WantsWrite() || session->close_after_flush) {
-        FlushSession(session.get());
-      }
-    }
-    for (const uint64_t id : closed_scratch_) CloseSession(id);
-    closed_scratch_.clear();
   }
 
   DrainAndClose();
-  return Status::OK();
+  return status;
 }
 
 void QueryServer::AcceptNew() {
-  while (sessions_.size() < options_.max_connections) {
+  while (active_sessions_.load(std::memory_order_relaxed) <
+         options_.max_connections) {
     const int fd = accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
@@ -288,18 +341,145 @@ void QueryServer::AcceptNew() {
     }
     const int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto session = std::make_unique<Session>();
-    session->id = next_session_id_++;
-    session->fd = fd;
-    session->last_activity_nanos = NowNanos();
+    const uint64_t id = next_session_id_++;
+    const auto owner =
+        static_cast<uint32_t>(static_cast<size_t>(fd) % io_.size());
     metrics_.connections_accepted += 1;
-    const uint64_t id = session->id;
-    sessions_.emplace(id, std::move(session));
-    Journal(obs::EventKind::kSessionOpened, 0, id, sessions_.size());
+    const uint64_t count =
+        active_sessions_.fetch_add(1, std::memory_order_relaxed) + 1;
+    {
+      // Registered before the handoff: the serializer must be able to
+      // route to this session the moment the I/O thread knows it.
+      std::lock_guard<std::mutex> lock(owner_mu_);
+      owner_[id] = owner;
+    }
+    IoThread::Msg msg;
+    msg.kind = IoThread::Msg::Kind::kNewSession;
+    msg.fd = fd;
+    msg.session_id = id;
+    io_[owner]->Post(std::move(msg));
+    Journal(obs::EventKind::kSessionOpened, 0, id, count);
   }
 }
 
-void QueryServer::ReadSession(Session* session) {
+void QueryServer::IoLoop(size_t index) {
+  IoThread& io = *io_[index];
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  // Instant the last epoll_wait returned; -1 before the first wakeup.
+  int64_t last_wake_nanos = -1;
+  bool draining = false;
+
+  while (!draining) {
+    const int64_t now = NowNanos();
+    // Condemn idle sessions BEFORE the flush pass, so their TIMEOUT
+    // error frames go out in this very round.
+    const int64_t idle_in = EnforceIdleDeadlines(io, now);
+    // Opportunistic flush of everything with pending output; EPOLLOUT
+    // interest is only needed when the socket buffer pushes back.
+    for (auto& [id, session] : io.sessions) {
+      if (session->WantsWrite() || session->close_after_flush) {
+        FlushSession(io, session.get());
+      }
+    }
+    ProcessClosures(io);
+    for (auto& [id, session] : io.sessions) {
+      UpdateInterest(io, session.get());
+    }
+
+    int timeout_ms = -1;
+    if (idle_in >= 0) {
+      // Round up so we never spin on a sub-millisecond remainder.
+      timeout_ms = static_cast<int>((idle_in + 999'999) / 1'000'000);
+    }
+    // Loop-stall sample: how long the previous wakeup kept this thread
+    // away from epoll. Recorded only while it owns sessions — with no
+    // one connected a slow iteration stalls nobody.
+    if (last_wake_nanos >= 0 && !io.sessions.empty()) {
+      io.stall.Record(static_cast<uint64_t>(NowNanos() - last_wake_nanos));
+    }
+    const int ready = epoll_wait(io.epoll_fd, events, kMaxEvents,
+                                 timeout_ms);
+    last_wake_nanos = NowNanos();
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable; fall through to the drain
+    }
+
+    ProcessInbox(io, &draining);
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == io.event_fd) {
+        uint64_t counter = 0;
+        while (read(io.event_fd, &counter, sizeof(counter)) > 0) {
+        }
+        continue;
+      }
+      auto it = io.by_fd.find(fd);
+      if (it == io.by_fd.end()) continue;
+      Session* session = it->second;
+      const uint32_t revents = events[i].events;
+      if ((revents & (EPOLLERR | EPOLLHUP)) != 0 &&
+          (revents & EPOLLIN) == 0) {
+        io.closed_scratch.push_back(session->id);
+        continue;
+      }
+      if ((revents & EPOLLIN) != 0) ReadSession(io, session);
+      // EPOLLOUT needs no handler: the next iteration's flush pass
+      // runs before this thread can sleep again.
+    }
+    ProcessClosures(io);
+  }
+
+  DrainIoThread(io);
+}
+
+void QueryServer::ProcessInbox(IoThread& io, bool* draining) {
+  std::deque<IoThread::Msg> msgs;
+  {
+    std::lock_guard<std::mutex> lock(io.inbox_mu);
+    msgs.swap(io.inbox);
+  }
+  for (IoThread::Msg& msg : msgs) {
+    switch (msg.kind) {
+      case IoThread::Msg::Kind::kNewSession: {
+        auto session = std::make_unique<Session>();
+        session->id = msg.session_id;
+        session->fd = msg.fd;
+        session->last_activity_nanos = NowNanos();
+        session->epoll_events = EPOLLIN;
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = msg.fd;
+        epoll_ctl(io.epoll_fd, EPOLL_CTL_ADD, msg.fd, &ev);
+        io.by_fd[msg.fd] = session.get();
+        io.sessions.emplace(msg.session_id, std::move(session));
+        break;
+      }
+      case IoThread::Msg::Kind::kFrame: {
+        auto it = io.sessions.find(msg.session_id);
+        if (it == io.sessions.end()) break;  // session died mid-flight
+        Session* session = it->second.get();
+        if (msg.completes_request) {
+          if (session->inflight > 0) session->inflight -= 1;
+          // Completion counts as activity: a request that waited out a
+          // slow coalescing window must not leave its session
+          // condemnable the instant the in-flight exemption lapses.
+          session->last_activity_nanos = NowNanos();
+        }
+        session->Push(std::move(msg.frame));
+        break;
+      }
+      case IoThread::Msg::Kind::kDrain:
+        // Process everything already in this swap (frames ahead of the
+        // token must still be delivered), then leave the event loop.
+        *draining = true;
+        break;
+    }
+  }
+}
+
+void QueryServer::ReadSession(IoThread& io, Session* session) {
   session->last_activity_nanos = NowNanos();
   while (true) {
     const size_t old_size = session->in.size();
@@ -355,8 +535,8 @@ void QueryServer::ReadSession(Session* session) {
   // with nothing pending anywhere, close now (FlushSession handles the
   // pending cases when they drain).
   if (session->read_closed && !session->close_after_flush &&
-      !session->WantsWrite() && !scheduler_.HasPendingFor(session->id)) {
-    closed_scratch_.push_back(session->id);
+      !session->WantsWrite() && session->inflight == 0) {
+    io.closed_scratch.push_back(session->id);
   }
 }
 
@@ -401,7 +581,9 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
     welcome.page_bytes = backend_->page_bytes();
     welcome.max_batch_queries = static_cast<uint32_t>(
         scheduler_.options().max_batch_queries);
-    AppendWelcome(&session->out, welcome);
+    OutFrame frame;
+    AppendWelcome(&frame.bytes, welcome);
+    session->Push(std::move(frame));
     session->handshaken = true;
     return;
   }
@@ -422,23 +604,77 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
       }
       metrics_.queries_received += request.boxes.size();
       request.arrival_nanos = NowNanos();
-      if (epoch != 0) {
-        // Historical epoch: executed inline, bypassing the coalescing
-        // scheduler — a batch is epoch-consistent, so queries against
-        // different epochs can never share a sweep. Pinned repeatable
-        // reads are a control-plane workload; the latency-sensitive
-        // hot path (epoch 0 = current) still coalesces. Inline is not
-        // unbounded, though: the scheduler's exact admission rule
-        // applies — counting the live backlog, with the empty-queue
-        // exemption — so stamping an epoch on a request is not a way
-        // around OVERLOADED backpressure.
-        if (scheduler_.HasPending() &&
-            scheduler_.pending_queries() + request.boxes.size() >
-                scheduler_.options().max_pending_queries) {
-          metrics_.queries_rejected += request.boxes.size();
+      const size_t num_queries = request.boxes.size();
+      const uint64_t request_id = request.request_id;
+
+      // Admission happens under the scheduler lock — which the
+      // scheduler thread holds for the whole of a batch execution, so
+      // (exactly like the old single loop, where execution blocked the
+      // loop) the pending queue cannot grow past its window while a
+      // batch runs.
+      enum class Verdict : uint8_t {
+        kAdmitted,
+        kEmptyInline,
+        kOverloaded,
+        kShuttingDown,
+      };
+      Verdict verdict;
+      {
+        std::lock_guard<std::mutex> lock(sched_mu_);
+        if (sched_closed_) {
+          // The scheduler already drained and exited; nothing would
+          // ever execute this request.
+          verdict = Verdict::kShuttingDown;
+        } else if (epoch != 0) {
+          // Historical epoch: kept out of the coalescing queue — a
+          // batch is epoch-consistent, so queries against different
+          // epochs can never share a sweep. Pinned repeatable reads
+          // are a control-plane workload; the latency-sensitive hot
+          // path (epoch 0 = current) still coalesces. Not unbounded,
+          // though: the scheduler's exact admission rule applies —
+          // counting the live backlog, with the empty-queue exemption
+          // — so stamping an epoch on a request is not a way around
+          // OVERLOADED backpressure.
+          if (scheduler_.HasPending() &&
+              scheduler_.pending_queries() + num_queries >
+                  scheduler_.options().max_pending_queries) {
+            verdict = Verdict::kOverloaded;
+          } else {
+            immediate_.push_back({std::move(request), epoch});
+            session->inflight += 1;
+            verdict = Verdict::kAdmitted;
+          }
+        } else if (request.boxes.empty()) {
+          verdict = Verdict::kEmptyInline;
+        } else if (scheduler_.Enqueue(std::move(request))) {
+          session->inflight += 1;
+          verdict = Verdict::kAdmitted;
+        } else {
+          verdict = Verdict::kOverloaded;
+        }
+      }
+      switch (verdict) {
+        case Verdict::kAdmitted:
+          sched_cv_.notify_one();
+          return;
+        case Verdict::kEmptyInline: {
+          // Nothing to coalesce: answer an empty batch immediately —
+          // still epoch-stamped (every RESULT carries the epoch, even
+          // a trivially consistent one).
+          BatchStatsWire empty;
+          empty.epoch = backend_->CurrentEpoch();
+          OutFrame frame;
+          AppendResult(&frame.bytes, request_id, empty, {});
+          session->Push(std::move(frame));
+          metrics_.results_sent += 1;
+          metrics_.request_latency.Record(0);
+          return;
+        }
+        case Verdict::kOverloaded: {
+          metrics_.queries_rejected += num_queries;
           Journal(obs::EventKind::kOverloadRejected, 0, session->id,
-                  request.request_id, request.boxes.size());
-          SendError(session, ErrorCode::kOverloaded, request.request_id,
+                  request_id, num_queries);
+          SendError(session, ErrorCode::kOverloaded, request_id,
                     "pending-query limit of " +
                         std::to_string(
                             scheduler_.options().max_pending_queries) +
@@ -446,32 +682,11 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
                     /*close_connection=*/false);
           return;
         }
-        ExecuteHistorical(session, request, epoch);
-        return;
-      }
-      if (request.boxes.empty()) {
-        // Nothing to coalesce: answer an empty batch immediately —
-        // still epoch-stamped (every RESULT carries the epoch, even a
-        // trivially consistent one).
-        BatchStatsWire empty;
-        empty.epoch = backend_->CurrentEpoch();
-        AppendResult(&session->out, request.request_id, empty, {});
-        metrics_.results_sent += 1;
-        metrics_.request_latency.Record(0);
-        return;
-      }
-      const size_t num_queries = request.boxes.size();
-      const uint64_t request_id = request.request_id;
-      if (!scheduler_.Enqueue(std::move(request))) {
-        metrics_.queries_rejected += num_queries;
-        Journal(obs::EventKind::kOverloadRejected, 0, session->id,
-                request_id, num_queries);
-        SendError(session, ErrorCode::kOverloaded, request_id,
-                  "pending-query limit of " +
-                      std::to_string(
-                          scheduler_.options().max_pending_queries) +
-                      " reached; retry later",
-                  false);
+        case Verdict::kShuttingDown:
+          SendError(session, ErrorCode::kShuttingDown, request_id,
+                    "server is shutting down",
+                    /*close_connection=*/false);
+          return;
       }
       return;
     }
@@ -483,10 +698,12 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
         return;
       }
       ServerStatsWire wire = metrics_.ToWire();
-      // Steps may be applied by a stepper thread, bypassing the loop's
-      // counters; the backend's epoch is the authoritative count.
+      // Steps may be applied by a stepper thread, bypassing the
+      // counters here; the backend's epoch is the authoritative count.
       wire.steps_applied = backend_->CurrentEpoch().step;
-      AppendStats(&session->out, wire);
+      OutFrame frame;
+      AppendStats(&frame.bytes, wire);
+      session->Push(std::move(frame));
       return;
     }
     case FrameType::kStep: {
@@ -505,9 +722,10 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
                   true);
         return;
       }
-      // Applied inline on the loop thread: a control-plane verb, cheap
+      // Applied inline on the I/O thread: a control-plane verb, cheap
       // relative to the batches it interleaves with (steps normally
-      // come from the --step-every stepper thread instead).
+      // come from the --step-every stepper thread instead; the
+      // backend's step path is internally synchronized).
       for (uint32_t i = 0; i < step.steps; ++i) backend_->AdvanceStep();
       // The steps themselves were this session's activity: a large
       // STEP must not eat into its own idle budget.
@@ -535,6 +753,7 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
         }
         const uint32_t count =
             (session->pinned_epochs[pinned.Value().epoch] += 1);
+        session_pins_.fetch_add(1, std::memory_order_relaxed);
         Journal(obs::EventKind::kEpochPinned, pinned.Value().epoch,
                 session->id, count);
         AppendCurrentEpochInfo(session, pinned.Value());
@@ -552,6 +771,7 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
       }
       const Status unpinned = backend_->UnpinEpoch(pin.epoch);
       const uint32_t left = --it->second;
+      session_pins_.fetch_sub(1, std::memory_order_relaxed);
       Journal(obs::EventKind::kEpochUnpinned, pin.epoch, session->id, left);
       if (left == 0) session->pinned_epochs.erase(it);
       if (!unpinned.ok()) {
@@ -584,7 +804,9 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
             dump.records.begin(),
             dump.records.end() - static_cast<ptrdiff_t>(max_records));
       }
-      AppendTraceDump(&session->out, dump);
+      OutFrame frame;
+      AppendTraceDump(&frame.bytes, dump);
+      session->Push(std::move(frame));
       return;
     }
     default:
@@ -602,40 +824,9 @@ void QueryServer::AppendCurrentEpochInfo(Session* session,
   info.dynamic = backend_->dynamic() ? 1 : 0;
   info.deformer_kind = static_cast<uint8_t>(backend_->deformer_kind());
   info.last_step_pages_rewritten = backend_->last_step_pages_rewritten();
-  AppendEpochInfo(&session->out, info);
-}
-
-void QueryServer::ExecuteHistorical(Session* session,
-                                    const PendingRequest& request,
-                                    uint64_t epoch) {
-  engine::QueryBatchResult results;
-  PhaseStats stats;
-  const Status st = backend_->ExecuteAt(epoch, request.boxes, &results,
-                                        &stats);
-  if (!st.ok()) {
-    session->last_activity_nanos = NowNanos();
-    metrics_.queries_rejected += request.boxes.size();
-    SendError(session, ErrorCode::kEpochGone, request.request_id,
-              st.message(), /*close_connection=*/false);
-    return;
-  }
-  metrics_.batches_executed += 1;
-  metrics_.queries_executed += request.boxes.size();
-  metrics_.engine_total.Merge(stats);
-  // Package as a completed request and reuse the one delivery tail
-  // (frame-cap handling, counters, latency, activity refresh).
-  CompletedRequest done;
-  done.session_id = request.session_id;
-  done.request_id = request.request_id;
-  done.arrival_nanos = request.arrival_nanos;
-  done.client_span_id = request.client_span_id;
-  // Inline execution: never queued, so queue wait is by definition 0.
-  done.dispatch_nanos = request.arrival_nanos;
-  done.stats = BatchStatsWire::FromPhaseStats(
-      stats, static_cast<uint32_t>(request.boxes.size()), 1,
-      results.epoch);
-  done.per_query = std::move(results.per_query);
-  DeliverResult(done, NowNanos());
+  OutFrame frame;
+  AppendEpochInfo(&frame.bytes, info);
+  session->Push(std::move(frame));
 }
 
 void QueryServer::SendError(Session* session, ErrorCode code,
@@ -645,41 +836,358 @@ void QueryServer::SendError(Session* session, ErrorCode code,
   error.code = code;
   error.request_id = request_id;
   error.message = message;
-  AppendError(&session->out, error);
+  OutFrame frame;
+  AppendError(&frame.bytes, error);
+  session->Push(std::move(frame));
   metrics_.errors_sent += 1;
   if (close_connection) session->close_after_flush = true;
 }
 
-void QueryServer::DeliverResult(const CompletedRequest& done,
-                                int64_t done_at) {
-  auto it = sessions_.find(done.session_id);
-  if (it == sessions_.end()) return;  // client left mid-flight
-  Session* session = it->second.get();
-  // Dispatch counts as activity: a request that waited out a slow
-  // coalescing window must not leave its session condemnable the
-  // instant the pending-exemption lapses (the idle clock restarts at
-  // delivery, not at the long-gone receive).
-  session->last_activity_nanos = done_at;
+int64_t QueryServer::EnforceIdleDeadlines(IoThread& io, int64_t now_nanos) {
+  if (options_.idle_timeout_nanos <= 0) return -1;
+  int64_t next_in = -1;
+  for (auto& [id, session] : io.sessions) {
+    // A session already condemned, half-closed, or waiting on a result
+    // we owe it is not idling at our expense.
+    if (session->close_after_flush || session->read_closed ||
+        session->inflight > 0) {
+      continue;
+    }
+    const int64_t deadline =
+        session->last_activity_nanos + options_.idle_timeout_nanos;
+    if (deadline <= now_nanos) {
+      SendError(session.get(), ErrorCode::kTimeout, 0,
+                session->handshaken
+                    ? "idle timeout: no frames received"
+                    : "handshake timeout: no HELLO received",
+                /*close_connection=*/true);
+    } else if (next_in < 0 || deadline - now_nanos < next_in) {
+      next_in = deadline - now_nanos;
+    }
+  }
+  return next_in;
+}
+
+void QueryServer::FlushSession(IoThread& io, Session* session) {
+  while (session->WantsWrite()) {
+    struct iovec iov[kMaxIov];
+    int iov_count = 0;
+    size_t offset = session->out_offset;
+    for (const OutFrame& frame : session->out) {
+      iov_count += BuildFrameIov(frame, offset, iov + iov_count,
+                                 kMaxIov - iov_count);
+      offset = 0;  // only the front frame is partially sent
+      if (iov_count >= kMaxIov) break;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iov_count);
+    const ssize_t n = sendmsg(session->fd, &msg, MSG_NOSIGNAL);
+    if (n > 0) {
+      session->out_bytes -= static_cast<size_t>(n);
+      session->out_offset += static_cast<size_t>(n);
+      // Retire fully sent frames (this is where zero-copy result
+      // vectors finally free).
+      while (!session->out.empty() &&
+             session->out_offset >= session->out.front().WireBytes()) {
+        session->out_offset -= session->out.front().WireBytes();
+        session->out.pop_front();
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    io.closed_scratch.push_back(session->id);
+    return;
+  }
+  session->out_offset = 0;
+  if (session->close_after_flush ||
+      (session->read_closed && session->inflight == 0)) {
+    io.closed_scratch.push_back(session->id);
+  }
+}
+
+void QueryServer::UpdateInterest(IoThread& io, Session* session) {
+  uint32_t want = 0;
+  // Backpressure: stop reading (and thus admitting) from a session
+  // whose responses it is not consuming.
+  if (!session->close_after_flush && !session->read_closed &&
+      session->out_bytes < options_.max_session_out_bytes) {
+    want |= EPOLLIN;
+  }
+  if (session->WantsWrite()) want |= EPOLLOUT;
+  if (want == session->epoll_events) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.fd = session->fd;
+  if (epoll_ctl(io.epoll_fd, EPOLL_CTL_MOD, session->fd, &ev) == 0) {
+    session->epoll_events = want;
+  }
+}
+
+void QueryServer::CloseSession(IoThread& io, uint64_t session_id) {
+  auto it = io.sessions.find(session_id);
+  if (it == io.sessions.end()) return;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    scheduler_.DropSession(session_id);
+    // Historical requests still waiting their turn die with the
+    // session too — they would execute for nobody.
+    std::erase_if(immediate_, [session_id](const ImmediateRequest& r) {
+      return r.request.session_id == session_id;
+    });
+  }
+  // A dead session's pins die with it: release every count so the
+  // epochs it was holding become evictable again.
+  uint64_t pins_released = 0;
+  for (const auto& [epoch, count] : it->second->pinned_epochs) {
+    for (uint32_t i = 0; i < count; ++i) {
+      // Best effort — the epoch may already be gone for other reasons.
+      (void)backend_->UnpinEpoch(epoch);
+      ++pins_released;
+    }
+  }
+  if (pins_released > 0) {
+    session_pins_.fetch_sub(pins_released, std::memory_order_relaxed);
+  }
+  epoll_ctl(io.epoll_fd, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  close(it->second->fd);
+  io.by_fd.erase(it->second->fd);
+  io.sessions.erase(it);
+  {
+    std::lock_guard<std::mutex> lock(owner_mu_);
+    owner_.erase(session_id);
+  }
+  metrics_.connections_closed += 1;
+  const uint64_t left =
+      active_sessions_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  Journal(obs::EventKind::kSessionClosed, 0, session_id, left,
+          pins_released);
+  // The main thread may be parked at the connection cap waiting for a
+  // free slot.
+  WakeMain();
+}
+
+void QueryServer::ProcessClosures(IoThread& io) {
+  for (const uint64_t id : io.closed_scratch) CloseSession(io, id);
+  io.closed_scratch.clear();
+}
+
+void QueryServer::DrainIoThread(IoThread& io) {
+  // Typed goodbye: every surviving session learns WHY the connection
+  // is about to close (after any results it is owed, which are already
+  // in its buffer) instead of observing a silent EOF. Frames a peer
+  // sends from here on are never read, exactly as before.
+  for (auto& [id, session] : io.sessions) {
+    if (session->close_after_flush) continue;  // already condemned, typed
+    ErrorFrame error;
+    error.code = ErrorCode::kShuttingDown;
+    error.message = "server is shutting down";
+    OutFrame frame;
+    AppendError(&frame.bytes, error);
+    session->Push(std::move(frame));
+    metrics_.errors_sent += 1;
+  }
+
+  // Bounded flush of buffered responses. Condemned and half-closed
+  // sessions close as they drain; healthy ones stay open for the main
+  // thread to close after kDrainEnded (matching the old loop's journal
+  // order).
+  const int64_t deadline = NowNanos() + options_.drain_timeout_nanos;
+  std::vector<pollfd> fds;
+  while (NowNanos() < deadline) {
+    for (auto& [id, session] : io.sessions) {
+      FlushSession(io, session.get());
+    }
+    ProcessClosures(io);
+    fds.clear();
+    for (auto& [id, session] : io.sessions) {
+      if (session->WantsWrite()) fds.push_back({session->fd, POLLOUT, 0});
+    }
+    if (fds.empty()) break;
+    const int64_t left_ms = (deadline - NowNanos()) / 1'000'000;
+    if (poll(fds.data(), fds.size(), static_cast<int>(left_ms) + 1) < 0 &&
+        errno != EINTR) {
+      break;
+    }
+  }
+}
+
+void QueryServer::SchedulerLoop() {
+  std::unique_lock<std::mutex> lock(sched_mu_);
+  std::vector<CompletedRequest> completed;
+  for (;;) {
+    // Historical requests first: they were admitted against the same
+    // backlog bound and bypass the window, exactly like the old loop's
+    // inline execution.
+    if (!immediate_.empty()) {
+      ImmediateRequest req = std::move(immediate_.front());
+      immediate_.pop_front();
+      ExecuteImmediate(std::move(req));
+      continue;
+    }
+    const int64_t now = NowNanos();
+    if (scheduler_.HasPending() &&
+        (drain_requested_ || scheduler_.ShouldExecute(now))) {
+      // Coalescing point. The lock is held across execution on
+      // purpose: admission blocks while a batch runs (the old loop's
+      // behavior), so the backlog cannot grow past its window
+      // mid-batch. During a drain the window is ignored — accepted
+      // requests get answers even across a shutdown.
+      completed.clear();
+      scheduler_.ExecuteReady(backend_.get(), &completed, &metrics_,
+                              NowNanos());
+      for (CompletedRequest& done : completed) {
+        SerTask task;
+        task.kind = SerTask::Kind::kResult;
+        task.done = std::move(done);
+        EnqueueSerTask(std::move(task));
+      }
+      continue;
+    }
+    if (drain_requested_) {
+      // Everything executed. Tell admission we are gone, then send the
+      // drain token down the serializer so it reaches the I/O threads
+      // strictly after every result above.
+      sched_closed_ = true;
+      SerTask token;
+      token.kind = SerTask::Kind::kDrain;
+      EnqueueSerTask(std::move(token));
+      return;
+    }
+    const int64_t due = scheduler_.NanosUntilDue(now);
+    if (due < 0) {
+      sched_cv_.wait(lock);
+    } else {
+      sched_cv_.wait_for(lock, std::chrono::nanoseconds(due));
+    }
+  }
+}
+
+void QueryServer::ExecuteImmediate(ImmediateRequest req) {
+  engine::QueryBatchResult results;
+  PhaseStats stats;
+  const Status st = backend_->ExecuteAt(req.epoch, req.request.boxes,
+                                        &results, &stats);
+  if (!st.ok()) {
+    metrics_.queries_rejected += req.request.boxes.size();
+    SerTask task;
+    task.kind = SerTask::Kind::kError;
+    task.session_id = req.request.session_id;
+    task.request_id = req.request.request_id;
+    task.code = ErrorCode::kEpochGone;
+    task.message = st.message();
+    EnqueueSerTask(std::move(task));
+    return;
+  }
+  metrics_.batches_executed += 1;
+  metrics_.queries_executed += req.request.boxes.size();
+  metrics_.MergeEngine(stats);
+  // Package as a completed request and reuse the one delivery tail
+  // (frame-cap handling, counters, latency, activity refresh).
+  CompletedRequest done;
+  done.session_id = req.request.session_id;
+  done.request_id = req.request.request_id;
+  done.arrival_nanos = req.request.arrival_nanos;
+  done.client_span_id = req.request.client_span_id;
+  // Never sat in the coalescing queue, so queue wait is by definition 0.
+  done.dispatch_nanos = req.request.arrival_nanos;
+  done.stats = BatchStatsWire::FromPhaseStats(
+      stats, static_cast<uint32_t>(req.request.boxes.size()), 1,
+      results.epoch);
+  done.per_query = std::move(results.per_query);
+  SerTask task;
+  task.kind = SerTask::Kind::kResult;
+  task.done = std::move(done);
+  EnqueueSerTask(std::move(task));
+}
+
+void QueryServer::EnqueueSerTask(SerTask task) {
+  {
+    std::lock_guard<std::mutex> lock(ser_mu_);
+    ser_tasks_.push_back(std::move(task));
+  }
+  ser_cv_.notify_one();
+}
+
+void QueryServer::SerializerLoop() {
+  for (;;) {
+    SerTask task;
+    {
+      std::unique_lock<std::mutex> lock(ser_mu_);
+      ser_cv_.wait(lock, [this] { return !ser_tasks_.empty(); });
+      task = std::move(ser_tasks_.front());
+      ser_tasks_.pop_front();
+    }
+    switch (task.kind) {
+      case SerTask::Kind::kResult:
+        DeliverCompleted(std::move(task.done));
+        break;
+      case SerTask::Kind::kError:
+        DeliverError(task);
+        break;
+      case SerTask::Kind::kDrain: {
+        // FIFO all the way down: every frame enqueued before this
+        // token has already been posted to its I/O thread's inbox, so
+        // forwarding the token now guarantees each thread sees its
+        // results before it begins its goodbye flush.
+        for (auto& io : io_) {
+          IoThread::Msg msg;
+          msg.kind = IoThread::Msg::Kind::kDrain;
+          io->Post(std::move(msg));
+        }
+        return;
+      }
+    }
+  }
+}
+
+void QueryServer::DeliverCompleted(CompletedRequest done) {
+  {
+    // Client left mid-flight: skip the delivery counters entirely,
+    // exactly like the old loop's sessions_ lookup.
+    std::lock_guard<std::mutex> lock(owner_mu_);
+    if (owner_.find(done.session_id) == owner_.end()) return;
+  }
+  const int64_t done_at = NowNanos();
   // The trace id this delivery WILL record under (0 = tracing off),
   // reserved up front so the RESULT frame can carry it while the
   // record itself still prices the serialization it is part of.
-  // Nothing else records between here and the Record below — the loop
-  // thread is the recorder's only writer.
+  // Nothing else records in between — this serialization thread is the
+  // recorder's only writer.
   BatchStatsWire stats = done.stats;
   stats.trace_id = recorder_.ReserveId();
+  const auto num_queries = static_cast<uint32_t>(done.per_query.size());
+  uint64_t vertices = 0;
+  for (const auto& q : done.per_query) vertices += q.size();
+
+  OutFrame frame;
   int64_t serialize_nanos = 0;
   if (ResultPayloadBytes(done.per_query) > kMaxFramePayloadBytes) {
     // The result set cannot travel in one frame: answer with a typed,
     // request-scoped error instead of desynchronizing the stream.
-    SendError(session, ErrorCode::kInternal, done.request_id,
-              "result set exceeds the " +
-                  std::to_string(kMaxFramePayloadBytes) +
-                  "-byte frame cap; split the query batch",
-              /*close_connection=*/false);
+    ErrorFrame error;
+    error.code = ErrorCode::kInternal;
+    error.request_id = done.request_id;
+    error.message = "result set exceeds the " +
+                    std::to_string(kMaxFramePayloadBytes) +
+                    "-byte frame cap; split the query batch";
+    AppendError(&frame.bytes, error);
+    metrics_.errors_sent += 1;
   } else {
     Timer timer;
-    AppendResult(&session->out, done.request_id, stats, done.per_query);
-    serialize_nanos = timer.ElapsedNanos();
+    if constexpr (kZeroCopyResults) {
+      // Encode only header + stats + count words; the id vectors ride
+      // the frame by move and hit the socket as iovec segments.
+      AppendResultMeta(&frame.bytes, done.request_id, stats,
+                       done.per_query);
+      frame.vecs = std::move(done.per_query);
+    } else {
+      AppendResult(&frame.bytes, done.request_id, stats, done.per_query);
+    }
+    // Clamped ≥ 1: the meta-only encode can beat the clock tick, and a
+    // recorded serialization took nonzero time by definition.
+    serialize_nanos = std::max<int64_t>(timer.ElapsedNanos(), 1);
     metrics_.results_sent += 1;
   }
   metrics_.serialize_nanos_total += serialize_nanos;
@@ -699,7 +1207,7 @@ void QueryServer::DeliverResult(const CompletedRequest& done,
     rec.request_id = done.request_id;
     rec.epoch = done.stats.epoch.epoch;
     rec.epoch_step = done.stats.epoch.step;
-    rec.queries = static_cast<uint32_t>(done.per_query.size());
+    rec.queries = num_queries;
     rec.batch_queries = done.stats.batch_queries;
     rec.batch_requests = done.stats.batch_requests;
     rec.arrival_nanos = done.arrival_nanos;
@@ -715,8 +1223,6 @@ void QueryServer::DeliverResult(const CompletedRequest& done,
     rec.total_nanos = total_nanos;
     rec.page_accesses = done.stats.page_hits + done.stats.page_misses;
     rec.lease_hits = done.stats.lease_hits;
-    uint64_t vertices = 0;
-    for (const auto& q : done.per_query) vertices += q.size();
     rec.result_vertices = vertices;
     rec.trace_id = recorder_.Record(rec);
     if (slow) {
@@ -746,6 +1252,84 @@ void QueryServer::DeliverResult(const CompletedRequest& done,
           static_cast<unsigned long long>(rec.result_vertices));
     }
   }
+  DispatchOutbound(done.session_id, std::move(frame), true);
+}
+
+void QueryServer::DeliverError(const SerTask& task) {
+  {
+    std::lock_guard<std::mutex> lock(owner_mu_);
+    if (owner_.find(task.session_id) == owner_.end()) return;
+  }
+  ErrorFrame error;
+  error.code = task.code;
+  error.request_id = task.request_id;
+  error.message = task.message;
+  OutFrame frame;
+  AppendError(&frame.bytes, error);
+  metrics_.errors_sent += 1;
+  DispatchOutbound(task.session_id, std::move(frame), true);
+}
+
+void QueryServer::DispatchOutbound(uint64_t session_id, OutFrame frame,
+                                   bool completes_request) {
+  uint32_t owner = 0;
+  {
+    std::lock_guard<std::mutex> lock(owner_mu_);
+    auto it = owner_.find(session_id);
+    if (it == owner_.end()) return;  // session closed; drop the frame
+    owner = it->second;
+  }
+  IoThread::Msg msg;
+  msg.kind = IoThread::Msg::Kind::kFrame;
+  msg.session_id = session_id;
+  msg.frame = std::move(frame);
+  msg.completes_request = completes_request;
+  io_[owner]->Post(std::move(msg));
+}
+
+void QueryServer::DrainAndClose() {
+  close(listen_fd_);
+  listen_fd_ = -1;
+  Journal(obs::EventKind::kDrainBegan, 0, 0,
+          active_sessions_.load(std::memory_order_relaxed));
+
+  // Stage the shutdown down the pipeline, in data order: the scheduler
+  // executes everything still pending (window ignored) and emits a
+  // drain token; the serializer forwards it behind the last result;
+  // each I/O thread then says its typed goodbyes and flushes.
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    drain_requested_ = true;
+  }
+  sched_cv_.notify_all();
+  if (sched_thread_.joinable()) sched_thread_.join();
+  if (ser_thread_.joinable()) ser_thread_.join();
+  for (auto& io : io_) {
+    if (io->thread.joinable()) io->thread.join();
+  }
+
+  // Whatever is left did not drain in time: count the sessions whose
+  // buffered output we are about to drop as force-closed.
+  uint64_t forced = 0;
+  for (const auto& io : io_) {
+    for (const auto& [id, session] : io->sessions) {
+      if (session->WantsWrite()) ++forced;
+    }
+  }
+  Journal(obs::EventKind::kDrainEnded, 0, 0,
+          active_sessions_.load(std::memory_order_relaxed), forced);
+  for (auto& io : io_) {
+    std::vector<uint64_t> ids;
+    ids.reserve(io->sessions.size());
+    for (const auto& [id, session] : io->sessions) ids.push_back(id);
+    for (const uint64_t id : ids) CloseSession(*io, id);
+  }
+}
+
+ServerMetrics QueryServer::MetricsSnapshot() const {
+  ServerMetrics snapshot = metrics_;
+  for (const auto& io : io_) snapshot.loop_stall.Merge(io->stall);
+  return snapshot;
 }
 
 std::string QueryServer::RenderMetricsText() const {
@@ -759,6 +1343,9 @@ std::string QueryServer::RenderMetricsText() const {
                  "TCP connections closed.", m.connections_closed);
   reg.AddGauge("octopus_connections_active", "Currently open sessions.",
                static_cast<double>(m.connections_active()));
+  reg.AddGauge("octopus_io_threads",
+               "I/O threads serving connections (sharded by fd).",
+               static_cast<double>(ResolvedIoThreads()));
   reg.AddCounter("octopus_frames_received_total",
                  "Complete OCTP frames parsed.", m.frames_received);
   reg.AddCounter("octopus_malformed_frames_total",
@@ -780,56 +1367,64 @@ std::string QueryServer::RenderMetricsText() const {
   reg.AddCounter("octopus_slow_queries_total",
                  "Requests over the --slow-query-ms threshold.",
                  m.slow_queries);
-  reg.AddCounterSeconds("octopus_serialize_seconds_total",
-                        "Wall clock spent encoding RESULT frames.",
-                        static_cast<double>(m.serialize_nanos_total) * kNano);
-  reg.AddLog2NanosHistogram(
+  reg.AddCounterSeconds(
+      "octopus_serialize_seconds_total",
+      "Wall clock spent encoding RESULT frames.",
+      static_cast<double>(
+          m.serialize_nanos_total.load(std::memory_order_relaxed)) *
+          kNano);
+  const std::vector<uint64_t> bounds =
+      LatencyHistogram::BucketUpperBounds();
+  reg.AddNanosHistogram(
       "octopus_request_latency_seconds",
       "Request arrival to response enqueue.",
-      m.request_latency.bucket_counts(), m.request_latency.count(),
+      m.request_latency.bucket_counts(), bounds,
       static_cast<double>(m.request_latency.sum_nanos()) * kNano);
-  reg.AddLog2NanosHistogram(
+  // The live loop_stall field is empty; the shards are per I/O thread.
+  LatencyHistogram stall = m.loop_stall;
+  for (const auto& io : io_) stall.Merge(io->stall);
+  reg.AddNanosHistogram(
       "octopus_loop_stall_seconds",
-      "Event-loop busy time per wakeup while sessions exist.",
-      m.loop_stall.bucket_counts(), m.loop_stall.count(),
-      static_cast<double>(m.loop_stall.sum_nanos()) * kNano);
+      "I/O-loop busy time per wakeup while sessions exist, merged "
+      "across I/O threads.",
+      stall.bucket_counts(), bounds,
+      static_cast<double>(stall.sum_nanos()) * kNano);
 
+  const PhaseStats engine = m.EngineTotal();
   reg.AddCounterSeconds("octopus_engine_probe_seconds_total",
                         "Surface-probe phase wall clock.",
-                        static_cast<double>(m.engine_total.probe_nanos) *
-                            kNano);
+                        static_cast<double>(engine.probe_nanos) * kNano);
   reg.AddCounterSeconds("octopus_engine_walk_seconds_total",
                         "Directed-walk phase wall clock.",
-                        static_cast<double>(m.engine_total.walk_nanos) *
-                            kNano);
+                        static_cast<double>(engine.walk_nanos) * kNano);
   reg.AddCounterSeconds("octopus_engine_crawl_seconds_total",
                         "Crawl phase wall clock.",
-                        static_cast<double>(m.engine_total.crawl_nanos) *
-                            kNano);
+                        static_cast<double>(engine.crawl_nanos) * kNano);
   reg.AddCounterSeconds("octopus_engine_merge_seconds_total",
                         "Batch-end stats-merge wall clock.",
-                        static_cast<double>(m.engine_total.merge_nanos) *
-                            kNano);
-  const storage::PageIOStats& io = m.engine_total.page_io;
+                        static_cast<double>(engine.merge_nanos) * kNano);
+  const storage::PageIOStats& io_stats = engine.page_io;
   reg.AddCounter("octopus_page_hits_total",
-                 "Priced page accesses served by the pool.", io.page_hits);
+                 "Priced page accesses served by the pool.",
+                 io_stats.page_hits);
   reg.AddCounter("octopus_page_misses_total",
                  "Priced page accesses that read from disk.",
-                 io.page_misses);
+                 io_stats.page_misses);
   reg.AddCounter("octopus_page_evictions_total",
                  "Pages evicted during query execution.",
-                 io.page_evictions);
+                 io_stats.page_evictions);
   reg.AddCounter("octopus_lease_hits_total",
-                 "Reads served free through a held lease.", io.lease_hits);
+                 "Reads served free through a held lease.",
+                 io_stats.lease_hits);
   reg.AddCounter("octopus_pages_leased_total",
                  "Lease acquisitions (first touch per batch).",
-                 io.pages_leased);
+                 io_stats.pages_leased);
   reg.AddCounter("octopus_pages_distinct_total",
                  "Distinct pages touched across batches.",
-                 io.pages_distinct);
+                 io_stats.pages_distinct);
   reg.AddCounter("octopus_lease_revocations_total",
                  "Leases dropped before batch end (pool pressure).",
-                 io.lease_revocations);
+                 io_stats.lease_revocations);
 
   const engine::EpochInfo current = backend_->CurrentEpoch();
   reg.AddGauge("octopus_current_epoch", "Newest published epoch id.",
@@ -868,15 +1463,10 @@ std::string QueryServer::RenderMetricsText() const {
                    pool->TotalStats().page_evictions);
   }
 
-  uint64_t pins = 0;
-  for (const auto& [id, session] : sessions_) {
-    for (const auto& [epoch, count] : session->pinned_epochs) {
-      pins += count;
-    }
-  }
   reg.AddGauge("octopus_sessions_pinned_epochs",
                "Outstanding session epoch pins.",
-               static_cast<double>(pins));
+               static_cast<double>(
+                   session_pins_.load(std::memory_order_relaxed)));
 
   reg.AddCounter("octopus_trace_records_total",
                  "Flight-recorder records written (lifetime).",
@@ -1005,7 +1595,7 @@ obs::HttpTextEndpoint::Response QueryServer::RouteHttp(
     return response;
   }
   if (path == "/healthz") {
-    // Pure liveness: the loop thread is alive enough to answer.
+    // Pure liveness: the main thread is alive enough to answer.
     response.body = "ok\n";
     return response;
   }
@@ -1021,164 +1611,6 @@ obs::HttpTextEndpoint::Response QueryServer::RouteHttp(
     return response;
   }
   return obs::HttpTextEndpoint::NotFound();
-}
-
-void QueryServer::ExecuteDueBatches(int64_t now_nanos) {
-  while (scheduler_.ShouldExecute(now_nanos)) {
-    completed_scratch_.clear();
-    scheduler_.ExecuteReady(backend_.get(), &completed_scratch_,
-                            &metrics_, NowNanos());
-    const int64_t done_at = NowNanos();
-    for (const CompletedRequest& done : completed_scratch_) {
-      DeliverResult(done, done_at);
-    }
-  }
-}
-
-int64_t QueryServer::EnforceIdleDeadlines(int64_t now_nanos) {
-  if (options_.idle_timeout_nanos <= 0) return -1;
-  int64_t next_in = -1;
-  for (auto& [id, session] : sessions_) {
-    // A session already condemned, half-closed, or waiting on a result
-    // we owe it is not idling at our expense.
-    if (session->close_after_flush || session->read_closed ||
-        scheduler_.HasPendingFor(id)) {
-      continue;
-    }
-    const int64_t deadline =
-        session->last_activity_nanos + options_.idle_timeout_nanos;
-    if (deadline <= now_nanos) {
-      SendError(session.get(), ErrorCode::kTimeout, 0,
-                session->handshaken
-                    ? "idle timeout: no frames received"
-                    : "handshake timeout: no HELLO received",
-                /*close_connection=*/true);
-    } else if (next_in < 0 || deadline - now_nanos < next_in) {
-      next_in = deadline - now_nanos;
-    }
-  }
-  return next_in;
-}
-
-void QueryServer::FlushSession(Session* session) {
-  // Compact the sent prefix once it grows past a chunk, so a client
-  // that drains responses slowly (buffer never fully empty) cannot
-  // accumulate already-sent bytes without bound.
-  if (session->out_offset >= kReadChunkBytes) {
-    session->out.erase(session->out.begin(),
-                       session->out.begin() +
-                           static_cast<ptrdiff_t>(session->out_offset));
-    session->out_offset = 0;
-  }
-  while (session->WantsWrite()) {
-    const ssize_t n = send(session->fd, session->out.data() +
-                               session->out_offset,
-                           session->out.size() - session->out_offset,
-                           MSG_NOSIGNAL);
-    if (n > 0) {
-      session->out_offset += static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
-    if (n < 0 && errno == EINTR) continue;
-    closed_scratch_.push_back(session->id);
-    return;
-  }
-  session->out.clear();
-  session->out_offset = 0;
-  if (session->close_after_flush ||
-      (session->read_closed &&
-       !scheduler_.HasPendingFor(session->id))) {
-    closed_scratch_.push_back(session->id);
-  }
-}
-
-void QueryServer::CloseSession(uint64_t session_id) {
-  auto it = sessions_.find(session_id);
-  if (it == sessions_.end()) return;
-  scheduler_.DropSession(session_id);
-  // A dead session's pins die with it: release every count so the
-  // epochs it was holding become evictable again.
-  uint64_t pins_released = 0;
-  for (const auto& [epoch, count] : it->second->pinned_epochs) {
-    for (uint32_t i = 0; i < count; ++i) {
-      // Best effort — the epoch may already be gone for other reasons.
-      (void)backend_->UnpinEpoch(epoch);
-      ++pins_released;
-    }
-  }
-  close(it->second->fd);
-  sessions_.erase(it);
-  metrics_.connections_closed += 1;
-  Journal(obs::EventKind::kSessionClosed, 0, session_id, sessions_.size(),
-          pins_released);
-}
-
-void QueryServer::DrainAndClose() {
-  close(listen_fd_);
-  listen_fd_ = -1;
-  Journal(obs::EventKind::kDrainBegan, 0, 0, sessions_.size());
-
-  // Execute everything still pending, ignoring the window — accepted
-  // requests get answers even across a shutdown.
-  while (scheduler_.HasPending()) {
-    completed_scratch_.clear();
-    scheduler_.ExecuteReady(backend_.get(), &completed_scratch_,
-                            &metrics_, NowNanos());
-    const int64_t done_at = NowNanos();
-    for (const CompletedRequest& done : completed_scratch_) {
-      DeliverResult(done, done_at);
-    }
-  }
-
-  // Typed goodbye: every surviving session learns WHY the connection is
-  // about to close (after any results it is owed, which are already in
-  // its buffer) instead of observing a silent EOF. Frames a peer sends
-  // from here on are never read, exactly as before.
-  for (auto& [id, session] : sessions_) {
-    if (session->close_after_flush) continue;  // already condemned, typed
-    ErrorFrame error;
-    error.code = ErrorCode::kShuttingDown;
-    error.message = "server is shutting down";
-    AppendError(&session->out, error);
-    metrics_.errors_sent += 1;
-  }
-
-  // Bounded flush of buffered responses.
-  const int64_t deadline = NowNanos() + options_.drain_timeout_nanos;
-  std::vector<pollfd> fds;
-  std::vector<uint64_t> fd_session;
-  while (NowNanos() < deadline) {
-    fds.clear();
-    fd_session.clear();
-    for (auto& [id, session] : sessions_) {
-      FlushSession(session.get());
-      if (session->WantsWrite()) {
-        fds.push_back({session->fd, POLLOUT, 0});
-        fd_session.push_back(id);
-      }
-    }
-    for (const uint64_t id : closed_scratch_) CloseSession(id);
-    closed_scratch_.clear();
-    if (fds.empty()) break;
-    const int64_t left_ms = (deadline - NowNanos()) / 1'000'000;
-    if (poll(fds.data(), fds.size(), static_cast<int>(left_ms) + 1) < 0 &&
-        errno != EINTR) {
-      break;
-    }
-  }
-
-  // Whatever is left did not drain in time: count the sessions whose
-  // buffered output we are about to drop as force-closed.
-  uint64_t forced = 0;
-  for (const auto& [id, session] : sessions_) {
-    if (session->WantsWrite()) ++forced;
-  }
-  Journal(obs::EventKind::kDrainEnded, 0, 0, sessions_.size(), forced);
-  std::vector<uint64_t> all_ids;
-  all_ids.reserve(sessions_.size());
-  for (const auto& [id, session] : sessions_) all_ids.push_back(id);
-  for (const uint64_t id : all_ids) CloseSession(id);
 }
 
 }  // namespace octopus::server

@@ -1,26 +1,50 @@
 // Copyright 2026 The OCTOPUS Reproduction Authors
-// The network query service: a single-threaded, poll-based TCP server
-// speaking the OCTP protocol. Non-blocking sockets, per-connection
-// framing and write buffering, and a `BatchScheduler` at its core that
-// coalesces queries across connections into one engine batch per
-// window. Query-execution parallelism lives inside the backend's
-// `QueryEngine` thread pool, so the loop thread stays responsive-enough
-// while remaining the only thread touching sockets, sessions, scheduler
-// and metrics — no locks anywhere in the service path.
+// The network query service: a multi-threaded, epoll-based TCP server
+// speaking the OCTP protocol. The front end is a four-stage pipeline:
+//
+//   main thread      accept + wake pipe + introspection HTTP; assigns
+//                    each new connection to an I/O thread (sharded by
+//                    fd) and orchestrates the drain sequence.
+//   N I/O threads    one epoll each; per-connection framing, inline
+//                    control verbs (HELLO/STATS/STEP/PIN/TRACE_DUMP),
+//                    query admission into the scheduler, idle
+//                    deadlines, and gathering `sendmsg` flushes of
+//                    pre-framed output. Connections never migrate, so
+//                    all per-session state stays thread-local.
+//   scheduler thread coalesces queries across connections (the
+//                    existing `BatchScheduler`, unchanged) and runs
+//                    engine batches; query-execution parallelism lives
+//                    inside the backend's `QueryEngine` thread pool.
+//   serializer thread encodes RESULT/ERROR frames off the I/O threads
+//                    (zero-copy: result vectors ride the frame as
+//                    iovec segments, see server/io_pipeline.h) and
+//                    hands each I/O thread finished buffers.
+//
+// `io_threads = 1` reproduces the previous single-loop server's
+// observable behavior exactly — same admission, coalescing, drain,
+// journal and metrics semantics — just with the stages on their own
+// threads. See docs/ARCHITECTURE.md for the full thread model and
+// docs/OBSERVABILITY.md for which thread emits which metric.
 //
 // Lifecycle: `Start` binds and listens (port 0 = ephemeral, then
-// `port()` reports the actual one), `Run` blocks in the event loop, and
-// `Stop` — safe from any thread or signal handler — triggers a graceful
-// shutdown: stop accepting, execute every pending batch, flush write
-// buffers (bounded by `drain_timeout_nanos`), close.
+// `port()` reports the actual one), `Run` spawns the pipeline threads
+// and blocks until `Stop`. `Stop` — safe from any thread or signal
+// handler — triggers a graceful shutdown: stop accepting, execute
+// every pending batch, flush write buffers (bounded by
+// `drain_timeout_nanos`), close.
 #ifndef OCTOPUS_SERVER_SERVER_H_
 #define OCTOPUS_SERVER_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -28,6 +52,7 @@
 #include "obs/http_endpoint.h"
 #include "obs/trace.h"
 #include "server/batch_scheduler.h"
+#include "server/io_pipeline.h"
 #include "server/metrics.h"
 #include "server/protocol.h"
 #include "server/versioned_backend.h"
@@ -39,6 +64,11 @@ struct ServerOptions {
   uint16_t port = 0;  ///< 0 = pick an ephemeral port
   int backlog = 64;
   size_t max_connections = 256;
+  /// I/O threads serving connections (sharded by fd, never migrating).
+  /// 1 reproduces the previous single-loop server; values < 1 are
+  /// treated as 1. The CLI defaults `serve --io-threads` to
+  /// min(4, hardware cores).
+  int io_threads = 1;
   SchedulerOptions scheduler;
   /// Graceful-shutdown bound on flushing buffered responses.
   int64_t drain_timeout_nanos = 2'000'000'000;
@@ -51,14 +81,14 @@ struct ServerOptions {
   /// byte for this long — including one that never sent its HELLO — is
   /// answered with ERROR(TIMEOUT) and closed, so silent connections
   /// cannot pin `max_connections` slots forever. Sessions with a
-  /// request pending in the scheduler are exempt (they are waiting on
-  /// us, not the reverse). 0 disables.
+  /// request in flight through the pipeline are exempt (they are
+  /// waiting on us, not the reverse). 0 disables.
   int64_t idle_timeout_nanos = 300'000'000'000;  // 5 min
   /// Introspection HTTP port on `bind_address` (/metrics, /healthz,
   /// /readyz, /epochs, /journal): -1 disables the endpoint, 0 binds an
   /// ephemeral port (read it back via `metrics_port()`). Served by the
-  /// same event loop — OCTP STATS stays the authoritative snapshot;
-  /// /metrics renders the same single-writer counters for scrapers.
+  /// main thread — OCTP STATS stays the authoritative snapshot;
+  /// /metrics renders the same shared counters for scrapers.
   int metrics_port = -1;
   /// Lifecycle event journal (non-owning; may be null). The server
   /// emits session/overload/drain events into it, forwards it to the
@@ -94,8 +124,10 @@ class QueryServer {
 
   uint16_t port() const { return port_; }
 
-  /// The event loop; blocks the calling thread until `Stop`. Returns
-  /// non-OK only on unrecoverable loop errors (poll failure).
+  /// Spawns the pipeline threads and blocks the calling thread in the
+  /// accept loop until `Stop`. Returns non-OK only on unrecoverable
+  /// errors (poll/epoll setup or failure); the pipeline is torn down
+  /// either way.
   Status Run();
 
   /// Requests a graceful shutdown; callable from any thread and from
@@ -105,10 +137,15 @@ class QueryServer {
   /// Bound /metrics port; 0 while the endpoint is disabled.
   uint16_t metrics_port() const { return metrics_http_.port(); }
 
-  /// Loop-thread state; read it from other threads only after `Run`
-  /// has returned.
+  /// The live shared counters (atomics — individually consistent at
+  /// any time, mutually consistent once `Run` has returned). The
+  /// `loop_stall` field on this reference is always empty: stalls are
+  /// sharded per I/O thread; read them via `MetricsSnapshot`.
   const ServerMetrics& metrics() const { return metrics_; }
-  /// The flight-recorder ring (loop-thread state, same caveat).
+  /// A copy of the counters with the per-I/O-thread stall shards
+  /// merged into `loop_stall` — what benches and scrapers want.
+  ServerMetrics MetricsSnapshot() const;
+  /// The flight-recorder ring (internally synchronized).
   const obs::FlightRecorder& recorder() const { return recorder_; }
   /// Renders the Prometheus exposition /metrics serves — public so
   /// tests can assert STATS parity without an HTTP round trip.
@@ -124,18 +161,45 @@ class QueryServer {
   /// epoch-publication lag is over the bound or the spill sidecar has
   /// failing epochs.
   obs::HttpTextEndpoint::Response ReadyzResponse() const;
-  /// The backend. `AdvanceStep`/`CurrentEpoch` on it are safe from a
-  /// stepper thread while the loop runs (see VersionedBackend's thread
-  /// model); everything else is loop-thread state.
+  /// The backend. `AdvanceStep`, `CurrentEpoch` and the pin verbs on
+  /// it are safe from any thread (see VersionedBackend's thread
+  /// model); `Execute`/`ExecuteAt` belong to the scheduler thread.
   VersionedBackend* backend() { return backend_.get(); }
 
  private:
   struct Session;
+  struct IoThread;
+  /// A historical-epoch request awaiting the scheduler thread. Kept
+  /// out of the coalescing queue (a batch is epoch-consistent; only
+  /// same-epoch queries could share a sweep) but executed on the same
+  /// thread, since the backend's execute path is single-threaded.
+  struct ImmediateRequest {
+    PendingRequest request;
+    uint64_t epoch = 0;
+  };
+  /// One unit of serialization work.
+  struct SerTask {
+    enum class Kind : uint8_t { kResult, kError, kDrain };
+    Kind kind = Kind::kResult;
+    CompletedRequest done;                  // kResult
+    uint64_t session_id = 0;                // kError
+    uint64_t request_id = 0;                // kError
+    ErrorCode code = ErrorCode::kInternal;  // kError
+    std::string message;                    // kError
+  };
 
   int64_t NowNanos() const;
+  size_t ResolvedIoThreads() const;
   Status Listen();
+  /// Nudges the main poll loop (e.g. so it re-arms accepting after an
+  /// I/O thread closed a session at the connection cap).
+  void WakeMain();
   void AcceptNew();
-  void ReadSession(Session* session);
+
+  // --- I/O threads ---
+  void IoLoop(size_t index);
+  void ProcessInbox(IoThread& io, bool* draining);
+  void ReadSession(IoThread& io, Session* session);
   void HandleFrame(Session* session, FrameType type,
                    std::span<const uint8_t> payload);
   void SendError(Session* session, ErrorCode code, uint64_t request_id,
@@ -143,21 +207,33 @@ class QueryServer {
   /// Encodes an EPOCH_INFO answer for `epoch` with the backend's
   /// dynamic/deformer metadata (the reply to STEP, PIN and UNPIN).
   void AppendCurrentEpochInfo(Session* session, engine::EpochInfo epoch);
-  /// Executes a QUERY_BATCH aimed at a historical epoch inline (no
-  /// cross-request coalescing: batches are epoch-consistent, so only
-  /// same-epoch queries could ever share a sweep) and answers RESULT or
-  /// a request-scoped EPOCH_GONE.
-  void ExecuteHistorical(Session* session, const PendingRequest& request,
-                         uint64_t epoch);
-  /// Encodes one completed request into its session's write buffer (or
-  /// a request-scoped error when the result exceeds the frame cap).
-  void DeliverResult(const CompletedRequest& done, int64_t done_at);
-  void ExecuteDueBatches(int64_t now_nanos);
   /// Closes sessions silent past the idle deadline (typed TIMEOUT
   /// error); returns nanos until the next session times out (-1: none).
-  int64_t EnforceIdleDeadlines(int64_t now_nanos);
-  void FlushSession(Session* session);
-  void CloseSession(uint64_t session_id);
+  int64_t EnforceIdleDeadlines(IoThread& io, int64_t now_nanos);
+  void FlushSession(IoThread& io, Session* session);
+  void UpdateInterest(IoThread& io, Session* session);
+  void CloseSession(IoThread& io, uint64_t session_id);
+  void ProcessClosures(IoThread& io);
+  /// The I/O thread's share of the drain: typed goodbye, bounded
+  /// flush, close of condemned/half-closed sessions. Healthy sessions
+  /// stay open for the main thread to close after kDrainEnded.
+  void DrainIoThread(IoThread& io);
+
+  // --- scheduler / serializer threads ---
+  void SchedulerLoop();
+  /// Scheduler: runs one historical request (sched_mu_ held — the
+  /// backend execute path is single-threaded).
+  void ExecuteImmediate(ImmediateRequest req);
+  void SerializerLoop();
+  /// Serializer: encodes one completed request (RESULT, or a
+  /// request-scoped error past the frame cap), updates latency/trace
+  /// accounting, dispatches to the owning I/O thread.
+  void DeliverCompleted(CompletedRequest done);
+  void DeliverError(const SerTask& task);
+  void DispatchOutbound(uint64_t session_id, OutFrame frame,
+                        bool completes_request);
+  void EnqueueSerTask(SerTask task);
+
   void DrainAndClose();
   /// Path-routed introspection handler behind `metrics_http_`.
   obs::HttpTextEndpoint::Response RouteHttp(const std::string& path) const;
@@ -172,7 +248,7 @@ class QueryServer {
   std::unique_ptr<VersionedBackend> backend_;
   ServerOptions options_;
   ServerMetrics metrics_;
-  BatchScheduler scheduler_;
+  BatchScheduler scheduler_;  // guarded by sched_mu_
   obs::FlightRecorder recorder_;
   obs::HttpTextEndpoint metrics_http_;
 
@@ -184,12 +260,37 @@ class QueryServer {
 
   /// Accept is paused until this instant after an accept() failure
   /// (e.g. EMFILE) so the loop does not busy-spin on a hot listener.
+  /// Main-thread state, like `next_session_id_`.
   int64_t accept_retry_at_nanos_ = 0;
-
   uint64_t next_session_id_ = 1;
-  std::map<uint64_t, std::unique_ptr<Session>> sessions_;
-  std::vector<CompletedRequest> completed_scratch_;
-  std::vector<uint64_t> closed_scratch_;
+
+  /// The I/O threads; built once in `Run`, kept (joined) afterwards so
+  /// post-run snapshots can still merge the stall shards.
+  std::vector<std::unique_ptr<IoThread>> io_;
+  /// session id -> I/O thread index; written by the main thread at
+  /// accept, erased by the owning I/O thread at close, read by the
+  /// serializer to route outbound frames.
+  mutable std::mutex owner_mu_;
+  std::unordered_map<uint64_t, uint32_t> owner_;
+  std::atomic<uint64_t> active_sessions_{0};
+  /// Outstanding epoch pins across all sessions (the /metrics gauge —
+  /// sessions are thread-local, so the gauge is kept here).
+  std::atomic<uint64_t> session_pins_{0};
+
+  std::mutex sched_mu_;
+  std::condition_variable sched_cv_;
+  std::deque<ImmediateRequest> immediate_;  // guarded by sched_mu_
+  bool drain_requested_ = false;            // guarded by sched_mu_
+  /// Set by the scheduler thread once it has drained and exited; from
+  /// then on admission answers SHUTTING_DOWN instead of enqueueing
+  /// work nothing would ever execute.
+  bool sched_closed_ = false;  // guarded by sched_mu_
+  std::thread sched_thread_;
+
+  std::mutex ser_mu_;
+  std::condition_variable ser_cv_;
+  std::deque<SerTask> ser_tasks_;  // guarded by ser_mu_
+  std::thread ser_thread_;
 };
 
 }  // namespace octopus::server

@@ -44,10 +44,11 @@ namespace octopus::server {
 /// store, against an epoch-versioned position state with a bounded,
 /// spillable history.
 ///
-/// `Execute`/`ExecuteAt` are single-threaded (the event loop is the only
-/// caller; internal query parallelism comes from the engine's thread
-/// pool). `AdvanceStep` / `CurrentEpoch` are safe from one other thread
-/// concurrently with them.
+/// `Execute`/`ExecuteAt` are single-threaded (the server's scheduler
+/// thread is the only caller; internal query parallelism comes from the
+/// engine's thread pool). `AdvanceStep`, `CurrentEpoch`, `PinEpoch` and
+/// `UnpinEpoch` are safe from any thread concurrently with them — the
+/// I/O threads call the pin/step paths inline while batches execute.
 class VersionedBackend {
  public:
   /// In-memory backend over an OCT1 mesh file (loads + builds the

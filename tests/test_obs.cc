@@ -173,36 +173,72 @@ TEST(MetricsRegistryTest, RendersCountersGaugesAndHelpTypePairs) {
   EXPECT_NE(text.find("\noctopus_temperature -3.25\n"), std::string::npos);
 }
 
-/// The le bound of log2 bucket `i`, rendered exactly as the registry
-/// renders it ((2^(i+1) - 1) ns in seconds, %.17g).
-std::string LeBound(int i) {
+/// An `le` bound of `nanos`, rendered exactly as the registry renders
+/// it (nanoseconds in base seconds, %.17g).
+std::string LeBound(uint64_t nanos) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g",
-                static_cast<double>((uint64_t{2} << i) - 1) / 1e9);
+                static_cast<double>(nanos) / 1e9);
   return buf;
 }
 
-TEST(MetricsRegistryTest, RendersLog2HistogramCumulativelyInSeconds) {
+TEST(LatencyHistogramTest, SubBucketsSeparateSameOctaveSamples) {
+  // The point of the log-linear refinement: 1.0us and 1.5us share a
+  // power-of-two octave (a single log2 bucket would collapse them and
+  // with them p50/p95/p99 of any sub-2x latency spread), but land in
+  // different sixteenth-of-an-octave sub-buckets.
   LatencyHistogram h;
-  h.Record(1);      // bucket 0: le 1 ns
-  h.Record(1);      // bucket 0 again
-  h.Record(3);      // bucket 1: le 3 ns
-  h.Record(1'500);  // bucket 10: le 2047 ns
+  for (int i = 0; i < 95; ++i) h.Record(1'000);
+  for (int i = 0; i < 5; ++i) h.Record(1'500);
+  const uint64_t p50 = h.PercentileNanos(0.50);
+  const uint64_t p99 = h.PercentileNanos(0.99);
+  EXPECT_LT(p50, p99);
+  // Each estimate stays within its sub-bucket's ~6% width.
+  EXPECT_GE(p50, 1'000u);
+  EXPECT_LE(p50, 1'023u);
+  EXPECT_GE(p99, 1'472u);
+  EXPECT_LE(p99, 1'535u);
+}
+
+TEST(LatencyHistogramTest, MergeAddsCountsAndKeepsMax) {
+  // Per-I/O-thread stall shards merge into one histogram for
+  // snapshots and scrapes.
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(100);
+  a.Record(1'000);
+  b.Record(1'000);
+  b.Record(50'000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum_nanos(), 52'100u);
+  EXPECT_EQ(a.max_nanos(), 50'000u);
+  EXPECT_EQ(b.count(), 2u);  // the source shard is untouched
+  EXPECT_LE(a.PercentileNanos(0.99), 50'000u);
+}
+
+TEST(MetricsRegistryTest, RendersNanosHistogramCumulativelyInSeconds) {
+  LatencyHistogram h;
+  h.Record(1);      // exact bucket: le 1 ns
+  h.Record(1);      // same bucket again
+  h.Record(3);      // exact bucket: le 3 ns
+  h.Record(1'500);  // log-linear bucket: le 1535 ns
   MetricsRegistry reg;
-  reg.AddLog2NanosHistogram(
-      "octopus_lat_seconds", "Latency.", h.bucket_counts(), h.count(),
-      static_cast<double>(h.sum_nanos()) / 1e9);
+  reg.AddNanosHistogram("octopus_lat_seconds", "Latency.",
+                        h.bucket_counts(),
+                        LatencyHistogram::BucketUpperBounds(),
+                        static_cast<double>(h.sum_nanos()) / 1e9);
   const std::string& text = reg.ExpositionText();
   EXPECT_NE(text.find("# TYPE octopus_lat_seconds histogram\n"),
             std::string::npos);
   // Cumulative counts at each occupied bound, in base seconds.
-  EXPECT_NE(text.find("octopus_lat_seconds_bucket{le=\"" + LeBound(0) +
+  EXPECT_NE(text.find("octopus_lat_seconds_bucket{le=\"" + LeBound(1) +
                       "\"} 2\n"),
             std::string::npos);
-  EXPECT_NE(text.find("octopus_lat_seconds_bucket{le=\"" + LeBound(1) +
+  EXPECT_NE(text.find("octopus_lat_seconds_bucket{le=\"" + LeBound(3) +
                       "\"} 3\n"),
             std::string::npos);
-  EXPECT_NE(text.find("octopus_lat_seconds_bucket{le=\"" + LeBound(10) +
+  EXPECT_NE(text.find("octopus_lat_seconds_bucket{le=\"" + LeBound(1'535) +
                       "\"} 4\n"),
             std::string::npos);
   EXPECT_NE(text.find("octopus_lat_seconds_bucket{le=\"+Inf\"} 4\n"),
@@ -213,21 +249,24 @@ TEST(MetricsRegistryTest, RendersLog2HistogramCumulativelyInSeconds) {
   EXPECT_NE(text.find("octopus_lat_seconds_sum " + std::string(sum) +
                       "\n"),
             std::string::npos);
-  // The empty tail between bucket 10 and +Inf is elided.
-  EXPECT_EQ(text.find("le=\"" + LeBound(11) + "\""), std::string::npos);
+  // Empty buckets are elided: the unoccupied bound between 1 ns and
+  // 3 ns, and the whole tail past the last occupied bucket.
+  EXPECT_EQ(text.find("le=\"" + LeBound(2) + "\""), std::string::npos);
+  EXPECT_EQ(text.find("le=\"" + LeBound(1'599) + "\""), std::string::npos);
 }
 
 TEST(MetricsRegistryTest, EmptyHistogramRendersOnlyInfSumCount) {
   LatencyHistogram h;
   MetricsRegistry reg;
-  reg.AddLog2NanosHistogram("octopus_idle_seconds", "Never sampled.",
-                            h.bucket_counts(), h.count(), 0.0);
+  reg.AddNanosHistogram("octopus_idle_seconds", "Never sampled.",
+                        h.bucket_counts(),
+                        LatencyHistogram::BucketUpperBounds(), 0.0);
   const std::string& text = reg.ExpositionText();
   EXPECT_NE(text.find("octopus_idle_seconds_bucket{le=\"+Inf\"} 0\n"),
             std::string::npos);
   EXPECT_NE(text.find("octopus_idle_seconds_count 0\n"),
             std::string::npos);
-  EXPECT_EQ(text.find("le=\"" + LeBound(0) + "\""), std::string::npos);
+  EXPECT_EQ(text.find("le=\"" + LeBound(1) + "\""), std::string::npos);
 }
 
 TEST(ChromeTraceTest, RendersEveryPhaseSpanEndToEnd) {

@@ -13,6 +13,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -1287,6 +1288,218 @@ TEST(ServerIntegrationTest, UntracedServerEchoesZeroTraceId) {
   ASSERT_EQ(remote->spans().size(), 1u);
   EXPECT_EQ(remote->spans()[0].server_trace_id, 0u);
   EXPECT_EQ(remote->spans()[0].span_id, 1u);
+}
+
+// --- Multi-threaded front end (io_threads > 1) ---
+
+// The single-loop tests above all run with the default io_threads = 1;
+// this block repeats the load-bearing semantics with sessions sharded
+// across four epoll threads: per-client result integrity, cross-
+// connection coalescing through the shared scheduler, and the merged
+// loop-stall snapshot.
+TEST(ServerIntegrationTest, MultiThreadedClientsGetTheirOwnResults) {
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 5;
+  constexpr int kQueriesPerRequest = 10;
+
+  const TetraMesh mesh = MakeBox(8);
+  ServerOptions options;
+  options.io_threads = 4;
+  options.scheduler.window_nanos = 2'000'000;
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1), options);
+
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto connected = RemoteClient::Connect("127.0.0.1", fixture.port());
+      if (!connected.ok()) {
+        failures[c] = connected.status().ToString();
+        return;
+      }
+      QueryGenerator gen(mesh);
+      Rng rng(4000 + c);
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const std::vector<AABB> queries =
+            gen.MakeQueries(&rng, kQueriesPerRequest, 0.001, 0.02);
+        auto result = connected.Value()->ExecuteBatch(queries);
+        if (!result.ok()) {
+          failures[c] = result.status().ToString();
+          return;
+        }
+        for (size_t q = 0; q < queries.size(); ++q) {
+          if (Sorted(result.Value().results.per_query[q]) !=
+              BruteForceRangeQuery(mesh, queries[q])) {
+            failures[c] = "client " + std::to_string(c) +
+                          " got wrong results for query " +
+                          std::to_string(q);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+
+  auto stats_client = MustConnect(fixture.port());
+  auto stats = stats_client->FetchStats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const uint64_t total =
+      uint64_t{kClients} * kRequestsPerClient * kQueriesPerRequest;
+  EXPECT_EQ(stats.Value().queries_received, total);
+  EXPECT_EQ(stats.Value().queries_executed, total);
+  EXPECT_EQ(stats.Value().queries_rejected, 0u);
+  // Sessions live on different epoll threads, but the scheduler is
+  // shared: requests still coalesce across connections.
+  EXPECT_LE(stats.Value().batches_executed,
+            uint64_t{kClients} * kRequestsPerClient);
+  EXPECT_GE(stats.Value().CoalesceFactor(),
+            static_cast<double>(kQueriesPerRequest));
+
+  fixture.StopAndJoin();
+  // The snapshot path merges every I/O thread's stall shard; with this
+  // much traffic at least one shard sampled.
+  const server::ServerMetrics snapshot = fixture.server().MetricsSnapshot();
+  EXPECT_GE(snapshot.loop_stall.count(), 1u);
+  EXPECT_EQ(snapshot.connections_active(), 0u);
+  EXPECT_LE(snapshot.queries_executed,
+            snapshot.queries_received - snapshot.queries_rejected);
+}
+
+// Admission control under sharded I/O: the rejecting session and the
+// admitted one live on different epoll threads, yet both observe the
+// same scheduler backlog — the overload answer is typed, the rejected
+// connection stays usable, and the parked request survives a drain.
+TEST(ServerIntegrationTest, OverloadIsExplicitAcrossIoThreads) {
+  const TetraMesh mesh = MakeBox(6);
+  ServerOptions options;
+  options.io_threads = 4;
+  options.scheduler.window_nanos = 60'000'000'000;  // park requests
+  options.scheduler.max_batch_queries = 1000;
+  options.scheduler.max_pending_queries = 8;
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1), options);
+
+  QueryGenerator gen(mesh);
+  Rng rng(41);
+  const std::vector<AABB> queries_a = gen.MakeQueries(&rng, 6, 0.01, 0.02);
+  const std::vector<AABB> queries_b = gen.MakeQueries(&rng, 6, 0.01, 0.02);
+
+  auto client_a = MustConnect(fixture.port());
+  auto client_b = MustConnect(fixture.port());
+
+  Result<client::RemoteBatchResult> result_a =
+      Status::IOError("not run");
+  std::thread thread_a([&] {
+    result_a = client_a->ExecuteBatch(queries_a);
+  });
+  while (true) {
+    auto stats = client_b->FetchStats();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    if (stats.Value().queries_received >= queries_a.size()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto result_b = client_b->ExecuteBatch(queries_b);
+  ASSERT_FALSE(result_b.ok());
+  EXPECT_EQ(result_b.status().code(),
+            Status::Code::kResourceExhausted)
+      << result_b.status().ToString();
+
+  auto stats_after = client_b->FetchStats();
+  ASSERT_TRUE(stats_after.ok()) << stats_after.status().ToString();
+  EXPECT_EQ(stats_after.Value().queries_rejected, queries_b.size());
+
+  fixture.StopAndJoin();
+  thread_a.join();
+  ASSERT_TRUE(result_a.ok()) << result_a.status().ToString();
+  for (size_t q = 0; q < queries_a.size(); ++q) {
+    EXPECT_EQ(Sorted(result_a.Value().results.per_query[q]),
+              BruteForceRangeQuery(mesh, queries_a[q]));
+  }
+}
+
+// A dead session's pins die with it, whichever epoll thread owned the
+// session: eight clients pin the initial epoch and vanish without
+// UNPIN; the owning threads release every pin, draining the
+// sessions-pinned gauge back to zero.
+TEST(ServerIntegrationTest, PinsDieWithSessionsAcrossIoThreads) {
+  const TetraMesh mesh = MakeBox(4);
+  ServerOptions options;
+  options.io_threads = 4;
+  options.metrics_port = 0;
+  ServerFixture fixture(MakeDeformingBackend(mesh, "pins_mt.oct2d"),
+                        options);
+  const uint16_t metrics_port = fixture.server().metrics_port();
+  ASSERT_NE(metrics_port, 0);
+
+  std::vector<std::unique_ptr<RemoteClient>> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(MustConnect(fixture.port()));
+    auto pinned = clients.back()->PinEpoch(0);
+    ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  }
+  {
+    const std::string response = HttpGet(metrics_port, "/metrics");
+    const std::string body = response.substr(response.find("\r\n\r\n") + 4);
+    EXPECT_EQ(MetricValue(body, "octopus_sessions_pinned_epochs"), 8.0);
+    EXPECT_EQ(MetricValue(body, "octopus_io_threads"), 4.0);
+  }
+
+  clients.clear();  // abrupt closes: no UNPIN ever sent
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  double pins = -1.0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::string response = HttpGet(metrics_port, "/metrics");
+    const std::string body = response.substr(response.find("\r\n\r\n") + 4);
+    pins = MetricValue(body, "octopus_sessions_pinned_epochs");
+    if (pins == 0.0 &&
+        MetricValue(body, "octopus_connections_active") == 0.0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pins, 0.0);
+}
+
+// Clients hammering connect/query while Stop() runs must not crash,
+// hang, or leak sessions: whatever the race admitted is drained and
+// accounted for (accepted == closed once the server exits).
+TEST(ServerIntegrationTest, ConcurrentConnectsSurviveStop) {
+  const TetraMesh mesh = MakeBox(4);
+  ServerOptions options;
+  options.io_threads = 4;
+  auto fixture = std::make_unique<ServerFixture>(
+      VersionedBackend::FromMesh(mesh, 1), options);
+  const uint16_t port = fixture->port();
+
+  std::atomic<bool> stop_dialing{false};
+  std::vector<std::thread> dialers;
+  for (int t = 0; t < 4; ++t) {
+    dialers.emplace_back([&] {
+      const std::vector<AABB> queries = {
+          AABB(Vec3(0, 0, 0), Vec3(0.5f, 0.5f, 0.5f))};
+      while (!stop_dialing.load(std::memory_order_relaxed)) {
+        auto connected = RemoteClient::Connect("127.0.0.1", port);
+        if (!connected.ok()) break;  // listener is gone
+        // Failures are expected once the drain begins; only crashes
+        // and hangs are bugs here.
+        (void)connected.Value()->ExecuteBatch(queries);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  fixture->StopAndJoin();  // races the dialers by design
+  stop_dialing.store(true, std::memory_order_relaxed);
+  for (auto& t : dialers) t.join();
+
+  const server::ServerMetrics& metrics = fixture->server().metrics();
+  EXPECT_EQ(metrics.connections_active(), 0u);
+  EXPECT_EQ(metrics.connections_accepted.load(),
+            metrics.connections_closed.load());
 }
 
 TEST(LatencyHistogramTest, PercentilesAreOrderedAndBounded) {

@@ -49,6 +49,7 @@ REQUIRED = [
     "octopus_connections_accepted_total",
     "octopus_connections_closed_total",
     "octopus_connections_active",
+    "octopus_io_threads",
     "octopus_frames_received_total",
     "octopus_malformed_frames_total",
     "octopus_queries_received_total",
@@ -344,6 +345,22 @@ def main() -> int:
                 failures.append(
                     f"counter {key} went backwards between scrapes: "
                     f"{value} -> {later[key]}")
+        # Merge consistency for histograms with elided empty buckets:
+        # cumulative bucket counts never decrease, so every bucket key
+        # the first scrape exposed must still be exposed later — a
+        # vanished `le` means a shard was dropped from the merge, not
+        # that the bucket emptied.
+        for family, kind in types.items():
+            if kind != "histogram":
+                continue
+            prefix = family + "_bucket{"
+            earlier_keys = {k for k in samples if k.startswith(prefix)}
+            later_keys = {k for k in later if k.startswith(prefix)}
+            missing = earlier_keys - later_keys
+            if missing:
+                failures.append(
+                    f"histogram {family}: bucket series vanished "
+                    f"between scrapes: {sorted(missing)[:3]}")
 
     if args.healthz:
         check_healthz(args.healthz, failures)

@@ -94,7 +94,7 @@ void PrintUsage(std::FILE* out) {
       "      --queries N      batch size (default 256)\n"
       "      --sel F          query selectivity (default 0.001)\n"
       "  octopus_cli serve <mesh> [--port N] [--threads N] "
-      "[--window-us N] [--max-batch N] [--max-pending N]\n"
+      "[--io-threads N] [--window-us N] [--max-batch N] [--max-pending N]\n"
       "              [--paged --pool-bytes N] [--deform "
       "<random|wave|plasticity>]\n"
       "              [--step-every MS] [--amplitude F] [--seed N] "
@@ -107,6 +107,11 @@ void PrintUsage(std::FILE* out) {
       "[--ready-lag-ms N]\n"
       "      runs the OCTP query service (port 0 = ephemeral, printed "
       "on stdout); with --paged,\n"
+      "      --io-threads N serves connections from N epoll threads, "
+      "sharded by fd (default\n"
+      "      min(4, hardware threads); 1 = the single-loop front end); "
+      "--threads N sizes the\n"
+      "      engine's query pool;\n"
       "      <mesh> is an .oct2 snapshot served out of core. --deform "
       "binds a simulation\n"
       "      deformer (epoch-versioned serving); --step-every advances "
@@ -630,6 +635,10 @@ int CmdServe(int argc, char** argv) {
   DeformerSpec deform;
   long step_every_ms = 0;
   server::ServerOptions options;
+  // Default: min(4, hardware threads) epoll I/O threads. One thread
+  // reproduces the previous single-loop front end exactly.
+  options.io_threads = static_cast<int>(
+      std::min(4u, std::max(1u, std::thread::hardware_concurrency())));
   server::EpochRetentionOptions retention;
   size_t journal_slots = 0;
   const char* journal_jsonl = nullptr;
@@ -721,6 +730,15 @@ int CmdServe(int argc, char** argv) {
       options.port = static_cast<uint16_t>(port);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       if (!ParsePositiveInt(argv[++i], 1024, &threads)) return Usage();
+    } else if (std::strcmp(argv[i], "--io-threads") == 0 && i + 1 < argc) {
+      long n = 0;
+      if (!ParsePositiveInt(argv[++i], 64, &n)) {
+        std::fprintf(stderr,
+                     "--io-threads must be between 1 and 64 (got \"%s\")\n",
+                     argv[i]);
+        return 2;
+      }
+      options.io_threads = static_cast<int>(n);
     } else if (std::strcmp(argv[i], "--window-us") == 0 && i + 1 < argc) {
       // Strict like --port: 0 is a meaningful window, so garbage must
       // not silently become it.
