@@ -1,0 +1,15 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// libFuzzer harness over the introspection endpoint's request parsing.
+// Build (clang only):
+//   cmake -B build-fuzz -DOCTOPUS_BUILD_FUZZERS=ON \
+//         -DCMAKE_CXX_COMPILER=clang++
+//   ./build-fuzz/fuzz_http fuzz/corpus/http -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  octopus::fuzz::FuzzHttpRequest(data, size);
+  return 0;
+}

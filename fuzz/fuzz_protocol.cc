@@ -1,0 +1,14 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// libFuzzer harness over OCTP frame decoding. Build (clang only):
+//   cmake -B build-fuzz -DOCTOPUS_BUILD_FUZZERS=ON \
+//         -DCMAKE_CXX_COMPILER=clang++
+//   ./build-fuzz/fuzz_protocol fuzz/corpus/protocol -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  octopus::fuzz::FuzzProtocolFrame(data, size);
+  return 0;
+}

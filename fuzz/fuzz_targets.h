@@ -1,0 +1,35 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// The fuzz target bodies, shared by three drivers so they exercise the
+// exact same code:
+//   * fuzz_protocol.cc / fuzz_http.cc — libFuzzer harnesses (clang
+//     only, -DOCTOPUS_BUILD_FUZZERS=ON; see docs/DEVELOPING.md);
+//   * replay_driver.cc — a plain main() that replays fuzz/corpus/
+//     through the same entry points, built with every compiler and run
+//     as the `fuzz_corpus_replay` CTest entry, so the checked-in
+//     corpus keeps passing even where libFuzzer does not exist.
+//
+// Targets must never crash, hang, or trip a sanitizer on ANY input;
+// they may (and usually do) return parse errors. Invariant checks that
+// hold for all inputs are asserted here so the fuzzer, not just the
+// sanitizers, can falsify them.
+#ifndef OCTOPUS_FUZZ_FUZZ_TARGETS_H_
+#define OCTOPUS_FUZZ_FUZZ_TARGETS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace octopus::fuzz {
+
+/// OCTP frame decoding: feeds `data` through `ParseFrameHeader` and —
+/// when a plausible header is present — every payload parser the frame
+/// type selects, plus a truncation sweep mirroring the protocol tests.
+void FuzzProtocolFrame(const uint8_t* data, size_t size);
+
+/// HTTP introspection-endpoint request parsing: feeds `data` as a
+/// request head through `HttpTextEndpoint::RouteRequestHead` with a
+/// handler covering routed and unrouted paths.
+void FuzzHttpRequest(const uint8_t* data, size_t size);
+
+}  // namespace octopus::fuzz
+
+#endif  // OCTOPUS_FUZZ_FUZZ_TARGETS_H_

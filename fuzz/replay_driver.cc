@@ -1,0 +1,76 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Plain-main corpus replay: runs every file under the given corpus
+// directories through the matching fuzz target, no libFuzzer needed.
+// This is what the `fuzz_corpus_replay` CTest entry executes, so the
+// checked-in seeds (and any reproducer dropped in by a crash) are
+// regression-tested by every build, with every compiler.
+//
+// Usage: fuzz_replay <corpus-root>...
+// Each root must contain `protocol/` and/or `http/` subdirectories;
+// files are routed to the target matching their subdirectory name.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_targets.h"
+
+namespace {
+
+bool ReadFile(const std::filesystem::path& path,
+              std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+int ReplayDir(const std::filesystem::path& dir,
+              void (*target)(const uint8_t*, size_t), const char* name) {
+  if (!std::filesystem::is_directory(dir)) return 0;
+  int replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::vector<uint8_t> bytes;
+    if (!ReadFile(entry.path(), &bytes)) {
+      std::fprintf(stderr, "fuzz_replay: cannot read %s\n",
+                   entry.path().c_str());
+      return -1;
+    }
+    target(bytes.data(), bytes.size());
+    ++replayed;
+  }
+  std::fprintf(stderr, "fuzz_replay: %s: %d inputs ok\n", name, replayed);
+  return replayed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>...\n", argv[0]);
+    return 2;
+  }
+  int total = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path root(argv[i]);
+    const int protocol = ReplayDir(root / "protocol",
+                                   octopus::fuzz::FuzzProtocolFrame,
+                                   "protocol");
+    const int http =
+        ReplayDir(root / "http", octopus::fuzz::FuzzHttpRequest, "http");
+    if (protocol < 0 || http < 0) return 1;
+    total += protocol + http;
+  }
+  if (total == 0) {
+    std::fprintf(stderr,
+                 "fuzz_replay: no corpus files found (expected "
+                 "protocol/ or http/ under the given roots)\n");
+    return 1;
+  }
+  return 0;
+}

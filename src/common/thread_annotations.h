@@ -1,0 +1,156 @@
+// Copyright 2026 The OCTOPUS Reproduction Authors
+// Clang thread-safety annotations plus a CAPABILITY-annotated mutex
+// wrapper — the compile-time locking contract of the concurrent stack.
+//
+// Every mutex-protected class declares which lock guards which field
+// (`GUARDED_BY`) and which lock each helper expects held (`REQUIRES`);
+// clang's `-Wthread-safety` analysis then rejects, at compile time, any
+// access that violates the declared discipline. The CI job
+// `thread-safety` builds src/server, src/obs, src/storage and
+// src/engine with `-Wthread-safety -Werror`, so a mis-locked access is
+// a build break, not a TSan lottery ticket.
+//
+// Under compilers without the capability attributes (g++ — the tier-1
+// build), every macro expands to nothing and `Mutex`/`MutexLock`/
+// `CondVar` are zero-overhead veneers over `std::mutex`,
+// `std::lock_guard` and `std::condition_variable`.
+//
+// Conventions (see docs/DEVELOPING.md for the full guide):
+//   * `GUARDED_BY(mu_)` on a field: every read and write must hold mu_.
+//   * `REQUIRES(mu_)` on a private helper: the caller locks; `Locked`
+//     name suffixes keep the convention visible at call sites.
+//   * `EXCLUDES(mu_)` on a public method: callers must NOT hold mu_
+//     (the method takes it itself) — documents non-reentrancy.
+//   * `ACQUIRE`/`RELEASE` only appear inside the wrapper types below;
+//     application code uses scoped `MutexLock`s.
+#ifndef OCTOPUS_COMMON_THREAD_ANNOTATIONS_H_
+#define OCTOPUS_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define OCTOPUS_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef OCTOPUS_THREAD_ANNOTATION_
+#define OCTOPUS_THREAD_ANNOTATION_(x)  // not clang: no-op
+#endif
+
+#define CAPABILITY(x) OCTOPUS_THREAD_ANNOTATION_(capability(x))
+#define SCOPED_CAPABILITY OCTOPUS_THREAD_ANNOTATION_(scoped_lockable)
+#define GUARDED_BY(x) OCTOPUS_THREAD_ANNOTATION_(guarded_by(x))
+#define PT_GUARDED_BY(x) OCTOPUS_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define REQUIRES(...) \
+  OCTOPUS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  OCTOPUS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  OCTOPUS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  OCTOPUS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  OCTOPUS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) OCTOPUS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define ACQUIRED_BEFORE(...) \
+  OCTOPUS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  OCTOPUS_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define RETURN_CAPABILITY(x) OCTOPUS_THREAD_ANNOTATION_(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  OCTOPUS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace octopus::common {
+
+/// \brief `std::mutex` annotated as a capability, so the analysis can
+/// track who holds it. Prefer scoped `MutexLock`s; the bare
+/// `Lock`/`Unlock` pair exists for the release-around-I/O pattern
+/// inside `REQUIRES`-annotated helpers (see EpochStore::SpillOne).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief Scoped lock over `Mutex` — `std::lock_guard` with two
+/// extensions the codebase needs: explicit `Unlock`/`Lock` for
+/// critical sections that release around blocking work (BufferManager
+/// hands out a pinned frame pointer after unlocking; CopyOut memcpys
+/// outside the lock), and condition-variable waits via `CondVar`.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early (the destructor then does nothing). The guarded
+  /// state must not be touched until `Lock` re-acquires.
+  void Unlock() RELEASE() {
+    held_ = false;
+    mu_.Unlock();
+  }
+  void Lock() ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// \brief Condition variable paired with `Mutex`. `Wait` atomically
+/// releases the (held) mutex, blocks, and re-acquires before
+/// returning; the analysis models it as "capability held throughout",
+/// which is exactly the invariant guarded state relies on. Predicate
+/// waits are written as explicit `while` loops at the call sites so
+/// the guarded reads inside the predicate stay visible to the
+/// analysis (lambdas are opaque to it).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Returns false on timeout (like `std::cv_status::timeout`).
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu,
+               const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(native, timeout);
+    native.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace octopus::common
+
+#endif  // OCTOPUS_COMMON_THREAD_ANNOTATIONS_H_

@@ -15,10 +15,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -28,13 +28,13 @@ void ThreadPool::Run(const std::function<void(int)>& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     fn_ = &fn;
     worker_error_ = nullptr;
     pending_ = static_cast<int>(workers_.size());
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The calling thread is shard 0. If it throws, the workers must still
   // be awaited before unwinding: they hold a pointer to `fn`, and the
   // pool would otherwise be left with pending work forever.
@@ -45,8 +45,8 @@ void ThreadPool::Run(const std::function<void(int)>& fn) {
     error = std::current_exception();
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    common::MutexLock lock(mu_);
+    while (pending_ != 0) done_cv_.Wait(mu_);
     fn_ = nullptr;
     if (error == nullptr) error = worker_error_;
   }
@@ -58,10 +58,8 @@ void ThreadPool::WorkerLoop(int shard) {
   for (;;) {
     const std::function<void(int)>* fn = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this, seen_generation] {
-        return stop_ || generation_ != seen_generation;
-      });
+      common::MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen_generation) work_cv_.Wait(mu_);
       if (stop_) return;
       seen_generation = generation_;
       fn = fn_;
@@ -73,11 +71,11 @@ void ThreadPool::WorkerLoop(int shard) {
       error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       if (error != nullptr && worker_error_ == nullptr) {
         worker_error_ = error;
       }
-      if (--pending_ == 0) done_cv_.notify_one();
+      if (--pending_ == 0) done_cv_.NotifyOne();
     }
   }
 }

@@ -5,13 +5,13 @@
 #ifndef OCTOPUS_ENGINE_THREAD_POOL_H_
 #define OCTOPUS_ENGINE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace octopus::engine {
 
@@ -40,15 +40,16 @@ class ThreadPool {
  private:
   void WorkerLoop(int shard);
 
-  std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* fn_ = nullptr;  // valid during a Run
-  std::exception_ptr worker_error_;               // first worker throw
-  uint64_t generation_ = 0;
-  int pending_ = 0;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  // const after construction
+  common::Mutex mu_;
+  common::CondVar work_cv_;
+  common::CondVar done_cv_;
+  /// Valid during a Run.
+  const std::function<void(int)>* fn_ GUARDED_BY(mu_) = nullptr;
+  std::exception_ptr worker_error_ GUARDED_BY(mu_);  // first worker throw
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  int pending_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace octopus::engine

@@ -52,12 +52,12 @@ std::string JournalEventJson(const JournalEvent& event) {
 }
 
 uint64_t EventJournal::total_emitted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return total_;
 }
 
 size_t EventJournal::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return ring_.size();
 }
 
@@ -70,7 +70,7 @@ void EventJournal::EmitSlow(EventKind kind, uint64_t epoch, uint64_t session,
   event.session = session;
   event.a = a;
   event.b = b;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   event.seq = ++total_;
   if (capacity_ != 0) {
     if (ring_.size() < capacity_) {
@@ -90,7 +90,7 @@ void EventJournal::EmitSlow(EventKind kind, uint64_t epoch, uint64_t session,
 
 void EventJournal::Snapshot(std::vector<JournalEvent>* out) const {
   out->clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   out->reserve(ring_.size());
   // Oldest first: the overwrite cursor points at the oldest slot once
   // the ring has wrapped.
@@ -104,7 +104,7 @@ std::string EventJournal::RenderJson(size_t max_events) const {
   Snapshot(&events);
   uint64_t total = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     total = total_;
   }
   size_t first = 0;

@@ -19,9 +19,10 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace octopus::obs {
 
@@ -107,11 +108,12 @@ class EventJournal {
                 uint64_t a, uint64_t b);
 
   const size_t capacity_;
-  std::FILE* const sink_;
-  mutable std::mutex mu_;
-  std::vector<JournalEvent> ring_;  // grown lazily up to capacity_
-  size_t next_ = 0;                 // overwrite cursor once full
-  uint64_t total_ = 0;
+  std::FILE* const sink_;  // the stream, guarded by mu_ like the ring
+  mutable common::Mutex mu_;
+  /// Grown lazily up to capacity_.
+  std::vector<JournalEvent> ring_ GUARDED_BY(mu_);
+  size_t next_ GUARDED_BY(mu_) = 0;    // overwrite cursor once full
+  uint64_t total_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace octopus::obs

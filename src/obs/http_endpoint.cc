@@ -196,26 +196,29 @@ void HttpTextEndpoint::Advance(Conn* conn, short revents,
   }
 }
 
-void HttpTextEndpoint::BuildResponse(Conn* conn, const Handler& handler) {
-  conn->responding = true;
+HttpTextEndpoint::Response HttpTextEndpoint::RouteRequestHead(
+    const std::string& head, const Handler& handler) {
   // Request line: METHOD SP PATH SP VERSION.
-  const size_t line_end = conn->in.find("\r\n");
-  const std::string line = conn->in.substr(0, line_end);
+  const size_t line_end = head.find("\r\n");
+  const std::string line = head.substr(0, line_end);
   const size_t sp1 = line.find(' ');
   const size_t sp2 = line.find(' ', sp1 == std::string::npos ? 0 : sp1 + 1);
   if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    conn->out = WrapResponse(PlainText(400, "malformed request line\n"));
-    return;
+    return PlainText(400, "malformed request line\n");
   }
   const std::string method = line.substr(0, sp1);
   std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
   const size_t query = path.find('?');
   if (query != std::string::npos) path.resize(query);
   if (method != "GET") {
-    conn->out = WrapResponse(PlainText(405, "GET only\n"));
-    return;
+    return PlainText(405, "GET only\n");
   }
-  conn->out = WrapResponse(handler(path));
+  return handler(path);
+}
+
+void HttpTextEndpoint::BuildResponse(Conn* conn, const Handler& handler) {
+  conn->responding = true;
+  conn->out = WrapResponse(RouteRequestHead(conn->in, handler));
 }
 
 void HttpTextEndpoint::CloseAll() {

@@ -83,6 +83,15 @@ class HttpTextEndpoint {
   /// Closes the listener and every connection.
   void CloseAll();
 
+  /// Pure request-head routing: parses the first line of `head`
+  /// (METHOD SP PATH SP VERSION), strips the query string, and returns
+  /// the response — 400 on a malformed request line, 405 on non-GET,
+  /// otherwise whatever `handler(path)` answers. Factored out of the
+  /// socket loop so tests and fuzzers can drive the parser with
+  /// arbitrary bytes, no connection required.
+  static Response RouteRequestHead(const std::string& head,
+                                   const Handler& handler);
+
  private:
   struct Conn {
     int fd = -1;

@@ -10,7 +10,7 @@ namespace octopus::obs {
 uint64_t FlightRecorder::RecordSlow(const QueryTraceRecord& record) {
   QueryTraceRecord stamped = record;
   stamped.trace_id = total_.fetch_add(1, std::memory_order_relaxed) + 1;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(stamped);
   } else {
@@ -21,12 +21,12 @@ uint64_t FlightRecorder::RecordSlow(const QueryTraceRecord& record) {
 }
 
 size_t FlightRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return ring_.size();
 }
 
 void FlightRecorder::Snapshot(std::vector<QueryTraceRecord>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   out->clear();
   out->reserve(ring_.size());
   // Once wrapped, `next_` points at the oldest record.

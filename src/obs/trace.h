@@ -26,9 +26,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 #ifndef OCTOPUS_TRACING_ENABLED
 #define OCTOPUS_TRACING_ENABLED 1
@@ -121,10 +122,11 @@ class FlightRecorder {
  private:
   uint64_t RecordSlow(const QueryTraceRecord& record);
 
-  size_t capacity_;
-  mutable std::mutex mu_;               // guards ring_ and next_
-  std::vector<QueryTraceRecord> ring_;  // grown lazily up to capacity_
-  size_t next_ = 0;                     // overwrite cursor once full
+  size_t capacity_;  // const after construction
+  mutable common::Mutex mu_;
+  /// Grown lazily up to capacity_.
+  std::vector<QueryTraceRecord> ring_ GUARDED_BY(mu_);
+  size_t next_ GUARDED_BY(mu_) = 0;  // overwrite cursor once full
   std::atomic<uint64_t> total_{0};
 };
 

@@ -54,7 +54,7 @@ Status EpochStore::Init() {
 }
 
 void EpochStore::Publish(PinnedEpochState state) {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   assert((ring_.empty() || state.info.epoch > ring_.back().info.epoch) &&
          "epoch ids must be strictly increasing");
   Entry entry;
@@ -72,24 +72,24 @@ void EpochStore::Publish(PinnedEpochState state) {
     journal_->Emit(obs::EventKind::kEpochPublished, state.info.epoch, 0,
                    state.info.step, ResidentBytesLocked());
   }
-  EnforceRetention(lock);
+  EnforceRetention();
 }
 
 std::optional<PinnedEpochState> EpochStore::PinNewest() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (ring_.empty()) return std::nullopt;
   const Entry& newest = ring_.back();
   return PinnedEpochState{newest.info, newest.overlay, newest.positions};
 }
 
 engine::EpochInfo EpochStore::CurrentInfo() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return ring_.empty() ? engine::EpochInfo{} : ring_.back().info;
 }
 
 Result<PinnedEpochState> EpochStore::PinEpoch(
     engine::EpochId id, storage::PageIOStats* reload_stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (Entry* found = FindLocked(id)) {
     Entry& entry = *found;
     if (!entry.spilled || entry.overlay != nullptr ||
@@ -123,7 +123,7 @@ Result<PinnedEpochState> EpochStore::PinEpoch(
 }
 
 Result<engine::EpochInfo> EpochStore::AddPin(engine::EpochId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (Entry* entry = FindLocked(id)) {
     ++entry->pins;
     return entry->info;
@@ -133,7 +133,7 @@ Result<engine::EpochInfo> EpochStore::AddPin(engine::EpochId id) {
 }
 
 Result<engine::EpochInfo> EpochStore::AddPinNewest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (ring_.empty()) {
     return Status::NotFound("no epoch has been published yet");
   }
@@ -142,7 +142,7 @@ Result<engine::EpochInfo> EpochStore::AddPinNewest() {
 }
 
 Status EpochStore::ReleasePin(engine::EpochId id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   Entry* entry = FindLocked(id);
   if (entry == nullptr) {
     return Status::NotFound("epoch " + std::to_string(id) +
@@ -155,7 +155,7 @@ Status EpochStore::ReleasePin(engine::EpochId id) {
   --entry->pins;
   // Re-enforce immediately: an unpinned epoch past the history cap
   // becomes EPOCH_GONE now, not at the next step.
-  EnforceRetention(lock);
+  EnforceRetention();
   return Status::OK();
 }
 
@@ -177,8 +177,7 @@ EpochStore::Entry* EpochStore::FindLocked(engine::EpochId id) {
   return it != ring_.end() && it->info.epoch == id ? &*it : nullptr;
 }
 
-void EpochStore::SpillOne(std::unique_lock<std::mutex>& lock,
-                          engine::EpochId id) {
+void EpochStore::SpillOne(engine::EpochId id) {
   // Snapshot the state to write under the lock; the entry stays
   // resident (and queryable) while the I/O runs.
   std::shared_ptr<const storage::PositionOverlay> overlay;
@@ -191,7 +190,7 @@ void EpochStore::SpillOne(std::unique_lock<std::mutex>& lock,
     positions = entry->positions;
   }
 
-  lock.unlock();
+  mu_.Unlock();
   // The sidecar append runs with the ring unlocked: a concurrent
   // current-epoch pin never waits out an fwrite. spill_io_mu_ keeps
   // two retention passes (stepper's Publish vs event loop's
@@ -204,7 +203,7 @@ void EpochStore::SpillOne(std::unique_lock<std::mutex>& lock,
   uint64_t pages_after = 0;
   uint64_t bytes_after = 0;
   {
-    std::lock_guard<std::mutex> io_lock(spill_io_mu_);
+    common::MutexLock io_lock(spill_io_mu_);
     pages_before = spill_->pages_written();
     bytes_before = spill_->bytes_written();
     if (overlay != nullptr) {
@@ -239,7 +238,7 @@ void EpochStore::SpillOne(std::unique_lock<std::mutex>& lock,
     pages_after = spill_->pages_written();
     bytes_after = spill_->bytes_written();
   }
-  lock.lock();
+  mu_.Lock();
 
   Entry* entry = FindLocked(id);
   if (entry == nullptr) return;  // evicted meanwhile; pages orphaned
@@ -270,7 +269,7 @@ void EpochStore::SpillOne(std::unique_lock<std::mutex>& lock,
   }
 }
 
-void EpochStore::EnforceRetention(std::unique_lock<std::mutex>& lock) {
+void EpochStore::EnforceRetention() {
   // Spill pass, oldest first. An epoch leaves the resident window when
   // more than `retention_epochs` epochs are resident behind it, or the
   // resident bytes exceed the cap; the newest epoch is always exempt
@@ -329,7 +328,7 @@ void EpochStore::EnforceRetention(std::unique_lock<std::mutex>& lock) {
       break;
     }
     if (!found) break;
-    SpillOne(lock, to_spill);
+    SpillOne(to_spill);
   }
   // Evict pass: drop the oldest unpinned epochs past the history cap.
   // Pins are exempt *on top of* the cap (they never steal a history
@@ -357,26 +356,26 @@ void EpochStore::EnforceRetention(std::unique_lock<std::mutex>& lock) {
 }
 
 size_t EpochStore::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return ResidentBytesLocked();
 }
 
 size_t EpochStore::resident_epochs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   size_t n = 0;
   for (const Entry& entry : ring_) n += entry.spilled ? 0 : 1;
   return n;
 }
 
 size_t EpochStore::spilled_epochs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   size_t n = 0;
   for (const Entry& entry : ring_) n += entry.spilled ? 1 : 0;
   return n;
 }
 
 uint64_t EpochStore::epochs_evicted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return evicted_;
 }
 
@@ -384,17 +383,17 @@ uint64_t EpochStore::spill_pages_written() const {
   // The appender mutates the sidecar's page counter under spill_io_mu_
   // with the ring mutex deliberately released, so THIS is the lock
   // that synchronizes reads of it — mu_ would be a false friend.
-  std::lock_guard<std::mutex> lock(spill_io_mu_);
+  common::MutexLock lock(spill_io_mu_);
   return spill_ != nullptr ? spill_->pages_written() : 0;
 }
 
 uint64_t EpochStore::spill_bytes_written() const {
-  std::lock_guard<std::mutex> lock(spill_io_mu_);
+  common::MutexLock lock(spill_io_mu_);
   return spill_ != nullptr ? spill_->bytes_written() : 0;
 }
 
 size_t EpochStore::spill_failed_epochs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   size_t n = 0;
   for (const Entry& entry : ring_) n += entry.spill_failed ? 1 : 0;
   return n;
@@ -403,7 +402,7 @@ size_t EpochStore::spill_failed_epochs() const {
 EpochStoreView EpochStore::View() const {
   EpochStoreView view;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     view.entries.reserve(ring_.size());
     for (const Entry& entry : ring_) {
       EpochEntryView e;
@@ -422,7 +421,7 @@ EpochStoreView EpochStore::View() const {
   // Sidecar counters live under the spill-I/O lock (the appender runs
   // with `mu_` released); never nest the two.
   {
-    std::lock_guard<std::mutex> io_lock(spill_io_mu_);
+    common::MutexLock io_lock(spill_io_mu_);
     view.spill_pages_written = spill_ != nullptr ? spill_->pages_written() : 0;
     view.spill_bytes_written = spill_ != nullptr ? spill_->bytes_written() : 0;
   }

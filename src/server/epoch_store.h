@@ -25,12 +25,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/mesh_epoch.h"
 #include "obs/event_journal.h"
 #include "sim/versioned_mesh.h"
@@ -198,37 +198,42 @@ class EpochStore {
     size_t resident = 0;  ///< bytes this entry holds in memory
   };
 
-  /// Spills or evicts until the window/byte/history caps hold. Takes
-  /// the held `mu_` lock and RELEASES it around each spill's disk I/O,
-  /// so concurrent pins never wait out an fwrite — publication stays
-  /// the O(1) pointer work the serving path was promised.
-  void EnforceRetention(std::unique_lock<std::mutex>& lock);
+  /// Spills or evicts until the window/byte/history caps hold. Runs
+  /// under the caller's `mu_` and RELEASES it around each spill's disk
+  /// I/O, so concurrent pins never wait out an fwrite — publication
+  /// stays the O(1) pointer work the serving path was promised.
+  void EnforceRetention() REQUIRES(mu_);
   /// Writes one entry's state to the sidecar: snapshots it under the
   /// lock, appends + syncs unlocked (serialized by `spill_io_mu_`),
   /// then relocks and installs the disk-backed twin — unless the entry
   /// was evicted meanwhile (its orphaned sidecar pages are the cost of
-  /// not blocking queries).
-  void SpillOne(std::unique_lock<std::mutex>& lock, engine::EpochId id);
-  Entry* FindLocked(engine::EpochId id);
-  size_t ResidentBytesLocked() const;
+  /// not blocking queries). `mu_` is held on entry and on return, but
+  /// NOT across the append (the body drops and re-takes it).
+  void SpillOne(engine::EpochId id) REQUIRES(mu_);
+  Entry* FindLocked(engine::EpochId id) REQUIRES(mu_);
+  size_t ResidentBytesLocked() const REQUIRES(mu_);
 
   const uint32_t page_bytes_;
   const EpochRetentionOptions options_;
+  /// Created once in `Init` before any concurrency; the object is
+  /// internally single-writer (appends serialized by `spill_io_mu_`)
+  /// with a thread-safe reload pool.
   std::unique_ptr<storage::EpochSpillFile> spill_;
   /// Serializes sidecar appends across concurrent retention passes
   /// (Publish on the stepper vs ReleasePin on the event loop) and
   /// guards reads of the sidecar's append counters. Never held
   /// together with a *blocked* `mu_`: acquired only while `mu_` is
   /// released.
-  mutable std::mutex spill_io_mu_;
+  mutable common::Mutex spill_io_mu_;
 
-  mutable std::mutex mu_;
-  std::deque<Entry> ring_;  ///< ascending epoch ids; back() is newest
-  uint64_t evicted_ = 0;
+  mutable common::Mutex mu_;
+  /// Ascending epoch ids; back() is newest.
+  std::deque<Entry> ring_ GUARDED_BY(mu_);
+  uint64_t evicted_ GUARDED_BY(mu_) = 0;
 
-  /// Lifecycle event sink; null = silent. The journal is internally
-  /// synchronized and its lock is a leaf, so emitting under `mu_` is
-  /// deadlock-free.
+  /// Lifecycle event sink; null = silent, set before the stepper starts
+  /// (`AttachJournal`). The journal is internally synchronized and its
+  /// lock is a leaf, so emitting under `mu_` is deadlock-free.
   obs::EventJournal* journal_ = nullptr;
   std::atomic<int64_t> last_publish_nanos_{0};
 };

@@ -163,7 +163,7 @@ void ServerMetrics::CopyFrom(const ServerMetrics& other) {
   request_latency = other.request_latency;
   loop_stall = other.loop_stall;
   const PhaseStats engine = other.EngineTotal();
-  std::lock_guard<std::mutex> lock(engine_mu_);
+  common::MutexLock lock(engine_mu_);
   engine_total = engine;
 }
 

@@ -14,9 +14,9 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "octopus/phase_stats.h"
 #include "server/protocol.h"
 
@@ -122,9 +122,9 @@ struct ServerMetrics {
   /// Engine stats accumulated across every executed batch (scheduler
   /// thread, in execution order — deterministic), including page-I/O
   /// counters when the backend is paged. Guarded by `engine_mu_`: use
-  /// `MergeEngine`/`EngineTotal` while other threads are live; direct
-  /// field reads are fine once the server has quiesced.
-  PhaseStats engine_total;
+  /// `MergeEngine`/`EngineTotal` — the annotation makes an unlocked
+  /// direct read a compile error under `-Wthread-safety`.
+  PhaseStats engine_total GUARDED_BY(engine_mu_);
 
   ServerMetrics() = default;
   ServerMetrics(const ServerMetrics& other) { CopyFrom(other); }
@@ -134,13 +134,13 @@ struct ServerMetrics {
   }
 
   /// Folds one executed batch's stats into `engine_total` (thread-safe).
-  void MergeEngine(const PhaseStats& stats) {
-    std::lock_guard<std::mutex> lock(engine_mu_);
+  void MergeEngine(const PhaseStats& stats) EXCLUDES(engine_mu_) {
+    common::MutexLock lock(engine_mu_);
     engine_total.Merge(stats);
   }
   /// Consistent copy of `engine_total` (thread-safe).
-  PhaseStats EngineTotal() const {
-    std::lock_guard<std::mutex> lock(engine_mu_);
+  PhaseStats EngineTotal() const EXCLUDES(engine_mu_) {
+    common::MutexLock lock(engine_mu_);
     return engine_total;
   }
 
@@ -169,7 +169,7 @@ struct ServerMetrics {
  private:
   void CopyFrom(const ServerMetrics& other);
 
-  mutable std::mutex engine_mu_;
+  mutable common::Mutex engine_mu_;
 };
 
 }  // namespace octopus::server

@@ -266,7 +266,7 @@ void AppendQueryBatch(Buffer* out, uint64_t request_id,
 
 size_t ResultPayloadBytes(
     std::span<const std::vector<VertexId>> per_query) {
-  size_t bytes = 16 + 160;  // id + count + reserved + batch-stats block
+  size_t bytes = kResultFixedBytes + kBatchStatsBytes;
   for (const std::vector<VertexId>& result : per_query) {
     bytes += 4 + result.size() * sizeof(VertexId);
   }
@@ -473,7 +473,7 @@ Status ParseQueryBatch(std::span<const uint8_t> payload,
       !r.U64(epoch) || !r.U64(client_span_id)) {
     return Malformed("QUERY_BATCH header truncated");
   }
-  if (r.remaining() != static_cast<size_t>(count) * 24) {
+  if (r.remaining() != static_cast<size_t>(count) * kQueryBoxBytes) {
     return Malformed("QUERY_BATCH query count disagrees with payload size");
   }
   boxes->clear();

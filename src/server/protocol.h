@@ -253,6 +253,138 @@ struct TraceDumpWire {
 /// Fixed wire size of one `obs::QueryTraceRecord`.
 inline constexpr size_t kTraceRecordBytes = 136;
 
+// --- Wire-layout lint -------------------------------------------------
+//
+// Named byte sizes of every fixed-layout OCTP block. Each is derived
+// from the widths of the struct fields it carries, so adding or
+// resizing a field without updating the constant (and docs/PROTOCOL.md
+// — cross-checked by tools/check_wire_spec.py) is a compile error
+// here, not a silent wire break discovered by a peer. The encoders are
+// field-by-field little-endian (never a struct memcpy), so these
+// constants — not sizeof(struct) — ARE the wire layout.
+
+/// HELLO payload: magic u32, version u16, flags u16.
+inline constexpr size_t kHelloPayloadBytes = 8;
+static_assert(kHelloPayloadBytes ==
+              sizeof(HelloFrame::magic) + sizeof(HelloFrame::version) +
+                  sizeof(HelloFrame::flags));
+
+/// WELCOME payload: version u16, paged u8, dynamic u8, num_vertices
+/// u64, page_bytes u32, max_batch_queries u32.
+inline constexpr size_t kWelcomePayloadBytes = 20;
+static_assert(kWelcomePayloadBytes ==
+              sizeof(WelcomeFrame::version) + sizeof(WelcomeFrame::paged) +
+                  sizeof(WelcomeFrame::dynamic) +
+                  sizeof(WelcomeFrame::num_vertices) +
+                  sizeof(WelcomeFrame::page_bytes) +
+                  sizeof(WelcomeFrame::max_batch_queries));
+
+/// QUERY_BATCH fixed header before the boxes (v6): request_id u64,
+/// count u32, reserved u32, epoch u64, client_span_id u64.
+inline constexpr size_t kQueryBatchFixedBytes = 32;
+static_assert(kQueryBatchFixedBytes ==
+              sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint32_t) +
+                  sizeof(uint64_t) + sizeof(uint64_t));
+
+/// One query box: 6 f32 (min.xyz, max.xyz).
+inline constexpr size_t kQueryBoxBytes = 24;
+static_assert(kQueryBoxBytes == 6 * sizeof(float));
+
+/// RESULT fixed bytes before the batch-stats block: request_id u64,
+/// count u32, reserved u32.
+inline constexpr size_t kResultFixedBytes = 16;
+static_assert(kResultFixedBytes ==
+              sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint32_t));
+
+/// The batch-stats block every RESULT carries (v6: 160 bytes). Field
+/// order on the wire: the 4 phase i64s, the 12 u64 counters, the two
+/// batch u32s, epoch u64 + step u32 + reserved u32, trace_id u64.
+inline constexpr size_t kBatchStatsBytes = 160;
+static_assert(kBatchStatsBytes ==
+              sizeof(BatchStatsWire::probe_nanos) +
+                  sizeof(BatchStatsWire::walk_nanos) +
+                  sizeof(BatchStatsWire::crawl_nanos) +
+                  sizeof(BatchStatsWire::merge_nanos) +
+                  sizeof(BatchStatsWire::queries) +
+                  sizeof(BatchStatsWire::probed_vertices) +
+                  sizeof(BatchStatsWire::walk_invocations) +
+                  sizeof(BatchStatsWire::walk_vertices) +
+                  sizeof(BatchStatsWire::crawl_edges) +
+                  sizeof(BatchStatsWire::result_vertices) +
+                  sizeof(BatchStatsWire::page_hits) +
+                  sizeof(BatchStatsWire::page_misses) +
+                  sizeof(BatchStatsWire::page_evictions) +
+                  sizeof(BatchStatsWire::lease_hits) +
+                  sizeof(BatchStatsWire::pages_leased) +
+                  sizeof(BatchStatsWire::pages_distinct) +
+                  sizeof(BatchStatsWire::batch_queries) +
+                  sizeof(BatchStatsWire::batch_requests) +
+                  sizeof(engine::EpochInfo::epoch) +
+                  sizeof(engine::EpochInfo::step) +
+                  sizeof(uint32_t) /* reserved */ +
+                  sizeof(BatchStatsWire::trace_id));
+
+/// STATS payload: 18 u64 counters, in declaration order.
+inline constexpr size_t kStatsPayloadBytes = 144;
+static_assert(kStatsPayloadBytes == 18 * sizeof(uint64_t));
+
+/// STEP payload: steps u32, reserved u32.
+inline constexpr size_t kStepPayloadBytes = 8;
+static_assert(kStepPayloadBytes ==
+              sizeof(StepFrame::steps) + sizeof(uint32_t));
+
+/// EPOCH_INFO payload: epoch u64, step u32, dynamic u8, deformer u8,
+/// reserved u16, last_step_pages_rewritten u64.
+inline constexpr size_t kEpochInfoPayloadBytes = 24;
+static_assert(kEpochInfoPayloadBytes ==
+              sizeof(EpochInfoWire::epoch) + sizeof(EpochInfoWire::step) +
+                  sizeof(EpochInfoWire::dynamic) +
+                  sizeof(EpochInfoWire::deformer_kind) +
+                  sizeof(uint16_t) /* reserved */ +
+                  sizeof(EpochInfoWire::last_step_pages_rewritten));
+
+/// PIN_EPOCH / UNPIN_EPOCH payload: epoch u64.
+inline constexpr size_t kPinEpochPayloadBytes = 8;
+static_assert(kPinEpochPayloadBytes == sizeof(PinEpochFrame::epoch));
+
+/// ERROR fixed bytes before the message: code u16, reserved u16,
+/// request_id u64, message length u32.
+inline constexpr size_t kErrorFixedBytes = 16;
+static_assert(kErrorFixedBytes ==
+              sizeof(uint16_t) + sizeof(uint16_t) + sizeof(uint64_t) +
+                  sizeof(uint32_t));
+
+/// TRACE_DUMP fixed bytes before the records: total_recorded u64,
+/// count u32, reserved u32.
+inline constexpr size_t kTraceDumpFixedBytes = 16;
+static_assert(kTraceDumpFixedBytes ==
+              sizeof(TraceDumpWire::total_recorded) + sizeof(uint32_t) +
+                  sizeof(uint32_t));
+
+// One trace record: 4 u64 ids, 4 u32 batch shape fields, 8 i64 phase
+// nanos, 3 u64 counters — 136 bytes, the constant TRACE_DUMP sizing
+// and parsing already rely on.
+static_assert(kTraceRecordBytes ==
+              sizeof(obs::QueryTraceRecord::trace_id) +
+                  sizeof(obs::QueryTraceRecord::session_id) +
+                  sizeof(obs::QueryTraceRecord::request_id) +
+                  sizeof(obs::QueryTraceRecord::epoch) +
+                  sizeof(obs::QueryTraceRecord::epoch_step) +
+                  sizeof(obs::QueryTraceRecord::queries) +
+                  sizeof(obs::QueryTraceRecord::batch_queries) +
+                  sizeof(obs::QueryTraceRecord::batch_requests) +
+                  sizeof(obs::QueryTraceRecord::arrival_nanos) +
+                  sizeof(obs::QueryTraceRecord::queue_wait_nanos) +
+                  sizeof(obs::QueryTraceRecord::probe_nanos) +
+                  sizeof(obs::QueryTraceRecord::walk_nanos) +
+                  sizeof(obs::QueryTraceRecord::crawl_nanos) +
+                  sizeof(obs::QueryTraceRecord::merge_nanos) +
+                  sizeof(obs::QueryTraceRecord::serialize_nanos) +
+                  sizeof(obs::QueryTraceRecord::total_nanos) +
+                  sizeof(obs::QueryTraceRecord::page_accesses) +
+                  sizeof(obs::QueryTraceRecord::lease_hits) +
+                  sizeof(obs::QueryTraceRecord::result_vertices));
+
 // --- Encoding: appends one complete frame (header + payload) ---
 
 void AppendHello(Buffer* out, const HelloFrame& hello);
@@ -285,7 +417,7 @@ void AppendResultMeta(Buffer* out, uint64_t request_id,
 /// block — the offset of the first per-query count word in an
 /// `AppendResultMeta` buffer.
 inline constexpr size_t kResultMetaBytesBeforeCounts =
-    kFrameHeaderBytes + 16 + 160;
+    kFrameHeaderBytes + kResultFixedBytes + kBatchStatsBytes;
 void AppendStatsRequest(Buffer* out);
 void AppendStats(Buffer* out, const ServerStatsWire& stats);
 void AppendError(Buffer* out, const ErrorFrame& error);

@@ -113,8 +113,8 @@ struct QueryServer::IoThread {
   int epoll_fd = -1;
   int event_fd = -1;
   std::thread thread;
-  std::mutex inbox_mu;
-  std::deque<Msg> inbox;  // guarded by inbox_mu
+  common::Mutex inbox_mu;
+  std::deque<Msg> inbox GUARDED_BY(inbox_mu);
   /// This thread's loop-stall shard; merged into snapshots/scrapes on
   /// demand (never into the live `ServerMetrics` — that would double
   /// count across scrapes).
@@ -127,7 +127,7 @@ struct QueryServer::IoThread {
 
   void Post(Msg msg) {
     {
-      std::lock_guard<std::mutex> lock(inbox_mu);
+      common::MutexLock lock(inbox_mu);
       inbox.push_back(std::move(msg));
     }
     Signal();
@@ -350,7 +350,7 @@ void QueryServer::AcceptNew() {
     {
       // Registered before the handoff: the serializer must be able to
       // route to this session the moment the I/O thread knows it.
-      std::lock_guard<std::mutex> lock(owner_mu_);
+      common::MutexLock lock(owner_mu_);
       owner_[id] = owner;
     }
     IoThread::Msg msg;
@@ -437,7 +437,7 @@ void QueryServer::IoLoop(size_t index) {
 void QueryServer::ProcessInbox(IoThread& io, bool* draining) {
   std::deque<IoThread::Msg> msgs;
   {
-    std::lock_guard<std::mutex> lock(io.inbox_mu);
+    common::MutexLock lock(io.inbox_mu);
     msgs.swap(io.inbox);
   }
   for (IoThread::Msg& msg : msgs) {
@@ -579,8 +579,12 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
     welcome.dynamic = backend_->dynamic() ? 1 : 0;
     welcome.num_vertices = backend_->num_vertices();
     welcome.page_bytes = backend_->page_bytes();
+    // Read the server's own immutable copy, not scheduler_.options():
+    // the scheduler is sched_mu_-guarded and this runs on an I/O
+    // thread without the lock (found by the thread-safety audit — the
+    // read was benign, the discipline violation was not).
     welcome.max_batch_queries = static_cast<uint32_t>(
-        scheduler_.options().max_batch_queries);
+        options_.scheduler.max_batch_queries);
     OutFrame frame;
     AppendWelcome(&frame.bytes, welcome);
     session->Push(std::move(frame));
@@ -620,7 +624,7 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
       };
       Verdict verdict;
       {
-        std::lock_guard<std::mutex> lock(sched_mu_);
+        common::MutexLock lock(sched_mu_);
         if (sched_closed_) {
           // The scheduler already drained and exited; nothing would
           // ever execute this request.
@@ -655,7 +659,7 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
       }
       switch (verdict) {
         case Verdict::kAdmitted:
-          sched_cv_.notify_one();
+          sched_cv_.NotifyOne();
           return;
         case Verdict::kEmptyInline: {
           // Nothing to coalesce: answer an empty batch immediately —
@@ -674,10 +678,12 @@ void QueryServer::HandleFrame(Session* session, FrameType type,
           metrics_.queries_rejected += num_queries;
           Journal(obs::EventKind::kOverloadRejected, 0, session->id,
                   request_id, num_queries);
+          // options_.scheduler, not scheduler_.options(): this runs
+          // after the locked block released sched_mu_.
           SendError(session, ErrorCode::kOverloaded, request_id,
                     "pending-query limit of " +
                         std::to_string(
-                            scheduler_.options().max_pending_queries) +
+                            options_.scheduler.max_pending_queries) +
                         " reached; retry later",
                     /*close_connection=*/false);
           return;
@@ -929,7 +935,7 @@ void QueryServer::CloseSession(IoThread& io, uint64_t session_id) {
   auto it = io.sessions.find(session_id);
   if (it == io.sessions.end()) return;
   {
-    std::lock_guard<std::mutex> lock(sched_mu_);
+    common::MutexLock lock(sched_mu_);
     scheduler_.DropSession(session_id);
     // Historical requests still waiting their turn die with the
     // session too — they would execute for nobody.
@@ -955,7 +961,7 @@ void QueryServer::CloseSession(IoThread& io, uint64_t session_id) {
   io.by_fd.erase(it->second->fd);
   io.sessions.erase(it);
   {
-    std::lock_guard<std::mutex> lock(owner_mu_);
+    common::MutexLock lock(owner_mu_);
     owner_.erase(session_id);
   }
   metrics_.connections_closed += 1;
@@ -1014,7 +1020,7 @@ void QueryServer::DrainIoThread(IoThread& io) {
 }
 
 void QueryServer::SchedulerLoop() {
-  std::unique_lock<std::mutex> lock(sched_mu_);
+  common::MutexLock lock(sched_mu_);
   std::vector<CompletedRequest> completed;
   for (;;) {
     // Historical requests first: they were admitted against the same
@@ -1057,9 +1063,9 @@ void QueryServer::SchedulerLoop() {
     }
     const int64_t due = scheduler_.NanosUntilDue(now);
     if (due < 0) {
-      sched_cv_.wait(lock);
+      sched_cv_.Wait(sched_mu_);
     } else {
-      sched_cv_.wait_for(lock, std::chrono::nanoseconds(due));
+      sched_cv_.WaitFor(sched_mu_, std::chrono::nanoseconds(due));
     }
   }
 }
@@ -1104,18 +1110,20 @@ void QueryServer::ExecuteImmediate(ImmediateRequest req) {
 
 void QueryServer::EnqueueSerTask(SerTask task) {
   {
-    std::lock_guard<std::mutex> lock(ser_mu_);
+    common::MutexLock lock(ser_mu_);
     ser_tasks_.push_back(std::move(task));
   }
-  ser_cv_.notify_one();
+  ser_cv_.NotifyOne();
 }
 
 void QueryServer::SerializerLoop() {
   for (;;) {
     SerTask task;
     {
-      std::unique_lock<std::mutex> lock(ser_mu_);
-      ser_cv_.wait(lock, [this] { return !ser_tasks_.empty(); });
+      common::MutexLock lock(ser_mu_);
+      // Explicit predicate loop: a lambda predicate would hide the
+      // guarded read from the thread-safety analysis.
+      while (ser_tasks_.empty()) ser_cv_.Wait(ser_mu_);
       task = std::move(ser_tasks_.front());
       ser_tasks_.pop_front();
     }
@@ -1146,7 +1154,7 @@ void QueryServer::DeliverCompleted(CompletedRequest done) {
   {
     // Client left mid-flight: skip the delivery counters entirely,
     // exactly like the old loop's sessions_ lookup.
-    std::lock_guard<std::mutex> lock(owner_mu_);
+    common::MutexLock lock(owner_mu_);
     if (owner_.find(done.session_id) == owner_.end()) return;
   }
   const int64_t done_at = NowNanos();
@@ -1257,7 +1265,7 @@ void QueryServer::DeliverCompleted(CompletedRequest done) {
 
 void QueryServer::DeliverError(const SerTask& task) {
   {
-    std::lock_guard<std::mutex> lock(owner_mu_);
+    common::MutexLock lock(owner_mu_);
     if (owner_.find(task.session_id) == owner_.end()) return;
   }
   ErrorFrame error;
@@ -1274,7 +1282,7 @@ void QueryServer::DispatchOutbound(uint64_t session_id, OutFrame frame,
                                    bool completes_request) {
   uint32_t owner = 0;
   {
-    std::lock_guard<std::mutex> lock(owner_mu_);
+    common::MutexLock lock(owner_mu_);
     auto it = owner_.find(session_id);
     if (it == owner_.end()) return;  // session closed; drop the frame
     owner = it->second;
@@ -1298,10 +1306,10 @@ void QueryServer::DrainAndClose() {
   // drain token; the serializer forwards it behind the last result;
   // each I/O thread then says its typed goodbyes and flushes.
   {
-    std::lock_guard<std::mutex> lock(sched_mu_);
+    common::MutexLock lock(sched_mu_);
     drain_requested_ = true;
   }
-  sched_cv_.notify_all();
+  sched_cv_.NotifyAll();
   if (sched_thread_.joinable()) sched_thread_.join();
   if (ser_thread_.joinable()) ser_thread_.join();
   for (auto& io : io_) {

@@ -36,18 +36,17 @@
 #define OCTOPUS_SERVER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/event_journal.h"
 #include "obs/http_endpoint.h"
 #include "obs/trace.h"
@@ -221,9 +220,9 @@ class QueryServer {
 
   // --- scheduler / serializer threads ---
   void SchedulerLoop();
-  /// Scheduler: runs one historical request (sched_mu_ held — the
-  /// backend execute path is single-threaded).
-  void ExecuteImmediate(ImmediateRequest req);
+  /// Scheduler: runs one historical request (the backend execute path
+  /// is single-threaded, so `sched_mu_` stays held across execution).
+  void ExecuteImmediate(ImmediateRequest req) REQUIRES(sched_mu_);
   void SerializerLoop();
   /// Serializer: encodes one completed request (RESULT, or a
   /// request-scoped error past the frame cap), updates latency/trace
@@ -232,7 +231,7 @@ class QueryServer {
   void DeliverError(const SerTask& task);
   void DispatchOutbound(uint64_t session_id, OutFrame frame,
                         bool completes_request);
-  void EnqueueSerTask(SerTask task);
+  void EnqueueSerTask(SerTask task) EXCLUDES(ser_mu_);
 
   void DrainAndClose();
   /// Path-routed introspection handler behind `metrics_http_`.
@@ -248,7 +247,7 @@ class QueryServer {
   std::unique_ptr<VersionedBackend> backend_;
   ServerOptions options_;
   ServerMetrics metrics_;
-  BatchScheduler scheduler_;  // guarded by sched_mu_
+  BatchScheduler scheduler_ GUARDED_BY(sched_mu_);
   obs::FlightRecorder recorder_;
   obs::HttpTextEndpoint metrics_http_;
 
@@ -270,26 +269,26 @@ class QueryServer {
   /// session id -> I/O thread index; written by the main thread at
   /// accept, erased by the owning I/O thread at close, read by the
   /// serializer to route outbound frames.
-  mutable std::mutex owner_mu_;
-  std::unordered_map<uint64_t, uint32_t> owner_;
+  mutable common::Mutex owner_mu_;
+  std::unordered_map<uint64_t, uint32_t> owner_ GUARDED_BY(owner_mu_);
   std::atomic<uint64_t> active_sessions_{0};
   /// Outstanding epoch pins across all sessions (the /metrics gauge —
   /// sessions are thread-local, so the gauge is kept here).
   std::atomic<uint64_t> session_pins_{0};
 
-  std::mutex sched_mu_;
-  std::condition_variable sched_cv_;
-  std::deque<ImmediateRequest> immediate_;  // guarded by sched_mu_
-  bool drain_requested_ = false;            // guarded by sched_mu_
+  common::Mutex sched_mu_;
+  common::CondVar sched_cv_;
+  std::deque<ImmediateRequest> immediate_ GUARDED_BY(sched_mu_);
+  bool drain_requested_ GUARDED_BY(sched_mu_) = false;
   /// Set by the scheduler thread once it has drained and exited; from
   /// then on admission answers SHUTTING_DOWN instead of enqueueing
   /// work nothing would ever execute.
-  bool sched_closed_ = false;  // guarded by sched_mu_
+  bool sched_closed_ GUARDED_BY(sched_mu_) = false;
   std::thread sched_thread_;
 
-  std::mutex ser_mu_;
-  std::condition_variable ser_cv_;
-  std::deque<SerTask> ser_tasks_;  // guarded by ser_mu_
+  common::Mutex ser_mu_ ACQUIRED_AFTER(sched_mu_);
+  common::CondVar ser_cv_;
+  std::deque<SerTask> ser_tasks_ GUARDED_BY(ser_mu_);
   std::thread ser_thread_;
 };
 

@@ -146,7 +146,12 @@ Status VersionedBackend::BindDeformer(const DeformerSpec& spec) {
       &resolved, EstimateMeanEdgeLengthPaged(paged_->store(), positions));
   if (!deformer.ok()) return deformer.status();
 
-  paged_prev_positions_ = positions;
+  {
+    // Init-time write; no stepper exists yet, the lock is for the
+    // thread-safety analysis (the field is guarded by step_mu_).
+    common::MutexLock step_lock(step_mu_);
+    paged_prev_positions_ = positions;
+  }
   paged_sim_mesh_ =
       std::make_unique<TetraMesh>(std::move(positions), std::vector<Tet>{});
   paged_deformer_ = deformer.MoveValue();
@@ -166,7 +171,7 @@ DeformerKind VersionedBackend::deformer_kind() const {
 
 engine::EpochInfo VersionedBackend::AdvanceStep() {
   assert(dynamic() && "AdvanceStep requires a bound deformer");
-  std::lock_guard<std::mutex> step_lock(step_mu_);
+  common::MutexLock step_lock(step_mu_);
 
   if (mesh_ != nullptr) {
     const engine::EpochInfo info = mesh_->AdvanceStep();

@@ -22,12 +22,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/mesh_epoch.h"
 #include "engine/query_engine.h"
 #include "mesh/tetra_mesh.h"
@@ -172,10 +172,10 @@ class VersionedBackend {
   DeformerSpec paged_spec_;
   std::unique_ptr<Deformer> paged_deformer_;
   std::unique_ptr<TetraMesh> paged_sim_mesh_;  // positions only, no tets
+  common::Mutex step_mu_;  // serializes AdvanceStep (both backends)
   /// The previous step's positions — the delta diff base. Owned by the
-  /// stepper (guarded by step_mu_); queries never read it.
-  std::vector<Vec3> paged_prev_positions_;
-  std::mutex step_mu_;  // serializes AdvanceStep (both backends)
+  /// stepper; queries never read it.
+  std::vector<Vec3> paged_prev_positions_ GUARDED_BY(step_mu_);
 
   /// Epoch history: publication, retention, spill, pins. The store's
   /// single mutex makes every publication one atomic swap as observed

@@ -24,14 +24,14 @@ Status VersionedMesh::BindDeformer(const DeformerSpec& spec) {
   epoch0->info = engine::EpochInfo{1, 0};
   epoch0->positions = mesh_.positions();
   {
-    std::lock_guard<std::mutex> lock(publish_mu_);
+    common::MutexLock lock(publish_mu_);
     published_ = std::move(epoch0);
   }
   return Status::OK();
 }
 
 engine::EpochInfo VersionedMesh::AdvanceStep() {
-  std::lock_guard<std::mutex> step_lock(step_mu_);
+  common::MutexLock step_lock(step_mu_);
   // SIMULATE: O(V) in-place deformation of the live mesh. Queries never
   // see this array (they pin published buffers), so no lock is held.
   const engine::EpochInfo last = CurrentEpoch();
@@ -42,7 +42,7 @@ engine::EpochInfo VersionedMesh::AdvanceStep() {
   next->positions = mesh_.positions();
   const engine::EpochInfo info = next->info;
   {
-    std::lock_guard<std::mutex> lock(publish_mu_);
+    common::MutexLock lock(publish_mu_);
     published_ = std::move(next);
   }
   return info;

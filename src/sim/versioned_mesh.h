@@ -18,10 +18,10 @@
 #define OCTOPUS_SIM_VERSIONED_MESH_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/mesh_epoch.h"
 #include "mesh/graph_view.h"
 #include "mesh/tetra_mesh.h"
@@ -70,12 +70,12 @@ class VersionedMesh {
   /// is static; read `base()` directly — that is the zero-overhead
   /// static path). Never null afterwards.
   std::shared_ptr<const PositionEpoch> Pin() const {
-    std::lock_guard<std::mutex> lock(publish_mu_);
+    common::MutexLock lock(publish_mu_);
     return published_;
   }
 
   engine::EpochInfo CurrentEpoch() const {
-    std::lock_guard<std::mutex> lock(publish_mu_);
+    common::MutexLock lock(publish_mu_);
     return published_ ? published_->info : engine::EpochInfo{};
   }
 
@@ -91,9 +91,9 @@ class VersionedMesh {
   TetraMesh mesh_;  // live simulation state; positions mutate per step
   DeformerSpec spec_;
   std::unique_ptr<Deformer> deformer_;
-  std::mutex step_mu_;  // serializes AdvanceStep
-  mutable std::mutex publish_mu_;  // guards only the pointer swap
-  std::shared_ptr<const PositionEpoch> published_;
+  common::Mutex step_mu_;  // serializes AdvanceStep
+  mutable common::Mutex publish_mu_;  // guards only the pointer swap
+  std::shared_ptr<const PositionEpoch> published_ GUARDED_BY(publish_mu_);
 };
 
 }  // namespace octopus

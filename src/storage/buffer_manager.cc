@@ -40,8 +40,8 @@ BufferManager::BufferManager(std::FILE* file, size_t page_bytes,
                              uint64_t num_pages, const Options& options)
     : options_(options),
       page_bytes_(page_bytes),
-      num_pages_(num_pages),
       max_frames_(options.pool_bytes / page_bytes),
+      num_pages_(num_pages),
       file_(file) {
   // Frames allocate lazily; only pre-reserve bookkeeping for pools that
   // plausibly fill (a generous cap can exceed the snapshot many times
@@ -49,15 +49,20 @@ BufferManager::BufferManager(std::FILE* file, size_t page_bytes,
   frames_.reserve(std::min<size_t>(max_frames_, num_pages));
 }
 
-BufferManager::~BufferManager() { std::fclose(file_); }
+BufferManager::~BufferManager() {
+  // No readers are live at destruction; the lock only satisfies the
+  // analysis (file_ is guarded) at zero contention.
+  common::MutexLock lock(mu_);
+  std::fclose(file_);
+}
 
 size_t BufferManager::AllocatedBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return frames_.size() * page_bytes_;
 }
 
 PageIOStats BufferManager::TotalStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return totals_;
 }
 
@@ -111,12 +116,12 @@ size_t BufferManager::TryAcquireFrame(PageIOStats* stats) {
 }
 
 void BufferManager::ExtendTo(uint64_t num_pages) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   num_pages_ = std::max(num_pages_, num_pages);
 }
 
 const std::byte* BufferManager::Pin(PageId page, PageIOStats* stats) {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   assert(page < num_pages_ && "page out of range");
   for (;;) {
     auto it = page_to_frame_.find(page);
@@ -138,7 +143,7 @@ const std::byte* BufferManager::Pin(PageId page, PageIOStats* stats) {
       // frames to one page and corrupt the pin bookkeeping. Readers
       // hold at most one transient pin each, so a frame frees up
       // quickly and no pin is ever held while waiting (no deadlock).
-      frame_freed_.wait(lock);
+      frame_freed_.Wait(mu_);
       continue;
     }
 
@@ -166,7 +171,7 @@ const std::byte* BufferManager::Pin(PageId page, PageIOStats* stats) {
 }
 
 const std::byte* BufferManager::TryPin(PageId page, PageIOStats* stats) {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   assert(page < num_pages_ && "page out of range");
   auto it = page_to_frame_.find(page);
   if (it != page_to_frame_.end()) {
@@ -198,12 +203,12 @@ const std::byte* BufferManager::TryPin(PageId page, PageIOStats* stats) {
 }
 
 void BufferManager::Unpin(PageId page) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = page_to_frame_.find(page);
   assert(it != page_to_frame_.end() && "unpin of a non-resident page");
   Frame& frame = frames_[it->second];
   assert(frame.pins > 0 && "unpin of an unpinned page");
-  if (--frame.pins == 0) frame_freed_.notify_one();
+  if (--frame.pins == 0) frame_freed_.NotifyOne();
 }
 
 void BufferManager::CopyOut(PageId page, size_t offset, size_t len,
@@ -216,7 +221,7 @@ void BufferManager::CopyOut(PageId page, size_t offset, size_t len,
     // relocking (the frames_ vector may have grown and relocated; the
     // index and the heap page buffer are stable, pinned frames are
     // never evicted or repurposed).
-    std::unique_lock<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     auto it = page_to_frame_.find(page);
     if (it != page_to_frame_.end()) {
       const size_t index = it->second;
@@ -227,10 +232,10 @@ void BufferManager::CopyOut(PageId page, size_t offset, size_t len,
       ++stats->page_hits;
       ++totals_.page_hits;
       const std::byte* data = frame.data.get();
-      lock.unlock();
+      lock.Unlock();
       std::memcpy(dst, data + offset, len);
-      lock.lock();
-      if (--frames_[index].pins == 0) frame_freed_.notify_one();
+      lock.Lock();
+      if (--frames_[index].pins == 0) frame_freed_.NotifyOne();
       return;
     }
   }

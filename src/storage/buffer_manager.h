@@ -10,17 +10,16 @@
 #ifndef OCTOPUS_STORAGE_BUFFER_MANAGER_H_
 #define OCTOPUS_STORAGE_BUFFER_MANAGER_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 
 namespace octopus::storage {
@@ -115,25 +114,25 @@ class BufferManager {
 
   /// Returns the index of a frame ready to receive a new page (growing
   /// the pool or evicting), or `max_frames()` when every frame is
-  /// currently pinned. Never blocks. Called with `mu_` held.
-  size_t TryAcquireFrame(PageIOStats* stats);
+  /// currently pinned. Never blocks.
+  size_t TryAcquireFrame(PageIOStats* stats) REQUIRES(mu_);
   /// Victim selection among unpinned frames; returns max_frames() when
-  /// every frame is pinned. Called with `mu_` held.
-  size_t PickVictim();
+  /// every frame is pinned.
+  size_t PickVictim() REQUIRES(mu_);
 
   const Options options_;
   const size_t page_bytes_;
-  uint64_t num_pages_;  // guarded by mu_ (grows via ExtendTo)
   const size_t max_frames_;
 
-  mutable std::mutex mu_;
-  std::condition_variable frame_freed_;
-  std::FILE* file_;  // guarded by mu_ (seek+read are not atomic)
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> page_to_frame_;
-  uint64_t tick_ = 0;
-  size_t clock_hand_ = 0;
-  PageIOStats totals_;
+  mutable common::Mutex mu_;
+  common::CondVar frame_freed_;
+  uint64_t num_pages_ GUARDED_BY(mu_);  // grows via ExtendTo
+  std::FILE* file_ GUARDED_BY(mu_);     // seek+read are not atomic
+  std::vector<Frame> frames_ GUARDED_BY(mu_);
+  std::unordered_map<PageId, size_t> page_to_frame_ GUARDED_BY(mu_);
+  uint64_t tick_ GUARDED_BY(mu_) = 0;
+  size_t clock_hand_ GUARDED_BY(mu_) = 0;
+  PageIOStats totals_ GUARDED_BY(mu_);
 };
 
 const char* EvictionName(BufferManager::Eviction eviction);

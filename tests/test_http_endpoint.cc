@@ -236,5 +236,55 @@ TEST_F(EndpointFixture, ListenerIsUnpolledAtTheConnCapAndRecovers) {
   for (size_t i = 1; i < idle.size(); ++i) close(idle[i]);
 }
 
+// --- RouteRequestHead: the pure parsing core, no sockets ---
+//
+// Factored out of the connection loop so the fuzz harness (and these
+// tests) can drive it with arbitrary bytes; the socket paths above
+// exercise the same code through BuildResponse.
+
+HttpTextEndpoint::Handler RecordingHandler(std::string* last_path) {
+  return [last_path](const std::string& path) {
+    *last_path = path;
+    if (path == "/ok") {
+      HttpTextEndpoint::Response response;
+      response.body = "fine\n";
+      return response;
+    }
+    return HttpTextEndpoint::NotFound();
+  };
+}
+
+TEST(RouteRequestHeadTest, RoutesGetAndStripsQueryString) {
+  std::string last_path = "<unset>";
+  const auto response = HttpTextEndpoint::RouteRequestHead(
+      "GET /ok?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n",
+      RecordingHandler(&last_path));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "fine\n");
+  EXPECT_EQ(last_path, "/ok");
+}
+
+TEST(RouteRequestHeadTest, MalformedRequestLineIs400NotHandler) {
+  std::string last_path = "<unset>";
+  for (const char* head :
+       {"GET /ok\r\n\r\n",      // no HTTP version
+        "\r\n\r\n",             // empty request line
+        "GET\r\n\r\n",          // method only
+        "garbage\x01\x02"}) {   // no spaces at all
+    const auto response = HttpTextEndpoint::RouteRequestHead(
+        head, RecordingHandler(&last_path));
+    EXPECT_EQ(response.status, 400) << head;
+    EXPECT_EQ(last_path, "<unset>") << head;  // handler never ran
+  }
+}
+
+TEST(RouteRequestHeadTest, NonGetIs405WithoutReachingHandler) {
+  std::string last_path = "<unset>";
+  const auto response = HttpTextEndpoint::RouteRequestHead(
+      "POST /ok HTTP/1.0\r\n\r\n", RecordingHandler(&last_path));
+  EXPECT_EQ(response.status, 405);
+  EXPECT_EQ(last_path, "<unset>");
+}
+
 }  // namespace
 }  // namespace octopus

@@ -6,9 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <limits>
 #include <vector>
 
+#include "fuzz/fuzz_targets.h"
 #include "server/protocol.h"
 
 namespace octopus::server {
@@ -692,6 +696,48 @@ TEST(ProtocolTest, HelloRejectsWrongSize) {
                               .subspan(kFrameHeaderBytes),
                           &parsed)
                    .ok());
+}
+
+// --- Shared fuzz seed corpus (fuzz/corpus/, tools/gen_fuzz_corpus.py) ---
+//
+// The truncation/malformation cases above seeded the corpus; replaying
+// it through the exact libFuzzer entry points here means the seeds —
+// and any crash reproducer later committed next to them — are covered
+// by the plain gtest run, with every compiler, in addition to the
+// standalone `fuzz_corpus_replay` driver and the CI fuzz smoke.
+
+size_t ReplayCorpusDir(const std::filesystem::path& dir,
+                       void (*target)(const uint8_t*, size_t)) {
+  size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    EXPECT_TRUE(in.good()) << entry.path();
+    const std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    target(bytes.data(), bytes.size());
+    ++replayed;
+  }
+  return replayed;
+}
+
+TEST(ProtocolCorpusTest, ProtocolSeedsNeverCrashTheParsers) {
+  const std::filesystem::path dir =
+      std::filesystem::path(OCTOPUS_SOURCE_DIR) / "fuzz" / "corpus" /
+      "protocol";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  // One well-formed frame of every type plus the malformed/truncated
+  // boundary cases; a shrinking corpus means seeds were lost.
+  EXPECT_GE(ReplayCorpusDir(dir, fuzz::FuzzProtocolFrame), 25u);
+}
+
+TEST(ProtocolCorpusTest, HttpSeedsNeverCrashTheRouter) {
+  const std::filesystem::path dir =
+      std::filesystem::path(OCTOPUS_SOURCE_DIR) / "fuzz" / "corpus" /
+      "http";
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  EXPECT_GE(ReplayCorpusDir(dir, fuzz::FuzzHttpRequest), 6u);
 }
 
 }  // namespace

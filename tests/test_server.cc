@@ -510,6 +510,30 @@ TEST(ServerIntegrationTest, RejectsMalformedFrames) {
   EXPECT_GE(fixture.server().metrics().malformed_frames, 3u);
 }
 
+// The WELCOME frame must advertise the CONFIGURED coalescing cap. The
+// concurrency audit replaced the I/O threads' unlocked read of the
+// scheduler (which lives behind sched_mu_) with the server's immutable
+// options copy; this pins down that the advertised value is still the
+// configured one, not a default that happens to match.
+TEST(ServerIntegrationTest, WelcomeAdvertisesConfiguredBatchCap) {
+  const TetraMesh mesh = MakeBox(4);
+  ServerOptions options;
+  options.scheduler.max_batch_queries = 123;  // non-default on purpose
+  ServerFixture fixture(VersionedBackend::FromMesh(mesh, 1), options);
+
+  const int fd = RawConnect(fixture.port());
+  SendRaw(fd, ValidHello());
+  FrameType type;
+  server::Buffer payload;
+  ASSERT_TRUE(ReadFrameRaw(fd, &type, &payload));
+  ASSERT_EQ(type, FrameType::kWelcome);
+  server::WelcomeFrame welcome;
+  ASSERT_TRUE(server::ParseWelcome(payload, &welcome).ok());
+  EXPECT_EQ(welcome.max_batch_queries, 123u);
+  EXPECT_EQ(welcome.version, server::kProtocolVersion);
+  close(fd);
+}
+
 // Admission control: a full pending queue answers OVERLOADED without
 // dropping the connection or the already-accepted request — which still
 // completes, even across a graceful shutdown.
